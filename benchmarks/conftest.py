@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one of the paper's tables/figures: it prints
+the same rows/series the paper reports (run with ``-s`` to see them),
+asserts the *shape* criteria recorded in EXPERIMENTS.md, and times the
+regeneration through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure/table reproduction block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+@pytest.fixture(scope="session")
+def crypto_layer_768():
+    from repro.domains.crypto import build_crypto_layer
+    return build_crypto_layer(eol=768)
+
+
+@pytest.fixture(scope="session")
+def crypto_layer_1024():
+    from repro.domains.crypto import build_crypto_layer
+    return build_crypto_layer(eol=1024)

@@ -1,0 +1,90 @@
+"""E-F8/11/13 — the executable case study: Figs 8 (requirements),
+11 (design issues) and 13 (consistency constraints) driven end to end.
+
+Times the full Sec-5 exploration — requirement entry, DI1/DI2 descent,
+CC-driven eliminations, slicing trade-off, final selection — and
+asserts every observable the paper reports along the way.
+"""
+
+
+from repro.core import ExplorationSession
+from repro.domains.crypto import vocab as v
+from repro.errors import ConstraintViolation
+
+from conftest import emit
+
+
+def run_case_study(layer):
+    session = ExplorationSession(
+        layer, v.OMM_PATH,
+        merit_metrics=("area", "latency_ns", "delay_us"))
+    session.set_requirement(v.EOL, 768)
+    session.set_requirement(v.OPERAND_CODING, v.CODING_2SC)
+    session.set_requirement(v.RESULT_CODING, v.CODING_REDUNDANT)
+    session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    session.set_requirement(v.LATENCY_US, 8.0)
+    style_options = {i.option: i.candidate_count
+                     for i in session.available_options(
+                         v.IMPLEMENTATION_STYLE)}
+    session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    algorithm_options = {i.option: i.candidate_count
+                         for i in session.available_options(v.ALGORITHM)}
+    session.decide(v.ALGORITHM, v.MONTGOMERY)
+    session.decide(v.ADDER_IMPL, "Carry-Save")
+    session.decide(v.SLICE_WIDTH, 64)
+    best = min(session.candidates(), key=lambda c: c.merit("latency_ns"))
+    return session, style_options, algorithm_options, best
+
+
+def test_bench_case_study(benchmark, crypto_layer_768):
+    session, style_options, algorithm_options, best = benchmark(
+        run_case_study, crypto_layer_768)
+
+    emit("Figs 8/11/13 — the executable case study",
+         session.report()
+         + f"\n\nDI1 candidate counts: {style_options}"
+         + f"\nDI2 candidate counts: {algorithm_options}"
+         + f"\nselected: {best.name} ({best.merit('delay_us'):.2f} us, "
+           f"area {best.merit('area'):.0f})")
+
+    # Fig 8: requirement entry prunes software entirely (Req5 = 8 us).
+    assert style_options[v.SOFTWARE] == 0
+    assert style_options[v.HARDWARE] == 40
+
+    # Fig 11 / DI2: both algorithm families populated before the choice.
+    assert algorithm_options[v.MONTGOMERY] == 30
+    assert algorithm_options[v.BRICKELL] == 10
+
+    # Fig 13: CC2 derived the cycle count, CC3 the estimator rank, CC6
+    # the slice count.
+    assert session.derived_values[v.LATENCY_CYCLES] == 769.0
+    assert session.derived_values[v.MAX_COMB_DELAY] > 0
+    assert session.derived_values[v.NUM_SLICES] == 12
+
+    # CC4/CC5 left only carry-save + mux/plain cores; the selection meets
+    # the latency budget with margin.
+    assert best.property_value(v.ADDER_IMPL) == "Carry-Save"
+    assert best.merit("delay_us") < 8.0
+    assert {c.name for c in session.candidates()} == \
+        {"#2_64", "#4_64", "#5_64"}
+
+
+def test_bench_cc1_rejection_path(benchmark, crypto_layer_768):
+    """The CC1 counterfactual: modulus not guaranteed odd."""
+
+    def run(layer):
+        session = ExplorationSession(layer, v.OMM_PATH)
+        session.set_requirement(v.EOL, 768)
+        session.set_requirement(v.MODULO_IS_ODD, v.NOT_GUARANTEED)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        try:
+            session.decide(v.ALGORITHM, v.MONTGOMERY)
+            raise AssertionError("CC1 failed to fire")
+        except ConstraintViolation:
+            pass
+        session.decide(v.ALGORITHM, v.BRICKELL)
+        return session
+
+    session = benchmark(run, crypto_layer_768)
+    assert session.current_cdo.qualified_name == v.OMM_HB_PATH
+    assert len(session.candidates()) == 10

@@ -1,0 +1,120 @@
+"""Extension bench — the modular exponentiation coprocessor (paper
+refs [10]/[11], concluding remarks).
+
+Not a numbered figure in the paper, but the component the whole case
+study serves: the coprocessor's latency budget (Req5's 8 us per
+multiplication at 768 bits) exists so that a full exponentiation lands
+in the low milliseconds.  This bench characterizes coprocessor design
+points built from the selected multipliers, checks the analytical model
+against the cycle-accurate simulator, and compares exponentiation
+schedules — plus the early scheduling estimator against the synthesized
+datapath's cycle counts (the conceptual-design ablation).
+"""
+
+import pytest
+
+from repro.behavior import montgomery_behavior
+from repro.core import render_table
+from repro.estimation import Allocation, ListScheduler
+from repro.hw import (
+    BINARY_SCHEDULE,
+    MARY_SCHEDULE,
+    ExponentiatorHW,
+    ExponentiatorSpec,
+)
+from repro.hw.synthesis import table1_spec
+
+from conftest import emit
+
+EOL = 768
+
+
+def characterize_coprocessors():
+    points = []
+    for number in (2, 5):
+        multiplier = table1_spec(number, 64, EOL // 64)
+        for schedule, window in ((BINARY_SCHEDULE, 4), (MARY_SCHEDULE, 4)):
+            spec = ExponentiatorSpec(multiplier, schedule, window)
+            points.append((spec,
+                           spec.multiplication_count(EOL),
+                           spec.latency_ns(EOL) / 1e6,   # ms
+                           spec.area()))
+    return points
+
+
+def test_bench_coprocessor_design_points(benchmark):
+    points = benchmark(characterize_coprocessors)
+
+    rows = [[spec.describe(), muls, round(latency_ms, 2), round(area)]
+            for spec, muls, latency_ms, area in points]
+    emit("Extension — 768-bit modular exponentiation coprocessor points",
+         render_table(["design point", "modmuls", "latency (ms)", "area"],
+                      rows))
+
+    by_key = {(spec.multiplier.label(), spec.schedule): (muls, lat, area)
+              for spec, muls, lat, area in points}
+    m5 = "Mr4CSA_64x12"
+    # M-ary needs fewer multiplications and finishes sooner, at a table
+    # area premium.
+    assert by_key[(m5, MARY_SCHEDULE)][0] < by_key[(m5, BINARY_SCHEDULE)][0]
+    assert by_key[(m5, MARY_SCHEDULE)][1] < by_key[(m5, BINARY_SCHEDULE)][1]
+    assert by_key[(m5, MARY_SCHEDULE)][2] > by_key[(m5, BINARY_SCHEDULE)][2]
+    # The #5-based coprocessor beats the #2-based one on latency.
+    m2 = "Mr2CSA_64x12"
+    assert by_key[(m5, BINARY_SCHEDULE)][1] < \
+        by_key[(m2, BINARY_SCHEDULE)][1]
+    # Full exponentiation in single-digit milliseconds — the budget the
+    # 8 us/multiplication requirement was written to hit.
+    assert by_key[(m5, MARY_SCHEDULE)][1] < 5.0
+
+
+def test_bench_coprocessor_model_vs_simulator(benchmark):
+    """The analytical cycle model against the cycle-accurate datapath,
+    on a 64-bit configuration (simulating 768-bit exponentiation is a
+    correctness test, not a benchmark)."""
+    spec = ExponentiatorSpec(table1_spec(5, 32, 2))
+    hw = ExponentiatorHW(spec)
+    modulus = (1 << 63) | 29
+    exponent = int("10" * 32, 2)  # alternating bits: the average case
+
+    run = benchmark(hw.simulate, 123456789, exponent, modulus)
+
+    assert run.result == pow(123456789, exponent, modulus)
+    model_cycles = spec.cycles(exponent.bit_length())
+    emit("Extension — coprocessor model vs simulator (64-bit)",
+         f"simulated: {run.cycles} cycles / {run.multiplications} muls\n"
+         f"analytical (average-case): {model_cycles} cycles")
+    assert abs(run.cycles - model_cycles) / model_cycles < 0.10
+
+
+def test_bench_schedule_estimator_ablation(benchmark):
+    """Early scheduling estimate vs the synthesized datapath.
+
+    Before any core exists, the designer estimates cycles by list
+    scheduling the behavioral description; the synthesized radix-2
+    datapath retires one loop iteration per clock by pipelining the
+    body.  The ratio between the two is exactly the body's schedule
+    depth — which the estimator reports — so the early estimate is a
+    consistent (conservative) upper bound.
+    """
+    behavior = montgomery_behavior()
+
+    def estimate():
+        schedule = ListScheduler(Allocation(adders=2, multipliers=2,
+                                            dividers=1, misc=4)
+                                 ).schedule(behavior)
+        return schedule
+
+    schedule = benchmark(estimate)
+    iterations = EOL + 1
+    estimated = schedule.steps * iterations
+    synthesized = table1_spec(2, 64, EOL // 64).cycles(EOL)
+    emit("Ablation — scheduling estimator vs synthesized datapath",
+         f"estimated (unpipelined): {estimated} cycles "
+         f"({schedule.steps} steps x {iterations} iterations)\n"
+         f"synthesized (pipelined): {synthesized} cycles\n"
+         f"pipelining factor: {estimated / synthesized:.1f}x "
+         f"(~ body depth {schedule.steps})")
+    assert estimated >= synthesized
+    assert estimated / synthesized == pytest.approx(schedule.steps,
+                                                    rel=0.05)

@@ -1,0 +1,75 @@
+"""E-F12 — Fig 12: evaluation space for 64-bit Montgomery
+multiplications using 64-bit slices (designs #1..#6).
+
+This is the finest-grained trade-off plot in the paper: within the
+Montgomery family the designer revisits radix, adder and multiplier
+structure.  The figure equals Table 1's 64-bit column, which is fully
+reliable in the scan, so here we check both the orderings and the
+numeric calibration, plus the Pareto structure (#2/#5 on the frontier,
+#3 dominated).
+"""
+
+import pytest
+
+from repro.core import EvaluationPoint, EvaluationSpace, render_scatter
+from repro.data.paper_table1 import FIG12_POINTS
+from repro.hw.synthesis import synthesize_table1_cell
+
+from conftest import emit
+
+DESIGNS = (1, 2, 3, 4, 5, 6)
+
+
+def regenerate_fig12():
+    return {f"#{n}_64": synthesize_table1_cell(n, 64) for n in DESIGNS}
+
+
+def test_bench_fig12(benchmark):
+    cells = benchmark(regenerate_fig12)
+
+    space = EvaluationSpace(("delay_ns", "area"))
+    lines = []
+    for name, design in sorted(cells.items()):
+        paper_delay, paper_area = FIG12_POINTS[name]
+        space.add(EvaluationPoint(name, (design.latency_ns, design.area)))
+        lines.append(f"  {name}: ours ({design.latency_ns:.0f} ns, "
+                     f"{design.area:.0f})  paper ({paper_delay:.0f} ns, "
+                     f"{paper_area:.0f})")
+    emit("Fig 12 — 64-bit Montgomery multipliers on 64-bit slices",
+         "\n".join(lines) + "\n\n"
+         + render_scatter(space, width=56, height=14))
+
+    # Shape criteria -----------------------------------------------------
+    # 1. Calibration on the (reliable) Fig 12 points.
+    for name, design in cells.items():
+        paper_delay, paper_area = FIG12_POINTS[name]
+        assert 1 / 1.45 < design.latency_ns / paper_delay < 1.45, name
+        assert 1 / 1.45 < design.area / paper_area < 1.45, name
+
+    # 2. The paper's delay ordering: #5 < #4 < #2 < #6 < #3 < #1.
+    ours = sorted(DESIGNS, key=lambda n: cells[f"#{n}_64"].latency_ns)
+    paper = sorted(DESIGNS, key=lambda n: FIG12_POINTS[f"#{n}_64"][0])
+    assert ours == paper == [5, 4, 2, 6, 3, 1]
+
+    # 3. The paper's area ordering: #1 smallest, #4 largest.
+    assert min(DESIGNS, key=lambda n: cells[f"#{n}_64"].area) == 1
+    assert max(DESIGNS, key=lambda n: cells[f"#{n}_64"].area) == 4
+
+    # 4. Pareto structure: #4 dominated by #5 (same speed class, smaller
+    #    area); #3 dominated by #6.
+    frontier = {p.name for p in space.pareto_frontier()}
+    assert "#5_64" in frontier
+    assert "#2_64" in frontier
+    assert "#1_64" in frontier  # cheapest area anchor
+    assert "#4_64" not in frontier
+    assert "#3_64" not in frontier
+
+
+def test_bench_fig12_radix_tradeoff(benchmark):
+    """CC2's claim at this design point: radix 4 roughly halves cycles."""
+    def both():
+        return (synthesize_table1_cell(2, 64),
+                synthesize_table1_cell(5, 64))
+
+    radix2, radix4 = benchmark(both)
+    assert radix2.cycles / radix4.cycles == pytest.approx(67 / 35, rel=0.1)

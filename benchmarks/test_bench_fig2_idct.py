@@ -1,0 +1,95 @@
+"""E-F23 — Figs 2/3: the IDCT design space, abstraction-based vs
+generalization-based organisation.
+
+Fig 2(c)/3(b) show the five IDCT cores clustering into {1,2,5} and
+{3,4}; Fig 3(a) argues the layer should generalize along the issue that
+separates those clusters.  We regenerate the cores with the MAC-array
+model over real executed operation counts, cluster the evaluation
+space, recover the paper's clusters, and show (a) the abstraction
+layer's algorithm-level region is uninformative and (b) the
+generalization layer's first question separates the families cleanly.
+"""
+
+import pytest
+
+from repro.core import (
+    EvaluationSpace,
+    ExplorationSession,
+    agglomerate,
+    explain_clusters,
+    render_scatter,
+)
+from repro.domains.idct import (
+    build_abstraction_layer,
+    build_idct_layer,
+    fig2_cores,
+)
+from repro.domains.idct.cores import (
+    ALGORITHM,
+    FAB_TECH,
+    IMPLEMENTATION_STYLE,
+    MAC_UNITS,
+)
+
+from conftest import emit
+
+
+def regenerate_fig2():
+    cores = fig2_cores()
+    space = EvaluationSpace.from_designs(cores, ("latency_ns", "area"))
+    clusters, _ = agglomerate(space, 2)
+    explanations = explain_clusters(clusters,
+                                    [FAB_TECH, ALGORITHM, MAC_UNITS])
+    return cores, space, clusters, explanations
+
+
+def test_bench_fig2_idct(benchmark):
+    cores, space, clusters, explanations = benchmark(regenerate_fig2)
+
+    body = [render_scatter(space, width=50, height=12,
+                           title="Fig 2(c)/3(b) evaluation space")]
+    for cluster in clusters:
+        body.append(f"cluster: {sorted(cluster.names)}")
+    for explanation in explanations:
+        body.append(f"issue {explanation.issue_name}: purity "
+                    f"{explanation.purity:.2f}")
+    emit("Figs 2/3 — IDCT clusters and the generalization candidate",
+         "\n".join(body))
+
+    # Shape criteria -----------------------------------------------------
+    # 1. The paper's clusters: {1, 2, 5} vs {3, 4}.
+    families = {frozenset(c.names) for c in clusters}
+    assert families == {frozenset({"idct_1", "idct_2", "idct_5"}),
+                        frozenset({"idct_3", "idct_4"})}
+
+    # 2. Fabrication technology explains the split perfectly; the
+    #    algorithm does not (designs 1 and 4 share an algorithm).
+    assert explanations[0].issue_name == FAB_TECH
+    assert explanations[0].purity == pytest.approx(1.0)
+    algorithm_purity = next(e.purity for e in explanations
+                            if e.issue_name == ALGORITHM)
+    assert algorithm_purity < 1.0
+
+    # 3. The abstraction-based layer (Fig 2a) is uninformative: its
+    #    algorithm-level region mixes the clusters, spanning > 2.5x in
+    #    area for one algorithm.
+    abstraction = build_abstraction_layer()
+    lee = [c for c in abstraction.cores_under("IDCT.Algorithm")
+           if c.property_value(ALGORITHM) == "RowColumn-Lee"]
+    areas = [c.merit("area") for c in lee]
+    assert max(areas) / min(areas) > 2.5
+
+    # 4. The generalization-based layer separates the families in one
+    #    decision, with disjoint area ranges shown up-front.
+    layer = build_idct_layer()
+    session = ExplorationSession(layer, "IDCT",
+                                 merit_metrics=("area", "latency_ns"))
+    session.decide(IMPLEMENTATION_STYLE, "Hardware")
+    infos = {i.option: i for i in session.available_options(FAB_TECH)}
+    assert infos["0.35u"].ranges["area"][1] < infos["0.7u"].ranges["area"][0]
+
+
+def test_bench_idct_core_synthesis(benchmark):
+    """Cost of characterizing the five cores from executed flop counts."""
+    cores = benchmark(fig2_cores)
+    assert len(cores) == 5

@@ -1,0 +1,80 @@
+"""E-F6 — Fig 6: execution delay of one 1024-bit modular multiplication,
+hardware vs software.
+
+The paper's figure shows three hardware points (#5_16, #2_128, #8_64)
+in the 2-4.5 us band against software routines from ~800 us (assembly)
+to ~7300 us (C) — a gap of 2-3 orders of magnitude that justifies the
+generalized "Implementation Style" issue.  We regenerate both series
+and assert the gap, the intra-family orderings, and the calibration of
+the software points (the CPU model was fitted to them; the check guards
+regressions).
+"""
+
+import pytest
+
+from repro.core import render_table
+from repro.data.paper_table1 import FIG6_HARDWARE_US, FIG6_SOFTWARE_US
+from repro.hw.synthesis import synthesize_sliced
+from repro.sw.cpu import pentium_suite
+
+from conftest import emit
+
+EOL = 1024
+HW_POINTS = ((5, 16), (2, 128), (8, 64))
+
+
+def regenerate_fig6():
+    hardware = {f"#{n}_{w}": synthesize_sliced(n, w, EOL).latency_us
+                for n, w in HW_POINTS}
+    software = {label: multiplier.delay_us(EOL)
+                for label, multiplier in pentium_suite(EOL).items()}
+    return hardware, software
+
+
+def test_bench_fig6(benchmark):
+    hardware, software = benchmark(regenerate_fig6)
+
+    rows = []
+    for label, value in {**hardware, **software}.items():
+        paper = FIG6_HARDWARE_US.get(label, FIG6_SOFTWARE_US.get(label))
+        rows.append([label,
+                     "Hardware" if label in hardware else "Software",
+                     round(value, 2), paper])
+    rows.sort(key=lambda r: r[2])
+    emit("Fig 6 — execution delay (us) of a 1024-bit modular "
+         "multiplication",
+         render_table(["design", "family", "ours (us)", "paper (us)"],
+                      rows))
+
+    # Shape criteria -----------------------------------------------------
+    # 1. Hardware and software bands are separated by >= two orders of
+    #    magnitude (the figure's entire point).
+    slowest_hw = max(hardware.values())
+    fastest_sw = min(software.values())
+    assert fastest_sw / slowest_hw > 100
+
+    # 2. Within hardware: both Montgomery configurations beat Brickell.
+    assert hardware["#5_16"] < hardware["#8_64"]
+    assert hardware["#2_128"] < hardware["#8_64"]
+
+    # 3. Within software: ASM beats C by ~5-9x; CIOS beats CIHS.
+    assert 5 < software["CIOS C"] / software["CIOS ASM"] < 9
+    assert software["CIOS ASM"] < software["CIHS ASM"]
+    assert software["CIOS C"] < software["CIHS C"]
+
+    # 4. Software points match the paper's measurements within 5%.
+    for label, value in software.items():
+        assert value / FIG6_SOFTWARE_US[label] == pytest.approx(1.0,
+                                                                abs=0.05)
+
+    # 5. Hardware points land in the paper's few-microsecond band.
+    for label, value in hardware.items():
+        assert 1.0 < value < 6.0
+
+
+def test_bench_fig6_software_characterization(benchmark):
+    """Cost of characterizing one software routine (runs the real
+    word-level kernel)."""
+    suite = pentium_suite(EOL)
+    value = benchmark(suite["CIOS ASM"].characterize)
+    assert value > 0

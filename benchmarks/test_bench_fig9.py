@@ -1,0 +1,80 @@
+"""E-F9 — Fig 9: evaluation space for Brickell vs Montgomery modular
+multipliers at 768-bit operands.
+
+The paper plots the #2 (Montgomery, radix-2 CSA) and #8 (Brickell,
+radix-2 CSA) families across slice widths 8..128 and observes that "the
+relative superiority (in area and performance) of the Montgomery
+algorithm ... is consistent, and is significant" — justifying the
+generalized Algorithm issue.  We regenerate both series and assert that
+every Brickell point is dominated, with the separation factors the
+paper's axes imply.
+"""
+
+
+from repro.core import EvaluationSpace, dominates, render_scatter, render_table
+from repro.hw.synthesis import synthesize_sliced
+
+from conftest import emit
+
+EOL = 768
+WIDTHS = (8, 16, 32, 64, 128)
+
+
+def regenerate_fig9():
+    series = {}
+    for number in (2, 8):
+        for width in WIDTHS:
+            design = synthesize_sliced(number, width, EOL)
+            series[design.name] = (design.latency_ns, design.area)
+    return series
+
+
+def test_bench_fig9(benchmark):
+    series = benchmark(regenerate_fig9)
+
+    rows = [[name, round(delay), round(area)]
+            for name, (delay, area) in sorted(series.items())]
+    space = EvaluationSpace(("delay_ns", "area"))
+    from repro.core import EvaluationPoint
+    for name, coords in series.items():
+        space.add(EvaluationPoint(name, coords))
+    emit("Fig 9 — evaluation space, Brickell (#8) vs Montgomery (#2), "
+         "768-bit operands",
+         render_table(["design", "delay (ns)", "area"], rows)
+         + "\n\n" + render_scatter(space, width=56, height=14))
+
+    montgomery = {n: c for n, c in series.items() if n.startswith("#2")}
+    brickell = {n: c for n, c in series.items() if n.startswith("#8")}
+
+    # Shape criteria -----------------------------------------------------
+    # 1. Same-slicing Montgomery dominates its Brickell twin outright.
+    for width in WIDTHS:
+        m = series[f"#2_{width}"]
+        b = series[f"#8_{width}"]
+        assert dominates(m, b)
+
+    # 2. The separation is significant: >= 25% area, >= 25% delay on the
+    #    family bests (paper axes suggest ~1.5x area, ~1.4x delay).
+    best_m_delay = min(c[0] for c in montgomery.values())
+    best_b_delay = min(c[0] for c in brickell.values())
+    assert best_b_delay / best_m_delay > 1.25
+    best_m_area = min(c[1] for c in montgomery.values())
+    best_b_area = min(c[1] for c in brickell.values())
+    assert best_b_area / best_m_area > 1.25
+
+    # 3. No Brickell point reaches the Montgomery delay band at all —
+    #    the selection is coarse, not a fine-grained trade-off.
+    worst_m_delay = max(c[0] for c in montgomery.values())
+    assert best_b_delay > worst_m_delay
+
+    # 4. Area decreases with wider slices within each family (fewer
+    #    per-slice overheads), matching the figure's left-to-right drop.
+    for family in (montgomery, brickell):
+        areas = [family[name][1] for name in sorted(
+            family, key=lambda n: int(n.split("_")[1]))]
+        assert areas == sorted(areas, reverse=True)
+
+
+def test_bench_fig9_point(benchmark):
+    design = benchmark(synthesize_sliced, 2, 64, EOL)
+    assert design.eol == EOL

@@ -1,0 +1,96 @@
+"""E-PR — ablation: pruning effectiveness of the layer's mechanisms.
+
+The paper's core claim is that generalization hierarchies plus
+consistency constraints prune large design spaces *systematically*.
+This benchmark quantifies it on the crypto layer: cores surviving after
+each decision step, with and without consistency constraints, and the
+share of the pruning contributed by each mechanism (requirements,
+generalized descent, CC eliminations, issue filtering).
+"""
+
+
+from repro.core import ExplorationSession, render_table
+from repro.domains.crypto import build_crypto_layer
+from repro.domains.crypto import vocab as v
+
+from conftest import emit
+
+
+def pruning_trace(layer):
+    session = ExplorationSession(layer, v.OMM_PATH,
+                                 merit_metrics=("delay_us",))
+    trace = [("start", len(session.candidates()))]
+    session.set_requirement(v.EOL, 768)
+    session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    trace.append(("Req1/Req4 entered", len(session.candidates())))
+    session.set_requirement(v.LATENCY_US, 8.0)
+    trace.append(("Req5 (<= 8 us)", len(session.candidates())))
+    session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    trace.append(("DI1 = Hardware", len(session.candidates())))
+    session.decide(v.ALGORITHM, v.MONTGOMERY)
+    trace.append(("DI2 = Montgomery", len(session.candidates())))
+    session.decide(v.ADDER_IMPL, "Carry-Save")
+    trace.append(("DI7 adder = CSA", len(session.candidates())))
+    session.decide(v.SLICE_WIDTH, 64)
+    trace.append(("slice width = 64", len(session.candidates())))
+    return trace
+
+
+def test_bench_pruning_trace(benchmark, crypto_layer_768):
+    trace = benchmark(pruning_trace, crypto_layer_768)
+
+    rows = []
+    previous = trace[0][1]
+    for label, count in trace:
+        rows.append([label, count, f"{count / trace[0][1]:.0%}"])
+        previous = count
+    emit("Ablation — survivors after each exploration step "
+         "(50 cores total)", render_table(["step", "survivors", "of all"],
+                                          rows))
+
+    counts = [count for _label, count in trace]
+    # Monotone pruning, ending in a small short-list.
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] == 50
+    assert counts[-1] <= 3
+
+
+def test_bench_constraints_ablation(benchmark):
+    """Without CCs the designer can wander into dominated regions that
+    the full layer would have closed off."""
+
+    def build_both():
+        return (build_crypto_layer(768),
+                build_crypto_layer(768, include_constraints=False))
+
+    with_ccs, without_ccs = benchmark(build_both)
+
+    def montgomery_session(layer):
+        session = ExplorationSession(layer, v.OMM_PATH)
+        session.set_requirement(v.EOL, 768)
+        session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        return session
+
+    guarded = montgomery_session(with_ccs)
+    unguarded = montgomery_session(without_ccs)
+
+    # The unguarded layer lets the designer commit to CLA loop adders —
+    # a region whose best core is ~1.6x slower than the CSA region's.
+    unguarded.decide(v.ADDER_IMPL, "Carry-Look-Ahead")
+    cla_best = min(c.merit("delay_us") for c in unguarded.candidates())
+
+    guarded.decide(v.ADDER_IMPL, "Carry-Save")
+    csa_best = min(c.merit("delay_us") for c in guarded.candidates())
+
+    emit("Ablation — consistency constraints",
+         f"best delay in CC4-eliminated (CLA) region: {cla_best:.2f} us\n"
+         f"best delay in CC4-sanctioned (CSA) region: {csa_best:.2f} us\n"
+         f"penalty for ignoring CC4: {cla_best / csa_best:.2f}x")
+
+    assert cla_best / csa_best > 1.3
+    eliminated = {option for option, _reason in
+                  guarded.eliminations_for(v.ADDER_IMPL)}
+    assert eliminated == {"Carry-Look-Ahead", "Ripple-Carry"}
+    assert unguarded.eliminations_for(v.ADDER_IMPL) == []

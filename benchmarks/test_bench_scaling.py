@@ -1,0 +1,102 @@
+"""E-QY — ablation: layer scaling with library size.
+
+The paper claims the layer is "easily scalable" because it is
+compartmentalized into CDO hierarchies and indexes cores instead of
+storing them.  This benchmark measures the two hot operations —
+candidate filtering and option annotation — on synthetic libraries from
+100 to 5000 cores, and path resolution over a wide hierarchy.
+"""
+
+import pytest
+
+from repro.core import (
+    ClassOfDesignObjects,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    ExplorationSession,
+    IntRange,
+    Requirement,
+    RequirementSense,
+    ReuseLibrary,
+    parse_path,
+)
+
+from conftest import emit
+
+
+def synthetic_layer(num_cores: int, num_families: int = 8
+                    ) -> DesignSpaceLayer:
+    layer = DesignSpaceLayer("scale", f"synthetic layer, {num_cores} cores")
+    root = ClassOfDesignObjects("Block", "synthetic block family")
+    root.add_property(Requirement(
+        "Width", IntRange(1), "width", sense=RequirementSense.AT_LEAST_SUPPORT))
+    root.add_property(DesignIssue(
+        "Family", EnumDomain([f"f{i}" for i in range(num_families)]),
+        "family split", generalized=True))
+    layer.add_root(root)
+    for i in range(num_families):
+        child = root.specialize(f"f{i}")
+        child.add_property(DesignIssue(
+            "Variant", EnumDomain(["v0", "v1", "v2", "v3"]), "variant"))
+    library = ReuseLibrary("synthetic", "generated cores")
+    for i in range(num_cores):
+        family = i % num_families
+        library.add(DesignObject(
+            f"core{i}", f"Block.f{family}",
+            {"Variant": f"v{i % 4}", "Width": 8 << (i % 5)},
+            {"area": 100.0 + i, "latency_ns": 1.0 + (i % 97)}))
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+@pytest.fixture(scope="module")
+def big_layer():
+    return synthetic_layer(5000)
+
+
+def explore(layer):
+    session = ExplorationSession(layer, "Block")
+    session.set_requirement("Width", 16)
+    session.decide("Family", "f3")
+    # Cores in family f3 have index i % 8 == 3, hence variant v3.
+    session.decide("Variant", "v3")
+    return session.candidates(), session.fom_ranges()
+
+
+@pytest.mark.parametrize("num_cores", [100, 1000, 5000])
+def test_bench_exploration_scaling(benchmark, num_cores):
+    layer = synthetic_layer(num_cores)
+    candidates, ranges = benchmark(explore, layer)
+    emit(f"Scaling — full exploration over {num_cores} cores",
+         f"survivors: {len(candidates)}, ranges: {ranges}")
+    assert candidates
+    assert all(c.property_value("Variant") == "v3" for c in candidates)
+
+
+def test_bench_option_annotation(benchmark, big_layer):
+    """available_options re-prunes per option; the UI-facing hot path."""
+    session = ExplorationSession(big_layer, "Block")
+    session.decide("Family", "f0")
+    infos = benchmark(session.available_options, "Variant")
+    assert len(infos) == 4
+    assert sum(i.candidate_count for i in infos) == \
+        len(session.candidates())
+
+
+def test_bench_path_resolution(benchmark, big_layer):
+    cdos = big_layer.all_cdos()
+    path = parse_path("Variant@*.f5")
+
+    def resolve():
+        return path.resolve(cdos)
+
+    hits = benchmark(resolve)
+    assert len(hits) == 1
+
+
+def test_bench_layer_construction(benchmark):
+    layer = benchmark(synthetic_layer, 1000)
+    assert len(layer.libraries) == 1000

@@ -1,0 +1,100 @@
+"""Ablation — requirement sensitivity: where the spec's cliffs are.
+
+The paper's Req5 (latency <= 8 us) looks arbitrary until you sweep it:
+this bench maps candidate counts across latency bounds from 0.5 us to
+10 ms, locating the hardware/software crossover and the point at which
+the space empties — the quantified version of "the target performance
+ultimately dictates which implementations are suitable".
+
+Also sweeps DI5's layout styles as a second ablation: the style-physics
+model shifts the whole hardware family coherently.
+"""
+
+import pytest
+
+from repro.core import (
+    DesignSpaceLayer,
+    ExplorationSession,
+    ReuseLibrary,
+    render_table,
+    sweep_requirement,
+)
+from repro.domains.crypto import vocab as v
+from repro.domains.crypto.cores import hardware_cores
+from repro.domains.crypto.hierarchy import build_operator_hierarchy
+from repro.hw.floorplan import GATE_ARRAY, STANDARD_CELL
+
+from conftest import emit
+
+SWEEP_US = (0.5, 1.0, 1.3, 2.0, 4.0, 8.0, 100.0, 1200.0, 10000.0)
+
+
+def run_latency_sweep(layer):
+    session = ExplorationSession(
+        layer, v.OMM_PATH, merit_metrics=("delay_us",))
+    session.set_requirement(v.EOL, 768)
+    session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    return sweep_requirement(session, v.LATENCY_US, SWEEP_US,
+                             metrics=("delay_us",))
+
+
+def test_bench_latency_sensitivity(benchmark, crypto_layer_768):
+    report = benchmark(run_latency_sweep, crypto_layer_768)
+
+    rows = [[point.value, point.candidates,
+             point.best.get("delay_us", "-")] for point in report.points]
+    emit("Ablation — Req5 sensitivity at the OMM CDO (hardware and "
+         "software families both in play)",
+         render_table(["latency bound (us)", "candidates", "best (us)"],
+                      rows))
+
+    counts = {point.value: point.candidates for point in report.points}
+    # The space empties below ~1.3 us and saturates at 50 cores.
+    assert counts[0.5] == 0
+    assert counts[1.3] >= 1
+    assert counts[8.0] == 40          # the paper's bound: hardware only
+    assert counts[100.0] == 40        # still no software under 100 us
+    assert counts[1200.0] > 40        # ASM routines join
+    assert counts[10000.0] == 50      # everything
+    # Monotone non-decreasing curve.
+    ordered = [point.candidates for point in report.points]
+    assert ordered == sorted(ordered)
+
+
+def _layout_layer():
+    layer = DesignSpaceLayer("layout-ablation",
+                             "DI5 ablation layer (std-cell + gate-array)")
+    layer.add_root(build_operator_hierarchy())
+    library = ReuseLibrary("mixed", "both layout styles")
+    library.add_all(hardware_cores(
+        768, layout_styles=(STANDARD_CELL, GATE_ARRAY)))
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def test_bench_layout_style_ablation(benchmark):
+    layer = benchmark.pedantic(_layout_layer, rounds=1, iterations=1)
+
+    session = ExplorationSession(layer, v.OMM_H_PATH,
+                                 merit_metrics=("area", "latency_ns"))
+    infos = {info.option: info
+             for info in session.available_options(v.LAYOUT_STYLE)}
+    rows = []
+    for style in (STANDARD_CELL, GATE_ARRAY):
+        info = infos[style]
+        rows.append([style, info.candidate_count,
+                     round(info.ranges["latency_ns"][0]),
+                     round(info.ranges["area"][0])])
+    emit("Ablation — DI5 layout styles over the same 40 design points",
+         render_table(["style", "cores", "best latency (ns)",
+                       "best area"], rows))
+
+    std = infos[STANDARD_CELL]
+    ga = infos[GATE_ARRAY]
+    assert std.candidate_count == ga.candidate_count == 40
+    # Gate-array variants are uniformly slower and larger.
+    assert ga.ranges["latency_ns"][0] > std.ranges["latency_ns"][0]
+    assert ga.ranges["area"][0] > std.ranges["area"][0]
+    ratio = ga.ranges["latency_ns"][0] / std.ranges["latency_ns"][0]
+    assert ratio == pytest.approx(1.18, rel=0.01)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Conceptual design when no suitable cores exist (paper Secs 1, 5.2).
+
+"In some cases, directly reusable designs may not be available in the
+reuse libraries ... In such cases, the proposed design space layer still
+assists the designer in undertaking conceptual design, adequately
+supported by early estimation tools."
+
+Here the coprocessor needs a 2.0 us modular multiplication at 1536 bits
+— no library core meets it.  The layer then:
+
+1. reports the empty candidate set and the closest misses;
+2. ranks the algorithmic alternatives with CC3's BehaviorDelayEstimator;
+3. sweeps the Radix issue under CC2's latency formula to find the
+   radix meeting the cycle budget;
+4. hands the chosen design point to the synthesis flow, yielding a new
+   core that is verified functionally and fed back into the library.
+
+Run:  python examples/conceptual_design.py
+"""
+
+from repro.behavior import brickell_behavior, montgomery_behavior, pencil_behavior
+from repro.core import ExplorationSession, ReuseLibrary
+from repro.domains.crypto import build_crypto_layer, vocab as v
+from repro.domains.crypto.cores import hardware_core
+from repro.estimation import BehaviorDelayEstimator
+from repro.hw import CSA, MUX, DatapathSpec, MontgomeryMultiplierHW, synthesize
+
+
+EOL = 1536
+TARGET_US = 2.0
+
+
+def main() -> None:
+    layer = build_crypto_layer(eol=EOL)
+    session = ExplorationSession(
+        layer, v.OMM_PATH, merit_metrics=("area", "delay_us"))
+    session.set_requirement(v.EOL, EOL)
+    session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    session.set_requirement(v.LATENCY_US, TARGET_US)
+    session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    session.decide(v.ALGORITHM, v.MONTGOMERY)
+
+    survivors = session.candidates()
+    print(f"Requirement: one {EOL}-bit modular multiplication within "
+          f"{TARGET_US} us.")
+    print(f"Candidate cores meeting it: {len(survivors)}")
+
+    report = session.prune_report()
+    closest = sorted(
+        (core for core in layer.cores_under(session.current_cdo.qualified_name)
+         if core.has_merit("delay_us")),
+        key=lambda c: c.merit("delay_us"))[:3]
+    print("Closest misses:")
+    for core in closest:
+        print(f"  {core.name}: {core.merit('delay_us'):.2f} us "
+              f"({report.eliminated.get(core.name, 'survives other filters')})")
+
+    # ------------------------------------------------------------------
+    # 1. Rank algorithmic alternatives (CC3's estimator context).
+    # ------------------------------------------------------------------
+    estimator = BehaviorDelayEstimator(width_bits=EOL)
+    print("\nBehaviorDelayEstimator ranking of the algorithm-level "
+          "descriptions (gate levels, lower = better):")
+    for estimate in estimator.rank([montgomery_behavior(),
+                                    brickell_behavior(),
+                                    pencil_behavior()]):
+        print(f"  {estimate.behavior_name}: "
+              f"{estimate.max_combinational_delay:.0f}")
+
+    # ------------------------------------------------------------------
+    # 2. Sweep the radix under CC2's cycle formula.
+    # ------------------------------------------------------------------
+    print(f"\nCC2 sweep (L = 2*EOL/R + 1 cycles) against the "
+          f"{TARGET_US} us budget:")
+    chosen_radix = None
+    for radix in (2, 4, 8, 16):
+        spec = DatapathSpec(algorithm=v.MONTGOMERY, radix=radix,
+                            adder_style=CSA,
+                            multiplier_style=(MUX if radix > 2 else "N/A"),
+                            slice_width=64, num_slices=EOL // 64)
+        cycles = 2 * EOL // radix + 1
+        delay_us = spec.cycles(EOL) * spec.clock_ns() / 1000.0
+        verdict = "meets budget" if delay_us <= TARGET_US else "too slow"
+        print(f"  radix {radix:2d}: CC2 cycles {cycles:5d}, modelled "
+              f"delay {delay_us:.2f} us -> {verdict}")
+        if delay_us <= TARGET_US and chosen_radix is None:
+            chosen_radix = radix
+
+    if chosen_radix is None:
+        raise SystemExit("no radix meets the budget — widen the search")
+
+    # ------------------------------------------------------------------
+    # 3. Synthesize the new design point and verify it functionally.
+    # ------------------------------------------------------------------
+    spec = DatapathSpec(algorithm=v.MONTGOMERY, radix=chosen_radix,
+                        adder_style=CSA, multiplier_style=MUX,
+                        slice_width=64, num_slices=EOL // 64)
+    design = synthesize(spec, eol=EOL, name=f"custom_r{chosen_radix}_64")
+    print(f"\nSynthesized: {design.describe()}")
+
+    simulator = MontgomeryMultiplierHW(spec)
+    modulus = (1 << (EOL - 1)) | 12345 | 1
+    a, b = modulus - 7, modulus - 11
+    result = simulator.multiply_mod(a, b, modulus)
+    assert result.result == (a * b) % modulus
+    print(f"  functional check passed ({result.cycles} cycles for the "
+          f"conversion+multiply pass)")
+
+    # ------------------------------------------------------------------
+    # 4. Feed the new core back into a reuse library.
+    # ------------------------------------------------------------------
+    core = hardware_core(design, v.OMM_HM_PATH, design.name)
+    inhouse = ReuseLibrary("inhouse", "Cores produced by conceptual design")
+    inhouse.add(core)
+    layer.attach_library(inhouse)
+    session2_candidates = session.candidates()
+    print(f"\nLibrary extended; the exploration now finds "
+          f"{len(session2_candidates)} candidate(s): "
+          f"{[c.name for c in session2_candidates]}")
+    print(f"  {core.name}: {core.merit('delay_us'):.2f} us, "
+          f"area {core.merit('area'):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""DI7 and the coprocessor-to-multiplier transition (paper Sec 5.1.6
+and concluding remarks).
+
+"The behavioral description of any complex CDO can always be seen as a
+behavioral decomposition ... The exact same behavioral/structural
+decomposition mechanisms would have supported the transition between
+the conceptual design of the main architectural component (the
+coprocessor) and the conceptual design of its critical blocks."
+
+This example walks exactly that chain, three CDO levels deep:
+
+1. start at the *Exponentiator* CDO: its behavioral description's loop
+   multiplications decompose onto the Modular Multiplier CDO;
+2. explore the multiplier: implementation style, algorithm — and then
+   use DI7 again: the Montgomery loop's additions decompose onto the
+   Arithmetic Adder CDO;
+3. explore the adder, commit to Carry-Save, and write the conclusion
+   back up — where CC4 would have rejected anything else;
+4. serialize the layer and show the exploration works on the reloaded
+   copy (the layer is a durable artifact, not session state).
+
+Run:  python examples/decomposition_walkthrough.py
+"""
+
+import json
+
+from repro.core import ExplorationSession, layer_from_dict, layer_to_dict
+from repro.core.decomposition import plan_decomposition
+from repro.domains.crypto import build_crypto_layer
+from repro.domains.crypto import vocab as v
+
+
+def main() -> None:
+    layer = build_crypto_layer(eol=768)
+
+    # ------------------------------------------------------------------
+    # Level 1: the coprocessor (Exponentiator CDO).
+    # ------------------------------------------------------------------
+    exponentiator = ExplorationSession(
+        layer, v.OME_PATH, merit_metrics=("area", "delay_us"))
+    exponentiator.set_requirement(v.EOL, 768)
+    print(f"Exponentiator cores available: "
+          f"{[c.name for c in exponentiator.candidates()]}")
+    plan = plan_decomposition(exponentiator, v.DECOMPOSITION)
+    print("\nThe exponentiation loop decomposes onto (DI7):")
+    print(plan.describe())
+
+    # ------------------------------------------------------------------
+    # Level 2: the critical block — the modular multiplier.
+    # ------------------------------------------------------------------
+    task = next(t for t in plan.tasks if t.instance.symbol == "*")
+    multiplier = plan.open(task)
+    print(f"\nOpened sub-exploration at "
+          f"{multiplier.current_cdo.qualified_name} "
+          f"(EOL carried over: "
+          f"{multiplier.requirement_values[v.EOL]})")
+    multiplier.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    multiplier.set_requirement(v.LATENCY_US, 8.0)
+    multiplier.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    multiplier.decide(v.ALGORITHM, v.MONTGOMERY)
+    print(f"Multiplier exploration at "
+          f"{multiplier.current_cdo.qualified_name}: "
+          f"{len(multiplier.candidates())} candidates")
+
+    # ------------------------------------------------------------------
+    # Level 3: the multiplier's own critical operators — the loop adders.
+    # ------------------------------------------------------------------
+    inner_plan = plan_decomposition(multiplier, v.DECOMPOSITION,
+                                    lines=(4,))
+    adder_task = inner_plan.task("+@line4#0")
+    adder = inner_plan.open(adder_task,
+                            requirement_overrides={v.EOL: 64})
+    print(f"\nLoop-adder sub-exploration at "
+          f"{adder.current_cdo.qualified_name}; options:")
+    for info in adder.available_options("AdderStyle"):
+        print(f"  {info.option}: {info.candidate_count} macro-cells, "
+              f"{info.ranges}")
+    adder.decide("AdderStyle", "Carry-Save")
+    print(f"Adder family committed: "
+          f"{adder.current_cdo.qualified_name}")
+
+    # ------------------------------------------------------------------
+    # Fold the conclusion back up; CC4 guards the write-back.
+    # ------------------------------------------------------------------
+    inner_plan.write_back(adder_task, v.ADDER_IMPL)
+    print(f"\nWritten back: multiplier's {v.ADDER_IMPL} = "
+          f"{multiplier.decisions[v.ADDER_IMPL]!r}")
+    print(f"Multiplier survivors: "
+          f"{sorted(c.name for c in multiplier.candidates())}")
+
+    # ------------------------------------------------------------------
+    # The layer is a durable artifact: round-trip it through JSON and
+    # redo the top-level query on the loaded copy.
+    # ------------------------------------------------------------------
+    payload = json.dumps(layer_to_dict(layer))
+    loaded = layer_from_dict(json.loads(payload), lenient=True)
+    session = ExplorationSession(loaded, v.OMM_PATH,
+                                 merit_metrics=("delay_us",))
+    session.set_requirement(v.EOL, 768)
+    session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    print(f"\nSerialized layer: {len(payload)} bytes of JSON; reloaded "
+          f"copy explores {len(session.candidates())} hardware cores "
+          f"(constraints are code and re-register separately).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Power-aware exploration — the paper's Sec 6 work-in-progress thread.
+
+"So far we have mostly concentrated on performance vs area trade-offs.
+We are currently incorporating power consumption in our case studies."
+
+This example completes that thread: every hardware core carries a
+``power_mw`` figure of merit from the technology model, the session
+reports power ranges alongside area/latency, and the evaluation space
+is Pareto-analysed in three dimensions.  It also demonstrates the
+co-existing alternative hierarchy idea (Sec 6): the same cores explored
+with a latency budget vs a power budget lead to different families.
+
+Run:  python examples/power_aware_exploration.py
+"""
+
+from repro.core import EvaluationSpace, ExplorationSession
+from repro.domains.crypto import build_crypto_layer
+from repro.domains.crypto import vocab as v
+
+
+def explore(layer, latency_us, power_mw, label):
+    session = ExplorationSession(
+        layer, v.OMM_PATH,
+        merit_metrics=("area", "latency_ns", "power_mw"))
+    session.set_requirement(v.EOL, 768)
+    session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    session.set_requirement(v.LATENCY_US, latency_us)
+    session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    session.decide(v.ALGORITHM, v.MONTGOMERY)
+    survivors = [core for core in session.candidates()
+                 if core.merit("power_mw") <= power_mw]
+    print(f"\n{label}: latency <= {latency_us} us, power <= {power_mw} mW")
+    print(f"  survivors: {sorted(c.name for c in survivors)}")
+    if survivors:
+        ranges = {
+            metric: (round(lo, 1), round(hi, 1))
+            for metric, (lo, hi) in EvaluationSpace.from_designs(
+                survivors, ("area", "latency_ns", "power_mw")).ranges().items()
+        }
+        print(f"  ranges: {ranges}")
+    return survivors
+
+
+def main() -> None:
+    layer = build_crypto_layer(eol=768)
+
+    cores = layer.cores_under(v.OMM_HM_PATH)
+    space = EvaluationSpace.from_designs(
+        cores, ("latency_ns", "area", "power_mw"), skip_missing=True)
+    frontier = space.pareto_frontier()
+    print("3-D Pareto frontier (latency, area, power) over the "
+          f"{len(cores)} Montgomery cores:")
+    for point in frontier:
+        lat, area, power = point.coords
+        print(f"  {point.name}: {lat:7.0f} ns  {area:8.0f}  {power:6.1f} mW")
+
+    # Two different budgets lead to two different families — the reason
+    # the paper considers co-existing specialization hierarchies.
+    speed_first = explore(layer, latency_us=1.5, power_mw=1000.0,
+                          label="Speed-first exploration")
+    power_first = explore(layer, latency_us=8.0, power_mw=120.0,
+                          label="Power-first exploration")
+
+    speed_names = {c.name for c in speed_first}
+    power_names = {c.name for c in power_first}
+    print(f"\nOverlap between the two selections: "
+          f"{sorted(speed_names & power_names) or 'none'}")
+    print("Different budgets select different design-space regions — "
+          "the motivation for co-existing hierarchies (Sec 6).")
+
+
+if __name__ == "__main__":
+    main()

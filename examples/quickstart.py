@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Quickstart: build a design space layer from scratch and explore it.
+
+This walks the paper's core loop on a miniature FIR-filter domain:
+
+1. define classes of design objects with requirements and design issues;
+2. mark the issue that partitions achievable performance as generalized;
+3. attach a reuse library of cores indexed through the hierarchy;
+4. add a consistency constraint;
+5. explore: enter requirements, make decisions, watch the space prune.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    ClassOfDesignObjects,
+    ConsistencyConstraint,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    ExplorationSession,
+    InconsistentOptions,
+    IntRange,
+    RealRange,
+    Requirement,
+    RequirementSense,
+    ReuseLibrary,
+    render_hierarchy,
+)
+
+
+def build_layer() -> DesignSpaceLayer:
+    layer = DesignSpaceLayer(
+        "fir-demo", "Miniature design space layer for FIR filter blocks")
+
+    fir = ClassOfDesignObjects("FIR", "Finite impulse response filters")
+    fir.add_property(Requirement(
+        "Taps", IntRange(lo=2, hi=256),
+        "Number of filter taps the application needs",
+        sense=RequirementSense.AT_LEAST_SUPPORT))
+    fir.add_property(Requirement(
+        "ThroughputMsps", RealRange(lo=0.0, unit="Msps"),
+        "Required sample throughput",
+        sense=RequirementSense.MIN, unit="Msps"))
+    fir.add_property(DesignIssue(
+        "ImplementationStyle", EnumDomain(["Hardware", "Software"]),
+        "Hardware and software filters occupy disjoint throughput "
+        "ranges, so the issue is generalized", generalized=True))
+    layer.add_root(fir)
+
+    hw = fir.specialize("Hardware", doc="Hard FIR cores")
+    hw.add_property(DesignIssue(
+        "Structure", EnumDomain(["Direct-Form", "Transposed", "Systolic"]),
+        "Datapath structure of the filter"))
+    hw.add_property(DesignIssue(
+        "CoefficientWidth", EnumDomain([8, 12, 16]),
+        "Coefficient quantization in bits"))
+    fir.specialize("Software", doc="DSP software filters") \
+        .add_property(DesignIssue(
+            "Platform", EnumDomain(["DSP-C", "DSP-ASM"]),
+            "Software platform/toolchain"))
+
+    # A consistency relationship: systolic structures below 12-bit
+    # coefficients are not offered by any vendor flow in this demo.
+    layer.add_constraint(ConsistencyConstraint(
+        "CC-systolic-width",
+        "Systolic structures need at least 12-bit coefficients",
+        independents={"W": "CoefficientWidth@FIR.Hardware"},
+        dependents={"S": "Structure@FIR.Hardware"},
+        relation=InconsistentOptions(
+            lambda b: b["S"] == "Systolic" and b["W"] < 12,
+            "systolic structure requires CoefficientWidth >= 12",
+            requires=("W", "S"))))
+
+    library = ReuseLibrary("vendor-a", "Demo vendor core library")
+    library.add_all([
+        DesignObject("fir_df_16", "FIR.Hardware",
+                     {"Structure": "Direct-Form", "CoefficientWidth": 16,
+                      "Taps": 64},
+                     {"area": 21000, "latency_ns": 12, "ThroughputMsps": 83}),
+        DesignObject("fir_tr_12", "FIR.Hardware",
+                     {"Structure": "Transposed", "CoefficientWidth": 12,
+                      "Taps": 128},
+                     {"area": 17000, "latency_ns": 9, "ThroughputMsps": 111}),
+        DesignObject("fir_sy_16", "FIR.Hardware",
+                     {"Structure": "Systolic", "CoefficientWidth": 16,
+                      "Taps": 256},
+                     {"area": 34000, "latency_ns": 5, "ThroughputMsps": 200}),
+        DesignObject("fir_sw_asm", "FIR.Software",
+                     {"Platform": "DSP-ASM", "Taps": 64},
+                     {"ThroughputMsps": 6.5}),
+        DesignObject("fir_sw_c", "FIR.Software",
+                     {"Platform": "DSP-C", "Taps": 64},
+                     {"ThroughputMsps": 1.2}),
+    ])
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def main() -> None:
+    layer = build_layer()
+    print("The layer documents itself:\n")
+    print(render_hierarchy(layer.cdo("FIR"), show_properties=False))
+    print()
+
+    session = ExplorationSession(
+        layer, "FIR", merit_metrics=("area", "ThroughputMsps"))
+    session.set_requirement("Taps", 64)
+    session.set_requirement("ThroughputMsps", 50.0)
+
+    print("After entering requirements (64 taps, >= 50 Msps):")
+    for info in session.available_options("ImplementationStyle"):
+        print(f"  {info.option}: {info.candidate_count} candidate cores "
+              f"{info.ranges}")
+
+    session.decide("ImplementationStyle", "Hardware")
+    print(f"\nDecided Hardware -> now at {session.current_cdo.qualified_name}")
+    print(f"  survivors: {[c.name for c in session.candidates()]}")
+
+    session.decide("CoefficientWidth", 16)
+    print("\nDecided CoefficientWidth=16:")
+    print(f"  survivors: {[c.name for c in session.candidates()]}")
+
+    session.decide("Structure", "Systolic")
+    print("\nDecided Structure=Systolic:")
+    print(f"  survivors: {[c.name for c in session.candidates()]}")
+    print(f"  merit ranges: {session.fom_ranges()}")
+
+    print("\nWhat-if: revise the coefficient width to 8 "
+          "(violates the consistency constraint)...")
+    try:
+        session.revise("CoefficientWidth", 8)
+    except Exception as exc:
+        print(f"  rejected: {exc}")
+
+    print("\nFull session log:")
+    for line in session.log:
+        print(f"  - {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of "The Design Space Layer: Supporting Early
+Design Space Exploration for Core-Based Designs" (Peixoto, Jacome, Royo,
+Lopez — DATE 1999).
+
+Packages
+--------
+``repro.core``
+    The design space layer itself: classes of design objects, design
+    issues, consistency constraints, exploration sessions, reuse-library
+    indexing, evaluation-space analytics.
+``repro.behavior``
+    A small behavioral IR standing in for HDL descriptions, with
+    dataflow analysis and the ``oper(...)`` path selector.
+``repro.estimation``
+    Early estimation tools (delay/area/power) invoked through
+    consistency constraints.
+``repro.hw``
+    The hardware substrate: technology models, adder/multiplier
+    generators, sliced Montgomery/Brickell datapaths and an analytical
+    "synthesis" flow replacing the paper's commercial CAD tools.
+``repro.sw``
+    The software substrate: word-level Montgomery variants and a
+    Pentium-60-class CPU cost model replacing the paper's measured
+    routines.
+``repro.arith``
+    Integer-level reference algorithms (modular multiplication and
+    exponentiation, RSA) used as correctness oracles and application
+    drivers.
+``repro.domains``
+    Fully instantiated design space layers: the cryptography case study
+    of Sec 5 and the IDCT example of Sec 2.
+``repro.data``
+    Reference numbers transcribed from the paper for shape comparison.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (  # noqa: F401
+    ClassOfDesignObjects,
+    ConsistencyConstraint,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EvaluationSpace,
+    ExplorationSession,
+    Requirement,
+    ReuseLibrary,
+)

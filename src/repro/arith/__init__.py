@@ -1,0 +1,48 @@
+"""Integer-level reference arithmetic: modular multiplication and
+exponentiation algorithms, plus the RSA application driver."""
+
+from repro.arith.modexp import (
+    ModExpStats,
+    ModMul,
+    binary_modexp,
+    mary_modexp,
+    montgomery_modexp,
+)
+from repro.arith.modmul import (
+    ModMulError,
+    brickell_modmul,
+    digits_for,
+    montgomery_form,
+    montgomery_modmul,
+    montgomery_multiply,
+    pencil_modmul,
+)
+from repro.arith.workload import (
+    SignatureWorkload,
+    SimulatorBackend,
+    WorkloadResult,
+    make_signature_workload,
+    run_signature_workload,
+)
+from repro.arith.rsa import (
+    RsaError,
+    RsaKeyPair,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+    sign,
+    verify,
+)
+
+__all__ = [
+    "ModExpStats", "ModMul", "binary_modexp", "mary_modexp",
+    "montgomery_modexp",
+    "ModMulError", "brickell_modmul", "digits_for", "montgomery_form",
+    "montgomery_modmul", "montgomery_multiply", "pencil_modmul",
+    "RsaError", "RsaKeyPair", "decrypt", "encrypt", "generate_keypair",
+    "generate_prime", "is_probable_prime", "sign", "verify",
+    "SignatureWorkload", "SimulatorBackend", "WorkloadResult",
+    "make_signature_workload", "run_signature_workload",
+]

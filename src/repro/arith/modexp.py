@@ -1,0 +1,127 @@
+"""Modular exponentiation built on pluggable modular multipliers.
+
+The paper's application context is a modular exponentiation coprocessor
+for cryptography ([10]): ``M^E mod N`` on integers up to 2^1000, with
+modular multiplication as the basic operation.  This module provides the
+exponentiation schedules and accepts *any* modular-multiplier backend —
+the integer references, the hardware simulators, or the software
+routines — which is exactly the decomposition the layer's DI7 models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.arith.modmul import (
+    ModMulError,
+    digits_for,
+    montgomery_modmul,
+)
+
+#: A modular-multiplier backend: (a, b, modulus) -> a*b mod modulus.
+ModMul = Callable[[int, int, int], int]
+
+
+def _check(base: int, exponent: int, modulus: int) -> None:
+    if modulus < 2:
+        raise ModMulError(f"modulus must be >= 2, got {modulus}")
+    if exponent < 0:
+        raise ModMulError(f"exponent must be >= 0, got {exponent}")
+    if not 0 <= base < modulus:
+        raise ModMulError(f"base must satisfy 0 <= base < modulus")
+
+
+@dataclass
+class ModExpStats:
+    """Multiplication counts of one exponentiation — the quantity the
+    coprocessor's latency budget is written in."""
+
+    squarings: int = 0
+    multiplications: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.squarings + self.multiplications
+
+
+def binary_modexp(base: int, exponent: int, modulus: int,
+                  modmul: Optional[ModMul] = None,
+                  stats: Optional[ModExpStats] = None) -> int:
+    """Left-to-right square-and-multiply."""
+    _check(base, exponent, modulus)
+    mul: ModMul = modmul if modmul is not None else (
+        lambda a, b, m: (a * b) % m)
+    result = 1 % modulus
+    for i in range(exponent.bit_length() - 1, -1, -1):
+        result = mul(result, result, modulus)
+        if stats is not None:
+            stats.squarings += 1
+        if (exponent >> i) & 1:
+            result = mul(result, base, modulus)
+            if stats is not None:
+                stats.multiplications += 1
+    return result
+
+
+def mary_modexp(base: int, exponent: int, modulus: int, window_bits: int = 4,
+                modmul: Optional[ModMul] = None,
+                stats: Optional[ModExpStats] = None) -> int:
+    """m-ary (fixed window) exponentiation — fewer multiplications at the
+    cost of a table of ``2^window_bits`` precomputed powers."""
+    _check(base, exponent, modulus)
+    if not 1 <= window_bits <= 8:
+        raise ModMulError(f"window must be 1..8 bits, got {window_bits}")
+    mul: ModMul = modmul if modmul is not None else (
+        lambda a, b, m: (a * b) % m)
+    table = [1 % modulus, base]
+    for _ in range(2, 1 << window_bits):
+        table.append(mul(table[-1], base, modulus))
+        if stats is not None:
+            stats.multiplications += 1
+    result = 1 % modulus
+    bits = exponent.bit_length()
+    windows = -(-bits // window_bits) if bits else 0
+    for w in range(windows - 1, -1, -1):
+        for _ in range(window_bits):
+            result = mul(result, result, modulus)
+            if stats is not None:
+                stats.squarings += 1
+        digit = (exponent >> (w * window_bits)) & ((1 << window_bits) - 1)
+        if digit:
+            result = mul(result, table[digit], modulus)
+            if stats is not None:
+                stats.multiplications += 1
+    return result
+
+
+def montgomery_modexp(base: int, exponent: int, modulus: int,
+                      radix: int = 2,
+                      stats: Optional[ModExpStats] = None) -> int:
+    """Exponentiation entirely inside the Montgomery domain.
+
+    One conversion in, one conversion out, all inner products as raw
+    MonPro steps — the schedule the paper's coprocessor implements and
+    the reason Fig 6 plots the *loop* delay of the multiplier.
+    """
+    _check(base, exponent, modulus)
+    if modulus % 2 == 0:
+        raise ModMulError("Montgomery exponentiation needs an odd modulus")
+    n = digits_for(modulus, radix)
+    r_mod = pow(radix, n, modulus)
+
+    def monpro(a: int, b: int, m: int) -> int:
+        result, _digits = montgomery_modmul(a, b, m, radix)
+        return result
+
+    result_bar = r_mod % modulus           # 1 in Montgomery form
+    base_bar = (base * r_mod) % modulus
+    for i in range(exponent.bit_length() - 1, -1, -1):
+        result_bar = monpro(result_bar, result_bar, modulus)
+        if stats is not None:
+            stats.squarings += 1
+        if (exponent >> i) & 1:
+            result_bar = monpro(result_bar, base_bar, modulus)
+            if stats is not None:
+                stats.multiplications += 1
+    return monpro(result_bar, 1, modulus)

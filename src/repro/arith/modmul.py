@@ -1,0 +1,111 @@
+"""Integer-level reference modular multiplication algorithms.
+
+These are the mathematical definitions of the three algorithm options in
+the crypto layer's "Algorithm" design issue (paper Sec 5.1.1), used as
+correctness oracles for the hardware/software substrates and as the
+backend of :mod:`repro.arith.modexp`:
+
+* pencil-and-paper: full product, one reduction;
+* Brickell: MSB-first digit interleaving with per-step reduction;
+* Montgomery: LSB-first digit interleaving with quotient-driven exact
+  division by the radix (requires an odd modulus).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ReproError
+
+
+class ModMulError(ReproError):
+    """Invalid operands for a modular multiplication algorithm."""
+
+
+def _check(a: int, b: int, modulus: int, min_modulus: int = 2) -> None:
+    if modulus < min_modulus:
+        raise ModMulError(f"modulus must be >= {min_modulus}, got {modulus}")
+    if not (0 <= a < modulus and 0 <= b < modulus):
+        raise ModMulError(
+            f"operands must satisfy 0 <= a, b < m (a={a}, b={b}, m={modulus})")
+
+
+def _check_radix(radix: int) -> int:
+    if radix < 2 or radix & (radix - 1):
+        raise ModMulError(f"radix must be a power of two >= 2, got {radix}")
+    return int(math.log2(radix))
+
+
+def digits_for(modulus: int, radix: int) -> int:
+    """Digit count ``n`` with ``m < radix^n``."""
+    bits_per_digit = _check_radix(radix)
+    return max(1, -(-modulus.bit_length() // bits_per_digit))
+
+
+def pencil_modmul(a: int, b: int, modulus: int) -> int:
+    """Paper-and-pencil: full double-width product, then one reduction."""
+    _check(a, b, modulus)
+    return (a * b) % modulus
+
+
+def brickell_modmul(a: int, b: int, modulus: int, radix: int = 2) -> int:
+    """Brickell: most-significant-digit-first interleaving.
+
+    At each step the running residue is multiplied by the radix, a
+    partial product is added, and a bounded reduction brings it back
+    below the modulus.  Works for any modulus >= 2.
+    """
+    _check(a, b, modulus)
+    _check_radix(radix)
+    n = digits_for(modulus, radix)
+    residue = 0
+    for i in range(n - 1, -1, -1):
+        digit = (a // radix ** i) % radix
+        residue = residue * radix + digit * b
+        # Bounded reduction: residue < radix*m + radix*m before it.
+        quotient = residue // modulus
+        if quotient > 2 * radix:
+            raise ModMulError("reduction bound violated")  # pragma: no cover
+        residue -= quotient * modulus
+    return residue
+
+
+def montgomery_modmul(a: int, b: int, modulus: int, radix: int = 2
+                      ) -> Tuple[int, int]:
+    """Montgomery: least-significant-digit-first with exact division.
+
+    Returns ``(result, n)`` where ``result = a*b*radix^(-n) mod m`` and
+    ``n`` is the digit count used; callers needing a plain product use
+    :func:`montgomery_multiply`.
+    """
+    _check(a, b, modulus, min_modulus=3)
+    if modulus % 2 == 0:
+        raise ModMulError("Montgomery requires an odd modulus")
+    _check_radix(radix)
+    n = digits_for(modulus, radix)
+    minus_m_inv = pow(radix - modulus % radix, -1, radix)
+    residue = 0
+    for i in range(n):
+        digit = (a // radix ** i) % radix
+        residue += digit * b
+        quotient = (residue * minus_m_inv) % radix
+        residue = (residue + quotient * modulus) // radix
+    if residue >= modulus:
+        residue -= modulus
+    return residue, n
+
+
+def montgomery_multiply(a: int, b: int, modulus: int, radix: int = 2) -> int:
+    """Plain ``a*b mod m`` through Montgomery domain round trips."""
+    result, n = montgomery_modmul(a, b, modulus, radix)
+    correction = pow(radix, n, modulus)
+    return (result * correction) % modulus
+
+
+def montgomery_form(value: int, modulus: int, radix: int = 2) -> int:
+    """Map ``value`` into the Montgomery domain (``value * radix^n``)."""
+    if not 0 <= value < modulus:
+        raise ModMulError(f"value {value} out of range for modulus {modulus}")
+    n = digits_for(modulus, radix)
+    return (value * pow(radix, n, modulus)) % modulus

@@ -1,0 +1,138 @@
+"""RSA — the cryptography application driving the case study.
+
+The paper motivates modular exponentiation via "digital signature and
+public key encryption" (its refs [9]/[10]).  This module provides a
+small, self-contained RSA implementation — key generation with
+Miller-Rabin primality testing, raw encrypt/decrypt/sign/verify — whose
+exponentiations run on any modular-multiplier backend.  The examples use
+it to show an end-to-end workload executing on a core selected through
+the design space layer.
+
+Raw (textbook) RSA only: no padding — it exercises the arithmetic
+substrate; it is not a secure cryptosystem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arith.modexp import ModExpStats, ModMul, binary_modexp
+from repro.errors import ReproError
+
+
+class RsaError(ReproError):
+    """Key generation or usage failure."""
+
+
+def is_probable_prime(candidate: int, rounds: int = 24,
+                      rng: Optional[random.Random] = None) -> bool:
+    """Miller-Rabin primality test."""
+    if candidate < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if candidate % small == 0:
+            return candidate == small
+    rng = rng or random.Random()
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """A random probable prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise RsaError(f"prime size must be >= 8 bits, got {bits}")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair (textbook form)."""
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+    bits: int
+
+    def describe(self) -> str:
+        return (f"RSA-{self.bits}: N has {self.modulus.bit_length()} bits, "
+                f"e={self.public_exponent}")
+
+
+def generate_keypair(bits: int = 512, public_exponent: int = 65537,
+                     seed: Optional[int] = None) -> RsaKeyPair:
+    """Generate a key pair; ``seed`` makes generation reproducible."""
+    if bits < 32 or bits % 2:
+        raise RsaError(f"key size must be an even number >= 32, got {bits}")
+    rng = random.Random(seed)
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        modulus = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % public_exponent == 0:
+            continue
+        try:
+            private_exponent = pow(public_exponent, -1, phi)
+        except ValueError:
+            continue
+        # The crypto layer's Req4 relies on the modulus being odd.
+        assert modulus % 2 == 1
+        return RsaKeyPair(modulus, public_exponent, private_exponent, bits)
+
+
+def encrypt(message: int, key: RsaKeyPair,
+            modmul: Optional[ModMul] = None,
+            stats: Optional[ModExpStats] = None) -> int:
+    """Raw RSA public operation ``message^e mod N``."""
+    if not 0 <= message < key.modulus:
+        raise RsaError("message must satisfy 0 <= m < N")
+    return binary_modexp(message, key.public_exponent, key.modulus,
+                         modmul, stats)
+
+
+def decrypt(ciphertext: int, key: RsaKeyPair,
+            modmul: Optional[ModMul] = None,
+            stats: Optional[ModExpStats] = None) -> int:
+    """Raw RSA private operation ``c^d mod N``."""
+    if not 0 <= ciphertext < key.modulus:
+        raise RsaError("ciphertext must satisfy 0 <= c < N")
+    return binary_modexp(ciphertext, key.private_exponent, key.modulus,
+                         modmul, stats)
+
+
+def sign(digest: int, key: RsaKeyPair,
+         modmul: Optional[ModMul] = None,
+         stats: Optional[ModExpStats] = None) -> int:
+    """Raw RSA signature (private operation on a digest value)."""
+    return decrypt(digest, key, modmul, stats)
+
+
+def verify(digest: int, signature: int, key: RsaKeyPair,
+           modmul: Optional[ModMul] = None) -> bool:
+    """Check a raw signature against its digest."""
+    if not 0 <= signature < key.modulus:
+        raise RsaError("signature must satisfy 0 <= s < N")
+    return encrypt(signature, key, modmul) == digest

@@ -1,0 +1,133 @@
+"""Application workloads for the cryptography case study.
+
+The paper motivates the whole exercise with "digital signature and
+public key encryption" applications.  This module generates such
+workloads — batches of signature/verify operations — and drives them
+through any modular-multiplier backend (integer reference, hardware
+simulator, software routine), reporting the operation counts and, when
+the backend exposes cycle costs, the accumulated datapath cycles.
+
+Used by the throughput benchmark to show that the core the layer
+selects for the 8 us/multiplication budget also wins on an end-to-end
+signing workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.arith.modexp import ModExpStats, ModMul
+from repro.arith.rsa import RsaKeyPair, generate_keypair, sign, verify
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SignatureWorkload:
+    """A batch of digests to sign with one key."""
+
+    key: RsaKeyPair
+    digests: Sequence[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.digests)
+
+
+def make_signature_workload(messages: int = 4, key_bits: int = 256,
+                            seed: int = 0) -> SignatureWorkload:
+    """Reproducible signing workload (key + random digests)."""
+    if messages < 1:
+        raise ReproError(f"workload needs >= 1 message, got {messages}")
+    key = generate_keypair(bits=key_bits, seed=seed)
+    rng = random.Random(seed + 1)
+    digests = tuple(rng.randrange(1, key.modulus)
+                    for _ in range(messages))
+    return SignatureWorkload(key, digests)
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running a workload on one backend."""
+
+    backend: str
+    signatures: int
+    modular_multiplications: int
+    datapath_cycles: int
+    verified: bool
+
+    def cycles_per_signature(self) -> float:
+        if not self.signatures:
+            return 0.0
+        return self.datapath_cycles / self.signatures
+
+    def describe(self) -> str:
+        cycles = (f", {self.datapath_cycles} cycles"
+                  if self.datapath_cycles else "")
+        return (f"{self.backend}: {self.signatures} signature(s), "
+                f"{self.modular_multiplications} modmuls{cycles}, "
+                f"verified={self.verified}")
+
+
+#: A backend is a modmul plus an optional per-call cycle reader.
+CycleReader = Callable[[], int]
+
+
+def run_signature_workload(workload: SignatureWorkload,
+                           modmul: ModMul,
+                           backend_name: str = "reference",
+                           cycle_reader: Optional[CycleReader] = None
+                           ) -> WorkloadResult:
+    """Sign every digest through ``modmul`` and verify the results.
+
+    ``cycle_reader`` (when given) is sampled before and after the run;
+    hardware-simulator backends expose their accumulated cycle counter
+    through it.
+    """
+    start_cycles = cycle_reader() if cycle_reader else 0
+    stats = ModExpStats()
+    all_verified = True
+    for digest in workload.digests:
+        signature = sign(digest, workload.key, modmul=modmul, stats=stats)
+        if not verify(digest, signature, workload.key):
+            all_verified = False
+    end_cycles = cycle_reader() if cycle_reader else 0
+    return WorkloadResult(
+        backend=backend_name,
+        signatures=workload.size,
+        modular_multiplications=stats.total,
+        datapath_cycles=end_cycles - start_cycles,
+        verified=all_verified,
+    )
+
+
+class SimulatorBackend:
+    """Adapts a hardware multiplier simulator into a counting backend.
+
+    Works with any object exposing ``multiply_mod(a, b, m)`` returning a
+    result with ``.result`` and ``.cycles`` —
+    :class:`~repro.hw.montgomery_hw.MontgomeryMultiplierHW` does, and
+    Brickell simulators adapt via :meth:`from_brickell`.
+    """
+
+    def __init__(self, simulator, name: str):
+        self._simulator = simulator
+        self.name = name
+        self.cycles = 0
+
+    def modmul(self, a: int, b: int, modulus: int) -> int:
+        run = self._simulator.multiply_mod(a, b, modulus)
+        self.cycles += run.cycles
+        return run.result
+
+    def cycle_reader(self) -> int:
+        return self.cycles
+
+    @classmethod
+    def from_brickell(cls, simulator, name: str) -> "SimulatorBackend":
+        class _Wrapper:
+            def multiply_mod(self, a, b, m, _sim=simulator):
+                return _sim.simulate(a, b, m)
+
+        return cls(_Wrapper(), name)

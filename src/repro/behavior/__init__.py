@@ -1,0 +1,64 @@
+"""Behavioral descriptions: IR, interpreter, dataflow analysis, selectors."""
+
+from repro.behavior.dfg import (
+    DataflowGraph,
+    DfgNode,
+    trip_count,
+    weighted_op_counts,
+)
+from repro.behavior.interp import (
+    DEFAULT_BUILTINS,
+    Interpreter,
+    digit,
+    eval_expr,
+    inv_mod,
+    run_behavior,
+)
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    If,
+    OperatorInstance,
+    Stmt,
+    Var,
+)
+from repro.behavior.listings import (
+    brickell_behavior,
+    modexp_behavior,
+    montgomery_behavior,
+    pencil_behavior,
+)
+from repro.behavior.parser import parse_behavior, parse_expression
+from repro.behavior.operators import (
+    OperatorSelection,
+    oper_selector,
+    register_selectors,
+)
+from repro.behavior.serialize import (
+    behavior_from_dict,
+    behavior_to_dict,
+    expr_from_dict,
+    expr_to_dict,
+    stmt_from_dict,
+    stmt_to_dict,
+)
+
+__all__ = [
+    "Assign", "Behavior", "BehaviorError", "BinOp", "Call", "Const", "Expr",
+    "For", "If", "OperatorInstance", "Stmt", "Var",
+    "DEFAULT_BUILTINS", "Interpreter", "digit", "eval_expr", "inv_mod",
+    "run_behavior",
+    "DataflowGraph", "DfgNode", "trip_count", "weighted_op_counts",
+    "OperatorSelection", "oper_selector", "register_selectors",
+    "brickell_behavior", "modexp_behavior", "montgomery_behavior",
+    "pencil_behavior",
+    "behavior_from_dict", "behavior_to_dict", "expr_from_dict",
+    "expr_to_dict", "stmt_from_dict", "stmt_to_dict",
+    "parse_behavior", "parse_expression",
+]

@@ -1,0 +1,225 @@
+"""Dataflow analysis over behavioral descriptions.
+
+The early delay estimator of CC3 ranks alternative algorithm-level
+descriptions by *maximum combinational delay* — the longest operator
+chain in one evaluation of the description — and the software cost model
+needs *dynamic operation counts* (static counts weighted by loop trip
+counts).  Both analyses live here.
+
+The dataflow graph is built over a single pass of the listing: loop
+bodies contribute one iteration (the combinational path of the datapath
+a synthesizer would build), and both branches of an ``IF`` are walked
+sequentially, which conservatively over-approximates the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.behavior.interp import eval_expr
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    If,
+    Stmt,
+    Var,
+)
+
+#: Maps an operator symbol to its delay contribution (arbitrary units or ns).
+DelayModel = Callable[[str], float]
+
+
+@dataclass
+class DfgNode:
+    """One operation (or source value) in the dataflow graph."""
+
+    node_id: int
+    symbol: str          # operator symbol, or "source" for graph inputs
+    line: int            # listing line (0 for sources)
+    preds: List[int] = field(default_factory=list)
+    expr: Optional[Expr] = None  # owning expression (None for sources)
+
+
+class DataflowGraph:
+    """Operator-level dataflow graph of one pass of a behavior."""
+
+    def __init__(self) -> None:
+        self.nodes: List[DfgNode] = []
+        self._var_def: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_behavior(cls, behavior: Behavior) -> "DataflowGraph":
+        graph = cls()
+        for stmt in behavior.statements:
+            graph._add_stmt(stmt)
+        return graph
+
+    def _new_node(self, symbol: str, line: int, preds: Sequence[int],
+                  expr: Optional[Expr] = None) -> int:
+        node = DfgNode(len(self.nodes), symbol, line, list(preds), expr)
+        self.nodes.append(node)
+        return node.node_id
+
+    def _source_for(self, name: str) -> int:
+        if name not in self._var_def:
+            self._var_def[name] = self._new_node("source", 0, ())
+        return self._var_def[name]
+
+    def _add_expr(self, expr: Expr, line: int) -> int:
+        if isinstance(expr, Const):
+            return self._new_node("source", 0, ())
+        if isinstance(expr, Var):
+            return self._source_for(expr.name)
+        if isinstance(expr, BinOp):
+            left = self._add_expr(expr.left, line)
+            right = self._add_expr(expr.right, line)
+            return self._new_node(expr.op, line, (left, right), expr)
+        if isinstance(expr, Call):
+            args = [self._add_expr(a, line) for a in expr.args]
+            return self._new_node(expr.name, line, args, expr)
+        raise BehaviorError(f"unknown expression type {type(expr).__name__}")
+
+    def _add_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            root = self._add_expr(stmt.expr, stmt.line)
+            target = stmt.target
+            if stmt.target_index is not None:
+                # Digit-indexed defs merge into the base variable: a later
+                # read of the variable depends on the digit write.
+                self._add_expr(stmt.target_index, stmt.line)
+            self._var_def[target] = root
+        elif isinstance(stmt, For):
+            self._add_expr(stmt.start, stmt.line)
+            self._add_expr(stmt.stop, stmt.line)
+            for inner in stmt.body:
+                self._add_stmt(inner)
+        elif isinstance(stmt, If):
+            self._add_expr(stmt.cond, stmt.line)
+            for inner in stmt.then + stmt.orelse:
+                self._add_stmt(inner)
+        else:
+            raise BehaviorError(f"unknown statement type {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    def critical_path(self, delay: DelayModel
+                      ) -> Tuple[float, List[DfgNode]]:
+        """Longest delay-weighted path under a per-symbol delay model."""
+        return self.critical_path_nodes(lambda node: delay(node.symbol))
+
+    def critical_path_nodes(self, node_delay: Callable[["DfgNode"], float]
+                            ) -> Tuple[float, List[DfgNode]]:
+        """Longest delay-weighted path; returns (delay, node chain).
+
+        ``node_delay`` sees the full node (symbol plus owning expression)
+        so callers can cost operations width-sensitively.  Sources
+        contribute zero delay.  The graph is a DAG by construction
+        (nodes only reference earlier nodes).
+        """
+        finish: List[float] = []
+        best_pred: List[Optional[int]] = []
+        for node in self.nodes:
+            arrive = max((finish[p] for p in node.preds), default=0.0)
+            own = 0.0 if node.symbol == "source" else float(node_delay(node))
+            finish.append(arrive + own)
+            if node.preds:
+                best_pred.append(max(node.preds, key=lambda p: finish[p]))
+            else:
+                best_pred.append(None)
+        if not self.nodes:
+            return 0.0, []
+        end = max(range(len(self.nodes)), key=lambda i: finish[i])
+        chain: List[DfgNode] = []
+        cursor: Optional[int] = end
+        while cursor is not None:
+            chain.append(self.nodes[cursor])
+            cursor = best_pred[cursor]
+        chain.reverse()
+        return finish[end], chain
+
+    def op_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            if node.symbol != "source":
+                counts[node.symbol] = counts.get(node.symbol, 0) + 1
+        return counts
+
+
+def trip_count(stmt: For, params: Mapping[str, int]) -> int:
+    """Iterations of a FOR loop under the given parameter binding."""
+    try:
+        start = eval_expr(stmt.start, params)
+        stop = eval_expr(stmt.stop, params)
+    except BehaviorError as exc:
+        raise BehaviorError(
+            f"loop at line {stmt.line}: cannot evaluate bounds with "
+            f"params {sorted(params)}: {exc}") from exc
+    return max(0, stop - start + 1)
+
+
+def weighted_op_counts(behavior: Behavior, params: Mapping[str, int]
+                       ) -> Dict[str, int]:
+    """Dynamic operation counts: static counts weighted by loop trips.
+
+    ``params`` binds the symbolic loop-bound variables (e.g. ``n``).
+    ``IF`` branches are counted on their worst-case side (the larger
+    branch), matching the estimator's pessimistic contract.
+    """
+    counts: Dict[str, int] = {}
+
+    def add_expr(expr: Expr, weight: int) -> None:
+        for node in expr.walk():
+            symbol = None
+            if isinstance(node, BinOp):
+                symbol = node.op
+            elif isinstance(node, Call):
+                symbol = node.name
+            if symbol is not None:
+                counts[symbol] = counts.get(symbol, 0) + weight
+
+    def visit(stmts: Sequence[Stmt], weight: int) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                for root in stmt.expressions():
+                    add_expr(root, weight)
+            elif isinstance(stmt, For):
+                add_expr(stmt.start, weight)
+                add_expr(stmt.stop, weight)
+                trips = trip_count(stmt, params)
+                visit(stmt.body, weight * trips)
+            elif isinstance(stmt, If):
+                add_expr(stmt.cond, weight)
+
+                def branch_cost(branch: Sequence[Stmt]) -> Dict[str, int]:
+                    saved = dict(counts)
+                    counts.clear()
+                    counts.update({})
+                    visit(branch, weight)
+                    cost = dict(counts)
+                    counts.clear()
+                    counts.update(saved)
+                    return cost
+
+                then_cost = branch_cost(stmt.then)
+                else_cost = branch_cost(stmt.orelse)
+                worst = then_cost if sum(then_cost.values()) >= sum(else_cost.values()) \
+                    else else_cost
+                for symbol, n in worst.items():
+                    counts[symbol] = counts.get(symbol, 0) + n
+            else:
+                raise BehaviorError(
+                    f"unknown statement type {type(stmt).__name__}")
+
+    visit(behavior.statements, 1)
+    return counts

@@ -1,0 +1,185 @@
+"""An interpreter for the behavioral IR.
+
+Executing behavioral descriptions is what lets the reproduction *test*
+that the Fig 10 Montgomery listing, the Brickell listing, and the
+pencil-and-paper listing all compute correct modular products — the
+descriptions attached to CDOs are live algorithms, not decoration.
+
+Digit-indexed variables (``Ai``, ``Qi``, ``R0``) are modelled with the
+``digit``/``set_digit`` helpers over plain integers in a given radix, so
+the interpreter needs no special array machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    If,
+    Stmt,
+    Var,
+)
+
+
+def _floor_div(a: int, b: int) -> int:
+    if b == 0:
+        raise BehaviorError("division by zero in behavior")
+    return a // b
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise BehaviorError("modulo by zero in behavior")
+    return a % b
+
+
+_BINARY_SEMANTICS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "div": _floor_div,
+    "mod": _mod,
+    ">": lambda a, b: int(a > b),
+    "<": lambda a, b: int(a < b),
+    ">=": lambda a, b: int(a >= b),
+    "<=": lambda a, b: int(a <= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+
+def digit(value: int, index: int, radix: int) -> int:
+    """The ``index``-th base-``radix`` digit of ``value`` (0 = least
+    significant)."""
+    if radix < 2:
+        raise BehaviorError(f"radix must be >= 2, got {radix}")
+    if index < 0:
+        raise BehaviorError(f"digit index must be >= 0, got {index}")
+    return (value // radix ** index) % radix
+
+
+def inv_mod(value: int, modulus: int) -> int:
+    """Multiplicative inverse of ``value`` mod ``modulus`` (helper used by
+    line 4 of the Montgomery listing)."""
+    try:
+        return pow(value, -1, modulus)
+    except ValueError:
+        raise BehaviorError(
+            f"{value} has no inverse modulo {modulus}") from None
+
+
+#: Helpers callable from behaviors via :class:`~repro.behavior.ir.Call`.
+DEFAULT_BUILTINS: Dict[str, Callable[..., int]] = {
+    "digit": digit,
+    "inv_mod": inv_mod,
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+class Interpreter:
+    """Evaluates a :class:`Behavior` over integer environments."""
+
+    def __init__(self, builtins: Optional[Mapping[str, Callable[..., int]]] = None,
+                 max_loop_iterations: int = 1_000_000):
+        self.builtins = dict(DEFAULT_BUILTINS)
+        if builtins:
+            self.builtins.update(builtins)
+        self.max_loop_iterations = max_loop_iterations
+        #: Dynamic operation counts from the last run, by symbol.
+        self.op_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, behavior: Behavior, env: Mapping[str, int]
+            ) -> Dict[str, int]:
+        """Execute and return the final environment.
+
+        ``env`` must bind every declared input; missing bindings are a
+        caller error, surfaced immediately rather than mid-run.
+        """
+        missing = [name for name in behavior.inputs if name not in env]
+        if missing:
+            raise BehaviorError(
+                f"behavior {behavior.name!r}: unbound inputs {missing}")
+        self.op_counts = {}
+        state: Dict[str, int] = dict(env)
+        for stmt in behavior.statements:
+            self._exec(stmt, state)
+        return state
+
+    # ------------------------------------------------------------------
+    def _exec(self, stmt: Stmt, state: Dict[str, int]) -> None:
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.expr, state)
+            if stmt.target_index is not None:
+                # Digit-indexed target: store under "<name>[<i>]".
+                index = self._eval(stmt.target_index, state)
+                state[f"{stmt.target}[{index}]"] = value
+            else:
+                state[stmt.target] = value
+        elif isinstance(stmt, For):
+            start = self._eval(stmt.start, state)
+            stop = self._eval(stmt.stop, state)
+            if stop - start + 1 > self.max_loop_iterations:
+                raise BehaviorError(
+                    f"loop at line {stmt.line} exceeds "
+                    f"{self.max_loop_iterations} iterations")
+            for i in range(start, stop + 1):
+                state[stmt.var] = i
+                for inner in stmt.body:
+                    self._exec(inner, state)
+        elif isinstance(stmt, If):
+            branch = stmt.then if self._eval(stmt.cond, state) else stmt.orelse
+            for inner in branch:
+                self._exec(inner, state)
+        else:
+            raise BehaviorError(f"unknown statement type {type(stmt).__name__}")
+
+    def _eval(self, expr: Expr, state: Mapping[str, int]) -> int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return state[expr.name]
+            except KeyError:
+                raise BehaviorError(
+                    f"unbound variable {expr.name!r}") from None
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, state)
+            right = self._eval(expr.right, state)
+            self.op_counts[expr.op] = self.op_counts.get(expr.op, 0) + 1
+            return _BINARY_SEMANTICS[expr.op](left, right)
+        if isinstance(expr, Call):
+            args = [self._eval(a, state) for a in expr.args]
+            self.op_counts[expr.name] = self.op_counts.get(expr.name, 0) + 1
+            try:
+                fn = self.builtins[expr.name]
+            except KeyError:
+                raise BehaviorError(f"unknown helper {expr.name!r}") from None
+            return fn(*args)
+        raise BehaviorError(f"unknown expression type {type(expr).__name__}")
+
+
+def run_behavior(behavior: Behavior, **env: int) -> Dict[str, int]:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter().run(behavior, env)
+
+
+def eval_expr(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate a bare expression over an environment (used for loop
+    bounds in trip-count analysis)."""
+    return Interpreter()._eval(expr, env)

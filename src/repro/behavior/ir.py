@@ -1,0 +1,317 @@
+"""A small behavioral IR standing in for HDL behavioral descriptions.
+
+The paper attaches behavioral descriptions (VHDL/Verilog at the algorithm
+level) to CDOs — Fig 10 shows the Montgomery algorithm as a numbered
+listing whose operator instances are addressed from consistency
+constraints (``oper(+,line:3)``).  We model such listings with a tiny
+structured IR:
+
+* expressions: variables, constants, binary operations, and calls to
+  named helper functions (digit extraction, modular inverse, ...);
+* statements: assignments, counted ``FOR`` loops and ``IF``s, each tagged
+  with the listing line number;
+* a :class:`Behavior` wrapping the statements plus interface metadata
+  (operand/result coding, the "problem givens" of Fig 8).
+
+The IR is executable (:mod:`repro.behavior.interp`), analyzable as a
+dataflow graph (:mod:`repro.behavior.dfg`) and addressable from property
+paths (:mod:`repro.behavior.operators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Binary operator symbols understood by the interpreter and estimators.
+BINARY_OPS = ("+", "-", "*", "div", "mod", ">", "<", ">=", "<=", "==", "!=",
+              "<<", ">>", "&", "|", "^")
+
+
+class BehaviorError(ReproError):
+    """Malformed IR or failed IR operation."""
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base expression node."""
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.render()}>"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable reference."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def render(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation, the unit of the paper's operator addressing."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise BehaviorError(f"unknown binary operator {self.op!r}")
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a named helper (``digit(A, i)``, ``inv_mod(x, r)``).
+
+    Helpers are also operator instances from the layer's point of view —
+    a ``digit`` call is a selection network, an ``inv_mod`` a lookup or
+    iterative unit — so :mod:`repro.behavior.operators` extracts them
+    alongside :class:`BinOp` nodes.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
+
+    def render(self) -> str:
+        return f"{self.name}({', '.join(a.render() for a in self.args)})"
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class Stmt:
+    """Base statement node; ``line`` is the listing line number."""
+
+    line: int
+
+    def walk(self) -> Iterator["Stmt"]:
+        yield self
+
+    def expressions(self) -> Iterator[Expr]:
+        """All expression roots directly owned by this statement."""
+        return iter(())
+
+    def render(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class Assign(Stmt):
+    """``target := expr``; ``target_index`` models subscripted targets
+    like ``Qi`` (digit i of Q)."""
+
+    target: str
+    expr: Expr
+    line: int
+    target_index: Optional[Expr] = None
+
+    def expressions(self) -> Iterator[Expr]:
+        yield self.expr
+        if self.target_index is not None:
+            yield self.target_index
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        sub = f"[{self.target_index.render()}]" if self.target_index is not None else ""
+        return f"{pad}{self.line}: {self.target}{sub} := {self.expr.render()}"
+
+
+@dataclass
+class For(Stmt):
+    """``FOR var = start TO stop`` (inclusive bounds, step 1)."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: List[Stmt]
+    line: int
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        for stmt in self.body:
+            yield from stmt.walk()
+
+    def expressions(self) -> Iterator[Expr]:
+        yield self.start
+        yield self.stop
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = (f"{pad}{self.line}: FOR {self.var} = "
+                f"{self.start.render()} TO {self.stop.render()}")
+        body = "\n".join(stmt.render(indent + 1) for stmt in self.body)
+        return f"{head}\n{body}"
+
+
+@dataclass
+class If(Stmt):
+    """``IF cond THEN ... [ELSE ...]``."""
+
+    cond: Expr
+    then: List[Stmt]
+    line: int
+    orelse: List[Stmt] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        for stmt in self.then:
+            yield from stmt.walk()
+        for stmt in self.orelse:
+            yield from stmt.walk()
+
+    def expressions(self) -> Iterator[Expr]:
+        yield self.cond
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.line}: IF {self.cond.render()} THEN"]
+        lines += [stmt.render(indent + 1) for stmt in self.then]
+        if self.orelse:
+            lines.append(f"{pad}ELSE")
+            lines += [stmt.render(indent + 1) for stmt in self.orelse]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# behaviour
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OperatorInstance:
+    """One operator occurrence inside a behavior.
+
+    ``symbol`` is the operation (``+``, ``*``, ``div`` or a helper name),
+    ``line`` the listing line it appears on, ``ordinal`` its 0-based
+    occurrence index within that line (expressions may repeat an op), and
+    ``expr`` the owning expression node.
+    """
+
+    symbol: str
+    line: int
+    ordinal: int
+    expr: Expr
+
+    def render(self) -> str:
+        return f"oper({self.symbol},line:{self.line})#{self.ordinal}"
+
+
+class Behavior:
+    """A named behavioral description at the algorithm level.
+
+    ``inputs``/``outputs`` document the interface; ``codings`` records
+    the coding type assumed for each interface value — the paper points
+    out this establishes the possible need for conversions against the
+    application's requirements (Sec 5.1.6).
+    """
+
+    def __init__(self, name: str, statements: Sequence[Stmt],
+                 inputs: Sequence[str] = (), outputs: Sequence[str] = (),
+                 codings: Optional[Dict[str, str]] = None,
+                 doc: str = ""):
+        if not name:
+            raise BehaviorError("behavior name must be non-empty")
+        self.name = name
+        self.statements = list(statements)
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.codings = dict(codings or {})
+        self.doc = doc
+        self._check_lines()
+
+    def _check_lines(self) -> None:
+        seen: Dict[int, Stmt] = {}
+        for stmt in self.walk():
+            if stmt.line in seen:
+                raise BehaviorError(
+                    f"behavior {self.name!r}: duplicate line number {stmt.line}")
+            seen[stmt.line] = stmt
+        self._by_line = seen
+
+    def walk(self) -> Iterator[Stmt]:
+        for stmt in self.statements:
+            yield from stmt.walk()
+
+    def statement_at(self, line: int) -> Stmt:
+        try:
+            return self._by_line[line]
+        except KeyError:
+            raise BehaviorError(
+                f"behavior {self.name!r} has no line {line}") from None
+
+    def operators(self) -> List[OperatorInstance]:
+        """All operator instances, listing order, with per-line ordinals."""
+        out: List[OperatorInstance] = []
+        counts: Dict[Tuple[int, str], int] = {}
+        for stmt in self.walk():
+            for root in stmt.expressions():
+                for node in root.walk():
+                    symbol: Optional[str] = None
+                    if isinstance(node, BinOp):
+                        symbol = node.op
+                    elif isinstance(node, Call):
+                        symbol = node.name
+                    if symbol is None:
+                        continue
+                    key = (stmt.line, symbol)
+                    ordinal = counts.get(key, 0)
+                    counts[key] = ordinal + 1
+                    out.append(OperatorInstance(symbol, stmt.line, ordinal, node))
+        return out
+
+    def operators_at(self, line: int, symbol: Optional[str] = None
+                     ) -> List[OperatorInstance]:
+        return [op for op in self.operators()
+                if op.line == line and (symbol is None or op.symbol == symbol)]
+
+    def op_histogram(self) -> Dict[str, int]:
+        """Static operator counts by symbol (no trip-count weighting)."""
+        hist: Dict[str, int] = {}
+        for op in self.operators():
+            hist[op.symbol] = hist.get(op.symbol, 0) + 1
+        return hist
+
+    def render(self) -> str:
+        header = f"-- {self.name}: {self.doc}" if self.doc else f"-- {self.name}"
+        io = (f"-- inputs: {', '.join(self.inputs)}; "
+              f"outputs: {', '.join(self.outputs)}")
+        body = "\n".join(stmt.render() for stmt in self.statements)
+        return "\n".join([header, io, body])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Behavior {self.name} ({len(self.statements)} stmts)>"

@@ -1,0 +1,88 @@
+"""The ``oper(...)`` path selector and operator selections.
+
+Paper Fig 13 addresses operator instances inside behavioral descriptions
+from consistency constraints and decompositions:
+``Shorts={Adders=oper(+,line:2)@BD}``.  This module implements that
+selector against :class:`~repro.behavior.ir.Behavior` values and
+registers it with a layer's :class:`~repro.core.path.SelectorRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.behavior.ir import Behavior, OperatorInstance
+from repro.core.path import SelectorRegistry
+from repro.errors import PathError
+
+
+@dataclass(frozen=True)
+class OperatorSelection:
+    """The result of an ``oper`` selector: matched operator instances
+    within a specific behavior."""
+
+    behavior: Behavior
+    instances: Tuple[OperatorInstance, ...]
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        return tuple(op.symbol for op in self.instances)
+
+    @property
+    def lines(self) -> Tuple[int, ...]:
+        return tuple(op.line for op in self.instances)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def sole(self) -> OperatorInstance:
+        """The single matched instance (raises when ambiguous/empty)."""
+        if len(self.instances) != 1:
+            raise PathError(
+                f"selection in {self.behavior.name!r} matched "
+                f"{len(self.instances)} operators, expected exactly 1")
+        return self.instances[0]
+
+    def render(self) -> str:
+        inner = ", ".join(op.render() for op in self.instances)
+        return f"{self.behavior.name}:[{inner}]"
+
+
+def _parse_oper_args(args: Sequence[str]) -> Tuple[str, Optional[int]]:
+    """``oper(+,line:2)`` -> ('+', 2); the line part is optional."""
+    if not args or not args[0]:
+        raise PathError("oper() needs at least an operator symbol")
+    symbol = args[0]
+    line: Optional[int] = None
+    for extra in args[1:]:
+        key, sep, value = extra.partition(":")
+        if key != "line" or not sep:
+            raise PathError(f"oper(): unknown argument {extra!r}")
+        try:
+            line = int(value)
+        except ValueError:
+            raise PathError(f"oper(): bad line number {value!r}") from None
+    return symbol, line
+
+
+def oper_selector(value: object, args: Tuple[str, ...]) -> OperatorSelection:
+    """Selector implementation: pick operator instances from a behavior."""
+    if not isinstance(value, Behavior):
+        raise PathError(
+            f"oper() applies to behavioral descriptions, got "
+            f"{type(value).__name__}")
+    symbol, line = _parse_oper_args(args)
+    instances = [op for op in value.operators()
+                 if op.symbol == symbol and (line is None or op.line == line)]
+    if not instances:
+        where = f" at line {line}" if line is not None else ""
+        raise PathError(
+            f"oper(): no {symbol!r} operator{where} in behavior "
+            f"{value.name!r}")
+    return OperatorSelection(value, tuple(instances))
+
+
+def register_selectors(registry: SelectorRegistry) -> None:
+    """Install the behavior-level selectors on a layer's registry."""
+    registry.register("oper", oper_selector)

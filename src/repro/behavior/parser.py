@@ -1,0 +1,237 @@
+"""Parsing behavioral listings from text.
+
+The paper's behavioral descriptions are HDL text; ours render as
+numbered listings (Fig 10 style).  This parser accepts exactly the
+renderer's format, so ``parse_behavior(behavior.render())`` reproduces
+the original IR — and layer maintainers can author new descriptions as
+plain text::
+
+    1: R := 0
+    2: FOR i = 0 TO (n - 1)
+      3: Q := ((R + 1) mod r)
+      4: R := ((R + (digit(A, i, r) * B)) div r)
+    5: IF (R >= M) THEN
+      6: R := (R - M)
+
+Structure comes from indentation (any consistent increase opens a
+block); expressions are the renderer's fully parenthesized form with
+``f(arg, ...)`` calls; an optional ``ELSE`` at the ``IF``'s indentation
+opens the else block.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    If,
+    Stmt,
+    Var,
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<number>-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><<|>>|>=|<=|==|!=|[-+*&|^<>])
+  | (?P<punct>[(),\[\]])
+  | (?P<space>\s+)
+""", re.VERBOSE)
+
+_WORD_OPS = {"div", "mod"}
+
+
+class _Tokens:
+    """A token cursor over one expression string."""
+
+    def __init__(self, text: str):
+        self.items: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match:
+                raise BehaviorError(
+                    f"cannot tokenize {text[pos:pos + 12]!r} in {text!r}")
+            pos = match.end()
+            kind = match.lastgroup
+            if kind == "space":
+                continue
+            self.items.append((kind, match.group()))
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise BehaviorError("unexpected end of expression")
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        token = self.next()
+        if token[1] != value:
+            raise BehaviorError(
+                f"expected {value!r}, got {token[1]!r}")
+
+    def done(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def _parse_expr(tokens: _Tokens) -> Expr:
+    """One expression: atom, or ``(lhs OP rhs)`` (renderer output is
+    fully parenthesized, so no precedence is needed)."""
+    kind, value = tokens.next()
+    if kind == "number":
+        return Const(int(value))
+    if kind == "punct" and value == "(":
+        left = _parse_expr(tokens)
+        op_kind, op_value = tokens.next()
+        if not (op_kind == "op"
+                or (op_kind == "name" and op_value in _WORD_OPS)):
+            raise BehaviorError(
+                f"expected a binary operator, got {op_value!r}")
+        right = _parse_expr(tokens)
+        tokens.expect(")")
+        return BinOp(op_value, left, right)
+    if kind == "name":
+        if value in _WORD_OPS:
+            raise BehaviorError(
+                f"{value!r} is an operator, not a value")
+        token = tokens.peek()
+        if token is not None and token[1] == "(":
+            tokens.next()
+            args: List[Expr] = []
+            if tokens.peek() is not None and tokens.peek()[1] != ")":
+                args.append(_parse_expr(tokens))
+                while tokens.peek() is not None and tokens.peek()[1] == ",":
+                    tokens.next()
+                    args.append(_parse_expr(tokens))
+            tokens.expect(")")
+            return Call(value, tuple(args))
+        return Var(value)
+    raise BehaviorError(f"unexpected token {value!r} in expression")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse one expression string (the renderer's format)."""
+    tokens = _Tokens(text)
+    expr = _parse_expr(tokens)
+    if not tokens.done():
+        raise BehaviorError(
+            f"trailing input after expression in {text!r}")
+    return expr
+
+
+_LINE_RE = re.compile(r"^(?P<indent>\s*)(?P<line>\d+):\s*(?P<body>.+)$")
+_ELSE_RE = re.compile(r"^(?P<indent>\s*)ELSE\s*$")
+_FOR_RE = re.compile(
+    r"^FOR\s+(?P<var>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*(?P<start>.+?)"
+    r"\s+TO\s+(?P<stop>.+)$")
+_IF_RE = re.compile(r"^IF\s+(?P<cond>.+?)\s+THEN\s*$")
+_ASSIGN_RE = re.compile(
+    r"^(?P<target>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?:\[(?P<index>.+)\])?\s*:=\s*(?P<expr>.+)$")
+
+
+def parse_behavior(text: str, name: str = "parsed",
+                   inputs: Sequence[str] = (),
+                   outputs: Sequence[str] = (),
+                   codings: Optional[dict] = None,
+                   doc: str = "") -> Behavior:
+    """Parse a numbered listing into a :class:`Behavior`.
+
+    Comment lines (starting with ``--`` or ``//``) and blank lines are
+    ignored; block structure follows indentation.
+    """
+    rows: List[Tuple[int, Optional[int], str]] = []  # (indent, line, body)
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("--") \
+                or stripped.startswith("//"):
+            continue
+        else_match = _ELSE_RE.match(raw)
+        if else_match:
+            rows.append((len(else_match.group("indent")), None, "ELSE"))
+            continue
+        match = _LINE_RE.match(raw)
+        if not match:
+            raise BehaviorError(f"cannot parse listing line {raw!r}")
+        rows.append((len(match.group("indent")),
+                     int(match.group("line")),
+                     match.group("body").strip()))
+    if not rows:
+        raise BehaviorError("listing is empty")
+
+    position = 0
+
+    def parse_block(indent: int) -> List[Stmt]:
+        nonlocal position
+        statements: List[Stmt] = []
+        while position < len(rows):
+            row_indent, line, body = rows[position]
+            if row_indent < indent or body == "ELSE":
+                break
+            if row_indent > indent:
+                raise BehaviorError(
+                    f"unexpected indentation at listing line {line}")
+            position += 1
+            assert line is not None
+            for_match = _FOR_RE.match(body)
+            if for_match:
+                inner = parse_block(_next_indent(indent))
+                statements.append(For(
+                    for_match.group("var"),
+                    parse_expression(for_match.group("start")),
+                    parse_expression(for_match.group("stop")),
+                    inner, line=line))
+                continue
+            if_match = _IF_RE.match(body)
+            if if_match:
+                then_block = parse_block(_next_indent(indent))
+                orelse: List[Stmt] = []
+                if position < len(rows) and rows[position][2] == "ELSE" \
+                        and rows[position][0] == indent:
+                    position += 1
+                    orelse = parse_block(_next_indent(indent))
+                statements.append(If(
+                    parse_expression(if_match.group("cond")),
+                    then_block, line=line, orelse=orelse))
+                continue
+            assign_match = _ASSIGN_RE.match(body)
+            if assign_match:
+                index_text = assign_match.group("index")
+                statements.append(Assign(
+                    assign_match.group("target"),
+                    parse_expression(assign_match.group("expr")),
+                    line=line,
+                    target_index=parse_expression(index_text)
+                    if index_text else None))
+                continue
+            raise BehaviorError(
+                f"listing line {line}: cannot parse statement {body!r}")
+        return statements
+
+    def _next_indent(indent: int) -> int:
+        if position < len(rows) and rows[position][0] > indent:
+            return rows[position][0]
+        return indent + 1  # empty block: nothing will match anyway
+
+    statements = parse_block(rows[0][0])
+    if position != len(rows):
+        raise BehaviorError(
+            f"unparsed trailing listing content near line "
+            f"{rows[position][1]}")
+    return Behavior(name, statements, inputs=inputs, outputs=outputs,
+                    codings=codings, doc=doc)

@@ -1,0 +1,120 @@
+"""Serialization of behavioral descriptions.
+
+Reuse libraries persist; the behavioral descriptions the layer attaches
+to CDOs must therefore round-trip through plain data.  This module maps
+the IR to/from JSON-compatible dictionaries, losslessly (the test suite
+checks render-equality and execution-equality after a round trip).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    If,
+    Stmt,
+    Var,
+)
+
+
+def expr_to_dict(expr: Expr) -> Dict[str, Any]:
+    if isinstance(expr, Var):
+        return {"kind": "var", "name": expr.name}
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, BinOp):
+        return {"kind": "binop", "op": expr.op,
+                "left": expr_to_dict(expr.left),
+                "right": expr_to_dict(expr.right)}
+    if isinstance(expr, Call):
+        return {"kind": "call", "name": expr.name,
+                "args": [expr_to_dict(a) for a in expr.args]}
+    raise BehaviorError(f"unknown expression type {type(expr).__name__}")
+
+
+def expr_from_dict(data: Dict[str, Any]) -> Expr:
+    kind = data.get("kind")
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "const":
+        return Const(int(data["value"]))
+    if kind == "binop":
+        return BinOp(data["op"], expr_from_dict(data["left"]),
+                     expr_from_dict(data["right"]))
+    if kind == "call":
+        return Call(data["name"],
+                    tuple(expr_from_dict(a) for a in data["args"]))
+    raise BehaviorError(f"unknown expression kind {kind!r}")
+
+
+def stmt_to_dict(stmt: Stmt) -> Dict[str, Any]:
+    if isinstance(stmt, Assign):
+        out: Dict[str, Any] = {"kind": "assign", "target": stmt.target,
+                               "expr": expr_to_dict(stmt.expr),
+                               "line": stmt.line}
+        if stmt.target_index is not None:
+            out["target_index"] = expr_to_dict(stmt.target_index)
+        return out
+    if isinstance(stmt, For):
+        return {"kind": "for", "var": stmt.var,
+                "start": expr_to_dict(stmt.start),
+                "stop": expr_to_dict(stmt.stop),
+                "body": [stmt_to_dict(s) for s in stmt.body],
+                "line": stmt.line}
+    if isinstance(stmt, If):
+        return {"kind": "if", "cond": expr_to_dict(stmt.cond),
+                "then": [stmt_to_dict(s) for s in stmt.then],
+                "orelse": [stmt_to_dict(s) for s in stmt.orelse],
+                "line": stmt.line}
+    raise BehaviorError(f"unknown statement type {type(stmt).__name__}")
+
+
+def stmt_from_dict(data: Dict[str, Any]) -> Stmt:
+    kind = data.get("kind")
+    if kind == "assign":
+        index = data.get("target_index")
+        return Assign(data["target"], expr_from_dict(data["expr"]),
+                      line=int(data["line"]),
+                      target_index=expr_from_dict(index)
+                      if index is not None else None)
+    if kind == "for":
+        return For(data["var"], expr_from_dict(data["start"]),
+                   expr_from_dict(data["stop"]),
+                   [stmt_from_dict(s) for s in data["body"]],
+                   line=int(data["line"]))
+    if kind == "if":
+        return If(expr_from_dict(data["cond"]),
+                  [stmt_from_dict(s) for s in data["then"]],
+                  line=int(data["line"]),
+                  orelse=[stmt_from_dict(s) for s in data["orelse"]])
+    raise BehaviorError(f"unknown statement kind {kind!r}")
+
+
+def behavior_to_dict(behavior: Behavior) -> Dict[str, Any]:
+    return {
+        "name": behavior.name,
+        "doc": behavior.doc,
+        "inputs": list(behavior.inputs),
+        "outputs": list(behavior.outputs),
+        "codings": dict(behavior.codings),
+        "statements": [stmt_to_dict(s) for s in behavior.statements],
+    }
+
+
+def behavior_from_dict(data: Dict[str, Any]) -> Behavior:
+    return Behavior(
+        data["name"],
+        [stmt_from_dict(s) for s in data["statements"]],
+        inputs=tuple(data.get("inputs", ())),
+        outputs=tuple(data.get("outputs", ())),
+        codings=dict(data.get("codings", {})),
+        doc=data.get("doc", ""),
+    )

@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main entry points without writing Python:
+
+* ``describe`` — self-documentation of a bundled layer (text/markdown);
+* ``table1`` / ``fig6`` / ``fig9`` / ``fig12`` — regenerate the paper's
+  artifacts on stdout;
+* ``explore`` — a scripted exploration: requirements and decisions from
+  the command line, survivors and ranges on stdout;
+* ``query`` — direct core retrieval with property/merit filters;
+* ``export`` — serialize a bundled layer to JSON.
+
+The bundled layers are ``crypto`` (the Sec 5 case study) and ``idct``
+(the Sec 2 example); ``--eol`` rebuilds the crypto libraries for another
+operand length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import (
+    CoreQuery,
+    ExplorationSession,
+    layer_to_dict,
+    render_markdown,
+    render_table,
+)
+from repro.core.layer import DesignSpaceLayer
+from repro.errors import ReproError
+
+
+def _build_layer(name: str, eol: int) -> DesignSpaceLayer:
+    if name == "crypto":
+        from repro.domains.crypto import build_crypto_layer
+        return build_crypto_layer(eol=eol)
+    if name == "idct":
+        from repro.domains.idct import build_idct_layer
+        return build_idct_layer()
+    raise ReproError(f"unknown layer {name!r}; bundled: crypto, idct")
+
+
+def _parse_binding(text: str) -> Tuple[str, object]:
+    """``Name=value`` with int/float coercion where it parses."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name or not raw:
+        raise ReproError(f"expected Name=value, got {text!r}")
+    for caster in (int, float):
+        try:
+            return name, caster(raw)
+        except ValueError:
+            continue
+    return name, raw
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_describe(args: argparse.Namespace) -> int:
+    layer = _build_layer(args.layer, args.eol)
+    if args.markdown:
+        print(render_markdown(layer))
+    else:
+        print(layer.describe())
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.hw.synthesis import (
+        TABLE1_RECIPES,
+        TABLE1_SLICE_WIDTHS,
+        synthesize_table1_cell,
+    )
+    headers = ["#", "radix", "algorithm", "adder", "multiplier"]
+    for width in TABLE1_SLICE_WIDTHS:
+        headers += [f"A{width}", f"L{width}", f"C{width}"]
+    rows = []
+    for number in sorted(TABLE1_RECIPES):
+        radix, algorithm, adder, multiplier = TABLE1_RECIPES[number]
+        row: List[object] = [f"#{number}", radix, algorithm, adder,
+                             multiplier]
+        for width in TABLE1_SLICE_WIDTHS:
+            design = synthesize_table1_cell(number, width,
+                                            args.technology)
+            row += [round(design.area), round(design.latency_ns),
+                    round(design.clock_ns, 2)]
+        rows.append(row)
+    print(render_table(headers, rows,
+                       title=f"Table 1 (modelled, {args.technology}; "
+                             f"latency for EOL = slice width)"))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.hw.synthesis import synthesize_sliced
+    from repro.sw.cpu import pentium_suite
+    rows: List[List[object]] = []
+    for number, width in ((5, 16), (2, 128), (8, 64)):
+        design = synthesize_sliced(number, width, args.eol)
+        rows.append([design.name, "Hardware",
+                     round(design.latency_us, 2)])
+    for label, multiplier in pentium_suite(args.eol).items():
+        rows.append([label, "Software", round(multiplier.delay_us(args.eol), 1)])
+    rows.sort(key=lambda r: r[2])
+    print(render_table(["design", "family", "delay (us)"], rows,
+                       title=f"Fig 6 — one {args.eol}-bit modular "
+                             f"multiplication"))
+    return 0
+
+
+def _scatter_rows(points) -> List[List[object]]:
+    return [[name, round(delay), round(area)]
+            for name, (delay, area) in sorted(points.items())]
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.hw.synthesis import synthesize_sliced
+    points = {}
+    for number in (2, 8):
+        for width in (8, 16, 32, 64, 128):
+            if args.eol % width:
+                continue
+            design = synthesize_sliced(number, width, args.eol)
+            points[design.name] = (design.latency_ns, design.area)
+    print(render_table(["design", "delay (ns)", "area"],
+                       _scatter_rows(points),
+                       title=f"Fig 9 — Montgomery (#2) vs Brickell (#8) "
+                             f"at {args.eol} bits"))
+    return 0
+
+
+def cmd_fig12(args: argparse.Namespace) -> int:
+    from repro.hw.synthesis import synthesize_table1_cell
+    points = {}
+    for number in (1, 2, 3, 4, 5, 6):
+        design = synthesize_table1_cell(number, 64)
+        points[design.name] = (design.latency_ns, design.area)
+    print(render_table(["design", "delay (ns)", "area"],
+                       _scatter_rows(points),
+                       title="Fig 12 — 64-bit Montgomery multipliers on "
+                             "64-bit slices"))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    layer = _build_layer(args.layer, args.eol)
+    session = ExplorationSession(
+        layer, args.start,
+        merit_metrics=tuple(args.metrics.split(",")))
+    for binding in args.require or ():
+        name, value = _parse_binding(binding)
+        session.set_requirement(name, value)
+    for binding in args.decide or ():
+        name, value = _parse_binding(binding)
+        session.decide(name, value)
+    print(session.report())
+    if args.options:
+        for info in session.available_options(args.options):
+            status = "eliminated" if info.eliminated else \
+                f"{info.candidate_count} candidates"
+            print(f"  option {info.option}: {status} {info.ranges}")
+    if args.list:
+        for core in session.candidates():
+            print(f"  {core.describe()}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    layer = _build_layer(args.layer, args.eol)
+    query = CoreQuery(layer)
+    if args.under:
+        query = query.under(args.under)
+    for binding in args.where or ():
+        name, value = _parse_binding(binding)
+        query = query.where(**{name: value})
+    if args.max_merit:
+        name, value = _parse_binding(args.max_merit)
+        query = query.merit_at_most(name, float(value))
+    if args.order_by:
+        query = query.order_by(args.order_by)
+    if args.limit:
+        query = query.limit(args.limit)
+    cores = query.all()
+    for core in cores:
+        print(core.describe())
+    print(f"({len(cores)} cores)")
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import run_shell
+    layer = _build_layer(args.layer, args.eol)
+    start = args.start if args.layer == "crypto" else "IDCT"
+    run_shell(layer, start)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    layer = _build_layer(args.layer, args.eol)
+    json.dump(layer_to_dict(layer), sys.stdout, indent=None if args.compact
+              else 2, sort_keys=True)
+    print()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Design Space Layer (DATE 1999) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_layer_args(p):
+        p.add_argument("--layer", default="crypto",
+                       choices=("crypto", "idct"),
+                       help="bundled layer to operate on")
+        p.add_argument("--eol", type=int, default=768,
+                       help="operand length the crypto libraries are "
+                            "characterized for")
+
+    p = sub.add_parser("describe", help="self-documentation of a layer")
+    add_layer_args(p)
+    p.add_argument("--markdown", action="store_true",
+                   help="emit Markdown instead of plain text")
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--technology", default="0.35u")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("fig6", help="regenerate Fig 6")
+    p.add_argument("--eol", type=int, default=1024)
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("fig9", help="regenerate Fig 9")
+    p.add_argument("--eol", type=int, default=768)
+    p.set_defaults(fn=cmd_fig9)
+
+    p = sub.add_parser("fig12", help="regenerate Fig 12")
+    p.set_defaults(fn=cmd_fig12)
+
+    p = sub.add_parser("explore", help="scripted exploration session")
+    add_layer_args(p)
+    p.add_argument("--start", default="OMM",
+                   help="CDO (or alias) the session starts at")
+    p.add_argument("--require", action="append", metavar="NAME=VALUE",
+                   help="enter a requirement value (repeatable)")
+    p.add_argument("--decide", action="append", metavar="ISSUE=OPTION",
+                   help="decide a design issue (repeatable, in order)")
+    p.add_argument("--options", metavar="ISSUE",
+                   help="annotate the options of an issue")
+    p.add_argument("--list", action="store_true",
+                   help="list surviving cores")
+    p.add_argument("--metrics", default="area,latency_ns,delay_us",
+                   help="comma-separated merit metrics to report")
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("query", help="direct core retrieval")
+    add_layer_args(p)
+    p.add_argument("--under", help="CDO (or alias) to search below")
+    p.add_argument("--where", action="append", metavar="PROP=VALUE",
+                   help="property equality filter (repeatable)")
+    p.add_argument("--max-merit", metavar="MERIT=BOUND",
+                   help="upper bound on a figure of merit")
+    p.add_argument("--order-by", metavar="MERIT")
+    p.add_argument("--limit", type=int)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("export", help="serialize a layer to JSON")
+    add_layer_args(p)
+    p.add_argument("--compact", action="store_true")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("shell", help="interactive exploration shell")
+    add_layer_args(p)
+    p.add_argument("--start", default="OMM",
+                   help="CDO (or alias) the session starts at")
+    p.set_defaults(fn=cmd_shell)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

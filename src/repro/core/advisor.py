@@ -1,0 +1,96 @@
+"""Advising the next design issue to address.
+
+Paper Sec 4: "some design issues may have a more significant impact on
+the figures of merit of interest than others, suggesting that such
+design issues should be partially ordered in order to allow for a
+systematic exploration of the design space."  The layer's consistency
+constraints encode the *hard* ordering; this module computes the
+*soft* one, from data: for every addressable issue, how much do its
+options differ in what they make achievable?
+
+Impact of one issue = the normalized spread, across its options, of the
+best value of each merit metric among the surviving cores.  An issue
+whose options all lead to the same achievable latency has no impact and
+can be deferred; the issue separating 1.3 us futures from 4 us futures
+should be put to the designer first — exactly how the paper argues
+"Implementation Style" earns its place before "Algorithm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.session import ExplorationSession
+from repro.errors import SessionError
+
+
+@dataclass
+class IssueImpact:
+    """Measured impact of one addressable design issue."""
+
+    issue_name: str
+    #: metric -> relative spread of option-best values (0 = no impact).
+    spreads: Dict[str, float] = field(default_factory=dict)
+    #: options that currently lead to zero candidates.
+    dead_options: List[object] = field(default_factory=list)
+    #: options annotated (option, candidate count).
+    option_counts: List[tuple] = field(default_factory=list)
+
+    @property
+    def impact(self) -> float:
+        """Scalar impact: the largest per-metric spread."""
+        return max(self.spreads.values(), default=0.0)
+
+    def describe(self) -> str:
+        spreads = ", ".join(f"{metric}: {value:.0%}"
+                            for metric, value in sorted(
+                                self.spreads.items()))
+        dead = (f"; dead options: {self.dead_options}"
+                if self.dead_options else "")
+        return f"{self.issue_name} (impact {self.impact:.0%}) [{spreads}]{dead}"
+
+
+def assess_issue(session: ExplorationSession, issue_name: str,
+                 metrics: Optional[Sequence[str]] = None,
+                 option_limit: int = 16) -> IssueImpact:
+    """Measure one issue's impact at the session's current state."""
+    metrics = tuple(metrics if metrics is not None
+                    else session.merit_metrics)
+    impact = IssueImpact(issue_name)
+    option_best: Dict[str, List[float]] = {metric: [] for metric in metrics}
+    for info in session.available_options(issue_name, limit=option_limit):
+        if info.eliminated:
+            continue
+        impact.option_counts.append((info.option, info.candidate_count))
+        if info.candidate_count == 0:
+            impact.dead_options.append(info.option)
+            continue
+        for metric in metrics:
+            if metric in info.ranges:
+                option_best[metric].append(info.ranges[metric][0])
+    for metric, bests in option_best.items():
+        if len(bests) >= 2 and max(bests) > 0:
+            impact.spreads[metric] = (max(bests) - min(bests)) / max(bests)
+        elif bests:
+            impact.spreads[metric] = 0.0
+    return impact
+
+
+def advise(session: ExplorationSession,
+           metrics: Optional[Sequence[str]] = None,
+           option_limit: int = 16) -> List[IssueImpact]:
+    """Rank the addressable issues by impact, highest first.
+
+    Issues whose options cannot be enumerated cheaply (unbounded
+    domains with no context) fall back to the sampled options.
+    """
+    impacts: List[IssueImpact] = []
+    for issue in session.addressable_issues():
+        try:
+            impacts.append(assess_issue(session, issue.name, metrics,
+                                        option_limit))
+        except SessionError:
+            continue
+    impacts.sort(key=lambda item: item.impact, reverse=True)
+    return impacts

@@ -1,0 +1,186 @@
+"""Deriving generalization hierarchies from evaluation data (paper Sec 2.2).
+
+The paper argues that generalization boundaries should follow the cores'
+"actual proximity in the evaluation space": designs 1, 2 and 5 of the
+IDCT example cluster apart from designs 3 and 4, so the first design
+issue presented should be the one separating those clusters (Fig 3).
+
+This module makes that argument executable: agglomerative clustering with
+complete linkage over normalized figures of merit, a gap heuristic to
+pick the number of clusters, and a routine that checks which design-issue
+options *explain* a clustering — i.e. which issue is the right candidate
+for generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.evaluation import EvaluationPoint, EvaluationSpace
+from repro.errors import ReproError
+
+
+@dataclass
+class Cluster:
+    """A group of evaluation points."""
+
+    points: List[EvaluationPoint]
+
+    @property
+    def names(self) -> Set[str]:
+        return {p.name for p in self.points}
+
+    def centroid(self) -> Tuple[float, ...]:
+        if not self.points:
+            raise ReproError("empty cluster has no centroid")
+        dim = len(self.points[0].coords)
+        return tuple(sum(p.coords[i] for p in self.points) / len(self.points)
+                     for i in range(dim))
+
+
+def _complete_linkage(a: Cluster, b: Cluster,
+                      scales: Sequence[float]) -> float:
+    """Greatest pairwise normalized distance between the clusters."""
+    return max(p.distance_to(q, scales) for p in a.points for q in b.points)
+
+
+@dataclass
+class MergeStep:
+    """One agglomeration step, recorded for dendrogram-style reporting."""
+
+    distance: float
+    left_names: Set[str]
+    right_names: Set[str]
+
+
+def agglomerate(space: EvaluationSpace, k: int
+                ) -> Tuple[List[Cluster], List[MergeStep]]:
+    """Complete-linkage agglomerative clustering down to ``k`` clusters.
+
+    Distances are normalized by per-axis span so that area (tens of
+    thousands of gates) does not drown delay (nanoseconds).  Returns the
+    clusters and the merge history.
+    """
+    if k < 1:
+        raise ReproError(f"cluster count must be >= 1, got {k}")
+    if len(space) < k:
+        raise ReproError(
+            f"cannot form {k} clusters from {len(space)} points")
+    scales = space.scales()
+    clusters = [Cluster([p]) for p in space.points]
+    history: List[MergeStep] = []
+    while len(clusters) > k:
+        best: Optional[Tuple[float, int, int]] = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                d = _complete_linkage(clusters[i], clusters[j], scales)
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        assert best is not None
+        d, i, j = best
+        history.append(MergeStep(d, clusters[i].names, clusters[j].names))
+        merged = Cluster(clusters[i].points + clusters[j].points)
+        clusters = [c for idx, c in enumerate(clusters) if idx not in (i, j)]
+        clusters.append(merged)
+    return clusters, history
+
+
+def suggest_cluster_count(space: EvaluationSpace, max_k: int = 6) -> int:
+    """Pick k by the largest relative gap in merge distances.
+
+    Run the agglomeration to a single cluster and find the merge whose
+    distance jumps most over its predecessor — cutting just before that
+    merge yields the natural cluster count.  Falls back to 1 for
+    degenerate spaces.
+    """
+    if len(space) <= 1:
+        return len(space)
+    _, history = agglomerate(space, 1)
+    if not history:
+        return 1
+    best_k = 1
+    best_gap = 0.0
+    for i in range(1, len(history)):
+        previous = history[i - 1].distance
+        if previous <= 0:
+            continue
+        gap = history[i].distance / previous
+        # Cutting before merge i leaves len(history) - i + 1 clusters.
+        k = len(history) - i + 1
+        if gap > best_gap and k <= max_k:
+            best_gap = gap
+            best_k = k
+    return best_k
+
+
+@dataclass
+class IssueExplanation:
+    """How well one design issue explains a clustering.
+
+    ``purity`` is the fraction of designs whose cluster is predicted by
+    the issue's option (1.0 = the issue splits exactly along cluster
+    boundaries and is the natural generalization candidate).
+    """
+
+    issue_name: str
+    purity: float
+    option_by_cluster: List[Dict[object, int]]
+
+
+def explain_clusters(clusters: Sequence[Cluster],
+                     issue_names: Sequence[str]) -> List[IssueExplanation]:
+    """Rank design issues by how well their options predict the clusters.
+
+    Only points carrying a backing design object with the property set
+    participate.  Purity is computed by assigning each cluster its
+    majority option and counting agreement; issues splitting along
+    cluster boundaries score 1.0 and are the generalization candidates
+    the paper would promote (Sec 2.2).
+    """
+    out: List[IssueExplanation] = []
+    for issue in issue_names:
+        per_cluster: List[Dict[object, int]] = []
+        agree = 0
+        total = 0
+        used_options: List[object] = []
+        for cluster in clusters:
+            counts: Dict[object, int] = {}
+            for point in cluster.points:
+                if point.design is None or not point.design.has_property(issue):
+                    continue
+                option = point.design.property_value(issue)
+                counts[option] = counts.get(option, 0) + 1
+            per_cluster.append(counts)
+            if counts:
+                majority_option = max(counts, key=lambda o: counts[o])
+                # An option reused as majority of two clusters cannot
+                # discriminate them; it still counts toward agreement of
+                # its first cluster only.
+                if majority_option in used_options:
+                    total += sum(counts.values())
+                    continue
+                used_options.append(majority_option)
+                agree += counts[majority_option]
+                total += sum(counts.values())
+        purity = (agree / total) if total else 0.0
+        out.append(IssueExplanation(issue, purity, per_cluster))
+    out.sort(key=lambda e: e.purity, reverse=True)
+    return out
+
+
+def suggest_generalization(space: EvaluationSpace,
+                           issue_names: Sequence[str],
+                           k: Optional[int] = None
+                           ) -> Tuple[List[Cluster], List[IssueExplanation]]:
+    """End-to-end hierarchy induction: cluster the evaluation space, then
+    rank candidate issues for the generalized split.
+
+    Returns the clusters and the explanations sorted best-first; the
+    top-ranked issue with purity 1.0 (if any) is the one a layer designer
+    should promote to a generalized design issue.
+    """
+    if k is None:
+        k = suggest_cluster_count(space)
+    clusters, _ = agglomerate(space, k)
+    return clusters, explain_clusters(clusters, issue_names)

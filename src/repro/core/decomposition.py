@@ -1,0 +1,215 @@
+"""Behavioral decomposition — designing a CDO's operators on other CDOs.
+
+Paper Sec 5.1.6 / Fig 10: the behavioral description of a complex CDO is
+a *behavioral decomposition* — its behaviour is expressed in terms of
+less complex CDOs.  The conceptual design of the critical operators
+(the loop additions and multiplications of the Montgomery listing) "is
+realized by addressing Design Issue DI7 ... performed using other CDOs
+in the hierarchy (the Arithmetic Adders and Multipliers)".
+
+This module mechanizes that workflow:
+
+1. :func:`plan_decomposition` inspects the decomposition property
+   visible at an exploration session's current CDO, extracts the
+   operator instances from the attached behavioral description, and
+   matches each to the operator CDOs the decomposition's restriction
+   pattern allows;
+2. :meth:`DecompositionPlan.open` spawns a child exploration session on
+   a chosen operator CDO, carrying over the requirement values that are
+   meaningful there (the operator inherits the component's word length);
+3. :meth:`DecompositionPlan.write_back` folds the child's conclusion
+   (the specialization it committed to) back into a design issue of the
+   parent session — e.g. the Adder sub-exploration's "Carry-Save"
+   outcome becomes the parent's ``AdderImplementation`` decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.behavior.ir import Behavior, OperatorInstance
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.path import parse_path, parse_pattern
+from repro.core.properties import BehavioralDecomposition, BehavioralDescription
+from repro.core.session import ExplorationSession
+from repro.errors import PropertyError, SessionError
+
+#: Which operator-CDO names can realize which operator symbols.
+DEFAULT_SYMBOL_CLASSES: Dict[str, Tuple[str, ...]] = {
+    "+": ("Adder",),
+    "-": ("Adder",),
+    "*": ("Multiplier",),
+}
+
+
+@dataclass
+class OperatorTask:
+    """One operator instance awaiting realization on an operator CDO."""
+
+    instance: OperatorInstance
+    candidates: List[ClassOfDesignObjects]
+    child: Optional[ExplorationSession] = None
+    chosen_cdo: Optional[ClassOfDesignObjects] = None
+
+    @property
+    def key(self) -> str:
+        return (f"{self.instance.symbol}@line{self.instance.line}"
+                f"#{self.instance.ordinal}")
+
+    def describe(self) -> str:
+        names = [c.qualified_name for c in self.candidates]
+        status = "open" if self.child is not None else "pending"
+        return f"{self.key} -> {names} [{status}]"
+
+
+class DecompositionPlan:
+    """The DI7 workflow state for one decomposition property."""
+
+    def __init__(self, parent: ExplorationSession,
+                 prop: BehavioralDecomposition,
+                 behavior: Behavior,
+                 tasks: Sequence[OperatorTask]):
+        self.parent = parent
+        self.property = prop
+        self.behavior = behavior
+        self.tasks = list(tasks)
+
+    def task(self, key: str) -> OperatorTask:
+        for task in self.tasks:
+            if task.key == key:
+                return task
+        raise SessionError(
+            f"no operator task {key!r}; available: "
+            f"{[t.key for t in self.tasks]}")
+
+    def open(self, task: OperatorTask,
+             cdo: Optional[ClassOfDesignObjects] = None,
+             requirement_overrides: Optional[Mapping[str, object]] = None
+             ) -> ExplorationSession:
+        """Start the sub-exploration for one operator.
+
+        ``cdo`` picks among the task's candidate operator CDOs (defaults
+        to the sole candidate).  Requirement values already entered in
+        the parent session are carried over wherever the operator CDO
+        declares a requirement of the same name;
+        ``requirement_overrides`` replaces individual carried values —
+        typically the word length, since a sliced datapath's operators
+        work at the slice width, not the component's full EOL.
+        """
+        if cdo is None:
+            if len(task.candidates) != 1:
+                raise SessionError(
+                    f"task {task.key}: choose one of "
+                    f"{[c.qualified_name for c in task.candidates]}")
+            cdo = task.candidates[0]
+        if cdo not in task.candidates:
+            raise SessionError(
+                f"task {task.key}: {cdo.qualified_name} is not a "
+                f"candidate realization")
+        child = ExplorationSession(self.parent.layer, cdo,
+                                   merit_metrics=self.parent.merit_metrics)
+        carried = dict(self.parent.requirement_values)
+        if requirement_overrides:
+            carried.update(requirement_overrides)
+        for name, value in carried.items():
+            if cdo.has_property(name):
+                try:
+                    child.set_requirement(name, value)
+                except Exception:
+                    continue  # incompatible domain on the operator side
+        task.child = child
+        task.chosen_cdo = cdo
+        return child
+
+    def conclusion(self, task: OperatorTask) -> object:
+        """The child exploration's outcome: the option of the chosen
+        operator CDO's generalized issue it committed to (the family
+        selected below the CDO the task was opened on)."""
+        if task.child is None or task.chosen_cdo is None:
+            raise SessionError(f"task {task.key} has not been opened")
+        node = task.child.current_cdo
+        for step in node.path_from_root():
+            if step.parent is task.chosen_cdo:
+                return step.option_of_parent
+        raise SessionError(
+            f"task {task.key}: the sub-exploration has not specialized "
+            f"below {task.chosen_cdo.qualified_name} yet")
+
+    def write_back(self, task: OperatorTask, parent_issue: str) -> None:
+        """Fold the child's conclusion into a parent design issue."""
+        self.parent.decide(parent_issue, self.conclusion(task))
+
+    def describe(self) -> str:
+        lines = [f"decomposition of {self.behavior.name!r} "
+                 f"({self.property.name}):"]
+        lines += [f"  {task.describe()}" for task in self.tasks]
+        return "\n".join(lines)
+
+
+def _candidate_cdos(session: ExplorationSession,
+                    prop: BehavioralDecomposition,
+                    class_names: Sequence[str]
+                    ) -> List[ClassOfDesignObjects]:
+    """Operator CDOs allowed by the restriction pattern whose name (or
+    whose ancestor's name) is one of ``class_names``."""
+    cdos = session.layer.all_cdos()
+    if prop.restrict_pattern:
+        pattern = parse_pattern(prop.restrict_pattern)
+        cdos = [c for c in cdos if pattern.matches(c.qualified_name)]
+    out = []
+    for cdo in cdos:
+        if cdo.name in class_names:
+            out.append(cdo)
+    return out
+
+
+def plan_decomposition(session: ExplorationSession,
+                       property_name: str,
+                       symbol_classes: Optional[
+                           Mapping[str, Tuple[str, ...]]] = None,
+                       lines: Optional[Sequence[int]] = None
+                       ) -> DecompositionPlan:
+    """Build the DI7 plan for the decomposition visible at the session.
+
+    ``lines`` restricts the operator census to specific listing lines
+    (the paper decomposes only the *critical* loop operators);
+    ``symbol_classes`` overrides the symbol -> operator-CDO-name map.
+    """
+    prop = session.current_cdo.find_property(property_name)
+    if not isinstance(prop, BehavioralDecomposition):
+        raise SessionError(
+            f"{property_name!r} is a {type(prop).__name__}, not a "
+            f"behavioral decomposition")
+    source = parse_path(prop.source)
+    try:
+        bd = session.current_cdo.find_property(source.property_name)
+    except PropertyError:
+        raise SessionError(
+            f"decomposition source {prop.source!r} is not visible from "
+            f"{session.current_cdo.qualified_name}") from None
+    if not isinstance(bd, BehavioralDescription) or \
+            not isinstance(bd.description, Behavior):
+        raise SessionError(
+            f"{source.property_name!r} carries no executable behavioral "
+            f"description")
+    behavior = bd.description
+    classes = dict(DEFAULT_SYMBOL_CLASSES)
+    if symbol_classes:
+        classes.update(symbol_classes)
+    tasks: List[OperatorTask] = []
+    for instance in behavior.operators():
+        if instance.symbol not in classes:
+            continue
+        if lines is not None and instance.line not in lines:
+            continue
+        candidates = _candidate_cdos(session, prop,
+                                     classes[instance.symbol])
+        if not candidates:
+            continue
+        tasks.append(OperatorTask(instance, candidates))
+    if not tasks:
+        raise SessionError(
+            f"decomposition {property_name!r}: no operator in "
+            f"{behavior.name!r} maps to an available operator CDO")
+    return DecompositionPlan(session, prop, behavior, tasks)

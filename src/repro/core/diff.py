@@ -1,0 +1,144 @@
+"""Diffing design space layers.
+
+The paper's layer is "open": it references "populations of cores which
+are constantly increasing, or changing".  When an IP provider ships a
+new library revision — or a design environment evolves its hierarchy —
+the maintainers need to see what changed in design-space terms, not as
+a text diff.  This module compares two layers structurally:
+
+* hierarchy: CDOs added/removed, properties added/removed/redefined;
+* libraries: cores added/removed, cores whose position (property
+  values) or figures of merit moved, with per-metric deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.designobject import DesignObject
+from repro.core.layer import DesignSpaceLayer
+from repro.core.properties import Property
+
+
+@dataclass
+class MeritDelta:
+    """One figure of merit that moved between revisions."""
+
+    core: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return (self.after - self.before) / abs(self.before)
+
+    def describe(self) -> str:
+        return (f"{self.core}.{self.metric}: {self.before:g} -> "
+                f"{self.after:g} ({self.relative:+.1%})")
+
+
+@dataclass
+class LayerDiff:
+    """Structural difference between two layers."""
+
+    added_cdos: List[str] = field(default_factory=list)
+    removed_cdos: List[str] = field(default_factory=list)
+    added_properties: List[str] = field(default_factory=list)
+    removed_properties: List[str] = field(default_factory=list)
+    added_cores: List[str] = field(default_factory=list)
+    removed_cores: List[str] = field(default_factory=list)
+    moved_cores: List[str] = field(default_factory=list)
+    merit_deltas: List[MeritDelta] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not any((self.added_cdos, self.removed_cdos,
+                        self.added_properties, self.removed_properties,
+                        self.added_cores, self.removed_cores,
+                        self.moved_cores, self.merit_deltas))
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "layers are structurally identical"
+        lines: List[str] = []
+        for label, items in (
+                ("CDOs added", self.added_cdos),
+                ("CDOs removed", self.removed_cdos),
+                ("properties added", self.added_properties),
+                ("properties removed", self.removed_properties),
+                ("cores added", self.added_cores),
+                ("cores removed", self.removed_cores),
+                ("cores repositioned", self.moved_cores)):
+            if items:
+                lines.append(f"{label}: {', '.join(sorted(items))}")
+        if self.merit_deltas:
+            lines.append("figures of merit moved:")
+            lines += [f"  {delta.describe()}"
+                      for delta in self.merit_deltas]
+        return "\n".join(lines)
+
+
+def _property_index(layer: DesignSpaceLayer) -> Dict[str, Property]:
+    index: Dict[str, Property] = {}
+    for cdo in layer.all_cdos():
+        for prop in cdo.own_properties:
+            index[f"{prop.name}@{cdo.qualified_name}"] = prop
+    return index
+
+
+def _core_index(layer: DesignSpaceLayer) -> Dict[str, DesignObject]:
+    index: Dict[str, DesignObject] = {}
+    for library in layer.libraries.libraries:
+        for core in library:
+            index[f"{library.name}/{core.name}"] = core
+    return index
+
+
+def diff_layers(old: DesignSpaceLayer, new: DesignSpaceLayer,
+                merit_tolerance: float = 1e-9) -> LayerDiff:
+    """Compare two layers structurally.
+
+    ``merit_tolerance`` is the relative change below which a figure of
+    merit counts as unchanged (re-characterization noise).
+    """
+    diff = LayerDiff()
+
+    old_cdos = {c.qualified_name for c in old.all_cdos()}
+    new_cdos = {c.qualified_name for c in new.all_cdos()}
+    diff.added_cdos = sorted(new_cdos - old_cdos)
+    diff.removed_cdos = sorted(old_cdos - new_cdos)
+
+    old_props = _property_index(old)
+    new_props = _property_index(new)
+    diff.added_properties = sorted(set(new_props) - set(old_props))
+    diff.removed_properties = sorted(set(old_props) - set(new_props))
+
+    old_cores = _core_index(old)
+    new_cores = _core_index(new)
+    diff.added_cores = sorted(set(new_cores) - set(old_cores))
+    diff.removed_cores = sorted(set(old_cores) - set(new_cores))
+
+    for key in sorted(set(old_cores) & set(new_cores)):
+        before, after = old_cores[key], new_cores[key]
+        if before.cdo_name != after.cdo_name or \
+                before.properties != after.properties:
+            diff.moved_cores.append(key)
+        metrics = set(before.merits) | set(after.merits)
+        for metric in sorted(metrics):
+            b = before.merit_or_none(metric)
+            a = after.merit_or_none(metric)
+            if b is None or a is None:
+                if b != a:
+                    diff.merit_deltas.append(
+                        MeritDelta(key, metric, b or 0.0, a or 0.0))
+                continue
+            if b == 0 and a == 0:
+                continue
+            scale = max(abs(b), abs(a))
+            if abs(a - b) / scale > merit_tolerance:
+                diff.merit_deltas.append(MeritDelta(key, metric, b, a))
+    return diff

@@ -1,0 +1,223 @@
+"""The design space layer itself (paper Fig 1).
+
+A :class:`DesignSpaceLayer` bundles everything a design environment
+tailors to its application domains:
+
+* a forest of CDO hierarchies (Fig 5's ``Operator`` tree is one root);
+* name aliases (the paper freely abbreviates
+  ``Operator.Modular.Multiplier`` as ``OMM``);
+* the consistency constraints governing exploration (Fig 13);
+* registered early estimation tools (invoked through CC relations);
+* selector implementations for the path language; and
+* a federation of reuse libraries whose cores the layer indexes.
+
+The layer is purely a *representation* — exploration state lives in
+:class:`repro.core.session.ExplorationSession` objects created from it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.cdo import QNAME_SEP, ClassOfDesignObjects
+from repro.core.constraints import ConsistencyConstraint, ConstraintSet
+from repro.core.designobject import DesignObject
+from repro.core.library import LibraryFederation, ReuseLibrary
+from repro.core.path import PropertyPath, SelectorRegistry, parse_path
+from repro.core.properties import Property
+from repro.errors import HierarchyError, LibraryError, PathError
+
+
+class DesignSpaceLayer:
+    """A self-documented, compartmentalized design space representation."""
+
+    def __init__(self, name: str, doc: str):
+        if not name:
+            raise HierarchyError("layer name must be non-empty")
+        if not doc:
+            raise HierarchyError(f"layer {name!r} needs a documentation string")
+        self.name = name
+        self.doc = doc
+        self._roots: Dict[str, ClassOfDesignObjects] = {}
+        self._aliases: Dict[str, str] = {}
+        self.constraints = ConstraintSet()
+        self.libraries = LibraryFederation()
+        self.selectors = SelectorRegistry()
+        self._tools: Dict[str, Callable] = {}
+
+    # ------------------------------------------------------------------
+    # hierarchy management
+    # ------------------------------------------------------------------
+    def add_root(self, cdo: ClassOfDesignObjects) -> ClassOfDesignObjects:
+        if cdo.parent is not None:
+            raise HierarchyError(
+                f"{cdo.qualified_name} is not a root (it has a parent)")
+        if cdo.name in self._roots:
+            raise HierarchyError(f"duplicate root CDO {cdo.name!r}")
+        self._roots[cdo.name] = cdo
+        return cdo
+
+    @property
+    def roots(self) -> Sequence[ClassOfDesignObjects]:
+        return tuple(self._roots.values())
+
+    def all_cdos(self) -> List[ClassOfDesignObjects]:
+        out: List[ClassOfDesignObjects] = []
+        for root in self._roots.values():
+            out.extend(root.walk())
+        return out
+
+    def cdo(self, qualified_name: str) -> ClassOfDesignObjects:
+        """Look up a CDO by qualified name or registered alias."""
+        qualified_name = self._aliases.get(qualified_name, qualified_name)
+        parts = qualified_name.split(QNAME_SEP)
+        try:
+            node = self._roots[parts[0]]
+        except KeyError:
+            raise HierarchyError(
+                f"layer {self.name!r}: no root CDO {parts[0]!r} "
+                f"(roots: {sorted(self._roots)})") from None
+        for part in parts[1:]:
+            matches = [c for c in node.children if c.name == part]
+            if not matches:
+                raise HierarchyError(
+                    f"layer {self.name!r}: {node.qualified_name} has no "
+                    f"child {part!r}")
+            node = matches[0]
+        return node
+
+    def has_cdo(self, qualified_name: str) -> bool:
+        try:
+            self.cdo(qualified_name)
+            return True
+        except HierarchyError:
+            return False
+
+    # ------------------------------------------------------------------
+    # aliases
+    # ------------------------------------------------------------------
+    def add_alias(self, alias: str, qualified_name: str) -> None:
+        """Register an abbreviation (``OMM`` -> ``Operator.Modular.Multiplier``)."""
+        if alias in self._aliases:
+            raise HierarchyError(f"duplicate alias {alias!r}")
+        # Fail fast if the target does not exist.
+        self.cdo(qualified_name)
+        self._aliases[alias] = qualified_name
+
+    @property
+    def aliases(self) -> Mapping[str, str]:
+        return dict(self._aliases)
+
+    # ------------------------------------------------------------------
+    # constraints and tools
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: ConsistencyConstraint
+                       ) -> ConsistencyConstraint:
+        return self.constraints.add(constraint)
+
+    def register_tool(self, name: str, tool: Callable) -> None:
+        """Register an early estimation tool, addressable from
+        :class:`~repro.core.relations.EstimatorInvocation` relations."""
+        if name in self._tools:
+            raise HierarchyError(f"estimation tool {name!r} already registered")
+        self._tools[name] = tool
+
+    @property
+    def tools(self) -> Mapping[str, Callable]:
+        return dict(self._tools)
+
+    # ------------------------------------------------------------------
+    # libraries / cores
+    # ------------------------------------------------------------------
+    def attach_library(self, library: ReuseLibrary) -> ReuseLibrary:
+        """Attach a reuse library; every core must index under a known CDO."""
+        for core in library:
+            self._check_core(core)
+        return self.libraries.attach(library)
+
+    def _check_core(self, core: DesignObject) -> None:
+        if not self.has_cdo(core.cdo_name):
+            raise LibraryError(
+                f"core {core.name!r} indexes under unknown CDO "
+                f"{core.cdo_name!r}")
+
+    def cores_under(self, qualified_name: str,
+                    include_descendants: bool = True) -> List[DesignObject]:
+        cdo = self.cdo(qualified_name)
+        return self.libraries.cores_under(cdo.qualified_name,
+                                          include_descendants)
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+    def resolve_path(self, path: "str | PropertyPath"
+                     ) -> List[Tuple[ClassOfDesignObjects, Property]]:
+        if isinstance(path, str):
+            path = parse_path(path)
+        return path.expand_aliases(self._aliases).resolve(self.all_cdos())
+
+    def resolve_single(self, path: "str | PropertyPath"
+                       ) -> Tuple[ClassOfDesignObjects, Property]:
+        hits = self.resolve_path(path)
+        # Multiple matched CDOs may inherit the same declared property;
+        # that still identifies a single property schema.
+        unique = {id(prop): (cdo, prop) for cdo, prop in hits}
+        if len(unique) > 1:
+            rendered = path if isinstance(path, str) else path.render()
+            raise PathError(
+                f"{rendered}: ambiguous — resolves to "
+                f"{[f'{p.name}@{c.qualified_name}' for c, p in hits]}")
+        return next(iter(unique.values()))
+
+    # ------------------------------------------------------------------
+    # validation / documentation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural sanity of the whole layer.
+
+        Checks each hierarchy's invariants, that every indexed core's CDO
+        exists, and that every constraint's path references resolve.
+        """
+        for root in self._roots.values():
+            root.validate_subtree()
+        for core in self.libraries:
+            self._check_core(core)
+        cdos = self.all_cdos()
+        for constraint in self.constraints:
+            for alias, ref in {**constraint.independents,
+                               **constraint.dependents,
+                               **constraint.shorts}.items():
+                if isinstance(ref, PropertyPath):
+                    try:
+                        ref.expand_aliases(self._aliases).resolve(cdos)
+                    except PathError as exc:
+                        raise PathError(
+                            f"constraint {constraint.name!r}, alias "
+                            f"{alias!r}: {exc}") from exc
+
+    def describe(self) -> str:
+        """Multi-line self-documentation of the layer."""
+        lines = [f"Design space layer {self.name!r}: {self.doc}", ""]
+        for root in self._roots.values():
+            for node in root.walk():
+                depth = len(node.ancestors())
+                indent = "  " * depth
+                marker = "" if node.is_leaf else " [+]"
+                lines.append(f"{indent}{node.name}{marker} -- {node.doc}")
+                for prop in node.own_properties:
+                    lines.append(f"{indent}  . {prop.describe()}")
+        if len(self.constraints):
+            lines.append("")
+            lines.append("Consistency constraints:")
+            for constraint in self.constraints:
+                lines.append(constraint.describe())
+        if len(self.libraries.libraries):
+            lines.append("")
+            names = ", ".join(f"{lib.name} ({len(lib)} cores)"
+                              for lib in self.libraries.libraries)
+            lines.append(f"Attached reuse libraries: {names}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DesignSpaceLayer {self.name} roots={sorted(self._roots)} "
+                f"cores={len(self.libraries)}>")

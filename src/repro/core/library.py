@@ -1,0 +1,157 @@
+"""Reuse libraries and the multi-library federation of Fig 1.
+
+The design space layer does not own design data: cores live in reuse
+libraries — possibly maintained by different IP providers — and the layer
+*references* them.  :class:`ReuseLibrary` is one such library;
+:class:`LibraryFederation` presents any number of libraries as a single
+queryable collection, which is how the layer "transparently indexes
+designs residing in different libraries".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+from repro.core.cdo import QNAME_SEP
+from repro.core.designobject import DesignObject
+from repro.errors import LibraryError
+
+
+def _is_same_or_descendant(cdo_name: str, ancestor_name: str) -> bool:
+    """Whether ``cdo_name`` equals or lies under ``ancestor_name``."""
+    return cdo_name == ancestor_name or cdo_name.startswith(
+        ancestor_name + QNAME_SEP)
+
+
+class ReuseLibrary:
+    """A named collection of design objects (one IP provider's library)."""
+
+    def __init__(self, name: str, doc: str = ""):
+        if not name:
+            raise LibraryError("library name must be non-empty")
+        self.name = name
+        self.doc = doc
+        self._cores: Dict[str, DesignObject] = {}
+
+    def add(self, core: DesignObject) -> DesignObject:
+        """Register a core; names are unique within a library."""
+        if core.name in self._cores:
+            raise LibraryError(
+                f"library {self.name!r}: duplicate core name {core.name!r}")
+        if not core.provenance:
+            core.provenance = self.name
+        self._cores[core.name] = core
+        return core
+
+    def add_all(self, cores: Iterable[DesignObject]) -> None:
+        for core in cores:
+            self.add(core)
+
+    def remove(self, name: str) -> DesignObject:
+        try:
+            return self._cores.pop(name)
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r}: no core named {name!r}") from None
+
+    def get(self, name: str) -> DesignObject:
+        try:
+            return self._cores[name]
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r}: no core named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cores
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    def __iter__(self) -> Iterator[DesignObject]:
+        return iter(self._cores.values())
+
+    def cores_under(self, cdo_name: str,
+                    include_descendants: bool = True) -> List[DesignObject]:
+        """Cores indexed at ``cdo_name`` (and, by default, below it —
+        "all available IDCT cores are indexed through the top IDCT
+        node")."""
+        if include_descendants:
+            return [c for c in self._cores.values()
+                    if _is_same_or_descendant(c.cdo_name, cdo_name)]
+        return [c for c in self._cores.values() if c.cdo_name == cdo_name]
+
+    def select(self, predicate: Callable[[DesignObject], bool]
+               ) -> List[DesignObject]:
+        return [c for c in self._cores.values() if predicate(c)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReuseLibrary {self.name} ({len(self)} cores)>"
+
+
+class LibraryFederation:
+    """Any number of reuse libraries behind one query surface (Fig 1).
+
+    Core names must be unique across the federation *as qualified names*
+    (``library/core``); bare-name lookup is provided when unambiguous.
+    """
+
+    def __init__(self, libraries: Sequence[ReuseLibrary] = ()):
+        self._libraries: Dict[str, ReuseLibrary] = {}
+        for library in libraries:
+            self.attach(library)
+
+    def attach(self, library: ReuseLibrary) -> ReuseLibrary:
+        if library.name in self._libraries:
+            raise LibraryError(f"library {library.name!r} already attached")
+        self._libraries[library.name] = library
+        return library
+
+    def detach(self, name: str) -> ReuseLibrary:
+        try:
+            return self._libraries.pop(name)
+        except KeyError:
+            raise LibraryError(f"no attached library named {name!r}") from None
+
+    @property
+    def libraries(self) -> Sequence[ReuseLibrary]:
+        return tuple(self._libraries.values())
+
+    def library(self, name: str) -> ReuseLibrary:
+        try:
+            return self._libraries[name]
+        except KeyError:
+            raise LibraryError(f"no attached library named {name!r}") from None
+
+    def __len__(self) -> int:
+        return sum(len(lib) for lib in self._libraries.values())
+
+    def __iter__(self) -> Iterator[DesignObject]:
+        for library in self._libraries.values():
+            yield from library
+
+    def cores_under(self, cdo_name: str,
+                    include_descendants: bool = True) -> List[DesignObject]:
+        out: List[DesignObject] = []
+        for library in self._libraries.values():
+            out.extend(library.cores_under(cdo_name, include_descendants))
+        return out
+
+    def get(self, name: str) -> DesignObject:
+        """Look up ``library/core`` or a bare core name (must be unique
+        across attached libraries)."""
+        if "/" in name:
+            library_name, _, core_name = name.partition("/")
+            return self.library(library_name).get(core_name)
+        hits = [lib.get(name) for lib in self._libraries.values() if name in lib]
+        if not hits:
+            raise LibraryError(f"no core named {name!r} in any attached library")
+        if len(hits) > 1:
+            owners = [c.provenance for c in hits]
+            raise LibraryError(
+                f"core name {name!r} is ambiguous across libraries {owners}; "
+                f"use 'library/core'")
+        return hits[0]
+
+    def select(self, predicate: Callable[[DesignObject], bool]
+               ) -> List[DesignObject]:
+        return [core for core in self if predicate(core)]

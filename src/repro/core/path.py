@@ -1,0 +1,250 @@
+"""Property paths — the layer's addressing notation (paper Figs 11/13).
+
+Consistency constraints and decompositions in the paper reference
+properties with expressions such as::
+
+    Radix@*.Hardware.Montgomery
+    EOL@Operator
+    oper(+,line:2)@BD@*.Hardware.Montgomery
+
+The general shape is ``selector@...@property@class-pattern``:
+
+* the rightmost element is a **class pattern** — dotted CDO names where
+  ``*`` is a wild card matching one or more path segments;
+* the element left of it is the **property name** to resolve on matching
+  classes (inherited properties count, as in the paper);
+* any further elements are **selectors** — functions applied to the
+  resolved property's value, e.g. ``oper(+,line:2)`` picks the ``+``
+  operator instance on line 2 of a behavioral description.  Selector
+  implementations are pluggable (see :class:`SelectorRegistry`); the
+  behaviour package registers ``oper``.
+
+Class patterns may use layer-registered aliases (``OMM`` for
+``Operator.Modular.Multiplier``) as single segments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.cdo import QNAME_SEP, ClassOfDesignObjects
+from repro.core.properties import Property
+from repro.errors import PathError, PropertyError
+
+WILDCARD = "*"
+
+_SELECTOR_RE = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)\((?P<args>.*)\)$")
+_SEGMENT_RE = re.compile(r"^[A-Za-z_0-9][A-Za-z_0-9\- ]*$")
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A parsed selector element, e.g. ``oper(+,line:2)``."""
+
+    name: str
+    args: Tuple[str, ...]
+
+    def render(self) -> str:
+        return f"{self.name}({','.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class ClassPattern:
+    """A dotted CDO pattern with ``*`` wild cards.
+
+    Matching is anchored at both ends against the CDO's qualified name:
+    ``*.Hardware.Montgomery`` matches any class whose path ends in
+    ``Hardware.Montgomery``; a pattern without wild cards must equal the
+    qualified name (after alias expansion).  A single trailing ``*``
+    (``Operator.*``) matches every strict descendant of ``Operator``.
+    """
+
+    segments: Tuple[str, ...]
+
+    def matches(self, qualified_name: str) -> bool:
+        parts = tuple(qualified_name.split(QNAME_SEP))
+        return _match_segments(self.segments, parts)
+
+    def render(self) -> str:
+        return QNAME_SEP.join(self.segments)
+
+
+def _match_segments(pattern: Tuple[str, ...], parts: Tuple[str, ...]) -> bool:
+    """Greedy-free recursive matcher; ``*`` consumes one or more parts."""
+    if not pattern:
+        return not parts
+    head, rest = pattern[0], pattern[1:]
+    if head == WILDCARD:
+        # '*' must consume at least one segment.
+        return any(_match_segments(rest, parts[i:])
+                   for i in range(1, len(parts) + 1))
+    if not parts or parts[0] != head:
+        return False
+    return _match_segments(rest, parts[1:])
+
+
+@dataclass(frozen=True)
+class PropertyPath:
+    """A fully parsed property path."""
+
+    selectors: Tuple[Selector, ...]
+    property_name: str
+    pattern: ClassPattern
+
+    def render(self) -> str:
+        left = [s.render() for s in self.selectors]
+        left.append(self.property_name)
+        left.append(self.pattern.render())
+        return "@".join(left)
+
+    # ------------------------------------------------------------------
+    def resolve_classes(self, cdos: Sequence[ClassOfDesignObjects],
+                        aliases: Optional[Mapping[str, str]] = None,
+                        ) -> List[ClassOfDesignObjects]:
+        """CDOs (from the given universe) whose qualified name matches."""
+        pattern = self.expand_aliases(aliases).pattern if aliases else self.pattern
+        return [cdo for cdo in cdos if pattern.matches(cdo.qualified_name)]
+
+    def resolve(self, cdos: Sequence[ClassOfDesignObjects],
+                aliases: Optional[Mapping[str, str]] = None,
+                ) -> List[Tuple[ClassOfDesignObjects, Property]]:
+        """Resolve to ``(cdo, property)`` pairs.
+
+        A matching CDO contributes a pair when the property is visible on
+        it (declared there or inherited).  It is an error if *no*
+        matching class exposes the property — that means the path is
+        stale with respect to the layer, and the paper's layers are
+        supposed to stay self-consistent.
+        """
+        matched = self.resolve_classes(cdos, aliases)
+        if not matched:
+            raise PathError(f"{self.render()}: no class matches pattern "
+                            f"{self.pattern.render()!r}")
+        out: List[Tuple[ClassOfDesignObjects, Property]] = []
+        for cdo in matched:
+            try:
+                out.append((cdo, cdo.find_property(self.property_name)))
+            except PropertyError:
+                continue
+        if not out:
+            raise PathError(
+                f"{self.render()}: property {self.property_name!r} not "
+                f"visible on any of {[c.qualified_name for c in matched]}")
+        return out
+
+    def expand_aliases(self, aliases: Mapping[str, str]) -> "PropertyPath":
+        """Return a copy with alias segments replaced by their expansion."""
+        segments: List[str] = []
+        for seg in self.pattern.segments:
+            if seg in aliases:
+                segments.extend(aliases[seg].split(QNAME_SEP))
+            else:
+                segments.append(seg)
+        return PropertyPath(self.selectors, self.property_name,
+                            ClassPattern(tuple(segments)))
+
+
+def _split_top_level(text: str, sep: str) -> List[str]:
+    """Split on ``sep`` outside parentheses (selector args contain none of
+    the path separators, but commas inside ``oper(+,line:2)`` must not
+    split the selector)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise PathError(f"unbalanced ')' in {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise PathError(f"unbalanced '(' in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_pattern(text: str) -> ClassPattern:
+    """Parse a dotted class pattern (no ``@``)."""
+    text = text.strip()
+    if not text:
+        raise PathError("empty class pattern")
+    segments = tuple(seg.strip() for seg in text.split(QNAME_SEP))
+    for seg in segments:
+        if seg == WILDCARD:
+            continue
+        if not _SEGMENT_RE.match(seg):
+            raise PathError(f"bad pattern segment {seg!r} in {text!r}")
+    return ClassPattern(segments)
+
+
+def parse_path(text: str) -> PropertyPath:
+    """Parse a full property path.
+
+    >>> p = parse_path("Radix@*.Hardware.Montgomery")
+    >>> p.property_name, p.pattern.segments
+    ('Radix', ('*', 'Hardware', 'Montgomery'))
+    >>> parse_path("oper(+,line:2)@BD@*.Hardware").selectors[0].name
+    'oper'
+    """
+    elements = [e.strip() for e in _split_top_level(text.strip(), "@")]
+    if len(elements) < 2:
+        raise PathError(
+            f"{text!r}: a property path needs at least 'property@pattern'")
+    pattern = parse_pattern(elements[-1])
+    property_name = elements[-2]
+    if not property_name or _SELECTOR_RE.match(property_name):
+        raise PathError(f"{text!r}: {property_name!r} is not a property name")
+    selectors: List[Selector] = []
+    # Selectors written left-to-right apply outermost-first; store in
+    # application order (innermost first).
+    for element in reversed(elements[:-2]):
+        match = _SELECTOR_RE.match(element)
+        if not match:
+            raise PathError(f"{text!r}: {element!r} is not a selector call")
+        raw_args = match.group("args").strip()
+        args = tuple(a.strip() for a in raw_args.split(",")) if raw_args else ()
+        selectors.append(Selector(match.group("name"), args))
+    return PropertyPath(tuple(selectors), property_name, pattern)
+
+
+#: A selector implementation maps (value, selector args) -> value.
+SelectorFn = Callable[[object, Tuple[str, ...]], object]
+
+
+class SelectorRegistry:
+    """Pluggable selector implementations, keyed by selector name.
+
+    The core layer ships none; :mod:`repro.behavior.operators` registers
+    ``oper`` for behavioral descriptions.  Layers may add their own.
+    """
+
+    def __init__(self) -> None:
+        self._selectors: Dict[str, SelectorFn] = {}
+
+    def register(self, name: str, fn: SelectorFn) -> None:
+        if name in self._selectors:
+            raise PathError(f"selector {name!r} already registered")
+        self._selectors[name] = fn
+
+    def apply(self, selector: Selector, value: object) -> object:
+        try:
+            fn = self._selectors[selector.name]
+        except KeyError:
+            raise PathError(f"unknown selector {selector.name!r}") from None
+        return fn(value, selector.args)
+
+    def apply_chain(self, selectors: Sequence[Selector], value: object) -> object:
+        for selector in selectors:
+            value = self.apply(selector, value)
+        return value
+
+    def names(self) -> Sequence[str]:
+        return tuple(sorted(self._selectors))

@@ -1,0 +1,228 @@
+"""Properties — the meta-data discretizing the design space (paper Sec 4).
+
+The paper classifies the properties attached to a class of design objects
+(CDO) into three kinds:
+
+* **behavioral and structural descriptions** — define the structure or
+  intended behaviour of design objects at some level of abstraction;
+* **design requirements** — target performance/area/power plus other
+  "problem givens" (word size, precision, whether the modulo is odd, ...);
+* **design decisions** (*design issues*) — the areas of design decision
+  that discriminate alternative implementations, e.g. "implementation
+  style" or "radix".
+
+A *generalized* design issue partitions the design space: each of its
+options spawns a child CDO.  A CDO may carry at most one generalized
+issue (enforced in :mod:`repro.core.cdo`).
+
+Properties are schema objects: values entered by the designer during
+conceptual design live in an :class:`~repro.core.session.ExplorationSession`,
+and values characterizing a concrete reusable core live in a
+:class:`~repro.core.designobject.DesignObject`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.core.values import AnyDomain, Context, Domain, EnumDomain
+from repro.errors import DomainError, PropertyError
+
+
+class PropertyKind(enum.Enum):
+    """The paper's three-way classification, plus the decomposition
+    construct of Sec 5.1.6 which references other CDOs."""
+
+    DESCRIPTION = "description"
+    REQUIREMENT = "requirement"
+    DESIGN_ISSUE = "design_issue"
+    DECOMPOSITION = "decomposition"
+
+
+class RequirementSense(enum.Enum):
+    """How a designer-entered requirement value constrains candidates.
+
+    ``MAX``: the entered value is an upper bound (``Latency <= 8 us``);
+    ``MIN``: a lower bound; ``EXACT``: must match; ``AT_LEAST_SUPPORT``:
+    a capability a core must cover (e.g. a core supporting EOL 1024 also
+    satisfies a 768-bit requirement).
+    """
+
+    MAX = "max"
+    MIN = "min"
+    EXACT = "exact"
+    AT_LEAST_SUPPORT = "at_least_support"
+
+
+_NAME_FORBIDDEN = set("@*.{}()，, \t\n")
+
+
+def _check_name(name: str) -> str:
+    if not name:
+        raise PropertyError("property name must be non-empty")
+    bad = set(name) & _NAME_FORBIDDEN
+    if bad:
+        raise PropertyError(
+            f"property name {name!r} contains reserved characters {sorted(bad)!r}")
+    return name
+
+
+class Property:
+    """Base class for all property schemata.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in property paths (``Radix@*.Hardware``); must be
+        free of path meta-characters.
+    domain:
+        The legal set of values (the paper's ``SetOfValues``).
+    doc:
+        Self-documentation string; the paper stresses that layers must be
+        self-documented, so an empty doc is rejected.
+    """
+
+    kind: PropertyKind = PropertyKind.DESCRIPTION
+
+    def __init__(self, name: str, domain: Optional[Domain] = None, doc: str = ""):
+        self.name = _check_name(name)
+        self.domain = domain if domain is not None else AnyDomain()
+        if not doc:
+            raise PropertyError(f"property {name!r} needs a documentation string")
+        self.doc = doc
+
+    def validate(self, value: object, context: Optional[Context] = None) -> object:
+        """Validate a candidate value against the domain."""
+        try:
+            return self.domain.validate(value, context)
+        except DomainError as exc:
+            raise DomainError(f"property {self.name!r}: {exc}") from exc
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.domain.describe()} -- {self.doc}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Requirement(Property):
+    """A design requirement / problem given (paper Fig 8).
+
+    ``sense`` states how an entered value filters reusable designs, and
+    ``unit`` documents the expected physical unit.
+    """
+
+    kind = PropertyKind.REQUIREMENT
+
+    def __init__(self, name: str, domain: Domain, doc: str,
+                 sense: RequirementSense = RequirementSense.EXACT,
+                 unit: str = ""):
+        super().__init__(name, domain, doc)
+        self.sense = sense
+        self.unit = unit
+
+    def satisfied_by(self, core_value: object, required: object) -> bool:
+        """Whether a core exposing ``core_value`` meets the designer's
+        entered value ``required``.
+
+        Cores that do not document the property at all are handled by the
+        pruning policy, not here.
+        """
+        if self.sense is RequirementSense.EXACT:
+            return core_value == required
+        if not isinstance(core_value, (int, float)) or isinstance(core_value, bool):
+            return core_value == required
+        if not isinstance(required, (int, float)) or isinstance(required, bool):
+            return core_value == required
+        if self.sense is RequirementSense.MAX:
+            return core_value <= required
+        if self.sense is RequirementSense.MIN:
+            return core_value >= required
+        # AT_LEAST_SUPPORT: core capability must cover the requirement.
+        return core_value >= required
+
+    def describe(self) -> str:
+        op = {RequirementSense.MAX: "<=", RequirementSense.MIN: ">=",
+              RequirementSense.EXACT: "=",
+              RequirementSense.AT_LEAST_SUPPORT: "supports"}[self.sense]
+        unit = f" [{self.unit}]" if self.unit else ""
+        return f"{self.name} {op} value in {self.domain.describe()}{unit} -- {self.doc}"
+
+
+class DesignIssue(Property):
+    """An area of design decision (paper Fig 11).
+
+    ``generalized=True`` marks the issue as partitioning the design space
+    (Sec 2.2): committing to one of its options specializes the current
+    CDO into the corresponding child class.  Generalized issues must have
+    finite enumerable domains, since each option names a child CDO.
+    """
+
+    kind = PropertyKind.DESIGN_ISSUE
+
+    def __init__(self, name: str, domain: Domain, doc: str,
+                 generalized: bool = False, default: object = None):
+        super().__init__(name, domain, doc)
+        self.generalized = generalized
+        if generalized and not domain.is_finite():
+            raise PropertyError(
+                f"generalized design issue {name!r} needs a finite option set")
+        if default is not None:
+            self.validate(default)
+        self.default = default
+
+    def options(self, context: Optional[Context] = None,
+                limit: int = 32) -> Sequence[object]:
+        """Enumerate (a sample of) the issue's options."""
+        if isinstance(self.domain, EnumDomain):
+            return self.domain.options
+        return self.domain.sample(limit, context)
+
+    def describe(self) -> str:
+        tag = "Generalized " if self.generalized else ""
+        dflt = f" Default: {self.default}" if self.default is not None else ""
+        return f"{tag}Design Issue {self.name}: {self.domain.describe()}{dflt} -- {self.doc}"
+
+
+class BehavioralDescription(Property):
+    """A behavioral/structural description property (paper Sec 5.1.6).
+
+    ``description`` is typically a :class:`repro.behavior.ir.Behavior`;
+    the core layer treats it opaquely — estimation tools and operator
+    selectors in property paths interpret it.
+    """
+
+    kind = PropertyKind.DESCRIPTION
+
+    def __init__(self, name: str, doc: str, description: object = None,
+                 level: str = "algorithm"):
+        super().__init__(name, AnyDomain(), doc)
+        self.description = description
+        self.level = level
+
+    def describe(self) -> str:
+        return f"Behavioral description {self.name} ({self.level} level) -- {self.doc}"
+
+
+class BehavioralDecomposition(Property):
+    """The decomposition construct of DI7 (paper Fig 11).
+
+    Declares that the operators appearing in a behavioral description are
+    themselves designed by exploring other CDOs in the layer.  ``source``
+    is a property path string locating the behavioral description(s), and
+    ``restrict_pattern`` optionally forces the operator CDOs considered
+    (the paper forces ``Hardware`` realizations with ``BD@*.Hardware``).
+    """
+
+    kind = PropertyKind.DECOMPOSITION
+
+    def __init__(self, name: str, doc: str, source: str,
+                 restrict_pattern: str = ""):
+        super().__init__(name, AnyDomain(), doc)
+        self.source = source
+        self.restrict_pattern = restrict_pattern
+
+    def describe(self) -> str:
+        restrict = f" restricted to {self.restrict_pattern}" if self.restrict_pattern else ""
+        return f"Behavioral decomposition {self.name} over {self.source}{restrict} -- {self.doc}"

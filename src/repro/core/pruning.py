@@ -1,0 +1,147 @@
+"""Design-space pruning: filtering cores by decisions and requirements.
+
+Each design decision made during conceptual design corresponds to a
+pruning of the component's design space: "the reusable designs that fall
+outside the selected region ... are immediately eliminated from
+consideration" (paper Sec 1).  This module implements that filter,
+independent of session mechanics so it can be unit-tested and reused by
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.designobject import DesignObject
+from repro.core.properties import Requirement
+
+
+class MissingPolicy(enum.Enum):
+    """How to treat a core that does not document a decided property.
+
+    ``EXCLUDE`` (default) mirrors the paper's indexing discipline: cores
+    are positioned in the space via design-issue values, so an
+    undocumented value means the core is not in the selected region.
+    ``INCLUDE`` keeps under-documented cores visible — useful when a
+    library is being migrated into the layer.
+    """
+
+    EXCLUDE = "exclude"
+    INCLUDE = "include"
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one filtering pass, for reporting and benchmarks."""
+
+    survivors: List[DesignObject]
+    #: core name -> human-readable reason it was eliminated.
+    eliminated: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def survivor_names(self) -> List[str]:
+        return [core.name for core in self.survivors]
+
+
+def _match_decision(core: DesignObject, name: str, option: object,
+                    policy: MissingPolicy) -> Optional[str]:
+    """None if the core complies with the decision, else the reason."""
+    if not core.has_property(name):
+        if policy is MissingPolicy.INCLUDE:
+            return None
+        return f"does not document decided issue {name!r}"
+    value = core.property_value(name)
+    if value != option:
+        return f"{name}={value!r} (decision: {option!r})"
+    return None
+
+
+def _match_requirement(core: DesignObject, req: Requirement, required: object,
+                       policy: MissingPolicy) -> Optional[str]:
+    """None if the core satisfies the requirement value, else the reason.
+
+    Requirement satisfaction checks both the core's documented property
+    value (a capability, e.g. supported EOL) and — for MAX/MIN senses —
+    the matching figure of merit when the property is absent but a merit
+    with the same name exists (e.g. a latency requirement against a
+    measured latency merit).
+
+    Unlike design issues, an *undocumented* requirement never eliminates
+    a core regardless of policy: cores are positioned in the design
+    space through their design-issue values; requirement properties they
+    do not document simply do not constrain them (e.g. a Brickell core
+    carries no ModuloIsOdd property because it works either way).
+    """
+    if core.has_property(req.name):
+        if req.satisfied_by(core.property_value(req.name), required):
+            return None
+        return (f"{req.name}={core.property_value(req.name)!r} fails "
+                f"required {required!r} ({req.sense.value})")
+    if core.has_merit(req.name):
+        if req.satisfied_by(core.merit(req.name), required):
+            return None
+        return (f"{req.name}={core.merit(req.name):g} fails required "
+                f"{required!r} ({req.sense.value})")
+    return None
+
+
+def prune(cores: Sequence[DesignObject],
+          decisions: Mapping[str, object],
+          requirements: Sequence[Tuple[Requirement, object]] = (),
+          policy: MissingPolicy = MissingPolicy.EXCLUDE) -> PruneReport:
+    """Filter ``cores`` down to those complying with every decision and
+    requirement value.
+
+    ``decisions`` maps design-issue names to the chosen option;
+    ``requirements`` pairs requirement schemata with the designer-entered
+    values.
+    """
+    survivors: List[DesignObject] = []
+    eliminated: Dict[str, str] = {}
+    for core in cores:
+        reason = None
+        for name, option in decisions.items():
+            reason = _match_decision(core, name, option, policy)
+            if reason:
+                break
+        if reason is None:
+            for req, value in requirements:
+                reason = _match_requirement(core, req, value, policy)
+                if reason:
+                    break
+        if reason is None:
+            survivors.append(core)
+        else:
+            eliminated[core.name] = reason
+    return PruneReport(survivors=survivors, eliminated=eliminated)
+
+
+def merit_ranges(cores: Sequence[DesignObject], metrics: Sequence[str]
+                 ) -> Dict[str, Tuple[float, float]]:
+    """Min/max of each metric over the cores that document it.
+
+    This is the "critical information on the set of reusable designs that
+    do comply with the decision, including ranges of performance and power
+    consumption" the paper surfaces after every pruning step.  Metrics no
+    surviving core documents are omitted.
+    """
+    ranges: Dict[str, Tuple[float, float]] = {}
+    for metric in metrics:
+        values = [core.merit(metric) for core in cores if core.has_merit(metric)]
+        if values:
+            ranges[metric] = (min(values), max(values))
+    return ranges
+
+
+def option_support(cores: Sequence[DesignObject], issue_name: str
+                   ) -> Dict[object, int]:
+    """How many cores realize each option of a design issue — lets the
+    designer see which regions of the space are populated."""
+    support: Dict[object, int] = {}
+    for core in cores:
+        if core.has_property(issue_name):
+            option = core.property_value(issue_name)
+            support[option] = support.get(option, 0) + 1
+    return support

@@ -1,0 +1,166 @@
+"""A fluent query interface over the layer's indexed cores.
+
+Sessions answer the guided-exploration question ("what survives my
+decisions?"); tools and scripts often need the direct one ("give me all
+radix-2 carry-save cores under OMM-HM, fastest first").  ``CoreQuery``
+provides that without bypassing the layer: queries are still expressed
+in design-space vocabulary (CDO regions, design-issue values, figures
+of merit), so they remain portable across the attached libraries.
+
+>>> fast = (CoreQuery(layer).under("OMM-HM")
+...         .where(Radix=2, AdderImplementation="Carry-Save")
+...         .merit_at_most("delay_us", 8.0)
+...         .order_by("latency_ns").limit(3).all())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.designobject import DesignObject
+from repro.core.evaluation import EvaluationSpace
+from repro.core.layer import DesignSpaceLayer
+from repro.core.library import LibraryFederation
+from repro.core.pruning import merit_ranges
+from repro.errors import ReproError
+
+
+class QueryError(ReproError):
+    """Malformed query."""
+
+
+_Filter = Callable[[DesignObject], bool]
+
+
+class CoreQuery:
+    """An immutable, chainable core query.
+
+    Every refinement returns a new query; terminal methods (:meth:`all`,
+    :meth:`first`, :meth:`count`, ...) execute it.
+    """
+
+    def __init__(self, source: Union[DesignSpaceLayer, LibraryFederation],
+                 _cdo: Optional[str] = None,
+                 _filters: Sequence[_Filter] = (),
+                 _order: Optional[Tuple[str, bool]] = None,
+                 _limit: Optional[int] = None):
+        self._source = source
+        self._cdo = _cdo
+        self._filters = tuple(_filters)
+        self._order = _order
+        self._limit = _limit
+
+    # ------------------------------------------------------------------
+    # refinement
+    # ------------------------------------------------------------------
+    def _derive(self, **changes) -> "CoreQuery":
+        state = dict(_cdo=self._cdo, _filters=self._filters,
+                     _order=self._order, _limit=self._limit)
+        state.update(changes)
+        return CoreQuery(self._source, **state)
+
+    def under(self, cdo_name: str) -> "CoreQuery":
+        """Restrict to cores indexed at/below a CDO (aliases resolve
+        when the source is a layer)."""
+        if isinstance(self._source, DesignSpaceLayer):
+            cdo_name = self._source.cdo(cdo_name).qualified_name
+        return self._derive(_cdo=cdo_name)
+
+    def where(self, **property_values) -> "CoreQuery":
+        """Keep cores whose documented properties equal the given
+        values (undocumented properties do not match)."""
+
+        def matches(core: DesignObject) -> bool:
+            return all(core.has_property(name)
+                       and core.property_value(name) == value
+                       for name, value in property_values.items())
+
+        return self._derive(_filters=self._filters + (matches,))
+
+    def where_fn(self, predicate: _Filter) -> "CoreQuery":
+        """Keep cores satisfying an arbitrary predicate."""
+        return self._derive(_filters=self._filters + (predicate,))
+
+    def merit_at_most(self, key: str, bound: float) -> "CoreQuery":
+        """Keep cores documenting ``key`` at or below ``bound``."""
+        return self._derive(_filters=self._filters + (
+            lambda core: core.has_merit(key) and core.merit(key) <= bound,))
+
+    def merit_at_least(self, key: str, bound: float) -> "CoreQuery":
+        return self._derive(_filters=self._filters + (
+            lambda core: core.has_merit(key) and core.merit(key) >= bound,))
+
+    def from_provider(self, provenance: str) -> "CoreQuery":
+        """Keep cores from one reuse library (Fig 1's A/B/C)."""
+        return self._derive(_filters=self._filters + (
+            lambda core: core.provenance == provenance,))
+
+    def order_by(self, merit_key: str, reverse: bool = False
+                 ) -> "CoreQuery":
+        """Sort by a figure of merit (cores lacking it sort last)."""
+        return self._derive(_order=(merit_key, reverse))
+
+    def limit(self, count: int) -> "CoreQuery":
+        if count < 0:
+            raise QueryError(f"limit must be >= 0, got {count}")
+        return self._derive(_limit=count)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _federation(self) -> LibraryFederation:
+        if isinstance(self._source, DesignSpaceLayer):
+            return self._source.libraries
+        return self._source
+
+    def all(self) -> List[DesignObject]:
+        federation = self._federation()
+        if self._cdo is not None:
+            cores = federation.cores_under(self._cdo)
+        else:
+            cores = list(federation)
+        for check in self._filters:
+            cores = [core for core in cores if check(core)]
+        if self._order is not None:
+            key, reverse = self._order
+            documented = [c for c in cores if c.has_merit(key)]
+            missing = [c for c in cores if not c.has_merit(key)]
+            documented.sort(key=lambda c: c.merit(key), reverse=reverse)
+            cores = documented + missing
+        if self._limit is not None:
+            cores = cores[:self._limit]
+        return cores
+
+    def first(self) -> Optional[DesignObject]:
+        hits = self.limit(1).all()
+        return hits[0] if hits else None
+
+    def one(self) -> DesignObject:
+        hits = self.limit(2).all()
+        if len(hits) != 1:
+            raise QueryError(
+                f"expected exactly one core, found {len(hits)}")
+        return hits[0]
+
+    def count(self) -> int:
+        return len(self.all())
+
+    def names(self) -> List[str]:
+        return [core.name for core in self.all()]
+
+    def exists(self) -> bool:
+        return self.first() is not None
+
+    def ranges(self, metrics: Sequence[str]
+               ) -> Dict[str, Tuple[float, float]]:
+        return merit_ranges(self.all(), metrics)
+
+    def evaluation_space(self, metrics: Sequence[str]) -> EvaluationSpace:
+        return EvaluationSpace.from_designs(self.all(), metrics,
+                                            skip_missing=True)
+
+    def pareto(self, metrics: Sequence[str]) -> List[DesignObject]:
+        """The non-dominated cores over the given (minimized) metrics."""
+        space = self.evaluation_space(metrics)
+        return [point.design for point in space.pareto_frontier()
+                if point.design is not None]

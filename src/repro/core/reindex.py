@@ -1,0 +1,81 @@
+"""Re-indexing cores into alternative specialization hierarchies.
+
+Paper Sec 6 (work in progress): "investigating the need for supporting
+the co-existence of different specialization hierarchies, so as to
+effectively guide designers based on the specific trade-offs they may
+be interested in locally or globally exploring."
+
+The mechanism that makes co-existence cheap is the same one that makes
+the layer "open": cores are *indexed*, not stored.  An alternative
+hierarchy therefore only needs a *classifier* — a function from a core
+to the qualified CDO name it occupies in the new organisation — and a
+mirror library of re-indexed references.  The cores' property values,
+figures of merit and views are shared with the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.designobject import DesignObject
+from repro.core.layer import DesignSpaceLayer
+from repro.core.library import ReuseLibrary
+from repro.errors import LibraryError
+
+#: Maps a core to its CDO in the alternative hierarchy (None = the core
+#: has no place there and is left out).
+Classifier = Callable[[DesignObject], Optional[str]]
+
+
+def reindexed_core(core: DesignObject, cdo_name: str) -> DesignObject:
+    """A copy of ``core`` indexed under a different CDO.
+
+    Property values, merits and views are shared by reference — the
+    alternative hierarchy presents the *same* design objects, only
+    organised differently.
+    """
+    clone = DesignObject(core.name, cdo_name,
+                         core.properties, core.merits,
+                         doc=core.doc, provenance=core.provenance)
+    for level in core.view_levels:
+        clone.set_view(level, core.view(level))
+    return clone
+
+
+def reindex(cores: Iterable[DesignObject], classifier: Classifier,
+            library_name: str,
+            doc: str = "re-indexed view of existing cores"
+            ) -> ReuseLibrary:
+    """Build the mirror library of an alternative hierarchy."""
+    library = ReuseLibrary(library_name, doc)
+    for core in cores:
+        target = classifier(core)
+        if target is None:
+            continue
+        library.add(reindexed_core(core, target))
+    return library
+
+
+def attach_alternative_hierarchy(layer: DesignSpaceLayer,
+                                 root, classifier: Classifier,
+                                 library_name: Optional[str] = None
+                                 ) -> ReuseLibrary:
+    """Add a co-existing hierarchy to a layer and populate it.
+
+    ``root`` is the new hierarchy's root CDO (its qualified names must
+    be what ``classifier`` produces).  Every core already indexed in
+    the layer is offered to the classifier; the resulting mirror
+    library is attached and returned.
+    """
+    existing = list(layer.libraries)
+    layer.add_root(root)
+    name = library_name or f"{root.name}-view"
+    library = reindex(existing, classifier, name,
+                      doc=f"re-indexed view under the {root.name} "
+                          f"hierarchy")
+    if not len(library):
+        raise LibraryError(
+            f"alternative hierarchy {root.name!r}: the classifier "
+            f"placed no cores")
+    layer.attach_library(library)
+    return library

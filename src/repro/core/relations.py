@@ -1,0 +1,184 @@
+"""Relations usable inside consistency constraints (paper Sec 4, Fig 13).
+
+The paper allows the relation of a consistency constraint (CC) to be
+"quite different in nature": stated exactly from first principles or
+heuristically, quantitative or qualitative, directly stating
+inconsistencies between options, or identifying inferior (dominated)
+combinations.  Four relation kinds cover the paper's CC1–CC4:
+
+* :class:`InconsistentOptions` — a predicate over bound values that, when
+  true, rejects the combination (CC1);
+* :class:`Formula` — computes a dependent value from the independents
+  (CC2's ``L = 2*EOL/R + 1``), optionally checking it against a bound;
+* :class:`EstimatorInvocation` — defines the utilization context of an
+  early estimation tool (CC3): the dependent value is produced by a tool
+  registered with the layer;
+* :class:`EliminateOptions` — removes dominated options of dependent
+  design issues from consideration (CC4).
+
+Each relation evaluates against a ``bindings`` mapping (alias -> value)
+and returns a :class:`RelationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintError
+
+Bindings = Mapping[str, object]
+
+
+@dataclass
+class RelationResult:
+    """Outcome of evaluating a relation.
+
+    ``ok`` is False only for hard violations.  ``derived`` carries values
+    computed for dependent aliases; ``eliminated`` carries
+    ``(property_name, option)`` pairs removed from consideration.
+    """
+
+    ok: bool = True
+    explanation: str = ""
+    derived: dict = field(default_factory=dict)
+    eliminated: List[Tuple[str, object]] = field(default_factory=list)
+
+
+class Relation:
+    """Base class for CC relations."""
+
+    #: Self-documentation, rendered in layer reports.
+    description: str = ""
+
+    def evaluate(self, bindings: Bindings,
+                 tools: Optional[Mapping[str, Callable]] = None
+                 ) -> RelationResult:
+        raise NotImplementedError
+
+    def _require(self, bindings: Bindings, aliases: Sequence[str]) -> None:
+        missing = [a for a in aliases if a not in bindings]
+        if missing:
+            raise ConstraintError(
+                f"{type(self).__name__}: unbound aliases {missing}; "
+                f"bound: {sorted(bindings)}")
+
+
+class InconsistentOptions(Relation):
+    """Reject a combination of bound values (paper CC1, and the
+    Brickell-vs-odd-modulo example).
+
+    ``predicate(bindings)`` returning True means *inconsistent*.
+    """
+
+    def __init__(self, predicate: Callable[[Bindings], bool],
+                 description: str,
+                 requires: Sequence[str] = ()):
+        if not description:
+            raise ConstraintError("InconsistentOptions needs a description")
+        self.predicate = predicate
+        self.description = description
+        self.requires = tuple(requires)
+
+    def evaluate(self, bindings: Bindings,
+                 tools: Optional[Mapping[str, Callable]] = None
+                 ) -> RelationResult:
+        self._require(bindings, self.requires)
+        if self.predicate(bindings):
+            return RelationResult(ok=False, explanation=self.description)
+        return RelationResult(ok=True)
+
+
+class Formula(Relation):
+    """Derive a dependent value from the independents (paper CC2).
+
+    ``check`` (optional) receives the derived value and the bindings and
+    may declare a violation — used when the derived quantity must respect
+    a designer-entered requirement.
+    """
+
+    def __init__(self, target: str, fn: Callable[[Bindings], object],
+                 description: str,
+                 requires: Sequence[str] = (),
+                 check: Optional[Callable[[object, Bindings], Optional[str]]] = None):
+        if not description:
+            raise ConstraintError("Formula needs a description")
+        self.target = target
+        self.fn = fn
+        self.description = description
+        self.requires = tuple(requires)
+        self.check = check
+
+    def evaluate(self, bindings: Bindings,
+                 tools: Optional[Mapping[str, Callable]] = None
+                 ) -> RelationResult:
+        self._require(bindings, self.requires)
+        value = self.fn(bindings)
+        result = RelationResult(derived={self.target: value})
+        if self.check is not None:
+            problem = self.check(value, bindings)
+            if problem:
+                result.ok = False
+                result.explanation = problem
+        return result
+
+
+class EstimatorInvocation(Relation):
+    """Bind an early estimation tool to its utilization context (CC3).
+
+    The constraint's independents define *what* the tool may be applied
+    to; the tool itself is looked up by name in the ``tools`` registry the
+    layer passes at evaluation time, receives the bindings, and its result
+    becomes the derived value of ``target``.
+    """
+
+    def __init__(self, target: str, tool_name: str, description: str,
+                 requires: Sequence[str] = ()):
+        if not description:
+            raise ConstraintError("EstimatorInvocation needs a description")
+        self.target = target
+        self.tool_name = tool_name
+        self.description = description
+        self.requires = tuple(requires)
+
+    def evaluate(self, bindings: Bindings,
+                 tools: Optional[Mapping[str, Callable]] = None
+                 ) -> RelationResult:
+        self._require(bindings, self.requires)
+        if tools is None or self.tool_name not in tools:
+            raise ConstraintError(
+                f"estimation tool {self.tool_name!r} is not registered with "
+                f"the layer (available: {sorted(tools) if tools else []})")
+        value = tools[self.tool_name](bindings)
+        return RelationResult(derived={self.target: value})
+
+
+class EliminateOptions(Relation):
+    """Eliminate inferior/dominated options of dependent issues (CC4).
+
+    ``fn(bindings)`` returns ``(property_name, option)`` pairs that are no
+    longer to be considered given the bound independents.
+    """
+
+    def __init__(self, fn: Callable[[Bindings], Sequence[Tuple[str, object]]],
+                 description: str,
+                 requires: Sequence[str] = ()):
+        if not description:
+            raise ConstraintError("EliminateOptions needs a description")
+        self.fn = fn
+        self.description = description
+        self.requires = tuple(requires)
+
+    def evaluate(self, bindings: Bindings,
+                 tools: Optional[Mapping[str, Callable]] = None
+                 ) -> RelationResult:
+        self._require(bindings, self.requires)
+        eliminated = list(self.fn(bindings))
+        for item in eliminated:
+            if not (isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[0], str)):
+                raise ConstraintError(
+                    f"EliminateOptions must yield (property, option) pairs, "
+                    f"got {item!r}")
+        return RelationResult(eliminated=eliminated,
+                              explanation=self.description)

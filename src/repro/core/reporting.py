@@ -1,0 +1,181 @@
+"""Plain-text reporting helpers shared by examples and benchmarks.
+
+The paper's figures are ASCII-renderable: hierarchy diagrams (Figs 5/7),
+option tables (Figs 8/11) and scatter plots of the evaluation space
+(Figs 9/12).  These helpers keep the rendering in one place so the
+benchmark harness prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.evaluation import EvaluationSpace
+from repro.core.properties import DesignIssue, Requirement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.layer import DesignSpaceLayer
+
+
+def render_hierarchy(root: ClassOfDesignObjects,
+                     show_properties: bool = False) -> str:
+    """ASCII tree of a CDO hierarchy (paper Figs 5 and 7)."""
+    lines: List[str] = []
+
+    def visit(node: ClassOfDesignObjects, prefix: str, is_last: bool) -> None:
+        connector = "" if node.parent is None else ("`-- " if is_last else "|-- ")
+        via = ""
+        if node.option_of_parent is not None:
+            via = f" ({node.parent.generalized_issue.name}={node.option_of_parent})"
+        lines.append(f"{prefix}{connector}{node.name}{via}")
+        if show_properties:
+            inner = prefix + ("    " if is_last or node.parent is None else "|   ")
+            for prop in node.own_properties:
+                lines.append(f"{inner}  * {prop.describe()}")
+        children = list(node.children)
+        for i, child in enumerate(children):
+            extension = "" if node.parent is None else ("    " if is_last else "|   ")
+            visit(child, prefix + extension, i == len(children) - 1)
+
+    visit(root, "", True)
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table; numbers right-aligned, text left-aligned."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for original, row in zip(rows, cells):
+        rendered = []
+        for i, cell in enumerate(row):
+            if isinstance(original[i], (int, float)) and not isinstance(original[i], bool):
+                rendered.append(cell.rjust(widths[i]))
+            else:
+                rendered.append(cell.ljust(widths[i]))
+        out.append("  ".join(rendered))
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_markdown(layer: "DesignSpaceLayer") -> str:
+    """Render a layer as a self-documentation page in Markdown.
+
+    The paper insists layers be "self-documented"; this emits the whole
+    representation — hierarchies with their properties, aliases,
+    consistency constraints and attached libraries — as a human-readable
+    document suitable for a repository's docs directory.
+    """
+    lines: List[str] = [f"# Design space layer `{layer.name}`", "",
+                        layer.doc, ""]
+    for root in layer.roots:
+        lines.append(f"## Hierarchy `{root.name}`")
+        lines.append("")
+        for node in root.walk():
+            depth = len(node.ancestors())
+            indent = "  " * depth
+            via = ""
+            if node.option_of_parent is not None:
+                issue = node.parent.generalized_issue.name
+                via = f" *(via {issue} = {node.option_of_parent})*"
+            marker = "" if node.is_leaf else " **[generalized]**"
+            lines.append(f"{indent}- **{node.name}**{via}{marker} — "
+                         f"{node.doc}")
+            for prop in node.own_properties:
+                if isinstance(prop, Requirement):
+                    kind = f"requirement ({prop.sense.value})"
+                elif isinstance(prop, DesignIssue):
+                    kind = ("generalized design issue" if prop.generalized
+                            else "design issue")
+                else:
+                    kind = type(prop).__name__
+                lines.append(f"{indent}  - `{prop.name}` — {kind}: "
+                             f"{prop.doc}")
+        lines.append("")
+    if layer.aliases:
+        lines.append("## Aliases")
+        lines.append("")
+        for alias, target in sorted(layer.aliases.items()):
+            lines.append(f"- `{alias}` → `{target}`")
+        lines.append("")
+    if len(layer.constraints):
+        lines.append("## Consistency constraints")
+        lines.append("")
+        for constraint in layer.constraints:
+            lines.append(f"### {constraint.name}")
+            lines.append("")
+            lines.append(constraint.doc)
+            lines.append("")
+            lines.append("```")
+            lines.append(constraint.describe())
+            lines.append("```")
+            lines.append("")
+    libraries = layer.libraries.libraries
+    if libraries:
+        lines.append("## Reuse libraries")
+        lines.append("")
+        for library in libraries:
+            lines.append(f"- **{library.name}** ({len(library)} cores) — "
+                         f"{library.doc}")
+        lines.append("")
+    if layer.tools:
+        lines.append("## Registered estimation tools")
+        lines.append("")
+        for name in sorted(layer.tools):
+            lines.append(f"- `{name}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_scatter(space: EvaluationSpace, width: int = 64, height: int = 18,
+                   title: str = "") -> str:
+    """ASCII scatter plot of a two-metric evaluation space.
+
+    X is the first metric, Y the second (both increasing away from the
+    origin, matching the paper's area-vs-delay plots).  Point labels are
+    listed below the canvas because several points may share a cell.
+    """
+    if len(space.metrics) != 2:
+        raise ValueError("render_scatter needs exactly two metrics")
+    if not len(space):
+        return f"{title}\n(empty evaluation space)"
+    xs = [p.coords[0] for p in space]
+    ys = [p.coords[1] for p in space]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    labels: List[Tuple[str, float, float, str]] = []
+    for index, point in enumerate(space):
+        col = int((point.coords[0] - x_lo) / x_span * (width - 1))
+        row = int((point.coords[1] - y_lo) / y_span * (height - 1))
+        marker = chr(ord("a") + index % 26)
+        canvas[height - 1 - row][col] = marker
+        labels.append((marker, point.coords[0], point.coords[1], point.name))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{space.metrics[1]} ^   ({y_lo:g} .. {y_hi:g})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + f"> {space.metrics[0]} ({x_lo:g} .. {x_hi:g})")
+    for marker, x, y, name in labels:
+        lines.append(f"  {marker}: {name} ({x:g}, {y:g})")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Requirement sensitivity analysis.
+
+Early exploration's central question is "how hard is my spec?" — which
+requirement values open or close the design space.  This module sweeps
+a requirement across candidate values and records, for each value, how
+many cores survive and what the best achievable figures of merit are.
+The resulting curve shows the designer exactly where the spec's cliffs
+are (e.g. the latency bound below which only hardware — then only
+radix-4 hardware — then nothing — survives).
+
+The sweep never mutates the caller's session: each point runs on a
+disposable clone built from the same layer, with the same decisions
+re-applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.session import ExplorationSession
+from repro.errors import ReproError
+
+
+@dataclass
+class SweepPoint:
+    """One value of the swept requirement."""
+
+    value: object
+    candidates: int
+    #: metric -> best (minimum) value among survivors documenting it.
+    best: Dict[str, float] = field(default_factory=dict)
+    #: The decision sequence failed at this value (e.g. a consistency
+    #: constraint rejected it); candidates is then 0.
+    infeasible: bool = False
+
+
+@dataclass
+class SensitivityReport:
+    """The full sweep of one requirement."""
+
+    requirement: str
+    points: List[SweepPoint]
+
+    def cliff_values(self) -> List[object]:
+        """Values at which the candidate count changes — the spec's
+        cliffs, sorted in sweep order."""
+        cliffs: List[object] = []
+        previous: Optional[int] = None
+        for point in self.points:
+            if previous is not None and point.candidates != previous:
+                cliffs.append(point.value)
+            previous = point.candidates
+        return cliffs
+
+    def feasible_range(self) -> Tuple[Optional[object], Optional[object]]:
+        """First and last swept values with at least one candidate."""
+        feasible = [p.value for p in self.points if p.candidates > 0]
+        if not feasible:
+            return None, None
+        return feasible[0], feasible[-1]
+
+    def describe(self) -> str:
+        lines = [f"sensitivity of {self.requirement!r}:"]
+        for point in self.points:
+            best = ", ".join(f"{k}={v:g}"
+                             for k, v in sorted(point.best.items()))
+            note = " (infeasible)" if point.infeasible else ""
+            lines.append(f"  {point.value!r}: {point.candidates} "
+                         f"candidates{note}"
+                         + (f" [best {best}]" if best else ""))
+        return "\n".join(lines)
+
+
+def sweep_requirement(session: ExplorationSession, requirement: str,
+                      values: Sequence[object],
+                      metrics: Optional[Sequence[str]] = None
+                      ) -> SensitivityReport:
+    """Sweep ``requirement`` over ``values`` around the given session.
+
+    The session's other requirement values and its decision sequence
+    are replayed for every point; the session itself is untouched.
+    """
+    if not values:
+        raise ReproError("sweep needs at least one value")
+    metrics = tuple(metrics if metrics is not None
+                    else session.merit_metrics)
+    base_requirements = dict(session.requirement_values)
+    base_requirements.pop(requirement, None)
+    decisions = _decision_sequence(session)
+    points: List[SweepPoint] = []
+    for value in values:
+        clone = ExplorationSession(session.layer, _session_start(session),
+                                   merit_metrics=metrics,
+                                   missing_policy=session.missing_policy)
+        try:
+            clone.set_requirement(requirement, value)
+            for name, bound in base_requirements.items():
+                clone.set_requirement(name, bound)
+            for name, option in decisions:
+                clone.decide(name, option)
+        except ReproError:
+            points.append(SweepPoint(value, 0, infeasible=True))
+            continue
+        survivors = clone.candidates()
+        best: Dict[str, float] = {}
+        for metric in metrics:
+            documented = [core.merit(metric) for core in survivors
+                          if core.has_merit(metric)]
+            if documented:
+                best[metric] = min(documented)
+        points.append(SweepPoint(value, len(survivors), best))
+    return SensitivityReport(requirement, points)
+
+
+def _session_start(session: ExplorationSession) -> str:
+    """The CDO the session's replay must start from: strip the
+    generalized descents off the current position."""
+    node = session.current_cdo
+    while node.parent is not None and \
+            node.parent.generalized_issue is not None and \
+            node.parent.generalized_issue.name in session.decisions:
+        node = node.parent
+    return node.qualified_name
+
+
+def _decision_sequence(session: ExplorationSession
+                       ) -> List[Tuple[str, object]]:
+    """The session's decisions in replayable order (from the log, so
+    generalized descents come before the issues they expose)."""
+    order: List[Tuple[str, object]] = []
+    decided = session.decisions
+    for entry in session.log:
+        if entry.startswith("decision "):
+            name = entry.split(" ", 2)[1]
+            if name in decided and all(name != n for n, _v in order):
+                order.append((name, decided[name]))
+    # Decisions re-applied after undo may be missing from the trimmed
+    # log; append any leftovers in dictionary order.
+    for name, option in decided.items():
+        if all(name != n for n, _v in order):
+            order.append((name, option))
+    return order

@@ -1,0 +1,620 @@
+"""Exploration sessions: conceptual design over a design space layer.
+
+A session walks the generalization/specialization hierarchy the way the
+paper's designer does in Sec 5: enter requirement values from the system
+specification, address design issues in an order consistent with the
+layer's consistency constraints, descend into specialized CDOs when a
+*generalized* issue is decided, and at every step observe the surviving
+cores and their figure-of-merit ranges.
+
+The session enforces the CC semantics of Sec 4:
+
+* an issue appearing in a CC's dependent set cannot be addressed before
+  the CC's independents are bound (partial ordering);
+* deciding a combination a CC's relation rejects raises
+  :class:`~repro.errors.ConstraintViolation`;
+* options eliminated by ``EliminateOptions`` relations are withdrawn from
+  the issue's available options;
+* revising an independent marks every dependent *stale* — it "needs to be
+  re-assessed" — and recomputes derived values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.constraints import (
+    UNBOUND,
+    ConsistencyConstraint,
+    SessionBinding,
+)
+from repro.core.designobject import DesignObject
+from repro.core.layer import DesignSpaceLayer
+from repro.core.path import PropertyPath
+from repro.core.properties import (
+    BehavioralDescription,
+    DesignIssue,
+    Property,
+    Requirement,
+)
+from repro.core.pruning import MissingPolicy, PruneReport, merit_ranges, prune
+from repro.errors import (
+    ConstraintError,
+    ConstraintViolation,
+    PropertyError,
+    SessionError,
+)
+
+
+@dataclass
+class OptionInfo:
+    """What the layer can tell the designer about one option of an issue."""
+
+    option: object
+    eliminated: bool
+    elimination_reason: str
+    candidate_count: int
+    ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass
+class _State:
+    """Snapshot of all mutable session state (for undo)."""
+
+    cdo_name: str
+    requirements: Dict[str, object]
+    decisions: Dict[str, object]
+    derived: Dict[str, object]
+    stale: Set[str]
+    log: List[str]
+
+
+class ExplorationSession:
+    """One designer's traversal of a design space layer."""
+
+    def __init__(self, layer: DesignSpaceLayer,
+                 start: Union[str, ClassOfDesignObjects],
+                 merit_metrics: Sequence[str] = ("area", "latency_ns"),
+                 missing_policy: MissingPolicy = MissingPolicy.EXCLUDE):
+        self.layer = layer
+        self._cdo = layer.cdo(start) if isinstance(start, str) else start
+        #: Metrics summarized in range reports.
+        self.merit_metrics = tuple(merit_metrics)
+        self.missing_policy = missing_policy
+        self._requirements: Dict[str, object] = {}
+        self._decisions: Dict[str, object] = {}
+        self._derived: Dict[str, object] = {}
+        self._stale: Set[str] = set()
+        self._log: List[str] = []
+        self._history: List[_State] = []
+        self._checkpoints: Dict[str, _State] = {}
+        self._refresh_constraints()
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+    @property
+    def current_cdo(self) -> ClassOfDesignObjects:
+        return self._cdo
+
+    @property
+    def decisions(self) -> Mapping[str, object]:
+        return dict(self._decisions)
+
+    @property
+    def requirement_values(self) -> Mapping[str, object]:
+        return dict(self._requirements)
+
+    @property
+    def derived_values(self) -> Mapping[str, object]:
+        return dict(self._derived)
+
+    @property
+    def stale_properties(self) -> Set[str]:
+        return set(self._stale)
+
+    @property
+    def log(self) -> Sequence[str]:
+        return tuple(self._log)
+
+    def context(self) -> Dict[str, object]:
+        """Property-name -> value mapping used by dependent domains."""
+        ctx: Dict[str, object] = {}
+        ctx.update(self._derived)
+        ctx.update(self._requirements)
+        ctx.update(self._decisions)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # constraint machinery
+    # ------------------------------------------------------------------
+    def _applicable_constraints(self) -> List[ConsistencyConstraint]:
+        return self.layer.constraints.applicable(self._cdo, self.layer.aliases)
+
+    def _bind_ref(self, ref: Union[PropertyPath, SessionBinding]) -> object:
+        """Resolve one constraint reference to a value, or UNBOUND."""
+        if isinstance(ref, SessionBinding):
+            return ref.fn(self)
+        name = ref.property_name
+        if name in self._decisions:
+            value: object = self._decisions[name]
+        elif name in self._requirements:
+            value = self._requirements[name]
+        elif name in self._derived:
+            value = self._derived[name]
+        else:
+            try:
+                prop = self._cdo.find_property(name)
+            except PropertyError:
+                return UNBOUND
+            if isinstance(prop, BehavioralDescription) and prop.description is not None:
+                value = prop.description
+            elif isinstance(prop, DesignIssue) and prop.default is not None:
+                value = prop.default
+            else:
+                return UNBOUND
+        if ref.selectors:
+            value = self.layer.selectors.apply_chain(ref.selectors, value)
+        return value
+
+    def _bindings_for(self, constraint: ConsistencyConstraint,
+                      overrides: Optional[Mapping[str, object]] = None
+                      ) -> Optional[Dict[str, object]]:
+        """Bind the aliases of ``constraint``; None when incomplete.
+
+        Independents and shorts must all resolve; dependent aliases are
+        included when a value is available (a decided option, a
+        tentative override) and omitted otherwise — relations declare
+        via their ``requires`` lists whether they need them.
+
+        ``overrides`` maps *property names* to tentative values (used to
+        test a decision before committing it).
+        """
+        bindings: Dict[str, object] = {}
+        required = {**constraint.independents, **constraint.shorts}
+        for alias, ref in required.items():
+            value = self._lookup(ref, overrides)
+            if value is UNBOUND:
+                return None
+            bindings[alias] = value
+        for alias, ref in constraint.dependents.items():
+            value = self._lookup(ref, overrides)
+            if value is not UNBOUND:
+                bindings[alias] = value
+        return bindings
+
+    def _lookup(self, ref: Union[PropertyPath, SessionBinding],
+                overrides: Optional[Mapping[str, object]]) -> object:
+        if (overrides and isinstance(ref, PropertyPath)
+                and not ref.selectors
+                and ref.property_name in overrides):
+            return overrides[ref.property_name]
+        return self._bind_ref(ref)
+
+    def _independents_bound(self, constraint: ConsistencyConstraint) -> bool:
+        refs = {**constraint.independents, **constraint.shorts}
+        return all(self._bind_ref(ref) is not UNBOUND for ref in refs.values())
+
+    def _refresh_constraints(self,
+                             overrides: Optional[Mapping[str, object]] = None,
+                             enforce: bool = True) -> None:
+        """Re-evaluate every applicable, fully-bound constraint.
+
+        Updates derived values and option eliminations; raises
+        :class:`ConstraintViolation` for rejected combinations when
+        ``enforce``.
+        """
+        derived: Dict[str, object] = {}
+        eliminated: Dict[str, List[Tuple[object, str]]] = {}
+        for constraint in self._applicable_constraints():
+            bindings = self._bindings_for(constraint, overrides)
+            if bindings is None:
+                continue
+            try:
+                result = constraint.relation.evaluate(bindings, self.layer.tools)
+            except ConstraintError:
+                # The relation needs aliases this CC does not bind yet.
+                continue
+            if not result.ok and enforce:
+                raise ConstraintViolation(constraint.name,
+                                          result.explanation or constraint.doc)
+            for alias, value in result.derived.items():
+                target = self._alias_to_property(constraint, alias)
+                derived[target] = value
+            for prop_name, option in result.eliminated:
+                eliminated.setdefault(prop_name, []).append(
+                    (option, f"{constraint.name}: {constraint.doc}"))
+        self._derived = derived
+        self._eliminations = eliminated
+
+    @staticmethod
+    def _alias_to_property(constraint: ConsistencyConstraint,
+                           alias: str) -> str:
+        ref = constraint.dependents.get(alias)
+        if isinstance(ref, PropertyPath):
+            return ref.property_name
+        return alias
+
+    def eliminations_for(self, issue_name: str) -> List[Tuple[object, str]]:
+        """Options of ``issue_name`` currently eliminated, with reasons."""
+        return list(getattr(self, "_eliminations", {}).get(issue_name, []))
+
+    def pending_constraints(self) -> List[ConsistencyConstraint]:
+        """Applicable constraints whose independent sets are not bound."""
+        return [c for c in self._applicable_constraints()
+                if not self._independents_bound(c)]
+
+    def blocking_constraints(self, issue_name: str
+                             ) -> List[ConsistencyConstraint]:
+        """Constraints that gate ``issue_name`` and are not yet bound —
+        the designer must address their independents first (paper Sec 4)."""
+        gating = self.layer.constraints.gating(issue_name, self._cdo,
+                                               self.layer.aliases)
+        return [c for c in gating if not self._independents_bound(c)]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> None:
+        self._history.append(_State(
+            cdo_name=self._cdo.qualified_name,
+            requirements=dict(self._requirements),
+            decisions=dict(self._decisions),
+            derived=dict(self._derived),
+            stale=set(self._stale),
+            log=list(self._log),
+        ))
+
+    def undo(self) -> None:
+        """Revert the last mutating operation."""
+        if not self._history:
+            raise SessionError("nothing to undo")
+        self._restore(self._history.pop())
+
+    def _restore(self, state: "_State") -> None:
+        self._cdo = self.layer.cdo(state.cdo_name)
+        self._requirements = dict(state.requirements)
+        self._decisions = dict(state.decisions)
+        self._derived = dict(state.derived)
+        self._stale = set(state.stale)
+        self._log = list(state.log)
+        self._refresh_constraints(enforce=False)
+
+    def checkpoint(self, tag: str) -> None:
+        """Save the current state under a name for branched what-ifs.
+
+        Unlike :meth:`undo`'s linear history, named checkpoints let the
+        designer fork: explore one branch, ``restore`` the checkpoint,
+        explore another, and compare (the paper's trade-off exploration
+        is exactly this loop).
+        """
+        if not tag:
+            raise SessionError("checkpoint tag must be non-empty")
+        self._checkpoints[tag] = _State(
+            cdo_name=self._cdo.qualified_name,
+            requirements=dict(self._requirements),
+            decisions=dict(self._decisions),
+            derived=dict(self._derived),
+            stale=set(self._stale),
+            log=list(self._log),
+        )
+
+    def restore(self, tag: str) -> None:
+        """Return to a named checkpoint (linear undo history is kept,
+        with the restore itself undoable)."""
+        if tag not in self._checkpoints:
+            raise SessionError(
+                f"no checkpoint {tag!r}; saved: {sorted(self._checkpoints)}")
+        self._checkpoint()
+        self._restore(self._checkpoints[tag])
+        self._log.append(f"restored checkpoint {tag!r}")
+
+    def checkpoints(self) -> List[str]:
+        return sorted(self._checkpoints)
+
+    def set_requirement(self, name: str, value: object) -> None:
+        """Enter a requirement value from the system specification."""
+        prop = self._cdo.find_property(name)
+        if not isinstance(prop, Requirement):
+            raise SessionError(
+                f"{name!r} is a {type(prop).__name__}, not a requirement; "
+                f"use decide() for design issues")
+        prop.validate(value, self.context())
+        self._checkpoint()
+        previous = self._requirements.get(name)
+        self._requirements[name] = value
+        try:
+            self._refresh_constraints()
+        except ConstraintViolation:
+            self._requirements.pop(name)
+            if previous is not None:
+                self._requirements[name] = previous
+            self._history.pop()
+            raise
+        self._mark_dependents_stale(name)
+        self._stale.discard(name)
+        self._log.append(f"requirement {name} = {value!r}")
+
+    def decide(self, name: str, option: object) -> None:
+        """Commit a design decision; descends when the issue is generalized."""
+        prop = self._cdo.find_property(name)
+        if not isinstance(prop, DesignIssue):
+            raise SessionError(
+                f"{name!r} is a {type(prop).__name__}, not a design issue; "
+                f"use set_requirement() for requirements")
+        if prop.generalized and name in self._decisions:
+            # Re-deciding a generalized issue would hop to a sibling
+            # specialization while decisions made below the current one
+            # are still in force; the designer must retract first.
+            raise SessionError(
+                f"generalized issue {name!r} is already decided "
+                f"({self._decisions[name]!r}); retract() it to ascend "
+                f"before choosing another option")
+        blockers = self.blocking_constraints(name)
+        if blockers:
+            needs = sorted({p for c in blockers
+                            for p in c.independent_property_names()})
+            raise SessionError(
+                f"issue {name!r} is ordered after unresolved independents "
+                f"{needs} (constraints: {[c.name for c in blockers]})")
+        prop.validate(option, self.context())
+        for bad_option, reason in self.eliminations_for(name):
+            if bad_option == option:
+                raise ConstraintViolation(
+                    reason.split(":")[0],
+                    f"option {option!r} of {name!r} was eliminated: {reason}")
+        # Tentative evaluation before committing.
+        self._refresh_constraints(overrides={name: option})
+        self._checkpoint()
+        self._decisions[name] = option
+        self._refresh_constraints()
+        self._mark_dependents_stale(name)
+        self._stale.discard(name)
+        self._log.append(f"decision {name} = {option!r}")
+        if prop.generalized:
+            owner = self._cdo.find_property_owner(name)
+            assert owner is not None
+            child = owner.child_for_option(option)
+            on_path = child is self._cdo or child.is_ancestor_of(self._cdo)
+            if owner is self._cdo:
+                self._cdo = child
+                self._log.append(f"specialized to {child.qualified_name}")
+                self._refresh_constraints(enforce=False)
+            elif not on_path:
+                # The session already sits inside a *different* branch
+                # of this ancestor's partition; accepting the decision
+                # would contradict the current position.
+                self._decisions.pop(name, None)
+                self._history.pop()
+                raise SessionError(
+                    f"option {option!r} of {name!r} selects "
+                    f"{child.qualified_name}, but the exploration is "
+                    f"inside {self._cdo.qualified_name}")
+            # else: the option is the one this position already implies;
+            # record it without moving.
+
+    def retract(self, name: str) -> None:
+        """Withdraw a decision or requirement value.
+
+        Retracting a generalized decision ascends back above the
+        specialization it selected and drops every decision and
+        requirement that only exists below that point.
+        """
+        if name not in self._decisions and name not in self._requirements:
+            raise SessionError(f"{name!r} has not been addressed")
+        self._checkpoint()
+        if name in self._requirements:
+            del self._requirements[name]
+            self._log.append(f"retracted requirement {name}")
+        else:
+            prop = self._cdo.find_property(name)
+            del self._decisions[name]
+            self._log.append(f"retracted decision {name}")
+            if isinstance(prop, DesignIssue) and prop.generalized:
+                owner = self._cdo.find_property_owner(name)
+                assert owner is not None
+                dropped = self._drop_below(owner)
+                self._cdo = owner
+                if dropped:
+                    self._log.append(
+                        f"dropped deeper bindings: {sorted(dropped)}")
+                self._log.append(f"ascended to {owner.qualified_name}")
+        self._mark_dependents_stale(name)
+        self._refresh_constraints(enforce=False)
+
+    def _drop_below(self, cdo: ClassOfDesignObjects) -> Set[str]:
+        """Remove bindings of properties not visible from ``cdo``."""
+        dropped: Set[str] = set()
+        for store in (self._decisions, self._requirements):
+            for name in list(store):
+                if not cdo.has_property(name):
+                    del store[name]
+                    dropped.add(name)
+        return dropped
+
+    def revise(self, name: str, value: object) -> None:
+        """Change an already-addressed property.
+
+        Implements the paper's re-assessment rule: "when the independent
+        set is modified, the dependent set needs to be re-assessed" —
+        dependents of ``name`` become stale.
+        """
+        if name in self._requirements:
+            self.set_requirement(name, value)
+        elif name in self._decisions:
+            prop = self._cdo.find_property(name)
+            if isinstance(prop, DesignIssue) and prop.generalized:
+                raise SessionError(
+                    f"{name!r} is a generalized issue; retract() it to "
+                    f"ascend, then decide the new option")
+            self.decide(name, value)
+        else:
+            raise SessionError(f"{name!r} has not been addressed yet")
+
+    def _mark_dependents_stale(self, name: str) -> None:
+        for constraint in self._applicable_constraints():
+            if name in constraint.independent_property_names():
+                for dep in constraint.dependent_property_names():
+                    if dep in self._decisions or dep in self._requirements:
+                        self._stale.add(dep)
+
+    def acknowledge(self, name: str) -> None:
+        """Designer confirms a stale dependent is still valid."""
+        if name not in self._stale:
+            raise SessionError(f"{name!r} is not stale")
+        self._stale.discard(name)
+        self._log.append(f"re-assessed {name}")
+
+    # ------------------------------------------------------------------
+    # queries: candidates, options, ranges
+    # ------------------------------------------------------------------
+    def _requirement_pairs(self) -> List[Tuple[Requirement, object]]:
+        pairs: List[Tuple[Requirement, object]] = []
+        for name, value in self._requirements.items():
+            prop = self._cdo.find_property(name)
+            assert isinstance(prop, Requirement)
+            pairs.append((prop, value))
+        return pairs
+
+    def _filter_decisions(self) -> Dict[str, object]:
+        """Decisions used for core filtering.
+
+        Generalized decisions are realized by subtree indexing (the
+        session already descended), so they are excluded from the
+        property filter — a hard core indexed under ``...Hardware`` need
+        not re-document "Implementation Style".
+        """
+        out: Dict[str, object] = {}
+        for name, option in self._decisions.items():
+            prop = self._cdo.find_property(name)
+            if isinstance(prop, DesignIssue) and prop.generalized:
+                continue
+            out[name] = option
+        return out
+
+    def prune_report(self,
+                     extra: Optional[Mapping[str, object]] = None
+                     ) -> PruneReport:
+        """Current survivors with per-core elimination reasons."""
+        cores = self.layer.cores_under(self._cdo.qualified_name)
+        decisions = self._filter_decisions()
+        if extra:
+            decisions.update(extra)
+        return prune(cores, decisions, self._requirement_pairs(),
+                     self.missing_policy)
+
+    def candidates(self) -> List[DesignObject]:
+        """Cores complying with the requirements and decisions so far."""
+        return self.prune_report().survivors
+
+    def fom_ranges(self, metrics: Optional[Sequence[str]] = None
+                   ) -> Dict[str, Tuple[float, float]]:
+        """Figure-of-merit ranges over the current candidates."""
+        return merit_ranges(self.candidates(),
+                            metrics if metrics is not None else self.merit_metrics)
+
+    def available_options(self, issue_name: str,
+                          limit: int = 32) -> List[OptionInfo]:
+        """Options of an issue annotated with elimination status,
+        candidate counts and merit ranges — the information the paper
+        says should guide the designer at every step."""
+        prop = self._cdo.find_property(issue_name)
+        if not isinstance(prop, DesignIssue):
+            raise SessionError(f"{issue_name!r} is not a design issue")
+        eliminated = dict()
+        for option, reason in self.eliminations_for(issue_name):
+            eliminated[option] = reason
+        infos: List[OptionInfo] = []
+        for option in prop.options(self.context(), limit):
+            if option in eliminated:
+                infos.append(OptionInfo(option, True, eliminated[option], 0))
+                continue
+            report = self.prune_report(extra={issue_name: option}) \
+                if not prop.generalized else self._generalized_report(prop, option)
+            infos.append(OptionInfo(
+                option, False, "",
+                len(report.survivors),
+                merit_ranges(report.survivors, self.merit_metrics)))
+        return infos
+
+    def _generalized_report(self, prop: DesignIssue, option: object
+                            ) -> PruneReport:
+        """Candidates a generalized option would leave: the cores indexed
+        under the corresponding specialization."""
+        owner = self._cdo.find_property_owner(prop.name)
+        assert owner is not None
+        try:
+            child = owner.child_for_option(option)
+        except Exception:
+            return PruneReport(survivors=[])
+        cores = self.layer.cores_under(child.qualified_name)
+        return prune(cores, self._filter_decisions(),
+                     self._requirement_pairs(), self.missing_policy)
+
+    def explain(self, core_name: str) -> str:
+        """Why a core is (or is not) among the current candidates.
+
+        The paper's layer is supposed to keep the designer oriented;
+        "it vanished" is not an answer, so this surfaces the exact
+        decision or requirement that eliminated a core.
+        """
+        report = self.prune_report()
+        if core_name in report.eliminated:
+            return (f"{core_name} eliminated: "
+                    f"{report.eliminated[core_name]}")
+        if any(core.name == core_name for core in report.survivors):
+            return f"{core_name} survives every decision and requirement"
+        return (f"{core_name} is not indexed under "
+                f"{self._cdo.qualified_name} (outside the explored "
+                f"design-space region)")
+
+    def addressable_issues(self) -> List[DesignIssue]:
+        """Design issues visible here, not yet decided and not blocked.
+
+        Generalized issues of ancestor CDOs whose option is already
+        implied by the session's position (the branch was entered when
+        the session started below it) are settled, not addressable.
+        """
+        out = []
+        for issue in self._cdo.design_issues():
+            if issue.name in self._decisions:
+                continue
+            if issue.generalized:
+                owner = self._cdo.find_property_owner(issue.name)
+                if owner is not None and owner is not self._cdo:
+                    continue  # position already implies an option
+            if self.blocking_constraints(issue.name):
+                continue
+            out.append(issue)
+        return out
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Textual state summary for interactive use and the examples."""
+        lines = [f"Exploration of layer {self.layer.name!r}",
+                 f"  at CDO: {self._cdo.qualified_name}"]
+        if self._requirements:
+            lines.append("  requirements:")
+            for name, value in sorted(self._requirements.items()):
+                flag = "  [stale]" if name in self._stale else ""
+                lines.append(f"    {name} = {value!r}{flag}")
+        if self._decisions:
+            lines.append("  decisions:")
+            for name, option in sorted(self._decisions.items()):
+                flag = "  [stale]" if name in self._stale else ""
+                lines.append(f"    {name} = {option!r}{flag}")
+        if self._derived:
+            lines.append("  derived:")
+            for name, value in sorted(self._derived.items()):
+                lines.append(f"    {name} = {value!r}")
+        survivors = self.candidates()
+        lines.append(f"  candidate cores: {len(survivors)}")
+        for metric, (lo, hi) in sorted(self.fom_ranges().items()):
+            lines.append(f"    {metric}: {lo:g} .. {hi:g}")
+        pending = self.pending_constraints()
+        if pending:
+            lines.append(
+                f"  pending constraints: {[c.name for c in pending]}")
+        return "\n".join(lines)

@@ -1,0 +1,299 @@
+"""Value domains — the ``SetOfValues`` of the paper's properties.
+
+Every property in the design space layer (Fig 8 / Fig 11 of the paper)
+declares its set of legal values.  Some sets are finite enumerations
+(``{Hardware, Software}``), some are symbolic infinite sets
+(``{2^i | i in Z+}``), and some depend on the value of *another* property
+(``{i in Z+ | EOL mod i == 0}`` — the "Number of Slices" issue depends on
+the Effective Operand Length requirement).  This module models all three.
+
+Domains are schema objects: they validate candidate values and, where
+possible, enumerate representative members for front-ends and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import DomainError
+
+#: Type of the context passed to dependent domains: resolved property
+#: values by property name (e.g. ``{"EffectiveOperandLength": 768}``).
+Context = Mapping[str, object]
+
+
+class Domain:
+    """Abstract set of legal values for a property."""
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        """Return whether ``value`` is a member of the domain.
+
+        ``context`` supplies values of other properties for dependent
+        domains; independent domains ignore it.
+        """
+        raise NotImplementedError
+
+    def validate(self, value: object, context: Optional[Context] = None) -> object:
+        """Return ``value`` if legal, raise :class:`DomainError` otherwise."""
+        if not self.contains(value, context):
+            raise DomainError(f"{value!r} is not in {self.describe()}")
+        return value
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        """Return up to ``limit`` representative members (may be empty for
+        domains that cannot be enumerated)."""
+        return ()
+
+    def describe(self) -> str:
+        """Human-readable rendition of the set, close to the paper's
+        ``SetOfValues`` notation."""
+        raise NotImplementedError
+
+    def is_finite(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class EnumDomain(Domain):
+    """A finite, ordered set of named options.
+
+    The order is meaningful: front-ends present options in declaration
+    order, and the first option is the conventional position for the
+    paper's ``Default`` annotation (the default itself is stored on the
+    design issue, not here).
+    """
+
+    def __init__(self, options: Iterable[object]):
+        self.options = tuple(options)
+        if not self.options:
+            raise DomainError("an enumerated domain needs at least one option")
+        if len(set(self.options)) != len(self.options):
+            raise DomainError(f"duplicate options in {self.options!r}")
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        return value in self.options
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        return self.options[:limit]
+
+    def describe(self) -> str:
+        return "{" + ", ".join(str(o) for o in self.options) + "}"
+
+    def is_finite(self) -> bool:
+        return True
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.options)
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+
+class BoolDomain(EnumDomain):
+    """Convenience two-option domain for yes/no design issues."""
+
+    def __init__(self) -> None:
+        super().__init__((True, False))
+
+    def describe(self) -> str:
+        return "{True, False}"
+
+
+class RealRange(Domain):
+    """An interval of the reals, optionally half-open.
+
+    ``RealRange(lo=0)`` is the paper's ``R+`` (used for latency
+    requirements); bounds are inclusive when given.
+    """
+
+    def __init__(self, lo: Optional[float] = None, hi: Optional[float] = None,
+                 unit: str = ""):
+        if lo is not None and hi is not None and lo > hi:
+            raise DomainError(f"empty real range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.unit = unit
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        lo = self.lo if self.lo is not None else 0.0
+        hi = self.hi if self.hi is not None else lo + 100.0
+        if limit == 1:
+            return (lo,)
+        step = (hi - lo) / (limit - 1)
+        return tuple(lo + i * step for i in range(limit))
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        suffix = f" {self.unit}" if self.unit else ""
+        return f"[{lo}, {hi}]{suffix}"
+
+
+class IntRange(Domain):
+    """An interval of the integers (inclusive bounds when given)."""
+
+    def __init__(self, lo: Optional[int] = None, hi: Optional[int] = None):
+        if lo is not None and hi is not None and lo > hi:
+            raise DomainError(f"empty integer range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return False
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        lo = self.lo if self.lo is not None else 0
+        hi = self.hi if self.hi is not None else lo + limit - 1
+        return tuple(range(lo, min(hi, lo + limit - 1) + 1))
+
+    def is_finite(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"{{i in Z | {lo} <= i <= {hi}}}"
+
+
+class PowerOfTwoDomain(Domain):
+    """``{2^i | i in Z+}``, optionally bounded above.
+
+    The bound may be a number or the *name of a property* whose resolved
+    value caps the set — the paper's Radix issue is
+    ``{2^i | i in Z+, 2^i <= val(EOL)}``.
+    """
+
+    def __init__(self, max_value: Optional[object] = None, min_value: int = 2):
+        if min_value < 1 or (min_value & (min_value - 1)) != 0:
+            raise DomainError(f"min_value must be a power of two, got {min_value}")
+        self.max_value = max_value
+        self.min_value = min_value
+
+    def _resolved_max(self, context: Optional[Context]) -> Optional[int]:
+        if self.max_value is None:
+            return None
+        if isinstance(self.max_value, str):
+            if context is None or self.max_value not in context:
+                return None  # unbound: treat as unlimited until resolved
+            bound = context[self.max_value]
+        else:
+            bound = self.max_value
+        if not isinstance(bound, (int, float)):
+            raise DomainError(f"bound {self.max_value!r} resolved to non-number {bound!r}")
+        return int(bound)
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        if isinstance(value, bool) or not isinstance(value, int) or value < self.min_value:
+            return False
+        if value & (value - 1):
+            return False
+        bound = self._resolved_max(context)
+        return bound is None or value <= bound
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        bound = self._resolved_max(context)
+        out = []
+        v = self.min_value
+        while len(out) < limit and (bound is None or v <= bound):
+            out.append(v)
+            v *= 2
+        return tuple(out)
+
+    def describe(self) -> str:
+        cap = ""
+        if self.max_value is not None:
+            cap = f", 2^i <= val({self.max_value})" if isinstance(self.max_value, str) \
+                else f", 2^i <= {self.max_value}"
+        return f"{{2^i | i in Z+, 2^i >= {self.min_value}{cap}}}"
+
+
+class DivisorDomain(Domain):
+    """``{i in Z+ | N mod i == 0}`` where ``N`` is a number or the name of
+    a property (the paper's "Number of Slices" issue divides the EOL)."""
+
+    def __init__(self, of: object):
+        self.of = of
+
+    def _resolved(self, context: Optional[Context]) -> Optional[int]:
+        if isinstance(self.of, str):
+            if context is None or self.of not in context:
+                return None
+            value = context[self.of]
+        else:
+            value = self.of
+        if not isinstance(value, (int, float)) or int(value) <= 0:
+            raise DomainError(f"divisor base {self.of!r} resolved to {value!r}")
+        return int(value)
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+            return False
+        base = self._resolved(context)
+        return base is None or base % value == 0
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        base = self._resolved(context)
+        if base is None:
+            return tuple(range(1, limit + 1))
+        divisors = sorted(
+            d for i in range(1, int(math.isqrt(base)) + 1) if base % i == 0
+            for d in {i, base // i}
+        )
+        return tuple(divisors[:limit])
+
+    def describe(self) -> str:
+        base = f"val({self.of})" if isinstance(self.of, str) else str(self.of)
+        return f"{{i in Z+ | {base} mod i == 0}}"
+
+
+class PredicateDomain(Domain):
+    """Escape hatch: membership decided by an arbitrary predicate.
+
+    Used by domain layers for sets the stock domains cannot express; the
+    mandatory ``description`` keeps the layer self-documenting.
+    """
+
+    def __init__(self, predicate: Callable[[object, Optional[Context]], bool],
+                 description: str,
+                 samples: Sequence[object] = ()):
+        self.predicate = predicate
+        self.description = description
+        self.samples = tuple(samples)
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        return bool(self.predicate(value, context))
+
+    def sample(self, limit: int = 8, context: Optional[Context] = None) -> Sequence[object]:
+        return self.samples[:limit]
+
+    def describe(self) -> str:
+        return self.description
+
+
+class AnyDomain(Domain):
+    """The universal set — used for free-form properties such as attached
+    behavioral descriptions, where structure is enforced elsewhere."""
+
+    def contains(self, value: object, context: Optional[Context] = None) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "{any}"

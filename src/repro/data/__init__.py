@@ -1,0 +1,22 @@
+"""Reference numbers transcribed from the paper, for shape comparison."""
+
+from repro.data.paper_table1 import (
+    CASE_STUDY_REQUIREMENTS,
+    FIG6_HARDWARE_US,
+    FIG6_SOFTWARE_US,
+    FIG9_BRICKELL_WINDOW,
+    FIG9_MONTGOMERY_WINDOW,
+    FIG12_POINTS,
+    RECIPES,
+    SLICE_WIDTHS,
+    TABLE1,
+    Cell,
+    cell,
+    reliable_cells,
+)
+
+__all__ = [
+    "CASE_STUDY_REQUIREMENTS", "FIG6_HARDWARE_US", "FIG6_SOFTWARE_US",
+    "FIG9_BRICKELL_WINDOW", "FIG9_MONTGOMERY_WINDOW", "FIG12_POINTS",
+    "RECIPES", "SLICE_WIDTHS", "TABLE1", "Cell", "cell", "reliable_cells",
+]

@@ -1,0 +1,163 @@
+"""Reference numbers transcribed from the paper (Table 1, Figs 6/9/12).
+
+The available scan of the paper interleaves Table 1's columns, so not
+every cell could be recovered unambiguously.  Cells are stored as
+:class:`Cell` with a ``reliable`` flag: reliable cells were
+cross-checked against Fig 12 (which plots the 64-bit column) and the
+internal consistency ``latency ~= cycles * clk``; unreliable ones carry
+the best-effort reading and are excluded from calibration assertions.
+
+Units: Area in LSI G10 library units, Latency and Clk in ns (Table 1
+footnote: latency computed for EOL = slice width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Design recipes exactly as printed (radix, algorithm, adder, multiplier).
+RECIPES: Dict[int, Tuple[int, str, str, str]] = {
+    1: (2, "Montgomery", "Carry-Look-Ahead", "N/A"),
+    2: (2, "Montgomery", "Carry-Save", "N/A"),
+    3: (4, "Montgomery", "Carry-Look-Ahead", "Array-Multiplier"),
+    4: (4, "Montgomery", "Carry-Save", "Array-Multiplier"),
+    5: (4, "Montgomery", "Carry-Save", "Multiplexer-Based"),
+    6: (4, "Montgomery", "Carry-Look-Ahead", "Multiplexer-Based"),
+    7: (2, "Brickell", "Carry-Look-Ahead", "N/A"),
+    8: (2, "Brickell", "Carry-Save", "N/A"),
+}
+
+SLICE_WIDTHS = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (design, slice width) cell of Table 1."""
+
+    area: float
+    latency_ns: float
+    clock_ns: float
+    reliable: bool = True
+
+
+#: Table 1 cells: TABLE1[design][width].  The 64-bit column is anchored
+#: by Fig 12 and fully reliable; the 8-bit column is legible in the
+#: scan; intermediate columns are reconstructed from the column-major
+#: digit streams and flagged accordingly.
+TABLE1: Dict[int, Dict[int, Cell]] = {
+    1: {
+        8: Cell(5436, 25, 2.73),
+        16: Cell(8872, 62, 3.64, reliable=False),
+        32: Cell(17420, 138, 4.17, reliable=False),
+        64: Cell(34491, 351, 5.40),
+        128: Cell(63897, 844, 6.54, reliable=False),
+    },
+    2: {
+        8: Cell(6307, 27, 2.37),
+        16: Cell(12477, 45, 2.33, reliable=False),
+        32: Cell(21554, 92, 2.55, reliable=False),
+        64: Cell(37299, 175, 2.60),
+        128: Cell(77905, 388, 2.96, reliable=False),
+    },
+    # Note: the scan's 8-bit latency cells for the radix-4 designs
+    # (#3/#4/#5/#6) imply ~9-11 cycles where every other column of the
+    # same designs implies digits+1 (~5-7); they cannot belong to the
+    # same cycle model and are flagged unreliable.
+    3: {
+        8: Cell(7433, 38, 4.21, reliable=False),
+        16: Cell(12265, 45, 4.93, reliable=False),
+        32: Cell(23987, 106, 6.18, reliable=False),
+        64: Cell(47533, 262, 7.91),
+        128: Cell(96106, 661, 10.16, reliable=False),
+    },
+    4: {
+        8: Cell(9912, 37, 3.33, reliable=False),
+        16: Cell(16969, 41, 3.72, reliable=False),
+        32: Cell(34142, 78, 4.10, reliable=False),
+        64: Cell(67106, 166, 4.60),
+        128: Cell(122439, 372, 5.63, reliable=False),
+    },
+    5: {
+        8: Cell(9075, 38, 3.39, reliable=False),
+        16: Cell(14359, 38, 3.39, reliable=False),
+        32: Cell(24398, 67, 3.52, reliable=False),
+        64: Cell(46604, 138, 3.81),
+        128: Cell(85735, 295, 4.53, reliable=False),
+    },
+    6: {
+        8: Cell(8013, 35, 3.84, reliable=False),
+        16: Cell(11939, 40, 4.43, reliable=False),
+        32: Cell(18983, 86, 5.07, reliable=False),
+        64: Cell(37829, 201, 6.08),
+        128: Cell(69751, 499, 7.67, reliable=False),
+    },
+    7: {
+        8: Cell(7326, 71, 3.93),
+        16: Cell(12300, 113, 4.33, reliable=False),
+        32: Cell(23370, 217, 5.16, reliable=False),
+        64: Cell(34391, 472, 6.37),
+        128: Cell(73268, 1031, 7.47, reliable=False),
+    },
+    8: {
+        8: Cell(10433, 72, 3.78, reliable=False),
+        16: Cell(16927, 120, 4.30, reliable=False),
+        32: Cell(26303, 195, 4.42, reliable=False),
+        64: Cell(49296, 313, 4.17, reliable=False),
+        128: Cell(0, 0, 0, reliable=False),  # unrecoverable from the scan
+    },
+}
+
+
+def cell(design: int, width: int) -> Cell:
+    return TABLE1[design][width]
+
+
+def reliable_cells() -> Dict[Tuple[int, int], Cell]:
+    """All cells safe to calibrate against."""
+    return {(design, width): c
+            for design, row in TABLE1.items()
+            for width, c in row.items() if c.reliable}
+
+
+#: Fig 6 — execution delay (us) of one 1024-bit modular multiplication.
+#: The hardware entries plot the multiplier-loop delay (Fig 6 footnote).
+FIG6_HARDWARE_US: Dict[str, float] = {
+    "#5_16": 1.96,
+    "#2_128": 1.96,
+    "#8_64": 4.32,
+}
+
+FIG6_SOFTWARE_US: Dict[str, float] = {
+    "CIOS ASM": 799.0,   # printed as "CIHS ASM" but consistent with [11]
+    "CIHS ASM": 1037.0,
+    "CIOS C": 5706.0,
+    "CIHS C": 7268.0,
+}
+
+#: Fig 9 — approximate axis windows of the two families at EOL = 768
+#: (read off the plot; the figure carries no data table).
+FIG9_MONTGOMERY_WINDOW = {"area": (430_000.0, 620_000.0),
+                          "delay_ns": (1_550.0, 2_500.0)}
+FIG9_BRICKELL_WINDOW = {"area": (640_000.0, 1_150_000.0),
+                        "delay_ns": (2_550.0, 3_650.0)}
+
+#: Fig 12 — the evaluation-space points for 64-bit Montgomery
+#: multiplications on 64-bit slices (equals Table 1's reliable column).
+FIG12_POINTS: Dict[str, Tuple[float, float]] = {
+    "#1_64": (351.0, 34491.0),
+    "#2_64": (175.0, 37299.0),
+    "#3_64": (262.0, 47533.0),
+    "#4_64": (166.0, 67106.0),
+    "#5_64": (138.0, 46604.0),
+    "#6_64": (201.0, 37829.0),
+}
+
+#: The requirement values of the case study (paper Fig 8, from [10]).
+CASE_STUDY_REQUIREMENTS = {
+    "EffectiveOperandLength": 768,
+    "OperandCoding": "2s-complement",
+    "ResultCoding": "redundant",
+    "ModuloIsOdd": "Guaranteed",
+    "LatencySingleOperation_us": 8.0,
+}

@@ -1,0 +1,40 @@
+"""The cryptography design space layer (paper Sec 5 case study)."""
+
+from repro.domains.crypto import vocab
+from repro.domains.crypto.alt_hierarchy import (
+    add_power_view,
+    build_power_hierarchy,
+    classify_power,
+)
+from repro.domains.crypto.constraints import (
+    cc1_odd_modulo,
+    cc2_radix_latency,
+    cc3_delay_estimator,
+    cc4_csa_for_wide_montgomery,
+    cc5_mux_multipliers,
+    cc6_slices,
+    crypto_constraints,
+)
+from repro.domains.crypto.cores import (
+    arithmetic_cores,
+    build_libraries,
+    exponentiator_cores,
+    hardware_core,
+    hardware_cores,
+    software_core,
+    software_cores,
+)
+from repro.domains.crypto.hierarchy import build_operator_hierarchy
+from repro.domains.crypto.layer import build_crypto_layer, case_study_session
+
+__all__ = [
+    "vocab",
+    "cc1_odd_modulo", "cc2_radix_latency", "cc3_delay_estimator",
+    "cc4_csa_for_wide_montgomery", "cc5_mux_multipliers", "cc6_slices",
+    "crypto_constraints",
+    "arithmetic_cores", "build_libraries", "exponentiator_cores",
+    "hardware_core", "hardware_cores", "software_core", "software_cores",
+    "build_operator_hierarchy",
+    "build_crypto_layer", "case_study_session",
+    "add_power_view", "build_power_hierarchy", "classify_power",
+]

@@ -1,0 +1,77 @@
+"""A co-existing, power-first specialization hierarchy (paper Sec 6).
+
+The primary crypto hierarchy partitions by implementation style, then
+algorithm — the right order when latency dominates.  A designer whose
+binding constraint is the power budget wants the *same cores* organised
+by power class first.  This module builds that alternative hierarchy
+and re-indexes the layer's hardware modular multipliers into it,
+demonstrating the co-existence mechanism end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.designobject import POWER_MW, DesignObject
+from repro.core.layer import DesignSpaceLayer
+from repro.core.library import ReuseLibrary
+from repro.core.properties import DesignIssue
+from repro.core.reindex import attach_alternative_hierarchy
+from repro.core.values import EnumDomain
+from repro.domains.crypto import vocab as v
+
+LOW_POWER = "LowPower"
+MID_POWER = "MidPower"
+HIGH_PERFORMANCE = "HighPerformance"
+POWER_CLASSES = (LOW_POWER, MID_POWER, HIGH_PERFORMANCE)
+
+POWER_CLASS_ISSUE = "PowerClass"
+ROOT_NAME = "MultiplierByPower"
+
+#: Class boundaries in milliwatts (derived from the 768-bit library's
+#: power distribution; see the power-aware example).
+LOW_LIMIT_MW = 80.0
+MID_LIMIT_MW = 130.0
+
+
+def classify_power(core: DesignObject) -> Optional[str]:
+    """Mirror-library classifier: hardware multipliers by power class."""
+    if not core.has_merit(POWER_MW):
+        return None
+    if v.OMM_H_PATH not in core.cdo_name:
+        return None
+    power = core.merit(POWER_MW)
+    if power <= LOW_LIMIT_MW:
+        family = LOW_POWER
+    elif power <= MID_LIMIT_MW:
+        family = MID_POWER
+    else:
+        family = HIGH_PERFORMANCE
+    return f"{ROOT_NAME}.{family}"
+
+
+def build_power_hierarchy() -> ClassOfDesignObjects:
+    """The alternative root: one generalized issue, by power class."""
+    root = ClassOfDesignObjects(
+        ROOT_NAME,
+        "Hardware modular multipliers organised by power class — a "
+        "co-existing specialization hierarchy for power-constrained "
+        "exploration (paper Sec 6)")
+    root.add_property(DesignIssue(
+        POWER_CLASS_ISSUE, EnumDomain(list(POWER_CLASSES)),
+        f"Power family: <= {LOW_LIMIT_MW:.0f} mW, <= {MID_LIMIT_MW:.0f} "
+        f"mW, or above", generalized=True))
+    for family in POWER_CLASSES:
+        child = root.specialize(family)
+        child.add_property(DesignIssue(
+            v.ALGORITHM + "View", EnumDomain([v.MONTGOMERY, v.BRICKELL]),
+            "Algorithm, revisited inside the power family"))
+    return root
+
+
+def add_power_view(layer: DesignSpaceLayer) -> ReuseLibrary:
+    """Attach the power-first hierarchy to a built crypto layer."""
+    return attach_alternative_hierarchy(
+        layer, build_power_hierarchy(), classify_power,
+        library_name="power-view")

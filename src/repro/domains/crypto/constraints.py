@@ -1,0 +1,185 @@
+"""The consistency constraints of the crypto layer (paper Fig 13).
+
+CC1-CC4 follow the paper cell by cell; CC5 is the companion constraint
+the text mentions ("a similar constraint is also defined to enforce the
+use of multiplexer-based multipliers for the same loop, in this case for
+any EOL"); CC6 is the structural slice constraint implied by DI4
+(``NumberOfSlices = EOL / SliceWidth``).
+
+Line-number note: the paper writes ``oper(+,line:2)`` against Fig 10;
+the executable listing in :mod:`repro.behavior.listings` computes the
+quotient digit before the main addition, so the loop addition sits on
+line 4 — the constraints below address it there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.constraints import ConsistencyConstraint
+from repro.core.relations import (
+    Bindings,
+    EliminateOptions,
+    EstimatorInvocation,
+    Formula,
+    InconsistentOptions,
+)
+from repro.domains.crypto import vocab as v
+from repro.estimation.tools import DELAY_TOOL
+from repro.hw.adders import CSA
+from repro.hw.multipliers import MUL
+
+
+def cc1_odd_modulo() -> ConsistencyConstraint:
+    """Montgomery requires an odd modulus (CC1)."""
+
+    def inconsistent(bindings: Bindings) -> bool:
+        return (bindings["O"] == v.NOT_GUARANTEED
+                and bindings["A"] == v.MONTGOMERY)
+
+    return ConsistencyConstraint(
+        "CC1", "The Montgomery algorithm requires the modulo to be odd",
+        independents={"O": f"{v.MODULO_IS_ODD}@{v.ALIAS_OMM}"},
+        dependents={"A": f"{v.ALGORITHM}@*.Multiplier.Hardware"},
+        relation=InconsistentOptions(
+            inconsistent,
+            "InconsistentOptions(O=notGuaranteed & A=Montgomery)",
+            requires=("O", "A")),
+    )
+
+
+def cc2_radix_latency() -> ConsistencyConstraint:
+    """The greater the radix, the smaller the latency in cycles (CC2).
+
+    ``L = 2 * EOL / R + 1`` — the paper's heuristic for Montgomery
+    multipliers built with carry-save adders.
+    """
+
+    def latency(bindings: Bindings) -> float:
+        return 2.0 * bindings["EOL"] / bindings["R"] + 1.0
+
+    return ConsistencyConstraint(
+        "CC2", "The greater the radix, the smaller the latency in cycles "
+               "(Montgomery with carry-save loop adders)",
+        independents={
+            "R": f"{v.RADIX}@*.Hardware.Montgomery",
+            "EOL": f"{v.EOL}@Operator",
+            "CSA": f"oper(+,line:4)@{v.BEHAVIORAL_DESCRIPTION}"
+                   f"@*.Hardware.Montgomery",
+        },
+        dependents={"L": f"{v.LATENCY_CYCLES}@*.Multiplier.Hardware"},
+        relation=Formula("L", latency,
+                         "L = 2 * EOL / R + 1 cycles",
+                         requires=("R", "EOL")),
+    )
+
+
+def cc3_delay_estimator() -> ConsistencyConstraint:
+    """Behavioral decomposition impacts delay (CC3): the utilization
+    context of the BehaviorDelayEstimator."""
+    return ConsistencyConstraint(
+        "CC3", "Rank alternative behavioral descriptions by maximum "
+               "combinational delay when no suitable cores exist",
+        independents={
+            "B": f"{v.BEHAVIORAL_DESCRIPTION}@*.Multiplier.Hardware.*",
+            "EOL": f"{v.EOL}@Operator",
+        },
+        dependents={
+            "MaxCombDelay_R": f"{v.MAX_COMB_DELAY}@*.Multiplier.Hardware"},
+        relation=EstimatorInvocation(
+            "MaxCombDelay_R", DELAY_TOOL,
+            f"MaxCombDelay_R = {DELAY_TOOL}(B)",
+            requires=("B",)),
+    )
+
+
+def cc4_csa_for_wide_montgomery() -> ConsistencyConstraint:
+    """Inferior solutions eliminated (CC4): for Montgomery with
+    EOL >= 32, only carry-save adders may implement the loop additions
+    (unbounded carry propagation makes everything else dominated)."""
+
+    def eliminate(bindings: Bindings) -> Sequence[Tuple[str, object]]:
+        if bindings["A"] != v.MONTGOMERY or bindings["EOL"] < 32:
+            return []
+        return [(v.ADDER_IMPL, option)
+                for option in v.ADDER_OPTIONS if option != CSA]
+
+    return ConsistencyConstraint(
+        "CC4", "For Montgomery with EOL >= 32, non-carry-save loop "
+               "adders are dominated (unbounded carry propagation, "
+               "large area)",
+        independents={
+            "EOL": f"{v.EOL}@Operator",
+            "A": f"{v.ALGORITHM}@*.Modular.Multiplier.Hardware",
+        },
+        dependents={"BD": f"{v.ADDER_IMPL}@*.Multiplier.Hardware"},
+        shorts={"Adders": f"oper(+,line:4)@{v.BEHAVIORAL_DESCRIPTION}"
+                          f"@*.Hardware.Montgomery"},
+        relation=EliminateOptions(
+            eliminate,
+            "InconsistentOptions(A=Montgomery & EOL >= 32 & "
+            "Algorithm@Adders != CSA)",
+            requires=("EOL", "A")),
+    )
+
+
+def cc5_mux_multipliers() -> ConsistencyConstraint:
+    """Companion to CC4: the loop's digit multiplications should use
+    multiplexer-based multipliers, for any EOL."""
+
+    def eliminate(bindings: Bindings) -> Sequence[Tuple[str, object]]:
+        if bindings["A"] != v.MONTGOMERY:
+            return []
+        return [(v.MULT_IMPL, MUL)]
+
+    return ConsistencyConstraint(
+        "CC5", "Array multipliers for the Montgomery loop products are "
+               "dominated by multiplexer-based multipliers at every EOL",
+        independents={
+            "A": f"{v.ALGORITHM}@*.Modular.Multiplier.Hardware",
+        },
+        dependents={"M": f"{v.MULT_IMPL}@*.Multiplier.Hardware"},
+        relation=EliminateOptions(
+            eliminate,
+            "InconsistentOptions(A=Montgomery & "
+            "MultiplierImplementation=Array-Multiplier)",
+            requires=("A",)),
+    )
+
+
+def cc6_slices() -> ConsistencyConstraint:
+    """Structural constraint of DI4: the slices tile the operand."""
+
+    def slices(bindings: Bindings) -> int:
+        return int(bindings["EOL"]) // int(bindings["W"])
+
+    def check(value: object, bindings: Bindings) -> Optional[str]:
+        if int(bindings["EOL"]) % int(bindings["W"]):
+            return (f"slice width {bindings['W']} does not divide "
+                    f"EOL {bindings['EOL']}")
+        return None
+
+    return ConsistencyConstraint(
+        "CC6", "The slice width must tile the operand: "
+               "NumberOfSlices = EOL / SliceWidth",
+        independents={
+            "EOL": f"{v.EOL}@Operator",
+            "W": f"{v.SLICE_WIDTH}@*.Multiplier.Hardware",
+        },
+        dependents={"S": f"{v.NUM_SLICES}@*.Multiplier.Hardware"},
+        relation=Formula("S", slices,
+                         "NumberOfSlices = EOL / SliceWidth",
+                         requires=("EOL", "W"), check=check),
+    )
+
+
+def crypto_constraints() -> List[ConsistencyConstraint]:
+    """All consistency constraints of the layer, CC1..CC6."""
+    return [
+        cc1_odd_modulo(),
+        cc2_radix_latency(),
+        cc3_delay_estimator(),
+        cc4_csa_for_wide_montgomery(),
+        cc5_mux_multipliers(),
+        cc6_slices(),
+    ]

@@ -1,0 +1,288 @@
+"""Populating the reuse libraries of the crypto layer.
+
+Three libraries stand in for the paper's "Library A/B/C" (Fig 1):
+
+* ``asic-cores`` — the hardware modular multipliers of Table 1, built by
+  our synthesis flow for the target operand length (8 recipes x the
+  slice widths that tile the EOL x requested technologies);
+* ``sw-routines`` — the Pentium-60 software multipliers (five scanning
+  variants x ASM/C), characterized by the CPU cost model;
+* ``arith-cells`` — plain adder/multiplier macro-cells indexed under the
+  Arithmetic CDOs, used by the DI7 decomposition examples.
+
+Every core documents its position in the design space (issue values)
+and its figures of merit; the latency requirement Req5 is mirrored as a
+merit under the requirement's own name so requirement entry prunes
+exactly the way Sec 5.1.4 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.designobject import (
+    AREA,
+    CLOCK_NS,
+    CYCLES,
+    DELAY_US,
+    LATENCY_NS,
+    POWER_MW,
+    DesignObject,
+)
+from repro.core.library import ReuseLibrary
+from repro.domains.crypto import vocab as v
+from repro.errors import LibraryError
+from repro.hw.adders import adder_cost
+from repro.hw.multipliers import multiplier_cost
+from repro.hw.floorplan import (
+    STANDARD_CELL,
+    floorplan,
+    styled_area,
+    styled_clock_ns,
+)
+from repro.hw.netlist import elaborate
+from repro.hw.exponentiator_hw import (
+    BINARY_SCHEDULE,
+    MARY_SCHEDULE,
+    synthesize_exponentiator,
+)
+from repro.hw.synthesis import (
+    TABLE1_RECIPES,
+    TABLE1_SLICE_WIDTHS,
+    HardwareDesign,
+    synthesize_sliced,
+    table1_spec,
+)
+from repro.hw.tech import technology
+from repro.sw.cpu import PENTIUM60_ASM, PENTIUM60_C, SoftwareMultiplier
+from repro.sw.montgomery_sw import VARIANTS
+
+
+def hardware_core(design: HardwareDesign, cdo_name: str, name: str,
+                  layout_style: str = STANDARD_CELL) -> DesignObject:
+    """Wrap a synthesized design as a reusable core.
+
+    The synthesis model is calibrated in standard cells; other layout
+    styles adjust area (placement utilization) and clock (routing
+    derate) through :mod:`repro.hw.floorplan`, so DI5's options are
+    visible in the evaluation space.
+    """
+    spec = design.spec
+    properties = {
+        v.EOL: design.eol,
+        v.LAYOUT_STYLE: layout_style,
+        v.FAB_TECH: spec.technology_name,
+        v.RADIX: spec.radix,
+        v.SLICE_WIDTH: spec.slice_width,
+        v.NUM_SLICES: spec.num_slices,
+        v.ADDER_IMPL: spec.adder_style,
+        v.MULT_IMPL: spec.multiplier_style,
+        v.ALGORITHM: spec.algorithm,
+    }
+    if spec.algorithm == v.MONTGOMERY:
+        properties[v.MODULO_IS_ODD] = v.GUARANTEED
+    area = styled_area(design.area, layout_style)
+    clock = styled_clock_ns(design.clock_ns, layout_style)
+    latency_ns = design.cycles * clock
+    merits = {
+        AREA: area,
+        CLOCK_NS: clock,
+        CYCLES: design.cycles,
+        LATENCY_NS: latency_ns,
+        DELAY_US: latency_ns / 1000.0,
+        POWER_MW: spec.tech.power_mw(spec.gates(), clock),
+        v.LATENCY_US: latency_ns / 1000.0,
+    }
+    return DesignObject(
+        name, cdo_name, properties, merits,
+        doc=f"{design.describe()} [{layout_style}]",
+        views={"rt": design, "algorithm": spec,
+               "logic": elaborate(spec, name=f"mm_{name.strip('#')}"),
+               "physical": floorplan(spec.gates(), spec.tech,
+                                     layout_style)})
+
+
+def hardware_cores(eol: int,
+                   technologies: Sequence[str] = ("0.35u",),
+                   slice_widths: Iterable[int] = TABLE1_SLICE_WIDTHS,
+                   layout_styles: Sequence[str] = (STANDARD_CELL,),
+                   ) -> List[DesignObject]:
+    """Table 1's recipe grid re-sliced for the target EOL.
+
+    ``layout_styles`` adds DI5 variants: gate-array or full-custom
+    editions of every design point, with style-adjusted figures.
+    """
+    if eol < 8:
+        raise LibraryError(f"EOL must be >= 8, got {eol}")
+    cores: List[DesignObject] = []
+    usable_widths = [w for w in slice_widths if eol % w == 0]
+    if not usable_widths:
+        raise LibraryError(
+            f"no slice width in {list(slice_widths)} tiles EOL {eol}")
+    style_suffix = {STANDARD_CELL: "", "Gate-Array": "/ga",
+                    "Full-Custom": "/fc"}
+    for tech_name in technologies:
+        technology(tech_name)  # fail fast
+        tech_suffix = "" if tech_name == "0.35u" else f"/{tech_name}"
+        for number, recipe in sorted(TABLE1_RECIPES.items()):
+            algorithm = recipe[1]
+            cdo_name = (v.OMM_HM_PATH if algorithm == v.MONTGOMERY
+                        else v.OMM_HB_PATH)
+            for width in usable_widths:
+                design = synthesize_sliced(number, width, eol, tech_name)
+                for style in layout_styles:
+                    suffix = style_suffix.get(style)
+                    if suffix is None:
+                        raise LibraryError(
+                            f"unknown layout style {style!r}")
+                    name = f"#{number}_{width}{tech_suffix}{suffix}"
+                    cores.append(hardware_core(design, cdo_name, name,
+                                               layout_style=style))
+    return cores
+
+
+def software_core(multiplier: SoftwareMultiplier, eol: int) -> DesignObject:
+    """Wrap a characterized software routine as a reusable core."""
+    delay_us = multiplier.delay_us(eol)
+    properties = {
+        v.EOL: multiplier.operand_bits,
+        v.LANGUAGE: multiplier.cpu.language,
+        v.SCAN_VARIANT: multiplier.variant,
+        v.WORD_SIZE: multiplier.word_bits,
+    }
+    merits = {
+        DELAY_US: delay_us,
+        LATENCY_NS: delay_us * 1000.0,
+        v.LATENCY_US: delay_us,
+    }
+    return DesignObject(
+        multiplier.name, f"{v.OMM_S_PATH}.{v.PENTIUM}",
+        properties, merits,
+        doc=f"{multiplier.variant} word-scanning Montgomery routine in "
+            f"{multiplier.cpu.language} on a Pentium 60 "
+            f"({multiplier.num_words} x {multiplier.word_bits}-bit words)",
+        views={"algorithm": multiplier})
+
+
+def software_cores(eol: int, word_bits: int = 32) -> List[DesignObject]:
+    """All variant/language combinations of the Pentium suite."""
+    if eol % word_bits:
+        raise LibraryError(
+            f"EOL {eol} is not a multiple of the {word_bits}-bit word")
+    num_words = eol // word_bits
+    cores: List[DesignObject] = []
+    for variant in VARIANTS:
+        for cpu in (PENTIUM60_ASM, PENTIUM60_C):
+            multiplier = SoftwareMultiplier(variant, num_words, word_bits,
+                                            cpu)
+            cores.append(software_core(multiplier, eol))
+    return cores
+
+
+def arithmetic_cores(widths: Sequence[int] = (8, 16, 32, 64),
+                     technologies: Sequence[str] = ("0.35u",),
+                     ) -> List[DesignObject]:
+    """Adder/multiplier macro-cells for the decomposition CDOs."""
+    cores: List[DesignObject] = []
+    for tech_name in technologies:
+        tech = technology(tech_name)
+        suffix = "" if tech_name == "0.35u" else f"/{tech_name}"
+        for style in v.ADDER_OPTIONS:
+            for width in widths:
+                cost = adder_cost(style, width)
+                clock = tech.clock_ns(cost.delay_levels, width)
+                short = {"Ripple-Carry": "ripple", "Carry-Look-Ahead": "cla",
+                         "Carry-Save": "csa"}[style]
+                cores.append(DesignObject(
+                    f"{short}_adder_{width}{suffix}",
+                    f"{v.ADDER_PATH}.{style}",
+                    {v.EOL: width, v.FAB_TECH: tech_name,
+                     v.ADDER_STYLE: style},
+                    {AREA: tech.area(cost.area_gates), LATENCY_NS: clock,
+                     CLOCK_NS: clock},
+                    doc=f"{width}-bit {style} adder macro-cell "
+                        f"({tech_name})"))
+        for style in (v.MULT_OPTIONS[0], v.MULT_OPTIONS[1]):  # MUX, MUL
+            for width in widths:
+                cost = multiplier_cost(style, 4, width)
+                clock = tech.clock_ns(cost.delay_levels, width)
+                short = "mux" if style == v.MULT_OPTIONS[0] else "array"
+                cores.append(DesignObject(
+                    f"{short}_mult_{width}{suffix}",
+                    f"{v.MULT_PATH}.{style}",
+                    {v.EOL: width, v.FAB_TECH: tech_name,
+                     v.MULT_STYLE: style},
+                    {AREA: tech.area(cost.area_gates), LATENCY_NS: clock,
+                     CLOCK_NS: clock},
+                    doc=f"{width}-bit radix-4 {style} digit multiplier "
+                        f"({tech_name})"))
+    return cores
+
+
+def exponentiator_cores(eol: int,
+                        slice_width: int = 64,
+                        technology_name: str = "0.35u"
+                        ) -> List[DesignObject]:
+    """Modular exponentiation coprocessors for the OME CDO.
+
+    Composes the two best Montgomery multiplier recipes (#2 and #5)
+    with the binary and m-ary schedules — the coprocessor-level design
+    points the paper's concluding remarks describe.  Exponent length is
+    taken equal to the EOL (the RSA private-key case).
+    """
+    if eol % slice_width:
+        raise LibraryError(
+            f"EOL {eol} is not a multiple of slice width {slice_width}")
+    cores: List[DesignObject] = []
+    for number in (2, 5):
+        multiplier = table1_spec(number, slice_width, eol // slice_width,
+                                 technology_name)
+        for schedule in (BINARY_SCHEDULE, MARY_SCHEDULE):
+            spec, merits = synthesize_exponentiator(
+                multiplier, schedule, window_bits=4, exponent_bits=eol)
+            merits[v.LATENCY_US] = merits["delay_us"]
+            tag = "bin" if schedule == BINARY_SCHEDULE else "m4"
+            name = f"modexp_{tag}_#{number}_{slice_width}"
+            cores.append(DesignObject(
+                name, v.OME_PATH,
+                {
+                    v.EOL: eol,
+                    v.EXP_SCHEDULE: schedule,
+                    v.FAB_TECH: technology_name,
+                    v.RADIX: multiplier.radix,
+                    v.ADDER_IMPL: multiplier.adder_style,
+                    v.SLICE_WIDTH: slice_width,
+                },
+                merits,
+                doc=spec.describe(),
+                views={"rt": spec}))
+    return cores
+
+
+def build_libraries(eol: int,
+                    technologies: Sequence[str] = ("0.35u",),
+                    include_software: bool = True,
+                    include_arithmetic: bool = True,
+                    word_bits: int = 32,
+                    include_exponentiators: bool = True
+                    ) -> List[ReuseLibrary]:
+    """The full library federation for one target operand length."""
+    asic = ReuseLibrary(
+        "asic-cores",
+        f"Hardware modular multipliers synthesized for EOL {eol}")
+    asic.add_all(hardware_cores(eol, technologies))
+    if include_exponentiators and eol % 64 == 0:
+        asic.add_all(exponentiator_cores(eol))
+    libraries = [asic]
+    if include_software:
+        routines = ReuseLibrary(
+            "sw-routines",
+            "Pentium-60 Montgomery multiplication routines")
+        routines.add_all(software_cores(eol, word_bits))
+        libraries.append(routines)
+    if include_arithmetic:
+        cells = ReuseLibrary(
+            "arith-cells", "Adder/multiplier macro-cells for decomposition")
+        cells.add_all(arithmetic_cores(technologies=technologies))
+        libraries.append(cells)
+    return libraries

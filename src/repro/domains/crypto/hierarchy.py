@@ -1,0 +1,290 @@
+"""The CDO hierarchy of the cryptography layer (paper Figs 5, 7, 8, 11).
+
+Builds the ``Operator`` specialization tree::
+
+    Operator
+    |-- LogicArithmetic
+    |   |-- Logic
+    |   `-- Arithmetic
+    |       |-- Adder        -> Ripple-Carry / Carry-Look-Ahead / Carry-Save
+    |       `-- Multiplier   -> Array-Multiplier / Multiplexer-Based
+    `-- Modular
+        |-- Exponentiator
+        `-- Multiplier (OMM)                 [Req1..Req5, DI1]
+            |-- Hardware (OMM-H)             [DI2..DI7]
+            |   |-- Montgomery (OMM-HM)      [Fig 10 behavioral description]
+            |   `-- Brickell  (OMM-HB)
+            `-- Software (OMM-S)
+                |-- Pentium-60               [Language/Variant/WordSize]
+                |-- Embedded-RISC
+                `-- Embedded-DSP
+
+The first three levels are split "with respect to commonalities in
+functionality"; from OMM down, the generalized issues partition by
+achievable figures of merit, exactly as Sec 5 argues.
+"""
+
+from __future__ import annotations
+
+from repro.behavior.listings import (
+    brickell_behavior,
+    modexp_behavior,
+    montgomery_behavior,
+)
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.properties import (
+    BehavioralDecomposition,
+    BehavioralDescription,
+    DesignIssue,
+    Requirement,
+    RequirementSense,
+)
+from repro.core.values import (
+    DivisorDomain,
+    EnumDomain,
+    PowerOfTwoDomain,
+    PredicateDomain,
+    RealRange,
+)
+from repro.domains.crypto import vocab as v
+
+
+def build_operator_hierarchy() -> ClassOfDesignObjects:
+    """Construct the full Operator tree and return its root."""
+    root = _operator_root()
+    _logic_arithmetic_branch(root)
+    _modular_branch(root)
+    return root
+
+
+def _operator_root() -> ClassOfDesignObjects:
+    root = ClassOfDesignObjects(
+        "Operator",
+        "All arithmetic/logic operator design objects for encryption "
+        "applications (paper Fig 5)")
+    # Fig 8 prints Req1's SetOfValues as {2^i | i in Z+} yet assigns the
+    # non-power-of-two 768; we widen the set to byte multiples, which
+    # covers both the printed set and the case study's value.
+    root.add_property(Requirement(
+        v.EOL,
+        PredicateDomain(
+            lambda value, _ctx: (isinstance(value, int)
+                                 and not isinstance(value, bool)
+                                 and value > 0 and value % 8 == 0),
+            "{8i | i in Z+} (bits)",
+            samples=(8, 16, 32, 64, 128, 256, 512, 768, 1024)),
+        "Required operand word length in bits (Req1); encryption "
+        "applications use operands up to 2^1000",
+        sense=RequirementSense.AT_LEAST_SUPPORT, unit="bits"))
+    root.add_property(DesignIssue(
+        v.OPERATOR_CLASS, EnumDomain(["LogicArithmetic", "Modular"]),
+        "First functional split of the operator space: conventional "
+        "logic/arithmetic operators vs modular-arithmetic operators",
+        generalized=True))
+    return root
+
+
+def _logic_arithmetic_branch(root: ClassOfDesignObjects) -> None:
+    la = root.specialize(
+        "LogicArithmetic", name="LogicArithmetic",
+        doc="Conventional (non-modular) logic and arithmetic operators")
+    la.add_property(DesignIssue(
+        v.LA_FUNCTION, EnumDomain(["Logic", "Arithmetic"]),
+        "Bitwise/logic function units vs numeric arithmetic units",
+        generalized=True))
+    la.specialize("Logic", doc="Bitwise and boolean function units")
+    arith = la.specialize("Arithmetic",
+                          doc="Numeric arithmetic operator units")
+    arith.add_property(DesignIssue(
+        v.ARITH_FUNCTION, EnumDomain(["Adder", "Multiplier"]),
+        "The arithmetic function realized by the unit", generalized=True))
+    adder = arith.specialize("Adder", doc="Binary adder design objects")
+    adder.add_property(DesignIssue(
+        v.ADDER_STYLE, EnumDomain(list(v.ADDER_OPTIONS)),
+        "Adder logic style: constant-delay redundant rows (Carry-Save), "
+        "logarithmic look-ahead trees, or linear ripple chains",
+        generalized=True))
+    adder.specialize_all()
+    mult = arith.specialize("Multiplier",
+                            doc="Binary multiplier design objects")
+    mult.add_property(DesignIssue(
+        v.MULT_STYLE, EnumDomain([v.MULT_OPTIONS[1], v.MULT_OPTIONS[0]]),
+        "Multiplier structure: full array multiplier vs multiplexer "
+        "selection over precomputed multiples", generalized=True))
+    mult.specialize_all()
+
+
+def _modular_branch(root: ClassOfDesignObjects) -> None:
+    modular = root.specialize(
+        "Modular", name="Modular",
+        doc="Modular-arithmetic operators, the substrate of public-key "
+            "encryption (paper Sec 5)")
+    modular.add_property(DesignIssue(
+        v.MODULAR_FUNCTION, EnumDomain(["Exponentiator", "Multiplier"]),
+        "Modular exponentiation (the coprocessor's top function) vs "
+        "modular multiplication (its basic operation)", generalized=True))
+    _exponentiator(modular)
+    _modular_multiplier(modular)
+
+
+def _exponentiator(modular: ClassOfDesignObjects) -> None:
+    exp = modular.specialize(
+        "Exponentiator", doc="Modular exponentiation: M^E mod N (paper "
+                             "ref [10]'s coprocessor function)")
+    exp.add_property(DesignIssue(
+        v.EXP_SCHEDULE, EnumDomain(list(v.SCHEDULES)),
+        "Exponentiation schedule: binary square-and-multiply vs m-ary "
+        "windowing (fewer multiplications, precompute table)"))
+    # The paper's closing note: bus interface requirements "must be
+    # specified for each main architectural component of a
+    # system-on-a-chip" — the coprocessor is one, its multiplier block
+    # is not, so the requirement lives here.
+    exp.add_property(Requirement(
+        "BusInterface",
+        EnumDomain(["VSI-PBus", "AMBA-AHB", "Custom"]),
+        "On-chip bus protocol the coprocessor must present (VSI "
+        "alliance standard interfaces; paper Secs 3 and 5)"))
+    exp.add_property(BehavioralDescription(
+        v.BEHAVIORAL_DESCRIPTION,
+        "Algorithm-level description of binary modular exponentiation",
+        description=modexp_behavior()))
+    exp.add_property(BehavioralDecomposition(
+        v.DECOMPOSITION,
+        "The modular multiplications in the exponentiation loop are "
+        "designed by exploring the Modular Multiplier CDO (the case "
+        "study's Sec 5 transition)",
+        source=f"{v.BEHAVIORAL_DESCRIPTION}@*.Modular.Exponentiator",
+        restrict_pattern="Operator.Modular.Multiplier"))
+
+
+def _modular_multiplier(modular: ClassOfDesignObjects) -> None:
+    omm = modular.specialize(
+        "Multiplier", doc="Modular multiplication A x B mod M — the "
+                          "Operator-Modular-Multiplier (OMM) CDO of "
+                          "paper Sec 5.1.3")
+    # Requirements (Fig 8).  Req1 (EOL) is inherited from Operator.
+    omm.add_property(Requirement(
+        v.OPERAND_CODING, EnumDomain(list(v.CODINGS)),
+        "Coding of the input operands (Req2); mismatches against a "
+        "core's behavioral description imply conversion blocks"))
+    omm.add_property(Requirement(
+        v.RESULT_CODING, EnumDomain(list(v.CODINGS)),
+        "Coding accepted for the result (Req3); redundant is acceptable "
+        "when the consumer is the exponentiator loop itself"))
+    omm.add_property(Requirement(
+        v.MODULO_IS_ODD, EnumDomain([v.GUARANTEED, v.NOT_GUARANTEED]),
+        "Whether the application guarantees an odd modulus (Req4); "
+        "cryptography moduli are prime hence odd"))
+    omm.add_property(Requirement(
+        v.LATENCY_US, RealRange(lo=0.0, unit="us"),
+        "Maximum latency of a single modular multiplication (Req5)",
+        sense=RequirementSense.MAX, unit="us"))
+    # DI1 — the generalized implementation-style issue.
+    omm.add_property(DesignIssue(
+        v.IMPLEMENTATION_STYLE, EnumDomain([v.HARDWARE, v.SOFTWARE]),
+        "Hardware and software realizations offer radically different "
+        "performance ranges for this application (Fig 6), so this issue "
+        "partitions the space up-front (DI1)", generalized=True))
+    _hardware_subtree(omm)
+    _software_subtree(omm)
+
+
+def _hardware_subtree(omm: ClassOfDesignObjects) -> None:
+    hw = omm.specialize(
+        v.HARDWARE, doc="Hardware modular multipliers (OMM-H); the "
+                        "generalized 'hardware' option collapses all "
+                        "layout-style and technology alternatives")
+    hw.add_property(DesignIssue(
+        v.LAYOUT_STYLE, EnumDomain(list(v.LAYOUT_STYLES)),
+        "Physical design style (DI5); discriminates the 'real' options "
+        "lumped into the generalized Hardware alternative"))
+    hw.add_property(DesignIssue(
+        v.FAB_TECH, EnumDomain(list(v.TECH_OPTIONS)),
+        "Fabrication technology node (DI6)"))
+    hw.add_property(DesignIssue(
+        v.RADIX, PowerOfTwoDomain(max_value=v.EOL),
+        "Digits of the operand processed per iteration (DI3); bounded "
+        "by the operand length", default=2))
+    hw.add_property(DesignIssue(
+        v.SLICE_WIDTH, PowerOfTwoDomain(max_value=v.EOL),
+        "Width of the datapath slices the multiplier is built from; "
+        "sets the achievable clock rate"))
+    hw.add_property(DesignIssue(
+        v.NUM_SLICES, DivisorDomain(of=v.EOL),
+        "Number of identical slices composing the full-width datapath "
+        "(DI4); derived from the slice width through a consistency "
+        "constraint", default=1))
+    hw.add_property(DesignIssue(
+        v.ADDER_IMPL, EnumDomain(list(v.ADDER_OPTIONS)),
+        "Adder structure used for the loop additions — the DI7 "
+        "decomposition choice realized on the Arithmetic.Adder CDO"))
+    hw.add_property(DesignIssue(
+        v.MULT_IMPL, EnumDomain(list(v.MULT_OPTIONS)),
+        "Digit-multiplier structure for radix > 2 — the DI7 "
+        "decomposition choice realized on the Arithmetic.Multiplier CDO"))
+    hw.add_property(Requirement(
+        v.LATENCY_CYCLES, RealRange(lo=0.0, unit="cycles"),
+        "Latency of one multiplication in clock cycles; derived by CC2 "
+        "from the radix and operand length",
+        sense=RequirementSense.MAX, unit="cycles"))
+    hw.add_property(Requirement(
+        v.MAX_COMB_DELAY, RealRange(lo=0.0, unit="gate levels"),
+        "Rank of the selected behavioral description by maximum "
+        "combinational delay; derived by CC3's estimator when no "
+        "suitable cores exist",
+        sense=RequirementSense.MAX, unit="gate levels"))
+    hw.add_property(BehavioralDecomposition(
+        v.DECOMPOSITION,
+        "The critical operators of the multiplier loop are designed by "
+        "exploring the Arithmetic Adder/Multiplier CDOs, restricted to "
+        "hardware realizations (DI7)",
+        source=f"{v.BEHAVIORAL_DESCRIPTION}@*.Multiplier.Hardware.*",
+        restrict_pattern="Operator.LogicArithmetic.Arithmetic.*"))
+    hw.add_property(DesignIssue(
+        v.ALGORITHM, EnumDomain([v.MONTGOMERY, v.BRICKELL]),
+        "Modular multiplication algorithm (DI2); generalized because "
+        "Montgomery's consistent superiority (Fig 9) makes this a "
+        "coarse partition, not a fine-grained trade-off",
+        generalized=True, default=v.MONTGOMERY))
+    montgomery = hw.specialize(
+        v.MONTGOMERY, doc="Hardware Montgomery multipliers (OMM-HM); "
+                          "requires an odd modulus, best area/delay")
+    montgomery.add_property(BehavioralDescription(
+        v.BEHAVIORAL_DESCRIPTION,
+        "Fig 10's radix-r Montgomery listing; the loop addition the "
+        "paper's CC2/CC4 address as oper(+,line:2) is line 4 here (the "
+        "executable listing computes the quotient digit first)",
+        description=montgomery_behavior()))
+    brickell = hw.specialize(
+        v.BRICKELL, doc="Hardware Brickell multipliers (OMM-HB); works "
+                        "for any modulus, pays per-step reduction")
+    brickell.add_property(BehavioralDescription(
+        v.BEHAVIORAL_DESCRIPTION,
+        "MSB-first interleaved multiplication with per-step mod M "
+        "reduction",
+        description=brickell_behavior()))
+
+
+def _software_subtree(omm: ClassOfDesignObjects) -> None:
+    sw = omm.specialize(
+        v.SOFTWARE, doc="Software modular multipliers (OMM-S): routines "
+                        "plus the processors they run on")
+    sw.add_property(DesignIssue(
+        v.PLATFORM, EnumDomain(list(v.PLATFORMS)),
+        "Programmable platform executing the routine; platforms differ "
+        "in achievable ranges, so the issue is generalized",
+        generalized=True))
+    sw.add_property(DesignIssue(
+        v.LANGUAGE, EnumDomain(list(v.LANGUAGES)),
+        "Implementation language: hand-scheduled assembly vs portable C "
+        "(roughly 7x apart on 1996 compilers)"))
+    sw.add_property(DesignIssue(
+        v.SCAN_VARIANT, EnumDomain(list(v.SW_VARIANTS)),
+        "Operand/product scanning organization of the word-level "
+        "Montgomery routine (Koc/Acar/Kaliski taxonomy)"))
+    sw.add_property(DesignIssue(
+        v.WORD_SIZE, EnumDomain([16, 32]),
+        "Single-precision word size of the routine"))
+    for platform in v.PLATFORMS:
+        sw.specialize(platform,
+                      doc=f"Software multipliers executing on {platform}")

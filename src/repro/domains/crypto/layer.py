@@ -1,0 +1,81 @@
+"""Assembling the cryptography design space layer.
+
+``build_crypto_layer`` wires everything together exactly as Fig 1
+prescribes: the CDO hierarchy, the paper's aliases, the consistency
+constraints, the registered estimation tools and path selectors, and the
+reuse libraries populated for the target operand length.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.behavior.operators import register_selectors
+from repro.core.layer import DesignSpaceLayer
+from repro.core.session import ExplorationSession
+from repro.domains.crypto import vocab as v
+from repro.domains.crypto.constraints import crypto_constraints
+from repro.domains.crypto.cores import build_libraries
+from repro.domains.crypto.hierarchy import build_operator_hierarchy
+from repro.estimation.tools import register_estimators
+
+
+def build_crypto_layer(eol: int = 768,
+                       technologies: Sequence[str] = ("0.35u",),
+                       include_software: bool = True,
+                       include_arithmetic: bool = True,
+                       include_constraints: bool = True,
+                       word_bits: int = 32,
+                       include_exponentiators: bool = True
+                       ) -> DesignSpaceLayer:
+    """The design space layer of the paper's Sec 5 case study.
+
+    ``eol`` is the operand length the reuse libraries are characterized
+    for (the sliced hardware cores' figures of merit depend on it);
+    requirement values themselves are entered later, per session.
+    """
+    layer = DesignSpaceLayer(
+        "crypto",
+        "Design space layer for encryption applications: modular "
+        "exponentiation and multiplication operators (DATE 1999 case "
+        "study)")
+    layer.add_root(build_operator_hierarchy())
+    layer.add_alias(v.ALIAS_OMM, v.OMM_PATH)
+    layer.add_alias(v.ALIAS_OMM_H, v.OMM_H_PATH)
+    layer.add_alias(v.ALIAS_OMM_HM, v.OMM_HM_PATH)
+    layer.add_alias(v.ALIAS_OMM_HB, v.OMM_HB_PATH)
+    layer.add_alias(v.ALIAS_OMM_S, v.OMM_S_PATH)
+    layer.add_alias(v.ALIAS_OME, v.OME_PATH)
+    register_selectors(layer.selectors)
+    register_estimators(layer)
+    if include_constraints:
+        for constraint in crypto_constraints():
+            layer.add_constraint(constraint)
+    for library in build_libraries(eol, technologies, include_software,
+                                   include_arithmetic, word_bits,
+                                   include_exponentiators):
+        layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def case_study_session(layer: Optional[DesignSpaceLayer] = None,
+                       eol: int = 768,
+                       latency_us: float = 8.0) -> ExplorationSession:
+    """A session pre-loaded with the Fig 8 requirement values.
+
+    Enters Req1..Req5 from the coprocessor specification ([10]/[11]):
+    768-bit operands, odd modulus guaranteed, one multiplication within
+    8 microseconds.  The session is left at the OMM CDO, ready for the
+    DI1 decision.
+    """
+    layer = layer if layer is not None else build_crypto_layer(eol)
+    session = ExplorationSession(
+        layer, v.OMM_PATH,
+        merit_metrics=("area", "latency_ns", "delay_us", "power_mw"))
+    session.set_requirement(v.EOL, eol)
+    session.set_requirement(v.OPERAND_CODING, v.CODING_2SC)
+    session.set_requirement(v.RESULT_CODING, v.CODING_REDUNDANT)
+    session.set_requirement(v.MODULO_IS_ODD, v.GUARANTEED)
+    session.set_requirement(v.LATENCY_US, latency_us)
+    return session

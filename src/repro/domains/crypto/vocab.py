@@ -1,0 +1,117 @@
+"""Shared vocabulary of the cryptography design space layer.
+
+Property names, option constants and CDO aliases used across the
+hierarchy, constraints, cores and benchmarks — one module so the names
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.hw.adders import CLA, CSA, RIPPLE
+from repro.hw.multipliers import MUL, MUX, NONE
+
+# ----------------------------------------------------------------------
+# requirement names (paper Fig 8)
+# ----------------------------------------------------------------------
+EOL = "EffectiveOperandLength"          # Req1, bits
+OPERAND_CODING = "OperandCoding"        # Req2
+RESULT_CODING = "ResultCoding"          # Req3
+MODULO_IS_ODD = "ModuloIsOdd"           # Req4
+LATENCY_US = "LatencySingleOperation"   # Req5, microseconds
+
+#: derived requirements computed by consistency constraints
+LATENCY_CYCLES = "LatencyCycles"        # CC2's dependent
+MAX_COMB_DELAY = "MaxCombinationalDelay"  # CC3's dependent
+
+# ----------------------------------------------------------------------
+# design issue names (paper Fig 11)
+# ----------------------------------------------------------------------
+IMPLEMENTATION_STYLE = "ImplementationStyle"   # DI1 (generalized)
+ALGORITHM = "Algorithm"                        # DI2 (generalized)
+RADIX = "Radix"                                # DI3
+NUM_SLICES = "NumberOfSlices"                  # DI4
+SLICE_WIDTH = "SliceWidth"
+LAYOUT_STYLE = "LayoutStyle"                   # DI5
+FAB_TECH = "FabricationTechnology"             # DI6
+DECOMPOSITION = "BehavioralDecomposition"      # DI7
+ADDER_IMPL = "AdderImplementation"             # DI7's adder selection
+MULT_IMPL = "MultiplierImplementation"         # DI7's multiplier selection
+BEHAVIORAL_DESCRIPTION = "BehavioralDescription"
+
+# software-side issues
+PLATFORM = "ProgrammablePlatform"              # generalized
+LANGUAGE = "Language"
+SCAN_VARIANT = "ScanningVariant"
+WORD_SIZE = "WordSize"
+
+# operator-family splits (the functional levels of Fig 5)
+OPERATOR_CLASS = "OperatorClass"
+LA_FUNCTION = "LogicArithmeticFunction"
+ARITH_FUNCTION = "ArithmeticFunction"
+MODULAR_FUNCTION = "ModularFunction"
+ADDER_STYLE = "AdderStyle"
+MULT_STYLE = "MultiplierStyle"
+EXP_SCHEDULE = "ExponentiationSchedule"
+
+# ----------------------------------------------------------------------
+# option constants
+# ----------------------------------------------------------------------
+HARDWARE = "Hardware"
+SOFTWARE = "Software"
+
+MONTGOMERY = "Montgomery"
+BRICKELL = "Brickell"
+
+GUARANTEED = "Guaranteed"
+NOT_GUARANTEED = "notGuaranteed"
+
+CODING_2SC = "2s-complement"
+CODING_SIGNED = "signed-magnitude"
+CODING_REDUNDANT = "redundant"
+CODING_UNSIGNED = "unsigned"
+CODINGS = (CODING_2SC, CODING_SIGNED, CODING_REDUNDANT, CODING_UNSIGNED)
+
+STANDARD_CELL = "Standard-Cell"
+GATE_ARRAY = "Gate-Array"
+FULL_CUSTOM = "Full-Custom"
+LAYOUT_STYLES = (STANDARD_CELL, GATE_ARRAY, FULL_CUSTOM)
+
+TECH_OPTIONS = ("0.35u", "0.5u", "0.7u")
+
+ADDER_OPTIONS = (CSA, CLA, RIPPLE)
+MULT_OPTIONS = (MUX, MUL, NONE)
+
+PENTIUM = "Pentium-60"
+EMBEDDED_RISC = "Embedded-RISC"
+EMBEDDED_DSP = "Embedded-DSP"
+PLATFORMS = (PENTIUM, EMBEDDED_RISC, EMBEDDED_DSP)
+
+ASM = "ASM"
+C = "C"
+LANGUAGES = (ASM, C)
+
+SW_VARIANTS = ("SOS", "CIOS", "FIOS", "FIPS", "CIHS")
+
+BINARY = "Binary"
+MARY = "M-ary"
+SCHEDULES = (BINARY, MARY)
+
+# ----------------------------------------------------------------------
+# CDO aliases (the paper's abbreviations)
+# ----------------------------------------------------------------------
+ALIAS_OMM = "OMM"         # Operator.Modular.Multiplier
+ALIAS_OMM_H = "OMM-H"     # ...Hardware
+ALIAS_OMM_HM = "OMM-HM"   # ...Hardware.Montgomery
+ALIAS_OMM_HB = "OMM-HB"   # ...Hardware.Brickell
+ALIAS_OMM_S = "OMM-S"     # ...Software
+ALIAS_OME = "OME"         # Operator.Modular.Exponentiator
+
+OMM_PATH = "Operator.Modular.Multiplier"
+OMM_H_PATH = OMM_PATH + ".Hardware"
+OMM_HM_PATH = OMM_H_PATH + ".Montgomery"
+OMM_HB_PATH = OMM_H_PATH + ".Brickell"
+OMM_S_PATH = OMM_PATH + ".Software"
+OMM_S_PENTIUM_PATH = OMM_S_PATH + "." + PENTIUM
+OME_PATH = "Operator.Modular.Exponentiator"
+ADDER_PATH = "Operator.LogicArithmetic.Arithmetic.Adder"
+MULT_PATH = "Operator.LogicArithmetic.Arithmetic.Multiplier"

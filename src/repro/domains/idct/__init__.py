@@ -1,0 +1,39 @@
+"""The IDCT design space layer (paper Sec 2 motivating example)."""
+
+from repro.domains.idct.algorithms import (
+    IDCT_ALGORITHMS,
+    FlopCounter,
+    IdctError,
+    algorithm_flops,
+    idct_1d_lee,
+    idct_1d_naive,
+    idct_2d_naive,
+    idct_2d_row_column,
+)
+from repro.domains.idct.cores import (
+    FIG2_RECIPES,
+    IdctHardwareRecipe,
+    fig2_cores,
+    software_cores,
+    software_idct_core,
+    synthesize_idct_core,
+)
+from repro.domains.idct.layer import build_abstraction_layer, build_idct_layer
+from repro.domains.idct.quantized import (
+    AccuracyReport,
+    accuracy_sweep,
+    fixed_idct_1d_direct,
+    fixed_idct_1d_lee,
+    measure_accuracy,
+    meets_precision,
+)
+
+__all__ = [
+    "IDCT_ALGORITHMS", "FlopCounter", "IdctError", "algorithm_flops",
+    "idct_1d_lee", "idct_1d_naive", "idct_2d_naive", "idct_2d_row_column",
+    "FIG2_RECIPES", "IdctHardwareRecipe", "fig2_cores", "software_cores",
+    "software_idct_core", "synthesize_idct_core",
+    "build_abstraction_layer", "build_idct_layer",
+    "AccuracyReport", "accuracy_sweep", "fixed_idct_1d_direct",
+    "fixed_idct_1d_lee", "measure_accuracy", "meets_precision",
+]

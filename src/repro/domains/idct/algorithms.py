@@ -1,0 +1,197 @@
+"""Inverse Discrete Cosine Transform implementations.
+
+The paper's Sec 2 motivates the design space layer with an IDCT class of
+design objects whose cores realize "different IDCT algorithms ...
+obviously all derived from the same basic mathematical definition of the
+transform, [with] different critical paths, different numbers of
+operations, precisions".  We implement that algorithm space for real:
+
+* the direct O(N^2) / O(N^4) definition;
+* separable row-column decomposition;
+* Lee's recursive fast algorithm (O(N log N) multiplies per vector).
+
+All variants are instrumented with multiplication/addition counters so
+the evaluation-space positions of the cores derive from executed
+operation counts, not hand-waved estimates.
+
+Convention: the 1-D transform here is the orthonormal DCT-III,
+``x[n] = sum_k c_k X[k] cos(pi (2n+1) k / (2N))`` with
+``c_0 = sqrt(1/N)`` and ``c_k = sqrt(2/N)`` — the inverse of the
+orthonormal DCT-II used by JPEG/MPEG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class IdctError(ReproError):
+    """Invalid transform input."""
+
+
+@dataclass
+class FlopCounter:
+    """Floating-point operation counts of one transform execution."""
+
+    multiplies: int = 0
+    additions: int = 0
+
+    def mul(self, amount: int = 1) -> None:
+        self.multiplies += amount
+
+    def add(self, amount: int = 1) -> None:
+        self.additions += amount
+
+    @property
+    def total(self) -> int:
+        return self.multiplies + self.additions
+
+
+def _check_vector(coeffs: Sequence[float]) -> int:
+    n = len(coeffs)
+    if n < 1 or (n & (n - 1)):
+        raise IdctError(f"transform size must be a power of two, got {n}")
+    return n
+
+
+def idct_1d_naive(coeffs: Sequence[float],
+                  flops: Optional[FlopCounter] = None) -> List[float]:
+    """Direct evaluation of the DCT-III definition: N^2 multiplies."""
+    n = _check_vector(coeffs)
+    flops = flops if flops is not None else FlopCounter()
+    scale0 = math.sqrt(1.0 / n)
+    scale = math.sqrt(2.0 / n)
+    out = []
+    for sample in range(n):
+        total = scale0 * coeffs[0]
+        flops.mul()
+        for k in range(1, n):
+            angle = math.pi * (2 * sample + 1) * k / (2 * n)
+            total += scale * coeffs[k] * math.cos(angle)
+            flops.mul(2)
+            flops.add()
+        out.append(total)
+    return out
+
+
+def _dct3_unscaled(coeffs: List[float], flops: FlopCounter) -> List[float]:
+    """Lee's recursion on the unscaled DCT-III
+    ``y[n] = X[0]/2 + sum_{k>=1} X[k] cos(pi k (2n+1) / (2N))``."""
+    n = len(coeffs)
+    if n == 1:
+        # y[0] = X[0]/2
+        flops.mul()
+        return [coeffs[0] * 0.5]
+    half = n // 2
+    even = [coeffs[2 * k] for k in range(half)]
+    # H[0] = G[0] enters the half-size transform at full weight, but the
+    # recursion halves its first input — pre-double to compensate.
+    odd = [2.0 * coeffs[1]] + [coeffs[2 * k + 1] + coeffs[2 * k - 1]
+                               for k in range(1, half)]
+    flops.mul()
+    flops.add(half - 1)
+    upper = _dct3_unscaled(even, flops)
+    lower = _dct3_unscaled(odd, flops)
+    out = [0.0] * n
+    for j in range(half):
+        weight = 1.0 / (2.0 * math.cos(math.pi * (2 * j + 1) / (2 * n)))
+        w = lower[j] * weight
+        flops.mul()
+        out[j] = upper[j] + w
+        out[n - 1 - j] = upper[j] - w
+        flops.add(2)
+    return out
+
+
+def idct_1d_lee(coeffs: Sequence[float],
+                flops: Optional[FlopCounter] = None) -> List[float]:
+    """Lee's fast recursive IDCT: O(N log N) multiplies."""
+    n = _check_vector(coeffs)
+    flops = flops if flops is not None else FlopCounter()
+    scale0 = math.sqrt(1.0 / n)
+    scale = math.sqrt(2.0 / n)
+    # Pre-scale into the unscaled convention: X'[0] = 2*c0*X[0]/?  The
+    # unscaled recursion computes X[0]/2 + sum X[k] cos(...), so feed
+    # X'[0] = 2*scale0*X[0] and X'[k] = scale*X[k].
+    prepared = [2.0 * scale0 * coeffs[0]] + [scale * c for c in coeffs[1:]]
+    flops.mul(n)
+    return _dct3_unscaled(prepared, flops)
+
+
+def _check_block(block: Sequence[Sequence[float]]) -> int:
+    n = len(block)
+    if n < 1 or (n & (n - 1)):
+        raise IdctError(f"block size must be a power of two, got {n}")
+    for row in block:
+        if len(row) != n:
+            raise IdctError("block must be square")
+    return n
+
+
+def idct_2d_naive(block: Sequence[Sequence[float]],
+                  flops: Optional[FlopCounter] = None) -> List[List[float]]:
+    """Direct O(N^4) evaluation of the separable 2-D definition."""
+    n = _check_block(block)
+    flops = flops if flops is not None else FlopCounter()
+
+    def c(k: int) -> float:
+        return math.sqrt(1.0 / n) if k == 0 else math.sqrt(2.0 / n)
+
+    out = [[0.0] * n for _ in range(n)]
+    for x in range(n):
+        for y in range(n):
+            total = 0.0
+            for u in range(n):
+                for v in range(n):
+                    total += (c(u) * c(v) * block[u][v]
+                              * math.cos(math.pi * (2 * x + 1) * u / (2 * n))
+                              * math.cos(math.pi * (2 * y + 1) * v / (2 * n)))
+                    flops.mul(4)
+                    flops.add()
+            out[x][y] = total
+    return out
+
+
+def idct_2d_row_column(block: Sequence[Sequence[float]],
+                       flops: Optional[FlopCounter] = None,
+                       fast: bool = True) -> List[List[float]]:
+    """Separable row-column 2-D IDCT: 2N 1-D transforms.
+
+    ``fast`` selects Lee's algorithm for the 1-D passes; the slow
+    variant uses the direct definition (the paper's cores differ in
+    exactly this choice).
+    """
+    n = _check_block(block)
+    flops = flops if flops is not None else FlopCounter()
+    one_d = idct_1d_lee if fast else idct_1d_naive
+    rows = [one_d(row, flops) for row in block]
+    columns = [one_d([rows[i][j] for i in range(n)], flops)
+               for j in range(n)]
+    return [[columns[j][i] for j in range(n)] for i in range(n)]
+
+
+IDCT_ALGORITHMS = {
+    "Direct": lambda block, flops=None: idct_2d_naive(block, flops),
+    "RowColumn-Direct": lambda block, flops=None: idct_2d_row_column(
+        block, flops, fast=False),
+    "RowColumn-Lee": lambda block, flops=None: idct_2d_row_column(
+        block, flops, fast=True),
+}
+
+
+def algorithm_flops(algorithm: str, block_size: int = 8) -> FlopCounter:
+    """Operation counts of one ``block_size`` x ``block_size`` transform."""
+    try:
+        fn = IDCT_ALGORITHMS[algorithm]
+    except KeyError:
+        raise IdctError(f"unknown IDCT algorithm {algorithm!r}; known: "
+                        f"{sorted(IDCT_ALGORITHMS)}") from None
+    flops = FlopCounter()
+    block = [[float((i * block_size + j) % 7 - 3)
+              for j in range(block_size)] for i in range(block_size)]
+    fn(block, flops)
+    return flops

@@ -1,0 +1,147 @@
+"""The five IDCT hard cores of the paper's Fig 2, plus software routines.
+
+The paper's Fig 2/3 argument needs a concrete population: five hard
+cores whose evaluation-space positions form two clusters — {1, 2, 5}
+(0.35u) and {3, 4} (0.7u) — with "Designs 1 and 4 ... different
+implementations of the exact same IDCT algorithm (say, one using a
+0.35u standard cell library, and the other using a 0.7u standard cell
+library)".  We generate them with a MAC-array datapath model whose
+operation counts come from executing the real algorithms of
+:mod:`repro.domains.idct.algorithms`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.designobject import AREA, CLOCK_NS, DELAY_US, LATENCY_NS, POWER_MW, DesignObject
+from repro.domains.idct.algorithms import algorithm_flops
+from repro.errors import LibraryError
+from repro.hw.tech import technology
+from repro.sw.bignum import OpCounter
+from repro.sw.cpu import PENTIUM60_ASM, PENTIUM60_C
+
+#: Gate cost of one 16-bit multiply-accumulate unit (array multiplier
+#: half-square plus accumulator adder and pipeline registers).
+_MAC_GATES = 180.0
+_CONTROL_GATES = 800.0
+_MAC_PIPELINE_LEVELS = 10.0
+_DATA_BITS = 16
+
+#: Design issue names of the IDCT layer.
+IMPLEMENTATION_STYLE = "ImplementationStyle"
+FAB_TECH = "FabricationTechnology"
+ALGORITHM = "Algorithm"
+MAC_UNITS = "MacUnits"
+LAYOUT_STYLE = "LayoutStyle"
+PLATFORM = "ProgrammablePlatform"
+LANGUAGE = "Language"
+BLOCK_SIZE = "BlockSize"
+PRECISION = "Precision"
+
+IDCT_SW_PATH = "IDCT.Software.Pentium-60"
+
+
+def idct_hw_path(technology_name: str) -> str:
+    """Qualified CDO name of a technology family ('0.35u' -> ...350nm)."""
+    suffix = {"0.35u": "350nm", "0.5u": "500nm", "0.7u": "700nm"}
+    return f"IDCT.Hardware.{suffix[technology_name]}"
+
+
+@dataclass(frozen=True)
+class IdctHardwareRecipe:
+    """One hard core's design point (Fig 2's numbered designs)."""
+
+    number: int
+    algorithm: str
+    mac_units: int
+    technology_name: str
+    layout_style: str = "Standard-Cell"
+
+
+#: Fig 2's five cores: {1,2,5} on 0.35u, {3,4} on 0.7u.
+FIG2_RECIPES: Sequence[IdctHardwareRecipe] = (
+    IdctHardwareRecipe(1, "RowColumn-Lee", 4, "0.35u"),
+    IdctHardwareRecipe(2, "RowColumn-Lee", 2, "0.35u"),
+    # Designs 1 and 4 implement the exact same algorithm on different
+    # technologies — the paper's Sec 2.1 example of why abstraction-only
+    # organisation misleads.
+    IdctHardwareRecipe(3, "RowColumn-Lee", 4, "0.7u"),
+    IdctHardwareRecipe(4, "RowColumn-Lee", 2, "0.7u"),
+    IdctHardwareRecipe(5, "RowColumn-Direct", 8, "0.35u"),
+)
+
+
+def synthesize_idct_core(recipe: IdctHardwareRecipe,
+                         block_size: int = 8) -> DesignObject:
+    """Characterize one IDCT hard core from executed operation counts."""
+    if recipe.mac_units < 1:
+        raise LibraryError(f"MAC count must be >= 1, got {recipe.mac_units}")
+    tech = technology(recipe.technology_name)
+    flops = algorithm_flops(recipe.algorithm, block_size)
+    gates = _CONTROL_GATES + recipe.mac_units * _MAC_GATES
+    clock_ns = tech.clock_ns(_MAC_PIPELINE_LEVELS, _DATA_BITS)
+    # MACs fuse one multiply with one add; leftover additions run two
+    # per cycle on the accumulate network.
+    cycles = math.ceil(flops.multiplies / recipe.mac_units
+                       + max(0, flops.additions - flops.multiplies)
+                       / (2.0 * recipe.mac_units))
+    latency_ns = cycles * clock_ns
+    return DesignObject(
+        f"idct_{recipe.number}",
+        idct_hw_path(recipe.technology_name),
+        {
+            BLOCK_SIZE: block_size,
+            FAB_TECH: recipe.technology_name,
+            ALGORITHM: recipe.algorithm,
+            MAC_UNITS: recipe.mac_units,
+            LAYOUT_STYLE: recipe.layout_style,
+            PRECISION: _DATA_BITS,
+        },
+        {
+            AREA: tech.area(gates),
+            CLOCK_NS: clock_ns,
+            LATENCY_NS: latency_ns,
+            DELAY_US: latency_ns / 1000.0,
+            POWER_MW: tech.power_mw(gates, clock_ns),
+        },
+        doc=f"IDCT core #{recipe.number}: {recipe.algorithm} on "
+            f"{recipe.mac_units} MACs, {recipe.technology_name} "
+            f"{recipe.layout_style}")
+
+
+def fig2_cores(block_size: int = 8) -> List[DesignObject]:
+    """All five Fig 2 hard cores."""
+    return [synthesize_idct_core(recipe, block_size)
+            for recipe in FIG2_RECIPES]
+
+
+def software_idct_core(algorithm: str, language: str,
+                       block_size: int = 8) -> DesignObject:
+    """A Pentium-60 software IDCT routine characterized from its
+    executed floating-point operation counts."""
+    flops = algorithm_flops(algorithm, block_size)
+    ops = OpCounter()
+    # FP multiply ~3 cycles pipelined on the P5 FPU, add ~1; memory
+    # traffic roughly one load per operand.
+    ops.tick("mul", flops.multiplies)
+    ops.tick("add", flops.additions)
+    ops.tick("mem", 2 * flops.total)
+    ops.tick("loop", flops.total // 2)
+    cpu = PENTIUM60_ASM if language == "ASM" else PENTIUM60_C
+    delay_us = cpu.microseconds(ops)
+    return DesignObject(
+        f"idct_sw_{algorithm.lower()}_{language.lower()}",
+        IDCT_SW_PATH,
+        {BLOCK_SIZE: block_size, ALGORITHM: algorithm, LANGUAGE: language},
+        {DELAY_US: delay_us, LATENCY_NS: delay_us * 1000.0},
+        doc=f"{algorithm} software IDCT in {language} on a Pentium 60")
+
+
+def software_cores(block_size: int = 8) -> List[DesignObject]:
+    """Software IDCT routines: the three algorithms in ASM and C."""
+    return [software_idct_core(algorithm, language, block_size)
+            for algorithm in ("Direct", "RowColumn-Direct", "RowColumn-Lee")
+            for language in ("ASM", "C")]

@@ -1,0 +1,164 @@
+"""The IDCT design space layer (paper Sec 2, Figs 2-4).
+
+Two hierarchies can organise the same five cores:
+
+* :func:`build_idct_layer` — the generalization/specialization layer of
+  Fig 3/4: implementation style first, then — inside Hardware — the
+  fabrication technology, because *that* is the issue separating the
+  clusters {1, 2, 5} and {3, 4} in the evaluation space;
+* :func:`build_abstraction_layer` — the strawman of Fig 2(a), organised
+  purely by level of abstraction, kept so the benchmarks can demonstrate
+  why it guides the designer poorly (designs 1 and 4 share an algorithm
+  yet sit in different clusters).
+"""
+
+from __future__ import annotations
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.layer import DesignSpaceLayer
+from repro.core.library import ReuseLibrary
+from repro.core.properties import DesignIssue, Requirement, RequirementSense
+from repro.core.values import EnumDomain, IntRange
+from repro.domains.idct.algorithms import IDCT_ALGORITHMS
+from repro.domains.idct.cores import (
+    ALGORITHM,
+    BLOCK_SIZE,
+    FAB_TECH,
+    IMPLEMENTATION_STYLE,
+    LANGUAGE,
+    LAYOUT_STYLE,
+    MAC_UNITS,
+    PLATFORM,
+    PRECISION,
+    fig2_cores,
+    software_cores,
+)
+
+
+def _tech_cdo_name(option: str) -> str:
+    """CDO-safe name for a technology option ('0.35u' -> '350nm')."""
+    return {"0.35u": "350nm", "0.5u": "500nm", "0.7u": "700nm"}[option]
+
+
+def _idct_root() -> ClassOfDesignObjects:
+    root = ClassOfDesignObjects(
+        "IDCT",
+        "Inverse Discrete Cosine Transform blocks (paper Sec 2's "
+        "motivating class of design objects); all available IDCT cores "
+        "are indexed through this node")
+    root.add_property(Requirement(
+        BLOCK_SIZE, EnumDomain([4, 8, 16]),
+        "Transform block size required by the application (8 for "
+        "JPEG/MPEG)", sense=RequirementSense.EXACT))
+    root.add_property(Requirement(
+        PRECISION, IntRange(lo=8, hi=32),
+        "Required coefficient precision in bits",
+        sense=RequirementSense.AT_LEAST_SUPPORT, unit="bits"))
+    root.add_property(Requirement(
+        "LatencySingleBlock", IntRange(lo=0),
+        "Maximum latency of one block transform in nanoseconds",
+        sense=RequirementSense.MAX, unit="ns"))
+    return root
+
+
+def build_idct_layer(block_size: int = 8) -> DesignSpaceLayer:
+    """The generalization-based layer of Fig 3/4."""
+    layer = DesignSpaceLayer(
+        "idct",
+        "Design space layer for IDCT blocks, organised by "
+        "generalization/specialization (paper Fig 3)")
+    root = _idct_root()
+    root.add_property(DesignIssue(
+        IMPLEMENTATION_STYLE, EnumDomain(["Hardware", "Software"]),
+        "Hardware cores vs software routines — radically different "
+        "performance ranges, hence a generalized issue (Fig 4)",
+        generalized=True))
+    hardware = root.specialize(
+        "Hardware", doc="IDCT hard cores")
+    hardware.add_property(DesignIssue(
+        FAB_TECH, EnumDomain(["0.35u", "0.7u"]),
+        "Fabrication technology — the design issue that separates the "
+        "area/performance clusters of Fig 3(b), promoted to a "
+        "generalized issue exactly for that reason", generalized=True))
+    for tech in ("0.35u", "0.7u"):
+        # CDO names cannot contain the path separator, so the child is
+        # named in nanometres while the issue option keeps the paper's
+        # micron spelling.
+        family = hardware.specialize(tech, name=_tech_cdo_name(tech))
+        family.add_property(DesignIssue(
+            ALGORITHM, EnumDomain(sorted(IDCT_ALGORITHMS)),
+            "IDCT algorithm realised by the datapath; all derive from "
+            "the same transform definition but differ in operation "
+            "counts and critical paths"))
+        family.add_property(DesignIssue(
+            MAC_UNITS, EnumDomain([1, 2, 4, 8, 16]),
+            "Parallel multiply-accumulate units in the datapath"))
+        family.add_property(DesignIssue(
+            LAYOUT_STYLE, EnumDomain(["Standard-Cell", "Gate-Array"]),
+            "Physical design style"))
+    software = root.specialize("Software", doc="IDCT software routines")
+    software.add_property(DesignIssue(
+        PLATFORM, EnumDomain(["Pentium-60", "Embedded-RISC"]),
+        "Programmable platform executing the routine", generalized=True))
+    pentium = software.specialize("Pentium-60")
+    pentium.add_property(DesignIssue(
+        ALGORITHM, EnumDomain(sorted(IDCT_ALGORITHMS)),
+        "IDCT algorithm implemented by the routine"))
+    pentium.add_property(DesignIssue(
+        LANGUAGE, EnumDomain(["ASM", "C"]),
+        "Implementation language"))
+    software.specialize("Embedded-RISC")
+    layer.add_root(root)
+    library = ReuseLibrary("idct-cores", "The five hard cores of Fig 2 "
+                                         "plus Pentium software routines")
+    library.add_all(fig2_cores(block_size))
+    library.add_all(software_cores(block_size))
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def build_abstraction_layer(block_size: int = 8) -> DesignSpaceLayer:
+    """The strawman layer of Fig 2(a): organised by abstraction level.
+
+    Its generalized issue is the *level of abstraction at which designs
+    are first discriminated* — which tells the designer nothing about
+    achievable figures of merit; the benchmark shows the algorithm-level
+    region mixes both clusters.
+    """
+    layer = DesignSpaceLayer(
+        "idct-abstraction",
+        "Strawman IDCT layer organised strictly by level of design "
+        "abstraction (paper Fig 2(a))")
+    root = _idct_root()
+    root.add_property(DesignIssue(
+        "AbstractionLevel",
+        EnumDomain(["Algorithm", "RT", "Logic", "Physical"]),
+        "Level of abstraction at which the design space is first "
+        "discriminated — the traditional top-down organisation",
+        generalized=True))
+    algorithm_level = root.specialize("Algorithm")
+    algorithm_level.add_property(DesignIssue(
+        ALGORITHM, EnumDomain(sorted(IDCT_ALGORITHMS)),
+        "Algorithm chosen at the algorithm level"))
+    for level in ("RT", "Logic", "Physical"):
+        node = root.specialize(level)
+        if level == "Physical":
+            node.add_property(DesignIssue(
+                FAB_TECH, EnumDomain(["0.35u", "0.7u"]),
+                "Technology — only visible at the physical level in "
+                "this organisation, despite its first-order impact"))
+    layer.add_root(root)
+    # Cores index under the algorithm-level region: with this schema a
+    # designer explores algorithms first and cannot see the technology
+    # split Fig 2(c) shows to matter most.
+    library = ReuseLibrary("idct-cores",
+                           "Fig 2 cores indexed at the algorithm level")
+    for core in fig2_cores(block_size):
+        clone_properties = dict(core.properties)
+        library.add(type(core)(core.name, "IDCT.Algorithm",
+                               clone_properties, core.merits,
+                               doc=core.doc))
+    layer.attach_library(library)
+    layer.validate()
+    return layer

@@ -1,0 +1,189 @@
+"""Fixed-point IDCT: the precision dimension of the algorithm space.
+
+The paper notes that alternative IDCT algorithms have "different
+critical paths, different numbers of operations, precisions" — and the
+IDCT root CDO carries a ``Precision`` requirement.  This module makes
+that requirement *measurable*: integer implementations of the direct
+and Lee 1-D transforms with quantized cosine tables, an error harness
+against the floating-point reference, and an achieved-precision metric
+cores can document.
+
+The engineering trade-off it exposes is real: Lee's recursion divides
+by ``2*cos(pi(2j+1)/2N)``, whose last stage approaches zero, so its
+quantization noise is *amplified* — at equal coefficient word lengths
+the fast algorithm is measurably less accurate than the direct one.
+Fewer multiplications, worse noise: exactly the kind of coupling the
+design space layer exists to surface.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.domains.idct.algorithms import (
+    IdctError,
+    idct_1d_naive,
+)
+
+
+def _check(coeffs: Sequence[int], frac_bits: int) -> int:
+    n = len(coeffs)
+    if n < 1 or (n & (n - 1)):
+        raise IdctError(f"transform size must be a power of two, got {n}")
+    if not 2 <= frac_bits <= 30:
+        raise IdctError(f"fractional bits must be 2..30, got {frac_bits}")
+    return n
+
+
+def _fx(value: float, frac_bits: int) -> int:
+    """Round-to-nearest fixed-point quantization."""
+    return int(round(value * (1 << frac_bits)))
+
+
+def _descale(value: int, frac_bits: int) -> int:
+    """Arithmetic right shift with round-to-nearest."""
+    offset = 1 << (frac_bits - 1)
+    return (value + offset) >> frac_bits
+
+
+def fixed_idct_1d_direct(coeffs: Sequence[int], frac_bits: int
+                         ) -> List[int]:
+    """Direct N^2 fixed-point IDCT over integer inputs.
+
+    Inputs are plain integers; outputs carry ``frac_bits`` fractional
+    bits (divide by ``2**frac_bits`` for the value), so downstream
+    stages — or the accuracy harness — see the full computed precision.
+    The cosine/scale products are quantized to ``frac_bits``.
+    """
+    n = _check(coeffs, frac_bits)
+    scale0 = math.sqrt(1.0 / n)
+    scale = math.sqrt(2.0 / n)
+    out = []
+    for sample in range(n):
+        acc = coeffs[0] * _fx(scale0, frac_bits)
+        for k in range(1, n):
+            angle = math.pi * (2 * sample + 1) * k / (2 * n)
+            acc += coeffs[k] * _fx(scale * math.cos(angle), frac_bits)
+        out.append(acc)
+    return out
+
+
+def fixed_idct_1d_lee(coeffs: Sequence[int], frac_bits: int) -> List[int]:
+    """Lee's recursion in fixed point.
+
+    Inputs are plain integers; outputs carry ``frac_bits`` fractional
+    bits, like :func:`fixed_idct_1d_direct`.  Every intermediate value
+    is re-quantized to ``frac_bits`` after each stage's secant product;
+    the final-stage weights are large (up to ~N/pi), which is where the
+    accuracy loss against the direct form comes from.
+    """
+    n = _check(coeffs, frac_bits)
+    scale0 = math.sqrt(1.0 / n)
+    scale = math.sqrt(2.0 / n)
+    prepared = [coeffs[0] * _fx(2.0 * scale0, frac_bits)]
+    prepared += [c * _fx(scale, frac_bits) for c in coeffs[1:]]
+
+    def recurse(values: List[int], size: int) -> List[int]:
+        if size == 1:
+            return [values[0] // 2]
+        half = size // 2
+        even = [values[2 * k] for k in range(half)]
+        odd = [2 * values[1]] + [values[2 * k + 1] + values[2 * k - 1]
+                                 for k in range(1, half)]
+        upper = recurse(even, half)
+        lower = recurse(odd, half)
+        out = [0] * size
+        for j in range(half):
+            weight = _fx(1.0 / (2.0 * math.cos(
+                math.pi * (2 * j + 1) / (2 * size))), frac_bits)
+            w = _descale(lower[j] * weight, frac_bits)
+            out[j] = upper[j] + w
+            out[size - 1 - j] = upper[j] - w
+        return out
+
+    return recurse(prepared, n)
+
+
+FIXED_KERNELS: dict = {
+    "Direct": fixed_idct_1d_direct,
+    "Lee": fixed_idct_1d_lee,
+}
+
+
+@dataclass
+class AccuracyReport:
+    """Measured accuracy of a fixed-point kernel configuration."""
+
+    kernel: str
+    frac_bits: int
+    size: int
+    trials: int
+    max_error: float
+    rms_error: float
+
+    @property
+    def achieved_bits(self) -> float:
+        """Effective fractional precision: ``-log2(max_error)`` relative
+        to unit-scale inputs (capped for exact results)."""
+        if self.max_error <= 0:
+            return float(self.frac_bits)
+        return -math.log2(self.max_error)
+
+
+def measure_accuracy(kernel: str, frac_bits: int, size: int = 8,
+                     trials: int = 200, amplitude: int = 255,
+                     rng: Optional[random.Random] = None
+                     ) -> AccuracyReport:
+    """Error of the fixed-point kernel vs the float reference.
+
+    Inputs are random integer coefficient vectors in
+    ``[-amplitude, amplitude]`` (the video-codec range); errors are
+    normalized by the amplitude so reports compare across ranges.
+    """
+    try:
+        fixed = FIXED_KERNELS[kernel]
+    except KeyError:
+        raise IdctError(f"unknown fixed kernel {kernel!r}; known: "
+                        f"{sorted(FIXED_KERNELS)}") from None
+    if trials < 1:
+        raise IdctError(f"trials must be >= 1, got {trials}")
+    rng = rng or random.Random(0)
+    worst = 0.0
+    total_sq = 0.0
+    count = 0
+    unit = float(1 << frac_bits)
+    for _ in range(trials):
+        coeffs = [rng.randint(-amplitude, amplitude) for _ in range(size)]
+        exact = idct_1d_naive([float(c) for c in coeffs])
+        approx = fixed(coeffs, frac_bits)
+        for a, b in zip(approx, exact):
+            err = abs(a / unit - b) / amplitude
+            worst = max(worst, err)
+            total_sq += err * err
+            count += 1
+    return AccuracyReport(kernel, frac_bits, size, trials, worst,
+                          math.sqrt(total_sq / count))
+
+
+def accuracy_sweep(frac_bits_list: Sequence[int] = (8, 10, 12, 14, 16),
+                   size: int = 8, trials: int = 100
+                   ) -> List[AccuracyReport]:
+    """Accuracy of both kernels across coefficient word lengths."""
+    reports = []
+    for kernel in sorted(FIXED_KERNELS):
+        for frac_bits in frac_bits_list:
+            reports.append(measure_accuracy(kernel, frac_bits, size,
+                                            trials))
+    return reports
+
+
+def meets_precision(kernel: str, frac_bits: int, required_bits: int,
+                    size: int = 8, trials: int = 100) -> bool:
+    """Whether a kernel configuration satisfies a Precision requirement
+    of ``required_bits`` effective bits — the measurable backing for the
+    IDCT layer's Req."""
+    report = measure_accuracy(kernel, frac_bits, size, trials)
+    return report.achieved_bits >= required_bits

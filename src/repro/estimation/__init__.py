@@ -1,0 +1,33 @@
+"""Early estimation tools, used through consistency constraints (CC3)."""
+
+from repro.estimation.area import AreaEstimate, BehaviorAreaEstimator
+from repro.estimation.delay import BehaviorDelayEstimator, DelayEstimate
+from repro.estimation.models import OperatorCost, OperatorCostModel
+from repro.estimation.power import BehaviorPowerEstimator, PowerEstimate
+from repro.estimation.schedule import (
+    Allocation,
+    ListScheduler,
+    Schedule,
+    ScheduledOp,
+    estimate_latency_cycles,
+)
+from repro.estimation.tools import (
+    AREA_TOOL,
+    DELAY_TOOL,
+    POWER_TOOL,
+    area_tool,
+    delay_tool,
+    power_tool,
+    register_estimators,
+)
+
+__all__ = [
+    "AreaEstimate", "BehaviorAreaEstimator",
+    "BehaviorDelayEstimator", "DelayEstimate",
+    "OperatorCost", "OperatorCostModel",
+    "BehaviorPowerEstimator", "PowerEstimate",
+    "AREA_TOOL", "DELAY_TOOL", "POWER_TOOL",
+    "area_tool", "delay_tool", "power_tool", "register_estimators",
+    "Allocation", "ListScheduler", "Schedule", "ScheduledOp",
+    "estimate_latency_cycles",
+]

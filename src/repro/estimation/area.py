@@ -1,0 +1,61 @@
+"""Early area estimation from behavioral descriptions.
+
+A companion to the delay estimator: before any cores exist, the layer
+can still bound the silicon area of a candidate description by summing
+operator-level area weights.  Two accounting modes reflect the two ways
+a synthesizer maps a listing:
+
+* ``shared=False`` — every static operator instance gets its own unit
+  (fully parallel datapath; upper bound);
+* ``shared=True`` — instances of the same symbol share one unit, plus a
+  multiplexing overhead per extra instance (resource-shared datapath;
+  closer to what high-level synthesis emits for sequential listings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.behavior.ir import Behavior
+from repro.estimation.models import OperatorCostModel
+from repro.errors import EstimationError
+
+#: Area of the steering logic added per shared extra instance, as a
+#: fraction of the shared unit's area.
+_SHARING_MUX_FRACTION = 0.15
+
+
+@dataclass
+class AreaEstimate:
+    behavior_name: str
+    area: float
+    by_symbol: Dict[str, float]
+    shared: bool
+
+
+class BehaviorAreaEstimator:
+    """Operator-count area estimates for algorithm-level descriptions."""
+
+    def __init__(self, width_bits: int = 32,
+                 cost_model: Optional[OperatorCostModel] = None,
+                 shared: bool = True):
+        self.cost_model = cost_model or OperatorCostModel(width_bits)
+        self.shared = shared
+
+    def estimate(self, behavior: Behavior) -> AreaEstimate:
+        if not isinstance(behavior, Behavior):
+            raise EstimationError(
+                f"BehaviorAreaEstimator needs a Behavior, got "
+                f"{type(behavior).__name__}")
+        histogram = behavior.op_histogram()
+        by_symbol: Dict[str, float] = {}
+        for symbol, count in histogram.items():
+            unit = self.cost_model.area(symbol)
+            if self.shared:
+                by_symbol[symbol] = unit * (1.0 + _SHARING_MUX_FRACTION
+                                            * (count - 1))
+            else:
+                by_symbol[symbol] = unit * count
+        return AreaEstimate(behavior.name, sum(by_symbol.values()),
+                            by_symbol, self.shared)

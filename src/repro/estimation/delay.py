@@ -1,0 +1,113 @@
+"""The BehaviorDelayEstimator of the paper's CC3.
+
+"CC3 defines the context of utilization of an early estimation tool,
+denoted BehaviorDelayEstimator, used to assign a rank to alternative
+algorithmic-level behavioral descriptions with respect to
+MaxCombinationalDelay" (paper Sec 5.2).  The estimator is useful when no
+suitable hard cores are found in the reuse library.
+
+Implementation: critical path of the behavior's dataflow graph under an
+operator-level delay model.  Loop bodies contribute their single-pass
+combinational path (the quantity a datapath synthesizer must close timing
+on); loop-carried repetition is a *latency* matter, covered by CC2-style
+cycle formulas, not by this estimator.
+
+Width inference: digit-serial algorithms mix full-width operations with
+digit-sized ones (``mod r``, quotient-digit products).  Charging the
+digit ops at full operand width would invert the ranking the paper
+relies on (Montgomery best), so subexpressions recognisably *narrow* —
+small constants, digit-extraction calls, variables named like the radix
+or a quotient digit, and compositions thereof — are costed at a narrow
+width instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.behavior.dfg import DataflowGraph, DfgNode
+from repro.behavior.ir import Behavior, BinOp, Call, Const, Expr, Var
+from repro.estimation.models import OperatorCostModel
+from repro.errors import EstimationError
+
+#: Variable names conventionally holding digit-sized values.
+DEFAULT_NARROW_NAMES = frozenset({"r", "radix", "Q", "q", "Qi", "carry"})
+
+#: Width (bits) assumed for narrow (digit-valued) operations.
+NARROW_BITS = 8
+
+
+@dataclass
+class DelayEstimate:
+    """Result of one estimation: the maximum combinational delay in gate
+    levels and the operator chain realizing it."""
+
+    behavior_name: str
+    max_combinational_delay: float
+    critical_chain: List[str]
+
+
+class BehaviorDelayEstimator:
+    """Rank algorithm-level descriptions by maximum combinational delay."""
+
+    def __init__(self, width_bits: int = 32,
+                 cost_model: Optional[OperatorCostModel] = None,
+                 narrow_names: FrozenSet[str] = DEFAULT_NARROW_NAMES):
+        self.cost_model = cost_model or OperatorCostModel(width_bits)
+        self.narrow_model = OperatorCostModel(NARROW_BITS)
+        self.double_model = OperatorCostModel(2 * self.cost_model.width_bits)
+        self.narrow_names = frozenset(narrow_names)
+
+    def _is_narrow(self, expr: Optional[Expr]) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, Const):
+            return abs(expr.value) < 256
+        if isinstance(expr, Var):
+            return expr.name in self.narrow_names
+        if isinstance(expr, Call):
+            return expr.name in ("digit", "inv_mod")
+        if isinstance(expr, BinOp):
+            return self._is_narrow(expr.left) and self._is_narrow(expr.right)
+        return False
+
+    def _node_delay(self, node: DfgNode) -> float:
+        expr = node.expr
+        if isinstance(expr, BinOp):
+            if self._is_narrow(expr):
+                return self.narrow_model.delay(expr.op)
+            if expr.op in ("div", "mod") and self._is_narrow(expr.right):
+                # Division by a digit-sized power of two is a shift /
+                # low-bit select, not a full divider.
+                return self.cost_model.delay("digit")
+            if (expr.op in ("div", "mod")
+                    and isinstance(expr.left, BinOp) and expr.left.op == "*"
+                    and not self._is_narrow(expr.left)):
+                # Reducing a full double-width product (the pencil-and-
+                # paper pattern) pays for the 2w-bit partial remainders.
+                return self.double_model.delay(expr.op)
+            if expr.op == "*" and (self._is_narrow(expr.left)
+                                   or self._is_narrow(expr.right)):
+                # digit x word product: one partial-product row.
+                return self.cost_model.delay("+")
+        if isinstance(expr, Call) and self._is_narrow(expr):
+            return self.narrow_model.delay(expr.name)
+        return self.cost_model.delay(node.symbol)
+
+    def estimate(self, behavior: Behavior) -> DelayEstimate:
+        if not isinstance(behavior, Behavior):
+            raise EstimationError(
+                f"BehaviorDelayEstimator needs a Behavior, got "
+                f"{type(behavior).__name__}")
+        graph = DataflowGraph.from_behavior(behavior)
+        delay, chain = graph.critical_path_nodes(self._node_delay)
+        symbols = [node.symbol for node in chain if node.symbol != "source"]
+        return DelayEstimate(behavior.name, delay, symbols)
+
+    def rank(self, behaviors: Sequence[Behavior]) -> List[DelayEstimate]:
+        """Estimates sorted best (smallest delay) first — the "rank" the
+        paper's CC3 assigns to alternative descriptions."""
+        estimates = [self.estimate(b) for b in behaviors]
+        estimates.sort(key=lambda e: e.max_combinational_delay)
+        return estimates

@@ -1,0 +1,104 @@
+"""Operator-level cost models shared by the early estimators.
+
+At the algorithm level no implementation information exists yet (no
+layout style, no technology), so the paper's early estimation tools work
+on *operator* granularity: each operator symbol in a behavioral
+description gets a delay/area/energy weight as a function of the operand
+bit width.  The weights follow textbook unit-gate asymptotics:
+
+===========  =======================  ==================
+operation    delay (gate levels)      area (gate equiv.)
+===========  =======================  ==================
+add/sub      ``log2(w)`` (CLA-like)   ``3 w``
+multiply     ``2 log2(w)`` (tree)     ``w^2 / 2``
+div/mod      ``w log2(w)`` (iter.)    ``2 w^2`` shared
+shift        ``log2(w)``              ``w log2(w)``
+compare      ``log2(w)``              ``2 w``
+digit        ``log2(w)`` (mux tree)   ``w``
+inv_mod      table lookup             ``w``
+===========  =======================  ==================
+
+Absolute numbers are meaningless at this stage — the paper uses the
+estimator only to *rank* alternative descriptions (CC3 "assigns a rank to
+alternative algorithmic-level behavioral descriptions") — but keeping the
+asymptotics right makes the ranks meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import EstimationError
+
+
+def _log2(width: int) -> float:
+    return math.log2(max(2, width))
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Delay (gate levels), area (gate equivalents) and switched energy
+    (arbitrary units/op) of one operator symbol at a given width."""
+
+    delay: float
+    area: float
+    energy: float
+
+
+class OperatorCostModel:
+    """Width-parameterized operator costs.
+
+    ``width_bits`` is the datapath width the estimate assumes — for the
+    crypto layer this is the Effective Operand Length or the slice width.
+    Unknown symbols fall back to a small control cost so estimators never
+    crash on helper operations; callers can override any symbol via
+    ``overrides``.
+    """
+
+    def __init__(self, width_bits: int,
+                 overrides: Optional[Mapping[str, OperatorCost]] = None):
+        if width_bits < 1:
+            raise EstimationError(f"width must be >= 1, got {width_bits}")
+        self.width_bits = width_bits
+        w = float(width_bits)
+        lg = _log2(width_bits)
+        self._table: Dict[str, OperatorCost] = {
+            "+": OperatorCost(lg, 3.0 * w, w),
+            "-": OperatorCost(lg, 3.0 * w, w),
+            "*": OperatorCost(2.0 * lg, w * w / 2.0, w * w / 4.0),
+            "div": OperatorCost(w * lg, 2.0 * w * w, w * w / 2.0),
+            "mod": OperatorCost(w * lg, 2.0 * w * w, w * w / 2.0),
+            "<<": OperatorCost(lg, w * lg, w / 2.0),
+            ">>": OperatorCost(lg, w * lg, w / 2.0),
+            ">": OperatorCost(lg, 2.0 * w, w / 2.0),
+            "<": OperatorCost(lg, 2.0 * w, w / 2.0),
+            ">=": OperatorCost(lg, 2.0 * w, w / 2.0),
+            "<=": OperatorCost(lg, 2.0 * w, w / 2.0),
+            "==": OperatorCost(lg, 2.0 * w, w / 2.0),
+            "!=": OperatorCost(lg, 2.0 * w, w / 2.0),
+            "&": OperatorCost(1.0, w, w / 4.0),
+            "|": OperatorCost(1.0, w, w / 4.0),
+            "^": OperatorCost(1.0, w, w / 4.0),
+            "digit": OperatorCost(lg, w, w / 4.0),
+            "inv_mod": OperatorCost(2.0, w, w / 4.0),
+        }
+        if overrides:
+            self._table.update(overrides)
+        self._fallback = OperatorCost(1.0, 4.0, 1.0)
+
+    def cost(self, symbol: str) -> OperatorCost:
+        return self._table.get(symbol, self._fallback)
+
+    def delay(self, symbol: str) -> float:
+        return self.cost(symbol).delay
+
+    def area(self, symbol: str) -> float:
+        return self.cost(symbol).area
+
+    def energy(self, symbol: str) -> float:
+        return self.cost(symbol).energy
+
+    def known_symbols(self) -> Mapping[str, OperatorCost]:
+        return dict(self._table)

@@ -1,0 +1,67 @@
+"""Early power estimation — the paper's work-in-progress extension.
+
+Sec 6 states the authors "are currently incorporating power consumption"
+into their case studies.  This estimator completes that thread: average
+dynamic power of a description is estimated from *dynamic* operation
+counts (static counts weighted by loop trip counts), per-operation
+switched energy, and the operation rate:
+
+``P = sum_ops(energy(op)) * V^2-normalized-activity / exec_time``
+
+Since there is no technology at this stage, energies are in arbitrary
+units and the result is meaningful only for ranking — the same contract
+as the delay estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.behavior.dfg import weighted_op_counts
+from repro.behavior.ir import Behavior
+from repro.estimation.models import OperatorCostModel
+from repro.errors import EstimationError
+
+
+@dataclass
+class PowerEstimate:
+    behavior_name: str
+    #: Total switched energy of one execution (arbitrary units).
+    energy_per_execution: float
+    #: Average power assuming the given execution time (units/time).
+    average_power: float
+    by_symbol: Dict[str, float]
+
+
+class BehaviorPowerEstimator:
+    """Activity-based energy/power ranking of behavioral descriptions."""
+
+    def __init__(self, width_bits: int = 32,
+                 cost_model: Optional[OperatorCostModel] = None,
+                 activity_factor: float = 0.5):
+        if not 0.0 < activity_factor <= 1.0:
+            raise EstimationError(
+                f"activity factor must be in (0, 1], got {activity_factor}")
+        self.cost_model = cost_model or OperatorCostModel(width_bits)
+        self.activity_factor = activity_factor
+
+    def estimate(self, behavior: Behavior, params: Mapping[str, int],
+                 execution_time: float = 1.0) -> PowerEstimate:
+        """``params`` binds the loop-bound variables (e.g. ``n``);
+        ``execution_time`` converts energy to average power."""
+        if not isinstance(behavior, Behavior):
+            raise EstimationError(
+                f"BehaviorPowerEstimator needs a Behavior, got "
+                f"{type(behavior).__name__}")
+        if execution_time <= 0:
+            raise EstimationError(
+                f"execution time must be positive, got {execution_time}")
+        counts = weighted_op_counts(behavior, params)
+        by_symbol = {
+            symbol: count * self.cost_model.energy(symbol) * self.activity_factor
+            for symbol, count in counts.items()
+        }
+        energy = sum(by_symbol.values())
+        return PowerEstimate(behavior.name, energy, energy / execution_time,
+                             by_symbol)

@@ -1,0 +1,239 @@
+"""Resource-constrained scheduling: an early *latency* estimator.
+
+CC2 gives a closed-form cycle count for one specific datapath family;
+for arbitrary behavioral descriptions the layer needs a structural
+estimate: given an allocation of operator units (so many adders, so
+many multipliers, ...), how many control steps does one pass of the
+description need?  That is classic list scheduling over the dataflow
+graph, and it is the natural companion to the
+:class:`~repro.estimation.delay.BehaviorDelayEstimator` — delay bounds
+the clock period, the schedule bounds the cycle count, their product
+bounds the latency.
+
+The scheduler is exact in its own terms: it produces a *valid* schedule
+(dependences respected, per-step resource usage within the allocation),
+checked by the test suite, and reports the resource that limited it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.behavior.dfg import DataflowGraph, DfgNode
+from repro.behavior.ir import Behavior
+from repro.errors import EstimationError
+
+#: Resource classes: operator symbols are mapped onto these unit types.
+ADD_UNIT = "adder"
+MUL_UNIT = "multiplier"
+DIV_UNIT = "divider"
+MISC_UNIT = "misc"
+
+#: Default mapping of operator symbols to resource classes.  Shifts,
+#: digit selects and comparisons run on the misc/steering logic.
+DEFAULT_UNIT_OF_SYMBOL: Dict[str, str] = {
+    "+": ADD_UNIT, "-": ADD_UNIT,
+    "*": MUL_UNIT,
+    "div": DIV_UNIT, "mod": DIV_UNIT,
+    "<<": MISC_UNIT, ">>": MISC_UNIT,
+    ">": MISC_UNIT, "<": MISC_UNIT, ">=": MISC_UNIT, "<=": MISC_UNIT,
+    "==": MISC_UNIT, "!=": MISC_UNIT,
+    "&": MISC_UNIT, "|": MISC_UNIT, "^": MISC_UNIT,
+    "digit": MISC_UNIT, "inv_mod": MISC_UNIT,
+}
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """How many units of each resource class the datapath provides.
+
+    Zero of a class the description needs is an estimation error —
+    the schedule would never finish.
+    """
+
+    adders: int = 1
+    multipliers: int = 1
+    dividers: int = 1
+    misc: int = 2
+
+    def limit(self, unit: str) -> int:
+        return {ADD_UNIT: self.adders, MUL_UNIT: self.multipliers,
+                DIV_UNIT: self.dividers, MISC_UNIT: self.misc}[unit]
+
+    def describe(self) -> str:
+        return (f"{self.adders} adder(s), {self.multipliers} "
+                f"multiplier(s), {self.dividers} divider(s), "
+                f"{self.misc} misc unit(s)")
+
+
+@dataclass
+class ScheduledOp:
+    """One operation placed in the schedule."""
+
+    node_id: int
+    symbol: str
+    unit: str
+    step: int
+
+
+@dataclass
+class Schedule:
+    """A complete resource-constrained schedule of one behavior pass."""
+
+    behavior_name: str
+    allocation: Allocation
+    steps: int
+    ops: List[ScheduledOp]
+    #: resource class -> fraction of step-slots occupied (pressure).
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck(self) -> Optional[str]:
+        """The busiest resource class (None for empty schedules)."""
+        if not self.utilization:
+            return None
+        return max(self.utilization, key=lambda u: self.utilization[u])
+
+    def ops_at(self, step: int) -> List[ScheduledOp]:
+        return [op for op in self.ops if op.step == step]
+
+    def step_of(self, node_id: int) -> int:
+        for op in self.ops:
+            if op.node_id == node_id:
+                return op.step
+        raise EstimationError(f"node {node_id} is not scheduled")
+
+    def describe(self) -> str:
+        lines = [f"schedule of {self.behavior_name!r} on "
+                 f"{self.allocation.describe()}: {self.steps} steps"]
+        for step in range(self.steps):
+            ops = ", ".join(f"{op.symbol}@{op.unit}"
+                            for op in self.ops_at(step))
+            lines.append(f"  step {step}: {ops}")
+        return "\n".join(lines)
+
+
+class ListScheduler:
+    """Dependence-aware list scheduling with unit resource constraints.
+
+    Priority: critical-path distance to the sink (longest remaining
+    chain first) — the standard heuristic, deterministic by node id on
+    ties.  Every operation takes one control step; chaining within a
+    step is the clock-period estimator's concern, not this one's.
+    """
+
+    def __init__(self, allocation: Allocation = Allocation(),
+                 unit_of_symbol: Optional[Mapping[str, str]] = None):
+        self.allocation = allocation
+        self.unit_of_symbol = dict(DEFAULT_UNIT_OF_SYMBOL)
+        if unit_of_symbol:
+            self.unit_of_symbol.update(unit_of_symbol)
+
+    def _unit_for(self, symbol: str) -> str:
+        return self.unit_of_symbol.get(symbol, MISC_UNIT)
+
+    def schedule(self, behavior: Behavior) -> Schedule:
+        if not isinstance(behavior, Behavior):
+            raise EstimationError(
+                f"ListScheduler needs a Behavior, got "
+                f"{type(behavior).__name__}")
+        graph = DataflowGraph.from_behavior(behavior)
+        operations = [node for node in graph.nodes
+                      if node.symbol != "source"]
+        for node in operations:
+            unit = self._unit_for(node.symbol)
+            if self.allocation.limit(unit) < 1:
+                raise EstimationError(
+                    f"behavior {behavior.name!r} needs a {unit} but the "
+                    f"allocation provides none")
+        priority = self._priorities(graph)
+        # Earliest step each node may start: 0, or 1 + max(pred steps).
+        placed: Dict[int, int] = {}
+        ready = {node.node_id for node in operations
+                 if not self._op_preds(graph, node)}
+        pending = {node.node_id for node in operations} - ready
+        ops: List[ScheduledOp] = []
+        step = 0
+        guard = 0
+        while ready or pending:
+            guard += 1
+            if guard > len(operations) + len(graph.nodes) + 8:
+                raise EstimationError(
+                    "scheduler failed to converge (cyclic graph?)")
+            budget = {unit: self.allocation.limit(unit)
+                      for unit in (ADD_UNIT, MUL_UNIT, DIV_UNIT, MISC_UNIT)}
+            for node_id in sorted(ready,
+                                  key=lambda n: (-priority[n], n)):
+                node = graph.nodes[node_id]
+                unit = self._unit_for(node.symbol)
+                if budget[unit] <= 0:
+                    continue
+                budget[unit] -= 1
+                placed[node_id] = step
+                ops.append(ScheduledOp(node_id, node.symbol, unit, step))
+            ready -= set(placed)
+            newly_ready = set()
+            for node_id in pending:
+                preds = self._op_preds(graph, graph.nodes[node_id])
+                if all(p in placed and placed[p] <= step for p in preds):
+                    newly_ready.add(node_id)
+            pending -= newly_ready
+            ready |= newly_ready
+            step += 1
+        total_steps = step if ops else 0
+        utilization: Dict[str, float] = {}
+        if total_steps:
+            for unit in (ADD_UNIT, MUL_UNIT, DIV_UNIT, MISC_UNIT):
+                used = sum(1 for op in ops if op.unit == unit)
+                capacity = self.allocation.limit(unit) * total_steps
+                if capacity:
+                    utilization[unit] = used / capacity
+        return Schedule(behavior.name, self.allocation, total_steps, ops,
+                        utilization)
+
+    # ------------------------------------------------------------------
+    def _op_preds(self, graph: DataflowGraph, node: DfgNode) -> List[int]:
+        """Transitive predecessors that are operations (sources are
+        always available and impose no ordering)."""
+        out: List[int] = []
+        stack = list(node.preds)
+        seen = set()
+        while stack:
+            pred_id = stack.pop()
+            if pred_id in seen:
+                continue
+            seen.add(pred_id)
+            pred = graph.nodes[pred_id]
+            if pred.symbol == "source":
+                continue
+            out.append(pred_id)
+        return out
+
+    def _priorities(self, graph: DataflowGraph) -> Dict[int, float]:
+        """Length of the longest chain of operations from each node to
+        any sink (list-scheduling priority)."""
+        succs: Dict[int, List[int]] = {node.node_id: []
+                                       for node in graph.nodes}
+        for node in graph.nodes:
+            for pred in node.preds:
+                succs[pred].append(node.node_id)
+        priority: Dict[int, float] = {}
+        for node in reversed(graph.nodes):
+            own = 0.0 if node.symbol == "source" else 1.0
+            below = max((priority[s] for s in succs[node.node_id]),
+                        default=0.0)
+            priority[node.node_id] = own + below
+        return priority
+
+
+def estimate_latency_cycles(behavior: Behavior,
+                            allocation: Allocation = Allocation(),
+                            iterations: int = 1) -> int:
+    """Cycle estimate for ``iterations`` sequential passes of the
+    description's loop body — the number the designer compares against
+    a latency budget before any core exists."""
+    if iterations < 1:
+        raise EstimationError(f"iterations must be >= 1, got {iterations}")
+    schedule = ListScheduler(allocation).schedule(behavior)
+    return schedule.steps * iterations

@@ -1,0 +1,83 @@
+"""Adapters registering the estimators as layer estimation tools.
+
+Consistency constraints invoke estimation tools through
+:class:`~repro.core.relations.EstimatorInvocation`, which looks the tool
+up by name on the layer and passes it the constraint's alias bindings.
+The adapters here translate those bindings into estimator calls:
+
+* the behavior is taken from the first alias bound to a
+  :class:`~repro.behavior.ir.Behavior` (CC3 binds it as ``B``);
+* the datapath width is taken from an ``EOL`` alias when present,
+  falling back to 32 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.behavior.ir import Behavior
+from repro.behavior.operators import OperatorSelection
+from repro.core.layer import DesignSpaceLayer
+from repro.estimation.area import BehaviorAreaEstimator
+from repro.estimation.delay import BehaviorDelayEstimator
+from repro.estimation.power import BehaviorPowerEstimator
+from repro.errors import EstimationError
+
+#: Registered tool names (the paper names the first one explicitly).
+DELAY_TOOL = "BehaviorDelayEstimator"
+AREA_TOOL = "BehaviorAreaEstimator"
+POWER_TOOL = "BehaviorPowerEstimator"
+
+
+def _behavior_from(bindings: Mapping[str, object]) -> Behavior:
+    for value in bindings.values():
+        if isinstance(value, Behavior):
+            return value
+        if isinstance(value, OperatorSelection):
+            return value.behavior
+    raise EstimationError(
+        f"no behavioral description among bindings {sorted(bindings)}")
+
+
+def _width_from(bindings: Mapping[str, object], default: int = 32) -> int:
+    value = bindings.get("EOL", bindings.get("EffectiveOperandLength"))
+    if isinstance(value, int) and not isinstance(value, bool) and value > 0:
+        return value
+    return default
+
+
+def delay_tool(bindings: Mapping[str, object]) -> float:
+    """MaxCombinationalDelay of the bound description (gate levels)."""
+    behavior = _behavior_from(bindings)
+    width = _width_from(bindings)
+    return BehaviorDelayEstimator(width).estimate(behavior) \
+        .max_combinational_delay
+
+
+def area_tool(bindings: Mapping[str, object]) -> float:
+    """Resource-shared area estimate of the bound description."""
+    behavior = _behavior_from(bindings)
+    width = _width_from(bindings)
+    return BehaviorAreaEstimator(width).estimate(behavior).area
+
+
+def power_tool(bindings: Mapping[str, object]) -> float:
+    """Energy-per-execution estimate of the bound description.
+
+    Loop bounds are taken from integer bindings (``n`` falls back to the
+    EOL when absent, which is the natural digit count at radix 2).
+    """
+    behavior = _behavior_from(bindings)
+    width = _width_from(bindings)
+    params = {alias: value for alias, value in bindings.items()
+              if isinstance(value, int) and not isinstance(value, bool)}
+    params.setdefault("n", width)
+    return BehaviorPowerEstimator(width).estimate(behavior, params) \
+        .energy_per_execution
+
+
+def register_estimators(layer: DesignSpaceLayer) -> None:
+    """Install the three early estimation tools on a layer."""
+    layer.register_tool(DELAY_TOOL, delay_tool)
+    layer.register_tool(AREA_TOOL, area_tool)
+    layer.register_tool(POWER_TOOL, power_tool)

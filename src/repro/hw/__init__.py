@@ -1,0 +1,101 @@
+"""Hardware substrate: technology models, component generators, sliced
+modular-multiplier datapaths and the analytical synthesis flow."""
+
+from repro.hw.adders import (
+    ADDER_STYLES,
+    CLA,
+    CSA,
+    RIPPLE,
+    AdderCost,
+    adder_cost,
+    cla_add,
+    cla_cost,
+    csa_cost,
+    ripple_add,
+    ripple_cost,
+)
+from repro.hw.brickell_hw import BrickellMultiplierHW
+from repro.hw.carrysave import CarrySaveAccumulator, compress32
+from repro.hw.datapath import (
+    ALGORITHMS,
+    BRICKELL,
+    MONTGOMERY,
+    DatapathSpec,
+    spec_for_eol,
+)
+from repro.hw.exponentiator_hw import (
+    BINARY_SCHEDULE,
+    MARY_SCHEDULE,
+    SCHEDULES,
+    ExponentiationRun,
+    ExponentiatorHW,
+    ExponentiatorSpec,
+    synthesize_exponentiator,
+)
+from repro.hw.floorplan import (
+    Floorplan,
+    LayoutParams,
+    floorplan,
+    gate_area_um2,
+    layout_params,
+    layout_styles,
+    styled_area,
+    styled_clock_ns,
+)
+from repro.hw.montgomery_hw import MontgomeryMultiplierHW, SimulationResult
+from repro.hw.netlist import (
+    Component,
+    Netlist,
+    check_against_model,
+    elaborate,
+)
+from repro.hw.multipliers import (
+    MULTIPLIER_STYLES,
+    MUL,
+    MUX,
+    NONE,
+    MultiplierCost,
+    array_multiplier_cost,
+    digit_product,
+    multiplier_cost,
+    mux_multiplier_cost,
+)
+from repro.hw.synthesis import (
+    TABLE1_RECIPES,
+    TABLE1_SLICE_WIDTHS,
+    HardwareDesign,
+    synthesize,
+    synthesize_sliced,
+    synthesize_table1_cell,
+    table1_grid,
+    table1_spec,
+)
+from repro.hw.tech import (
+    TECH_035,
+    TECH_05,
+    TECH_07,
+    TechnologyLibrary,
+    technologies,
+    technology,
+)
+
+__all__ = [
+    "ADDER_STYLES", "CLA", "CSA", "RIPPLE", "AdderCost", "adder_cost",
+    "cla_add", "cla_cost", "csa_cost", "ripple_add", "ripple_cost",
+    "CarrySaveAccumulator", "compress32",
+    "ALGORITHMS", "BRICKELL", "MONTGOMERY", "DatapathSpec", "spec_for_eol",
+    "MontgomeryMultiplierHW", "BrickellMultiplierHW", "SimulationResult",
+    "MULTIPLIER_STYLES", "MUL", "MUX", "NONE", "MultiplierCost",
+    "array_multiplier_cost", "digit_product", "multiplier_cost",
+    "mux_multiplier_cost",
+    "TABLE1_RECIPES", "TABLE1_SLICE_WIDTHS", "HardwareDesign", "synthesize",
+    "synthesize_sliced", "synthesize_table1_cell", "table1_grid",
+    "table1_spec",
+    "TECH_035", "TECH_05", "TECH_07", "TechnologyLibrary", "technologies",
+    "technology",
+    "BINARY_SCHEDULE", "MARY_SCHEDULE", "SCHEDULES", "ExponentiationRun",
+    "ExponentiatorHW", "ExponentiatorSpec", "synthesize_exponentiator",
+    "Component", "Netlist", "check_against_model", "elaborate",
+    "Floorplan", "LayoutParams", "floorplan", "gate_area_um2",
+    "layout_params", "layout_styles", "styled_area", "styled_clock_ns",
+]

@@ -1,0 +1,133 @@
+"""Adder structures: unit-gate cost models and functional behaviour.
+
+Three adder styles appear in the paper's Table 1 and in the crypto
+layer's decomposition issue (DI7): carry-look-ahead (CLA), carry-save
+(CSA) and — as the textbook baseline the layer can still describe —
+ripple-carry.  Costs are expressed in unit gate levels (delay) and gate
+equivalents (area); the technology library turns those into ns and
+library area units.
+
+Calibration notes (against Table 1's legible cells):
+
+* CSA: one 3:2 row is 2 gate levels and 5 gates/bit, independent of
+  width — which is why the #2/#4/#5 clock columns are nearly flat.
+* CLA: a 4-ary look-ahead tree modelled as ``4*log2(w) - 6`` levels
+  (min 6) and 14 gates/bit — reproducing the #1 column's growth from
+  2.7ns at w=8 to 6.5ns at w=128 once register overhead and wire load
+  are added.
+* ripple: 2 levels/bit, 5 gates/bit; never competitive, present so the
+  layer can *show* it dominated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SynthesisError
+
+#: Option names used by the crypto layer's design issues.
+RIPPLE = "Ripple-Carry"
+CLA = "Carry-Look-Ahead"
+CSA = "Carry-Save"
+
+ADDER_STYLES = (RIPPLE, CLA, CSA)
+
+
+@dataclass(frozen=True)
+class AdderCost:
+    """Unit-gate cost of one adder instance."""
+
+    style: str
+    width_bits: int
+    delay_levels: float
+    area_gates: float
+
+
+def _check_width(width_bits: int) -> None:
+    if width_bits < 1:
+        raise SynthesisError(f"adder width must be >= 1, got {width_bits}")
+
+
+def ripple_cost(width_bits: int) -> AdderCost:
+    """Ripple-carry adder: linear delay, minimal area."""
+    _check_width(width_bits)
+    return AdderCost(RIPPLE, width_bits,
+                     delay_levels=2.0 * width_bits,
+                     area_gates=5.0 * width_bits)
+
+
+def cla_cost(width_bits: int) -> AdderCost:
+    """Carry-look-ahead adder (4-ary tree), calibrated to Table 1 #1."""
+    _check_width(width_bits)
+    levels = max(6.0, 4.0 * math.log2(width_bits) - 6.0)
+    return AdderCost(CLA, width_bits,
+                     delay_levels=levels,
+                     area_gates=14.0 * width_bits)
+
+
+def csa_cost(width_bits: int) -> AdderCost:
+    """One carry-save 3:2 compressor row: constant delay."""
+    _check_width(width_bits)
+    return AdderCost(CSA, width_bits,
+                     delay_levels=2.0,
+                     area_gates=5.0 * width_bits)
+
+
+def adder_cost(style: str, width_bits: int) -> AdderCost:
+    """Cost of one adder of the given style."""
+    if style == RIPPLE:
+        return ripple_cost(width_bits)
+    if style == CLA:
+        return cla_cost(width_bits)
+    if style == CSA:
+        return csa_cost(width_bits)
+    raise SynthesisError(
+        f"unknown adder style {style!r}; known: {ADDER_STYLES}")
+
+
+# ----------------------------------------------------------------------
+# functional models (used by the cycle-accurate simulators and tests)
+# ----------------------------------------------------------------------
+def ripple_add(a: int, b: int, carry_in: int = 0) -> Tuple[int, int]:
+    """Bit-serial ripple addition returning (sum, carry_out).
+
+    Implemented bit by bit — deliberately not ``a + b`` — so tests can
+    check the structural model against Python integers.
+    """
+    if a < 0 or b < 0 or carry_in not in (0, 1):
+        raise SynthesisError("ripple_add needs non-negative operands")
+    width = max(a.bit_length(), b.bit_length(), 1)
+    carry = carry_in
+    total = 0
+    for i in range(width):
+        bit_a = (a >> i) & 1
+        bit_b = (b >> i) & 1
+        s = bit_a ^ bit_b ^ carry
+        carry = (bit_a & bit_b) | (bit_a & carry) | (bit_b & carry)
+        total |= s << i
+    return total, carry
+
+
+def cla_add(a: int, b: int, width_bits: int) -> Tuple[int, int]:
+    """Carry-look-ahead addition via generate/propagate recurrences.
+
+    Returns (sum modulo 2**width, carry_out).  Group look-ahead and the
+    flat recurrence compute identical carries, so the flat version is
+    used for the functional model.
+    """
+    _check_width(width_bits)
+    if a < 0 or b < 0:
+        raise SynthesisError("cla_add needs non-negative operands")
+    generate = a & b
+    propagate = a ^ b
+    carries = 0
+    carry = 0
+    for i in range(width_bits):
+        carries |= carry << i
+        g = (generate >> i) & 1
+        p = (propagate >> i) & 1
+        carry = g | (p & carry)
+    mask = (1 << width_bits) - 1
+    return (propagate ^ carries) & mask, carry

@@ -1,0 +1,93 @@
+"""Cycle-accurate functional simulation of the Brickell datapaths.
+
+Brickell's algorithm consumes the operand from the most significant
+digit down and performs a ``mod M`` reduction at every partial product
+(paper Sec 5.1.1), so it works for *any* modulus — that is exactly why
+CC1 only forbids Montgomery when the modulus is not guaranteed odd.
+
+The reduction step is simulated the way the hardware does it: a bounded
+number of trial subtractions of ``k*M`` per iteration, never a full
+division.  Reduction work beyond one subtraction per iteration is what
+the datapath model's ten extra Brickell iterations amortize.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.hw.adders import CSA
+from repro.hw.carrysave import CarrySaveAccumulator
+from repro.hw.datapath import BRICKELL, DatapathSpec
+from repro.hw.montgomery_hw import SimulationResult
+from repro.hw.multipliers import digit_product
+
+
+class BrickellMultiplierHW:
+    """A sliced hardware Brickell (MSB-first interleaved) multiplier.
+
+    Computes plain ``A * B mod M`` for ``0 <= A, B < M``; no parity
+    requirement on ``M``.
+    """
+
+    def __init__(self, spec: DatapathSpec):
+        if spec.algorithm != BRICKELL:
+            raise SynthesisError(
+                f"spec is for {spec.algorithm}, not Brickell")
+        self.spec = spec
+
+    @property
+    def eol(self) -> int:
+        return self.spec.operand_width
+
+    @property
+    def digits(self) -> int:
+        return -(-self.eol // self.spec.digit_bits)
+
+    def simulate(self, a: int, b: int, modulus: int) -> SimulationResult:
+        self._check_operands(a, b, modulus)
+        r = self.spec.radix
+        use_csa = self.spec.adder_style == CSA
+        acc = CarrySaveAccumulator()
+        cycles = 0
+        reductions = 0
+        for i in range(self.digits - 1, -1, -1):
+            ai = (a // r ** i) % r
+            # R := R*r + a_i*B  (shift is wiring; one compression for the
+            # partial product).
+            shifted = acc.value * r
+            acc.sum_word, acc.carry_word = shifted, 0
+            partial = digit_product(ai, b, r)
+            if use_csa:
+                acc.add(partial)
+            else:
+                acc.sum_word += partial
+            cycles += 1
+            # Per-step reduction: R < r*M + r*M before reduction; trial
+            # subtractions bring it back under M.  Hardware does this
+            # with a small multiple-select network, never a divider.
+            value = acc.value
+            k = value // modulus
+            if k >= 2 * r + 1:
+                raise SynthesisError(
+                    "reduction bound exceeded — operand check failed")
+            value -= k * modulus
+            reductions += 1 if k else 0
+            acc.sum_word, acc.carry_word = value, 0
+        # The ten extra iterations of the cycle model cover the reduction
+        # network's pipelining and the guard-digit handling.
+        cycles += 10
+        cycles += self.spec.num_slices - 1
+        if use_csa:
+            cycles += 2
+            acc.compressions += 1  # final conversion pass
+        result = acc.resolve()
+        return SimulationResult(result, cycles, self.digits, acc.compressions)
+
+    def _check_operands(self, a: int, b: int, modulus: int) -> None:
+        if modulus < 2:
+            raise SynthesisError(f"modulus must be >= 2, got {modulus}")
+        if modulus.bit_length() > self.eol:
+            raise SynthesisError(
+                f"modulus needs {modulus.bit_length()} bits, datapath "
+                f"covers {self.eol}")
+        if not (0 <= a < modulus and 0 <= b < modulus):
+            raise SynthesisError("operands must satisfy 0 <= A, B < M")

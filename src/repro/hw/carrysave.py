@@ -1,0 +1,99 @@
+"""Carry-save (redundant) arithmetic.
+
+The paper's best modular multipliers keep the running residue in
+carry-save form (sum word + carry word) so that each loop iteration is a
+constant-delay 3:2 compression instead of a full carry propagation —
+that is the whole point of CC4 ("only Carry-Save Adders should be used
+for implementing the additions in the loop").  This module implements
+that representation functionally so the cycle-accurate simulators in
+:mod:`repro.hw.montgomery_hw` and :mod:`repro.hw.brickell_hw` route
+their datapath additions through real redundant arithmetic.
+
+The invariant throughout: ``value == sum_word + carry_word``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SynthesisError
+
+
+def compress32(sum_word: int, carry_word: int, addend: int
+               ) -> Tuple[int, int]:
+    """One 3:2 compressor row over arbitrary-width integers.
+
+    Bitwise: ``s' = a ^ b ^ c``, ``c' = majority(a, b, c) << 1``.
+    Preserves the total: ``s' + c' == a + b + c`` (for non-negative
+    inputs).
+    """
+    if sum_word < 0 or carry_word < 0 or addend < 0:
+        raise SynthesisError("carry-save compression needs non-negative words")
+    new_sum = sum_word ^ carry_word ^ addend
+    new_carry = ((sum_word & carry_word) | (sum_word & addend)
+                 | (carry_word & addend)) << 1
+    return new_sum, new_carry
+
+
+@dataclass
+class CarrySaveAccumulator:
+    """A residue held in redundant form.
+
+    ``compressions`` counts 3:2 rows exercised; the simulators use it to
+    cross-check their cycle models against the functional activity.
+    """
+
+    sum_word: int = 0
+    carry_word: int = 0
+    compressions: int = 0
+
+    @property
+    def value(self) -> int:
+        return self.sum_word + self.carry_word
+
+    def add(self, addend: int) -> None:
+        """Absorb an addend with one 3:2 compression."""
+        if addend < 0:
+            raise SynthesisError("carry-save accumulator is unsigned")
+        self.sum_word, self.carry_word = compress32(
+            self.sum_word, self.carry_word, addend)
+        self.compressions += 1
+
+    def shift_right(self, bits: int) -> None:
+        """Divide the residue by ``2**bits``.
+
+        The Montgomery update divides an exactly-divisible total; a pure
+        per-word shift would lose carries straddling the cut, so the
+        words are resolved across the low ``bits`` before shifting — in
+        hardware this is the small ripple across the slice boundary.
+        """
+        if bits < 0:
+            raise SynthesisError(f"negative shift {bits}")
+        mask = (1 << bits) - 1
+        low_total = (self.sum_word & mask) + (self.carry_word & mask)
+        if low_total & mask:
+            raise SynthesisError(
+                f"shift_right({bits}) would truncate a non-zero residue "
+                f"({low_total & mask})")
+        self.sum_word = (self.sum_word >> bits) + (low_total >> bits)
+        self.carry_word >>= bits
+
+    def low_bits(self, bits: int) -> int:
+        """Exact low ``bits`` of the represented value (the quotient
+        logic resolves only this narrow window, which is why it stays
+        off the critical carry path)."""
+        mask = (1 << bits) - 1
+        return ((self.sum_word & mask) + (self.carry_word & mask)) & mask
+
+    def resolve(self) -> int:
+        """Final carry-propagate conversion to non-redundant form.
+
+        Models the end-of-operation CPA pass the CSA designs pay for in
+        their latency (the extra conversion cycles of Table 1's #2/#4/#5
+        rows); returns the value and collapses the carry word.
+        """
+        total = self.value
+        self.sum_word = total
+        self.carry_word = 0
+        return total

@@ -1,0 +1,242 @@
+"""Sliced modular-multiplier datapath specifications and cost composition.
+
+A :class:`DatapathSpec` captures exactly the design-issue options of the
+paper's crypto layer — algorithm, radix, adder style, multiplier style,
+slice width, number of slices, technology — and composes the component
+cost models of :mod:`repro.hw.adders` / :mod:`repro.hw.multipliers` into
+clock period, area, cycle count and latency.  This is the function the
+Synopsys + LSI flow performed for the authors; the composition constants
+are calibrated against Table 1's legible cells (see
+``repro.data.paper_table1`` and the calibration tests).
+
+Critical-path composition (gate levels)::
+
+    levels = multiplier + adder-path + algorithm-specific logic
+
+* adder-path: CSA = two 3:2 rows (4 levels, width-independent);
+  CLA = one 3:2 row + look-ahead CPA (``2 + cla(w)``); ripple likewise
+  with a linear CPA.
+* algorithm logic: Montgomery radix-2 CLA has its quotient for free (the
+  LSB), CSA pays 2 levels to resolve the low bit exactly; radix >= 4
+  pays 2 levels of digit-inverse product; Brickell replaces quotient
+  logic with the compare/trial-subtract network (5 levels CLA, 6 CSA).
+
+Cycle-count composition::
+
+    cycles = iterations + (slices - 1) + conversion
+    iterations = ceil(EOL / log2(radix)) + 1   (Montgomery)
+               = ceil(EOL / log2(radix)) + 10  (Brickell reduction steps)
+    conversion = 2 extra carry-resolve cycles for CSA designs
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.hw.adders import ADDER_STYLES, CLA, CSA, RIPPLE, adder_cost
+from repro.hw.multipliers import (
+    MULTIPLIER_STYLES,
+    MUL,
+    MUX,
+    NONE,
+    multiplier_cost,
+)
+from repro.hw.tech import TechnologyLibrary, technology
+
+MONTGOMERY = "Montgomery"
+BRICKELL = "Brickell"
+ALGORITHMS = (MONTGOMERY, BRICKELL)
+
+#: Iteration overhead of Brickell's per-step reduction (trial
+#: subtractions and guard-digit handling), in clock cycles — calibrated
+#: to Table 1's #7/#8 rows (latency/clk = EOL + ~10 at EOL = w).
+_BRICKELL_EXTRA_ITERATIONS = 10
+
+#: Extra carry-resolve cycles CSA designs pay to convert the redundant
+#: residue at the end of the operation.
+_CSA_CONVERSION_CYCLES = 2
+
+#: Per-slice and per-design control overheads (gate equivalents).
+_SLICE_CONTROL_GATES = 60.0
+_DESIGN_CONTROL_GATES = 150.0
+
+#: Operand shift/IO buffering charged per datapath bit.
+_IO_GATES_PER_BIT = 6.0
+
+#: Register cost (gate equivalents per bit).
+_REG_GATES_PER_BIT = 4.0
+
+#: Steering-mux cost per bit (wider for redundant-form datapaths).
+_MUX_GATES_PER_BIT = {CSA: 6.0, CLA: 4.0, RIPPLE: 4.0}
+
+
+@dataclass(frozen=True)
+class DatapathSpec:
+    """One point of the hardware modular-multiplier design space."""
+
+    algorithm: str
+    radix: int
+    adder_style: str
+    multiplier_style: str
+    slice_width: int
+    num_slices: int = 1
+    technology_name: str = "0.35u"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise SynthesisError(
+                f"unknown algorithm {self.algorithm!r}; known: {ALGORITHMS}")
+        if self.adder_style not in ADDER_STYLES:
+            raise SynthesisError(
+                f"unknown adder style {self.adder_style!r}")
+        if self.multiplier_style not in MULTIPLIER_STYLES:
+            raise SynthesisError(
+                f"unknown multiplier style {self.multiplier_style!r}")
+        if self.radix < 2 or self.radix & (self.radix - 1):
+            raise SynthesisError(
+                f"radix must be a power of two >= 2, got {self.radix}")
+        if self.radix == 2 and self.multiplier_style != NONE:
+            raise SynthesisError(
+                "radix-2 designs use no digit multiplier (style 'N/A')")
+        if self.radix > 2 and self.multiplier_style == NONE:
+            raise SynthesisError(
+                f"radix-{self.radix} designs need a digit multiplier "
+                f"(style {MUL!r} or {MUX!r})")
+        if self.slice_width < 1:
+            raise SynthesisError(
+                f"slice width must be >= 1, got {self.slice_width}")
+        if self.num_slices < 1:
+            raise SynthesisError(
+                f"slice count must be >= 1, got {self.num_slices}")
+        technology(self.technology_name)  # fail fast on unknown tech
+
+    # ------------------------------------------------------------------
+    @property
+    def digit_bits(self) -> int:
+        return int(math.log2(self.radix))
+
+    @property
+    def operand_width(self) -> int:
+        """Total operand width the sliced datapath covers."""
+        return self.slice_width * self.num_slices
+
+    @property
+    def tech(self) -> TechnologyLibrary:
+        return technology(self.technology_name)
+
+    def label(self) -> str:
+        """Short design label in the paper's style (#2_64 etc.)."""
+        return (f"{self.algorithm[0]}r{self.radix}"
+                f"{'CSA' if self.adder_style == CSA else 'CLA' if self.adder_style == CLA else 'RC'}"
+                f"_{self.slice_width}x{self.num_slices}")
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def _adder_path_levels(self) -> float:
+        if self.adder_style == CSA:
+            return 4.0  # two 3:2 rows
+        cpa = adder_cost(self.adder_style, self.slice_width).delay_levels
+        return 2.0 + cpa  # one 3:2 row feeding the CPA
+
+    def _algorithm_levels(self) -> float:
+        if self.algorithm == BRICKELL:
+            return 6.0 if self.adder_style == CSA else 5.0
+        # Montgomery quotient logic.
+        if self.radix > 2:
+            return 2.0
+        return 2.0 if self.adder_style == CSA else 0.0
+
+    def critical_path_levels(self) -> float:
+        mult = multiplier_cost(self.multiplier_style, self.radix,
+                               self.slice_width)
+        return (mult.delay_levels + self._adder_path_levels()
+                + self._algorithm_levels())
+
+    def clock_ns(self) -> float:
+        """Achievable clock period of the slice datapath."""
+        return self.tech.clock_ns(self.critical_path_levels(),
+                                  self.slice_width)
+
+    # ------------------------------------------------------------------
+    # cycles / latency
+    # ------------------------------------------------------------------
+    def iterations(self, eol: int) -> int:
+        """Digit iterations of one modular multiplication of width ``eol``."""
+        if eol < 1:
+            raise SynthesisError(f"EOL must be >= 1, got {eol}")
+        digits = math.ceil(eol / self.digit_bits)
+        if self.algorithm == MONTGOMERY:
+            return digits + 1
+        return digits + _BRICKELL_EXTRA_ITERATIONS
+
+    def cycles(self, eol: int) -> int:
+        """Clock cycles for one modular multiplication of width ``eol``."""
+        conversion = _CSA_CONVERSION_CYCLES if self.adder_style == CSA else 0
+        return self.iterations(eol) + (self.num_slices - 1) + conversion
+
+    def latency_ns(self, eol: int) -> float:
+        return self.cycles(eol) * self.clock_ns()
+
+    # ------------------------------------------------------------------
+    # area / power
+    # ------------------------------------------------------------------
+    def _slice_gates(self) -> float:
+        w = float(self.slice_width)
+        regs = 3.0 if self.adder_style != CSA else 4.0  # B, M, R (+R_carry)
+        gates = regs * _REG_GATES_PER_BIT * w
+        if self.adder_style == CSA:
+            gates += 2 * adder_cost(CSA, self.slice_width).area_gates
+            # Final converter (cheap CPA) + compare/subtract network.
+            gates += 10.0 * w
+            gates += 2.0 * w  # exact low-digit quotient resolution
+        else:
+            gates += adder_cost(CSA, self.slice_width).area_gates  # 3:2 row
+            gates += adder_cost(self.adder_style, self.slice_width).area_gates
+        mult = multiplier_cost(self.multiplier_style, self.radix,
+                               self.slice_width)
+        gates += 2 * mult.area_gates  # digit*B and Q*M paths
+        gates += _MUX_GATES_PER_BIT[self.adder_style] * w
+        gates += _IO_GATES_PER_BIT * w
+        if self.algorithm == BRICKELL:
+            # Per-slice reduction network: wide compare, multiple-select
+            # of k*M, trial-subtract steering.  Redundant (CSA) residues
+            # additionally need magnitude estimation.
+            gates += (16.0 if self.adder_style == CSA else 6.0) * w
+            gates += 150.0
+        gates += _SLICE_CONTROL_GATES
+        return gates
+
+    def gates(self) -> float:
+        """Total gate-equivalent count of the sliced design."""
+        return self._slice_gates() * self.num_slices + _DESIGN_CONTROL_GATES
+
+    def area(self) -> float:
+        """Area in library units (comparable to Table 1's Area column)."""
+        return self.tech.area(self.gates())
+
+    def power_mw(self, activity: float = 0.25) -> float:
+        return self.tech.power_mw(self.gates(), self.clock_ns(), activity)
+
+
+def spec_for_eol(base: DatapathSpec, eol: int) -> DatapathSpec:
+    """Rebuild ``base`` with enough slices of the same width for ``eol``.
+
+    The paper composes wide multipliers from fixed-width slices
+    (``#2_64`` = radix-2 CSA design built from 64-bit slices); the slice
+    width must divide the EOL.
+    """
+    if eol % base.slice_width:
+        raise SynthesisError(
+            f"EOL {eol} is not a multiple of slice width {base.slice_width}")
+    return DatapathSpec(
+        algorithm=base.algorithm,
+        radix=base.radix,
+        adder_style=base.adder_style,
+        multiplier_style=base.multiplier_style,
+        slice_width=base.slice_width,
+        num_slices=eol // base.slice_width,
+        technology_name=base.technology_name,
+    )

@@ -1,0 +1,208 @@
+"""The modular exponentiation coprocessor (paper refs [10]/[11]).
+
+The case study's modular multiplier is one block of a larger
+architectural component: a coprocessor computing ``M^E mod N`` for
+digital signatures.  The paper's concluding remarks stress that "the
+exact same behavioral/structural decomposition mechanisms would have
+supported the transition between the conceptual design of the main
+architectural component (the coprocessor) and ... its critical blocks
+(including the modular multiplier)."
+
+This module completes that transition: a coprocessor model that
+*composes* a Montgomery multiplier datapath, with
+
+* an analytical cost model — area (multiplier + exponent/result
+  registers + control + optional m-ary precompute table) and cycle
+  count as a function of exponent statistics and schedule;
+* a cycle-accurate functional simulator that runs the whole
+  exponentiation on the multiplier's own simulator, entirely inside
+  the Montgomery domain (one conversion in, one out).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.hw.datapath import MONTGOMERY, DatapathSpec
+from repro.hw.montgomery_hw import MontgomeryMultiplierHW
+
+BINARY_SCHEDULE = "Binary"
+MARY_SCHEDULE = "M-ary"
+SCHEDULES = (BINARY_SCHEDULE, MARY_SCHEDULE)
+
+#: Control overhead charged per modular multiplication (operand routing,
+#: exponent scan), in clock cycles.
+_PER_MUL_CONTROL_CYCLES = 3
+
+#: Gate costs of the coprocessor shell.
+_REG_GATES_PER_BIT = 4.0
+_CONTROL_GATES = 600.0
+
+
+@dataclass(frozen=True)
+class ExponentiatorSpec:
+    """A coprocessor design point: multiplier + schedule."""
+
+    multiplier: DatapathSpec
+    schedule: str = BINARY_SCHEDULE
+    window_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.multiplier.algorithm != MONTGOMERY:
+            raise SynthesisError(
+                "the coprocessor composes a Montgomery multiplier "
+                f"(got {self.multiplier.algorithm})")
+        if self.schedule not in SCHEDULES:
+            raise SynthesisError(
+                f"unknown schedule {self.schedule!r}; known: {SCHEDULES}")
+        if self.schedule == MARY_SCHEDULE and not 2 <= self.window_bits <= 6:
+            raise SynthesisError(
+                f"m-ary window must be 2..6 bits, got {self.window_bits}")
+
+    @property
+    def eol(self) -> int:
+        return self.multiplier.operand_width
+
+    # ------------------------------------------------------------------
+    # analytical model
+    # ------------------------------------------------------------------
+    def multiplication_count(self, exponent_bits: int,
+                             average_case: bool = True) -> int:
+        """Modular multiplications per exponentiation, conversions
+        included.
+
+        Binary: ``bits`` squarings plus ~``bits/2`` (average) or
+        ``bits`` (worst-case) multiplies.  M-ary with window w:
+        ``2^w - 2`` table builds, ``bits`` squarings, ``bits/w``
+        multiplies.  Plus 2 domain conversions.
+        """
+        if exponent_bits < 1:
+            raise SynthesisError(
+                f"exponent bits must be >= 1, got {exponent_bits}")
+        if self.schedule == BINARY_SCHEDULE:
+            multiplies = exponent_bits // 2 if average_case else exponent_bits
+            return exponent_bits + multiplies + 2
+        table = (1 << self.window_bits) - 2
+        windows = math.ceil(exponent_bits / self.window_bits)
+        return table + exponent_bits + windows + 2
+
+    def cycles(self, exponent_bits: int, average_case: bool = True) -> int:
+        """Coprocessor cycles for one full exponentiation."""
+        per_mul = self.multiplier.cycles(self.eol) + _PER_MUL_CONTROL_CYCLES
+        return self.multiplication_count(exponent_bits, average_case) \
+            * per_mul
+
+    def latency_ns(self, exponent_bits: int,
+                   average_case: bool = True) -> float:
+        return self.cycles(exponent_bits, average_case) \
+            * self.multiplier.clock_ns()
+
+    def gates(self) -> float:
+        shell = 2 * _REG_GATES_PER_BIT * self.eol  # exponent + base regs
+        shell += _CONTROL_GATES
+        if self.schedule == MARY_SCHEDULE:
+            table_entries = (1 << self.window_bits) - 2
+            shell += table_entries * _REG_GATES_PER_BIT * self.eol
+        return self.multiplier.gates() + shell
+
+    def area(self) -> float:
+        return self.multiplier.tech.area(self.gates())
+
+    def describe(self) -> str:
+        window = (f", window {self.window_bits}"
+                  if self.schedule == MARY_SCHEDULE else "")
+        return (f"modexp coprocessor [{self.schedule}{window}] over "
+                f"{self.multiplier.label()}")
+
+
+@dataclass
+class ExponentiationRun:
+    """Result of one simulated exponentiation."""
+
+    result: int
+    multiplications: int
+    cycles: int
+
+    def latency_ns(self, clock_ns: float) -> float:
+        return self.cycles * clock_ns
+
+
+class ExponentiatorHW:
+    """Cycle-accurate coprocessor built on a multiplier simulator."""
+
+    def __init__(self, spec: ExponentiatorSpec):
+        self.spec = spec
+        self._multiplier = MontgomeryMultiplierHW(spec.multiplier)
+
+    def simulate(self, base: int, exponent: int, modulus: int
+                 ) -> ExponentiationRun:
+        """Run ``base^exponent mod modulus`` on the datapath.
+
+        The whole computation stays in the Montgomery domain: one
+        conversion multiplication in, one out, raw MonPro passes in the
+        loop — exactly why Fig 6 plots the multiplier's *loop* delay.
+        """
+        if exponent < 0:
+            raise SynthesisError(f"exponent must be >= 0, got {exponent}")
+        multiplier = self._multiplier
+        factor = multiplier.montgomery_factor(modulus)
+        cycles = 0
+        count = 0
+
+        def monpro(a: int, b: int) -> int:
+            nonlocal cycles, count
+            run = multiplier.simulate(a, b, modulus)
+            cycles += run.cycles + _PER_MUL_CONTROL_CYCLES
+            count += 1
+            return run.result
+
+        base_bar = monpro(base % modulus, pow(factor, 2, modulus))
+        result_bar = factor % modulus  # 1 in the Montgomery domain
+        if self.spec.schedule == BINARY_SCHEDULE:
+            for i in range(exponent.bit_length() - 1, -1, -1):
+                result_bar = monpro(result_bar, result_bar)
+                if (exponent >> i) & 1:
+                    result_bar = monpro(result_bar, base_bar)
+        else:
+            window = self.spec.window_bits
+            table = [factor % modulus, base_bar]
+            for _ in range(2, 1 << window):
+                table.append(monpro(table[-1], base_bar))
+            bits = exponent.bit_length()
+            for w in range(math.ceil(bits / window) - 1, -1, -1):
+                for _ in range(window):
+                    result_bar = monpro(result_bar, result_bar)
+                digit = (exponent >> (w * window)) & ((1 << window) - 1)
+                if digit:
+                    result_bar = monpro(result_bar, table[digit])
+        result = monpro(result_bar, 1)
+        return ExponentiationRun(result, count, cycles)
+
+
+def synthesize_exponentiator(multiplier: DatapathSpec,
+                             schedule: str = BINARY_SCHEDULE,
+                             window_bits: int = 4,
+                             exponent_bits: Optional[int] = None
+                             ) -> Tuple[ExponentiatorSpec, dict]:
+    """Characterize a coprocessor design point.
+
+    Returns the spec and a merit dictionary shaped like the layer's
+    figures of merit (exponent_bits defaults to the operand width, the
+    RSA private-key case).
+    """
+    spec = ExponentiatorSpec(multiplier, schedule, window_bits)
+    bits = exponent_bits if exponent_bits is not None else spec.eol
+    clock = multiplier.clock_ns()
+    cycles = spec.cycles(bits)
+    merits = {
+        "area": spec.area(),
+        "clock_ns": clock,
+        "cycles": cycles,
+        "latency_ns": cycles * clock,
+        "delay_us": cycles * clock / 1000.0,
+        "power_mw": multiplier.tech.power_mw(spec.gates(), clock),
+    }
+    return spec, merits

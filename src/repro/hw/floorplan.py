@@ -1,0 +1,145 @@
+"""Physical-view estimation: floorplans and layout-style effects.
+
+The crypto layer's DI5 ("Layout Style") discriminates "the 'real'
+design options collapsed into the generalized 'hardware' category" —
+which only means something if layout styles actually change the
+numbers.  This module supplies that:
+
+* per-style physical parameters (placement utilization, delay derate)
+  for standard-cell, gate-array and full-custom implementations;
+* a standard-cell-style floorplan estimate (die dimensions, row count)
+  from a design's gate count — the core's *physical* view (Fig 2(b));
+* style-adjusted area/clock figures so the layer can index gate-array
+  variants whose trade-offs are visible in the evaluation space.
+
+Standard cell is the neutral reference (derates 1.0), so the Table 1
+calibration is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import SynthesisError
+from repro.hw.tech import TechnologyLibrary
+
+STANDARD_CELL = "Standard-Cell"
+GATE_ARRAY = "Gate-Array"
+FULL_CUSTOM = "Full-Custom"
+
+
+@dataclass(frozen=True)
+class LayoutParams:
+    """Physical characteristics of one layout style."""
+
+    style: str
+    #: Fraction of placed area that is active cells (rest is routing).
+    utilization: float
+    #: Multiplier on the achievable clock period.
+    delay_derate: float
+    #: Multiplier on engineering effort (documentation only).
+    effort_factor: float
+
+
+_PARAMS: Dict[str, LayoutParams] = {
+    # Prediffused gate arrays waste area in unused sites and pay wire
+    # detours; full custom packs tighter and runs faster at much higher
+    # design effort.  Standard cell is the calibrated reference.
+    STANDARD_CELL: LayoutParams(STANDARD_CELL, 0.85, 1.00, 1.0),
+    GATE_ARRAY: LayoutParams(GATE_ARRAY, 0.60, 1.18, 0.5),
+    FULL_CUSTOM: LayoutParams(FULL_CUSTOM, 0.95, 0.85, 4.0),
+}
+
+
+def layout_params(style: str) -> LayoutParams:
+    try:
+        return _PARAMS[style]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown layout style {style!r}; known: "
+            f"{sorted(_PARAMS)}") from None
+
+
+def layout_styles() -> Dict[str, LayoutParams]:
+    return dict(_PARAMS)
+
+
+#: Active area of one gate equivalent at the 0.35u node, in um^2.
+_GATE_UM2_AT_035 = 54.0
+
+#: Standard-cell row height in um, as a multiple of the feature size.
+_ROW_HEIGHT_FEATURES = 12.0
+
+
+def gate_area_um2(tech: TechnologyLibrary) -> float:
+    """Active silicon of one gate equivalent at a technology node."""
+    scale = tech.feature_um / 0.35
+    return _GATE_UM2_AT_035 * scale * scale
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A row-based floorplan estimate (the physical view)."""
+
+    style: str
+    technology_name: str
+    gates: float
+    active_um2: float
+    placed_um2: float
+    rows: int
+    die_width_um: float
+    die_height_um: float
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self.die_width_um / self.die_height_um
+
+    @property
+    def utilization(self) -> float:
+        return self.active_um2 / self.placed_um2
+
+    def describe(self) -> str:
+        return (f"{self.style} floorplan ({self.technology_name}): "
+                f"{self.gates:.0f} gates in {self.rows} rows, "
+                f"{self.die_width_um:.0f} x {self.die_height_um:.0f} um "
+                f"({self.utilization:.0%} utilization)")
+
+
+def floorplan(gates: float, tech: TechnologyLibrary,
+              style: str = STANDARD_CELL,
+              target_aspect: float = 1.0) -> Floorplan:
+    """Estimate the die of a design with ``gates`` gate equivalents.
+
+    Rows are sized so the die approaches ``target_aspect``
+    (width/height); utilization comes from the layout style.
+    """
+    if gates <= 0:
+        raise SynthesisError(f"gate count must be positive, got {gates}")
+    if target_aspect <= 0:
+        raise SynthesisError(
+            f"aspect ratio must be positive, got {target_aspect}")
+    params = layout_params(style)
+    active = gates * gate_area_um2(tech)
+    placed = active / params.utilization
+    row_height = _ROW_HEIGHT_FEATURES * tech.feature_um
+    # placed = rows * row_height * width; width / (rows * row_height)
+    # = target_aspect  =>  rows = sqrt(placed / (target_aspect)) / rh
+    rows = max(1, round(math.sqrt(placed / target_aspect) / row_height))
+    width = placed / (rows * row_height)
+    return Floorplan(style, tech.name, gates, active, placed, rows,
+                     width, rows * row_height)
+
+
+def styled_area(base_area: float, style: str) -> float:
+    """Library-unit area adjusted for a layout style (standard cell is
+    the reference the model was calibrated in)."""
+    params = layout_params(style)
+    reference = layout_params(STANDARD_CELL)
+    return base_area * reference.utilization / params.utilization
+
+
+def styled_clock_ns(base_clock_ns: float, style: str) -> float:
+    """Clock period adjusted for a layout style."""
+    return base_clock_ns * layout_params(style).delay_derate

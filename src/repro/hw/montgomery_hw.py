@@ -1,0 +1,130 @@
+"""Cycle-accurate functional simulation of the Montgomery datapaths.
+
+The analytical model in :mod:`repro.hw.datapath` predicts cycles; this
+module *executes* the digit-serial Montgomery recurrence the way the
+sliced hardware does — one radix-``r`` digit per iteration, the residue
+held in carry-save form for CSA designs — and counts the cycles it
+actually spends.  Tests assert both that the arithmetic is correct
+(against plain integers) and that the counted cycles equal the
+analytical model, which is what licenses using the fast model in the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+from repro.hw.adders import CSA
+from repro.hw.carrysave import CarrySaveAccumulator
+from repro.hw.datapath import MONTGOMERY, DatapathSpec
+from repro.hw.multipliers import digit_product
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated modular multiplication."""
+
+    result: int
+    cycles: int
+    iterations: int
+    compressions: int
+
+    def latency_ns(self, clock_ns: float) -> float:
+        return self.cycles * clock_ns
+
+
+class MontgomeryMultiplierHW:
+    """A sliced hardware Montgomery multiplier.
+
+    Computes ``A * B * r^(-(digits+1)) mod M`` for ``0 <= A, B < M`` and
+    odd ``M < r^digits``, where ``digits = ceil(EOL / log2(r))`` and
+    ``EOL = slice_width * num_slices``.  The ``+1`` is Fig 10's guard
+    iteration (``FOR i=1 TO n+1``), which keeps the residue below ``2M``
+    so one conditional subtraction suffices.
+    """
+
+    def __init__(self, spec: DatapathSpec):
+        if spec.algorithm != MONTGOMERY:
+            raise SynthesisError(
+                f"spec is for {spec.algorithm}, not Montgomery")
+        self.spec = spec
+
+    @property
+    def eol(self) -> int:
+        return self.spec.operand_width
+
+    @property
+    def digits(self) -> int:
+        return -(-self.eol // self.spec.digit_bits)
+
+    def montgomery_factor(self, modulus: int) -> int:
+        """``r^(digits+1) mod M`` — the domain factor this datapath
+        divides out per pass (guard iteration included)."""
+        return pow(self.spec.radix, self.digits + 1, modulus)
+
+    def simulate(self, a: int, b: int, modulus: int) -> SimulationResult:
+        """Run one multiplication and count cycles.
+
+        Cycle accounting mirrors the datapath model: one cycle per digit
+        iteration plus one extra guard iteration, ``num_slices - 1``
+        skew cycles for the carry staging between slices, and two
+        carry-resolve cycles for CSA designs.
+        """
+        self._check_operands(a, b, modulus)
+        r = self.spec.radix
+        minv = pow(r - modulus % r, -1, r)  # (-M)^-1 mod r, as in Fig 10
+        use_csa = self.spec.adder_style == CSA
+        acc = CarrySaveAccumulator()
+        cycles = 0
+        iterations = self.digits + 1  # guard iteration keeps R < 2M
+        for i in range(iterations):
+            ai = (a // r ** i) % r if i < self.digits else 0
+            partial = digit_product(ai, b, r)
+            if use_csa:
+                acc.add(partial)
+                low = acc.low_bits(self.spec.digit_bits)
+            else:
+                acc.sum_word = acc.value + partial
+                acc.carry_word = 0
+                low = acc.sum_word % r
+            q = (low * minv) % r
+            if use_csa:
+                acc.add(digit_product(q, modulus, r))
+            else:
+                acc.sum_word += digit_product(q, modulus, r)
+            acc.shift_right(self.spec.digit_bits)
+            cycles += 1
+        cycles += self.spec.num_slices - 1
+        if use_csa:
+            cycles += 2
+        result = acc.resolve()
+        if result >= modulus:
+            result -= modulus  # final conditional subtraction (Fig 10 l.5-6)
+        return SimulationResult(result, cycles, iterations, acc.compressions)
+
+    def multiply_mod(self, a: int, b: int, modulus: int) -> SimulationResult:
+        """Plain ``A * B mod M`` via domain conversion round trips.
+
+        Three Montgomery passes (A -> A*r^n, times B, result already
+        plain); used by tests to check end-to-end correctness without
+        callers handling Montgomery form.
+        """
+        factor_sq = pow(self.montgomery_factor(modulus), 2, modulus)
+        step1 = self.simulate(a, factor_sq % modulus, modulus)
+        step2 = self.simulate(step1.result, b, modulus)
+        return SimulationResult(step2.result,
+                                step1.cycles + step2.cycles,
+                                step1.iterations + step2.iterations,
+                                step1.compressions + step2.compressions)
+
+    def _check_operands(self, a: int, b: int, modulus: int) -> None:
+        if modulus < 3 or modulus % 2 == 0:
+            raise SynthesisError(
+                f"Montgomery needs an odd modulus >= 3, got {modulus}")
+        if modulus.bit_length() > self.eol:
+            raise SynthesisError(
+                f"modulus needs {modulus.bit_length()} bits, datapath "
+                f"covers {self.eol}")
+        if not (0 <= a < modulus and 0 <= b < modulus):
+            raise SynthesisError("operands must satisfy 0 <= A, B < M")

@@ -1,0 +1,111 @@
+"""Digit-multiplier structures for high-radix modular multipliers.
+
+A radix-``r`` modular multiplier forms ``digit * operand`` products
+every iteration, where the digit has ``log2(r)`` bits.  Table 1 compares
+two realizations:
+
+* ``MUL`` — a small array multiplier: partial-product generation plus a
+  carry-save reduction of the ``log2(r)`` rows (designs #3/#4);
+* ``MUX`` — a multiplexer-based multiplier selecting among precomputed
+  multiples ``{0, M, 2M, ..., (r-1)M}`` (designs #5/#6); faster, at the
+  price of the precompute registers.
+
+Radix-2 designs need neither (the "digit product" is an AND gate row),
+which Table 1 writes as ``N/A``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+
+MUL = "Array-Multiplier"
+MUX = "Multiplexer-Based"
+NONE = "N/A"
+
+MULTIPLIER_STYLES = (MUL, MUX, NONE)
+
+
+@dataclass(frozen=True)
+class MultiplierCost:
+    style: str
+    radix: int
+    width_bits: int
+    delay_levels: float
+    area_gates: float
+
+
+def _check(radix: int, width_bits: int) -> int:
+    if width_bits < 1:
+        raise SynthesisError(f"multiplier width must be >= 1, got {width_bits}")
+    if radix < 2 or radix & (radix - 1):
+        raise SynthesisError(f"radix must be a power of two >= 2, got {radix}")
+    return int(math.log2(radix))
+
+
+def array_multiplier_cost(radix: int, width_bits: int) -> MultiplierCost:
+    """``log2(r)``-bit x ``w``-bit array multiplier.
+
+    Partial product generation (1 level of ANDs) plus ``digit_bits - 1``
+    carry-save rows and a level of product select, calibrated so that
+    radix-4 MUL designs add ~6 levels over their radix-2 baseline
+    (Table 1 #3 vs #1).
+    """
+    digit_bits = _check(radix, width_bits)
+    if radix == 2:
+        return MultiplierCost(MUL, radix, width_bits, 1.0, 1.0 * width_bits)
+    levels = 1.0 + 2.0 * digit_bits + 1.0
+    area = (2.0 * digit_bits * width_bits      # AND plane + pp select
+            + (digit_bits - 1) * 7.0 * width_bits)  # CSA reduction rows
+    return MultiplierCost(MUL, radix, width_bits, levels, area)
+
+
+def mux_multiplier_cost(radix: int, width_bits: int) -> MultiplierCost:
+    """Multiplexer tree over precomputed multiples.
+
+    ``log2(r)`` levels of 2:1 muxes per bit; the precomputed odd
+    multiples cost one register plus adder share each, charged as
+    ``(r/2 - 1)`` extra word registers (even multiples are shifts).
+    """
+    digit_bits = _check(radix, width_bits)
+    if radix == 2:
+        return MultiplierCost(MUX, radix, width_bits, 1.0, 1.0 * width_bits)
+    levels = float(digit_bits) + 1.0
+    precompute_regs = max(0, radix // 2 - 1)
+    area = ((radix - 1) * width_bits           # mux tree
+            + precompute_regs * 4.0 * width_bits)
+    return MultiplierCost(MUX, radix, width_bits, levels, area)
+
+
+def none_multiplier_cost(radix: int, width_bits: int) -> MultiplierCost:
+    """Radix-2 digit product: a row of AND gates."""
+    _check(radix, width_bits)
+    if radix != 2:
+        raise SynthesisError(
+            f"multiplier style {NONE!r} only applies to radix 2, got "
+            f"radix {radix}")
+    return MultiplierCost(NONE, radix, width_bits, 1.0, 1.0 * width_bits)
+
+
+def multiplier_cost(style: str, radix: int, width_bits: int
+                    ) -> MultiplierCost:
+    if style == MUL:
+        return array_multiplier_cost(radix, width_bits)
+    if style == MUX:
+        return mux_multiplier_cost(radix, width_bits)
+    if style == NONE:
+        return none_multiplier_cost(radix, width_bits)
+    raise SynthesisError(
+        f"unknown multiplier style {style!r}; known: {MULTIPLIER_STYLES}")
+
+
+def digit_product(digit: int, operand: int, radix: int) -> int:
+    """Functional model shared by the simulators: ``digit * operand``
+    with the digit range-checked against the radix."""
+    if not 0 <= digit < radix:
+        raise SynthesisError(f"digit {digit} out of range for radix {radix}")
+    if operand < 0:
+        raise SynthesisError("operand must be non-negative")
+    return digit * operand

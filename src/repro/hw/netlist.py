@@ -1,0 +1,182 @@
+"""Structural netlist elaboration for the modular-multiplier slices.
+
+Fig 2(b) of the paper shows each core's design data partitioned into
+views — algorithm, RT, logic, physical.  Our cores carry executable
+algorithm views (behaviors) and RT views (the synthesized design); this
+module supplies the *logic* view: a structural netlist of component
+instances and nets elaborated from a :class:`~repro.hw.datapath.DatapathSpec`,
+cross-checked against the analytical area model and emitted as a
+readable structural-HDL-style text.
+
+The netlist is schematic-level (registers, compressor rows, look-ahead
+blocks, multiplexer trees, product planes, control), not gate-level —
+the granularity at which the paper's design issues act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SynthesisError
+from repro.hw.adders import CLA, CSA, RIPPLE, adder_cost
+from repro.hw.datapath import BRICKELL, DatapathSpec
+from repro.hw.multipliers import MUL, MUX, NONE, multiplier_cost
+
+
+@dataclass(frozen=True)
+class Component:
+    """One instantiated block in the netlist."""
+
+    instance: str
+    kind: str
+    width_bits: int
+    area_gates: float
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+    def render(self) -> str:
+        ins = ", ".join(self.inputs)
+        outs = ", ".join(self.outputs)
+        return (f"{self.kind} #(.WIDTH({self.width_bits})) {self.instance} "
+                f"(.in({{{ins}}}), .out({{{outs}}}));")
+
+
+@dataclass
+class Netlist:
+    """A structural netlist: components plus named nets."""
+
+    name: str
+    spec: DatapathSpec
+    components: List[Component] = field(default_factory=list)
+    nets: List[str] = field(default_factory=list)
+
+    def add(self, component: Component) -> None:
+        self.components.append(component)
+        for net in component.outputs:
+            if net not in self.nets:
+                self.nets.append(net)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for c in self.components if c.kind == kind)
+
+    def area_gates(self) -> float:
+        return sum(c.area_gates for c in self.components)
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for component in self.components:
+            out[component.kind] = out.get(component.kind, 0) + 1
+        return out
+
+    def to_structural_text(self) -> str:
+        """Readable structural-HDL-style rendition of the netlist."""
+        lines = [f"module {self.name};  "
+                 f"// {self.spec.algorithm} radix-{self.spec.radix}, "
+                 f"{self.spec.num_slices}x{self.spec.slice_width}b, "
+                 f"{self.spec.adder_style}/{self.spec.multiplier_style}"]
+        for net in self.nets:
+            lines.append(f"  wire {net};")
+        for component in self.components:
+            lines.append(f"  {component.render()}")
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+
+def _slice_components(spec: DatapathSpec, slice_index: int
+                      ) -> List[Component]:
+    """The component population of one slice, mirroring the area model
+    in :meth:`DatapathSpec._slice_gates` block by block."""
+    w = spec.slice_width
+    s = f"s{slice_index}"
+    components: List[Component] = []
+
+    def reg(name: str) -> Component:
+        return Component(f"{s}_{name}", "register", w, 4.0 * w,
+                         (f"{s}_{name}_d",), (f"{s}_{name}_q",))
+
+    components.append(reg("B"))
+    components.append(reg("M"))
+    components.append(reg("R_sum"))
+    if spec.adder_style == CSA:
+        components.append(reg("R_carry"))
+        for row in (0, 1):
+            components.append(Component(
+                f"{s}_csa{row}", "csa_row", w,
+                adder_cost(CSA, w).area_gates,
+                (f"{s}_csa{row}_a", f"{s}_csa{row}_b", f"{s}_csa{row}_c"),
+                (f"{s}_csa{row}_s", f"{s}_csa{row}_cy")))
+        components.append(Component(
+            f"{s}_conv", "carry_resolve_cpa", w, 10.0 * w,
+            (f"{s}_conv_s", f"{s}_conv_c"), (f"{s}_conv_out",)))
+        components.append(Component(
+            f"{s}_qres", "quotient_resolver", spec.digit_bits, 2.0 * w,
+            (f"{s}_qres_in",), (f"{s}_qres_q",)))
+    else:
+        components.append(Component(
+            f"{s}_csa0", "csa_row", w, adder_cost(CSA, w).area_gates,
+            (f"{s}_csa0_a", f"{s}_csa0_b", f"{s}_csa0_c"),
+            (f"{s}_csa0_s", f"{s}_csa0_cy")))
+        kind = "cla_adder" if spec.adder_style == CLA else "ripple_adder"
+        components.append(Component(
+            f"{s}_cpa", kind, w,
+            adder_cost(spec.adder_style, w).area_gates,
+            (f"{s}_cpa_a", f"{s}_cpa_b"), (f"{s}_cpa_sum",)))
+    mult_kind = {MUL: "array_multiplier", MUX: "mux_multiplier",
+                 NONE: "and_plane"}[spec.multiplier_style]
+    mult_area = multiplier_cost(spec.multiplier_style, spec.radix,
+                                w).area_gates
+    for port, source in (("ab", "A_digit"), ("qm", "Q_digit")):
+        components.append(Component(
+            f"{s}_mult_{port}", mult_kind, w, mult_area,
+            (f"{s}_{source}", f"{s}_mult_{port}_op"),
+            (f"{s}_mult_{port}_p",)))
+    mux_gates = {CSA: 6.0, CLA: 4.0, RIPPLE: 4.0}[spec.adder_style]
+    components.append(Component(
+        f"{s}_steer", "steering_mux", w, mux_gates * w,
+        (f"{s}_steer_a", f"{s}_steer_b"), (f"{s}_steer_y",)))
+    components.append(Component(
+        f"{s}_io", "io_shift", w, 6.0 * w,
+        (f"{s}_io_in",), (f"{s}_io_out",)))
+    if spec.algorithm == BRICKELL:
+        gates = (16.0 if spec.adder_style == CSA else 6.0) * w + 150.0
+        components.append(Component(
+            f"{s}_reduce", "reduction_network", w, gates,
+            (f"{s}_reduce_r", f"{s}_reduce_m"), (f"{s}_reduce_out",)))
+    components.append(Component(
+        f"{s}_ctl", "slice_control", 1, 60.0,
+        (f"{s}_ctl_state",), (f"{s}_ctl_en",)))
+    return components
+
+
+def elaborate(spec: DatapathSpec, name: str = "") -> Netlist:
+    """Elaborate the structural netlist of a sliced datapath."""
+    netlist = Netlist(name or f"mm_{spec.label()}".replace("#", "d"),
+                      spec)
+    for index in range(spec.num_slices):
+        for component in _slice_components(spec, index):
+            netlist.add(component)
+    netlist.add(Component(
+        "top_ctl", "design_control", 1, 150.0,
+        ("clk", "rst"), ("top_state",)))
+    return netlist
+
+
+def check_against_model(netlist: Netlist,
+                        tolerance: float = 1e-6) -> None:
+    """Cross-validate the structural view against the analytical model.
+
+    The netlist's summed component areas must equal the datapath
+    model's gate count — the two are independent encodings of the same
+    microarchitecture, so any drift is a bug.
+    """
+    structural = netlist.area_gates()
+    analytical = netlist.spec.gates()
+    if analytical <= 0:
+        raise SynthesisError("analytical model reports no gates")
+    relative = abs(structural - analytical) / analytical
+    if relative > tolerance:
+        raise SynthesisError(
+            f"structural view ({structural:.0f} gates) diverges from "
+            f"the analytical model ({analytical:.0f} gates) by "
+            f"{relative:.2%}")

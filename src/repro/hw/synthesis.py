@@ -1,0 +1,161 @@
+"""The "synthesis flow": design points -> characterized hardware designs.
+
+This module replaces the paper's Synopsys Design Compiler + LSI physical
+tools: given a :class:`~repro.hw.datapath.DatapathSpec` and a target
+operand length, it produces a fully characterized
+:class:`HardwareDesign` (area, clock, cycles, latency, power) using the
+calibrated analytical models, with the functional simulators available
+for verification.
+
+It also carries the catalog of Table 1's eight design recipes (#1-#8),
+so every benchmark and the crypto layer instantiate exactly the same
+design points the paper evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.hw.adders import CLA, CSA
+from repro.hw.brickell_hw import BrickellMultiplierHW
+from repro.hw.datapath import (
+    BRICKELL,
+    MONTGOMERY,
+    DatapathSpec,
+    spec_for_eol,
+)
+from repro.hw.montgomery_hw import MontgomeryMultiplierHW
+from repro.hw.multipliers import MUL, MUX, NONE
+
+#: Table 1's design recipes: number -> (radix, algorithm, adder, multiplier).
+TABLE1_RECIPES: Dict[int, Tuple[int, str, str, str]] = {
+    1: (2, MONTGOMERY, CLA, NONE),
+    2: (2, MONTGOMERY, CSA, NONE),
+    3: (4, MONTGOMERY, CLA, MUL),
+    4: (4, MONTGOMERY, CSA, MUL),
+    5: (4, MONTGOMERY, CSA, MUX),
+    6: (4, MONTGOMERY, CLA, MUX),
+    7: (2, BRICKELL, CLA, NONE),
+    8: (2, BRICKELL, CSA, NONE),
+}
+
+#: Slice widths of Table 1's columns.
+TABLE1_SLICE_WIDTHS = (8, 16, 32, 64, 128)
+
+
+def table1_spec(design_number: int, slice_width: int, num_slices: int = 1,
+                technology_name: str = "0.35u") -> DatapathSpec:
+    """The spec of one Table 1 design at a given slice width."""
+    try:
+        radix, algorithm, adder, multiplier = TABLE1_RECIPES[design_number]
+    except KeyError:
+        raise SynthesisError(
+            f"Table 1 has designs 1..8, got {design_number}") from None
+    return DatapathSpec(algorithm=algorithm, radix=radix, adder_style=adder,
+                        multiplier_style=multiplier, slice_width=slice_width,
+                        num_slices=num_slices,
+                        technology_name=technology_name)
+
+
+@dataclass(frozen=True)
+class HardwareDesign:
+    """One synthesized modular-multiplier core.
+
+    ``name`` follows the paper's labels: ``#2_64`` is design recipe #2
+    built from 64-bit slices; the slice count is implied by the EOL.
+    """
+
+    name: str
+    spec: DatapathSpec
+    eol: int
+    area: float
+    clock_ns: float
+    cycles: int
+    latency_ns: float
+    power_mw: float
+    design_number: Optional[int] = None
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns / 1000.0
+
+    def simulator(self):
+        """A functional simulator matching this design."""
+        if self.spec.algorithm == MONTGOMERY:
+            return MontgomeryMultiplierHW(self.spec)
+        return BrickellMultiplierHW(self.spec)
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.spec.algorithm} radix-{self.spec.radix} "
+                f"{self.spec.adder_style}/{self.spec.multiplier_style}, "
+                f"{self.spec.num_slices}x{self.spec.slice_width}b slices, "
+                f"{self.spec.technology_name}: area {self.area:.0f}, "
+                f"clk {self.clock_ns:.2f} ns, {self.cycles} cycles, "
+                f"latency {self.latency_ns:.0f} ns")
+
+
+def synthesize(spec: DatapathSpec, eol: Optional[int] = None,
+               name: Optional[str] = None,
+               design_number: Optional[int] = None) -> HardwareDesign:
+    """Characterize a datapath for operands of ``eol`` bits.
+
+    When ``eol`` exceeds the spec's coverage, the design is re-sliced
+    (same slice width, more slices), mirroring how the paper builds
+    wide multipliers from fixed slices.
+    """
+    eol = eol if eol is not None else spec.operand_width
+    if eol != spec.operand_width:
+        spec = spec_for_eol(DatapathSpec(
+            algorithm=spec.algorithm, radix=spec.radix,
+            adder_style=spec.adder_style,
+            multiplier_style=spec.multiplier_style,
+            slice_width=spec.slice_width, num_slices=1,
+            technology_name=spec.technology_name), eol)
+    clock = spec.clock_ns()
+    cycles = spec.cycles(eol)
+    label = name if name is not None else spec.label()
+    return HardwareDesign(
+        name=label,
+        spec=spec,
+        eol=eol,
+        area=spec.area(),
+        clock_ns=clock,
+        cycles=cycles,
+        latency_ns=cycles * clock,
+        power_mw=spec.power_mw(),
+        design_number=design_number,
+    )
+
+
+def synthesize_table1_cell(design_number: int, slice_width: int,
+                           technology_name: str = "0.35u") -> HardwareDesign:
+    """One cell of Table 1: latency computed for EOL = slice width
+    (the table's own convention, see its footnote b)."""
+    spec = table1_spec(design_number, slice_width,
+                       technology_name=technology_name)
+    return synthesize(spec, eol=slice_width,
+                      name=f"#{design_number}_{slice_width}",
+                      design_number=design_number)
+
+
+def synthesize_sliced(design_number: int, slice_width: int, eol: int,
+                      technology_name: str = "0.35u") -> HardwareDesign:
+    """A Table 1 recipe re-sliced for a wide operand (Fig 9 / Fig 6
+    style: ``#2_64`` at EOL 768 uses twelve 64-bit slices)."""
+    if eol % slice_width:
+        raise SynthesisError(
+            f"EOL {eol} is not a multiple of slice width {slice_width}")
+    spec = table1_spec(design_number, slice_width, eol // slice_width,
+                       technology_name)
+    return synthesize(spec, eol=eol,
+                      name=f"#{design_number}_{slice_width}",
+                      design_number=design_number)
+
+
+def table1_grid(technology_name: str = "0.35u") -> List[HardwareDesign]:
+    """All 8 x 5 cells of Table 1."""
+    return [synthesize_table1_cell(number, width, technology_name)
+            for number in sorted(TABLE1_RECIPES)
+            for width in TABLE1_SLICE_WIDTHS]

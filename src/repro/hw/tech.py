@@ -1,0 +1,118 @@
+"""Technology library abstraction.
+
+The paper's Table 1 designs were synthesized with the Synopsys Design
+Compiler onto the LSI 0.35u G10 standard-cell library; the IDCT
+discussion contrasts 0.35u and 0.7u libraries.  Having no commercial
+flow, we model a technology as four calibrated constants:
+
+* ``gate_delay_ns`` — delay of one unit gate level (2-input NAND class);
+* ``ff_overhead_ns`` — register clock-to-Q plus setup, charged once per
+  clock period;
+* ``wire_ns_per_bit`` — broadcast/wire penalty linear in datapath width
+  (the digit of A fans out across the whole slice);
+* ``area_unit`` — library area units per gate equivalent, so modelled
+  areas land in the same magnitude as Table 1's numbers.
+
+The 0.35u constants were calibrated against the legible cells of
+Table 1 (see ``repro.data.paper_table1``); 0.7u is a straight 2x
+linear-shrink scaling (2x delay, ~3.4x area per function is observed in
+practice between these nodes — we keep 2x delay / 4x area, the classical
+constant-field values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Calibrated constants of one standard-cell library."""
+
+    name: str
+    feature_um: float
+    gate_delay_ns: float
+    ff_overhead_ns: float
+    wire_ns_per_bit: float
+    area_unit: float
+    #: mW per (gate equivalent x MHz) at typical activity, for the power
+    #: extension figures of merit.
+    power_coeff_mw: float
+
+    def clock_ns(self, levels: float, width_bits: int) -> float:
+        """Clock period for a path of ``levels`` unit gates across a
+        ``width_bits``-wide datapath."""
+        if levels < 0 or width_bits < 1:
+            raise SynthesisError(
+                f"bad path: levels={levels}, width={width_bits}")
+        return (self.ff_overhead_ns + levels * self.gate_delay_ns
+                + width_bits * self.wire_ns_per_bit)
+
+    def area(self, gates: float) -> float:
+        """Library area units for a gate-equivalent count."""
+        if gates < 0:
+            raise SynthesisError(f"negative gate count {gates}")
+        return gates * self.area_unit
+
+    def power_mw(self, gates: float, clock_ns: float,
+                 activity: float = 0.25) -> float:
+        """Average dynamic power estimate for the modelled datapath."""
+        if clock_ns <= 0:
+            raise SynthesisError(f"non-positive clock {clock_ns}")
+        freq_mhz = 1000.0 / clock_ns
+        return self.power_coeff_mw * gates * freq_mhz * activity
+
+
+#: LSI G10-class 0.35u standard cells (calibrated to Table 1 anchors).
+TECH_035 = TechnologyLibrary(
+    name="0.35u",
+    feature_um=0.35,
+    gate_delay_ns=0.22,
+    ff_overhead_ns=1.00,
+    wire_ns_per_bit=0.005,
+    area_unit=11.7,
+    power_coeff_mw=4.0e-5,
+)
+
+#: A 0.7u library, constant-field scaled from the 0.35u constants.
+TECH_07 = TechnologyLibrary(
+    name="0.7u",
+    feature_um=0.7,
+    gate_delay_ns=0.44,
+    ff_overhead_ns=2.00,
+    wire_ns_per_bit=0.010,
+    area_unit=46.8,
+    power_coeff_mw=3.2e-4,
+)
+
+#: An intermediate 0.5u node, for richer fabrication-technology sweeps.
+TECH_05 = TechnologyLibrary(
+    name="0.5u",
+    feature_um=0.5,
+    gate_delay_ns=0.31,
+    ff_overhead_ns=1.43,
+    wire_ns_per_bit=0.007,
+    area_unit=23.9,
+    power_coeff_mw=1.1e-4,
+)
+
+_REGISTRY: Dict[str, TechnologyLibrary] = {
+    tech.name: tech for tech in (TECH_035, TECH_05, TECH_07)
+}
+
+
+def technology(name: str) -> TechnologyLibrary:
+    """Look a technology up by its design-issue option name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown technology {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def technologies() -> Dict[str, TechnologyLibrary]:
+    return dict(_REGISTRY)

@@ -1,0 +1,34 @@
+"""Software substrate: word-level Montgomery routines and CPU cost models."""
+
+from repro.sw.bignum import (
+    BignumError,
+    OpCounter,
+    add_words,
+    compare,
+    from_words,
+    mul_word,
+    n_prime,
+    sub_in_place,
+    to_words,
+)
+from repro.sw.cpu import (
+    PENTIUM60_ASM,
+    PENTIUM60_C,
+    VARIANT_FACTORS,
+    CpuModel,
+    SoftwareMultiplier,
+    pentium_suite,
+)
+from repro.sw.montgomery_sw import (
+    VARIANTS,
+    MonProResult,
+    MontgomeryRoutine,
+)
+
+__all__ = [
+    "BignumError", "OpCounter", "add_words", "compare", "from_words",
+    "mul_word", "n_prime", "sub_in_place", "to_words",
+    "PENTIUM60_ASM", "PENTIUM60_C", "VARIANT_FACTORS", "CpuModel",
+    "SoftwareMultiplier", "pentium_suite",
+    "VARIANTS", "MonProResult", "MontgomeryRoutine",
+]

@@ -1,0 +1,132 @@
+"""Word-array multiprecision arithmetic with operation accounting.
+
+The software modular multipliers of the paper's Fig 6 are the C and
+assembly routines of Koc/Acar/Kaliski (the paper's [11]) running on a
+Pentium 60.  To reproduce their behaviour without the hardware, we
+implement the same word-level algorithms over explicit word arrays and
+*count* the single-precision operations they execute; the CPU model in
+:mod:`repro.sw.cpu` then turns counts into microseconds.
+
+All routines work on little-endian word lists with a configurable word
+size (the Pentium routines use 32-bit words).  The :class:`OpCounter`
+records the categories the cost model prices:
+
+* ``mul``    — w x w -> 2w single-precision multiply;
+* ``add``    — w-bit add with carry;
+* ``mem``    — word load/store traffic;
+* ``loop``   — loop-control overhead per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+
+class BignumError(ReproError):
+    """Malformed word vectors or out-of-range operands."""
+
+
+@dataclass
+class OpCounter:
+    """Single-precision operation counts of one routine execution."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def tick(self, category: str, amount: int = 1) -> None:
+        self.counts[category] = self.counts.get(category, 0) + amount
+
+    def get(self, category: str) -> int:
+        return self.counts.get(category, 0)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merged_with(self, other: "OpCounter") -> "OpCounter":
+        merged = OpCounter(dict(self.counts))
+        for category, amount in other.counts.items():
+            merged.tick(category, amount)
+        return merged
+
+
+def to_words(value: int, word_bits: int, num_words: int) -> List[int]:
+    """Little-endian word decomposition; rejects values that overflow."""
+    if value < 0:
+        raise BignumError(f"negative value {value}")
+    if word_bits < 1 or num_words < 1:
+        raise BignumError(
+            f"bad geometry: word_bits={word_bits}, num_words={num_words}")
+    mask = (1 << word_bits) - 1
+    words = []
+    rest = value
+    for _ in range(num_words):
+        words.append(rest & mask)
+        rest >>= word_bits
+    if rest:
+        raise BignumError(
+            f"value needs more than {num_words} x {word_bits}-bit words")
+    return words
+
+
+def from_words(words: List[int], word_bits: int) -> int:
+    value = 0
+    for i, word in enumerate(words):
+        if not 0 <= word < (1 << word_bits):
+            raise BignumError(f"word {i} out of range: {word}")
+        value |= word << (i * word_bits)
+    return value
+
+
+def mul_word(a: int, b: int, word_bits: int, ops: OpCounter
+             ) -> Tuple[int, int]:
+    """Single-precision multiply: returns (high, low) words."""
+    ops.tick("mul")
+    product = a * b
+    mask = (1 << word_bits) - 1
+    return product >> word_bits, product & mask
+
+
+def add_words(a: int, b: int, carry: int, word_bits: int, ops: OpCounter
+              ) -> Tuple[int, int]:
+    """Word addition with carry in/out: returns (carry_out, sum_word)."""
+    ops.tick("add")
+    total = a + b + carry
+    mask = (1 << word_bits) - 1
+    return total >> word_bits, total & mask
+
+
+def compare(a_words: List[int], b_words: List[int], ops: OpCounter) -> int:
+    """-1/0/+1 comparison, counting per-word work."""
+    if len(a_words) != len(b_words):
+        raise BignumError("compare needs equal-length vectors")
+    for a, b in zip(reversed(a_words), reversed(b_words)):
+        ops.tick("add")  # a comparison costs like a subtract
+        if a != b:
+            return 1 if a > b else -1
+    return 0
+
+
+def sub_in_place(a_words: List[int], b_words: List[int], word_bits: int,
+                 ops: OpCounter) -> int:
+    """``a -= b`` over equal-length vectors; returns the final borrow."""
+    if len(a_words) != len(b_words):
+        raise BignumError("subtract needs equal-length vectors")
+    borrow = 0
+    mask = (1 << word_bits) - 1
+    for i in range(len(a_words)):
+        ops.tick("add")
+        ops.tick("mem", 2)
+        total = a_words[i] - b_words[i] - borrow
+        borrow = 1 if total < 0 else 0
+        a_words[i] = total & mask
+    return borrow
+
+
+def n_prime(modulus: int, word_bits: int) -> int:
+    """``-m^-1 mod 2^w`` — the per-word Montgomery constant ``n'``."""
+    if modulus % 2 == 0:
+        raise BignumError("Montgomery needs an odd modulus")
+    base = 1 << word_bits
+    return (-pow(modulus, -1, base)) % base

@@ -1,0 +1,351 @@
+"""Word-level Montgomery multiplication variants (Koc/Acar/Kaliski).
+
+The paper's software cores are the Pentium-60 routines analysed in its
+ref [11] ("Analyzing and Comparing Montgomery Multiplication
+Algorithms", IEEE Micro 1996), which organise the interleaving of
+multiplication and reduction in five ways:
+
+* **SOS**  — Separated Operand Scanning: full product, then reduction;
+* **CIOS** — Coarsely Integrated Operand Scanning: reduction folded
+  into each row of the multiplication (the fastest variant);
+* **FIOS** — Finely Integrated Operand Scanning: one fused inner loop;
+* **FIPS** — Finely Integrated Product Scanning: Comba-style column
+  accumulation of product and reduction together;
+* **CIHS** — Coarsely Integrated Hybrid Scanning: the multiplication is
+  split so its high half is folded into the reduction loop.
+
+All compute ``MonPro(a, b) = a * b * R^-1 mod m`` with ``R = 2^(s*w)``
+for odd ``m``, over little-endian ``w``-bit word arrays, counting
+single-precision operations as they go.  CIHS is reconstructed from the
+published description (the scan of the original lists only its op
+counts); its structure follows the split-multiplication idea and its counted
+memory traffic exceeds CIOS's, matching the published ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.sw.bignum import (
+    BignumError,
+    OpCounter,
+    add_words,
+    compare,
+    from_words,
+    mul_word,
+    n_prime,
+    sub_in_place,
+    to_words,
+)
+
+VARIANTS = ("SOS", "CIOS", "FIOS", "FIPS", "CIHS")
+
+
+@dataclass
+class MonProResult:
+    """Result and operation counts of one MonPro execution."""
+
+    result: int
+    ops: OpCounter
+    variant: str
+    num_words: int
+    word_bits: int
+
+
+class MontgomeryRoutine:
+    """One software Montgomery multiplier (fixed geometry and variant)."""
+
+    def __init__(self, variant: str, num_words: int, word_bits: int = 32):
+        if variant not in VARIANTS:
+            raise ReproError(
+                f"unknown variant {variant!r}; known: {VARIANTS}")
+        if num_words < 1 or word_bits < 2:
+            raise ReproError(
+                f"bad geometry: s={num_words}, w={word_bits}")
+        self.variant = variant
+        self.num_words = num_words
+        self.word_bits = word_bits
+
+    # ------------------------------------------------------------------
+    @property
+    def operand_bits(self) -> int:
+        return self.num_words * self.word_bits
+
+    def r_factor(self, modulus: int) -> int:
+        """``R mod m = 2^(s*w) mod m``."""
+        return pow(2, self.operand_bits, modulus)
+
+    def monpro(self, a: int, b: int, modulus: int) -> MonProResult:
+        """``a * b * R^-1 mod m`` with operation accounting."""
+        if modulus < 3 or modulus % 2 == 0:
+            raise BignumError(
+                f"Montgomery needs an odd modulus >= 3, got {modulus}")
+        if not (0 <= a < modulus and 0 <= b < modulus):
+            raise BignumError("operands must satisfy 0 <= a, b < m")
+        if modulus.bit_length() > self.operand_bits:
+            raise BignumError(
+                f"modulus needs {modulus.bit_length()} bits, geometry "
+                f"covers {self.operand_bits}")
+        s, w = self.num_words, self.word_bits
+        ops = OpCounter()
+        a_words = to_words(a, w, s)
+        b_words = to_words(b, w, s)
+        m_words = to_words(modulus, w, s)
+        np0 = n_prime(modulus, w) % (1 << w)
+        kernel = _KERNELS[self.variant]
+        u_words = kernel(a_words, b_words, m_words, np0, w, ops)
+        # Final conditional subtraction: u may be in [0, 2m).
+        extended_m = m_words + [0] * (len(u_words) - s)
+        if compare(u_words, extended_m, ops) >= 0:
+            sub_in_place(u_words, extended_m, w, ops)
+        result = from_words(u_words, w)
+        return MonProResult(result, ops, self.variant, s, w)
+
+    def multiply_mod(self, a: int, b: int, modulus: int) -> MonProResult:
+        """Plain ``a * b mod m`` via two MonPro passes (conversion of one
+        operand into the Montgomery domain, then the combining pass)."""
+        r2 = pow(self.r_factor(modulus), 2, modulus)
+        step1 = self.monpro(a, r2, modulus)
+        step2 = self.monpro(step1.result, b, modulus)
+        return MonProResult(step2.result, step1.ops.merged_with(step2.ops),
+                            self.variant, self.num_words, self.word_bits)
+
+
+# ----------------------------------------------------------------------
+# kernels — each returns u as a word list of length s+1 with value < 2m
+# ----------------------------------------------------------------------
+def _add_carry(t: List[int], index: int, carry: int, w: int,
+               ops: OpCounter) -> None:
+    """The ADD(t[index], C) primitive: propagate a carry upward."""
+    while carry:
+        if index >= len(t):
+            raise BignumError("carry propagated past the end of t")
+        ops.tick("add")
+        ops.tick("mem", 2)
+        total = t[index] + carry
+        t[index] = total & ((1 << w) - 1)
+        carry = total >> w
+        index += 1
+
+
+def _sos(a: List[int], b: List[int], m: List[int], np0: int, w: int,
+         ops: OpCounter) -> List[int]:
+    s = len(a)
+    mask = (1 << w) - 1
+    t = [0] * (2 * s + 1)
+    for i in range(s):
+        carry = 0
+        for j in range(s):
+            ops.tick("loop")
+            ops.tick("mem", 3)
+            hi, lo = mul_word(a[j], b[i], w, ops)
+            carry_out, total = add_words(t[i + j], lo, 0, w, ops)
+            carry_out2, total = add_words(total, carry, 0, w, ops)
+            t[i + j] = total
+            carry = hi + carry_out + carry_out2
+        t[i + s] = carry & mask
+    for i in range(s):
+        carry = 0
+        mm = (t[i] * np0) & mask
+        ops.tick("mul")
+        ops.tick("mem", 1)
+        for j in range(s):
+            ops.tick("loop")
+            ops.tick("mem", 3)
+            hi, lo = mul_word(mm, m[j], w, ops)
+            carry_out, total = add_words(t[i + j], lo, 0, w, ops)
+            carry_out2, total = add_words(total, carry, 0, w, ops)
+            t[i + j] = total
+            carry = hi + carry_out + carry_out2
+        _add_carry(t, i + s, carry, w, ops)
+    return t[s:2 * s + 1]
+
+
+def _cios(a: List[int], b: List[int], m: List[int], np0: int, w: int,
+          ops: OpCounter) -> List[int]:
+    s = len(a)
+    mask = (1 << w) - 1
+    t = [0] * (s + 2)
+    for i in range(s):
+        carry = 0
+        for j in range(s):
+            ops.tick("loop")
+            ops.tick("mem", 3)
+            hi, lo = mul_word(a[j], b[i], w, ops)
+            c1, total = add_words(t[j], lo, 0, w, ops)
+            c2, total = add_words(total, carry, 0, w, ops)
+            t[j] = total
+            carry = hi + c1 + c2
+        c1, total = add_words(t[s], carry, 0, w, ops)
+        ops.tick("mem", 2)
+        t[s] = total
+        t[s + 1] = c1
+        mm = (t[0] * np0) & mask
+        ops.tick("mul")
+        ops.tick("mem", 1)
+        hi, lo = mul_word(mm, m[0], w, ops)
+        c1, total = add_words(t[0], lo, 0, w, ops)
+        carry = hi + c1  # total is 0 by construction of mm
+        for j in range(1, s):
+            ops.tick("loop")
+            ops.tick("mem", 3)
+            hi, lo = mul_word(mm, m[j], w, ops)
+            c1, total = add_words(t[j], lo, 0, w, ops)
+            c2, total = add_words(total, carry, 0, w, ops)
+            t[j - 1] = total
+            carry = hi + c1 + c2
+        c1, total = add_words(t[s], carry, 0, w, ops)
+        ops.tick("mem", 2)
+        t[s - 1] = total
+        t[s] = t[s + 1] + c1
+        t[s + 1] = 0
+    return t[:s + 1]
+
+
+def _fios(a: List[int], b: List[int], m: List[int], np0: int, w: int,
+          ops: OpCounter) -> List[int]:
+    s = len(a)
+    mask = (1 << w) - 1
+    t = [0] * (s + 2)
+    for i in range(s):
+        hi, lo = mul_word(a[0], b[i], w, ops)
+        ops.tick("mem", 2)
+        c1, total = add_words(t[0], lo, 0, w, ops)
+        _add_carry(t, 1, hi + c1, w, ops)
+        mm = (total * np0) & mask
+        ops.tick("mul")
+        hi, lo = mul_word(mm, m[0], w, ops)
+        c1, _discard = add_words(total, lo, 0, w, ops)
+        carry = hi + c1
+        for j in range(1, s):
+            ops.tick("loop")
+            ops.tick("mem", 4)
+            hi, lo = mul_word(a[j], b[i], w, ops)
+            c1, total = add_words(t[j], lo, 0, w, ops)
+            c2, total = add_words(total, carry, 0, w, ops)
+            # The a*b product's carry propagates upward immediately.
+            _add_carry(t, j + 1, hi + c1 + c2, w, ops)
+            hi2, lo2 = mul_word(mm, m[j], w, ops)
+            c3, total = add_words(total, lo2, 0, w, ops)
+            t[j - 1] = total
+            carry = hi2 + c3
+        c1, total = add_words(t[s], carry, 0, w, ops)
+        ops.tick("mem", 2)
+        t[s - 1] = total
+        t[s] = t[s + 1] + c1
+        t[s + 1] = 0
+    return t[:s + 1]
+
+
+def _fips(a: List[int], b: List[int], m: List[int], np0: int, w: int,
+          ops: OpCounter) -> List[int]:
+    s = len(a)
+    mask = (1 << w) - 1
+    acc = 0  # three-word accumulator, held as a Python int
+    mm = [0] * s
+    u = [0] * (s + 1)
+    for i in range(s):
+        for j in range(i):
+            ops.tick("loop")
+            ops.tick("mem", 4)
+            hi, lo = mul_word(a[j], b[i - j], w, ops)
+            acc += (hi << w) | lo
+            ops.tick("add", 2)
+            hi, lo = mul_word(mm[j], m[i - j], w, ops)
+            acc += (hi << w) | lo
+            ops.tick("add", 2)
+        hi, lo = mul_word(a[i], b[0], w, ops)
+        ops.tick("mem", 2)
+        acc += (hi << w) | lo
+        ops.tick("add", 2)
+        mm[i] = (acc & mask) * np0 & mask
+        ops.tick("mul")
+        ops.tick("mem", 1)
+        hi, lo = mul_word(mm[i], m[0], w, ops)
+        acc += (hi << w) | lo
+        ops.tick("add", 2)
+        acc >>= w
+    for i in range(s, 2 * s):
+        for j in range(i - s + 1, s):
+            ops.tick("loop")
+            ops.tick("mem", 4)
+            hi, lo = mul_word(a[j], b[i - j], w, ops)
+            acc += (hi << w) | lo
+            ops.tick("add", 2)
+            hi, lo = mul_word(mm[j], m[i - j], w, ops)
+            acc += (hi << w) | lo
+            ops.tick("add", 2)
+        u[i - s] = acc & mask
+        ops.tick("mem", 1)
+        acc >>= w
+    u[s] = acc & mask
+    return u
+
+
+def _cihs(a: List[int], b: List[int], m: List[int], np0: int, w: int,
+          ops: OpCounter) -> List[int]:
+    """Hybrid scanning: the multiplication's low triangle is computed
+    up-front; the high triangle is folded into the reduction loop, which
+    re-reads ``b`` — the extra memory traffic that makes CIHS trail CIOS
+    in the published measurements."""
+    s = len(a)
+    mask = (1 << w) - 1
+    t = [0] * (s + 2)
+    # First loop: partial products a[j]*b[i] with i + j < s.
+    for i in range(s):
+        carry = 0
+        for j in range(s - i):
+            ops.tick("loop")
+            ops.tick("mem", 3)
+            hi, lo = mul_word(a[j], b[i], w, ops)
+            c1, total = add_words(t[i + j], lo, 0, w, ops)
+            c2, total = add_words(total, carry, 0, w, ops)
+            t[i + j] = total
+            carry = hi + c1 + c2
+        _add_carry(t, s, carry, w, ops)
+    # Second loop: one reduction step per word, then fold in the
+    # deferred high-triangle products that become position-aligned
+    # after the shift.
+    for i in range(s):
+        mm = (t[0] * np0) & mask
+        ops.tick("mul")
+        ops.tick("mem", 1)
+        hi, lo = mul_word(mm, m[0], w, ops)
+        c1, _zero = add_words(t[0], lo, 0, w, ops)
+        carry = hi + c1
+        for j in range(1, s):
+            ops.tick("loop")
+            ops.tick("mem", 3)
+            hi, lo = mul_word(mm, m[j], w, ops)
+            c1, total = add_words(t[j], lo, 0, w, ops)
+            c2, total = add_words(total, carry, 0, w, ops)
+            t[j - 1] = total
+            carry = hi + c1 + c2
+        c1, total = add_words(t[s], carry, 0, w, ops)
+        ops.tick("mem", 2)
+        t[s - 1] = total
+        t[s] = t[s + 1] + c1
+        t[s + 1] = 0
+        # Deferred products a[j]*b[i'] with j + i' == s + i land on the
+        # current word s-1 after i+1 shifts.
+        carry = 0
+        for j in range(i + 1, s):
+            ops.tick("loop")
+            ops.tick("mem", 4)
+            hi, lo = mul_word(a[j], b[s + i - j], w, ops)
+            c1, total = add_words(t[s - 1], lo, 0, w, ops)
+            t[s - 1] = total
+            carry += hi + c1
+        _add_carry(t, s, carry, w, ops)
+    return t[:s + 1]
+
+
+_KERNELS: Dict[str, Callable[..., List[int]]] = {
+    "SOS": _sos,
+    "CIOS": _cios,
+    "FIOS": _fios,
+    "FIPS": _fips,
+    "CIHS": _cihs,
+}

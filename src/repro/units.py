@@ -1,0 +1,58 @@
+"""Small unit helpers shared across the layer.
+
+Figures of merit in the paper are reported in nanoseconds (clock period,
+latency), microseconds (single-operation latency requirements, Fig 6),
+square microns / equivalent gates (area) and milliwatts (power, the
+paper's work-in-progress extension).  We keep units as plain floats tagged
+by convention — a ``Quantity`` wrapper would add friction for the numeric
+code in :mod:`repro.hw` — and centralise the conversions here so the
+convention lives in one place.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1000.0
+US_PER_MS = 1000.0
+MS_PER_S = 1000.0
+NS_PER_S = 1e9
+
+
+def ns_to_us(value_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return value_ns / NS_PER_US
+
+
+def us_to_ns(value_us: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return value_us * NS_PER_US
+
+
+def ns_to_s(value_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value_ns / NS_PER_S
+
+
+def mhz_to_period_ns(freq_mhz: float) -> float:
+    """Clock period in ns for a frequency in MHz."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return 1000.0 / freq_mhz
+
+
+def period_ns_to_mhz(period_ns: float) -> float:
+    """Clock frequency in MHz for a period in ns."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns}")
+    return 1000.0 / period_ns
+
+
+def format_quantity(value: float, unit: str, precision: int = 2) -> str:
+    """Render ``value`` with its unit, trimming trailing zeros.
+
+    >>> format_quantity(8.0, 'us')
+    '8 us'
+    >>> format_quantity(2.37, 'ns')
+    '2.37 ns'
+    """
+    text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return f"{text} {unit}"

@@ -1,0 +1,86 @@
+"""The exploration advisor: soft ordering of design issues by impact."""
+
+import pytest
+
+from repro.core import ExplorationSession, advise, assess_issue
+from repro.domains.crypto import case_study_session
+from repro.domains.crypto import vocab as v
+
+from conftest import build_widget_layer
+
+
+class TestWidgetAdvice:
+    def test_impactful_issue_ranks_first(self, widget_layer):
+        session = ExplorationSession(widget_layer, "Widget",
+                                     merit_metrics=("latency_ns",))
+        session.decide("Style", "hw")
+        ranked = advise(session)
+        names = [impact.issue_name for impact in ranked]
+        # Tech splits 6-10ns (t35) from 22ns (t70): large spread;
+        # Pipeline splits 10 vs 6 within t35 plus 22: smaller.
+        assert names[0] == "Tech"
+        assert ranked[0].impact > ranked[-1].impact >= 0.0
+
+    def test_assess_reports_spreads_and_counts(self, widget_layer):
+        session = ExplorationSession(widget_layer, "Widget",
+                                     merit_metrics=("latency_ns",))
+        session.decide("Style", "hw")
+        impact = assess_issue(session, "Tech")
+        assert impact.spreads["latency_ns"] > 0.5
+        assert dict(impact.option_counts) == {"t35": 2, "t70": 1}
+        assert impact.dead_options == []
+
+    def test_dead_options_reported(self, widget_layer):
+        session = ExplorationSession(widget_layer, "Widget",
+                                     merit_metrics=("latency_ns",))
+        session.set_requirement("MaxDelay", 100)  # software all too slow
+        impact = assess_issue(session, "Style")
+        assert impact.dead_options == ["sw"]
+
+    def test_describe(self, widget_layer):
+        session = ExplorationSession(widget_layer, "Widget",
+                                     merit_metrics=("latency_ns",))
+        session.decide("Style", "hw")
+        text = assess_issue(session, "Tech").describe()
+        assert "Tech" in text and "%" in text
+
+
+class TestCryptoAdvice:
+    def test_radix_family_leads_at_the_leaf(self, crypto_layer):
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        ranked = advise(session, metrics=("delay_us",))
+        top_two = {impact.issue_name for impact in ranked[:2]}
+        # The radix-4 vs radix-2 split (equivalently the multiplier
+        # structure) dominates what is achievable.
+        assert top_two & {v.RADIX, v.MULT_IMPL}
+        assert ranked[0].impact > 0.25
+
+    def test_implied_ancestor_issues_not_addressable(self, crypto_layer):
+        session = case_study_session(crypto_layer)
+        names = {issue.name for issue in session.addressable_issues()}
+        # The session starts at OMM: the operator-family partitions
+        # above it are implied by position, not open questions.
+        assert v.OPERATOR_CLASS not in names
+        assert v.MODULAR_FUNCTION not in names
+        assert v.IMPLEMENTATION_STYLE in names
+
+
+class TestImpliedDecisionSemantics:
+    def test_implied_option_recorded_without_moving(self, crypto_layer):
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        before = session.current_cdo.qualified_name
+        session.decide(v.OPERATOR_CLASS, "Modular")
+        assert session.current_cdo.qualified_name == before
+        assert session.decisions[v.OPERATOR_CLASS] == "Modular"
+
+    def test_cross_branch_option_rejected(self, crypto_layer):
+        from repro.errors import SessionError
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        with pytest.raises(SessionError, match="inside"):
+            session.decide(v.MODULAR_FUNCTION, "Exponentiator")
+        # The rejection is atomic.
+        assert v.MODULAR_FUNCTION not in session.decisions

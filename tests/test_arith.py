@@ -1,0 +1,208 @@
+"""Integer-level reference algorithms and the RSA driver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.modexp import (
+    ModExpStats,
+    binary_modexp,
+    mary_modexp,
+    montgomery_modexp,
+)
+from repro.arith.modmul import (
+    ModMulError,
+    brickell_modmul,
+    digits_for,
+    montgomery_form,
+    montgomery_modmul,
+    montgomery_multiply,
+    pencil_modmul,
+)
+from repro.arith.rsa import (
+    RsaError,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+    sign,
+    verify,
+)
+
+
+@st.composite
+def modmul_case(draw, odd=False):
+    modulus = draw(st.integers(min_value=3, max_value=1 << 128))
+    if odd:
+        modulus |= 1
+    a = draw(st.integers(min_value=0, max_value=modulus - 1))
+    b = draw(st.integers(min_value=0, max_value=modulus - 1))
+    return a, b, modulus
+
+
+class TestModMul:
+    @settings(max_examples=40, deadline=None)
+    @given(case=modmul_case())
+    def test_pencil(self, case):
+        a, b, m = case
+        assert pencil_modmul(a, b, m) == (a * b) % m
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=modmul_case(), radix=st.sampled_from([2, 4, 16, 256]))
+    def test_brickell_any_modulus(self, case, radix):
+        a, b, m = case
+        assert brickell_modmul(a, b, m, radix) == (a * b) % m
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=modmul_case(odd=True), radix=st.sampled_from([2, 4, 16]))
+    def test_montgomery(self, case, radix):
+        a, b, m = case
+        result, n = montgomery_modmul(a, b, m, radix)
+        assert result == (a * b * pow(radix, -n, m)) % m
+        assert montgomery_multiply(a, b, m, radix) == (a * b) % m
+
+    def test_montgomery_needs_odd(self):
+        with pytest.raises(ModMulError, match="odd"):
+            montgomery_modmul(1, 1, 100)
+
+    def test_operand_range(self):
+        with pytest.raises(ModMulError):
+            pencil_modmul(10, 1, 7)
+        with pytest.raises(ModMulError):
+            brickell_modmul(-1, 1, 7)
+
+    def test_bad_radix(self):
+        with pytest.raises(ModMulError):
+            brickell_modmul(1, 1, 7, radix=3)
+
+    def test_digits_for(self):
+        assert digits_for(255, 2) == 8
+        assert digits_for(256, 2) == 9
+        assert digits_for(255, 16) == 2
+
+    def test_montgomery_form_round_trip(self):
+        m = (1 << 64) | 1  # odd? 2^64+1 is odd
+        value = 123456789
+        bar = montgomery_form(value, m)
+        result, n = montgomery_modmul(bar, 1, m)
+        assert result == value
+
+
+class TestModExp:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=1 << 64),
+           st.integers(min_value=0, max_value=1 << 20),
+           st.integers(min_value=0, max_value=1 << 64))
+    def test_binary_matches_pow(self, modulus, exponent, base):
+        base %= modulus
+        assert binary_modexp(base, exponent, modulus) == \
+            pow(base, exponent, modulus)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=1 << 64),
+           st.integers(min_value=0, max_value=1 << 20),
+           st.integers(min_value=0, max_value=1 << 64),
+           st.integers(min_value=1, max_value=6))
+    def test_mary_matches_pow(self, modulus, exponent, base, window):
+        base %= modulus
+        assert mary_modexp(base, exponent, modulus, window) == \
+            pow(base, exponent, modulus)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=3, max_value=1 << 64),
+           st.integers(min_value=0, max_value=1 << 20),
+           st.integers(min_value=0, max_value=1 << 64))
+    def test_montgomery_schedule_matches_pow(self, modulus, exponent, base):
+        modulus |= 1
+        base %= modulus
+        assert montgomery_modexp(base, exponent, modulus) == \
+            pow(base, exponent, modulus)
+
+    def test_custom_backend_invoked(self):
+        calls = []
+
+        def counting(a, b, m):
+            calls.append((a, b))
+            return (a * b) % m
+
+        assert binary_modexp(7, 13, 101, modmul=counting) == pow(7, 13, 101)
+        assert calls
+
+    def test_stats(self):
+        stats = ModExpStats()
+        binary_modexp(7, 0b1011, 101, stats=stats)
+        assert stats.squarings == 4
+        assert stats.multiplications == 3
+        assert stats.total == 7
+
+    def test_mary_fewer_multiplications(self):
+        exponent = (1 << 512) - 1  # worst case for binary
+        modulus = (1 << 127) | 1
+        binary_stats, mary_stats = ModExpStats(), ModExpStats()
+        binary_modexp(3, exponent, modulus, stats=binary_stats)
+        mary_modexp(3, exponent, modulus, 4, stats=mary_stats)
+        assert mary_stats.multiplications < binary_stats.multiplications
+
+    def test_validation(self):
+        with pytest.raises(ModMulError):
+            binary_modexp(1, -1, 7)
+        with pytest.raises(ModMulError):
+            binary_modexp(9, 1, 7)
+        with pytest.raises(ModMulError):
+            montgomery_modexp(1, 1, 100)
+        with pytest.raises(ModMulError):
+            mary_modexp(1, 1, 7, window_bits=0)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 101, 7919, (1 << 61) - 1):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (0, 1, 4, 100, 7917, (1 << 61) - 3, 561, 41041):
+            assert not is_probable_prime(c)
+
+    def test_generate_prime_size(self):
+        import random
+        p = generate_prime(64, random.Random(7))
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+
+class TestRsa:
+    def test_keypair_reproducible(self):
+        assert generate_keypair(128, seed=1).modulus == \
+            generate_keypair(128, seed=1).modulus
+
+    def test_encrypt_decrypt_round_trip(self):
+        key = generate_keypair(128, seed=2)
+        message = 0x1234567890
+        assert decrypt(encrypt(message, key), key) == message
+
+    def test_sign_verify(self):
+        key = generate_keypair(128, seed=3)
+        digest = 0xABCDEF
+        signature = sign(digest, key)
+        assert verify(digest, signature, key)
+        assert not verify(digest + 1, signature, key)
+
+    def test_modulus_is_odd_for_montgomery(self):
+        key = generate_keypair(128, seed=4)
+        assert key.modulus % 2 == 1
+
+    def test_custom_backend(self):
+        key = generate_keypair(128, seed=5)
+        message = 42
+        cipher = encrypt(message, key,
+                         modmul=lambda a, b, m: montgomery_multiply(a, b, m))
+        assert decrypt(cipher, key) == message
+
+    def test_validation(self):
+        key = generate_keypair(128, seed=6)
+        with pytest.raises(RsaError):
+            encrypt(key.modulus, key)
+        with pytest.raises(RsaError):
+            generate_keypair(31)  # too small
+        with pytest.raises(RsaError):
+            generate_keypair(33)  # odd key size

@@ -1,0 +1,130 @@
+"""Dataflow analysis: critical path and weighted operation counts."""
+
+import pytest
+
+from repro.behavior.dfg import DataflowGraph, trip_count, weighted_op_counts
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Const,
+    For,
+    If,
+    Var,
+)
+from repro.behavior.listings import montgomery_behavior
+
+
+def chain_behavior():
+    """x = ((a + b) * c) - d : a pure 3-op chain."""
+    return Behavior("chain", [Assign(
+        "x",
+        BinOp("-", BinOp("*", BinOp("+", Var("a"), Var("b")), Var("c")),
+              Var("d")),
+        line=1)])
+
+
+UNIT = {"+": 1.0, "-": 1.0, "*": 3.0}.get
+
+
+def unit_delay(symbol):
+    return {"+": 1.0, "-": 1.0, "*": 3.0}.get(symbol, 0.5)
+
+
+class TestCriticalPath:
+    def test_chain_delay_sums(self):
+        graph = DataflowGraph.from_behavior(chain_behavior())
+        delay, chain = graph.critical_path(unit_delay)
+        assert delay == pytest.approx(5.0)  # + (1) * (3) - (1)
+        symbols = [n.symbol for n in chain if n.symbol != "source"]
+        assert symbols == ["+", "*", "-"]
+
+    def test_parallel_branches_take_max(self):
+        behavior = Behavior("par", [
+            Assign("u", BinOp("*", Var("a"), Var("b")), line=1),
+            Assign("v", BinOp("+", Var("c"), Var("d")), line=2),
+            Assign("x", BinOp("+", Var("u"), Var("v")), line=3)])
+        graph = DataflowGraph.from_behavior(behavior)
+        delay, _ = graph.critical_path(unit_delay)
+        assert delay == pytest.approx(4.0)  # mul(3) then add(1)
+
+    def test_def_use_across_statements(self):
+        behavior = Behavior("seq", [
+            Assign("x", BinOp("+", Var("a"), Var("b")), line=1),
+            Assign("y", BinOp("+", Var("x"), Var("c")), line=2),
+            Assign("z", BinOp("+", Var("y"), Var("d")), line=3)])
+        graph = DataflowGraph.from_behavior(behavior)
+        delay, _ = graph.critical_path(unit_delay)
+        assert delay == pytest.approx(3.0)
+
+    def test_empty_graph(self):
+        graph = DataflowGraph.from_behavior(Behavior("empty", []))
+        assert graph.critical_path(unit_delay) == (0.0, [])
+
+    def test_op_counts(self):
+        graph = DataflowGraph.from_behavior(chain_behavior())
+        assert graph.op_counts() == {"+": 1, "*": 1, "-": 1}
+
+    def test_node_expr_attached(self):
+        graph = DataflowGraph.from_behavior(chain_behavior())
+        mul_nodes = [n for n in graph.nodes if n.symbol == "*"]
+        assert mul_nodes[0].expr is not None
+        assert mul_nodes[0].expr.op == "*"
+
+
+class TestTripCounts:
+    def loop(self, start, stop):
+        return For("i", start, stop, [], line=1)
+
+    def test_constant_bounds(self):
+        assert trip_count(self.loop(Const(0), Const(9)), {}) == 10
+
+    def test_symbolic_bound(self):
+        loop = self.loop(Const(0), BinOp("-", Var("n"), Const(1)))
+        assert trip_count(loop, {"n": 96}) == 96
+
+    def test_negative_trip_clamped(self):
+        assert trip_count(self.loop(Const(5), Const(1)), {}) == 0
+
+    def test_unbound_parameter(self):
+        loop = self.loop(Const(0), Var("n"))
+        with pytest.raises(BehaviorError, match="bounds"):
+            trip_count(loop, {})
+
+
+class TestWeightedOpCounts:
+    def test_loop_weighting(self):
+        behavior = Behavior("b", [
+            For("i", Const(0), BinOp("-", Var("n"), Const(1)),
+                [Assign("s", BinOp("+", Var("s"), Var("i")), line=2)],
+                line=1)])
+        counts = weighted_op_counts(behavior, {"n": 50, "s": 0})
+        assert counts["+"] == 50
+        assert counts["-"] == 1  # the bound expression, evaluated once
+
+    def test_nested_loops_multiply(self):
+        inner = For("j", Const(0), Const(3),
+                    [Assign("s", BinOp("+", Var("s"), Const(1)), line=3)],
+                    line=2)
+        behavior = Behavior("b", [
+            For("i", Const(0), Const(4), [inner], line=1)])
+        counts = weighted_op_counts(behavior, {"s": 0})
+        assert counts["+"] == 20
+
+    def test_if_takes_worst_branch(self):
+        behavior = Behavior("b", [
+            If(BinOp(">", Var("x"), Const(0)),
+               [Assign("y", BinOp("+", Var("x"), Const(1)), line=2)],
+               line=1,
+               orelse=[Assign("y", BinOp("*", BinOp("*", Var("x"), Var("x")),
+                                         Var("x")), line=3)])])
+        counts = weighted_op_counts(behavior, {"x": 1})
+        assert counts.get("*") == 2
+        assert counts.get("+") is None
+        assert counts[">"] == 1
+
+    def test_montgomery_scales_with_n(self):
+        small = weighted_op_counts(montgomery_behavior(), {"n": 8})
+        large = weighted_op_counts(montgomery_behavior(), {"n": 768})
+        assert large["*"] / small["*"] == pytest.approx(96, rel=0.01)

@@ -1,0 +1,210 @@
+"""Interpreter semantics and the executable listings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavior.interp import (
+    Interpreter,
+    digit,
+    eval_expr,
+    inv_mod,
+    run_behavior,
+)
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    For,
+    If,
+    Var,
+)
+from repro.behavior.listings import (
+    brickell_behavior,
+    modexp_behavior,
+    montgomery_behavior,
+    pencil_behavior,
+)
+
+
+class TestHelpers:
+    def test_digit_extraction(self):
+        assert digit(0b1101, 0, 2) == 1
+        assert digit(0b1101, 1, 2) == 0
+        assert digit(0x3F2, 1, 16) == 0xF
+
+    def test_digit_validation(self):
+        with pytest.raises(BehaviorError):
+            digit(5, -1, 2)
+        with pytest.raises(BehaviorError):
+            digit(5, 0, 1)
+
+    def test_inv_mod(self):
+        assert (inv_mod(3, 7) * 3) % 7 == 1
+        with pytest.raises(BehaviorError):
+            inv_mod(2, 4)
+
+    @given(st.integers(min_value=0, max_value=1 << 64),
+           st.integers(min_value=0, max_value=40),
+           st.sampled_from([2, 4, 16, 256]))
+    def test_digit_reconstruction(self, value, index, radix):
+        assert digit(value, index, radix) == (value // radix ** index) % radix
+
+
+class TestInterpreterCore:
+    def test_arithmetic(self):
+        behavior = Behavior("b", [
+            Assign("x", BinOp("+", Const(2), Const(3)), line=1),
+            Assign("y", BinOp("*", Var("x"), Const(4)), line=2),
+            Assign("z", BinOp("div", Var("y"), Const(3)), line=3),
+            Assign("w", BinOp("mod", Var("y"), Const(3)), line=4),
+        ])
+        state = run_behavior(behavior)
+        assert state == {"x": 5, "y": 20, "z": 6, "w": 2}
+
+    def test_comparisons_yield_ints(self):
+        behavior = Behavior("b", [
+            Assign("t", BinOp(">=", Const(3), Const(3)), line=1),
+            Assign("f", BinOp("<", Const(3), Const(3)), line=2)])
+        state = run_behavior(behavior)
+        assert state == {"t": 1, "f": 0}
+
+    def test_loop_inclusive_bounds(self):
+        behavior = Behavior("b", [
+            Assign("s", Const(0), line=1),
+            For("i", Const(1), Const(4),
+                [Assign("s", BinOp("+", Var("s"), Var("i")), line=3)],
+                line=2)])
+        assert run_behavior(behavior)["s"] == 10
+
+    def test_empty_loop(self):
+        behavior = Behavior("b", [
+            Assign("s", Const(7), line=1),
+            For("i", Const(5), Const(4),
+                [Assign("s", Const(0), line=3)], line=2)])
+        assert run_behavior(behavior)["s"] == 7
+
+    def test_if_else(self):
+        behavior = Behavior("b", [
+            If(BinOp(">", Var("x"), Const(0)),
+               [Assign("y", Const(1), line=2)],
+               line=1,
+               orelse=[Assign("y", Const(-1), line=3)])])
+        assert run_behavior(behavior, x=5)["y"] == 1
+        assert run_behavior(behavior, x=-5)["y"] == -1
+
+    def test_unbound_variable(self):
+        behavior = Behavior("b", [Assign("y", Var("ghost"), line=1)])
+        with pytest.raises(BehaviorError, match="unbound variable"):
+            run_behavior(behavior)
+
+    def test_missing_input_reported_upfront(self):
+        behavior = Behavior("b", [Assign("y", Var("a"), line=1)],
+                            inputs=("a",))
+        with pytest.raises(BehaviorError, match="unbound inputs"):
+            run_behavior(behavior)
+
+    def test_division_by_zero(self):
+        behavior = Behavior("b", [Assign(
+            "y", BinOp("div", Const(1), Const(0)), line=1)])
+        with pytest.raises(BehaviorError, match="zero"):
+            run_behavior(behavior)
+
+    def test_loop_budget(self):
+        interp = Interpreter(max_loop_iterations=10)
+        behavior = Behavior("b", [For("i", Const(0), Const(100), [],
+                                      line=1)])
+        with pytest.raises(BehaviorError, match="iterations"):
+            interp.run(behavior, {})
+
+    def test_indexed_assignment(self):
+        behavior = Behavior("b", [Assign("Q", Const(3), line=1,
+                                         target_index=Const(2))])
+        assert run_behavior(behavior)["Q[2]"] == 3
+
+    def test_op_counts_recorded(self):
+        interp = Interpreter()
+        behavior = Behavior("b", [
+            For("i", Const(1), Const(3),
+                [Assign("s", BinOp("*", Var("i"), Var("i")), line=2)],
+                line=1)])
+        interp.run(behavior, {})
+        assert interp.op_counts["*"] == 3
+
+    def test_custom_builtin(self):
+        interp = Interpreter(builtins={"triple": lambda x: 3 * x})
+        behavior = Behavior("b", [Assign(
+            "y", Call("triple", (Const(4),)), line=1)])
+        assert interp.run(behavior, {})["y"] == 12
+
+    def test_unknown_helper(self):
+        behavior = Behavior("b", [Assign("y", Call("nope", ()), line=1)])
+        with pytest.raises(BehaviorError, match="unknown helper"):
+            run_behavior(behavior)
+
+    def test_eval_expr(self):
+        assert eval_expr(BinOp("-", Var("n"), Const(1)), {"n": 10}) == 9
+
+
+@st.composite
+def modmul_case(draw):
+    bits = draw(st.integers(min_value=4, max_value=96))
+    modulus = draw(st.integers(min_value=3, max_value=(1 << bits) - 1)) | 1
+    a = draw(st.integers(min_value=0, max_value=modulus - 1))
+    b = draw(st.integers(min_value=0, max_value=modulus - 1))
+    radix = draw(st.sampled_from([2, 4, 16]))
+    return a, b, modulus, radix
+
+
+class TestListings:
+    @settings(max_examples=40, deadline=None)
+    @given(modmul_case())
+    def test_montgomery_listing_matches_math(self, case):
+        a, b, modulus, radix = case
+        behavior = montgomery_behavior()
+        n = 1
+        while radix ** n < modulus:
+            n += 1
+        out = run_behavior(behavior, A=a, B=b, M=modulus, r=radix, n=n)
+        assert out["R"] == (a * b * pow(radix, -n, modulus)) % modulus
+
+    @settings(max_examples=40, deadline=None)
+    @given(modmul_case())
+    def test_brickell_listing_matches_math(self, case):
+        a, b, modulus, radix = case
+        behavior = brickell_behavior()
+        n = 1
+        while radix ** n < modulus:
+            n += 1
+        out = run_behavior(behavior, A=a, B=b, M=modulus, r=radix, n=n)
+        assert out["R"] == (a * b) % modulus
+
+    @settings(max_examples=40, deadline=None)
+    @given(modmul_case())
+    def test_pencil_listing_matches_math(self, case):
+        a, b, modulus, _radix = case
+        out = run_behavior(pencil_behavior(), A=a, B=b, M=modulus)
+        assert out["R"] == (a * b) % modulus
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=3, max_value=1 << 24),
+           st.integers(min_value=0, max_value=1 << 12),
+           st.integers(min_value=0, max_value=1 << 24))
+    def test_modexp_listing_matches_pow(self, modulus, exponent, base):
+        base %= modulus
+        exponent = max(exponent, 1)
+        out = run_behavior(modexp_behavior(), X=base, E=exponent,
+                           N=modulus, k=exponent.bit_length())
+        assert out["R"] == pow(base, exponent, modulus)
+
+    def test_listing_metadata(self):
+        behavior = montgomery_behavior()
+        assert behavior.inputs == ("A", "B", "M", "r", "n")
+        assert behavior.outputs == ("R",)
+        assert behavior.codings["R"] == "redundant"
+
+    def test_montgomery_loop_addition_on_line_4(self):
+        ops = montgomery_behavior().operators_at(4, "+")
+        assert len(ops) == 2

@@ -1,0 +1,107 @@
+"""Behavioral IR: expression/statement structure and operator census."""
+
+import pytest
+
+from repro.behavior.ir import (
+    Assign,
+    Behavior,
+    BehaviorError,
+    BinOp,
+    Call,
+    Const,
+    For,
+    If,
+    Var,
+)
+
+
+def simple_behavior():
+    return Behavior(
+        "demo",
+        [
+            Assign("x", BinOp("+", Var("a"), Const(1)), line=1),
+            For("i", Const(0), Var("n"),
+                [Assign("x", BinOp("*", Var("x"), Var("i")), line=3)],
+                line=2),
+            If(BinOp(">", Var("x"), Const(10)),
+               [Assign("x", BinOp("-", Var("x"), Const(10)), line=5)],
+               line=4),
+        ],
+        inputs=("a", "n"), outputs=("x",))
+
+
+class TestExpressions:
+    def test_binop_validates_operator(self):
+        with pytest.raises(BehaviorError):
+            BinOp("bogus", Var("a"), Var("b"))
+
+    def test_walk_yields_all_nodes(self):
+        expr = BinOp("+", BinOp("*", Var("a"), Var("b")), Const(1))
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds == ["BinOp", "BinOp", "Var", "Var", "Const"]
+
+    def test_call_walk(self):
+        expr = Call("digit", (Var("A"), Var("i"), Const(2)))
+        assert len(list(expr.walk())) == 4
+
+    def test_render(self):
+        expr = BinOp("div", BinOp("+", Var("R"), Var("B")), Var("r"))
+        assert expr.render() == "((R + B) div r)"
+        assert Call("f", (Const(1),)).render() == "f(1)"
+
+
+class TestBehaviorStructure:
+    def test_duplicate_line_numbers_rejected(self):
+        with pytest.raises(BehaviorError, match="duplicate line"):
+            Behavior("bad", [Assign("x", Const(1), line=1),
+                             Assign("y", Const(2), line=1)])
+
+    def test_statement_at(self):
+        behavior = simple_behavior()
+        assert isinstance(behavior.statement_at(2), For)
+        with pytest.raises(BehaviorError):
+            behavior.statement_at(99)
+
+    def test_name_required(self):
+        with pytest.raises(BehaviorError):
+            Behavior("", [])
+
+    def test_walk_covers_nested(self):
+        lines = sorted(s.line for s in simple_behavior().walk())
+        assert lines == [1, 2, 3, 4, 5]
+
+    def test_render_contains_lines(self):
+        text = simple_behavior().render()
+        assert "1: x := (a + 1)" in text
+        assert "FOR i = 0 TO n" in text
+        assert "IF (x > 10) THEN" in text
+
+
+class TestOperators:
+    def test_census(self):
+        histogram = simple_behavior().op_histogram()
+        assert histogram == {"+": 1, "*": 1, ">": 1, "-": 1}
+
+    def test_operators_at_line(self):
+        behavior = simple_behavior()
+        ops = behavior.operators_at(3)
+        assert len(ops) == 1
+        assert ops[0].symbol == "*"
+        assert behavior.operators_at(3, "+") == []
+
+    def test_ordinals_within_line(self):
+        behavior = Behavior("b", [Assign(
+            "x", BinOp("+", BinOp("+", Var("a"), Var("b")), Var("c")),
+            line=1)])
+        ops = behavior.operators_at(1, "+")
+        assert [op.ordinal for op in ops] == [0, 1]
+
+    def test_calls_counted_as_operators(self):
+        behavior = Behavior("b", [Assign(
+            "x", Call("digit", (Var("A"), Const(0), Const(2))), line=1)])
+        assert behavior.op_histogram() == {"digit": 1}
+
+    def test_loop_bounds_contribute_operators(self):
+        behavior = Behavior("b", [For(
+            "i", Const(0), BinOp("-", Var("n"), Const(1)), [], line=1)])
+        assert behavior.op_histogram() == {"-": 1}

@@ -1,0 +1,74 @@
+"""The oper(...) selector over behavioral descriptions."""
+
+import pytest
+
+from repro.behavior.ir import Assign, Behavior, BinOp, Const, Var
+from repro.behavior.listings import montgomery_behavior
+from repro.behavior.operators import (
+    OperatorSelection,
+    oper_selector,
+    register_selectors,
+)
+from repro.core.path import SelectorRegistry, parse_path
+from repro.errors import PathError
+
+
+class TestOperSelector:
+    def test_select_by_symbol_and_line(self):
+        selection = oper_selector(montgomery_behavior(), ("+", "line:4"))
+        assert isinstance(selection, OperatorSelection)
+        assert selection.symbols == ("+", "+")
+        assert set(selection.lines) == {4}
+
+    def test_select_by_symbol_only(self):
+        selection = oper_selector(montgomery_behavior(), ("digit",))
+        assert len(selection) >= 2
+
+    def test_no_match_raises(self):
+        with pytest.raises(PathError, match="no '\\^'"):
+            oper_selector(montgomery_behavior(), ("^",))
+
+    def test_wrong_value_type(self):
+        with pytest.raises(PathError, match="behavioral"):
+            oper_selector("not-a-behavior", ("+",))
+
+    def test_bad_line_argument(self):
+        with pytest.raises(PathError):
+            oper_selector(montgomery_behavior(), ("+", "line:x"))
+        with pytest.raises(PathError):
+            oper_selector(montgomery_behavior(), ("+", "col:3"))
+
+    def test_missing_symbol(self):
+        with pytest.raises(PathError):
+            oper_selector(montgomery_behavior(), ())
+
+    def test_sole(self):
+        behavior = Behavior("b", [Assign(
+            "x", BinOp("*", Var("a"), Const(2)), line=1)])
+        selection = oper_selector(behavior, ("*",))
+        assert selection.sole().symbol == "*"
+
+    def test_sole_ambiguous(self):
+        selection = oper_selector(montgomery_behavior(), ("+", "line:4"))
+        with pytest.raises(PathError, match="expected exactly 1"):
+            selection.sole()
+
+    def test_render(self):
+        selection = oper_selector(montgomery_behavior(), ("+", "line:4"))
+        assert "MontgomeryModMul" in selection.render()
+
+
+class TestRegistration:
+    def test_registered_and_usable_through_paths(self):
+        registry = SelectorRegistry()
+        register_selectors(registry)
+        path = parse_path("oper(+,line:4)@BD@X")
+        value = registry.apply_chain(path.selectors, montgomery_behavior())
+        assert isinstance(value, OperatorSelection)
+        assert len(value) == 2
+
+    def test_double_registration_rejected(self):
+        registry = SelectorRegistry()
+        register_selectors(registry)
+        with pytest.raises(PathError):
+            register_selectors(registry)

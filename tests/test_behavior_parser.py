@@ -1,0 +1,150 @@
+"""The listing parser: text -> IR, inverse of the renderer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavior import run_behavior
+from repro.behavior.ir import Assign, Behavior, BehaviorError, BinOp, Const, Var
+from repro.behavior.listings import (
+    brickell_behavior,
+    modexp_behavior,
+    montgomery_behavior,
+    pencil_behavior,
+)
+from repro.behavior.parser import parse_behavior, parse_expression
+
+
+class TestExpressionParsing:
+    @pytest.mark.parametrize("text,value", [
+        ("42", 42),
+        ("-7", -7),
+        ("(1 + 2)", 3),
+        ("((2 * 3) - 10)", -4),
+        ("(7 div 2)", 3),
+        ("(7 mod 2)", 1),
+        ("(1 << 4)", 16),
+        ("(3 >= 3)", 1),
+    ])
+    def test_constant_expressions(self, text, value):
+        behavior = Behavior("t", [Assign("x", parse_expression(text),
+                                         line=1)])
+        assert run_behavior(behavior)["x"] == value
+
+    def test_variables_and_calls(self):
+        expr = parse_expression("digit(A, i, r)")
+        assert expr.render() == "digit(A, i, r)"
+        expr = parse_expression("(R + (digit(A, i, r) * B))")
+        assert expr.render() == "(R + (digit(A, i, r) * B))"
+
+    def test_zero_arg_call(self):
+        assert parse_expression("f()").render() == "f()"
+
+    def test_render_parse_identity_on_random_exprs(self):
+        # Build random expression trees, render, reparse, compare.
+        import random
+        rng = random.Random(5)
+
+        def build(depth):
+            if depth == 0 or rng.random() < 0.3:
+                return rng.choice([Const(rng.randint(-9, 9)),
+                                   Var(rng.choice("abcxyz"))])
+            op = rng.choice(["+", "-", "*", "div", "mod", ">=", "<<"])
+            return BinOp(op, build(depth - 1), build(depth - 1))
+
+        for _ in range(60):
+            expr = build(4)
+            assert parse_expression(expr.render()).render() == \
+                expr.render()
+
+    def test_errors(self):
+        for bad in ("", "(1 +", "1 2", "(1 ? 2)", "(div 3)", "@"):
+            with pytest.raises(BehaviorError):
+                parse_expression(bad)
+
+
+class TestListingParsing:
+    @pytest.mark.parametrize("factory", [montgomery_behavior,
+                                         brickell_behavior,
+                                         pencil_behavior,
+                                         modexp_behavior])
+    def test_renderer_output_round_trips(self, factory):
+        original = factory()
+        parsed = parse_behavior(original.render(), name=original.name,
+                                inputs=original.inputs,
+                                outputs=original.outputs,
+                                codings=original.codings,
+                                doc=original.doc)
+        assert parsed.render() == original.render()
+
+    def test_parsed_montgomery_executes_correctly(self):
+        original = montgomery_behavior()
+        parsed = parse_behavior(original.render(), name="m",
+                                inputs=original.inputs)
+        out = run_behavior(parsed, A=123, B=77, M=251, r=2, n=8)
+        assert out["R"] == (123 * 77 * pow(2, -8, 251)) % 251
+
+    def test_hand_authored_listing(self):
+        text = """
+        -- popcount with saturation
+        1: R := 0
+        2: FOR i = 0 TO (n - 1)
+          3: R := (R + digit(A, i, 2))
+        4: IF (R >= 3) THEN
+          5: R := 3
+        """
+        behavior = parse_behavior(text, name="popcount", inputs=("A", "n"))
+        assert run_behavior(behavior, A=0b1111, n=4)["R"] == 3
+        assert run_behavior(behavior, A=0b0010, n=4)["R"] == 1
+
+    def test_else_branch(self):
+        text = """
+        1: x := 1
+        2: IF (x > 5) THEN
+          3: y := 10
+        ELSE
+          4: y := 20
+        """
+        behavior = parse_behavior(text)
+        assert run_behavior(behavior)["y"] == 20
+
+    def test_indexed_target(self):
+        behavior = parse_behavior("1: Q[2] := 9")
+        assert run_behavior(behavior)["Q[2]"] == 9
+
+    def test_comments_and_blanks_ignored(self):
+        behavior = parse_behavior(
+            "-- header\n\n// another\n1: x := 5\n")
+        assert run_behavior(behavior)["x"] == 5
+
+    def test_empty_listing(self):
+        with pytest.raises(BehaviorError, match="empty"):
+            parse_behavior("-- only comments\n")
+
+    def test_missing_line_number(self):
+        with pytest.raises(BehaviorError, match="cannot parse"):
+            parse_behavior("x := 5")
+
+    def test_bad_statement(self):
+        with pytest.raises(BehaviorError, match="statement"):
+            parse_behavior("1: GOTO 5")
+
+    def test_duplicate_line_numbers_rejected(self):
+        with pytest.raises(BehaviorError, match="duplicate"):
+            parse_behavior("1: x := 1\n1: y := 2")
+
+    def test_unexpected_indentation(self):
+        with pytest.raises(BehaviorError):
+            parse_behavior("1: x := 1\n    2: y := 2")
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-99, max_value=99),
+                           min_size=1, max_size=5))
+    def test_generated_straightline_round_trip(self, values):
+        statements = [Assign(f"x{i}", Const(v), line=i + 1)
+                      for i, v in enumerate(values)]
+        original = Behavior("gen", statements)
+        parsed = parse_behavior(original.render(), name="gen")
+        assert parsed.render() == original.render()
+        assert run_behavior(parsed) == run_behavior(original)

@@ -1,0 +1,171 @@
+"""CDO hierarchy: inheritance, specialization, invariants."""
+
+import pytest
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.properties import (
+    BehavioralDescription,
+    DesignIssue,
+    Requirement,
+)
+from repro.core.values import EnumDomain, IntRange
+from repro.errors import HierarchyError, PropertyError
+
+
+def make_root() -> ClassOfDesignObjects:
+    root = ClassOfDesignObjects("Root", "root class")
+    root.add_property(Requirement("Width", IntRange(1), "width req"))
+    root.add_property(DesignIssue(
+        "Style", EnumDomain(["a", "b"]), "style", generalized=True))
+    return root
+
+
+class TestConstruction:
+    def test_name_validation(self):
+        for bad in ("", "a.b", "a@b", "a*b", "x(y)"):
+            with pytest.raises(HierarchyError):
+                ClassOfDesignObjects(bad, "doc")
+
+    def test_doc_required(self):
+        with pytest.raises(HierarchyError):
+            ClassOfDesignObjects("X", "")
+
+    def test_names_may_contain_dash_and_digits(self):
+        cdo = ClassOfDesignObjects("Pentium-60", "a processor")
+        assert cdo.name == "Pentium-60"
+
+
+class TestProperties:
+    def test_duplicate_property_rejected(self):
+        root = make_root()
+        with pytest.raises(PropertyError, match="duplicate"):
+            root.add_property(Requirement("Width", IntRange(1), "again"))
+
+    def test_shadowing_ancestor_property_rejected(self):
+        root = make_root()
+        child = root.specialize("a")
+        with pytest.raises(PropertyError, match="ancestor"):
+            child.add_property(Requirement("Width", IntRange(1), "shadow"))
+
+    def test_single_generalized_issue_per_cdo(self):
+        root = make_root()
+        with pytest.raises(HierarchyError, match="at most one"):
+            root.add_property(DesignIssue(
+                "Other", EnumDomain([1]), "another", generalized=True))
+
+    def test_inheritance_lookup(self):
+        root = make_root()
+        child = root.specialize("a")
+        prop = child.find_property("Width")
+        assert prop.name == "Width"
+        assert child.find_property_owner("Width") is root
+
+    def test_find_property_missing(self):
+        root = make_root()
+        with pytest.raises(PropertyError, match="no property"):
+            root.find_property("Nope")
+
+    def test_all_properties_order_outermost_first(self):
+        root = make_root()
+        child = root.specialize("a")
+        child.add_property(DesignIssue("Local", EnumDomain([1]), "local"))
+        names = [p.name for p in child.all_properties()]
+        assert names == ["Width", "Style", "Local"]
+
+    def test_kind_filters(self):
+        root = make_root()
+        child = root.specialize("a")
+        child.add_property(BehavioralDescription("BD", "desc"))
+        assert [r.name for r in child.requirements()] == ["Width"]
+        assert [i.name for i in child.design_issues()] == ["Style"]
+        assert [i.name for i in child.design_issues(
+            include_generalized=False)] == []
+        assert [b.name for b in child.behavioral_descriptions()] == ["BD"]
+
+    def test_has_property(self):
+        root = make_root()
+        child = root.specialize("a")
+        assert child.has_property("Width")
+        assert not child.has_property("Nope")
+
+
+class TestSpecialization:
+    def test_child_identity(self):
+        root = make_root()
+        child = root.specialize("a")
+        assert child.parent is root
+        assert child.option_of_parent == "a"
+        assert child.qualified_name == "Root.a"
+        assert root.child_for_option("a") is child
+
+    def test_custom_child_name(self):
+        root = make_root()
+        child = root.specialize("a", name="VariantA", doc="custom")
+        assert child.qualified_name == "Root.VariantA"
+        assert child.doc == "custom"
+
+    def test_unknown_option_rejected(self):
+        root = make_root()
+        with pytest.raises(Exception):
+            root.specialize("zzz")
+
+    def test_duplicate_option_rejected(self):
+        root = make_root()
+        root.specialize("a")
+        with pytest.raises(HierarchyError, match="already specialized"):
+            root.specialize("a")
+
+    def test_specialize_without_generalized_issue(self):
+        leaf = ClassOfDesignObjects("Leaf", "leaf")
+        with pytest.raises(HierarchyError, match="without a generalized"):
+            leaf.specialize("x")
+
+    def test_specialize_all(self):
+        root = make_root()
+        children = root.specialize_all()
+        assert {c.name for c in children} == {"a", "b"}
+        # idempotent
+        assert len(root.specialize_all()) == 2
+
+    def test_child_for_missing_option(self):
+        root = make_root()
+        with pytest.raises(HierarchyError, match="no specialization"):
+            root.child_for_option("a")
+
+    def test_is_leaf(self):
+        root = make_root()
+        child = root.specialize("a")
+        assert not root.is_leaf
+        assert child.is_leaf
+
+
+class TestNavigation:
+    def test_path_from_root_and_ancestors(self):
+        root = make_root()
+        child = root.specialize("a")
+        child.add_property(DesignIssue(
+            "Sub", EnumDomain(["x"]), "sub", generalized=True))
+        grandchild = child.specialize("x")
+        assert [c.name for c in grandchild.path_from_root()] == \
+            ["Root", "a", "x"]
+        assert [c.name for c in grandchild.ancestors()] == ["a", "Root"]
+        assert grandchild.qualified_name == "Root.a.x"
+
+    def test_walk_preorder(self):
+        root = make_root()
+        root.specialize("a")
+        root.specialize("b")
+        assert [c.name for c in root.walk()] == ["Root", "a", "b"]
+
+    def test_is_ancestor_of(self):
+        root = make_root()
+        a = root.specialize("a")
+        b = root.specialize("b")
+        assert root.is_ancestor_of(a)
+        assert not a.is_ancestor_of(root)
+        assert not a.is_ancestor_of(b)
+
+    def test_validate_subtree_ok(self):
+        root = make_root()
+        root.specialize_all()
+        root.validate_subtree()

@@ -1,0 +1,110 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDescribe:
+    def test_text(self, capsys):
+        code, out, _err = run_cli(capsys, "describe", "--layer", "idct")
+        assert code == 0
+        assert "Design space layer 'idct'" in out
+        assert "IDCT" in out
+
+    def test_markdown(self, capsys):
+        code, out, _err = run_cli(capsys, "describe", "--layer", "idct",
+                                  "--markdown")
+        assert code == 0
+        assert out.startswith("# Design space layer `idct`")
+
+
+class TestFigures:
+    def test_table1(self, capsys):
+        code, out, _err = run_cli(capsys, "table1")
+        assert code == 0
+        assert "Table 1" in out
+        assert "#8" in out and "Brickell" in out
+
+    def test_fig6(self, capsys):
+        code, out, _err = run_cli(capsys, "fig6", "--eol", "1024")
+        assert code == 0
+        assert "CIOS ASM" in out and "#5_16" in out
+
+    def test_fig9(self, capsys):
+        code, out, _err = run_cli(capsys, "fig9", "--eol", "768")
+        assert code == 0
+        assert "#2_64" in out and "#8_64" in out
+
+    def test_fig12(self, capsys):
+        code, out, _err = run_cli(capsys, "fig12")
+        assert code == 0
+        assert "#5_64" in out
+
+
+class TestExplore:
+    def test_case_study_walk(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "explore", "--eol", "768",
+            "--require", "EffectiveOperandLength=768",
+            "--require", "ModuloIsOdd=Guaranteed",
+            "--require", "LatencySingleOperation=8.0",
+            "--decide", "ImplementationStyle=Hardware",
+            "--decide", "Algorithm=Montgomery",
+            "--options", "SliceWidth",
+            "--list")
+        assert code == 0
+        assert "Operator.Modular.Multiplier.Hardware.Montgomery" in out
+        assert "candidate cores: 30" in out
+        assert "option 64: 6 candidates" in out
+        assert "#5_64" in out
+
+    def test_constraint_violation_reported(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "explore",
+            "--require", "EffectiveOperandLength=768",
+            "--require", "ModuloIsOdd=notGuaranteed",
+            "--decide", "ImplementationStyle=Hardware",
+            "--decide", "Algorithm=Montgomery")
+        assert code == 2
+        assert "CC1" in err
+
+    def test_bad_binding_syntax(self, capsys):
+        code, _out, err = run_cli(capsys, "explore",
+                                  "--require", "JustAName")
+        assert code == 2
+        assert "Name=value" in err
+
+
+class TestQuery:
+    def test_filtered_query(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "query", "--under", "OMM-HM",
+            "--where", "Radix=2",
+            "--max-merit", "delay_us=8",
+            "--order-by", "latency_ns", "--limit", "2")
+        assert code == 0
+        assert "(2 cores)" in out
+        assert "#2_16" in out
+
+    def test_unknown_layer(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "describe", "--layer", "nonsense")
+
+
+class TestExport:
+    def test_json_round_trip(self, capsys):
+        code, out, _err = run_cli(capsys, "export", "--layer", "idct",
+                                  "--compact")
+        assert code == 0
+        data = json.loads(out)
+        assert data["name"] == "idct"
+        assert data["libraries"][0]["cores"]

@@ -1,0 +1,111 @@
+"""Clustering and generalization-hierarchy induction."""
+
+import pytest
+
+from repro.core.clustering import (
+    agglomerate,
+    explain_clusters,
+    suggest_cluster_count,
+    suggest_generalization,
+)
+from repro.core.designobject import DesignObject
+from repro.core.evaluation import EvaluationPoint, EvaluationSpace
+from repro.errors import ReproError
+
+
+def two_blob_space():
+    """Two well-separated blobs with a design issue explaining them."""
+    designs = []
+    for i, (x, y, tech) in enumerate([
+            (1.0, 1.0, "t35"), (1.2, 0.9, "t35"), (0.9, 1.3, "t35"),
+            (10.0, 10.0, "t70"), (10.3, 9.8, "t70")]):
+        designs.append(DesignObject(f"d{i}", "X",
+                                    {"Tech": tech, "Odd": i % 2},
+                                    {"x": x, "y": y}))
+    return EvaluationSpace.from_designs(designs, ("x", "y"))
+
+
+class TestAgglomerate:
+    def test_k_clusters_returned(self):
+        clusters, history = agglomerate(two_blob_space(), 2)
+        assert len(clusters) == 2
+        assert len(history) == 3  # 5 points -> 2 clusters
+
+    def test_blobs_separate(self):
+        clusters, _ = agglomerate(two_blob_space(), 2)
+        sizes = sorted(len(c.points) for c in clusters)
+        assert sizes == [2, 3]
+        small = next(c for c in clusters if len(c.points) == 2)
+        assert small.names == {"d3", "d4"}
+
+    def test_merge_history_distances_monotone(self):
+        _, history = agglomerate(two_blob_space(), 1)
+        distances = [step.distance for step in history]
+        assert distances == sorted(distances)
+
+    def test_k_one_merges_all(self):
+        clusters, _ = agglomerate(two_blob_space(), 1)
+        assert len(clusters[0].points) == 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            agglomerate(two_blob_space(), 0)
+        with pytest.raises(ReproError):
+            agglomerate(two_blob_space(), 6)
+
+    def test_centroid(self):
+        clusters, _ = agglomerate(two_blob_space(), 2)
+        big = next(c for c in clusters if len(c.points) == 3)
+        cx, cy = big.centroid()
+        assert cx == pytest.approx((1.0 + 1.2 + 0.9) / 3)
+
+
+class TestSuggestClusterCount:
+    def test_two_blobs_detected(self):
+        assert suggest_cluster_count(two_blob_space()) == 2
+
+    def test_degenerate_sizes(self):
+        single = EvaluationSpace(("m",), [EvaluationPoint("a", (1.0,))])
+        assert suggest_cluster_count(single) == 1
+        assert suggest_cluster_count(EvaluationSpace(("m",))) == 0
+
+
+class TestExplainClusters:
+    def test_perfect_issue_scores_one(self):
+        space = two_blob_space()
+        clusters, _ = agglomerate(space, 2)
+        explanations = explain_clusters(clusters, ["Tech", "Odd"])
+        by_name = {e.issue_name: e for e in explanations}
+        assert by_name["Tech"].purity == pytest.approx(1.0)
+        assert by_name["Odd"].purity < 1.0
+
+    def test_ranking_best_first(self):
+        space = two_blob_space()
+        clusters, _ = agglomerate(space, 2)
+        explanations = explain_clusters(clusters, ["Odd", "Tech"])
+        assert explanations[0].issue_name == "Tech"
+
+    def test_issue_absent_from_designs(self):
+        space = two_blob_space()
+        clusters, _ = agglomerate(space, 2)
+        explanations = explain_clusters(clusters, ["Ghost"])
+        assert explanations[0].purity == 0.0
+
+    def test_points_without_designs_ignored(self):
+        space = EvaluationSpace(("m",), [EvaluationPoint("a", (1.0,)),
+                                         EvaluationPoint("b", (9.0,))])
+        clusters, _ = agglomerate(space, 2)
+        assert explain_clusters(clusters, ["Tech"])[0].purity == 0.0
+
+
+class TestSuggestGeneralization:
+    def test_end_to_end(self):
+        clusters, explanations = suggest_generalization(
+            two_blob_space(), ["Tech", "Odd"])
+        assert len(clusters) == 2
+        assert explanations[0].issue_name == "Tech"
+
+    def test_explicit_k(self):
+        clusters, _ = suggest_generalization(two_blob_space(),
+                                             ["Tech"], k=3)
+        assert len(clusters) == 3

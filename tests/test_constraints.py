@@ -1,0 +1,139 @@
+"""Consistency constraints: construction, applicability, gating."""
+
+import pytest
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.constraints import (
+    UNBOUND,
+    ConsistencyConstraint,
+    ConstraintSet,
+    SessionBinding,
+)
+from repro.core.properties import DesignIssue, Requirement
+from repro.core.relations import InconsistentOptions
+from repro.core.values import EnumDomain, IntRange
+from repro.errors import ConstraintError
+
+
+def make_tree():
+    root = ClassOfDesignObjects("Op", "root")
+    root.add_property(Requirement("EOL", IntRange(1), "eol"))
+    root.add_property(DesignIssue("Kind", EnumDomain(["HW", "SW"]), "k",
+                                  generalized=True))
+    hw = root.specialize("HW")
+    hw.add_property(DesignIssue("Radix", EnumDomain([2, 4]), "r"))
+    sw = root.specialize("SW")
+    return root, hw, sw
+
+
+def make_cc(**kwargs):
+    defaults = dict(
+        name="CC-t", doc="test constraint",
+        independents={"E": "EOL@Op"},
+        dependents={"R": "Radix@*.HW"},
+        relation=InconsistentOptions(lambda b: False, "never"),
+    )
+    defaults.update(kwargs)
+    return ConsistencyConstraint(**defaults)
+
+
+class TestConstruction:
+    def test_requires_name_and_doc(self):
+        with pytest.raises(ConstraintError):
+            make_cc(name="")
+        with pytest.raises(ConstraintError):
+            make_cc(doc="")
+
+    def test_string_refs_parsed(self):
+        cc = make_cc()
+        assert cc.independents["E"].property_name == "EOL"
+
+    def test_overlapping_aliases_rejected(self):
+        with pytest.raises(ConstraintError, match="both"):
+            make_cc(independents={"X": "EOL@Op"},
+                    dependents={"X": "Radix@*.HW"})
+
+    def test_bad_ref_type(self):
+        with pytest.raises(ConstraintError):
+            make_cc(independents={"E": 42})
+
+    def test_session_binding_accepted(self):
+        cc = make_cc(independents={
+            "E": SessionBinding(lambda s: 1, "one")})
+        assert isinstance(cc.independents["E"], SessionBinding)
+
+    def test_describe_contains_sets(self):
+        text = make_cc().describe()
+        assert "Indep_Set" in text and "Dep_Set" in text
+
+    def test_shorts_rendered(self):
+        cc = make_cc(shorts={"S": "EOL@Op"})
+        assert "Shorts" in cc.describe()
+
+
+class TestApplicability:
+    def test_applies_when_all_patterns_visible(self):
+        root, hw, sw = make_tree()
+        cc = make_cc()
+        assert cc.applies_to(hw)
+        assert not cc.applies_to(sw)   # Radix@*.HW invisible from SW
+        assert not cc.applies_to(root)
+
+    def test_session_binding_with_pattern(self):
+        root, hw, sw = make_tree()
+        cc = make_cc(independents={
+            "E": SessionBinding(lambda s: 1, "one", pattern="*.HW")})
+        assert cc.applies_to(hw)
+        assert not cc.applies_to(sw)
+
+    def test_session_binding_without_pattern_applies_anywhere(self):
+        root, hw, _ = make_tree()
+        cc = make_cc(independents={"E": SessionBinding(lambda s: 1, "one")})
+        assert cc.applies_to(hw)
+
+    def test_alias_expansion_in_applicability(self):
+        root, hw, _ = make_tree()
+        cc = make_cc(independents={"E": "EOL@TheRoot"})
+        assert cc.applies_to(hw, {"TheRoot": "Op"})
+        assert not cc.applies_to(hw)
+
+
+class TestPropertyNameExtraction:
+    def test_dependent_names(self):
+        cc = make_cc()
+        assert cc.dependent_property_names() == ["Radix"]
+        assert cc.independent_property_names() == ["EOL"]
+
+    def test_session_bindings_excluded_from_names(self):
+        cc = make_cc(independents={"E": SessionBinding(lambda s: 1, "d")})
+        assert cc.independent_property_names() == []
+
+
+class TestConstraintSet:
+    def test_add_get_iterate(self):
+        cs = ConstraintSet([make_cc()])
+        assert len(cs) == 1
+        assert "CC-t" in cs
+        assert cs.get("CC-t").name == "CC-t"
+        assert [c.name for c in cs] == ["CC-t"]
+
+    def test_duplicate_name(self):
+        cs = ConstraintSet([make_cc()])
+        with pytest.raises(ConstraintError, match="duplicate"):
+            cs.add(make_cc())
+
+    def test_get_missing(self):
+        with pytest.raises(ConstraintError):
+            ConstraintSet().get("nope")
+
+    def test_applicable_filter(self):
+        root, hw, sw = make_tree()
+        cs = ConstraintSet([make_cc()])
+        assert len(cs.applicable(hw)) == 1
+        assert cs.applicable(sw) == []
+
+    def test_gating(self):
+        root, hw, _ = make_tree()
+        cs = ConstraintSet([make_cc()])
+        assert [c.name for c in cs.gating("Radix", hw)] == ["CC-t"]
+        assert cs.gating("EOL", hw) == []

@@ -1,0 +1,226 @@
+"""The cryptography design space layer: hierarchy, cores, constraints,
+and the full Sec-5 exploration."""
+
+import pytest
+
+from repro.core import ExplorationSession
+from repro.domains.crypto import (
+    build_crypto_layer,
+    case_study_session,
+    hardware_cores,
+    software_cores,
+)
+from repro.domains.crypto import vocab as v
+from repro.errors import ConstraintViolation, SessionError
+
+
+@pytest.fixture()
+def session(crypto_layer):
+    return case_study_session(crypto_layer)
+
+
+class TestHierarchy:
+    def test_structure_matches_fig5(self, crypto_layer):
+        for path in ("Operator",
+                     "Operator.LogicArithmetic.Arithmetic.Adder",
+                     "Operator.LogicArithmetic.Arithmetic.Multiplier",
+                     "Operator.Modular.Exponentiator",
+                     v.OMM_PATH, v.OMM_H_PATH, v.OMM_HM_PATH,
+                     v.OMM_HB_PATH, v.OMM_S_PATH):
+            assert crypto_layer.has_cdo(path)
+
+    def test_aliases(self, crypto_layer):
+        assert crypto_layer.cdo(v.ALIAS_OMM).qualified_name == v.OMM_PATH
+        assert crypto_layer.cdo(v.ALIAS_OMM_HM).qualified_name == \
+            v.OMM_HM_PATH
+
+    def test_omm_requirements_fig8(self, crypto_layer):
+        omm = crypto_layer.cdo(v.OMM_PATH)
+        names = {r.name for r in omm.requirements()}
+        assert {v.EOL, v.OPERAND_CODING, v.RESULT_CODING, v.MODULO_IS_ODD,
+                v.LATENCY_US} <= names
+
+    def test_ommh_issues_fig11(self, crypto_layer):
+        hw = crypto_layer.cdo(v.OMM_H_PATH)
+        names = {i.name for i in hw.design_issues()}
+        assert {v.ALGORITHM, v.RADIX, v.NUM_SLICES, v.SLICE_WIDTH,
+                v.LAYOUT_STYLE, v.FAB_TECH, v.ADDER_IMPL,
+                v.MULT_IMPL} <= names
+
+    def test_generalized_issues(self, crypto_layer):
+        assert crypto_layer.cdo(v.OMM_PATH).generalized_issue.name == \
+            v.IMPLEMENTATION_STYLE
+        assert crypto_layer.cdo(v.OMM_H_PATH).generalized_issue.name == \
+            v.ALGORITHM
+        assert crypto_layer.cdo(v.OMM_HM_PATH).is_leaf
+
+    def test_behavioral_descriptions_attached(self, crypto_layer):
+        montgomery = crypto_layer.cdo(v.OMM_HM_PATH)
+        bd = montgomery.find_property(v.BEHAVIORAL_DESCRIPTION)
+        assert bd.description.name == "MontgomeryModMul"
+
+    def test_adder_leaves(self, crypto_layer):
+        adder = crypto_layer.cdo("Operator.LogicArithmetic.Arithmetic.Adder")
+        assert {c.name for c in adder.children} == \
+            {"Ripple-Carry", "Carry-Look-Ahead", "Carry-Save"}
+
+
+class TestCores:
+    def test_population(self, crypto_layer):
+        assert len(crypto_layer.cores_under(v.OMM_HM_PATH)) == 30
+        assert len(crypto_layer.cores_under(v.OMM_HB_PATH)) == 10
+        assert len(crypto_layer.cores_under(v.OMM_S_PATH)) == 10
+
+    def test_core_positions_documented(self, crypto_layer):
+        core = crypto_layer.libraries.get("#2_64")
+        assert core.property_value(v.RADIX) == 2
+        assert core.property_value(v.ADDER_IMPL) == "Carry-Save"
+        assert core.property_value(v.SLICE_WIDTH) == 64
+        assert core.property_value(v.NUM_SLICES) == 12
+        assert core.property_value(v.MODULO_IS_ODD) == v.GUARANTEED
+
+    def test_brickell_cores_do_not_claim_odd(self, crypto_layer):
+        core = crypto_layer.libraries.get("#8_64")
+        assert not core.has_property(v.MODULO_IS_ODD)
+
+    def test_latency_requirement_mirrored_as_merit(self, crypto_layer):
+        core = crypto_layer.libraries.get("#2_64")
+        assert core.merit(v.LATENCY_US) == pytest.approx(
+            core.merit("delay_us"))
+
+    def test_views_carry_synthesized_design(self, crypto_layer):
+        design = crypto_layer.libraries.get("#5_16").view("rt")
+        assert design.spec.radix == 4
+
+    def test_slice_widths_tile_eol(self):
+        cores = hardware_cores(96)  # only 8/16/32 divide 96
+        widths = {c.property_value(v.SLICE_WIDTH) for c in cores}
+        assert widths == {8, 16, 32}
+
+    def test_multi_technology(self):
+        cores = hardware_cores(64, technologies=("0.35u", "0.7u"))
+        assert len(cores) == 2 * 8 * 4  # widths 8/16/32/64
+        assert any(c.name.endswith("/0.7u") for c in cores)
+
+    def test_software_core_properties(self):
+        cores = software_cores(1024)
+        assert len(cores) == 10
+        cios_asm = next(c for c in cores if c.name == "CIOS ASM")
+        assert cios_asm.property_value(v.LANGUAGE) == "ASM"
+        assert cios_asm.merit("delay_us") == pytest.approx(799, rel=0.05)
+
+
+class TestCaseStudy:
+    """The full Sec 5 walk (Figs 6-12)."""
+
+    def test_requirements_prune_software(self, session):
+        infos = {i.option: i for i in
+                 session.available_options(v.IMPLEMENTATION_STYLE)}
+        assert infos[v.HARDWARE].candidate_count == 40
+        assert infos[v.SOFTWARE].candidate_count == 0
+
+    def test_descend_to_montgomery(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        assert session.current_cdo.qualified_name == v.OMM_HM_PATH
+        assert len(session.candidates()) == 30
+
+    def test_cc2_derives_cycles(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        assert session.derived_values[v.LATENCY_CYCLES] == \
+            pytest.approx(2 * 768 / 2 + 1)
+
+    def test_cc3_estimator_invoked(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        assert session.derived_values[v.MAX_COMB_DELAY] > 0
+
+    def test_cc4_cc5_eliminations(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        eliminated_adders = {o for o, _ in
+                             session.eliminations_for(v.ADDER_IMPL)}
+        assert eliminated_adders == {"Carry-Look-Ahead", "Ripple-Carry"}
+        eliminated_mults = {o for o, _ in
+                            session.eliminations_for(v.MULT_IMPL)}
+        assert eliminated_mults == {"Array-Multiplier"}
+
+    def test_eliminated_option_rejected(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        with pytest.raises(ConstraintViolation, match="CC4"):
+            session.decide(v.ADDER_IMPL, "Carry-Look-Ahead")
+
+    def test_csa_then_slices(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        session.decide(v.ADDER_IMPL, "Carry-Save")
+        session.decide(v.SLICE_WIDTH, 64)
+        names = sorted(c.name for c in session.candidates())
+        assert names == ["#2_64", "#4_64", "#5_64"]
+        assert session.derived_values[v.NUM_SLICES] == 12
+
+    def test_cc6_rejects_non_tiling_width(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        with pytest.raises(ConstraintViolation, match="CC6"):
+            session.decide(v.SLICE_WIDTH, 512)  # 512 does not divide 768
+
+    def test_all_survivors_meet_latency_budget(self, session):
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        for core in session.candidates():
+            assert core.merit("delay_us") <= 8.0
+
+
+class TestCc1:
+    def test_montgomery_blocked_without_odd_guarantee(self, crypto_layer):
+        session = ExplorationSession(crypto_layer, v.OMM_PATH)
+        session.set_requirement(v.EOL, 768)
+        session.set_requirement(v.MODULO_IS_ODD, v.NOT_GUARANTEED)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        with pytest.raises(ConstraintViolation, match="CC1"):
+            session.decide(v.ALGORITHM, v.MONTGOMERY)
+        session.decide(v.ALGORITHM, v.BRICKELL)
+        assert len(session.candidates()) == 10
+
+    def test_algorithm_gated_on_modulo_requirement(self, crypto_layer):
+        session = ExplorationSession(crypto_layer, v.OMM_PATH)
+        session.set_requirement(v.EOL, 768)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        with pytest.raises(SessionError, match="ordered after"):
+            session.decide(v.ALGORITHM, v.MONTGOMERY)
+
+
+class TestLayerVariants:
+    def test_minimal_layer(self):
+        layer = build_crypto_layer(eol=64, include_software=False,
+                                   include_arithmetic=False,
+                                   include_exponentiators=False)
+        assert len(layer.libraries.libraries) == 1
+        assert len(layer.libraries) == 8 * 4  # widths 8..64
+
+    def test_exponentiator_cores_indexed(self, crypto_layer):
+        exps = crypto_layer.cores_under(v.OME_PATH)
+        assert len(exps) == 4
+        best = min(exps, key=lambda c: c.merit("delay_us"))
+        assert best.property_value(v.EXP_SCHEDULE) == "M-ary"
+        # m-ary trades table area for fewer multiplications.
+        binary = next(c for c in exps
+                      if c.name == "modexp_bin_#5_64")
+        assert best.merit("delay_us") < binary.merit("delay_us")
+        assert best.merit("area") > binary.merit("area")
+
+    def test_constraints_optional(self):
+        layer = build_crypto_layer(eol=64, include_constraints=False,
+                                   include_software=False,
+                                   include_arithmetic=False)
+        session = ExplorationSession(layer, v.OMM_PATH)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        # Without CC1's gating, Algorithm is immediately addressable.
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+
+    def test_arithmetic_cells_indexed(self, crypto_layer):
+        adders = crypto_layer.cores_under(
+            "Operator.LogicArithmetic.Arithmetic.Adder")
+        assert len(adders) == 12  # 3 styles x 4 widths

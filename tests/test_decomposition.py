@@ -1,0 +1,124 @@
+"""Behavioral decomposition (DI7): sub-explorations on operator CDOs."""
+
+import pytest
+
+from repro.core.decomposition import plan_decomposition
+from repro.domains.crypto import case_study_session
+from repro.domains.crypto import vocab as v
+from repro.errors import SessionError
+
+
+@pytest.fixture()
+def montgomery_session(crypto_layer):
+    session = case_study_session(crypto_layer)
+    session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+    session.decide(v.ALGORITHM, v.MONTGOMERY)
+    return session
+
+
+class TestPlanning:
+    def test_tasks_cover_loop_operators(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        symbols = sorted(task.instance.symbol for task in plan.tasks)
+        assert symbols == ["*", "*", "+", "+"]
+        for task in plan.tasks:
+            assert len(task.candidates) == 1
+
+    def test_adder_tasks_map_to_adder_cdo(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        add_task = next(t for t in plan.tasks if t.instance.symbol == "+")
+        assert add_task.candidates[0].qualified_name == \
+            "Operator.LogicArithmetic.Arithmetic.Adder"
+        mul_task = next(t for t in plan.tasks if t.instance.symbol == "*")
+        assert mul_task.candidates[0].qualified_name == \
+            "Operator.LogicArithmetic.Arithmetic.Multiplier"
+
+    def test_line_filter(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION)
+        all_lines = {task.instance.line for task in plan.tasks}
+        assert all_lines >= {3, 4, 6}
+
+    def test_wrong_property_kind(self, montgomery_session):
+        with pytest.raises(SessionError, match="not a behavioral"):
+            plan_decomposition(montgomery_session, v.RADIX)
+
+    def test_task_lookup(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        assert task.instance.symbol == "+"
+        with pytest.raises(SessionError):
+            plan.task("^@line9#0")
+
+    def test_describe(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        text = plan.describe()
+        assert "MontgomeryModMul" in text and "pending" in text
+
+
+class TestSubExploration:
+    def test_open_starts_child_at_operator_cdo(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        child = plan.open(task)
+        assert child.current_cdo.qualified_name == \
+            "Operator.LogicArithmetic.Arithmetic.Adder"
+        assert task.child is child
+
+    def test_requirements_carried_with_override(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        child = plan.open(task, requirement_overrides={v.EOL: 64})
+        assert child.requirement_values[v.EOL] == 64
+        child.decide("AdderStyle", "Carry-Save")
+        # Macro-cells for 64-bit carry-save adders back the decision.
+        assert any(c.property_value(v.EOL) == 64
+                   for c in child.candidates())
+
+    def test_conclusion_requires_specialization(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        with pytest.raises(SessionError, match="not been opened"):
+            plan.conclusion(task)
+        plan.open(task)
+        with pytest.raises(SessionError, match="not\\s+specialized"):
+            plan.conclusion(task)
+
+    def test_write_back_folds_into_parent(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        child = plan.open(task)
+        child.decide("AdderStyle", "Carry-Save")
+        plan.write_back(task, v.ADDER_IMPL)
+        assert montgomery_session.decisions[v.ADDER_IMPL] == "Carry-Save"
+        names = {c.name for c in montgomery_session.candidates()}
+        assert names == {f"#{n}_{w}" for n in (2, 4, 5)
+                         for w in (8, 16, 32, 64, 128)}
+
+    def test_write_back_respects_parent_constraints(self,
+                                                    montgomery_session):
+        """A CLA conclusion violates CC4 in the parent — the layer's
+        consistency net also covers decomposition results."""
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        child = plan.open(task)
+        child.decide("AdderStyle", "Carry-Look-Ahead")
+        from repro.errors import ConstraintViolation
+        with pytest.raises(ConstraintViolation, match="CC4"):
+            plan.write_back(task, v.ADDER_IMPL)
+
+    def test_open_rejects_foreign_cdo(self, montgomery_session):
+        plan = plan_decomposition(montgomery_session, v.DECOMPOSITION,
+                                  lines=(4,))
+        task = plan.task("+@line4#0")
+        wrong = montgomery_session.layer.cdo(v.OMM_PATH)
+        with pytest.raises(SessionError, match="not a"):
+            plan.open(task, cdo=wrong)

@@ -1,0 +1,114 @@
+"""Design objects: property values, figures of merit, views."""
+
+import pytest
+
+from repro.core.designobject import LEVELS, DesignObject
+from repro.errors import LibraryError
+
+
+def make_core(**overrides):
+    kwargs = dict(
+        name="core1", cdo_name="A.B",
+        properties={"Radix": 2},
+        merits={"area": 100.0, "latency_ns": 5},
+        doc="a test core",
+    )
+    kwargs.update(overrides)
+    return DesignObject(**kwargs)
+
+
+class TestConstruction:
+    def test_requires_name_and_cdo(self):
+        with pytest.raises(LibraryError):
+            DesignObject("", "A")
+        with pytest.raises(LibraryError):
+            DesignObject("x", "")
+
+    def test_merits_coerced_to_float(self):
+        core = make_core()
+        assert core.merit("latency_ns") == 5.0
+        assert isinstance(core.merit("latency_ns"), float)
+
+    def test_non_numeric_merit_rejected(self):
+        with pytest.raises(LibraryError):
+            make_core(merits={"area": "big"})
+
+    def test_bool_merit_rejected(self):
+        with pytest.raises(LibraryError):
+            make_core(merits={"ok": True})
+
+    def test_unknown_view_level_rejected(self):
+        with pytest.raises(LibraryError):
+            make_core(views={"netlist": object()})
+
+
+class TestProperties:
+    def test_lookup_and_default(self):
+        core = make_core()
+        assert core.property_value("Radix") == 2
+        assert core.property_value("Missing") is None
+        assert core.property_value("Missing", 7) == 7
+        assert core.has_property("Radix")
+        assert not core.has_property("Missing")
+
+    def test_set_property(self):
+        core = make_core()
+        core.set_property("New", "x")
+        assert core.property_value("New") == "x"
+
+    def test_properties_copy_is_detached(self):
+        core = make_core()
+        snapshot = core.properties
+        snapshot["Radix"] = 99
+        assert core.property_value("Radix") == 2
+
+
+class TestMerits:
+    def test_missing_merit_raises_with_available(self):
+        core = make_core()
+        with pytest.raises(LibraryError, match="available"):
+            core.merit("power_mw")
+
+    def test_merit_or_none(self):
+        core = make_core()
+        assert core.merit_or_none("area") == 100.0
+        assert core.merit_or_none("nope") is None
+
+    def test_evaluation_point(self):
+        core = make_core()
+        assert core.evaluation_point(("area", "latency_ns")) == (100.0, 5.0)
+
+    def test_evaluation_point_missing_metric(self):
+        with pytest.raises(LibraryError):
+            make_core().evaluation_point(("power_mw",))
+
+
+class TestViews:
+    def test_view_round_trip(self):
+        payload = {"rtl": "..."}
+        core = make_core(views={"rt": payload})
+        assert core.view("rt") is payload
+        assert core.has_view("rt")
+        assert not core.has_view("logic")
+        assert core.view_levels == ("rt",)
+
+    def test_set_view_validates_level(self):
+        core = make_core()
+        with pytest.raises(LibraryError):
+            core.set_view("bogus", object())
+        core.set_view("physical", "gds")
+        assert core.view("physical") == "gds"
+
+    def test_view_levels_ordered_canonically(self):
+        core = make_core(views={"physical": 1, "algorithm": 2})
+        assert core.view_levels == ("algorithm", "physical")
+        assert LEVELS.index("algorithm") < LEVELS.index("physical")
+
+    def test_missing_view_raises(self):
+        with pytest.raises(LibraryError):
+            make_core().view("logic")
+
+
+def test_describe_mentions_everything():
+    text = make_core().describe()
+    assert "core1" in text and "A.B" in text and "Radix" in text

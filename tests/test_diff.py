@@ -1,0 +1,105 @@
+"""Layer diffing — the open-layer evolution story."""
+
+import pytest
+
+from repro.core import (
+    ClassOfDesignObjects,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    IntRange,
+    Requirement,
+    ReuseLibrary,
+    diff_layers,
+)
+
+from conftest import build_widget_layer
+
+
+class TestIdenticalLayers:
+    def test_same_construction_is_empty_diff(self):
+        diff = diff_layers(build_widget_layer(), build_widget_layer())
+        assert diff.is_empty
+        assert "identical" in diff.describe()
+
+
+class TestHierarchyChanges:
+    def test_added_cdo_detected(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        hw = new.cdo("Widget.hw")
+        hw.add_property(DesignIssue(
+            "Voltage", EnumDomain(["1v8", "3v3"]), "supply voltage"))
+        diff = diff_layers(old, new)
+        assert diff.added_properties == ["Voltage@Widget.hw"]
+        assert not diff.added_cdos
+
+    def test_removed_property_detected(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        old.cdo("Widget").add_property(Requirement(
+            "Legacy", IntRange(0), "old requirement"))
+        diff = diff_layers(old, new)
+        assert diff.removed_properties == ["Legacy@Widget"]
+
+    def test_new_root_detected(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        extra = ClassOfDesignObjects("Gadget", "a second hierarchy")
+        new.add_root(extra)
+        diff = diff_layers(old, new)
+        assert diff.added_cdos == ["Gadget"]
+
+
+class TestLibraryChanges:
+    def test_added_and_removed_cores(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        new.libraries.library("lib-a").add(DesignObject(
+            "h4", "Widget.hw", {"Tech": "t35"}, {"area": 50.0}))
+        old.libraries.library("lib-a").add(DesignObject(
+            "legacy", "Widget.hw", {}, {"area": 1.0}))
+        diff = diff_layers(old, new)
+        assert diff.added_cores == ["lib-a/h4"]
+        assert diff.removed_cores == ["lib-a/legacy"]
+
+    def test_merit_drift_detected(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        new.libraries.get("h1").set_merit("area", 120.0)
+        diff = diff_layers(old, new)
+        deltas = {(d.core, d.metric): d for d in diff.merit_deltas}
+        delta = deltas[("lib-a/h1", "area")]
+        assert delta.before == 100.0 and delta.after == 120.0
+        assert delta.relative == pytest.approx(0.2)
+        assert "+20.0%" in delta.describe()
+
+    def test_merit_tolerance(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        new.libraries.get("h1").set_merit("area", 100.0000001)
+        assert diff_layers(old, new, merit_tolerance=1e-6).is_empty
+        assert not diff_layers(old, new, merit_tolerance=1e-12).is_empty
+
+    def test_repositioned_core(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        new.libraries.get("h1").set_property("Tech", "t70")
+        diff = diff_layers(old, new)
+        assert diff.moved_cores == ["lib-a/h1"]
+
+    def test_new_merit_appears(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        new.libraries.get("h1").set_merit("power_mw", 5.0)
+        diff = diff_layers(old, new)
+        assert any(d.metric == "power_mw" for d in diff.merit_deltas)
+
+    def test_describe_lists_changes(self):
+        old = build_widget_layer()
+        new = build_widget_layer()
+        new.libraries.library("lib-a").add(DesignObject(
+            "h9", "Widget.hw", {}, {"area": 9.0}))
+        text = diff_layers(old, new).describe()
+        assert "cores added: lib-a/h9" in text

@@ -1,0 +1,163 @@
+"""Early estimation tools: delay ranking, area, power, CC adapters."""
+
+import pytest
+
+from repro.behavior.ir import Assign, Behavior, BinOp, Const, For, Var
+from repro.behavior.listings import (
+    brickell_behavior,
+    montgomery_behavior,
+    pencil_behavior,
+)
+from repro.estimation.area import BehaviorAreaEstimator
+from repro.estimation.delay import BehaviorDelayEstimator
+from repro.estimation.models import OperatorCost, OperatorCostModel
+from repro.estimation.power import BehaviorPowerEstimator
+from repro.estimation.tools import (
+    AREA_TOOL,
+    DELAY_TOOL,
+    POWER_TOOL,
+    area_tool,
+    delay_tool,
+    power_tool,
+)
+from repro.errors import EstimationError
+
+
+class TestCostModel:
+    def test_asymptotics(self):
+        small = OperatorCostModel(8)
+        large = OperatorCostModel(64)
+        # add delay grows logarithmically, multiplier area quadratically
+        assert large.delay("+") > small.delay("+")
+        assert large.area("*") / small.area("*") == pytest.approx(64.0)
+
+    def test_unknown_symbol_gets_fallback(self):
+        model = OperatorCostModel(32)
+        assert model.cost("weird-op").delay > 0
+
+    def test_override(self):
+        model = OperatorCostModel(
+            32, overrides={"+": OperatorCost(99.0, 1.0, 1.0)})
+        assert model.delay("+") == 99.0
+
+    def test_bad_width(self):
+        with pytest.raises(EstimationError):
+            OperatorCostModel(0)
+
+
+class TestDelayEstimator:
+    def test_montgomery_ranks_best(self):
+        estimator = BehaviorDelayEstimator(768)
+        ranked = estimator.rank([pencil_behavior(), montgomery_behavior(),
+                                 brickell_behavior()])
+        assert ranked[0].behavior_name == "MontgomeryModMul"
+
+    def test_pencil_beats_nothing_at_width(self):
+        estimator = BehaviorDelayEstimator(768)
+        pencil = estimator.estimate(pencil_behavior())
+        montgomery = estimator.estimate(montgomery_behavior())
+        assert pencil.max_combinational_delay > \
+            10 * montgomery.max_combinational_delay
+
+    def test_chain_reported(self):
+        estimate = BehaviorDelayEstimator(64).estimate(montgomery_behavior())
+        assert estimate.critical_chain  # non-empty operator chain
+
+    def test_rejects_non_behavior(self):
+        with pytest.raises(EstimationError):
+            BehaviorDelayEstimator().estimate("nope")
+
+    def test_narrow_ops_cost_less(self):
+        wide = Behavior("wide", [Assign(
+            "x", BinOp("mod", Var("A"), Var("M")), line=1)])
+        narrow = Behavior("narrow", [Assign(
+            "x", BinOp("mod", Var("A"), Var("r")), line=1)])
+        estimator = BehaviorDelayEstimator(512)
+        assert estimator.estimate(narrow).max_combinational_delay < \
+            estimator.estimate(wide).max_combinational_delay
+
+    def test_estimate_deterministic(self):
+        estimator = BehaviorDelayEstimator(128)
+        first = estimator.estimate(montgomery_behavior())
+        second = estimator.estimate(montgomery_behavior())
+        assert first.max_combinational_delay == \
+            second.max_combinational_delay
+
+
+class TestAreaEstimator:
+    def behavior(self):
+        return Behavior("b", [
+            Assign("x", BinOp("+", Var("a"), Var("b")), line=1),
+            Assign("y", BinOp("+", Var("x"), Var("c")), line=2),
+            Assign("z", BinOp("*", Var("y"), Var("d")), line=3)])
+
+    def test_shared_cheaper_than_parallel(self):
+        shared = BehaviorAreaEstimator(32, shared=True)
+        parallel = BehaviorAreaEstimator(32, shared=False)
+        assert shared.estimate(self.behavior()).area < \
+            parallel.estimate(self.behavior()).area
+
+    def test_by_symbol_breakdown_sums(self):
+        estimate = BehaviorAreaEstimator(32).estimate(self.behavior())
+        assert sum(estimate.by_symbol.values()) == pytest.approx(
+            estimate.area)
+
+    def test_rejects_non_behavior(self):
+        with pytest.raises(EstimationError):
+            BehaviorAreaEstimator().estimate(42)
+
+
+class TestPowerEstimator:
+    def looped(self):
+        return Behavior("b", [For(
+            "i", Const(0), BinOp("-", Var("n"), Const(1)),
+            [Assign("s", BinOp("*", Var("s"), Var("i")), line=2)], line=1)])
+
+    def test_energy_scales_with_trip_count(self):
+        estimator = BehaviorPowerEstimator(32)
+        small = estimator.estimate(self.looped(), {"n": 10})
+        large = estimator.estimate(self.looped(), {"n": 1000})
+        assert large.energy_per_execution > 50 * small.energy_per_execution
+
+    def test_power_is_energy_over_time(self):
+        estimator = BehaviorPowerEstimator(32)
+        estimate = estimator.estimate(self.looped(), {"n": 10},
+                                      execution_time=2.0)
+        assert estimate.average_power == pytest.approx(
+            estimate.energy_per_execution / 2.0)
+
+    def test_activity_factor_validated(self):
+        with pytest.raises(EstimationError):
+            BehaviorPowerEstimator(32, activity_factor=0.0)
+
+    def test_execution_time_validated(self):
+        with pytest.raises(EstimationError):
+            BehaviorPowerEstimator(32).estimate(self.looped(), {"n": 1},
+                                                execution_time=0.0)
+
+
+class TestToolAdapters:
+    def test_delay_tool_finds_behavior_binding(self):
+        value = delay_tool({"B": montgomery_behavior(), "EOL": 768})
+        assert value > 0
+
+    def test_delay_tool_uses_eol_width(self):
+        narrow = delay_tool({"B": pencil_behavior(), "EOL": 8})
+        wide = delay_tool({"B": pencil_behavior(), "EOL": 1024})
+        assert wide > narrow
+
+    def test_missing_behavior(self):
+        with pytest.raises(EstimationError, match="no behavioral"):
+            delay_tool({"EOL": 768})
+
+    def test_area_and_power_tools(self):
+        bindings = {"B": montgomery_behavior(), "EOL": 64, "n": 64}
+        assert area_tool(bindings) > 0
+        assert power_tool(bindings) > 0
+
+    def test_registration(self):
+        from repro.core import DesignSpaceLayer
+        from repro.estimation.tools import register_estimators
+        layer = DesignSpaceLayer("t", "test")
+        register_estimators(layer)
+        assert set(layer.tools) == {DELAY_TOOL, AREA_TOOL, POWER_TOOL}

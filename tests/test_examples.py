@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are the library's executable documentation; API drift that
+breaks them must fail the suite.  Each runs in a subprocess with the
+repository's interpreter and must exit cleanly while producing the
+landmark output lines asserted here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, substring its stdout must contain)
+CASES = [
+    ("quickstart.py", "Decided Structure=Systolic"),
+    ("crypto_coprocessor.py", "signature verified"),
+    ("idct_exploration.py", "purity 1.00"),
+    ("conceptual_design.py", "functional check passed"),
+    ("power_aware_exploration.py", "Pareto frontier"),
+    ("decomposition_walkthrough.py", "Written back"),
+]
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, \
+        f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name,landmark", CASES)
+def test_example_runs(name, landmark):
+    stdout = run_example(name)
+    assert landmark in stdout
+
+
+def test_every_example_is_covered():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _landmark in CASES}
+    assert shipped == covered, \
+        f"examples without smoke tests: {shipped - covered}"

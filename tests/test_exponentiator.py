@@ -1,0 +1,132 @@
+"""The modular exponentiation coprocessor model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.hw.exponentiator_hw import (
+    BINARY_SCHEDULE,
+    MARY_SCHEDULE,
+    ExponentiatorHW,
+    ExponentiatorSpec,
+    synthesize_exponentiator,
+)
+from repro.hw.synthesis import table1_spec
+
+
+def spec64(schedule=BINARY_SCHEDULE, window=4):
+    return ExponentiatorSpec(table1_spec(5, 32, 2), schedule, window)
+
+
+class TestSpecValidation:
+    def test_needs_montgomery_multiplier(self):
+        with pytest.raises(SynthesisError, match="Montgomery"):
+            ExponentiatorSpec(table1_spec(8, 32, 2))
+
+    def test_unknown_schedule(self):
+        with pytest.raises(SynthesisError):
+            ExponentiatorSpec(table1_spec(2, 32, 2), "Ladder")
+
+    def test_window_bounds(self):
+        with pytest.raises(SynthesisError):
+            ExponentiatorSpec(table1_spec(2, 32, 2), MARY_SCHEDULE,
+                              window_bits=1)
+
+
+class TestAnalyticalModel:
+    def test_binary_multiplication_count(self):
+        spec = spec64()
+        # bits squarings + bits/2 average multiplies + 2 conversions
+        assert spec.multiplication_count(64) == 64 + 32 + 2
+        assert spec.multiplication_count(64, average_case=False) == \
+            64 + 64 + 2
+
+    def test_mary_fewer_multiplications_for_long_exponents(self):
+        binary = spec64(BINARY_SCHEDULE)
+        mary = spec64(MARY_SCHEDULE, 4)
+        assert mary.multiplication_count(768) < \
+            binary.multiplication_count(768)
+
+    def test_mary_table_cost_dominates_short_exponents(self):
+        binary = spec64(BINARY_SCHEDULE)
+        mary = spec64(MARY_SCHEDULE, 6)
+        assert mary.multiplication_count(8) > \
+            binary.multiplication_count(8)
+
+    def test_cycles_and_latency(self):
+        spec = spec64()
+        per_mul = spec.multiplier.cycles(64) + 3
+        assert spec.cycles(64) == spec.multiplication_count(64) * per_mul
+        assert spec.latency_ns(64) == pytest.approx(
+            spec.cycles(64) * spec.multiplier.clock_ns())
+
+    def test_mary_pays_table_area(self):
+        assert spec64(MARY_SCHEDULE).area() > spec64(BINARY_SCHEDULE).area()
+
+    def test_exponent_bits_validated(self):
+        with pytest.raises(SynthesisError):
+            spec64().multiplication_count(0)
+
+
+class TestFunctionalSimulation:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=3, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_binary_matches_pow(self, modulus, exponent, base):
+        modulus |= 1
+        base %= modulus
+        run = ExponentiatorHW(spec64()).simulate(base, exponent, modulus)
+        assert run.result == pow(base, exponent, modulus)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=3, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=2, max_value=5))
+    def test_mary_matches_pow(self, modulus, exponent, base, window):
+        modulus |= 1
+        base %= modulus
+        run = ExponentiatorHW(spec64(MARY_SCHEDULE, window)).simulate(
+            base, exponent, modulus)
+        assert run.result == pow(base, exponent, modulus)
+
+    def test_simulated_count_matches_model_scale(self):
+        rng = random.Random(9)
+        spec = spec64()
+        hw = ExponentiatorHW(spec)
+        exponent = rng.getrandbits(64) | (1 << 63)
+        run = hw.simulate(12345, exponent, (1 << 63) | 1)
+        model = spec.multiplication_count(64)
+        assert abs(run.multiplications - model) <= 10
+
+    def test_cycles_accumulate_per_multiplication(self):
+        spec = spec64()
+        hw = ExponentiatorHW(spec)
+        run = hw.simulate(7, 5, (1 << 63) | 1)
+        per_mul = spec.multiplier.cycles(64) + 3
+        assert run.cycles == run.multiplications * per_mul
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(SynthesisError):
+            ExponentiatorHW(spec64()).simulate(2, -1, 11)
+
+    def test_exponent_zero(self):
+        run = ExponentiatorHW(spec64()).simulate(7, 0, (1 << 63) | 1)
+        assert run.result == 1
+
+    def test_latency_helper(self):
+        run = ExponentiatorHW(spec64()).simulate(7, 3, (1 << 63) | 1)
+        assert run.latency_ns(2.0) == pytest.approx(run.cycles * 2.0)
+
+
+class TestSynthesisWrapper:
+    def test_merit_dictionary(self):
+        spec, merits = synthesize_exponentiator(
+            table1_spec(5, 64, 12), exponent_bits=768)
+        assert merits["latency_ns"] == pytest.approx(
+            merits["cycles"] * merits["clock_ns"])
+        assert merits["delay_us"] > 1000  # a full 768-bit exponentiation
+        assert merits["area"] > spec.multiplier.area()

@@ -1,0 +1,211 @@
+"""Hardware components: technology, carry-save, adders, multipliers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.hw.adders import (
+    CLA,
+    CSA,
+    RIPPLE,
+    adder_cost,
+    cla_add,
+    cla_cost,
+    csa_cost,
+    ripple_add,
+    ripple_cost,
+)
+from repro.hw.carrysave import CarrySaveAccumulator, compress32
+from repro.hw.multipliers import (
+    MUL,
+    MUX,
+    NONE,
+    array_multiplier_cost,
+    digit_product,
+    multiplier_cost,
+    mux_multiplier_cost,
+)
+from repro.hw.tech import TECH_035, TECH_07, technologies, technology
+
+
+class TestTechnology:
+    def test_lookup(self):
+        assert technology("0.35u") is TECH_035
+        assert technology("0.7u") is TECH_07
+        with pytest.raises(SynthesisError):
+            technology("90nm")
+
+    def test_scaling_direction(self):
+        assert TECH_07.gate_delay_ns > TECH_035.gate_delay_ns
+        assert TECH_07.area_unit > TECH_035.area_unit
+
+    def test_clock_composition(self):
+        clock = TECH_035.clock_ns(levels=6, width_bits=8)
+        assert clock == pytest.approx(1.0 + 6 * 0.22 + 8 * 0.005)
+
+    def test_clock_validation(self):
+        with pytest.raises(SynthesisError):
+            TECH_035.clock_ns(-1, 8)
+        with pytest.raises(SynthesisError):
+            TECH_035.clock_ns(4, 0)
+
+    def test_area_and_power(self):
+        assert TECH_035.area(100) == pytest.approx(1170.0)
+        assert TECH_035.power_mw(1000, 2.0) > 0
+        with pytest.raises(SynthesisError):
+            TECH_035.area(-1)
+        with pytest.raises(SynthesisError):
+            TECH_035.power_mw(10, 0.0)
+
+    def test_registry_complete(self):
+        assert set(technologies()) == {"0.35u", "0.5u", "0.7u"}
+
+
+class TestCarrySave:
+    @given(st.integers(min_value=0, max_value=1 << 256),
+           st.integers(min_value=0, max_value=1 << 256),
+           st.integers(min_value=0, max_value=1 << 256))
+    def test_compress_preserves_sum(self, a, b, c):
+        s, cy = compress32(a, b, c)
+        assert s + cy == a + b + c
+
+    def test_compress_rejects_negative(self):
+        with pytest.raises(SynthesisError):
+            compress32(-1, 0, 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 128),
+                    min_size=1, max_size=16))
+    def test_accumulator_invariant(self, addends):
+        acc = CarrySaveAccumulator()
+        for addend in addends:
+            acc.add(addend)
+        assert acc.value == sum(addends)
+        assert acc.compressions == len(addends)
+
+    def test_shift_right_exact(self):
+        acc = CarrySaveAccumulator()
+        acc.add(0b110100)
+        acc.add(0b001100)
+        acc.shift_right(2)  # total 0b1000000 = 64 -> 16
+        assert acc.value == 16
+
+    def test_shift_right_truncation_guard(self):
+        acc = CarrySaveAccumulator()
+        acc.add(5)
+        with pytest.raises(SynthesisError, match="truncate"):
+            acc.shift_right(1)
+
+    def test_low_bits_exact_across_words(self):
+        acc = CarrySaveAccumulator()
+        acc.add(0b0111)
+        acc.add(0b0001)  # value 8: low 3 bits are 0
+        assert acc.low_bits(3) == 0
+        assert acc.value % 8 == 0
+
+    def test_resolve_collapses(self):
+        acc = CarrySaveAccumulator()
+        acc.add(7)
+        acc.add(9)
+        assert acc.resolve() == 16
+        assert acc.carry_word == 0
+        assert acc.value == 16
+
+    def test_negative_rejected(self):
+        acc = CarrySaveAccumulator()
+        with pytest.raises(SynthesisError):
+            acc.add(-1)
+        with pytest.raises(SynthesisError):
+            acc.shift_right(-1)
+
+
+class TestAdderCosts:
+    def test_csa_delay_width_independent(self):
+        assert csa_cost(8).delay_levels == csa_cost(256).delay_levels
+
+    def test_cla_grows_logarithmically(self):
+        d8, d64, d128 = (cla_cost(w).delay_levels for w in (8, 64, 128))
+        assert d8 < d64 < d128
+        assert d128 - d64 == pytest.approx(4.0)  # 4*log2 slope
+
+    def test_ripple_linear(self):
+        assert ripple_cost(64).delay_levels == pytest.approx(128.0)
+
+    def test_ordering_at_width(self):
+        w = 64
+        assert csa_cost(w).delay_levels < cla_cost(w).delay_levels \
+            < ripple_cost(w).delay_levels
+        assert ripple_cost(w).area_gates < cla_cost(w).area_gates
+
+    def test_dispatch(self):
+        assert adder_cost(CSA, 8).style == CSA
+        assert adder_cost(CLA, 8).style == CLA
+        assert adder_cost(RIPPLE, 8).style == RIPPLE
+        with pytest.raises(SynthesisError):
+            adder_cost("Kogge-Stone", 8)
+
+    def test_width_validated(self):
+        with pytest.raises(SynthesisError):
+            cla_cost(0)
+
+
+class TestFunctionalAdders:
+    @given(st.integers(min_value=0, max_value=1 << 64),
+           st.integers(min_value=0, max_value=1 << 64),
+           st.integers(min_value=0, max_value=1))
+    def test_ripple_add_matches_int(self, a, b, carry):
+        total, carry_out = ripple_add(a, b, carry)
+        width = max(a.bit_length(), b.bit_length(), 1)
+        expect = a + b + carry
+        assert total | (carry_out << width) == expect or \
+            total + (carry_out << width) == expect
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_cla_add_matches_int(self, a, b):
+        total, carry = cla_add(a, b, 32)
+        assert total + (carry << 32) == a + b
+
+    def test_functional_validation(self):
+        with pytest.raises(SynthesisError):
+            ripple_add(-1, 0)
+        with pytest.raises(SynthesisError):
+            cla_add(1, -2, 8)
+
+
+class TestMultiplierCosts:
+    def test_radix2_is_and_row(self):
+        assert array_multiplier_cost(2, 64).delay_levels == 1.0
+        assert mux_multiplier_cost(2, 64).delay_levels == 1.0
+
+    def test_mux_faster_than_array_radix4(self):
+        assert mux_multiplier_cost(4, 64).delay_levels < \
+            array_multiplier_cost(4, 64).delay_levels
+        assert mux_multiplier_cost(4, 64).area_gates < \
+            array_multiplier_cost(4, 64).area_gates
+
+    def test_none_only_radix2(self):
+        assert multiplier_cost(NONE, 2, 8).area_gates == 8.0
+        with pytest.raises(SynthesisError):
+            multiplier_cost(NONE, 4, 8)
+
+    def test_radix_validated(self):
+        with pytest.raises(SynthesisError):
+            array_multiplier_cost(3, 8)
+        with pytest.raises(SynthesisError):
+            mux_multiplier_cost(1, 8)
+
+    def test_dispatch_unknown(self):
+        with pytest.raises(SynthesisError):
+            multiplier_cost("Booth", 4, 8)
+
+    @given(st.sampled_from([2, 4, 8, 16]),
+           st.integers(min_value=0, max_value=1 << 40))
+    def test_digit_product(self, radix, operand):
+        digit = radix - 1
+        assert digit_product(digit, operand, radix) == digit * operand
+
+    def test_digit_product_range_checked(self):
+        with pytest.raises(SynthesisError):
+            digit_product(4, 10, 4)
+        with pytest.raises(SynthesisError):
+            digit_product(1, -1, 4)

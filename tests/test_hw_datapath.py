@@ -1,0 +1,140 @@
+"""Datapath specs: validation, timing/area composition, cycle model."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.adders import CLA, CSA
+from repro.hw.datapath import BRICKELL, MONTGOMERY, DatapathSpec, spec_for_eol
+from repro.hw.multipliers import MUL, MUX, NONE
+
+
+def spec(**overrides):
+    kwargs = dict(algorithm=MONTGOMERY, radix=2, adder_style=CSA,
+                  multiplier_style=NONE, slice_width=64, num_slices=1)
+    kwargs.update(overrides)
+    return DatapathSpec(**kwargs)
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(SynthesisError):
+            spec(algorithm="Karatsuba")
+
+    def test_radix_power_of_two(self):
+        with pytest.raises(SynthesisError):
+            spec(radix=3)
+
+    def test_radix2_needs_no_multiplier(self):
+        with pytest.raises(SynthesisError):
+            spec(radix=2, multiplier_style=MUL)
+
+    def test_high_radix_needs_multiplier(self):
+        with pytest.raises(SynthesisError):
+            spec(radix=4, multiplier_style=NONE)
+
+    def test_geometry_positive(self):
+        with pytest.raises(SynthesisError):
+            spec(slice_width=0)
+        with pytest.raises(SynthesisError):
+            spec(num_slices=0)
+
+    def test_unknown_technology(self):
+        with pytest.raises(SynthesisError):
+            spec(technology_name="7nm")
+
+    def test_label(self):
+        assert spec().label() == "Mr2CSA_64x1"
+
+
+class TestTiming:
+    def test_csa_clock_nearly_width_independent(self):
+        narrow = spec(slice_width=8).clock_ns()
+        wide = spec(slice_width=128).clock_ns()
+        assert wide - narrow < 1.0  # only the wire term grows
+
+    def test_cla_clock_grows_with_width(self):
+        narrow = spec(adder_style=CLA, slice_width=8).clock_ns()
+        wide = spec(adder_style=CLA, slice_width=128).clock_ns()
+        assert wide > narrow + 2.0
+
+    def test_csa_faster_clock_than_cla(self):
+        for width in (8, 32, 128):
+            assert spec(slice_width=width).clock_ns() < \
+                spec(adder_style=CLA, slice_width=width).clock_ns()
+
+    def test_mux_faster_than_mul(self):
+        mux = spec(radix=4, multiplier_style=MUX).clock_ns()
+        mul = spec(radix=4, multiplier_style=MUL).clock_ns()
+        assert mux < mul
+
+    def test_brickell_slower_clock(self):
+        assert spec(algorithm=BRICKELL).clock_ns() > spec().clock_ns()
+
+    def test_technology_scales_clock(self):
+        assert spec(technology_name="0.7u").clock_ns() > \
+            spec(technology_name="0.35u").clock_ns()
+
+
+class TestCycles:
+    def test_montgomery_radix2_cycles(self):
+        # digits + 1 guard + 2 CSA conversion, single slice
+        assert spec().cycles(64) == 64 + 1 + 2
+
+    def test_cla_has_no_conversion_cycles(self):
+        assert spec(adder_style=CLA).cycles(64) == 65
+
+    def test_radix4_halves_iterations(self):
+        quad = spec(radix=4, multiplier_style=MUX)
+        assert quad.iterations(64) == 33
+
+    def test_slices_add_skew(self):
+        sliced = spec(num_slices=12)
+        assert sliced.cycles(768) == 769 + 11 + 2
+
+    def test_brickell_overhead(self):
+        assert spec(algorithm=BRICKELL, adder_style=CLA).cycles(64) == 64 + 10
+
+    def test_latency_is_cycles_times_clock(self):
+        s = spec()
+        assert s.latency_ns(64) == pytest.approx(
+            s.cycles(64) * s.clock_ns())
+
+    def test_eol_validated(self):
+        with pytest.raises(SynthesisError):
+            spec().iterations(0)
+
+
+class TestArea:
+    def test_area_grows_with_width(self):
+        assert spec(slice_width=128).area() > spec(slice_width=64).area()
+
+    def test_area_grows_with_slices(self):
+        assert spec(num_slices=4).area() > 3 * spec().area() * 0.9
+
+    def test_csa_bigger_than_cla(self):
+        assert spec().area() > spec(adder_style=CLA).area()
+
+    def test_mul_bigger_than_mux(self):
+        assert spec(radix=4, multiplier_style=MUL).area() > \
+            spec(radix=4, multiplier_style=MUX).area()
+
+    def test_brickell_bigger_than_montgomery(self):
+        assert spec(algorithm=BRICKELL).area() > spec().area()
+
+    def test_technology_scales_area(self):
+        assert spec(technology_name="0.7u").area() > \
+            3 * spec(technology_name="0.35u").area()
+
+    def test_power_positive(self):
+        assert spec().power_mw() > 0
+
+
+class TestSpecForEol:
+    def test_reslicing(self):
+        wide = spec_for_eol(spec(), 768)
+        assert wide.num_slices == 12
+        assert wide.operand_width == 768
+
+    def test_rejects_non_tiling(self):
+        with pytest.raises(SynthesisError, match="multiple"):
+            spec_for_eol(spec(), 100)

@@ -1,0 +1,131 @@
+"""Floorplans and layout-style physics (the physical view / DI5)."""
+
+import pytest
+
+from repro.domains.crypto.cores import hardware_cores
+from repro.domains.crypto import vocab as v
+from repro.errors import SynthesisError
+from repro.hw.floorplan import (
+    FULL_CUSTOM,
+    GATE_ARRAY,
+    STANDARD_CELL,
+    Floorplan,
+    floorplan,
+    gate_area_um2,
+    layout_params,
+    layout_styles,
+    styled_area,
+    styled_clock_ns,
+)
+from repro.hw.tech import TECH_035, TECH_07
+
+
+class TestLayoutParams:
+    def test_all_styles_present(self):
+        assert set(layout_styles()) == {STANDARD_CELL, GATE_ARRAY,
+                                        FULL_CUSTOM}
+
+    def test_unknown_style(self):
+        with pytest.raises(SynthesisError):
+            layout_params("Sea-of-Gates")
+
+    def test_ordering(self):
+        std = layout_params(STANDARD_CELL)
+        ga = layout_params(GATE_ARRAY)
+        fc = layout_params(FULL_CUSTOM)
+        assert ga.utilization < std.utilization < fc.utilization
+        assert fc.delay_derate < std.delay_derate < ga.delay_derate
+
+
+class TestStyledFigures:
+    def test_standard_cell_is_neutral(self):
+        assert styled_area(1000.0, STANDARD_CELL) == 1000.0
+        assert styled_clock_ns(2.5, STANDARD_CELL) == 2.5
+
+    def test_gate_array_bigger_and_slower(self):
+        assert styled_area(1000.0, GATE_ARRAY) > 1000.0
+        assert styled_clock_ns(2.5, GATE_ARRAY) > 2.5
+
+    def test_full_custom_smaller_and_faster(self):
+        assert styled_area(1000.0, FULL_CUSTOM) < 1000.0
+        assert styled_clock_ns(2.5, FULL_CUSTOM) < 2.5
+
+
+class TestFloorplan:
+    def test_geometry_consistent(self):
+        plan = floorplan(3000.0, TECH_035)
+        assert plan.die_width_um * plan.die_height_um == \
+            pytest.approx(plan.placed_um2, rel=0.01)
+        assert plan.utilization == pytest.approx(0.85, abs=0.01)
+        assert 0.5 < plan.aspect_ratio < 2.0
+
+    def test_aspect_target(self):
+        wide = floorplan(5000.0, TECH_035, target_aspect=4.0)
+        square = floorplan(5000.0, TECH_035, target_aspect=1.0)
+        assert wide.aspect_ratio > square.aspect_ratio
+        assert wide.rows < square.rows
+
+    def test_technology_scales_die(self):
+        small = floorplan(3000.0, TECH_035)
+        large = floorplan(3000.0, TECH_07)
+        assert large.active_um2 == pytest.approx(4 * small.active_um2)
+
+    def test_gate_array_utilization(self):
+        plan = floorplan(3000.0, TECH_035, style=GATE_ARRAY)
+        assert plan.utilization == pytest.approx(0.60, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            floorplan(0.0, TECH_035)
+        with pytest.raises(SynthesisError):
+            floorplan(100.0, TECH_035, target_aspect=0.0)
+
+    def test_describe(self):
+        text = floorplan(3000.0, TECH_035).describe()
+        assert "rows" in text and "0.35u" in text
+
+    def test_gate_area_scaling(self):
+        assert gate_area_um2(TECH_07) == pytest.approx(
+            4 * gate_area_um2(TECH_035))
+
+
+class TestLayoutVariantCores:
+    def test_gate_array_variants_generated(self):
+        cores = hardware_cores(64, layout_styles=(STANDARD_CELL,
+                                                  GATE_ARRAY))
+        assert len(cores) == 2 * 8 * 4
+        std = next(c for c in cores if c.name == "#2_64")
+        ga = next(c for c in cores if c.name == "#2_64/ga")
+        assert ga.property_value(v.LAYOUT_STYLE) == GATE_ARRAY
+        assert ga.merit("area") > std.merit("area")
+        assert ga.merit("latency_ns") > std.merit("latency_ns")
+        assert ga.merit("cycles") == std.merit("cycles")
+
+    def test_physical_view_attached(self):
+        core = hardware_cores(64)[0]
+        plan = core.view("physical")
+        assert isinstance(plan, Floorplan)
+        assert plan.style == STANDARD_CELL
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(Exception):
+            hardware_cores(64, layout_styles=("Sea-of-Gates",))
+
+    def test_layout_style_filtering_in_session(self):
+        """DI5 now discriminates: deciding the layout style prunes to
+        that style's variants."""
+        from repro.core import (
+            DesignSpaceLayer, ExplorationSession, ReuseLibrary)
+        from repro.domains.crypto.hierarchy import build_operator_hierarchy
+        layer = DesignSpaceLayer("t", "layout style test layer")
+        layer.add_root(build_operator_hierarchy())
+        library = ReuseLibrary("mixed", "std-cell + gate-array variants")
+        library.add_all(hardware_cores(
+            64, layout_styles=(STANDARD_CELL, GATE_ARRAY)))
+        layer.attach_library(library)
+        session = ExplorationSession(layer, v.OMM_H_PATH)
+        session.decide(v.LAYOUT_STYLE, GATE_ARRAY)
+        survivors = session.candidates()
+        assert survivors
+        assert all(c.property_value(v.LAYOUT_STYLE) == GATE_ARRAY
+                   for c in survivors)

@@ -1,0 +1,89 @@
+"""Structural netlist elaboration (the cores' logic view)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hw.netlist import Component, Netlist, check_against_model, elaborate
+from repro.hw.synthesis import TABLE1_RECIPES, TABLE1_SLICE_WIDTHS, table1_spec
+
+
+class TestElaboration:
+    @pytest.mark.parametrize("number", sorted(TABLE1_RECIPES))
+    @pytest.mark.parametrize("width", (8, 64))
+    def test_structural_area_matches_analytical_model(self, number, width):
+        """The netlist and the datapath cost model are independent
+        encodings of the same microarchitecture — they must agree."""
+        netlist = elaborate(table1_spec(number, width))
+        check_against_model(netlist)
+
+    def test_multi_slice_replication(self):
+        single = elaborate(table1_spec(2, 64, 1))
+        sliced = elaborate(table1_spec(2, 64, 12))
+        # Per-slice blocks replicate 12x; the design control does not.
+        assert sliced.count("csa_row") == 12 * single.count("csa_row")
+        assert sliced.count("register") == 12 * single.count("register")
+        assert sliced.count("design_control") == 1
+
+    def test_csa_design_population(self):
+        kinds = elaborate(table1_spec(2, 64)).kinds()
+        assert kinds["register"] == 4       # B, M, R_sum, R_carry
+        assert kinds["csa_row"] == 2
+        assert kinds["carry_resolve_cpa"] == 1
+        assert kinds["quotient_resolver"] == 1
+        assert "cla_adder" not in kinds
+
+    def test_cla_design_population(self):
+        kinds = elaborate(table1_spec(1, 64)).kinds()
+        assert kinds["register"] == 3       # no carry register
+        assert kinds["cla_adder"] == 1
+        assert kinds["csa_row"] == 1        # the 3:2 pre-row
+        assert "carry_resolve_cpa" not in kinds
+
+    def test_multiplier_styles(self):
+        assert elaborate(table1_spec(4, 32)).count("array_multiplier") == 2
+        assert elaborate(table1_spec(5, 32)).count("mux_multiplier") == 2
+        assert elaborate(table1_spec(2, 32)).count("and_plane") == 2
+
+    def test_brickell_reduction_network(self):
+        montgomery = elaborate(table1_spec(2, 32))
+        brickell = elaborate(table1_spec(8, 32))
+        assert montgomery.count("reduction_network") == 0
+        assert brickell.count("reduction_network") == 1
+
+    def test_nets_unique(self):
+        netlist = elaborate(table1_spec(2, 64, 4))
+        assert len(netlist.nets) == len(set(netlist.nets))
+
+
+class TestRendering:
+    def test_structural_text(self):
+        netlist = elaborate(table1_spec(5, 16), name="demo")
+        text = netlist.to_structural_text()
+        assert text.startswith("module demo;")
+        assert text.rstrip().endswith("endmodule")
+        assert "mux_multiplier" in text
+        assert ".WIDTH(16)" in text
+        assert "wire s0_B_q;" in text
+
+    def test_component_render(self):
+        component = Component("u1", "csa_row", 8, 40.0,
+                              ("a", "b", "c"), ("s", "cy"))
+        text = component.render()
+        assert "csa_row" in text and "u1" in text and "{s, cy}" in text
+
+
+class TestCrossCheck:
+    def test_divergence_detected(self):
+        netlist = elaborate(table1_spec(2, 32))
+        netlist.add(Component("rogue", "extra_block", 32, 5000.0,
+                              ("x",), ("y",)))
+        with pytest.raises(SynthesisError, match="diverges"):
+            check_against_model(netlist)
+
+    def test_layer_cores_carry_logic_views(self, crypto_layer):
+        core = crypto_layer.libraries.get("#5_32")
+        netlist = core.view("logic")
+        check_against_model(netlist)
+        assert netlist.spec.multiplier_style == "Multiplexer-Based"
+        assert core.view_levels == ("algorithm", "rt", "logic",
+                                    "physical")

@@ -1,0 +1,129 @@
+"""Cycle-accurate functional simulators vs integer arithmetic and the
+analytical cycle model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.hw.brickell_hw import BrickellMultiplierHW
+from repro.hw.datapath import BRICKELL, MONTGOMERY, DatapathSpec
+from repro.hw.montgomery_hw import MontgomeryMultiplierHW
+from repro.hw.synthesis import TABLE1_RECIPES, table1_spec
+
+
+@st.composite
+def operands(draw, eol=64, odd=True):
+    modulus = draw(st.integers(min_value=3, max_value=(1 << eol) - 1))
+    if odd:
+        modulus |= 1
+    a = draw(st.integers(min_value=0, max_value=modulus - 1))
+    b = draw(st.integers(min_value=0, max_value=modulus - 1))
+    return a, b, modulus
+
+
+class TestMontgomerySim:
+    @pytest.mark.parametrize("design", [1, 2, 3, 4, 5, 6])
+    @settings(max_examples=12, deadline=None)
+    @given(case=operands())
+    def test_matches_math_all_designs(self, design, case):
+        a, b, modulus, = case
+        spec = table1_spec(design, 32, 2)
+        sim = MontgomeryMultiplierHW(spec)
+        result = sim.simulate(a, b, modulus)
+        factor = pow(spec.radix, -(sim.digits + 1), modulus)
+        assert result.result == (a * b * factor) % modulus
+
+    @pytest.mark.parametrize("design", [1, 2, 3, 4, 5, 6])
+    def test_cycles_match_analytical_model(self, design):
+        spec = table1_spec(design, 32, 2)
+        sim = MontgomeryMultiplierHW(spec)
+        modulus = (1 << 63) | 1
+        result = sim.simulate(modulus - 2, modulus - 3, modulus)
+        assert result.cycles == spec.cycles(64)
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=operands())
+    def test_multiply_mod_round_trip(self, case):
+        a, b, modulus = case
+        sim = MontgomeryMultiplierHW(table1_spec(2, 64))
+        assert sim.multiply_mod(a, b, modulus).result == (a * b) % modulus
+
+    def test_csa_designs_exercise_compressions(self):
+        sim = MontgomeryMultiplierHW(table1_spec(2, 64))
+        result = sim.simulate(123456789, 987654321, (1 << 63) | 1)
+        assert result.compressions >= 2 * result.iterations - 2
+
+    def test_cla_designs_skip_compressions(self):
+        sim = MontgomeryMultiplierHW(table1_spec(1, 64))
+        result = sim.simulate(123456789, 987654321, (1 << 63) | 1)
+        assert result.compressions == 0
+
+    def test_even_modulus_rejected(self):
+        sim = MontgomeryMultiplierHW(table1_spec(2, 64))
+        with pytest.raises(SynthesisError, match="odd"):
+            sim.simulate(1, 1, 100)
+
+    def test_oversized_modulus_rejected(self):
+        sim = MontgomeryMultiplierHW(table1_spec(2, 8))
+        with pytest.raises(SynthesisError, match="bits"):
+            sim.simulate(1, 1, (1 << 16) | 1)
+
+    def test_operand_range_checked(self):
+        sim = MontgomeryMultiplierHW(table1_spec(2, 64))
+        with pytest.raises(SynthesisError):
+            sim.simulate(200, 1, 101)
+
+    def test_wrong_algorithm_spec_rejected(self):
+        with pytest.raises(SynthesisError, match="not Montgomery"):
+            MontgomeryMultiplierHW(table1_spec(7, 64))
+
+    def test_latency_helper(self):
+        sim = MontgomeryMultiplierHW(table1_spec(2, 64))
+        result = sim.simulate(5, 7, (1 << 63) | 1)
+        assert result.latency_ns(2.0) == pytest.approx(result.cycles * 2.0)
+
+
+class TestBrickellSim:
+    @pytest.mark.parametrize("design", [7, 8])
+    @settings(max_examples=12, deadline=None)
+    @given(case=operands(odd=False))
+    def test_matches_math(self, design, case):
+        a, b, modulus = case
+        sim = BrickellMultiplierHW(table1_spec(design, 32, 2))
+        assert sim.simulate(a, b, modulus).result == (a * b) % modulus
+
+    @pytest.mark.parametrize("design", [7, 8])
+    def test_cycles_match_analytical_model(self, design):
+        spec = table1_spec(design, 32, 2)
+        sim = BrickellMultiplierHW(spec)
+        modulus = (1 << 63) | 7
+        result = sim.simulate(modulus - 2, modulus - 3, modulus)
+        assert result.cycles == spec.cycles(64)
+
+    def test_even_modulus_accepted(self):
+        sim = BrickellMultiplierHW(table1_spec(8, 64))
+        modulus = 1 << 60  # even modulus: Montgomery cannot, Brickell can
+        assert sim.simulate(123, 456, modulus).result == \
+            (123 * 456) % modulus
+
+    def test_wrong_algorithm_rejected(self):
+        with pytest.raises(SynthesisError, match="not Brickell"):
+            BrickellMultiplierHW(table1_spec(2, 64))
+
+    def test_operand_checks(self):
+        sim = BrickellMultiplierHW(table1_spec(8, 8))
+        with pytest.raises(SynthesisError):
+            sim.simulate(1, 1, 1)
+        with pytest.raises(SynthesisError):
+            sim.simulate(1, 1, (1 << 16) + 1)
+
+
+class TestCrossAlgorithm:
+    @settings(max_examples=10, deadline=None)
+    @given(case=operands())
+    def test_brickell_equals_montgomery_round_trip(self, case):
+        a, b, modulus = case
+        montgomery = MontgomeryMultiplierHW(table1_spec(2, 64))
+        brickell = BrickellMultiplierHW(table1_spec(7, 64))
+        assert montgomery.multiply_mod(a, b, modulus).result == \
+            brickell.simulate(a, b, modulus).result

@@ -1,0 +1,115 @@
+"""The synthesis flow and its calibration against Table 1's anchors."""
+
+import pytest
+
+from repro.data.paper_table1 import TABLE1, reliable_cells
+from repro.errors import SynthesisError
+from repro.hw.synthesis import (
+    TABLE1_RECIPES,
+    TABLE1_SLICE_WIDTHS,
+    synthesize,
+    synthesize_sliced,
+    synthesize_table1_cell,
+    table1_grid,
+    table1_spec,
+)
+
+#: Modelled figures must stay within this factor of the paper's
+#: (reliable) measurements — the substrate is analytical, the paper's a
+#: commercial flow; shape, not cell-exactness, is the contract.
+CALIBRATION_TOLERANCE = 1.45
+
+
+class TestTable1Catalog:
+    def test_recipe_count(self):
+        assert set(TABLE1_RECIPES) == set(range(1, 9))
+
+    def test_unknown_design_number(self):
+        with pytest.raises(SynthesisError):
+            table1_spec(9, 64)
+
+    def test_grid_size(self):
+        grid = table1_grid()
+        assert len(grid) == 8 * len(TABLE1_SLICE_WIDTHS)
+        assert len({d.name for d in grid}) == len(grid)
+
+    def test_cell_naming(self):
+        cell = synthesize_table1_cell(2, 64)
+        assert cell.name == "#2_64"
+        assert cell.design_number == 2
+        assert cell.eol == 64
+
+    def test_simulator_factory(self):
+        mont = synthesize_table1_cell(2, 8).simulator()
+        bri = synthesize_table1_cell(8, 8).simulator()
+        assert type(mont).__name__ == "MontgomeryMultiplierHW"
+        assert type(bri).__name__ == "BrickellMultiplierHW"
+
+
+class TestSynthesize:
+    def test_reslice_for_wide_eol(self):
+        design = synthesize_sliced(2, 64, 768)
+        assert design.spec.num_slices == 12
+        assert design.eol == 768
+
+    def test_reslice_requires_tiling(self):
+        with pytest.raises(SynthesisError):
+            synthesize_sliced(2, 64, 100)
+
+    def test_latency_identity(self):
+        design = synthesize_table1_cell(5, 32)
+        assert design.latency_ns == pytest.approx(
+            design.cycles * design.clock_ns)
+        assert design.latency_us == pytest.approx(design.latency_ns / 1000)
+
+    def test_defaults_to_spec_width(self):
+        design = synthesize(table1_spec(1, 16))
+        assert design.eol == 16
+
+    def test_describe(self):
+        assert "Montgomery" in synthesize_table1_cell(2, 8).describe()
+
+
+class TestCalibration:
+    """Modelled values vs the paper's reliable Table 1 cells."""
+
+    @pytest.mark.parametrize("design,width",
+                             sorted(reliable_cells()))
+    def test_within_tolerance(self, design, width):
+        paper = TABLE1[design][width]
+        model = synthesize_table1_cell(design, width)
+        for modelled, measured, label in (
+                (model.area, paper.area, "area"),
+                (model.latency_ns, paper.latency_ns, "latency"),
+                (model.clock_ns, paper.clock_ns, "clock")):
+            ratio = modelled / measured
+            assert 1 / CALIBRATION_TOLERANCE < ratio < CALIBRATION_TOLERANCE, \
+                f"#{design}_{width} {label}: model {modelled:.0f} vs " \
+                f"paper {measured:.0f}"
+
+    def test_w64_latency_ordering_matches_paper(self):
+        """Fig 12's qualitative content: who is faster than whom."""
+        paper_order = sorted(
+            range(1, 9), key=lambda n: TABLE1[n][64].latency_ns)
+        model_order = sorted(
+            range(1, 9),
+            key=lambda n: synthesize_table1_cell(n, 64).latency_ns)
+        assert model_order == paper_order
+
+    def test_csa_flat_clock_column(self):
+        clocks = [synthesize_table1_cell(2, w).clock_ns
+                  for w in TABLE1_SLICE_WIDTHS]
+        assert max(clocks) / min(clocks) < 1.35
+
+    def test_cla_growing_clock_column(self):
+        clocks = [synthesize_table1_cell(1, w).clock_ns
+                  for w in TABLE1_SLICE_WIDTHS]
+        assert clocks == sorted(clocks)
+        assert clocks[-1] / clocks[0] > 2.0
+
+    def test_montgomery_dominates_brickell_at_width(self):
+        for width in TABLE1_SLICE_WIDTHS:
+            montgomery = synthesize_table1_cell(2, width)
+            brickell = synthesize_table1_cell(8, width)
+            assert montgomery.latency_ns < brickell.latency_ns
+            assert montgomery.area < brickell.area

@@ -1,0 +1,176 @@
+"""IDCT algorithms, cores, layers and the Fig 2/3 argument."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    EvaluationSpace,
+    ExplorationSession,
+    agglomerate,
+    explain_clusters,
+)
+from repro.domains.idct import (
+    IDCT_ALGORITHMS,
+    FlopCounter,
+    IdctError,
+    algorithm_flops,
+    build_abstraction_layer,
+    build_idct_layer,
+    fig2_cores,
+    idct_1d_lee,
+    idct_1d_naive,
+    idct_2d_naive,
+    idct_2d_row_column,
+    software_cores,
+)
+from repro.domains.idct.cores import (
+    ALGORITHM,
+    FAB_TECH,
+    IMPLEMENTATION_STYLE,
+    MAC_UNITS,
+    IdctHardwareRecipe,
+    synthesize_idct_core,
+)
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False)
+
+
+class TestAlgorithms:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(finite_floats, min_size=8, max_size=8))
+    def test_lee_matches_naive_1d(self, coeffs):
+        fast = idct_1d_lee(coeffs)
+        slow = idct_1d_naive(coeffs)
+        assert all(abs(a - b) < 1e-8 for a, b in zip(fast, slow))
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 16, 32])
+    def test_lee_matches_naive_other_sizes(self, size):
+        rng = random.Random(size)
+        coeffs = [rng.uniform(-10, 10) for _ in range(size)]
+        fast, slow = idct_1d_lee(coeffs), idct_1d_naive(coeffs)
+        assert all(abs(a - b) < 1e-8 for a, b in zip(fast, slow))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.lists(finite_floats, min_size=4, max_size=4),
+                    min_size=4, max_size=4))
+    def test_2d_variants_agree(self, block):
+        reference = idct_2d_naive(block)
+        for fast in (True, False):
+            result = idct_2d_row_column(block, fast=fast)
+            for i in range(4):
+                for j in range(4):
+                    assert abs(result[i][j] - reference[i][j]) < 1e-8
+
+    def test_dc_only_block_is_flat(self):
+        block = [[0.0] * 8 for _ in range(8)]
+        block[0][0] = 8.0  # DC coefficient
+        result = idct_2d_row_column(block)
+        expect = 8.0 / 8.0  # c0*c0*8 = (1/sqrt8)^2 * 8 ... = 1.0
+        for row in result:
+            for value in row:
+                assert value == pytest.approx(expect)
+
+    def test_size_validation(self):
+        with pytest.raises(IdctError):
+            idct_1d_naive([1.0, 2.0, 3.0])  # not a power of two
+        with pytest.raises(IdctError):
+            idct_2d_naive([[1.0, 2.0], [3.0]])  # not square
+
+    def test_flop_ordering(self):
+        direct = algorithm_flops("Direct").multiplies
+        row_column = algorithm_flops("RowColumn-Direct").multiplies
+        lee = algorithm_flops("RowColumn-Lee").multiplies
+        assert lee < row_column < direct
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(IdctError):
+            algorithm_flops("Chen-Wang")
+
+    def test_flop_counter_totals(self):
+        flops = FlopCounter()
+        idct_1d_lee([1.0] * 8, flops)
+        assert flops.total == flops.multiplies + flops.additions
+        assert flops.multiplies > 0
+
+
+class TestCores:
+    def test_five_cores(self):
+        cores = fig2_cores()
+        assert [c.name for c in cores] == [f"idct_{i}" for i in
+                                           (1, 2, 3, 4, 5)]
+
+    def test_cluster_structure(self):
+        cores = fig2_cores()
+        space = EvaluationSpace.from_designs(cores, ("latency_ns", "area"))
+        clusters, _ = agglomerate(space, 2)
+        families = {frozenset(c.names) for c in clusters}
+        assert families == {frozenset({"idct_1", "idct_2", "idct_5"}),
+                            frozenset({"idct_3", "idct_4"})}
+
+    def test_technology_explains_clusters(self):
+        cores = fig2_cores()
+        space = EvaluationSpace.from_designs(cores, ("latency_ns", "area"))
+        clusters, _ = agglomerate(space, 2)
+        ranked = explain_clusters(clusters,
+                                  [FAB_TECH, ALGORITHM, MAC_UNITS])
+        assert ranked[0].issue_name == FAB_TECH
+        assert ranked[0].purity == pytest.approx(1.0)
+
+    def test_designs_1_and_4_same_algorithm_different_cluster(self):
+        cores = {c.name: c for c in fig2_cores()}
+        assert cores["idct_1"].property_value(ALGORITHM) == \
+            cores["idct_4"].property_value(ALGORITHM)
+        assert cores["idct_4"].merit("area") > 2 * cores["idct_1"].merit("area")
+
+    def test_more_macs_faster(self):
+        slow = synthesize_idct_core(
+            IdctHardwareRecipe(90, "RowColumn-Lee", 1, "0.35u"))
+        fast = synthesize_idct_core(
+            IdctHardwareRecipe(91, "RowColumn-Lee", 8, "0.35u"))
+        assert fast.merit("latency_ns") < slow.merit("latency_ns")
+        assert fast.merit("area") > slow.merit("area")
+
+    def test_software_cores(self):
+        cores = software_cores()
+        assert len(cores) == 6
+        lee_asm = next(c for c in cores
+                       if c.name == "idct_sw_rowcolumn-lee_asm")
+        direct_c = next(c for c in cores if c.name == "idct_sw_direct_c")
+        assert lee_asm.merit("delay_us") < direct_c.merit("delay_us")
+
+
+class TestLayers:
+    def test_generalization_layer_session(self, idct_layer):
+        session = ExplorationSession(idct_layer, "IDCT",
+                                     merit_metrics=("area", "latency_ns"))
+        session.set_requirement("BlockSize", 8)
+        session.decide(IMPLEMENTATION_STYLE, "Hardware")
+        infos = {i.option: i for i in session.available_options(FAB_TECH)}
+        assert infos["0.35u"].candidate_count == 3
+        assert infos["0.7u"].candidate_count == 2
+        # The families' ranges are disjoint in area — informative split.
+        assert infos["0.35u"].ranges["area"][1] < \
+            infos["0.7u"].ranges["area"][0]
+        session.decide(FAB_TECH, "0.35u")
+        assert {c.name for c in session.candidates()} == \
+            {"idct_1", "idct_2", "idct_5"}
+
+    def test_software_branch(self, idct_layer):
+        session = ExplorationSession(idct_layer, "IDCT",
+                                     merit_metrics=("delay_us",))
+        session.decide(IMPLEMENTATION_STYLE, "Software")
+        session.decide("ProgrammablePlatform", "Pentium-60")
+        assert len(session.candidates()) == 6
+
+    def test_abstraction_layer_mixes_clusters(self):
+        layer = build_abstraction_layer()
+        region = layer.cores_under("IDCT.Algorithm")
+        lee = [c for c in region
+               if c.property_value(ALGORITHM) == "RowColumn-Lee"]
+        areas = [c.merit("area") for c in lee]
+        # Same algorithm-level region spans both clusters: > 2.5x spread.
+        assert max(areas) / min(areas) > 2.5

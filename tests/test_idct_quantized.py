@@ -1,0 +1,113 @@
+"""Fixed-point IDCT kernels and the measurable precision requirement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domains.idct.algorithms import IdctError, idct_1d_naive
+from repro.domains.idct.quantized import (
+    accuracy_sweep,
+    fixed_idct_1d_direct,
+    fixed_idct_1d_lee,
+    measure_accuracy,
+    meets_precision,
+)
+
+coeff_vectors = st.lists(st.integers(min_value=-255, max_value=255),
+                         min_size=8, max_size=8)
+
+
+class TestKernelsApproximateReference:
+    @settings(max_examples=30, deadline=None)
+    @given(coeffs=coeff_vectors)
+    def test_direct_tracks_float(self, coeffs):
+        exact = idct_1d_naive([float(c) for c in coeffs])
+        approx = fixed_idct_1d_direct(coeffs, 16)
+        unit = float(1 << 16)
+        for a, b in zip(approx, exact):
+            assert abs(a / unit - b) < 0.05
+
+    @settings(max_examples=30, deadline=None)
+    @given(coeffs=coeff_vectors)
+    def test_lee_tracks_float(self, coeffs):
+        exact = idct_1d_naive([float(c) for c in coeffs])
+        approx = fixed_idct_1d_lee(coeffs, 16)
+        unit = float(1 << 16)
+        for a, b in zip(approx, exact):
+            assert abs(a / unit - b) < 0.05
+
+    def test_zero_input(self):
+        assert fixed_idct_1d_direct([0] * 8, 12) == [0] * 8
+        assert fixed_idct_1d_lee([0] * 8, 12) == [0] * 8
+
+    def test_dc_only(self):
+        approx = fixed_idct_1d_direct([8, 0, 0, 0, 0, 0, 0, 0], 14)
+        unit = 1 << 14
+        expect = 8 / (8 ** 0.5)
+        for value in approx:
+            assert abs(value / unit - expect) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(IdctError):
+            fixed_idct_1d_direct([1, 2, 3], 12)  # not a power of two
+        with pytest.raises(IdctError):
+            fixed_idct_1d_lee([1, 2], 1)  # frac bits too small
+        with pytest.raises(IdctError):
+            fixed_idct_1d_lee([1, 2], 31)
+
+
+class TestAccuracyHarness:
+    def test_accuracy_improves_with_frac_bits(self):
+        for kernel in ("Direct", "Lee"):
+            reports = [measure_accuracy(kernel, bits, trials=40)
+                       for bits in (8, 12, 16)]
+            achieved = [r.achieved_bits for r in reports]
+            assert achieved[0] < achieved[1] < achieved[2]
+
+    def test_lee_noise_amplification_at_low_precision(self):
+        """The fast algorithm's secant weights amplify quantization
+        noise: at 8 fractional bits the direct form is measurably more
+        accurate — the 'different precisions' the paper attributes to
+        the algorithm space."""
+        direct = measure_accuracy("Direct", 8, trials=80)
+        lee = measure_accuracy("Lee", 8, trials=80)
+        assert direct.max_error < lee.max_error
+
+    def test_report_fields(self):
+        report = measure_accuracy("Direct", 12, trials=10)
+        assert report.kernel == "Direct"
+        assert report.rms_error <= report.max_error
+        assert report.achieved_bits > 0
+
+    def test_deterministic_given_seed(self):
+        a = measure_accuracy("Lee", 10, trials=20,
+                             rng=random.Random(42))
+        b = measure_accuracy("Lee", 10, trials=20,
+                             rng=random.Random(42))
+        assert a.max_error == b.max_error
+
+    def test_sweep_shape(self):
+        reports = accuracy_sweep((8, 12), trials=10)
+        assert len(reports) == 4
+        kernels = {r.kernel for r in reports}
+        assert kernels == {"Direct", "Lee"}
+
+    def test_unknown_kernel(self):
+        with pytest.raises(IdctError):
+            measure_accuracy("Chen", 12)
+
+    def test_trials_validated(self):
+        with pytest.raises(IdctError):
+            measure_accuracy("Direct", 12, trials=0)
+
+
+class TestPrecisionRequirement:
+    def test_meets_precision_backing(self):
+        assert meets_precision("Direct", 16, required_bits=12, trials=40)
+        assert not meets_precision("Lee", 8, required_bits=10, trials=40)
+
+    def test_precision_monotone_in_requirement(self):
+        assert meets_precision("Direct", 14, required_bits=6, trials=30)
+        assert not meets_precision("Direct", 14, required_bits=30,
+                                   trials=30)

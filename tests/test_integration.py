@@ -1,0 +1,128 @@
+"""Cross-module integration: sessions driving simulators, RSA on selected
+cores, decomposition across CDOs, multi-library transparency."""
+
+import pytest
+
+from repro.arith import ModExpStats, generate_keypair, sign, verify
+from repro.core import (
+    DesignObject,
+    EvaluationSpace,
+    ExplorationSession,
+    ReuseLibrary,
+)
+from repro.domains.crypto import case_study_session, vocab as v
+from repro.domains.crypto.cores import hardware_core
+from repro.hw import DatapathSpec, synthesize
+
+
+class TestSelectThenSimulate:
+    """The coprocessor example's core loop, asserted end to end."""
+
+    def test_selected_core_runs_rsa(self, crypto_layer):
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        session.decide(v.ADDER_IMPL, "Carry-Save")
+        session.decide(v.SLICE_WIDTH, 64)
+        best = min(session.candidates(),
+                   key=lambda c: c.merit("latency_ns"))
+        simulator = best.view("rt").simulator()
+
+        cycles = 0
+
+        def hw_modmul(a, b, m):
+            nonlocal cycles
+            result = simulator.multiply_mod(a, b, m)
+            cycles += result.cycles
+            return result.result
+
+        key = generate_keypair(bits=256, seed=11)
+        digest = 0xFEEDFACE
+        stats = ModExpStats()
+        signature = sign(digest, key, modmul=hw_modmul, stats=stats)
+        assert verify(digest, signature, key)
+        assert cycles > 0
+        assert stats.total > 250  # ~bits squarings + multiplies
+
+    def test_selected_core_meets_its_advertised_latency(self, crypto_layer):
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        core = session.candidates()[0]
+        design = core.view("rt")
+        simulator = design.simulator()
+        modulus = (1 << 767) | 9
+        result = simulator.simulate(modulus - 2, modulus - 3, modulus)
+        assert result.cycles == design.cycles
+        assert result.latency_ns(design.clock_ns) == pytest.approx(
+            design.latency_ns)
+
+
+class TestDecomposition:
+    """DI7: operator selections resolve against the Arithmetic CDOs."""
+
+    def test_decomposition_property_present(self, crypto_layer):
+        hw = crypto_layer.cdo(v.OMM_H_PATH)
+        decomposition = hw.find_property(v.DECOMPOSITION)
+        assert "Arithmetic" in decomposition.restrict_pattern
+
+    def test_adder_choice_has_backing_macrocells(self, crypto_layer):
+        """The CSA decomposition decision is backed by real adder cores
+        indexed under the Carry-Save leaf CDO."""
+        cells = crypto_layer.cores_under(
+            "Operator.LogicArithmetic.Arithmetic.Adder.Carry-Save")
+        assert cells
+        widths = {c.property_value(v.EOL) for c in cells}
+        assert 64 in widths
+
+    def test_oper_selector_through_layer(self, crypto_layer):
+        from repro.core.path import parse_path
+        path = parse_path(
+            f"oper(+,line:4)@{v.BEHAVIORAL_DESCRIPTION}@*.Hardware.Montgomery")
+        (cdo, prop), = crypto_layer.resolve_path(
+            f"{v.BEHAVIORAL_DESCRIPTION}@*.Hardware.Montgomery")
+        selection = crypto_layer.selectors.apply_chain(
+            path.selectors, prop.description)
+        assert selection.symbols == ("+", "+")
+
+
+class TestMultiLibrary:
+    def test_federation_is_transparent(self, crypto_layer):
+        providers = {core.provenance
+                     for core in crypto_layer.cores_under("Operator")}
+        assert providers == {"asic-cores", "sw-routines", "arith-cells"}
+
+    def test_new_library_joins_existing_queries(self):
+        from repro.domains.crypto import build_crypto_layer
+        layer = build_crypto_layer(eol=64, include_software=False,
+                                   include_arithmetic=False)
+        before = len(layer.cores_under(v.OMM_HM_PATH))
+        spec = DatapathSpec(algorithm="Montgomery", radix=2,
+                            adder_style="Carry-Save",
+                            multiplier_style="N/A", slice_width=64)
+        design = synthesize(spec, eol=64, name="inhouse_1")
+        extra = ReuseLibrary("inhouse", "locally designed cores")
+        extra.add(hardware_core(design, v.OMM_HM_PATH, "inhouse_1"))
+        layer.attach_library(extra)
+        assert len(layer.cores_under(v.OMM_HM_PATH)) == before + 1
+        session = ExplorationSession(layer, v.OMM_PATH)
+        session.set_requirement(v.EOL, 64)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        assert "inhouse_1" in {c.name for c in session.candidates()}
+
+
+class TestEvaluationOverSession:
+    def test_pareto_frontier_of_survivors(self, crypto_layer):
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        session.decide(v.ALGORITHM, v.MONTGOMERY)
+        space = EvaluationSpace.from_designs(
+            session.candidates(), ("latency_ns", "area"),
+            skip_missing=True)
+        frontier = space.pareto_frontier()
+        assert 0 < len(frontier) < len(space)
+        # Every #5 (CSA+MUX) point should dominate its #4 (CSA+MUL) twin.
+        for width in (8, 16, 32, 64, 128):
+            five = space.point(f"#5_{width}").coords
+            four = space.point(f"#4_{width}").coords
+            assert five[0] < four[0] and five[1] < four[1]

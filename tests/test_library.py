@@ -1,0 +1,135 @@
+"""Reuse libraries and the multi-library federation."""
+
+import pytest
+
+from repro.core.designobject import DesignObject
+from repro.core.library import LibraryFederation, ReuseLibrary
+from repro.errors import LibraryError
+
+
+def core(name, cdo="A.B", **merits):
+    return DesignObject(name, cdo, {}, merits or {"area": 1.0})
+
+
+class TestReuseLibrary:
+    def test_add_and_get(self):
+        lib = ReuseLibrary("L")
+        lib.add(core("c1"))
+        assert lib.get("c1").name == "c1"
+        assert "c1" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_name_rejected(self):
+        lib = ReuseLibrary("L")
+        lib.add(core("c1"))
+        with pytest.raises(LibraryError, match="duplicate"):
+            lib.add(core("c1"))
+
+    def test_provenance_stamped(self):
+        lib = ReuseLibrary("vendor-x")
+        stamped = lib.add(core("c1"))
+        assert stamped.provenance == "vendor-x"
+
+    def test_existing_provenance_preserved(self):
+        lib = ReuseLibrary("L")
+        c = core("c1")
+        c.provenance = "elsewhere"
+        lib.add(c)
+        assert c.provenance == "elsewhere"
+
+    def test_remove(self):
+        lib = ReuseLibrary("L")
+        lib.add(core("c1"))
+        removed = lib.remove("c1")
+        assert removed.name == "c1"
+        assert "c1" not in lib
+        with pytest.raises(LibraryError):
+            lib.remove("c1")
+
+    def test_get_missing(self):
+        with pytest.raises(LibraryError, match="no core"):
+            ReuseLibrary("L").get("nope")
+
+    def test_cores_under_includes_descendants(self):
+        lib = ReuseLibrary("L")
+        lib.add(core("c1", cdo="A.B"))
+        lib.add(core("c2", cdo="A.B.C"))
+        lib.add(core("c3", cdo="A.Bx"))  # not a descendant of A.B
+        names = {c.name for c in lib.cores_under("A.B")}
+        assert names == {"c1", "c2"}
+        exact = {c.name for c in lib.cores_under("A.B",
+                                                 include_descendants=False)}
+        assert exact == {"c1"}
+
+    def test_select(self):
+        lib = ReuseLibrary("L")
+        lib.add(core("small", area=1.0))
+        lib.add(core("big", area=100.0))
+        picked = lib.select(lambda c: c.merit("area") > 10)
+        assert [c.name for c in picked] == ["big"]
+
+    def test_name_required(self):
+        with pytest.raises(LibraryError):
+            ReuseLibrary("")
+
+    def test_iteration(self):
+        lib = ReuseLibrary("L")
+        lib.add_all([core("a"), core("b")])
+        assert sorted(c.name for c in lib) == ["a", "b"]
+
+
+class TestLibraryFederation:
+    def make_fed(self):
+        a = ReuseLibrary("A")
+        a.add(core("only-in-a"))
+        a.add(core("shared"))
+        b = ReuseLibrary("B")
+        b.add(core("only-in-b", cdo="A.B.C"))
+        b.add(core("shared"))
+        return LibraryFederation([a, b])
+
+    def test_len_spans_libraries(self):
+        assert len(self.make_fed()) == 4
+
+    def test_attach_duplicate_rejected(self):
+        fed = self.make_fed()
+        with pytest.raises(LibraryError, match="already attached"):
+            fed.attach(ReuseLibrary("A"))
+
+    def test_detach(self):
+        fed = self.make_fed()
+        fed.detach("B")
+        assert len(fed) == 2
+        with pytest.raises(LibraryError):
+            fed.detach("B")
+
+    def test_cores_under_spans_libraries(self):
+        names = {c.name for c in self.make_fed().cores_under("A.B")}
+        assert names == {"only-in-a", "shared", "only-in-b", "shared"}
+
+    def test_qualified_lookup(self):
+        fed = self.make_fed()
+        assert fed.get("A/shared").provenance == "A"
+        assert fed.get("B/shared").provenance == "B"
+
+    def test_bare_lookup_unique(self):
+        fed = self.make_fed()
+        assert fed.get("only-in-a").name == "only-in-a"
+
+    def test_bare_lookup_ambiguous(self):
+        with pytest.raises(LibraryError, match="ambiguous"):
+            self.make_fed().get("shared")
+
+    def test_bare_lookup_missing(self):
+        with pytest.raises(LibraryError, match="no core"):
+            self.make_fed().get("ghost")
+
+    def test_library_accessor(self):
+        fed = self.make_fed()
+        assert fed.library("A").name == "A"
+        with pytest.raises(LibraryError):
+            fed.library("Z")
+
+    def test_select_across_libraries(self):
+        fed = self.make_fed()
+        assert len(fed.select(lambda c: True)) == 4

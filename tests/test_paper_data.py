@@ -1,0 +1,72 @@
+"""Internal consistency of the transcribed paper data."""
+
+import pytest
+
+from repro.data.paper_table1 import (
+    CASE_STUDY_REQUIREMENTS,
+    FIG6_HARDWARE_US,
+    FIG6_SOFTWARE_US,
+    FIG12_POINTS,
+    RECIPES,
+    SLICE_WIDTHS,
+    TABLE1,
+    cell,
+    reliable_cells,
+)
+
+
+class TestStructure:
+    def test_grid_complete(self):
+        assert set(TABLE1) == set(range(1, 9))
+        for design, row in TABLE1.items():
+            assert set(row) == set(SLICE_WIDTHS)
+
+    def test_recipes_match_paper(self):
+        assert RECIPES[2] == (2, "Montgomery", "Carry-Save", "N/A")
+        assert RECIPES[5] == (4, "Montgomery", "Carry-Save",
+                              "Multiplexer-Based")
+        assert RECIPES[7][1] == "Brickell"
+
+    def test_cell_accessor(self):
+        assert cell(2, 64).area == 37299
+
+    def test_reliable_subset(self):
+        reliable = reliable_cells()
+        assert (2, 64) in reliable
+        assert (8, 128) not in reliable    # unrecoverable from the scan
+        assert (3, 8) not in reliable      # flagged inconsistent
+        assert len(reliable) >= 10
+
+
+class TestInternalConsistency:
+    def test_reliable_cells_obey_latency_clock_relation(self):
+        """For reliable cells, latency/clk must be a plausible cycle
+        count for the design's radix at EOL = slice width."""
+        for (design, width), data in reliable_cells().items():
+            radix = RECIPES[design][0]
+            cycles = data.latency_ns / data.clock_ns
+            digits = width * 1.0 if radix == 2 else width / 2.0
+            assert digits * 0.8 <= cycles <= digits + 15, \
+                (design, width, cycles)
+
+    def test_fig12_equals_table1_column(self):
+        for name, (delay, area) in FIG12_POINTS.items():
+            design = int(name[1])
+            assert TABLE1[design][64].latency_ns == delay
+            assert TABLE1[design][64].area == area
+
+    def test_montgomery_dominates_brickell_in_reliable_cells(self):
+        reliable = reliable_cells()
+        for width in SLICE_WIDTHS:
+            if (2, width) in reliable and (8, width) in reliable:
+                assert TABLE1[2][width].latency_ns < \
+                    TABLE1[8][width].latency_ns
+
+    def test_fig6_bands_disjoint(self):
+        assert max(FIG6_HARDWARE_US.values()) * 100 < \
+            min(FIG6_SOFTWARE_US.values())
+
+    def test_case_study_requirements(self):
+        assert CASE_STUDY_REQUIREMENTS["EffectiveOperandLength"] == 768
+        assert CASE_STUDY_REQUIREMENTS["LatencySingleOperation_us"] == 8.0
+        assert CASE_STUDY_REQUIREMENTS["ModuloIsOdd"] == "Guaranteed"

@@ -1,0 +1,182 @@
+"""The property path language: parsing, matching, resolution, selectors."""
+
+import pytest
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.path import (
+    ClassPattern,
+    PropertyPath,
+    Selector,
+    SelectorRegistry,
+    parse_path,
+    parse_pattern,
+)
+from repro.core.properties import DesignIssue, Requirement
+from repro.core.values import EnumDomain, IntRange
+from repro.errors import PathError
+
+
+class TestParsing:
+    def test_simple_path(self):
+        path = parse_path("Radix@Operator.Hardware")
+        assert path.property_name == "Radix"
+        assert path.pattern.segments == ("Operator", "Hardware")
+        assert path.selectors == ()
+
+    def test_wildcard_pattern(self):
+        path = parse_path("Radix@*.Hardware.Montgomery")
+        assert path.pattern.segments == ("*", "Hardware", "Montgomery")
+
+    def test_selector_chain(self):
+        path = parse_path("oper(+,line:2)@BD@*.Hardware")
+        assert len(path.selectors) == 1
+        assert path.selectors[0] == Selector("oper", ("+", "line:2"))
+        assert path.property_name == "BD"
+
+    def test_multiple_selectors_apply_innermost_first(self):
+        path = parse_path("outer(x)@inner(y)@BD@Root")
+        assert [s.name for s in path.selectors] == ["inner", "outer"]
+
+    def test_render_round_trip(self):
+        for text in ("Radix@*.Hardware.Montgomery",
+                     "oper(+,line:2)@BD@*.Hardware",
+                     "EOL@Operator"):
+            assert parse_path(text).render() == text
+
+    def test_needs_property_and_pattern(self):
+        with pytest.raises(PathError):
+            parse_path("JustOneElement")
+
+    def test_selector_in_property_position_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("oper(+)@Root")
+
+    def test_non_selector_left_element_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("notacall@BD@Root")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(PathError):
+            parse_path("oper(+@BD@Root")
+
+    def test_empty_pattern_segment(self):
+        with pytest.raises(PathError):
+            parse_path("P@a..b")
+
+    def test_pattern_with_spaces_in_names(self):
+        pattern = parse_pattern("Operator.Modular Multiplier")
+        assert pattern.segments == ("Operator", "Modular Multiplier")
+
+    def test_commas_inside_selector_do_not_split_path(self):
+        path = parse_path("oper(+,line:3)@BD@X")
+        assert path.selectors[0].args == ("+", "line:3")
+
+
+class TestMatching:
+    def test_exact_match(self):
+        pattern = parse_pattern("A.B.C")
+        assert pattern.matches("A.B.C")
+        assert not pattern.matches("A.B")
+        assert not pattern.matches("X.A.B.C")
+
+    def test_leading_wildcard_matches_suffix(self):
+        pattern = parse_pattern("*.Hardware.Montgomery")
+        assert pattern.matches("Operator.Modular.Multiplier.Hardware.Montgomery")
+        assert pattern.matches("X.Hardware.Montgomery")
+        assert not pattern.matches("Hardware.Montgomery")  # * needs >= 1
+
+    def test_trailing_wildcard_matches_descendants(self):
+        pattern = parse_pattern("Operator.*")
+        assert pattern.matches("Operator.Modular")
+        assert pattern.matches("Operator.Modular.Multiplier")
+        assert not pattern.matches("Operator")
+
+    def test_inner_wildcard(self):
+        pattern = parse_pattern("A.*.C")
+        assert pattern.matches("A.B.C")
+        assert pattern.matches("A.X.Y.C")
+        assert not pattern.matches("A.C")
+
+    def test_double_wildcard(self):
+        pattern = parse_pattern("*.Hardware.*")
+        assert pattern.matches("Op.Mult.Hardware.Montgomery")
+        assert not pattern.matches("Op.Hardware")
+
+
+def build_tree():
+    root = ClassOfDesignObjects("Op", "root")
+    root.add_property(Requirement("EOL", IntRange(1), "eol"))
+    root.add_property(DesignIssue("Kind", EnumDomain(["HW", "SW"]), "k",
+                                  generalized=True))
+    hw = root.specialize("HW")
+    hw.add_property(DesignIssue("Radix", EnumDomain([2, 4]), "r"))
+    sw = root.specialize("SW")
+    return root, hw, sw
+
+
+class TestResolution:
+    def test_resolve_on_declaring_class(self):
+        root, hw, sw = build_tree()
+        hits = parse_path("Radix@Op.HW").resolve(list(root.walk()))
+        assert len(hits) == 1
+        assert hits[0][0] is hw
+
+    def test_resolve_inherited(self):
+        root, hw, sw = build_tree()
+        hits = parse_path("EOL@*.HW").resolve(list(root.walk()))
+        assert hits[0][0] is hw
+        assert hits[0][1].name == "EOL"
+
+    def test_no_matching_class(self):
+        root, *_ = build_tree()
+        with pytest.raises(PathError, match="no class matches"):
+            parse_path("EOL@Nothing").resolve(list(root.walk()))
+
+    def test_property_invisible_on_matches(self):
+        root, *_ = build_tree()
+        with pytest.raises(PathError, match="not visible"):
+            parse_path("Radix@Op.SW").resolve(list(root.walk()))
+
+    def test_alias_expansion(self):
+        root, hw, _ = build_tree()
+        path = parse_path("Radix@OHW")
+        expanded = path.expand_aliases({"OHW": "Op.HW"})
+        hits = expanded.resolve(list(root.walk()))
+        assert hits[0][0] is hw
+
+    def test_resolve_classes_multiple(self):
+        root, hw, sw = build_tree()
+        classes = parse_path("EOL@Op.*").resolve_classes(list(root.walk()))
+        assert {c.name for c in classes} == {"HW", "SW"}
+
+
+class TestSelectorRegistry:
+    def test_register_and_apply(self):
+        registry = SelectorRegistry()
+        registry.register("twice", lambda value, args: value * 2)
+        result = registry.apply(Selector("twice", ()), 21)
+        assert result == 42
+
+    def test_duplicate_registration(self):
+        registry = SelectorRegistry()
+        registry.register("s", lambda v, a: v)
+        with pytest.raises(PathError):
+            registry.register("s", lambda v, a: v)
+
+    def test_unknown_selector(self):
+        registry = SelectorRegistry()
+        with pytest.raises(PathError, match="unknown selector"):
+            registry.apply(Selector("nope", ()), 1)
+
+    def test_apply_chain_order(self):
+        registry = SelectorRegistry()
+        registry.register("add1", lambda v, a: v + 1)
+        registry.register("dbl", lambda v, a: v * 2)
+        chain = (Selector("add1", ()), Selector("dbl", ()))
+        assert registry.apply_chain(chain, 3) == 8  # (3+1)*2
+
+    def test_names_listed(self):
+        registry = SelectorRegistry()
+        registry.register("b", lambda v, a: v)
+        registry.register("a", lambda v, a: v)
+        assert registry.names() == ("a", "b")

@@ -1,0 +1,66 @@
+"""Property-based tests of the path language's matcher and parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.path import parse_path, parse_pattern
+
+segment = st.text(alphabet="ABCxyz123", min_size=1, max_size=6)
+segments = st.lists(segment, min_size=1, max_size=5)
+
+
+class TestMatcherProperties:
+    @settings(max_examples=80)
+    @given(parts=segments)
+    def test_exact_pattern_matches_itself_only(self, parts):
+        pattern = parse_pattern(".".join(parts))
+        assert pattern.matches(".".join(parts))
+        assert not pattern.matches(".".join(parts + ["extra"]))
+        assert not pattern.matches(".".join(["extra"] + parts))
+
+    @settings(max_examples=80)
+    @given(prefix=segments, suffix=segments)
+    def test_leading_wildcard_matches_any_prefix(self, prefix, suffix):
+        pattern = parse_pattern(".".join(["*"] + suffix))
+        assert pattern.matches(".".join(prefix + suffix))
+        # '*' consumes at least one segment: the bare suffix must not
+        # match (unless the suffix accidentally embeds itself — excluded
+        # by construction only when lengths differ).
+        if suffix[: len(suffix) - 1] != suffix[1:] or len(suffix) == 1:
+            assert not pattern.matches(".".join(suffix)) or \
+                ".".join(suffix[1:]) == ".".join(suffix[:len(suffix) - 1])
+
+    @settings(max_examples=80)
+    @given(parts=segments)
+    def test_trailing_wildcard_matches_descendants(self, parts):
+        pattern = parse_pattern(".".join(parts + ["*"]))
+        assert pattern.matches(".".join(parts + ["child"]))
+        assert pattern.matches(".".join(parts + ["a", "b"]))
+        assert not pattern.matches(".".join(parts))
+
+    @settings(max_examples=80)
+    @given(middle=segments)
+    def test_double_wildcard_sandwich(self, middle):
+        pattern = parse_pattern(".".join(["*"] + middle + ["*"]))
+        assert pattern.matches(".".join(["l"] + middle + ["r"]))
+        assert not pattern.matches(".".join(middle))
+
+
+class TestParserProperties:
+    @settings(max_examples=80)
+    @given(prop=segment, parts=segments)
+    def test_parse_render_round_trip(self, prop, parts):
+        text = f"{prop}@{'.'.join(parts)}"
+        parsed = parse_path(text)
+        assert parsed.render() == text
+        assert parse_path(parsed.render()).pattern == parsed.pattern
+
+    @settings(max_examples=80)
+    @given(prop=segment, parts=segments,
+           args=st.lists(st.sampled_from(["+", "*", "line:3"]),
+                         min_size=1, max_size=2))
+    def test_selector_round_trip(self, prop, parts, args):
+        text = f"sel({','.join(args)})@{prop}@{'.'.join(parts)}"
+        parsed = parse_path(text)
+        assert parsed.render() == text
+        assert parsed.selectors[0].args == tuple(args)

@@ -1,0 +1,132 @@
+"""Property schemata: requirements, design issues, descriptions."""
+
+import pytest
+
+from repro.core.properties import (
+    BehavioralDecomposition,
+    BehavioralDescription,
+    DesignIssue,
+    Property,
+    PropertyKind,
+    Requirement,
+    RequirementSense,
+)
+from repro.core.values import EnumDomain, IntRange, PowerOfTwoDomain, RealRange
+from repro.errors import DomainError, PropertyError
+
+
+class TestPropertyBase:
+    def test_requires_doc(self):
+        with pytest.raises(PropertyError, match="documentation"):
+            Property("X", EnumDomain([1]), doc="")
+
+    def test_rejects_path_metacharacters(self):
+        for bad in ("a@b", "a.b", "a*b", "a b", "a(b)", "a,b"):
+            with pytest.raises(PropertyError):
+                Property(bad, EnumDomain([1]), doc="d")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(PropertyError):
+            Property("", EnumDomain([1]), doc="d")
+
+    def test_validate_wraps_domain_error_with_name(self):
+        prop = Property("Width", IntRange(1, 8), doc="d")
+        with pytest.raises(DomainError, match="Width"):
+            prop.validate(9)
+
+    def test_default_domain_is_any(self):
+        prop = Property("Blob", doc="d")
+        assert prop.validate(object()) is not None
+
+
+class TestRequirement:
+    def test_kind(self):
+        req = Requirement("R", IntRange(0), "d")
+        assert req.kind is PropertyKind.REQUIREMENT
+
+    def test_max_sense(self):
+        req = Requirement("Latency", RealRange(0), "d",
+                          sense=RequirementSense.MAX)
+        assert req.satisfied_by(5.0, 8.0)
+        assert req.satisfied_by(8.0, 8.0)
+        assert not req.satisfied_by(9.0, 8.0)
+
+    def test_min_sense(self):
+        req = Requirement("Throughput", RealRange(0), "d",
+                          sense=RequirementSense.MIN)
+        assert req.satisfied_by(100, 50)
+        assert not req.satisfied_by(10, 50)
+
+    def test_exact_sense(self):
+        req = Requirement("Coding", EnumDomain(["a", "b"]), "d",
+                          sense=RequirementSense.EXACT)
+        assert req.satisfied_by("a", "a")
+        assert not req.satisfied_by("a", "b")
+
+    def test_at_least_support_sense(self):
+        req = Requirement("EOL", IntRange(1), "d",
+                          sense=RequirementSense.AT_LEAST_SUPPORT)
+        assert req.satisfied_by(1024, 768)
+        assert req.satisfied_by(768, 768)
+        assert not req.satisfied_by(512, 768)
+
+    def test_non_numeric_values_fall_back_to_equality(self):
+        req = Requirement("Mode", EnumDomain(["x", "y"]), "d",
+                          sense=RequirementSense.MAX)
+        assert req.satisfied_by("x", "x")
+        assert not req.satisfied_by("x", "y")
+
+    def test_describe_shows_sense(self):
+        req = Requirement("Latency", RealRange(0), "doc",
+                          sense=RequirementSense.MAX, unit="us")
+        text = req.describe()
+        assert "<=" in text and "us" in text
+
+
+class TestDesignIssue:
+    def test_kind_and_options(self):
+        issue = DesignIssue("Style", EnumDomain(["hw", "sw"]), "d")
+        assert issue.kind is PropertyKind.DESIGN_ISSUE
+        assert issue.options() == ("hw", "sw")
+
+    def test_generalized_needs_finite_domain(self):
+        with pytest.raises(PropertyError, match="finite"):
+            DesignIssue("Radix", PowerOfTwoDomain(), "d", generalized=True)
+
+    def test_generalized_with_enum_ok(self):
+        issue = DesignIssue("Style", EnumDomain(["a"]), "d", generalized=True)
+        assert issue.generalized
+
+    def test_default_validated(self):
+        with pytest.raises(DomainError):
+            DesignIssue("Style", EnumDomain(["a"]), "d", default="b")
+
+    def test_default_stored(self):
+        issue = DesignIssue("Radix", PowerOfTwoDomain(), "d", default=2)
+        assert issue.default == 2
+
+    def test_options_sample_infinite_domain_with_context(self):
+        issue = DesignIssue("Radix", PowerOfTwoDomain(max_value="EOL"), "d")
+        assert issue.options({"EOL": 16}) == (2, 4, 8, 16)
+
+    def test_describe_marks_generalized(self):
+        issue = DesignIssue("Style", EnumDomain(["a"]), "d", generalized=True)
+        assert "Generalized" in issue.describe()
+
+
+class TestBehavioralProperties:
+    def test_description_holds_payload(self):
+        payload = object()
+        prop = BehavioralDescription("BD", "d", description=payload,
+                                     level="rt")
+        assert prop.description is payload
+        assert prop.level == "rt"
+        assert "rt" in prop.describe()
+
+    def test_decomposition_kind_and_fields(self):
+        prop = BehavioralDecomposition(
+            "Decomp", "d", source="BD@*.Hardware",
+            restrict_pattern="Operator.*")
+        assert prop.kind is PropertyKind.DECOMPOSITION
+        assert prop.source == "BD@*.Hardware"
+        assert "Operator.*" in prop.describe()

@@ -1,0 +1,102 @@
+"""Design-space pruning: decisions, requirements, policies, ranges."""
+
+import pytest
+
+from repro.core.designobject import DesignObject
+from repro.core.properties import Requirement, RequirementSense
+from repro.core.pruning import (
+    MissingPolicy,
+    merit_ranges,
+    option_support,
+    prune,
+)
+from repro.core.values import IntRange, RealRange
+
+
+def cores():
+    return [
+        DesignObject("a", "X", {"Tech": "t35", "Width": 64},
+                     {"area": 10.0, "delay": 5.0}),
+        DesignObject("b", "X", {"Tech": "t70", "Width": 64},
+                     {"area": 40.0, "delay": 9.0}),
+        DesignObject("c", "X", {"Tech": "t35", "Width": 32},
+                     {"area": 7.0}),
+        DesignObject("d", "X", {}, {"delay": 2.0}),  # undocumented issues
+    ]
+
+
+class TestDecisionFiltering:
+    def test_matching_option_survives(self):
+        report = prune(cores(), {"Tech": "t35"})
+        assert report.survivor_names == ["a", "c"]
+
+    def test_mismatch_reason_recorded(self):
+        report = prune(cores(), {"Tech": "t35"})
+        assert "t70" in report.eliminated["b"]
+
+    def test_undocumented_issue_excluded_by_default(self):
+        report = prune(cores(), {"Tech": "t35"})
+        assert "d" in report.eliminated
+        assert "does not document" in report.eliminated["d"]
+
+    def test_include_policy_keeps_undocumented(self):
+        report = prune(cores(), {"Tech": "t35"},
+                       policy=MissingPolicy.INCLUDE)
+        assert "d" in report.survivor_names
+
+    def test_multiple_decisions_conjunctive(self):
+        report = prune(cores(), {"Tech": "t35", "Width": 64})
+        assert report.survivor_names == ["a"]
+
+    def test_no_decisions_keeps_everything(self):
+        assert len(prune(cores(), {}).survivors) == 4
+
+
+class TestRequirementFiltering:
+    def test_max_sense_uses_merit(self):
+        req = Requirement("delay", RealRange(0), "d",
+                          sense=RequirementSense.MAX)
+        report = prune(cores(), {}, [(req, 6.0)])
+        # c has no delay merit -> passes; b fails at 9.
+        assert report.survivor_names == ["a", "c", "d"]
+        assert "fails required" in report.eliminated["b"]
+
+    def test_support_sense_uses_property(self):
+        req = Requirement("Width", IntRange(1), "d",
+                          sense=RequirementSense.AT_LEAST_SUPPORT)
+        report = prune(cores(), {}, [(req, 64)])
+        assert report.survivor_names == ["a", "b", "d"]
+
+    def test_undocumented_requirement_never_eliminates(self):
+        req = Requirement("Coding", IntRange(0), "d")
+        report = prune(cores(), {}, [(req, 1)])
+        assert len(report.survivors) == 4
+
+    def test_property_takes_precedence_over_merit(self):
+        req = Requirement("delay", RealRange(0), "d",
+                          sense=RequirementSense.MAX)
+        odd = DesignObject("e", "X", {"delay": 3.0}, {"delay": 99.0})
+        report = prune([odd], {}, [(req, 5.0)])
+        assert report.survivor_names == ["e"]
+
+
+class TestMeritRanges:
+    def test_ranges_over_documenting_cores(self):
+        ranges = merit_ranges(cores(), ("area", "delay"))
+        assert ranges["area"] == (7.0, 40.0)
+        assert ranges["delay"] == (2.0, 9.0)
+
+    def test_undocumented_metric_omitted(self):
+        assert "power" not in merit_ranges(cores(), ("power",))
+
+    def test_empty_cores(self):
+        assert merit_ranges([], ("area",)) == {}
+
+
+class TestOptionSupport:
+    def test_counts_by_option(self):
+        support = option_support(cores(), "Tech")
+        assert support == {"t35": 2, "t70": 1}
+
+    def test_unknown_issue_empty(self):
+        assert option_support(cores(), "Nope") == {}

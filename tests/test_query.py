@@ -1,0 +1,97 @@
+"""The fluent core-query interface."""
+
+import pytest
+
+from repro.core.query import CoreQuery, QueryError
+from repro.domains.crypto import vocab as v
+
+
+class TestWidgetQueries:
+    def test_under_and_where(self, widget_layer):
+        names = CoreQuery(widget_layer).under("Widget.hw") \
+            .where(Tech="t35").names()
+        assert sorted(names) == ["h1", "h2"]
+
+    def test_where_undocumented_never_matches(self, widget_layer):
+        assert CoreQuery(widget_layer).where(Ghost=1).count() == 0
+
+    def test_merit_bounds(self, widget_layer):
+        fast = CoreQuery(widget_layer).merit_at_most("latency_ns", 10.0)
+        assert sorted(fast.names()) == ["h1", "h2"]
+        big = CoreQuery(widget_layer).merit_at_least("area", 200.0)
+        assert big.names() == ["h3"]
+
+    def test_order_and_limit(self, widget_layer):
+        names = CoreQuery(widget_layer).under("Widget") \
+            .order_by("latency_ns").limit(2).names()
+        assert names == ["h2", "h1"]
+
+    def test_order_reverse(self, widget_layer):
+        slowest = CoreQuery(widget_layer).under("Widget.hw") \
+            .order_by("latency_ns", reverse=True).first()
+        assert slowest.name == "h3"
+
+    def test_missing_merit_sorts_last(self, widget_layer):
+        names = CoreQuery(widget_layer).order_by("area").names()
+        assert names[-2:] == ["s1", "s2"]  # software cores lack area
+
+    def test_first_and_exists(self, widget_layer):
+        query = CoreQuery(widget_layer).where(Tech="t70")
+        assert query.exists()
+        assert query.first().name == "h3"
+        assert not CoreQuery(widget_layer).where(Tech="t90").exists()
+        assert CoreQuery(widget_layer).where(Tech="t90").first() is None
+
+    def test_one(self, widget_layer):
+        assert CoreQuery(widget_layer).where(Tech="t70").one().name == "h3"
+        with pytest.raises(QueryError, match="exactly one"):
+            CoreQuery(widget_layer).where(Tech="t35").one()
+
+    def test_where_fn(self, widget_layer):
+        names = CoreQuery(widget_layer).where_fn(
+            lambda c: c.name.startswith("s")).names()
+        assert sorted(names) == ["s1", "s2"]
+
+    def test_from_provider(self, widget_layer):
+        assert CoreQuery(widget_layer).from_provider("lib-a").count() == 5
+        assert CoreQuery(widget_layer).from_provider("lib-z").count() == 0
+
+    def test_chains_are_immutable(self, widget_layer):
+        base = CoreQuery(widget_layer).under("Widget.hw")
+        narrowed = base.where(Tech="t35")
+        assert base.count() == 3
+        assert narrowed.count() == 2
+
+    def test_limit_validation(self, widget_layer):
+        with pytest.raises(QueryError):
+            CoreQuery(widget_layer).limit(-1)
+
+    def test_ranges(self, widget_layer):
+        ranges = CoreQuery(widget_layer).under("Widget.hw") \
+            .ranges(("area",))
+        assert ranges["area"] == (100.0, 260.0)
+
+
+class TestCryptoQueries:
+    def test_alias_resolution(self, crypto_layer):
+        assert CoreQuery(crypto_layer).under("OMM-HM").count() == 30
+
+    def test_readme_style_query(self, crypto_layer):
+        fast = (CoreQuery(crypto_layer).under("OMM-HM")
+                .where(**{v.RADIX: 2, v.ADDER_IMPL: "Carry-Save"})
+                .merit_at_most("delay_us", 8.0)
+                .order_by("latency_ns").limit(3).all())
+        assert [c.name for c in fast] == ["#2_16", "#2_32", "#2_8"]
+
+    def test_pareto(self, crypto_layer):
+        frontier = CoreQuery(crypto_layer).under("OMM-HM") \
+            .pareto(("latency_ns", "area"))
+        names = {c.name for c in frontier}
+        assert "#5_64" in names or "#5_32" in names
+        assert all(not n.startswith("#4") for n in names)
+
+    def test_evaluation_space_skips_missing(self, crypto_layer):
+        space = CoreQuery(crypto_layer).under("OMM") \
+            .evaluation_space(("area", "latency_ns"))
+        # software cores lack area and are skipped
+        assert len(space) == 40

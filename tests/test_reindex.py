@@ -1,0 +1,103 @@
+"""Re-indexing and co-existing hierarchies (paper Sec 6)."""
+
+import pytest
+
+from repro.core import (
+    ClassOfDesignObjects,
+    DesignIssue,
+    EnumDomain,
+    ExplorationSession,
+    attach_alternative_hierarchy,
+    reindex,
+    reindexed_core,
+)
+from repro.core.designobject import DesignObject
+from repro.domains.crypto import add_power_view, build_crypto_layer
+from repro.domains.crypto import vocab as v
+from repro.domains.crypto.alt_hierarchy import (
+    HIGH_PERFORMANCE,
+    LOW_POWER,
+    MID_POWER,
+    POWER_CLASS_ISSUE,
+    ROOT_NAME,
+    classify_power,
+)
+from repro.errors import LibraryError
+
+
+class TestReindexPrimitives:
+    def test_reindexed_core_shares_data(self):
+        payload = object()
+        original = DesignObject("c", "A.B", {"Radix": 2}, {"area": 1.0},
+                                doc="d", provenance="p",
+                                views={"rt": payload})
+        clone = reindexed_core(original, "X.Y")
+        assert clone.cdo_name == "X.Y"
+        assert clone.name == original.name
+        assert clone.property_value("Radix") == 2
+        assert clone.view("rt") is payload
+        assert clone.provenance == "p"
+
+    def test_reindex_skips_none(self):
+        cores = [DesignObject("a", "A", {}, {"m": 1.0}),
+                 DesignObject("b", "A", {}, {"m": 9.0})]
+        library = reindex(cores,
+                          lambda c: "X" if c.merit("m") < 5 else None,
+                          "view")
+        assert [c.name for c in library] == ["a"]
+
+
+@pytest.fixture()
+def powered_layer():
+    layer = build_crypto_layer(eol=768, include_software=False,
+                               include_arithmetic=False,
+                               include_exponentiators=False)
+    add_power_view(layer)
+    return layer
+
+
+class TestPowerView:
+    def test_every_hw_core_classified(self, powered_layer):
+        mirror = powered_layer.libraries.library("power-view")
+        assert len(mirror) == 40
+
+    def test_classes_partition_by_power(self, powered_layer):
+        for family, check in ((LOW_POWER, lambda p: p <= 80.0),
+                              (HIGH_PERFORMANCE, lambda p: p > 130.0)):
+            cores = powered_layer.cores_under(f"{ROOT_NAME}.{family}")
+            assert cores
+            assert all(check(c.merit("power_mw")) for c in cores)
+
+    def test_alternative_session(self, powered_layer):
+        session = ExplorationSession(
+            powered_layer, ROOT_NAME,
+            merit_metrics=("power_mw", "latency_ns"))
+        infos = {i.option: i for i in
+                 session.available_options(POWER_CLASS_ISSUE)}
+        assert set(infos) == {LOW_POWER, MID_POWER, HIGH_PERFORMANCE}
+        assert all(i.candidate_count > 0 for i in infos.values())
+        # Low-power family tops out below the high-performance floor.
+        assert infos[LOW_POWER].ranges["power_mw"][1] < \
+            infos[HIGH_PERFORMANCE].ranges["power_mw"][0]
+        session.decide(POWER_CLASS_ISSUE, LOW_POWER)
+        assert session.candidates()
+
+    def test_same_cores_both_hierarchies(self, powered_layer):
+        primary = {c.name for c in powered_layer.cores_under(v.OMM_H_PATH)}
+        mirrored = {c.name for c in powered_layer.cores_under(ROOT_NAME)}
+        assert mirrored == primary
+
+    def test_classifier_ignores_powerless_cores(self):
+        core = DesignObject("x", v.OMM_HM_PATH, {}, {"area": 1.0})
+        assert classify_power(core) is None
+
+    def test_empty_classification_rejected(self):
+        layer = build_crypto_layer(eol=768, include_software=False,
+                                   include_arithmetic=False,
+                                   include_exponentiators=False)
+        root = ClassOfDesignObjects("Empty", "never matches")
+        root.add_property(DesignIssue(
+            "Z", EnumDomain(["z"]), "z", generalized=True))
+        root.specialize_all()
+        with pytest.raises(LibraryError, match="no cores"):
+            attach_alternative_hierarchy(layer, root, lambda c: None)

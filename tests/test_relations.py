@@ -1,0 +1,108 @@
+"""CC relations: inconsistency, formulas, estimators, eliminations."""
+
+import pytest
+
+from repro.core.relations import (
+    EliminateOptions,
+    EstimatorInvocation,
+    Formula,
+    InconsistentOptions,
+    RelationResult,
+)
+from repro.errors import ConstraintError
+
+
+class TestInconsistentOptions:
+    def test_flags_inconsistent_combination(self):
+        relation = InconsistentOptions(
+            lambda b: b["x"] == 1 and b["y"] == 2, "x=1 & y=2 clash",
+            requires=("x", "y"))
+        result = relation.evaluate({"x": 1, "y": 2})
+        assert not result.ok
+        assert "clash" in result.explanation
+
+    def test_passes_consistent_combination(self):
+        relation = InconsistentOptions(
+            lambda b: b["x"] == 1, "x=1 bad", requires=("x",))
+        assert relation.evaluate({"x": 0}).ok
+
+    def test_missing_required_alias_raises(self):
+        relation = InconsistentOptions(lambda b: False, "d", requires=("x",))
+        with pytest.raises(ConstraintError, match="unbound"):
+            relation.evaluate({})
+
+    def test_description_mandatory(self):
+        with pytest.raises(ConstraintError):
+            InconsistentOptions(lambda b: False, "")
+
+
+class TestFormula:
+    def test_derives_value(self):
+        relation = Formula("L", lambda b: 2 * b["EOL"] / b["R"] + 1,
+                           "latency", requires=("EOL", "R"))
+        result = relation.evaluate({"EOL": 768, "R": 2})
+        assert result.ok
+        assert result.derived == {"L": 769.0}
+
+    def test_check_can_reject(self):
+        relation = Formula(
+            "S", lambda b: b["EOL"] // b["W"], "slices",
+            requires=("EOL", "W"),
+            check=lambda value, b: "no tile" if b["EOL"] % b["W"] else None)
+        good = relation.evaluate({"EOL": 768, "W": 64})
+        assert good.ok and good.derived["S"] == 12
+        bad = relation.evaluate({"EOL": 768, "W": 100})
+        assert not bad.ok
+        assert "no tile" in bad.explanation
+
+    def test_missing_alias(self):
+        relation = Formula("L", lambda b: 1, "d", requires=("EOL",))
+        with pytest.raises(ConstraintError):
+            relation.evaluate({"R": 2})
+
+
+class TestEstimatorInvocation:
+    def test_invokes_registered_tool(self):
+        relation = EstimatorInvocation("D", "tool", "d", requires=("B",))
+        result = relation.evaluate({"B": "behavior"},
+                                   tools={"tool": lambda b: len(b["B"])})
+        assert result.derived == {"D": 8}
+
+    def test_missing_tool(self):
+        relation = EstimatorInvocation("D", "tool", "d")
+        with pytest.raises(ConstraintError, match="not registered"):
+            relation.evaluate({}, tools={})
+
+    def test_no_tools_at_all(self):
+        relation = EstimatorInvocation("D", "tool", "d")
+        with pytest.raises(ConstraintError):
+            relation.evaluate({}, tools=None)
+
+
+class TestEliminateOptions:
+    def test_eliminates_pairs(self):
+        relation = EliminateOptions(
+            lambda b: [("Adder", "CLA"), ("Adder", "Ripple")]
+            if b["A"] == "M" else [],
+            "dominated", requires=("A",))
+        result = relation.evaluate({"A": "M"})
+        assert result.ok
+        assert ("Adder", "CLA") in result.eliminated
+        assert len(result.eliminated) == 2
+
+    def test_no_elimination_when_condition_false(self):
+        relation = EliminateOptions(lambda b: [], "d")
+        assert relation.evaluate({}).eliminated == []
+
+    def test_malformed_pairs_rejected(self):
+        relation = EliminateOptions(lambda b: ["not-a-pair"], "d")
+        with pytest.raises(ConstraintError, match="pairs"):
+            relation.evaluate({})
+
+
+class TestRelationResult:
+    def test_defaults(self):
+        result = RelationResult()
+        assert result.ok
+        assert result.derived == {}
+        assert result.eliminated == []

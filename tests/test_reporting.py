@@ -1,0 +1,94 @@
+"""Reporting helpers: trees, tables, scatter plots."""
+
+import pytest
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.evaluation import EvaluationPoint, EvaluationSpace
+from repro.core.properties import DesignIssue
+from repro.core.reporting import render_hierarchy, render_scatter, render_table
+from repro.core.values import EnumDomain
+
+
+def make_tree():
+    root = ClassOfDesignObjects("Root", "root doc")
+    root.add_property(DesignIssue("Style", EnumDomain(["a", "b"]), "style",
+                                  generalized=True))
+    root.specialize_all()
+    return root
+
+
+class TestRenderHierarchy:
+    def test_all_nodes_present(self):
+        text = render_hierarchy(make_tree())
+        assert "Root" in text
+        assert "a (Style=a)" in text
+        assert "b (Style=b)" in text
+
+    def test_properties_optional(self):
+        without = render_hierarchy(make_tree(), show_properties=False)
+        with_props = render_hierarchy(make_tree(), show_properties=True)
+        assert "Style" not in without.replace("(Style=", "")
+        assert "Design Issue Style" in with_props
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "value"],
+                            [["x", 1.5], ["longer", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert any("1.5" in line for line in lines)
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_float_trimming(self):
+        text = render_table(["v"], [[2.50]])
+        assert "2.5" in text and "2.50" not in text
+
+
+class TestRenderScatter:
+    def space(self):
+        return EvaluationSpace(("delay", "area"),
+                               [EvaluationPoint("p1", (1.0, 10.0)),
+                                EvaluationPoint("p2", (5.0, 2.0))])
+
+    def test_contains_labels_and_axes(self):
+        text = render_scatter(self.space(), width=20, height=6, title="Fig")
+        assert "Fig" in text
+        assert "delay" in text and "area" in text
+        assert "p1 (1, 10)" in text
+
+    def test_requires_two_metrics(self):
+        with pytest.raises(ValueError):
+            render_scatter(EvaluationSpace(("one",),
+                                           [EvaluationPoint("p", (1.0,))]))
+
+    def test_empty_space(self):
+        text = render_scatter(EvaluationSpace(("a", "b")), title="E")
+        assert "empty" in text
+
+
+class TestRenderMarkdown:
+    def test_layer_page_sections(self, widget_layer):
+        from repro.core.reporting import render_markdown
+        text = render_markdown(widget_layer)
+        assert "# Design space layer `widgets`" in text
+        assert "## Hierarchy `Widget`" in text
+        assert "## Reuse libraries" in text
+        assert "**lib-a** (5 cores)" in text
+        assert "`Style` — generalized design issue" in text
+        assert "*(via Style = hw)*" in text
+
+    def test_crypto_page_includes_constraints(self, crypto_layer):
+        from repro.core.reporting import render_markdown
+        text = render_markdown(crypto_layer)
+        assert "### CC1" in text
+        assert "Indep_Set" in text
+        assert "## Aliases" in text
+        assert "`OMM` → `Operator.Modular.Multiplier`" in text
+        assert "BehaviorDelayEstimator" in text

@@ -1,0 +1,146 @@
+"""Resource-constrained list scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavior.dfg import DataflowGraph
+from repro.behavior.ir import Assign, Behavior, BinOp, Const, Var
+from repro.behavior.listings import montgomery_behavior
+from repro.errors import EstimationError
+from repro.estimation.schedule import (
+    ADD_UNIT,
+    Allocation,
+    ListScheduler,
+    MUL_UNIT,
+    estimate_latency_cycles,
+)
+
+
+def parallel_adds(count):
+    """``count`` independent additions — purely resource-bound."""
+    return Behavior("par", [
+        Assign(f"x{i}", BinOp("+", Var(f"a{i}"), Var(f"b{i}")), line=i + 1)
+        for i in range(count)])
+
+
+def add_chain(length):
+    """A pure dependence chain — purely latency-bound."""
+    stmts = [Assign("x0", BinOp("+", Var("a"), Var("b")), line=1)]
+    for i in range(1, length):
+        stmts.append(Assign(f"x{i}",
+                            BinOp("+", Var(f"x{i-1}"), Var("c")),
+                            line=i + 1))
+    return Behavior("chain", stmts)
+
+
+class TestScheduleValidity:
+    def assert_valid(self, behavior, allocation):
+        schedule = ListScheduler(allocation).schedule(behavior)
+        graph = DataflowGraph.from_behavior(behavior)
+        step_of = {op.node_id: op.step for op in schedule.ops}
+        # Dependences strictly ordered.
+        for node in graph.nodes:
+            if node.symbol == "source":
+                continue
+            for pred in node.preds:
+                if graph.nodes[pred].symbol != "source":
+                    assert step_of[pred] < step_of[node.node_id]
+        # Per-step resource budgets respected.
+        for step in range(schedule.steps):
+            used = {}
+            for op in schedule.ops_at(step):
+                used[op.unit] = used.get(op.unit, 0) + 1
+            for unit, count in used.items():
+                assert count <= allocation.limit(unit)
+        # Everything scheduled exactly once.
+        ops = [n for n in graph.nodes if n.symbol != "source"]
+        assert len(schedule.ops) == len(ops)
+        return schedule
+
+    def test_montgomery_valid_on_minimal_allocation(self):
+        self.assert_valid(montgomery_behavior(), Allocation())
+
+    def test_montgomery_valid_on_rich_allocation(self):
+        self.assert_valid(montgomery_behavior(),
+                          Allocation(adders=4, multipliers=4, dividers=2,
+                                     misc=8))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=4))
+    def test_random_parallel_shapes_valid(self, ops, adders):
+        self.assert_valid(parallel_adds(ops), Allocation(adders=adders))
+
+
+class TestScheduleQuality:
+    def test_resource_bound_scales_with_allocation(self):
+        behavior = parallel_adds(8)
+        one = ListScheduler(Allocation(adders=1)).schedule(behavior)
+        four = ListScheduler(Allocation(adders=4)).schedule(behavior)
+        eight = ListScheduler(Allocation(adders=8)).schedule(behavior)
+        assert one.steps == 8
+        assert four.steps == 2
+        assert eight.steps == 1
+
+    def test_latency_bound_ignores_extra_units(self):
+        behavior = add_chain(6)
+        narrow = ListScheduler(Allocation(adders=1)).schedule(behavior)
+        wide = ListScheduler(Allocation(adders=8)).schedule(behavior)
+        assert narrow.steps == wide.steps == 6
+
+    def test_bottleneck_reported(self):
+        schedule = ListScheduler(Allocation(adders=1)).schedule(
+            parallel_adds(6))
+        assert schedule.bottleneck == ADD_UNIT
+        assert schedule.utilization[ADD_UNIT] == pytest.approx(1.0)
+
+    def test_mixed_resources(self):
+        behavior = Behavior("mix", [
+            Assign("p", BinOp("*", Var("a"), Var("b")), line=1),
+            Assign("q", BinOp("*", Var("c"), Var("d")), line=2),
+            Assign("s", BinOp("+", Var("p"), Var("q")), line=3)])
+        schedule = ListScheduler(
+            Allocation(adders=1, multipliers=2)).schedule(behavior)
+        assert schedule.steps == 2  # both muls together, then the add
+        schedule = ListScheduler(
+            Allocation(adders=1, multipliers=1)).schedule(behavior)
+        assert schedule.steps == 3
+
+
+class TestApi:
+    def test_zero_units_for_needed_class(self):
+        with pytest.raises(EstimationError, match="provides none"):
+            ListScheduler(Allocation(adders=0)).schedule(parallel_adds(1))
+
+    def test_non_behavior(self):
+        with pytest.raises(EstimationError):
+            ListScheduler().schedule("nope")
+
+    def test_empty_behavior(self):
+        schedule = ListScheduler().schedule(Behavior("empty", []))
+        assert schedule.steps == 0
+        assert schedule.bottleneck is None
+
+    def test_estimate_latency_cycles(self):
+        per_pass = ListScheduler().schedule(montgomery_behavior()).steps
+        assert estimate_latency_cycles(montgomery_behavior(),
+                                       iterations=10) == 10 * per_pass
+        with pytest.raises(EstimationError):
+            estimate_latency_cycles(montgomery_behavior(), iterations=0)
+
+    def test_describe(self):
+        text = ListScheduler().schedule(parallel_adds(2)).describe()
+        assert "step 0" in text and "+@adder" in text
+
+    def test_step_of_and_lookup_errors(self):
+        schedule = ListScheduler().schedule(parallel_adds(2))
+        node_id = schedule.ops[0].node_id
+        assert schedule.step_of(node_id) == schedule.ops[0].step
+        with pytest.raises(EstimationError):
+            schedule.step_of(99999)
+
+    def test_custom_symbol_mapping(self):
+        scheduler = ListScheduler(Allocation(multipliers=1),
+                                  unit_of_symbol={"+": MUL_UNIT})
+        schedule = scheduler.schedule(parallel_adds(3))
+        assert schedule.steps == 3  # adds now fight for the multiplier

@@ -1,0 +1,97 @@
+"""Requirement sensitivity sweeps."""
+
+import pytest
+
+from repro.core import ExplorationSession, sweep_requirement
+from repro.errors import ReproError
+
+from conftest import build_widget_layer
+
+
+@pytest.fixture()
+def hw_session(widget_layer):
+    session = ExplorationSession(widget_layer, "Widget",
+                                 merit_metrics=("area", "latency_ns"))
+    session.decide("Style", "hw")
+    return session
+
+
+class TestSweep:
+    def test_candidate_curve(self, hw_session):
+        report = sweep_requirement(hw_session, "MaxDelay",
+                                   [1, 6, 10, 25, 100])
+        counts = [p.candidates for p in report.points]
+        assert counts == [0, 1, 2, 3, 3]
+
+    def test_best_metrics_tracked(self, hw_session):
+        report = sweep_requirement(hw_session, "MaxDelay", [10],
+                                   metrics=("area",))
+        assert report.points[0].best["area"] == 100.0
+
+    def test_cliffs(self, hw_session):
+        report = sweep_requirement(hw_session, "MaxDelay",
+                                   [1, 6, 7, 10, 25, 100])
+        assert report.cliff_values() == [6, 10, 25]
+
+    def test_feasible_range(self, hw_session):
+        report = sweep_requirement(hw_session, "MaxDelay",
+                                   [1, 2, 6, 100])
+        assert report.feasible_range() == (6, 100)
+        empty = sweep_requirement(hw_session, "MaxDelay", [1, 2])
+        assert empty.feasible_range() == (None, None)
+
+    def test_session_untouched(self, hw_session):
+        before = (dict(hw_session.requirement_values),
+                  dict(hw_session.decisions),
+                  hw_session.current_cdo.qualified_name)
+        sweep_requirement(hw_session, "MaxDelay", [5, 50])
+        after = (dict(hw_session.requirement_values),
+                 dict(hw_session.decisions),
+                 hw_session.current_cdo.qualified_name)
+        assert before == after
+
+    def test_replays_existing_requirements(self, widget_layer):
+        session = ExplorationSession(widget_layer, "Widget")
+        session.set_requirement("Width", 64)  # excludes h3 (32-bit)
+        session.decide("Style", "hw")
+        report = sweep_requirement(session, "MaxDelay", [100])
+        assert report.points[0].candidates == 2
+
+    def test_invalid_values_marked_infeasible(self, hw_session):
+        report = sweep_requirement(hw_session, "MaxDelay",
+                                   [-5, 10])  # -5 violates the domain
+        assert report.points[0].infeasible
+        assert report.points[0].candidates == 0
+        assert report.points[1].candidates == 2
+
+    def test_empty_values_rejected(self, hw_session):
+        with pytest.raises(ReproError):
+            sweep_requirement(hw_session, "MaxDelay", [])
+
+    def test_describe(self, hw_session):
+        text = sweep_requirement(hw_session, "MaxDelay",
+                                 [1, 100]).describe()
+        assert "MaxDelay" in text
+        assert "0 candidates" in text
+        assert "3 candidates" in text
+
+
+class TestSweepAcrossGeneralizedDescents:
+    def test_decisions_replay_in_order(self, widget_layer):
+        session = ExplorationSession(widget_layer, "Widget")
+        session.decide("Style", "hw")
+        session.decide("Tech", "t35")
+        report = sweep_requirement(session, "MaxDelay", [100])
+        assert report.points[0].candidates == 2
+
+    def test_crypto_case_study_cliff(self, crypto_layer):
+        from repro.domains.crypto import case_study_session, vocab as v
+        session = case_study_session(crypto_layer)
+        session.decide(v.IMPLEMENTATION_STYLE, v.HARDWARE)
+        report = sweep_requirement(session, v.LATENCY_US,
+                                   [1.0, 1.3, 8.0],
+                                   metrics=("delay_us",))
+        counts = [p.candidates for p in report.points]
+        assert counts[0] == 0          # nothing under 1 us
+        assert counts[1] >= 1          # the fastest #5 configurations
+        assert counts[2] == 40         # the whole hardware family

@@ -1,0 +1,196 @@
+"""Serialization: behaviors, domains, properties, layers."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavior import (
+    behavior_from_dict,
+    behavior_to_dict,
+    brickell_behavior,
+    modexp_behavior,
+    montgomery_behavior,
+    pencil_behavior,
+    run_behavior,
+)
+from repro.core import DesignObject
+from repro.core.serialize import (
+    SerializationError,
+    core_from_dict,
+    core_to_dict,
+    domain_from_dict,
+    domain_to_dict,
+    layer_from_dict,
+    layer_to_dict,
+    property_from_dict,
+    property_to_dict,
+)
+from repro.core.properties import (
+    DesignIssue,
+    Requirement,
+    RequirementSense,
+)
+from repro.core.values import (
+    AnyDomain,
+    BoolDomain,
+    DivisorDomain,
+    EnumDomain,
+    IntRange,
+    PowerOfTwoDomain,
+    PredicateDomain,
+    RealRange,
+)
+
+
+class TestBehaviorRoundTrip:
+    @pytest.mark.parametrize("factory", [montgomery_behavior,
+                                         brickell_behavior,
+                                         pencil_behavior,
+                                         modexp_behavior])
+    def test_render_identity(self, factory):
+        original = factory()
+        loaded = behavior_from_dict(
+            json.loads(json.dumps(behavior_to_dict(original))))
+        assert loaded.render() == original.render()
+        assert loaded.codings == original.codings
+        assert loaded.inputs == original.inputs
+
+    def test_execution_identity(self):
+        original = montgomery_behavior()
+        loaded = behavior_from_dict(behavior_to_dict(original))
+        env = dict(A=123, B=77, M=251, r=2, n=8)
+        assert run_behavior(loaded, **env) == run_behavior(original, **env)
+
+    def test_indexed_assignment_round_trip(self):
+        from repro.behavior.ir import Assign, Behavior, Const
+        original = Behavior("b", [Assign("Q", Const(3), line=1,
+                                         target_index=Const(2))])
+        loaded = behavior_from_dict(behavior_to_dict(original))
+        assert run_behavior(loaded)["Q[2]"] == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(Exception):
+            behavior_from_dict({"name": "x", "statements":
+                                [{"kind": "goto", "line": 1}]})
+
+
+class TestDomainRoundTrip:
+    @pytest.mark.parametrize("domain", [
+        BoolDomain(),
+        EnumDomain(["a", 2, 3.0]),
+        RealRange(0.0, 8.0, unit="us"),
+        RealRange(lo=0.0),
+        IntRange(1, 64),
+        PowerOfTwoDomain(max_value="EOL"),
+        PowerOfTwoDomain(max_value=128, min_value=4),
+        DivisorDomain(of="EOL"),
+        AnyDomain(),
+    ])
+    def test_round_trip_preserves_membership(self, domain):
+        loaded = domain_from_dict(
+            json.loads(json.dumps(domain_to_dict(domain))))
+        context = {"EOL": 768}
+        for probe in (0, 1, 2, 3, 4, 8, 64, 768, 1024, "a", 2.0, True):
+            assert loaded.contains(probe, context) == \
+                domain.contains(probe, context)
+
+    def test_predicate_strict_raises(self):
+        data = domain_to_dict(PredicateDomain(lambda v, c: True, "{odd}"))
+        with pytest.raises(SerializationError, match="lenient"):
+            domain_from_dict(data)
+
+    def test_predicate_lenient_degrades(self):
+        data = domain_to_dict(
+            PredicateDomain(lambda v, c: False, "{none}", samples=(1,)))
+        loaded = domain_from_dict(data, lenient=True)
+        assert loaded.describe() == "{none}"
+        assert loaded.contains("anything")
+
+    def test_unknown_type(self):
+        with pytest.raises(SerializationError):
+            domain_from_dict({"type": "quantum"})
+
+
+class TestPropertyRoundTrip:
+    def test_requirement(self):
+        original = Requirement("Latency", RealRange(0), "max latency",
+                               sense=RequirementSense.MAX, unit="us")
+        loaded = property_from_dict(property_to_dict(original))
+        assert isinstance(loaded, Requirement)
+        assert loaded.sense is RequirementSense.MAX
+        assert loaded.unit == "us"
+        assert loaded.doc == original.doc
+
+    def test_design_issue(self):
+        original = DesignIssue("Radix", PowerOfTwoDomain(max_value="EOL"),
+                               "radix", default=2)
+        loaded = property_from_dict(property_to_dict(original))
+        assert isinstance(loaded, DesignIssue)
+        assert loaded.default == 2
+        assert not loaded.generalized
+
+    def test_generalized_flag_survives(self):
+        original = DesignIssue("Style", EnumDomain(["a"]), "s",
+                               generalized=True)
+        loaded = property_from_dict(property_to_dict(original))
+        assert loaded.generalized
+
+
+class TestCoreRoundTrip:
+    def test_core(self):
+        original = DesignObject("c", "A.B", {"Radix": 2},
+                                {"area": 10.0}, doc="d",
+                                provenance="lib-x")
+        loaded = core_from_dict(
+            json.loads(json.dumps(core_to_dict(original))))
+        assert loaded.name == "c"
+        assert loaded.cdo_name == "A.B"
+        assert loaded.property_value("Radix") == 2
+        assert loaded.merit("area") == 10.0
+        assert loaded.provenance == "lib-x"
+
+    def test_views_not_serialized(self):
+        original = DesignObject("c", "A.B", {}, {"area": 1.0},
+                                views={"rt": object()})
+        data = core_to_dict(original)
+        assert "views" not in data
+
+
+class TestLayerRoundTrip:
+    def test_widget_layer_full_round_trip(self, widget_layer):
+        data = json.loads(json.dumps(layer_to_dict(widget_layer)))
+        loaded = layer_from_dict(data)
+        assert {c.qualified_name for c in loaded.all_cdos()} == \
+            {c.qualified_name for c in widget_layer.all_cdos()}
+        assert len(loaded.libraries) == len(widget_layer.libraries)
+        loaded.validate()
+
+    def test_loaded_layer_supports_exploration(self, widget_layer):
+        from repro.core import ExplorationSession
+        loaded = layer_from_dict(layer_to_dict(widget_layer))
+        session = ExplorationSession(loaded, "Widget")
+        session.decide("Style", "hw")
+        session.decide("Tech", "t35")
+        assert sorted(c.name for c in session.candidates()) == ["h1", "h2"]
+
+    def test_crypto_layer_round_trip_lenient(self, crypto_layer):
+        data = layer_to_dict(crypto_layer)
+        json.dumps(data)  # must be JSON-compatible
+        loaded = layer_from_dict(data, lenient=True)
+        assert loaded.cdo("OMM-HM").qualified_name == \
+            "Operator.Modular.Multiplier.Hardware.Montgomery"
+        bd = loaded.cdo("OMM-HM").find_property("BehavioralDescription")
+        out = run_behavior(bd.description, A=5, B=7, M=13, r=2, n=4)
+        assert out["R"] == (5 * 7 * pow(2, -4, 13)) % 13
+
+    def test_crypto_layer_strict_rejects_predicate_domain(self,
+                                                          crypto_layer):
+        with pytest.raises(SerializationError):
+            layer_from_dict(layer_to_dict(crypto_layer))
+
+    def test_constraints_documented_not_coded(self, crypto_layer):
+        data = layer_to_dict(crypto_layer)
+        assert any("CC1" in text for text in data["constraints_doc"])
+        loaded = layer_from_dict(data, lenient=True)
+        assert len(loaded.constraints) == 0

@@ -1,0 +1,106 @@
+"""Property-based serialization: random layers round-trip losslessly."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClassOfDesignObjects,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    IntRange,
+    Requirement,
+    RequirementSense,
+    ReuseLibrary,
+)
+from repro.core.serialize import layer_from_dict, layer_to_dict
+
+names = st.text(alphabet="ABCDEFxyz", min_size=1, max_size=6)
+option_values = st.one_of(
+    st.text(alphabet="abc123", min_size=1, max_size=4),
+    st.integers(min_value=0, max_value=99))
+merit_values = st.floats(min_value=0.001, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def random_layer(draw) -> DesignSpaceLayer:
+    """A small random layer: one root, one generalized issue, 1-3
+    children each with 0-2 extra issues, and 0-6 cores."""
+    layer = DesignSpaceLayer(draw(names), "generated layer")
+    root = ClassOfDesignObjects("Root", "generated root")
+    root.add_property(Requirement(
+        "Width", IntRange(1, 1024), "generated requirement",
+        sense=draw(st.sampled_from(list(RequirementSense)))))
+    child_options = draw(st.lists(option_values, min_size=1, max_size=3,
+                                  unique=True))
+    root.add_property(DesignIssue(
+        "Split", EnumDomain(child_options), "generated generalized",
+        generalized=True))
+    layer.add_root(root)
+    children = []
+    for index, option in enumerate(child_options):
+        child = root.specialize(option, name=f"Child{index}")
+        children.append(child)
+        extra = draw(st.integers(min_value=0, max_value=2))
+        for issue_index in range(extra):
+            issue_options = draw(st.lists(option_values, min_size=1,
+                                          max_size=3, unique=True))
+            child.add_property(DesignIssue(
+                f"Issue{index}{issue_index}", EnumDomain(issue_options),
+                "generated issue"))
+    library = ReuseLibrary("gen-lib", "generated cores")
+    core_count = draw(st.integers(min_value=0, max_value=6))
+    for core_index in range(core_count):
+        child = children[core_index % len(children)]
+        merits = {"area": draw(merit_values)}
+        library.add(DesignObject(
+            f"core{core_index}", child.qualified_name,
+            {"Width": draw(st.integers(min_value=1, max_value=1024))},
+            merits, doc="generated core"))
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=random_layer())
+def test_round_trip_preserves_structure(layer):
+    data = json.loads(json.dumps(layer_to_dict(layer)))
+    loaded = layer_from_dict(data)
+    assert {c.qualified_name for c in loaded.all_cdos()} == \
+        {c.qualified_name for c in layer.all_cdos()}
+    for cdo in layer.all_cdos():
+        twin = loaded.cdo(cdo.qualified_name)
+        assert [p.name for p in twin.own_properties] == \
+            [p.name for p in cdo.own_properties]
+        assert twin.doc == cdo.doc
+        if cdo.generalized_issue is not None:
+            assert twin.generalized_issue is not None
+            assert twin.generalized_issue.options() == \
+                cdo.generalized_issue.options()
+    loaded.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=random_layer())
+def test_round_trip_preserves_cores(layer):
+    loaded = layer_from_dict(layer_to_dict(layer))
+    originals = {core.name: core for core in layer.libraries}
+    copies = {core.name: core for core in loaded.libraries}
+    assert set(copies) == set(originals)
+    for name, original in originals.items():
+        copy = copies[name]
+        assert copy.cdo_name == original.cdo_name
+        assert copy.properties == original.properties
+        assert copy.merits == original.merits
+
+
+@settings(max_examples=25, deadline=None)
+@given(layer=random_layer())
+def test_double_round_trip_is_fixed_point(layer):
+    once = layer_to_dict(layer_from_dict(layer_to_dict(layer)))
+    twice = layer_to_dict(layer_from_dict(once))
+    assert once == twice

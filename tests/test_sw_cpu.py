@@ -1,0 +1,116 @@
+"""CPU cost model and Fig 6 calibration."""
+
+import pytest
+
+from repro.data.paper_table1 import FIG6_SOFTWARE_US
+from repro.errors import ReproError
+from repro.sw.bignum import OpCounter
+from repro.sw.cpu import (
+    PENTIUM60_ASM,
+    PENTIUM60_C,
+    CpuModel,
+    SoftwareMultiplier,
+    pentium_suite,
+)
+
+
+class TestCpuModel:
+    def test_cycle_accounting(self):
+        model = CpuModel("m", 100.0, {"mul": 10, "add": 1}, "ASM")
+        ops = OpCounter({"mul": 5, "add": 20})
+        assert model.cycles(ops) == 70
+        assert model.microseconds(ops) == pytest.approx(0.7)
+
+    def test_variant_factor_applied(self):
+        ops = OpCounter({"mul": 100})
+        base = PENTIUM60_ASM.cycles(ops, "CIOS")
+        slower = PENTIUM60_ASM.cycles(ops, "CIHS")
+        assert slower == pytest.approx(base * 1.28)
+
+    def test_unknown_category_rejected(self):
+        model = CpuModel("m", 100.0, {}, "C")
+        with pytest.raises(ReproError, match="no cycle cost"):
+            model.cycles(OpCounter({"mystery": 1}))
+
+    def test_unknown_variant_neutral(self):
+        ops = OpCounter({"mul": 10})
+        assert PENTIUM60_ASM.cycles(ops, "NOVEL") == \
+            PENTIUM60_ASM.cycles(ops)
+
+
+class TestCalibration:
+    """The modelled Pentium-60 times vs the paper's Fig 6 values."""
+
+    @pytest.mark.parametrize("label", sorted(FIG6_SOFTWARE_US))
+    def test_within_five_percent(self, label):
+        suite = pentium_suite(1024)
+        modelled = suite[label].characterize()
+        measured = FIG6_SOFTWARE_US[label]
+        assert modelled / measured == pytest.approx(1.0, abs=0.05)
+
+    def test_c_to_asm_gap(self):
+        suite = pentium_suite(1024)
+        gap = suite["CIOS C"].characterize() / \
+            suite["CIOS ASM"].characterize()
+        assert 5.0 < gap < 9.0
+
+    def test_cios_beats_cihs(self):
+        suite = pentium_suite(1024)
+        assert suite["CIOS ASM"].characterize() < \
+            suite["CIHS ASM"].characterize()
+
+
+class TestSoftwareMultiplier:
+    def test_characterize_deterministic(self):
+        multiplier = SoftwareMultiplier("CIOS", 8, 32, PENTIUM60_ASM)
+        assert multiplier.characterize() == multiplier.characterize()
+
+    def test_delay_scales_quadratically(self):
+        small = SoftwareMultiplier("CIOS", 8, 32, PENTIUM60_ASM)
+        large = SoftwareMultiplier("CIOS", 16, 32, PENTIUM60_ASM)
+        ratio = large.characterize() / small.characterize()
+        assert 3.0 < ratio < 4.5
+
+    def test_delay_us_checks_coverage(self):
+        multiplier = SoftwareMultiplier("CIOS", 8, 32, PENTIUM60_ASM)
+        with pytest.raises(ReproError, match="covers"):
+            multiplier.delay_us(1024)
+
+    def test_name(self):
+        multiplier = SoftwareMultiplier("CIHS", 8, 32, PENTIUM60_C)
+        assert multiplier.name == "CIHS C"
+
+    def test_suite_geometry_checked(self):
+        with pytest.raises(ReproError):
+            pentium_suite(1000)
+
+
+class TestExponentiationTiming:
+    def test_scales_with_exponent_bits(self):
+        multiplier = SoftwareMultiplier("CIOS", 8, 32, PENTIUM60_ASM)
+        short = multiplier.exponentiation_us(64)
+        long = multiplier.exponentiation_us(256)
+        assert long / short == pytest.approx((256 + 128 + 2) / (64 + 32 + 2))
+
+    def test_worst_case_above_average(self):
+        multiplier = SoftwareMultiplier("CIOS", 8, 32, PENTIUM60_ASM)
+        assert multiplier.exponentiation_us(128, average_case=False) > \
+            multiplier.exponentiation_us(128)
+
+    def test_software_vs_hardware_coprocessor_gap(self):
+        """A full 768-bit exponentiation: ~1.5 ms in hardware vs
+        hundreds of milliseconds in assembly — the end-to-end version
+        of Fig 6's per-multiplication gap."""
+        from repro.sw.cpu import pentium_suite
+        suite = pentium_suite(768, variants={"CIOS ASM": ("CIOS", "ASM")})
+        software_ms = suite["CIOS ASM"].exponentiation_us(768) / 1000.0
+        from repro.hw import ExponentiatorSpec
+        from repro.hw.synthesis import table1_spec
+        hardware_ms = ExponentiatorSpec(
+            table1_spec(5, 64, 12)).latency_ns(768) / 1e6
+        assert software_ms / hardware_ms > 100
+
+    def test_validation(self):
+        multiplier = SoftwareMultiplier("CIOS", 8, 32, PENTIUM60_ASM)
+        with pytest.raises(ReproError):
+            multiplier.exponentiation_us(0)

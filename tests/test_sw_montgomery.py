@@ -1,0 +1,116 @@
+"""Word-level Montgomery variants: correctness and op-count structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.sw.bignum import BignumError
+from repro.sw.montgomery_sw import VARIANTS, MontgomeryRoutine
+
+
+@st.composite
+def geometry_case(draw):
+    num_words = draw(st.sampled_from([2, 3, 4, 8]))
+    word_bits = draw(st.sampled_from([8, 16, 32]))
+    bits = num_words * word_bits
+    modulus = draw(st.integers(min_value=3, max_value=(1 << bits) - 1)) | 1
+    a = draw(st.integers(min_value=0, max_value=modulus - 1))
+    b = draw(st.integers(min_value=0, max_value=modulus - 1))
+    return num_words, word_bits, modulus, a, b
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @settings(max_examples=25, deadline=None)
+    @given(case=geometry_case())
+    def test_monpro_matches_math(self, variant, case):
+        num_words, word_bits, modulus, a, b = case
+        routine = MontgomeryRoutine(variant, num_words, word_bits)
+        result = routine.monpro(a, b, modulus)
+        r_inverse = pow(2, -(num_words * word_bits), modulus)
+        assert result.result == (a * b * r_inverse) % modulus
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_multiply_mod(self, variant):
+        routine = MontgomeryRoutine(variant, 4, 32)
+        modulus = (1 << 127) | 45
+        a, b = modulus - 5, modulus // 3
+        assert routine.multiply_mod(a, b, modulus).result == \
+            (a * b) % modulus
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_edge_operands(self, variant):
+        routine = MontgomeryRoutine(variant, 2, 16)
+        modulus = (1 << 31) | 11
+        for a, b in ((0, 0), (0, modulus - 1), (modulus - 1, modulus - 1),
+                     (1, 1)):
+            expect = (a * b * pow(2, -32, modulus)) % modulus
+            assert routine.monpro(a, b, modulus).result == expect
+
+    def test_variants_agree(self):
+        modulus = (1 << 255) | 19
+        a, b = 0xDEADBEEF << 100, 0xCAFEBABE << 90
+        results = {MontgomeryRoutine(v, 8, 32).monpro(a, b, modulus).result
+                   for v in VARIANTS}
+        assert len(results) == 1
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ReproError, match="unknown variant"):
+            MontgomeryRoutine("XYZ", 4, 32)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ReproError):
+            MontgomeryRoutine("CIOS", 0, 32)
+
+    def test_even_modulus(self):
+        routine = MontgomeryRoutine("CIOS", 2, 16)
+        with pytest.raises(BignumError, match="odd"):
+            routine.monpro(1, 1, 100)
+
+    def test_oversized_modulus(self):
+        routine = MontgomeryRoutine("CIOS", 2, 16)
+        with pytest.raises(BignumError, match="covers"):
+            routine.monpro(1, 1, (1 << 40) | 1)
+
+    def test_operand_range(self):
+        routine = MontgomeryRoutine("CIOS", 2, 16)
+        with pytest.raises(BignumError):
+            routine.monpro(1000, 1, 101)
+
+
+class TestOpCounts:
+    """Structural properties from Koc/Acar/Kaliski's analysis."""
+
+    def run(self, variant, num_words=16):
+        routine = MontgomeryRoutine(variant, num_words, 32)
+        modulus = (1 << (num_words * 32)) - 1
+        return routine.monpro(modulus - 2, modulus - 2, modulus).ops
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_multiplication_count_is_canonical(self, variant):
+        """Every variant performs 2s^2 + s single-precision multiplies."""
+        s = 16
+        ops = self.run(variant, s)
+        assert ops.get("mul") == 2 * s * s + s
+
+    def test_cihs_more_memory_traffic_than_cios(self):
+        assert self.run("CIHS").get("mem") > self.run("CIOS").get("mem")
+
+    def test_fips_fewest_memory_ops(self):
+        fips = self.run("FIPS").get("mem")
+        for other in ("SOS", "CIOS", "FIOS", "CIHS"):
+            assert fips <= self.run(other).get("mem")
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_counts_scale_quadratically(self, variant):
+        small = self.run(variant, 8).get("mul")
+        large = self.run(variant, 16).get("mul")
+        assert large / small == pytest.approx(
+            (2 * 256 + 16) / (2 * 64 + 8))
+
+    def test_r_factor(self):
+        routine = MontgomeryRoutine("CIOS", 4, 32)
+        modulus = (1 << 127) | 1
+        assert routine.r_factor(modulus) == pow(2, 128, modulus)

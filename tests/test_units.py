@@ -1,0 +1,39 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro.units import (
+    format_quantity,
+    mhz_to_period_ns,
+    ns_to_s,
+    ns_to_us,
+    period_ns_to_mhz,
+    us_to_ns,
+)
+
+
+def test_ns_us_round_trip():
+    assert ns_to_us(us_to_ns(8.0)) == pytest.approx(8.0)
+    assert ns_to_us(2500.0) == pytest.approx(2.5)
+
+
+def test_ns_to_s():
+    assert ns_to_s(1e9) == pytest.approx(1.0)
+
+
+def test_frequency_period_duality():
+    assert mhz_to_period_ns(100.0) == pytest.approx(10.0)
+    assert period_ns_to_mhz(mhz_to_period_ns(60.0)) == pytest.approx(60.0)
+
+
+def test_frequency_validation():
+    with pytest.raises(ValueError):
+        mhz_to_period_ns(0)
+    with pytest.raises(ValueError):
+        period_ns_to_mhz(-1)
+
+
+def test_format_quantity_trims_zeros():
+    assert format_quantity(8.0, "us") == "8 us"
+    assert format_quantity(2.37, "ns") == "2.37 ns"
+    assert format_quantity(2.370, "ns", precision=3) == "2.37 ns"

@@ -1,0 +1,224 @@
+"""Value domains: membership, context dependence, sampling, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.values import (
+    AnyDomain,
+    BoolDomain,
+    DivisorDomain,
+    EnumDomain,
+    IntRange,
+    PowerOfTwoDomain,
+    PredicateDomain,
+    RealRange,
+)
+from repro.errors import DomainError
+
+
+class TestEnumDomain:
+    def test_contains_declared_options(self):
+        domain = EnumDomain(["a", "b", "c"])
+        assert domain.contains("a")
+        assert domain.contains("c")
+        assert not domain.contains("d")
+
+    def test_preserves_order(self):
+        domain = EnumDomain(["z", "a", "m"])
+        assert domain.options == ("z", "a", "m")
+        assert domain.sample() == ("z", "a", "m")
+
+    def test_is_finite_and_iterable(self):
+        domain = EnumDomain([1, 2, 3])
+        assert domain.is_finite()
+        assert list(domain) == [1, 2, 3]
+        assert len(domain) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            EnumDomain([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            EnumDomain(["a", "a"])
+
+    def test_validate_raises_with_description(self):
+        with pytest.raises(DomainError, match="not in"):
+            EnumDomain(["x"]).validate("y")
+
+    def test_sample_respects_limit(self):
+        domain = EnumDomain(list(range(20)))
+        assert len(domain.sample(5)) == 5
+
+    def test_mixed_value_types(self):
+        domain = EnumDomain([1, "two", 3.0])
+        assert domain.contains("two")
+        assert domain.contains(3.0)
+
+
+class TestBoolDomain:
+    def test_options(self):
+        domain = BoolDomain()
+        assert domain.contains(True)
+        assert domain.contains(False)
+        assert not domain.contains("yes")
+
+
+class TestRealRange:
+    def test_bounds_inclusive(self):
+        domain = RealRange(0.0, 8.0)
+        assert domain.contains(0.0)
+        assert domain.contains(8.0)
+        assert domain.contains(4)
+        assert not domain.contains(-0.1)
+        assert not domain.contains(8.1)
+
+    def test_unbounded_above(self):
+        domain = RealRange(lo=0.0)
+        assert domain.contains(1e12)
+        assert not domain.contains(-1)
+
+    def test_unbounded_below(self):
+        domain = RealRange(hi=10.0)
+        assert domain.contains(-1e12)
+        assert not domain.contains(11)
+
+    def test_rejects_non_numbers_and_bools(self):
+        domain = RealRange(0, 10)
+        assert not domain.contains("5")
+        assert not domain.contains(True)
+        assert not domain.contains(None)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(DomainError):
+            RealRange(5.0, 1.0)
+
+    def test_sample_spans_range(self):
+        values = RealRange(0.0, 10.0).sample(5)
+        assert values[0] == 0.0
+        assert values[-1] == 10.0
+        assert len(values) == 5
+
+    def test_describe_mentions_unit(self):
+        assert "us" in RealRange(0, 8, unit="us").describe()
+
+
+class TestIntRange:
+    def test_membership(self):
+        domain = IntRange(2, 6)
+        assert domain.contains(2)
+        assert domain.contains(6)
+        assert not domain.contains(1)
+        assert not domain.contains(7)
+        assert not domain.contains(3.5)
+        assert not domain.contains(True)
+
+    def test_finite_detection(self):
+        assert IntRange(0, 5).is_finite()
+        assert not IntRange(0).is_finite()
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            IntRange(5, 2)
+
+    def test_sample(self):
+        assert IntRange(3, 100).sample(4) == (3, 4, 5, 6)
+
+
+class TestPowerOfTwoDomain:
+    def test_basic_membership(self):
+        domain = PowerOfTwoDomain()
+        for value in (2, 4, 8, 1024, 2 ** 20):
+            assert domain.contains(value)
+        for value in (0, 1, 3, 6, -4, 2.0, True):
+            assert not domain.contains(value)
+
+    def test_numeric_bound(self):
+        domain = PowerOfTwoDomain(max_value=64)
+        assert domain.contains(64)
+        assert not domain.contains(128)
+
+    def test_property_bound_resolved_through_context(self):
+        domain = PowerOfTwoDomain(max_value="EOL")
+        assert domain.contains(256, {"EOL": 768})
+        assert not domain.contains(1024, {"EOL": 768})
+
+    def test_property_bound_unresolved_is_permissive(self):
+        domain = PowerOfTwoDomain(max_value="EOL")
+        assert domain.contains(2 ** 30)
+        assert domain.contains(2 ** 30, {"other": 1})
+
+    def test_bad_bound_value(self):
+        domain = PowerOfTwoDomain(max_value="EOL")
+        with pytest.raises(DomainError):
+            domain.contains(4, {"EOL": "not-a-number"})
+
+    def test_min_value(self):
+        domain = PowerOfTwoDomain(min_value=4)
+        assert not domain.contains(2)
+        assert domain.contains(4)
+
+    def test_min_value_must_be_power_of_two(self):
+        with pytest.raises(DomainError):
+            PowerOfTwoDomain(min_value=3)
+
+    def test_sample_bounded(self):
+        assert PowerOfTwoDomain(max_value=32).sample(10) == (2, 4, 8, 16, 32)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_all_powers_members(self, exponent):
+        assert PowerOfTwoDomain().contains(2 ** exponent)
+
+
+class TestDivisorDomain:
+    def test_numeric_base(self):
+        domain = DivisorDomain(12)
+        for value in (1, 2, 3, 4, 6, 12):
+            assert domain.contains(value)
+        for value in (5, 7, 24, 0, -3):
+            assert not domain.contains(value)
+
+    def test_property_base(self):
+        domain = DivisorDomain(of="EOL")
+        assert domain.contains(96, {"EOL": 768})
+        assert not domain.contains(100, {"EOL": 768})
+
+    def test_unresolved_base_is_permissive(self):
+        assert DivisorDomain(of="EOL").contains(7)
+
+    def test_sample_enumerates_divisors(self):
+        assert DivisorDomain(12).sample(10) == (1, 2, 3, 4, 6, 12)
+
+    def test_bad_base(self):
+        with pytest.raises(DomainError):
+            DivisorDomain(of="EOL").contains(3, {"EOL": 0})
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_base_divides_itself(self, base):
+        assert DivisorDomain(base).contains(base)
+
+
+class TestPredicateDomain:
+    def test_predicate_applied(self):
+        domain = PredicateDomain(
+            lambda value, _ctx: isinstance(value, int) and value % 8 == 0,
+            "{8i}", samples=(8, 16))
+        assert domain.contains(768)
+        assert not domain.contains(7)
+        assert domain.sample() == (8, 16)
+        assert domain.describe() == "{8i}"
+
+    def test_context_forwarded(self):
+        domain = PredicateDomain(
+            lambda value, ctx: ctx is not None and value < ctx.get("cap", 0),
+            "{< cap}")
+        assert domain.contains(5, {"cap": 10})
+        assert not domain.contains(5, {"cap": 3})
+        assert not domain.contains(5)
+
+
+class TestAnyDomain:
+    def test_everything_is_member(self):
+        domain = AnyDomain()
+        for value in (None, 0, "x", object(), [1]):
+            assert domain.contains(value)

@@ -1,0 +1,91 @@
+"""Signature workloads on pluggable multiplier backends."""
+
+import pytest
+
+from repro.arith.workload import (
+    SimulatorBackend,
+    make_signature_workload,
+    run_signature_workload,
+)
+from repro.errors import ReproError
+from repro.hw import BrickellMultiplierHW, MontgomeryMultiplierHW
+from repro.hw.synthesis import table1_spec
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_signature_workload(messages=2, key_bits=128, seed=3)
+
+
+class TestWorkloadGeneration:
+    def test_reproducible(self):
+        a = make_signature_workload(messages=3, key_bits=128, seed=7)
+        b = make_signature_workload(messages=3, key_bits=128, seed=7)
+        assert a.key.modulus == b.key.modulus
+        assert a.digests == b.digests
+        assert a.size == 3
+
+    def test_digests_in_range(self, workload):
+        assert all(0 < d < workload.key.modulus for d in workload.digests)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_signature_workload(messages=0)
+
+
+class TestReferenceBackend:
+    def test_runs_and_verifies(self, workload):
+        result = run_signature_workload(
+            workload, lambda a, b, m: (a * b) % m)
+        assert result.verified
+        assert result.signatures == 2
+        assert result.modular_multiplications > 2 * 128
+        assert result.datapath_cycles == 0
+        assert "verified=True" in result.describe()
+
+
+class TestSimulatorBackends:
+    def test_montgomery_backend_counts_cycles(self, workload):
+        backend = SimulatorBackend(
+            MontgomeryMultiplierHW(table1_spec(5, 32, 4)), "#5")
+        result = run_signature_workload(workload, backend.modmul,
+                                        backend.name,
+                                        backend.cycle_reader)
+        assert result.verified
+        assert result.datapath_cycles > 0
+        assert result.cycles_per_signature() == pytest.approx(
+            result.datapath_cycles / 2)
+
+    def test_brickell_adapter(self, workload):
+        backend = SimulatorBackend.from_brickell(
+            BrickellMultiplierHW(table1_spec(8, 32, 4)), "#8")
+        result = run_signature_workload(workload, backend.modmul,
+                                        backend.name,
+                                        backend.cycle_reader)
+        assert result.verified
+        assert result.datapath_cycles > 0
+
+    def test_backends_agree_on_signatures(self, workload):
+        """All backends produce the same (correct) signatures —
+        different datapaths, one mathematics."""
+        reference = []
+        from repro.arith import sign
+        for digest in workload.digests:
+            reference.append(sign(digest, workload.key))
+        backend = SimulatorBackend(
+            MontgomeryMultiplierHW(table1_spec(2, 32, 4)), "#2")
+        from repro.arith import ModExpStats
+        produced = [sign(d, workload.key, modmul=backend.modmul)
+                    for d in workload.digests]
+        assert produced == reference
+
+    def test_radix4_needs_fewer_cycles_than_radix2(self, workload):
+        results = {}
+        for number in (2, 5):
+            backend = SimulatorBackend(
+                MontgomeryMultiplierHW(table1_spec(number, 32, 4)),
+                f"#{number}")
+            results[number] = run_signature_workload(
+                workload, backend.modmul, backend.name,
+                backend.cycle_reader)
+        assert results[5].datapath_cycles < results[2].datapath_cycles
