@@ -37,6 +37,7 @@ from repro.core.designobject import (
     DesignObject,
 )
 from repro.core.evaluation import EvaluationPoint, EvaluationSpace, dominates
+from repro.core.index import CoreIndex, IndexedPruneReport
 from repro.core.layer import DesignSpaceLayer
 from repro.core.library import LibraryFederation, ReuseLibrary
 from repro.core.path import (
@@ -120,6 +121,7 @@ __all__ = [
     "EliminateOptions", "EstimatorInvocation", "Formula",
     "InconsistentOptions", "Relation", "RelationResult",
     "DesignObject", "LibraryFederation", "ReuseLibrary",
+    "CoreIndex", "IndexedPruneReport",
     "MissingPolicy", "PruneReport", "merit_ranges", "option_support", "prune",
     "EvaluationPoint", "EvaluationSpace", "dominates",
     "Cluster", "agglomerate", "explain_clusters", "suggest_cluster_count",

@@ -60,6 +60,16 @@ class ClassOfDesignObjects:
         self._children: Dict[object, "ClassOfDesignObjects"] = {}
         self._properties: Dict[str, Property] = {}
         self._generalized_issue: Optional[DesignIssue] = None
+        #: Structural generation counter: bumped (here and up the parent
+        #: chain) whenever the sub-hierarchy gains a property or a child,
+        #: so layer-level caches keyed on the root's version expire.
+        self._version = 0
+
+    def _touch_structure(self) -> None:
+        node: Optional["ClassOfDesignObjects"] = self
+        while node is not None:
+            node._version += 1
+            node = node.parent
 
     # ------------------------------------------------------------------
     # identity and navigation
@@ -148,6 +158,7 @@ class ClassOfDesignObjects:
                     f"most one generalized design issue")
             self._generalized_issue = prop
         self._properties[prop.name] = prop
+        self._touch_structure()
         return prop
 
     @property
@@ -229,6 +240,7 @@ class ClassOfDesignObjects:
         child = ClassOfDesignObjects(child_name, child_doc, parent=self,
                                      option_of_parent=option)
         self._children[option] = child
+        self._touch_structure()
         return child
 
     def specialize_all(self) -> List["ClassOfDesignObjects"]:

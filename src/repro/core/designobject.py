@@ -46,6 +46,10 @@ class DesignObject:
             raise LibraryError("design object name must be non-empty")
         if not cdo_name:
             raise LibraryError(f"design object {name!r} needs a CDO name")
+        #: Containers (reuse libraries) whose indexes cover this core;
+        #: notified on every characterization change so epoch-cached
+        #: queries never serve a stale position in the design space.
+        self._watchers: list = []
         self.name = name
         #: Qualified name of the (typically leaf) CDO the core belongs to.
         self.cdo_name = cdo_name
@@ -72,8 +76,13 @@ class DesignObject:
     def has_property(self, name: str) -> bool:
         return name in self._properties
 
+    def _touch(self) -> None:
+        for watcher in self._watchers:
+            watcher._bump()
+
     def set_property(self, name: str, value: object) -> None:
         self._properties[name] = value
+        self._touch()
 
     @property
     def properties(self) -> Mapping[str, object]:
@@ -101,6 +110,7 @@ class DesignObject:
             raise LibraryError(
                 f"figure of merit {key!r} must be numeric, got {value!r}")
         self._merits[key] = float(value)
+        self._touch()
 
     @property
     def merits(self) -> Mapping[str, float]:
@@ -123,6 +133,7 @@ class DesignObject:
         if level not in LEVELS:
             raise LibraryError(f"unknown view level {level!r}")
         self._views[level] = payload
+        self._touch()
 
     @property
     def view_levels(self) -> Sequence[str]:

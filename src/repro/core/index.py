@@ -1,0 +1,287 @@
+"""Inverted core indexes — the query engine behind the layer's scaling claim.
+
+The paper argues the design space layer is "easily scalable" because it
+*indexes* cores instead of storing them.  This module makes that literal:
+a :class:`CoreIndex` precomputes, over a snapshot of a core collection,
+
+* the **descendant closure** of every CDO prefix, so "all cores indexed
+  at or below ``Operator.Modular.Multiplier``" is a set lookup instead of
+  a string-prefix scan over the whole federation;
+* **posting sets** per (property, value), so design-decision filtering is
+  set intersection instead of per-core predicate evaluation; and
+* **per-merit sorted arrays**, so threshold requirements bisect and
+  figure-of-merit ranges probe instead of scanning.
+
+Pruning through the index returns the same :class:`PruneReport` the naive
+filter produces — survivors in the same order, elimination reasons
+reconstructed lazily (and identically) only when someone reads them.
+
+Indexes are snapshots; freshness is the owner's problem.  The library /
+federation / layer classes own one index each and rebuild it when their
+epoch counter moves (see ``docs/performance.md``), so callers never flush
+caches by hand.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.core.cdo import QNAME_SEP
+from repro.core.designobject import DesignObject
+from repro.core.properties import Requirement, RequirementSense
+from repro.core.pruning import (
+    MissingPolicy,
+    PruneReport,
+    _match_decision,
+    _match_requirement,
+)
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+def _is_plain_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class CoreIndex:
+    """An immutable inverted index over a snapshot of design objects.
+
+    Core ids are positions in the snapshot order (the owner's iteration
+    order), so materializing a sorted id set reproduces exactly the core
+    ordering the linear scans used to return.
+    """
+
+    def __init__(self, cores: Iterable[DesignObject]):
+        self.cores: List[DesignObject] = list(cores)
+        self.all_ids: FrozenSet[int] = frozenset(range(len(self.cores)))
+        self._by_exact: Dict[str, Set[int]] = {}
+        self._by_subtree: Dict[str, Set[int]] = {}
+        self._by_prop: Dict[str, Dict[object, Set[int]]] = {}
+        self._with_prop: Dict[str, Set[int]] = {}
+        #: ids whose value for a property is unhashable (checked linearly).
+        self._odd_prop_ids: Dict[str, Set[int]] = {}
+        self._with_merit: Dict[str, Set[int]] = {}
+        #: merit key -> (sorted values, ids in that order); built lazily.
+        self._merit_sorted: Dict[str, Tuple[List[float], List[int]]] = {}
+        for i, core in enumerate(self.cores):
+            self._by_exact.setdefault(core.cdo_name, set()).add(i)
+            parts = core.cdo_name.split(QNAME_SEP)
+            for depth in range(1, len(parts) + 1):
+                prefix = QNAME_SEP.join(parts[:depth])
+                self._by_subtree.setdefault(prefix, set()).add(i)
+            for name, value in core._properties.items():
+                self._with_prop.setdefault(name, set()).add(i)
+                groups = self._by_prop.setdefault(name, {})
+                try:
+                    groups.setdefault(value, set()).add(i)
+                except TypeError:
+                    self._odd_prop_ids.setdefault(name, set()).add(i)
+            for key in core._merits:
+                self._with_merit.setdefault(key, set()).add(i)
+
+    # ------------------------------------------------------------------
+    # id-set primitives
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def subtree_ids(self, cdo_name: str) -> FrozenSet[int]:
+        """Ids of cores indexed at ``cdo_name`` or any descendant."""
+        ids = self._by_subtree.get(cdo_name)
+        return frozenset(ids) if ids is not None else _EMPTY
+
+    def exact_ids(self, cdo_name: str) -> FrozenSet[int]:
+        ids = self._by_exact.get(cdo_name)
+        return frozenset(ids) if ids is not None else _EMPTY
+
+    def materialize(self, ids: Iterable[int]) -> List[DesignObject]:
+        """Cores for ``ids`` in snapshot (= federation iteration) order."""
+        return [self.cores[i] for i in sorted(ids)]
+
+    def cores_under(self, cdo_name: str,
+                    include_descendants: bool = True) -> List[DesignObject]:
+        ids = (self.subtree_ids(cdo_name) if include_descendants
+               else self.exact_ids(cdo_name))
+        return self.materialize(ids)
+
+    def decision_ids(self, name: str, option: object,
+                     policy: MissingPolicy = MissingPolicy.EXCLUDE
+                     ) -> Set[int]:
+        """Ids complying with the decision ``name = option``."""
+        groups = self._by_prop.get(name, {})
+        try:
+            ok = set(groups.get(option, _EMPTY))
+        except TypeError:  # unhashable option: compare against each group
+            ok = set()
+            for value, ids in groups.items():
+                if value == option:
+                    ok |= ids
+        for i in self._odd_prop_ids.get(name, _EMPTY):
+            if self.cores[i].property_value(name) == option:
+                ok.add(i)
+        if policy is MissingPolicy.INCLUDE:
+            ok |= self.all_ids - self._with_prop.get(name, _EMPTY)
+        return ok
+
+    def merit_ids_at_most(self, key: str, bound: float) -> Set[int]:
+        values, ids = self._merit_arrays(key)
+        return set(ids[:bisect_right(values, bound)])
+
+    def merit_ids_at_least(self, key: str, bound: float) -> Set[int]:
+        values, ids = self._merit_arrays(key)
+        return set(ids[bisect_left(values, bound):])
+
+    def _merit_arrays(self, key: str) -> Tuple[List[float], List[int]]:
+        cached = self._merit_sorted.get(key)
+        if cached is None:
+            pairs = sorted((self.cores[i].merit(key), i)
+                           for i in self._with_merit.get(key, _EMPTY))
+            cached = ([v for v, _ in pairs], [i for _, i in pairs])
+            self._merit_sorted[key] = cached
+        return cached
+
+    def requirement_ids(self, req: Requirement, required: object) -> Set[int]:
+        """Ids *not eliminated* by the requirement value ``required``.
+
+        Mirrors :func:`repro.core.pruning._match_requirement`: a documented
+        property value must satisfy the requirement; otherwise a matching
+        figure of merit is consulted; cores documenting neither are
+        unconstrained.  Grouping by distinct value means ``satisfied_by``
+        runs once per value, not once per core.
+        """
+        documented = self._with_prop.get(req.name, _EMPTY)
+        ok: Set[int] = set()
+        for value, ids in self._by_prop.get(req.name, {}).items():
+            if req.satisfied_by(value, required):
+                ok |= ids
+        for i in self._odd_prop_ids.get(req.name, _EMPTY):
+            if req.satisfied_by(self.cores[i].property_value(req.name),
+                                required):
+                ok.add(i)
+        merit_holders = self._with_merit.get(req.name, _EMPTY)
+        merit_only = merit_holders - documented
+        if merit_only:
+            ok |= self._satisfying_merit_ids(req, required) & merit_only
+        ok |= self.all_ids - documented - merit_holders
+        return ok
+
+    def _satisfying_merit_ids(self, req: Requirement, required: object
+                              ) -> Set[int]:
+        if _is_plain_number(required):
+            if req.sense is RequirementSense.MAX:
+                return self.merit_ids_at_most(req.name, float(required))
+            if req.sense in (RequirementSense.MIN,
+                             RequirementSense.AT_LEAST_SUPPORT):
+                return self.merit_ids_at_least(req.name, float(required))
+        # EXACT or a non-numeric requirement value: merits are floats, so
+        # fall back to grouped equality via satisfied_by.
+        ok: Set[int] = set()
+        values, ids = self._merit_arrays(req.name)
+        start = 0
+        while start < len(values):
+            stop = bisect_right(values, values[start], lo=start)
+            if req.satisfied_by(values[start], required):
+                ok.update(ids[start:stop])
+            start = stop
+        return ok
+
+    # ------------------------------------------------------------------
+    # pruning
+    # ------------------------------------------------------------------
+    def prune_ids(self, start_ids: Iterable[int],
+                  decisions: Mapping[str, object],
+                  requirements: Sequence[Tuple[Requirement, object]] = (),
+                  policy: MissingPolicy = MissingPolicy.EXCLUDE) -> Set[int]:
+        """Intersect ``start_ids`` down to the ids complying with every
+        decision and requirement value."""
+        candidates = set(start_ids)
+        for name, option in decisions.items():
+            if not candidates:
+                break
+            candidates &= self.decision_ids(name, option, policy)
+        for req, value in requirements:
+            if not candidates:
+                break
+            candidates &= self.requirement_ids(req, value)
+        return candidates
+
+    def prune(self, cdo_name: str,
+              decisions: Mapping[str, object],
+              requirements: Sequence[Tuple[Requirement, object]] = (),
+              policy: MissingPolicy = MissingPolicy.EXCLUDE
+              ) -> "IndexedPruneReport":
+        """Indexed equivalent of :func:`repro.core.pruning.prune` over the
+        cores under ``cdo_name``; elimination reasons are reconstructed
+        only when the report's ``eliminated`` mapping is read."""
+        start = self.subtree_ids(cdo_name)
+        survivor_ids = frozenset(self.prune_ids(start, decisions,
+                                                requirements, policy))
+        decisions_snapshot = dict(decisions)
+        requirements_snapshot = tuple(requirements)
+
+        def reasons() -> Dict[str, str]:
+            out: Dict[str, str] = {}
+            for i in sorted(start - survivor_ids):
+                core = self.cores[i]
+                reason = None
+                for name, option in decisions_snapshot.items():
+                    reason = _match_decision(core, name, option, policy)
+                    if reason:
+                        break
+                if reason is None:
+                    for req, value in requirements_snapshot:
+                        reason = _match_requirement(core, req, value, policy)
+                        if reason:
+                            break
+                assert reason is not None, f"{core.name} unexplained"
+                out[core.name] = reason
+            return out
+
+        return IndexedPruneReport(self.materialize(survivor_ids),
+                                  eliminated_factory=reasons,
+                                  survivor_ids=survivor_ids, index=self)
+
+    # ------------------------------------------------------------------
+    # figure-of-merit ranges
+    # ------------------------------------------------------------------
+    def merit_ranges_for(self, ids: Set[int], metrics: Sequence[str]
+                         ) -> Dict[str, Tuple[float, float]]:
+        """Min/max of each metric over ``ids`` (documenting cores only),
+        identical to :func:`repro.core.pruning.merit_ranges` over the
+        materialized cores."""
+        ranges: Dict[str, Tuple[float, float]] = {}
+        for metric in metrics:
+            holders = self._with_merit.get(metric)
+            if not holders:
+                continue
+            have = ids & holders
+            if not have:
+                continue
+            if len(have) * 4 >= len(holders):
+                # Dense candidate set: probe the sorted array from both
+                # ends — the first/last hit is the min/max.
+                values, ordered = self._merit_arrays(metric)
+                lo = next(values[pos] for pos, i in enumerate(ordered)
+                          if i in have)
+                hi = next(values[pos]
+                          for pos in range(len(ordered) - 1, -1, -1)
+                          if ordered[pos] in have)
+                ranges[metric] = (lo, hi)
+            else:
+                values_iter = [self.cores[i]._merits[metric] for i in have]
+                ranges[metric] = (min(values_iter), max(values_iter))
+        return ranges
+
+
+class IndexedPruneReport(PruneReport):
+    """A :class:`PruneReport` that remembers the id set it came from, so
+    downstream set algebra (option annotation, range probes) can reuse it
+    without re-materializing cores."""
+
+    def __init__(self, survivors, eliminated=None, eliminated_factory=None,
+                 survivor_ids: FrozenSet[int] = _EMPTY,
+                 index: "CoreIndex" = None):
+        super().__init__(survivors, eliminated, eliminated_factory)
+        self.survivor_ids = survivor_ids
+        self.index = index

@@ -17,7 +17,7 @@ The layer is purely a *representation* — exploration state lives in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cdo import QNAME_SEP, ClassOfDesignObjects
 from repro.core.constraints import ConsistencyConstraint, ConstraintSet
@@ -44,6 +44,41 @@ class DesignSpaceLayer:
         self.libraries = LibraryFederation()
         self.selectors = SelectorRegistry()
         self._tools: Dict[str, Callable] = {}
+        self._epoch = 0
+        self._epoch_signature: object = None
+        self._cdo_cache: Dict[str, ClassOfDesignObjects] = {}
+        self._cdo_cache_epoch = -1
+        self._all_cdos_cache: Optional[List[ClassOfDesignObjects]] = None
+
+    # ------------------------------------------------------------------
+    # epoch machinery
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic generation counter covering hierarchy edits, alias /
+        constraint / tool registration and every library mutation.
+
+        Caches throughout the query stack (CDO resolution, core indexes,
+        session memoization) key on this value, so they expire lazily and
+        no mutation site ever has to flush them explicitly.
+        """
+        signature = (self.libraries.epoch,
+                     len(self._aliases),
+                     len(self.constraints),
+                     len(self._tools),
+                     tuple(root._version for root in self._roots.values()))
+        if signature != self._epoch_signature:
+            self._epoch_signature = signature
+            self._epoch += 1
+        return self._epoch
+
+    def _hierarchy_caches(self) -> Dict[str, ClassOfDesignObjects]:
+        epoch = self.epoch
+        if epoch != self._cdo_cache_epoch:
+            self._cdo_cache = {}
+            self._all_cdos_cache = None
+            self._cdo_cache_epoch = epoch
+        return self._cdo_cache
 
     # ------------------------------------------------------------------
     # hierarchy management
@@ -62,13 +97,22 @@ class DesignSpaceLayer:
         return tuple(self._roots.values())
 
     def all_cdos(self) -> List[ClassOfDesignObjects]:
-        out: List[ClassOfDesignObjects] = []
-        for root in self._roots.values():
-            out.extend(root.walk())
-        return out
+        self._hierarchy_caches()
+        if self._all_cdos_cache is None:
+            out: List[ClassOfDesignObjects] = []
+            for root in self._roots.values():
+                out.extend(root.walk())
+            self._all_cdos_cache = out
+        return list(self._all_cdos_cache)
 
     def cdo(self, qualified_name: str) -> ClassOfDesignObjects:
-        """Look up a CDO by qualified name or registered alias."""
+        """Look up a CDO by qualified name or registered alias
+        (resolutions are epoch-cached)."""
+        cache = self._hierarchy_caches()
+        hit = cache.get(qualified_name)
+        if hit is not None:
+            return hit
+        requested = qualified_name
         qualified_name = self._aliases.get(qualified_name, qualified_name)
         parts = qualified_name.split(QNAME_SEP)
         try:
@@ -84,6 +128,7 @@ class DesignSpaceLayer:
                     f"layer {self.name!r}: {node.qualified_name} has no "
                     f"child {part!r}")
             node = matches[0]
+        cache[requested] = node
         return node
 
     def has_cdo(self, qualified_name: str) -> bool:

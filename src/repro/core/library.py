@@ -6,11 +6,18 @@ libraries — possibly maintained by different IP providers — and the layer
 :class:`LibraryFederation` presents any number of libraries as a single
 queryable collection, which is how the layer "transparently indexes
 designs residing in different libraries".
+
+Both classes answer subtree queries through a lazily (re)built
+:class:`~repro.core.index.CoreIndex` instead of scanning: every mutation
+(add/remove/attach/detach, and characterization changes on the cores
+themselves) bumps an epoch counter, and the index rebuilds on the next
+query whenever its epoch is behind.  Correctness therefore never depends
+on callers remembering to flush anything.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.cdo import QNAME_SEP
 from repro.core.designobject import DesignObject
@@ -32,7 +39,34 @@ class ReuseLibrary:
         self.name = name
         self.doc = doc
         self._cores: Dict[str, DesignObject] = {}
+        self._epoch = 0
+        self._index = None
+        self._index_epoch = -1
 
+    # ------------------------------------------------------------------
+    # epoch / index machinery
+    # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Generation counter; moves on every mutation of the library or
+        of any core it contains."""
+        return self._epoch
+
+    def index(self):
+        """The library's :class:`~repro.core.index.CoreIndex`, rebuilt
+        lazily when the epoch has moved."""
+        from repro.core.index import CoreIndex
+        if self._index is None or self._index_epoch != self._epoch:
+            self._index = CoreIndex(self._cores.values())
+            self._index_epoch = self._epoch
+        return self._index
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
     def add(self, core: DesignObject) -> DesignObject:
         """Register a core; names are unique within a library."""
         if core.name in self._cores:
@@ -41,6 +75,8 @@ class ReuseLibrary:
         if not core.provenance:
             core.provenance = self.name
         self._cores[core.name] = core
+        core._watchers.append(self)
+        self._bump()
         return core
 
     def add_all(self, cores: Iterable[DesignObject]) -> None:
@@ -49,11 +85,20 @@ class ReuseLibrary:
 
     def remove(self, name: str) -> DesignObject:
         try:
-            return self._cores.pop(name)
+            core = self._cores.pop(name)
         except KeyError:
             raise LibraryError(
                 f"library {self.name!r}: no core named {name!r}") from None
+        try:
+            core._watchers.remove(self)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._bump()
+        return core
 
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def get(self, name: str) -> DesignObject:
         try:
             return self._cores[name]
@@ -75,10 +120,7 @@ class ReuseLibrary:
         """Cores indexed at ``cdo_name`` (and, by default, below it —
         "all available IDCT cores are indexed through the top IDCT
         node")."""
-        if include_descendants:
-            return [c for c in self._cores.values()
-                    if _is_same_or_descendant(c.cdo_name, cdo_name)]
-        return [c for c in self._cores.values() if c.cdo_name == cdo_name]
+        return self.index().cores_under(cdo_name, include_descendants)
 
     def select(self, predicate: Callable[[DesignObject], bool]
                ) -> List[DesignObject]:
@@ -97,20 +139,61 @@ class LibraryFederation:
 
     def __init__(self, libraries: Sequence[ReuseLibrary] = ()):
         self._libraries: Dict[str, ReuseLibrary] = {}
+        self._epoch = 0
+        #: Last-seen per-library epochs, so the federation's own epoch
+        #: stays monotonic even across detach/re-attach cycles.
+        self._library_epochs: Dict[str, int] = {}
+        self._index = None
+        self._index_epoch = -1
+        self._bare_names: Optional[Dict[str, List[ReuseLibrary]]] = None
+        self._bare_names_epoch = -1
         for library in libraries:
             self.attach(library)
 
+    # ------------------------------------------------------------------
+    # epoch / index machinery
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic generation counter covering attach/detach and every
+        mutation inside any attached library."""
+        for name, library in self._libraries.items():
+            if self._library_epochs.get(name) != library.epoch:
+                self._library_epochs = {
+                    n: lib.epoch for n, lib in self._libraries.items()}
+                self._epoch += 1
+                break
+        return self._epoch
+
+    def index(self):
+        """The federation-wide :class:`~repro.core.index.CoreIndex`,
+        rebuilt lazily when the epoch has moved."""
+        from repro.core.index import CoreIndex
+        epoch = self.epoch
+        if self._index is None or self._index_epoch != epoch:
+            self._index = CoreIndex(self)
+            self._index_epoch = epoch
+        return self._index
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
     def attach(self, library: ReuseLibrary) -> ReuseLibrary:
         if library.name in self._libraries:
             raise LibraryError(f"library {library.name!r} already attached")
         self._libraries[library.name] = library
+        self._library_epochs[library.name] = library.epoch
+        self._epoch += 1
         return library
 
     def detach(self, name: str) -> ReuseLibrary:
         try:
-            return self._libraries.pop(name)
+            library = self._libraries.pop(name)
         except KeyError:
             raise LibraryError(f"no attached library named {name!r}") from None
+        self._library_epochs.pop(name, None)
+        self._epoch += 1
+        return library
 
     @property
     def libraries(self) -> Sequence[ReuseLibrary]:
@@ -129,12 +212,12 @@ class LibraryFederation:
         for library in self._libraries.values():
             yield from library
 
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def cores_under(self, cdo_name: str,
                     include_descendants: bool = True) -> List[DesignObject]:
-        out: List[DesignObject] = []
-        for library in self._libraries.values():
-            out.extend(library.cores_under(cdo_name, include_descendants))
-        return out
+        return self.index().cores_under(cdo_name, include_descendants)
 
     def get(self, name: str) -> DesignObject:
         """Look up ``library/core`` or a bare core name (must be unique
@@ -142,15 +225,27 @@ class LibraryFederation:
         if "/" in name:
             library_name, _, core_name = name.partition("/")
             return self.library(library_name).get(core_name)
-        hits = [lib.get(name) for lib in self._libraries.values() if name in lib]
-        if not hits:
+        owners = self._bare_name_map().get(name, ())
+        if not owners:
             raise LibraryError(f"no core named {name!r} in any attached library")
-        if len(hits) > 1:
-            owners = [c.provenance for c in hits]
+        if len(owners) > 1:
+            provenances = [lib.get(name).provenance for lib in owners]
             raise LibraryError(
-                f"core name {name!r} is ambiguous across libraries {owners}; "
-                f"use 'library/core'")
-        return hits[0]
+                f"core name {name!r} is ambiguous across libraries "
+                f"{provenances}; use 'library/core'")
+        return owners[0].get(name)
+
+    def _bare_name_map(self) -> Dict[str, List[ReuseLibrary]]:
+        """bare core name -> owning libraries, epoch-cached."""
+        epoch = self.epoch
+        if self._bare_names is None or self._bare_names_epoch != epoch:
+            mapping: Dict[str, List[ReuseLibrary]] = {}
+            for library in self._libraries.values():
+                for core_name in library._cores:
+                    mapping.setdefault(core_name, []).append(library)
+            self._bare_names = mapping
+            self._bare_names_epoch = epoch
+        return self._bare_names
 
     def select(self, predicate: Callable[[DesignObject], bool]
                ) -> List[DesignObject]:

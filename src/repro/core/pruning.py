@@ -11,8 +11,7 @@ the benchmarks.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.designobject import DesignObject
 from repro.core.properties import Requirement
@@ -32,17 +31,37 @@ class MissingPolicy(enum.Enum):
     INCLUDE = "include"
 
 
-@dataclass
 class PruneReport:
-    """Outcome of one filtering pass, for reporting and benchmarks."""
+    """Outcome of one filtering pass, for reporting and benchmarks.
 
-    survivors: List[DesignObject]
-    #: core name -> human-readable reason it was eliminated.
-    eliminated: Dict[str, str] = field(default_factory=dict)
+    ``eliminated`` (core name -> human-readable reason) may be supplied
+    eagerly, or as ``eliminated_factory`` — a thunk the indexed prune
+    path uses to defer reason reconstruction until :attr:`eliminated`
+    is actually read (most queries only need the survivors).
+    """
+
+    def __init__(self, survivors: List[DesignObject],
+                 eliminated: Optional[Dict[str, str]] = None,
+                 eliminated_factory: Optional[Callable[[], Dict[str, str]]] = None):
+        self.survivors = survivors
+        self._eliminated = eliminated if eliminated is not None else (
+            None if eliminated_factory is not None else {})
+        self._eliminated_factory = eliminated_factory
+
+    @property
+    def eliminated(self) -> Dict[str, str]:
+        if self._eliminated is None:
+            assert self._eliminated_factory is not None
+            self._eliminated = self._eliminated_factory()
+        return self._eliminated
 
     @property
     def survivor_names(self) -> List[str]:
         return [core.name for core in self.survivors]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lazy = "" if self._eliminated is not None else " (reasons pending)"
+        return f"<PruneReport {len(self.survivors)} survivors{lazy}>"
 
 
 def _match_decision(core: DesignObject, name: str, option: object,

@@ -42,11 +42,15 @@ class CoreQuery:
     def __init__(self, source: Union[DesignSpaceLayer, LibraryFederation],
                  _cdo: Optional[str] = None,
                  _filters: Sequence[_Filter] = (),
+                 _eq: Sequence[Tuple[str, object]] = (),
                  _order: Optional[Tuple[str, bool]] = None,
                  _limit: Optional[int] = None):
         self._source = source
         self._cdo = _cdo
         self._filters = tuple(_filters)
+        #: Structured property-equality terms, answered from the core
+        #: index's posting sets instead of per-core predicate calls.
+        self._eq = tuple(_eq)
         self._order = _order
         self._limit = _limit
 
@@ -54,7 +58,7 @@ class CoreQuery:
     # refinement
     # ------------------------------------------------------------------
     def _derive(self, **changes) -> "CoreQuery":
-        state = dict(_cdo=self._cdo, _filters=self._filters,
+        state = dict(_cdo=self._cdo, _filters=self._filters, _eq=self._eq,
                      _order=self._order, _limit=self._limit)
         state.update(changes)
         return CoreQuery(self._source, **state)
@@ -69,13 +73,7 @@ class CoreQuery:
     def where(self, **property_values) -> "CoreQuery":
         """Keep cores whose documented properties equal the given
         values (undocumented properties do not match)."""
-
-        def matches(core: DesignObject) -> bool:
-            return all(core.has_property(name)
-                       and core.property_value(name) == value
-                       for name, value in property_values.items())
-
-        return self._derive(_filters=self._filters + (matches,))
+        return self._derive(_eq=self._eq + tuple(property_values.items()))
 
     def where_fn(self, predicate: _Filter) -> "CoreQuery":
         """Keep cores satisfying an arbitrary predicate."""
@@ -114,11 +112,14 @@ class CoreQuery:
         return self._source
 
     def all(self) -> List[DesignObject]:
-        federation = self._federation()
-        if self._cdo is not None:
-            cores = federation.cores_under(self._cdo)
-        else:
-            cores = list(federation)
+        index = self._federation().index()
+        ids = index.subtree_ids(self._cdo) if self._cdo is not None \
+            else index.all_ids
+        for name, value in self._eq:
+            if not ids:
+                break
+            ids = ids & index.decision_ids(name, value)
+        cores = index.materialize(ids)
         for check in self._filters:
             cores = [core for core in cores if check(core)]
         if self._order is not None:

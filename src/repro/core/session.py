@@ -39,7 +39,7 @@ from repro.core.properties import (
     Property,
     Requirement,
 )
-from repro.core.pruning import MissingPolicy, PruneReport, merit_ranges, prune
+from repro.core.pruning import MissingPolicy, PruneReport, merit_ranges
 from repro.errors import (
     ConstraintError,
     ConstraintViolation,
@@ -90,6 +90,15 @@ class ExplorationSession:
         self._log: List[str] = []
         self._history: List[_State] = []
         self._checkpoints: Dict[str, _State] = {}
+        #: Epoch-keyed memo of prune reports; every mutation clears it
+        #: (the layer-epoch component of each key additionally guards
+        #: against library/hierarchy changes behind the session's back).
+        self._prune_cache: Dict[tuple, PruneReport] = {}
+        self._constraints_cache_key: object = None
+        self._constraints_cache: List[ConsistencyConstraint] = []
+        #: Number of actual (non-memoized) prune computations; exposed
+        #: for tests and benchmarks asserting query-plan economy.
+        self._prune_calls = 0
         self._refresh_constraints()
 
     # ------------------------------------------------------------------
@@ -131,7 +140,12 @@ class ExplorationSession:
     # constraint machinery
     # ------------------------------------------------------------------
     def _applicable_constraints(self) -> List[ConsistencyConstraint]:
-        return self.layer.constraints.applicable(self._cdo, self.layer.aliases)
+        key = (self.layer.epoch, self._cdo.qualified_name)
+        if key != self._constraints_cache_key:
+            self._constraints_cache = self.layer.constraints.applicable(
+                self._cdo, self.layer.aliases)
+            self._constraints_cache_key = key
+        return self._constraints_cache
 
     def _bind_ref(self, ref: Union[PropertyPath, SessionBinding]) -> object:
         """Resolve one constraint reference to a value, or UNBOUND."""
@@ -280,7 +294,16 @@ class ExplorationSession:
         self._derived = dict(state.derived)
         self._stale = set(state.stale)
         self._log = list(state.log)
+        self._invalidate_queries()
         self._refresh_constraints(enforce=False)
+
+    def _invalidate_queries(self) -> None:
+        """Drop memoized prune reports after a session mutation.
+
+        The layer-epoch component of every cache key already protects
+        against library/hierarchy changes; clearing here simply bounds
+        the cache to the current exploration state."""
+        self._prune_cache.clear()
 
     def checkpoint(self, tag: str) -> None:
         """Save the current state under a name for branched what-ifs.
@@ -335,6 +358,7 @@ class ExplorationSession:
             raise
         self._mark_dependents_stale(name)
         self._stale.discard(name)
+        self._invalidate_queries()
         self._log.append(f"requirement {name} = {value!r}")
 
     def decide(self, name: str, option: object) -> None:
@@ -372,6 +396,7 @@ class ExplorationSession:
         self._refresh_constraints()
         self._mark_dependents_stale(name)
         self._stale.discard(name)
+        self._invalidate_queries()
         self._log.append(f"decision {name} = {option!r}")
         if prop.generalized:
             owner = self._cdo.find_property_owner(name)
@@ -385,13 +410,16 @@ class ExplorationSession:
             elif not on_path:
                 # The session already sits inside a *different* branch
                 # of this ancestor's partition; accepting the decision
-                # would contradict the current position.
-                self._decisions.pop(name, None)
-                self._history.pop()
+                # would contradict the current position.  Roll the whole
+                # state back (constraints already ran with the rejected
+                # decision, so derived values / eliminations / staleness
+                # must not leak into subsequent queries).
+                position = self._cdo.qualified_name
+                self._restore(self._history.pop())
                 raise SessionError(
                     f"option {option!r} of {name!r} selects "
                     f"{child.qualified_name}, but the exploration is "
-                    f"inside {self._cdo.qualified_name}")
+                    f"inside {position}")
             # else: the option is the one this position already implies;
             # record it without moving.
 
@@ -422,6 +450,7 @@ class ExplorationSession:
                         f"dropped deeper bindings: {sorted(dropped)}")
                 self._log.append(f"ascended to {owner.qualified_name}")
         self._mark_dependents_stale(name)
+        self._invalidate_queries()
         self._refresh_constraints(enforce=False)
 
     def _drop_below(self, cdo: ClassOfDesignObjects) -> Set[str]:
@@ -494,16 +523,45 @@ class ExplorationSession:
             out[name] = option
         return out
 
+    def _prune_cache_key(self, decisions: Mapping[str, object],
+                         requirements: Sequence[Tuple[Requirement, object]]
+                         ) -> Optional[tuple]:
+        """Memo key for one prune, or None when a value is unhashable."""
+        try:
+            return (self.layer.epoch, self._cdo.qualified_name,
+                    self.missing_policy,
+                    frozenset(decisions.items()),
+                    tuple((req.name, req.sense, value)
+                          for req, value in requirements))
+        except TypeError:
+            return None
+
     def prune_report(self,
                      extra: Optional[Mapping[str, object]] = None
                      ) -> PruneReport:
-        """Current survivors with per-core elimination reasons."""
-        cores = self.layer.cores_under(self._cdo.qualified_name)
+        """Current survivors with (lazily computed) elimination reasons.
+
+        Reports are memoized on (layer epoch, position, decisions,
+        requirements): repeated queries between mutations hit the cache,
+        and any mutation of the layer or its libraries moves the epoch,
+        so no caller ever observes a stale report.
+        """
         decisions = self._filter_decisions()
         if extra:
             decisions.update(extra)
-        return prune(cores, decisions, self._requirement_pairs(),
-                     self.missing_policy)
+        requirements = self._requirement_pairs()
+        key = self._prune_cache_key(decisions, requirements)
+        if key is not None:
+            hit = self._prune_cache.get(key)
+            if hit is not None:
+                return hit
+        self._prune_calls += 1
+        report = self.layer.libraries.index().prune(
+            self._cdo.qualified_name, decisions, requirements,
+            self.missing_policy)
+        if key is not None:
+            self._prune_cache[key] = report
+        return report
 
     def candidates(self) -> List[DesignObject]:
         """Cores complying with the requirements and decisions so far."""
@@ -512,46 +570,60 @@ class ExplorationSession:
     def fom_ranges(self, metrics: Optional[Sequence[str]] = None
                    ) -> Dict[str, Tuple[float, float]]:
         """Figure-of-merit ranges over the current candidates."""
-        return merit_ranges(self.candidates(),
+        report = self.prune_report()
+        return merit_ranges(report.survivors,
                             metrics if metrics is not None else self.merit_metrics)
 
     def available_options(self, issue_name: str,
                           limit: int = 32) -> List[OptionInfo]:
         """Options of an issue annotated with elimination status,
         candidate counts and merit ranges — the information the paper
-        says should guide the designer at every step."""
+        says should guide the designer at every step.
+
+        Answered in one indexed pass: the base candidate set (everything
+        but this issue's filter) is pruned once, then each option is a
+        posting-set intersection instead of a full re-prune.
+        """
         prop = self._cdo.find_property(issue_name)
         if not isinstance(prop, DesignIssue):
             raise SessionError(f"{issue_name!r} is not a design issue")
         eliminated = dict()
         for option, reason in self.eliminations_for(issue_name):
             eliminated[option] = reason
+        index = self.layer.libraries.index()
+        decisions = self._filter_decisions()
+        decisions.pop(issue_name, None)
+        requirements = self._requirement_pairs()
+        base_ids = index.prune_ids(
+            index.subtree_ids(self._cdo.qualified_name),
+            decisions, requirements, self.missing_policy)
+        owner = self._cdo.find_property_owner(issue_name) \
+            if prop.generalized else None
         infos: List[OptionInfo] = []
         for option in prop.options(self.context(), limit):
             if option in eliminated:
                 infos.append(OptionInfo(option, True, eliminated[option], 0))
                 continue
-            report = self.prune_report(extra={issue_name: option}) \
-                if not prop.generalized else self._generalized_report(prop, option)
+            if prop.generalized:
+                # A generalized option's candidates are the cores indexed
+                # under the corresponding specialization (which need not
+                # lie below the current position).
+                assert owner is not None
+                try:
+                    child = owner.child_for_option(option)
+                except Exception:
+                    ids: Set[int] = set()
+                else:
+                    ids = index.prune_ids(
+                        index.subtree_ids(child.qualified_name),
+                        decisions, requirements, self.missing_policy)
+            else:
+                ids = base_ids & index.decision_ids(
+                    issue_name, option, self.missing_policy)
             infos.append(OptionInfo(
-                option, False, "",
-                len(report.survivors),
-                merit_ranges(report.survivors, self.merit_metrics)))
+                option, False, "", len(ids),
+                index.merit_ranges_for(ids, self.merit_metrics)))
         return infos
-
-    def _generalized_report(self, prop: DesignIssue, option: object
-                            ) -> PruneReport:
-        """Candidates a generalized option would leave: the cores indexed
-        under the corresponding specialization."""
-        owner = self._cdo.find_property_owner(prop.name)
-        assert owner is not None
-        try:
-            child = owner.child_for_option(option)
-        except Exception:
-            return PruneReport(survivors=[])
-        cores = self.layer.cores_under(child.qualified_name)
-        return prune(cores, self._filter_decisions(),
-                     self._requirement_pairs(), self.missing_policy)
 
     def explain(self, core_name: str) -> str:
         """Why a core is (or is not) among the current candidates.
@@ -609,9 +681,10 @@ class ExplorationSession:
             lines.append("  derived:")
             for name, value in sorted(self._derived.items()):
                 lines.append(f"    {name} = {value!r}")
-        survivors = self.candidates()
-        lines.append(f"  candidate cores: {len(survivors)}")
-        for metric, (lo, hi) in sorted(self.fom_ranges().items()):
+        prune_report = self.prune_report()
+        lines.append(f"  candidate cores: {len(prune_report.survivors)}")
+        ranges = merit_ranges(prune_report.survivors, self.merit_metrics)
+        for metric, (lo, hi) in sorted(ranges.items()):
             lines.append(f"    {metric}: {lo:g} .. {hi:g}")
         pending = self.pending_constraints()
         if pending:

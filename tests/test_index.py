@@ -1,0 +1,128 @@
+"""Unit tests of the inverted core index (repro.core.index)."""
+
+import pytest
+
+from repro.core import (
+    CoreIndex,
+    DesignObject,
+    MissingPolicy,
+    Requirement,
+    RequirementSense,
+)
+from repro.core.values import IntRange
+from repro.core.pruning import merit_ranges, prune
+
+
+def make_cores():
+    return [
+        DesignObject("a", "R.X", {"Tech": "t35", "Width": 32},
+                     {"area": 10.0, "latency_ns": 5.0}),
+        DesignObject("b", "R.X.Deep", {"Tech": "t70", "Width": 64},
+                     {"area": 20.0, "latency_ns": 3.0}),
+        DesignObject("c", "R.Y", {"Tech": "t35"}, {"area": 30.0}),
+        DesignObject("d", "R.Y", {"Width": 16}, {"latency_ns": 9.0}),
+        DesignObject("e", "Other", {}, {"area": 5.0}),
+    ]
+
+
+@pytest.fixture()
+def index():
+    return CoreIndex(make_cores())
+
+
+class TestSubtreeClosure:
+    def test_subtree_includes_descendants(self, index):
+        names = [c.name for c in index.cores_under("R.X")]
+        assert names == ["a", "b"]
+
+    def test_exact_excludes_descendants(self, index):
+        names = [c.name for c in index.cores_under("R.X",
+                                                   include_descendants=False)]
+        assert names == ["a"]
+
+    def test_root_prefix_covers_everything_below(self, index):
+        assert [c.name for c in index.cores_under("R")] == ["a", "b", "c", "d"]
+
+    def test_unknown_cdo_is_empty(self, index):
+        assert index.cores_under("Nope") == []
+        assert index.subtree_ids("Nope") == frozenset()
+
+    def test_sibling_prefix_not_confused(self):
+        # "A.B" must not capture "A.Bx" (string prefix but not a subtree).
+        index = CoreIndex([DesignObject("p", "A.B", {}, {"area": 1.0}),
+                           DesignObject("q", "A.Bx", {}, {"area": 1.0})])
+        assert [c.name for c in index.cores_under("A.B")] == ["p"]
+
+
+class TestPostings:
+    def test_decision_ids_exclude_policy(self, index):
+        ids = index.decision_ids("Tech", "t35")
+        assert {index.cores[i].name for i in ids} == {"a", "c"}
+
+    def test_decision_ids_include_policy(self, index):
+        ids = index.decision_ids("Tech", "t35", MissingPolicy.INCLUDE)
+        # d and e do not document Tech at all and are kept.
+        assert {index.cores[i].name for i in ids} == {"a", "c", "d", "e"}
+
+    def test_unhashable_value_falls_back(self):
+        odd = DesignObject("odd", "R", {"Taps": [1, 2]}, {"area": 1.0})
+        index = CoreIndex([odd])
+        assert index.decision_ids("Taps", [1, 2]) == {0}
+        assert index.decision_ids("Taps", [3]) == set()
+
+
+class TestRequirements:
+    def test_threshold_on_property(self, index):
+        req = Requirement("Width", IntRange(1), "width",
+                          sense=RequirementSense.AT_LEAST_SUPPORT)
+        ids = index.requirement_ids(req, 32)
+        # a (32) and b (64) satisfy; d (16) fails; c and e do not
+        # document Width and are unconstrained.
+        assert {index.cores[i].name for i in ids} == {"a", "b", "c", "e"}
+
+    def test_merit_fallback(self, index):
+        # latency requirement with MAX sense: b (3) and a (5) pass at 5;
+        # d has latency as a merit only and fails at 9; c and e are
+        # unconstrained.
+        req = Requirement("latency_ns", IntRange(0), "lat",
+                          sense=RequirementSense.MAX)
+        ids = index.requirement_ids(req, 5)
+        assert {index.cores[i].name for i in ids} == {"a", "b", "c", "e"}
+
+    def test_merit_bisection(self, index):
+        assert {index.cores[i].name
+                for i in index.merit_ids_at_most("area", 20.0)} == \
+            {"a", "b", "e"}
+        assert {index.cores[i].name
+                for i in index.merit_ids_at_least("area", 20.0)} == \
+            {"b", "c"}
+
+
+class TestIndexedPrune:
+    def test_matches_naive_prune(self, index):
+        cores = make_cores()
+        req = Requirement("Width", IntRange(1), "width",
+                          sense=RequirementSense.AT_LEAST_SUPPORT)
+        naive = prune([c for c in cores if c.cdo_name.startswith("R")],
+                      {"Tech": "t35"}, [(req, 32)])
+        indexed = index.prune("R", {"Tech": "t35"}, [(req, 32)])
+        assert indexed.survivor_names == naive.survivor_names
+        assert indexed.eliminated == naive.eliminated
+
+    def test_lazy_reasons_not_computed_until_read(self, index):
+        report = index.prune("R", {"Tech": "t35"})
+        assert report._eliminated is None
+        assert "does not document" in report.eliminated["d"]
+        assert report._eliminated is not None
+
+    def test_merit_ranges_match_naive(self, index):
+        report = index.prune("R", {})
+        expected = merit_ranges(report.survivors, ["area", "latency_ns",
+                                                   "missing"])
+        got = index.merit_ranges_for(set(report.survivor_ids),
+                                     ["area", "latency_ns", "missing"])
+        assert got == expected
+
+    def test_survivor_order_is_snapshot_order(self, index):
+        report = index.prune("R", {})
+        assert report.survivor_names == ["a", "b", "c", "d"]

@@ -1,0 +1,186 @@
+"""Property-based equivalence: indexed pruning ≡ naive pruning.
+
+The indexed query engine must be a pure optimisation: over randomized
+layers and random query mixes, the survivors (including order), the
+elimination reasons and the figure-of-merit ranges must be identical to
+the naive linear-scan filter in :mod:`repro.core.pruning`.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClassOfDesignObjects,
+    CoreIndex,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    ExplorationSession,
+    IntRange,
+    MissingPolicy,
+    Requirement,
+    RequirementSense,
+    ReuseLibrary,
+)
+from repro.core.library import _is_same_or_descendant
+from repro.core.pruning import merit_ranges, prune
+
+FAMILIES = ["f0", "f1", "f2"]
+VARIANTS = ["v0", "v1", "v2", "v3"]
+TECHS = ["t35", "t70"]
+
+
+def random_layer(seed: int, num_cores: int) -> DesignSpaceLayer:
+    """A randomized layer: some cores under-documented, some merits
+    missing, several libraries."""
+    rng = random.Random(seed)
+    layer = DesignSpaceLayer("rand", f"randomized layer (seed {seed})")
+    root = ClassOfDesignObjects("Block", "random block family")
+    root.add_property(Requirement(
+        "Width", IntRange(1), "width", sense=RequirementSense.AT_LEAST_SUPPORT))
+    root.add_property(Requirement(
+        "MaxArea", IntRange(0), "area bound", sense=RequirementSense.MAX))
+    root.add_property(DesignIssue(
+        "Family", EnumDomain(FAMILIES), "family split", generalized=True))
+    layer.add_root(root)
+    for family in FAMILIES:
+        child = root.specialize(family)
+        child.add_property(DesignIssue(
+            "Variant", EnumDomain(VARIANTS), "variant"))
+        child.add_property(DesignIssue(
+            "Tech", EnumDomain(TECHS), "technology"))
+    libraries = [ReuseLibrary(f"lib{i}", "random cores") for i in range(3)]
+    for i in range(num_cores):
+        properties = {}
+        merits = {}
+        if rng.random() < 0.9:
+            properties["Variant"] = rng.choice(VARIANTS)
+        if rng.random() < 0.8:
+            properties["Tech"] = rng.choice(TECHS)
+        if rng.random() < 0.7:
+            properties["Width"] = rng.choice([8, 16, 32, 64])
+        if rng.random() < 0.9:
+            merits["area"] = float(rng.randrange(10, 500))
+        if rng.random() < 0.8:
+            merits["latency_ns"] = float(rng.randrange(1, 100))
+        if rng.random() < 0.3:
+            merits["MaxArea"] = float(rng.randrange(10, 500))
+        rng.choice(libraries).add(DesignObject(
+            f"core{i}", f"Block.{rng.choice(FAMILIES)}", properties, merits))
+    for library in libraries:
+        if len(library):
+            layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def naive_cores_under(layer: DesignSpaceLayer, cdo_name: str):
+    """Reference implementation: linear scan in federation order."""
+    return [core for core in layer.libraries
+            if _is_same_or_descendant(core.cdo_name, cdo_name)]
+
+
+def assert_reports_equal(indexed, naive):
+    assert indexed.survivor_names == naive.survivor_names
+    assert [id(c) for c in indexed.survivors] == [id(c) for c in naive.survivors]
+    assert indexed.eliminated == naive.eliminated
+    assert merit_ranges(indexed.survivors, ["area", "latency_ns"]) == \
+        merit_ranges(naive.survivors, ["area", "latency_ns"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       num_cores=st.integers(1, 120),
+       cdo=st.sampled_from(["Block"] + [f"Block.{f}" for f in FAMILIES]),
+       variant=st.none() | st.sampled_from(VARIANTS),
+       tech=st.none() | st.sampled_from(TECHS),
+       width=st.none() | st.sampled_from([8, 16, 32, 64]),
+       max_area=st.none() | st.integers(0, 600),
+       policy=st.sampled_from(list(MissingPolicy)))
+def test_indexed_prune_equivalent_to_naive(seed, num_cores, cdo, variant,
+                                           tech, width, max_area, policy):
+    layer = random_layer(seed, num_cores)
+    root = layer.cdo("Block")
+    decisions = {}
+    if variant is not None:
+        decisions["Variant"] = variant
+    if tech is not None:
+        decisions["Tech"] = tech
+    requirements = []
+    if width is not None:
+        requirements.append((root.find_property("Width"), width))
+    if max_area is not None:
+        requirements.append((root.find_property("MaxArea"), max_area))
+    naive = prune(naive_cores_under(layer, cdo), decisions, requirements,
+                  policy)
+    indexed = layer.libraries.index().prune(cdo, decisions, requirements,
+                                            policy)
+    assert_reports_equal(indexed, naive)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), num_cores=st.integers(5, 80),
+       family=st.sampled_from(FAMILIES),
+       width=st.none() | st.sampled_from([8, 16, 32, 64]))
+def test_session_queries_equivalent_to_naive(seed, num_cores, family, width):
+    """candidates(), fom_ranges() and available_options() agree with a
+    from-scratch naive prune at every step."""
+    layer = random_layer(seed, num_cores)
+    session = ExplorationSession(layer, "Block")
+    if width is not None:
+        session.set_requirement("Width", width)
+    session.decide("Family", family)
+
+    def naive_report(extra=None):
+        decisions = {}
+        if extra:
+            decisions.update(extra)
+        requirements = [(layer.cdo("Block").find_property("Width"), width)] \
+            if width is not None else []
+        return prune(naive_cores_under(layer, f"Block.{family}"),
+                     decisions, requirements)
+
+    expected = naive_report()
+    assert session.prune_report().survivor_names == expected.survivor_names
+    assert session.prune_report().eliminated == expected.eliminated
+    assert session.fom_ranges() == merit_ranges(expected.survivors,
+                                                ("area", "latency_ns"))
+    infos = session.available_options("Variant")
+    assert [info.option for info in infos] == VARIANTS
+    for info in infos:
+        per_option = naive_report(extra={"Variant": info.option})
+        assert info.candidate_count == len(per_option.survivors)
+        assert info.ranges == merit_ranges(per_option.survivors,
+                                           ("area", "latency_ns"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), num_cores=st.integers(1, 80),
+       variant=st.none() | st.sampled_from(VARIANTS),
+       tech=st.none() | st.sampled_from(TECHS))
+def test_query_interface_equivalent_to_naive(seed, num_cores, variant, tech):
+    from repro.core import CoreQuery
+
+    layer = random_layer(seed, num_cores)
+    where = {}
+    if variant is not None:
+        where["Variant"] = variant
+    if tech is not None:
+        where["Tech"] = tech
+    got = CoreQuery(layer).under("Block").where(**where).names()
+    expected = [core.name for core in naive_cores_under(layer, "Block")
+                if all(core.has_property(k) and core.property_value(k) == v
+                       for k, v in where.items())]
+    assert got == expected
+
+
+def test_fresh_index_over_mutated_snapshot():
+    """A CoreIndex built directly always reflects the cores it was given."""
+    cores = [DesignObject(f"c{i}", "A.B", {"K": i % 2}, {"area": float(i)})
+             for i in range(10)]
+    index = CoreIndex(cores)
+    report = index.prune("A", {"K": 0})
+    assert report.survivor_names == [f"c{i}" for i in range(0, 10, 2)]

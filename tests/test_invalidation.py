@@ -1,0 +1,224 @@
+"""Epoch-based invalidation: mutations never serve stale query results.
+
+The acceptance bar for the indexed query engine: after *any* mutation of
+a library, the federation, the hierarchy or the session, the next query
+reflects the new state — with no manual cache-flush call anywhere in
+user code.
+"""
+
+import pytest
+
+from repro.core import (
+    ClassOfDesignObjects,
+    CoreQuery,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    ExplorationSession,
+    ReuseLibrary,
+)
+from repro.errors import LibraryError
+
+from conftest import build_widget_layer
+
+
+def hw_core(name, tech="t35", pipeline=1, width=64, area=100.0):
+    return DesignObject(name, "Widget.hw",
+                        {"Tech": tech, "Pipeline": pipeline, "Width": width},
+                        {"area": area, "latency_ns": 10.0, "MaxDelay": 10.0})
+
+
+class TestLibraryMutationMidSession:
+    def test_added_core_appears_in_candidates(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        before = session.candidates()
+        assert "h9" not in [c.name for c in before]
+        layer.libraries.library("lib-a").add(hw_core("h9"))
+        after = [c.name for c in session.candidates()]
+        assert "h9" in after
+        assert len(after) == len(before) + 1
+
+    def test_removed_core_disappears(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        assert "h1" in [c.name for c in session.candidates()]
+        layer.libraries.library("lib-a").remove("h1")
+        assert "h1" not in [c.name for c in session.candidates()]
+
+    def test_core_property_edit_repositions_it(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        session.decide("Tech", "t70")
+        assert [c.name for c in session.candidates()] == ["h3"]
+        layer.libraries.get("h1").set_property("Tech", "t70")
+        assert [c.name for c in session.candidates()] == ["h1", "h3"]
+
+    def test_core_merit_edit_moves_ranges(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        lo, hi = session.fom_ranges()["area"]
+        layer.libraries.get("h3").set_merit("area", 9999.0)
+        assert session.fom_ranges()["area"] == (lo, 9999.0)
+
+    def test_option_annotation_tracks_mutations(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        counts = {info.option: info.candidate_count
+                  for info in session.available_options("Tech")}
+        layer.libraries.library("lib-a").add(hw_core("h9", tech="t70"))
+        counts_after = {info.option: info.candidate_count
+                       for info in session.available_options("Tech")}
+        assert counts_after["t70"] == counts["t70"] + 1
+        assert counts_after["t35"] == counts["t35"]
+
+
+class TestFederationMutation:
+    def test_detach_drops_its_cores(self):
+        layer = build_widget_layer()
+        extra = ReuseLibrary("lib-b", "second provider")
+        extra.add(hw_core("b1"))
+        layer.attach_library(extra)
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        assert "b1" in [c.name for c in session.candidates()]
+        layer.libraries.detach("lib-b")
+        assert "b1" not in [c.name for c in session.candidates()]
+
+    def test_reattach_restores_them(self):
+        layer = build_widget_layer()
+        extra = ReuseLibrary("lib-b", "second provider")
+        extra.add(hw_core("b1"))
+        layer.attach_library(extra)
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        detached = layer.libraries.detach("lib-b")
+        assert "b1" not in [c.name for c in session.candidates()]
+        layer.libraries.attach(detached)
+        assert "b1" in [c.name for c in session.candidates()]
+
+    def test_mutation_while_detached_is_not_missed(self):
+        # A library mutated while detached must still invalidate the
+        # federation index when re-attached (epoch monotonicity).
+        layer = build_widget_layer()
+        federation = layer.libraries
+        library = federation.detach("lib-a")
+        library.add(hw_core("h9"))
+        federation.attach(library)
+        assert "h9" in [c.name for c in federation.cores_under("Widget.hw")]
+
+    def test_bare_name_lookup_tracks_add_remove(self):
+        layer = build_widget_layer()
+        federation = layer.libraries
+        with pytest.raises(LibraryError, match="no core"):
+            federation.get("h9")
+        federation.library("lib-a").add(hw_core("h9"))
+        assert federation.get("h9").name == "h9"
+        federation.library("lib-a").remove("h9")
+        with pytest.raises(LibraryError, match="no core"):
+            federation.get("h9")
+
+    def test_bare_name_ambiguity_tracks_attach(self):
+        layer = build_widget_layer()
+        federation = layer.libraries
+        assert federation.get("h1").provenance == "lib-a"
+        clash = ReuseLibrary("lib-b")
+        clash.add(hw_core("h1"))
+        federation.attach(clash)
+        with pytest.raises(LibraryError, match="ambiguous"):
+            federation.get("h1")
+        federation.detach("lib-b")
+        assert federation.get("h1").provenance == "lib-a"
+
+
+class TestHierarchyMutation:
+    def test_new_specialization_is_resolvable_and_indexed(self):
+        layer = DesignSpaceLayer("grow", "growing hierarchy")
+        root = ClassOfDesignObjects("Top", "root")
+        root.add_property(DesignIssue(
+            "Kind", EnumDomain(["x", "y"]), "split", generalized=True))
+        layer.add_root(root)
+        root.specialize("x")
+        # Warm the caches.
+        assert layer.cdo("Top.x").name == "x"
+        assert layer.all_cdos()[-1].name == "x"
+        root.specialize("y")
+        assert layer.cdo("Top.y").name == "y"
+        assert [cdo.name for cdo in layer.all_cdos()] == ["Top", "x", "y"]
+        library = ReuseLibrary("L")
+        library.add(DesignObject("cy", "Top.y", {}, {"area": 1.0}))
+        layer.attach_library(library)
+        assert [c.name for c in layer.cores_under("Top.y")] == ["cy"]
+
+    def test_alias_added_after_warmup(self):
+        layer = build_widget_layer()
+        assert layer.cdo("Widget.hw").name == "hw"
+        layer.add_alias("WH", "Widget.hw")
+        assert layer.cdo("WH") is layer.cdo("Widget.hw")
+
+
+class TestSessionStateInvalidation:
+    def test_retract_restores_candidates(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        all_hw = session.candidates()
+        session.decide("Tech", "t70")
+        assert len(session.candidates()) < len(all_hw)
+        session.retract("Tech")
+        assert session.candidates() == all_hw
+
+    def test_undo_restores_candidates(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        before = session.candidates()
+        session.decide("Tech", "t35")
+        session.undo()
+        assert session.candidates() == before
+
+    def test_checkpoint_restore_restores_candidates(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        session.checkpoint("at-hw")
+        branch_a = session.candidates()
+        session.decide("Tech", "t70")
+        session.restore("at-hw")
+        assert session.candidates() == branch_a
+
+    def test_revise_requirement_reprunes(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.set_requirement("Width", 16)
+        wide = session.candidates()
+        session.revise("Width", 64)
+        narrowed = session.candidates()
+        assert [c.name for c in narrowed] != [c.name for c in wide] or \
+            narrowed == wide  # layers where nothing changes are fine
+        session.revise("Width", 256)
+        assert session.candidates() == []
+
+
+class TestQueryInterfaceInvalidation:
+    def test_core_query_sees_new_cores(self):
+        layer = build_widget_layer()
+        query = CoreQuery(layer).under("Widget.hw").where(Tech="t35")
+        assert query.count() == 2
+        layer.libraries.library("lib-a").add(hw_core("h9"))
+        assert query.count() == 3
+
+    def test_explain_tracks_mutations(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.decide("Style", "hw")
+        session.decide("Tech", "t70")
+        assert "eliminated" in session.explain("h1")
+        layer.libraries.get("h1").set_property("Tech", "t70")
+        assert "survives" in session.explain("h1")

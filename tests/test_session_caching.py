@@ -1,0 +1,149 @@
+"""Session-level memoization and the sibling-branch decide regression.
+
+Two satellites of the indexed-query-engine change live here:
+
+* ``decide()`` on a generalized ancestor issue that selects a *sibling*
+  branch must roll the whole session state back before raising — the
+  tentative constraint evaluation must not leak derived values,
+  eliminations, staleness or log entries into subsequent queries.
+* ``report()`` / ``fom_ranges()`` / ``candidates()`` must be answered
+  from one memoized prune per session state, verified with a
+  prune-call counter rather than timing.
+"""
+
+import pytest
+
+from repro.core import (
+    ConsistencyConstraint,
+    DesignObject,
+    ExplorationSession,
+    Formula,
+)
+from repro.errors import SessionError
+
+from conftest import build_widget_layer
+
+
+def layer_with_style_formula():
+    """A widget layer whose constraint derives from the generalized
+    ``Style`` issue — so a rejected sibling decide has visible
+    constraint side effects to roll back."""
+    layer = build_widget_layer()
+    layer.add_constraint(ConsistencyConstraint(
+        "CC-style", "pipeline hint follows style",
+        independents={"S": "Style@Widget"},
+        dependents={"P": "Pipeline@Widget.hw"},
+        relation=Formula("P", lambda b: 4 if b["S"] == "sw" else 1,
+                         "depth = f(style)", requires=("S",))))
+    return layer
+
+
+class TestSiblingBranchDecideRegression:
+    def make_session(self):
+        # Start *inside* the hw branch without Style recorded as a
+        # decision — the only way to reach the sibling-branch guard.
+        return ExplorationSession(layer_with_style_formula(), "Widget.hw")
+
+    def test_sibling_decide_raises(self):
+        session = self.make_session()
+        with pytest.raises(SessionError, match="inside Widget.hw"):
+            session.decide("Style", "sw")
+
+    def test_state_fully_rolled_back(self):
+        session = self.make_session()
+        decisions = dict(session.decisions)
+        derived = dict(session.derived_values)
+        stale = set(session.stale_properties)
+        log = list(session.log)
+        candidates = session.candidates()
+        with pytest.raises(SessionError):
+            session.decide("Style", "sw")
+        assert dict(session.decisions) == decisions
+        assert "Style" not in session.decisions
+        # The tentative constraint run derived P=4 from Style=sw; the
+        # rollback must discard it.
+        assert dict(session.derived_values) == derived
+        assert set(session.stale_properties) == stale
+        assert list(session.log) == log
+        assert session.current_cdo.qualified_name == "Widget.hw"
+        assert session.candidates() == candidates
+
+    def test_failed_decide_leaves_no_undo_frame(self):
+        session = self.make_session()
+        with pytest.raises(SessionError):
+            session.decide("Style", "sw")
+        # The checkpoint taken for the rejected decision must have been
+        # consumed by the rollback: nothing is left to undo.
+        with pytest.raises(SessionError):
+            session.undo()
+
+    def test_session_still_usable_after_rejection(self):
+        session = self.make_session()
+        with pytest.raises(SessionError):
+            session.decide("Style", "sw")
+        session.decide("Tech", "t35")
+        assert [c.name for c in session.candidates()] == ["h1", "h2"]
+
+    def test_on_path_redundant_decide_still_accepted(self):
+        session = self.make_session()
+        session.decide("Style", "hw")
+        assert session.decisions["Style"] == "hw"
+        assert session.current_cdo.qualified_name == "Widget.hw"
+
+
+class TestPruneCallCounter:
+    def test_report_triggers_exactly_one_prune(self):
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        assert session._prune_calls == 0
+        session.report()
+        assert session._prune_calls == 1
+
+    def test_repeated_queries_reuse_the_prune(self):
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        session.report()
+        session.candidates()
+        session.fom_ranges()
+        session.explain("h1")
+        session.report()
+        assert session._prune_calls == 1
+
+    def test_decision_invalidates(self):
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        session.candidates()
+        session.decide("Style", "hw")
+        session.candidates()
+        assert session._prune_calls == 2
+        session.fom_ranges()
+        assert session._prune_calls == 2
+
+    def test_requirement_invalidates(self):
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        session.candidates()
+        session.set_requirement("Width", 32)
+        session.candidates()
+        session.revise("Width", 64)
+        session.candidates()
+        assert session._prune_calls == 3
+
+    def test_library_mutation_invalidates(self):
+        layer = build_widget_layer()
+        session = ExplorationSession(layer, "Widget")
+        session.candidates()
+        layer.libraries.library("lib-a").add(DesignObject(
+            "h9", "Widget.hw", {"Tech": "t35"}, {"area": 1.0}))
+        assert "h9" in [c.name for c in session.candidates()]
+        assert session._prune_calls == 2
+        session.candidates()
+        assert session._prune_calls == 2
+
+    def test_undo_and_restore_hit_fresh_state(self):
+        session = ExplorationSession(build_widget_layer(), "Widget")
+        session.checkpoint("start")
+        before = session.candidates()
+        session.decide("Style", "hw")
+        session.candidates()
+        session.undo()
+        assert session.candidates() == before
+        session.decide("Style", "sw")
+        session.restore("start")
+        assert session.candidates() == before
