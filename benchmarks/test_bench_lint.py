@@ -1,0 +1,57 @@
+"""E-LINT — the static-analysis pass must stay linear in layer size.
+
+The linter walks every rule over the full layer (hierarchy, constraint
+network, federation).  Its context precomputes the shared indexes —
+qualified-name map, per-CDO core groupings, ancestor core counts — so no
+rule re-scans the federation per CDO.  This benchmark times a full lint
+of the 5k-core synthetic federation and checks the scaling empirically
+against a 500-core baseline: superlinear growth here means a rule
+regressed to a quadratic scan.
+"""
+
+import time
+
+from repro.core.lint import lint_layer
+
+from conftest import emit
+from test_bench_scaling import synthetic_layer
+
+
+def test_bench_lint_5k_cores(benchmark):
+    layer = synthetic_layer(5000)
+    report = benchmark(lint_layer, layer)
+    emit("Lint — full rule catalogue over 5000 cores",
+         report.summary())
+    # The synthetic layer is constructively well-formed.
+    assert not report.errors, report.render_text()
+    assert not report.warnings, report.render_text()
+
+
+def test_lint_scales_linearly_with_core_count():
+    small_layer = synthetic_layer(500)
+    big_layer = synthetic_layer(5000)
+    lint_layer(small_layer)  # warm imports and caches
+
+    def best_of(layer, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            lint_layer(layer)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small = best_of(small_layer)
+    big = best_of(big_layer)
+    emit("Lint scaling 500 -> 5000 cores",
+         f"500 cores: {small * 1e3:.1f} ms, "
+         f"5000 cores: {big * 1e3:.1f} ms, ratio {big / small:.1f}x")
+    # 10x the cores: linear means ~10x the time; a quadratic federation
+    # scan would show ~100x. The bound is generous for CI-runner noise.
+    assert big < small * 40, (
+        f"lint is scaling superlinearly: {small:.4f}s -> {big:.4f}s")
+
+
+def test_bench_lint_crypto(benchmark, crypto_layer_768):
+    report = benchmark(lint_layer, crypto_layer_768)
+    emit("Lint — crypto case-study layer", report.summary())
+    assert not report.errors

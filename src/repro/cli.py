@@ -190,6 +190,30 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.lint import (
+        DEFAULT_REGISTRY,
+        LintConfig,
+        lint_layer,
+        parse_severity,
+    )
+    if args.list_rules:
+        for lint_rule in DEFAULT_REGISTRY:
+            print(lint_rule.describe())
+        return 0
+    layer = _build_layer(args.layer, args.eol)
+    config = LintConfig(select=args.select or None,
+                        disable=tuple(args.disable or ()))
+    report = lint_layer(layer, config=config)
+    if args.format == "json":
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(report.render_text())
+    threshold = parse_severity(args.fail_on)
+    return 1 if report.has_at_least(threshold) else 0
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
     layer = _build_layer(args.layer, args.eol)
@@ -270,6 +294,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--order-by", metavar="MERIT")
     p.add_argument("--limit", type=int)
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("lint", help="static analysis of a layer")
+    add_layer_args(p)
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format")
+    p.add_argument("--fail-on", default="error",
+                   choices=("error", "warning", "info"),
+                   help="exit non-zero when findings at or above this "
+                        "severity exist")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="run only these rules (code, slug or category; "
+                        "repeatable)")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="skip these rules (code, slug or category; "
+                        "repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("export", help="serialize a layer to JSON")
     add_layer_args(p)

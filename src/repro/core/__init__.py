@@ -40,6 +40,16 @@ from repro.core.evaluation import EvaluationPoint, EvaluationSpace, dominates
 from repro.core.index import CoreIndex, IndexedPruneReport
 from repro.core.layer import DesignSpaceLayer
 from repro.core.library import LibraryFederation, ReuseLibrary
+from repro.core.lint import (
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    LintRule,
+    RuleRegistry,
+    Severity,
+    SourceLocation,
+    lint_layer,
+)
 from repro.core.path import (
     ClassPattern,
     PropertyPath,
@@ -137,4 +147,6 @@ __all__ = [
     "SerializationError", "layer_from_dict", "layer_to_dict",
     "SensitivityReport", "SweepPoint", "sweep_requirement",
     "IssueImpact", "advise", "assess_issue",
+    "Diagnostic", "LintConfig", "LintReport", "LintRule", "RuleRegistry",
+    "Severity", "SourceLocation", "lint_layer",
 ]

@@ -15,7 +15,7 @@ its ancestor classes").
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.properties import (
     BehavioralDescription,
@@ -23,7 +23,7 @@ from repro.core.properties import (
     Property,
     Requirement,
 )
-from repro.errors import HierarchyError, PropertyError
+from repro.errors import HierarchyError, PropertyError, ReproError
 
 #: Separator for qualified CDO names ("Operator.Modular.Multiplier.Hardware").
 QNAME_SEP = "."
@@ -257,19 +257,46 @@ class ClassOfDesignObjects:
     # ------------------------------------------------------------------
     # validation / rendering
     # ------------------------------------------------------------------
+    def subtree_violations(self
+                           ) -> List[Tuple["ClassOfDesignObjects", str]]:
+        """All structural violations in the sub-hierarchy rooted here.
+
+        Returns ``(cdo, problem)`` pairs: a CDO with children but no
+        generalized design issue, or a child whose option is outside the
+        issue's domain.  This is the shared substrate of
+        :meth:`validate_subtree` and the lint engine's hierarchy rules
+        (``DSL002``) — one walk, every finding.
+        """
+        out: List[Tuple[ClassOfDesignObjects, str]] = []
+        for node in self.walk():
+            if node._children and node._generalized_issue is None:
+                out.append((node, "has children but no generalized "
+                                  "design issue"))
+                continue
+            for option in node._children:
+                try:
+                    node._generalized_issue.validate(option)
+                except ReproError as exc:
+                    out.append((node, f"child option {option!r} is not "
+                                      f"in the generalized issue's "
+                                      f"domain: {exc}"))
+        return out
+
     def validate_subtree(self) -> None:
         """Check structural invariants of the sub-hierarchy rooted here.
 
         Every child must correspond to an option of the generalized
-        issue, and leaves must have no children.
+        issue, and leaves must have no children.  *All* violations are
+        aggregated into one exception message, so hierarchy authors see
+        the complete damage report instead of the first broken node.
         """
-        for node in self.walk():
-            if node._children and node._generalized_issue is None:
-                raise HierarchyError(
-                    f"{node.qualified_name}: has children but no generalized "
-                    f"design issue")
-            for option in node._children:
-                node._generalized_issue.validate(option)
+        violations = self.subtree_violations()
+        if violations:
+            lines = [f"{node.qualified_name}: {problem}"
+                     for node, problem in violations]
+            raise HierarchyError(
+                f"{len(violations)} structural violation(s) under "
+                f"{self.qualified_name}:\n  " + "\n  ".join(lines))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CDO {self.qualified_name}>"

@@ -181,9 +181,17 @@ class ConstraintSet:
             self.add(constraint)
 
     def add(self, constraint: ConsistencyConstraint) -> ConsistencyConstraint:
-        if constraint.name in self._constraints:
+        """Register a constraint; names are unique within the set.
+
+        A rejected duplicate leaves the set untouched — the originally
+        registered constraint stays authoritative.
+        """
+        existing = self._constraints.get(constraint.name)
+        if existing is not None:
             raise ConstraintError(
-                f"duplicate constraint name {constraint.name!r}")
+                f"duplicate constraint name {constraint.name!r} (already "
+                f"registered: {existing.doc!r}); constraint names are "
+                f"unique within a layer")
         self._constraints[constraint.name] = constraint
         return constraint
 

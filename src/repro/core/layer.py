@@ -217,6 +217,29 @@ class DesignSpaceLayer:
     # ------------------------------------------------------------------
     # validation / documentation
     # ------------------------------------------------------------------
+    def lint(self, config: object = None, strict: bool = False):
+        """Run the static-analysis rules over this layer.
+
+        Returns a :class:`~repro.core.lint.diagnostics.LintReport`.  With
+        ``strict=True``, error-severity findings raise
+        :class:`~repro.errors.LintError` (carrying the full report) —
+        the fail-fast mode domain builders use to refuse to ship a
+        broken layer.  Unlike :meth:`validate`, linting never stops at
+        the first problem and also covers advisory findings.
+        """
+        from repro.core.lint import LintConfig, lint_layer
+        from repro.errors import LintError
+        if config is not None and not isinstance(config, LintConfig):
+            raise LintError(
+                f"layer.lint() expects a LintConfig, got "
+                f"{type(config).__name__}")
+        report = lint_layer(self, config=config)
+        if strict and report.errors:
+            raise LintError(
+                f"layer {self.name!r} failed strict lint: "
+                f"{report.summary()}", report=report)
+        return report
+
     def validate(self) -> None:
         """Structural sanity of the whole layer.
 

@@ -1,0 +1,64 @@
+"""Static analysis for design space layers (the ``repro lint`` engine).
+
+A compiler front-end for the paper's methodology: walk a
+:class:`~repro.core.layer.DesignSpaceLayer` — CDO hierarchies,
+consistency-constraint network, library federation, DI7 decompositions —
+without opening an exploration session, and report everything that would
+make exploration misbehave later as stable ``DSL0xx`` diagnostics.
+
+Entry points:
+
+* :func:`lint_layer` — run the enabled rules over a layer;
+* :meth:`DesignSpaceLayer.lint` — the same, as a layer method (with a
+  ``strict=`` mode that raises :class:`~repro.errors.LintError`);
+* ``python -m repro lint`` — the CLI surface (text or JSON output).
+
+The rule catalogue lives in the ``rules_*`` modules; importing this
+package loads all of them into :data:`DEFAULT_REGISTRY`.
+"""
+
+from repro.core.lint.diagnostics import (
+    LOCATION_KINDS,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+    merge_reports,
+    parse_severity,
+)
+from repro.core.lint.engine import LintContext, lint_layer
+from repro.core.lint.registry import (
+    CATEGORIES,
+    DEFAULT_REGISTRY,
+    LintConfig,
+    LintRule,
+    RuleRegistry,
+    rule,
+)
+
+# Populate DEFAULT_REGISTRY with the stock rule catalogue.
+from repro.core.lint import rules_constraints  # noqa: E402,F401
+from repro.core.lint import rules_decomposition  # noqa: E402,F401
+from repro.core.lint import rules_hierarchy  # noqa: E402,F401
+from repro.core.lint import rules_library  # noqa: E402,F401
+
+from repro.errors import LintError  # noqa: E402
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "LOCATION_KINDS",
+    "LintConfig",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "RuleRegistry",
+    "Severity",
+    "SourceLocation",
+    "lint_layer",
+    "merge_reports",
+    "parse_severity",
+    "rule",
+]

@@ -1,0 +1,211 @@
+"""The linter's diagnostic model.
+
+A diagnostic is one finding of the static-analysis pass over a design
+space layer: a stable code (``DSL0xx``), a severity, a source location
+naming the artifact at fault (a CDO, a consistency constraint, a core,
+...), a human-readable message and an optional fix-it hint.  Diagnostics
+are plain values — rules produce them, the engine collects them into a
+:class:`LintReport`, and front-ends render the report as text or JSON.
+
+The model deliberately mirrors compiler diagnostics rather than
+exceptions: the paper's meta-library is authored by humans, and authors
+need *all* the problems of a malformed hierarchy at once, not the first
+one the walker happens to trip over.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make the layer unusable or silently wrong (an
+    unreachable CDO, a constraint cycle); ``WARNING`` findings are very
+    likely mistakes (a constraint that can never fire); ``INFO`` findings
+    are observations worth a look (an empty leaf region).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric weight — higher is more severe."""
+        return {"error": 3, "warning": 2, "info": 1}[self.value]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def parse_severity(text: str) -> Severity:
+    """Parse a severity name (``"warning"``) into a :class:`Severity`."""
+    for severity in Severity:
+        if severity.value == text:
+            return severity
+    raise ValueError(
+        f"unknown severity {text!r}; expected one of "
+        f"{[s.value for s in Severity]}")
+
+
+#: Artifact kinds a diagnostic can point at.
+LOCATION_KINDS = ("layer", "cdo", "property", "constraint", "core",
+                  "library")
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Which artifact of the layer a diagnostic is about.
+
+    ``kind`` is one of :data:`LOCATION_KINDS`; ``name`` is the artifact's
+    canonical name — a qualified CDO name, a constraint name, or
+    ``library/core`` for cores; ``detail`` optionally narrows further
+    (a property or alias name inside the artifact).
+    """
+
+    kind: str
+    name: str
+    detail: str = ""
+
+    def render(self) -> str:
+        suffix = f".{self.detail}" if self.detail else ""
+        return f"{self.kind} {self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str            #: Stable ``DSL0xx`` identifier.
+    rule: str            #: Kebab-case rule slug (``duplicate-sibling-names``).
+    severity: Severity
+    location: SourceLocation
+    message: str
+    hint: str = ""       #: Optional fix-it suggestion.
+
+    def sort_key(self) -> Tuple[int, str, str, str, str]:
+        """Severity-major, then stable lexicographic order — report output
+        must be deterministic for golden-file tests."""
+        return (-self.severity.rank, self.code, self.location.kind,
+                self.location.name, self.message)
+
+    def render(self) -> str:
+        line = (f"{self.code} {self.severity.value:<7} "
+                f"[{self.location.render()}] {self.message}")
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": {"kind": self.location.kind,
+                         "name": self.location.name,
+                         "detail": self.location.detail},
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass
+class LintReport:
+    """The collected findings of one lint pass over a layer."""
+
+    layer_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.diagnostics = sorted(self.diagnostics,
+                                  key=Diagnostic.sort_key)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> Sequence[str]:
+        """Distinct codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        out = {severity.value: 0 for severity in Severity}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity.value] += 1
+        return out
+
+    def has_at_least(self, threshold: Severity) -> bool:
+        """Whether any finding is at or above ``threshold`` severity."""
+        return any(d.severity.rank >= threshold.rank
+                   for d in self.diagnostics)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        if self.clean:
+            return f"lint report for layer {self.layer_name!r}: clean"
+        counts = self.counts()
+        parts = [f"{counts[s.value]} {s.value}{'s' if counts[s.value] != 1 else ''}"
+                 for s in Severity if counts[s.value]]
+        return (f"lint report for layer {self.layer_name!r}: "
+                + ", ".join(parts))
+
+    def render_text(self) -> str:
+        lines = [self.summary()]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "layer": self.layer_name,
+            "summary": self.counts(),
+            "clean": self.clean,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def merge_reports(layer_name: str,
+                  reports: Iterable[LintReport]) -> LintReport:
+    """Combine several reports (e.g. per-rule-category passes) into one."""
+    diagnostics: List[Diagnostic] = []
+    for report in reports:
+        diagnostics.extend(report.diagnostics)
+    return LintReport(layer_name, diagnostics)

@@ -1,0 +1,204 @@
+"""Rule registry and per-run configuration for the design-space linter.
+
+A lint rule is a generator function decorated with :func:`rule`; the
+decorator records the rule's stable code (``DSL0xx``), slug, category,
+default severity and documentation, and registers it with the module's
+:data:`DEFAULT_REGISTRY`.  Rules receive a
+:class:`~repro.core.lint.engine.LintContext` plus their per-rule options
+mapping and a ``make`` factory pre-bound with the rule's identity, so a
+rule body reads::
+
+    @rule(code="DSL001", slug="duplicate-sibling-names",
+          category="hierarchy", severity=Severity.ERROR, doc="...")
+    def duplicate_sibling_names(ctx, options, make):
+        ...
+        yield make(location, "two children named 'X'", hint="rename one")
+
+:class:`LintConfig` carries run-time policy: which rules are enabled,
+severity overrides and per-rule options — the per-rule enable/disable
+and config surface the CLI exposes through ``--select`` / ``--disable``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.core.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.errors import LintError
+
+_CODE_RE = re.compile(r"^DSL\d{3}$")
+_SLUG_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+
+#: Rule categories, matching the three core artifacts plus DI7.
+CATEGORIES = ("hierarchy", "constraints", "library", "decomposition")
+
+#: ``make(location, message, hint="", severity=None)`` -> Diagnostic.
+DiagnosticFactory = Callable[..., Diagnostic]
+
+#: A rule body: (context, options, make) -> iterable of diagnostics.
+RuleFn = Callable[[object, Mapping[str, object], DiagnosticFactory],
+                  Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: identity, default policy and the check body."""
+
+    code: str
+    slug: str
+    category: str
+    severity: Severity
+    doc: str
+    check: RuleFn
+
+    def factory(self, severity_override: Optional[Severity] = None
+                ) -> DiagnosticFactory:
+        """A diagnostic constructor pre-bound with this rule's identity."""
+        default = severity_override or self.severity
+
+        def make(location: SourceLocation, message: str, hint: str = "",
+                 severity: Optional[Severity] = None) -> Diagnostic:
+            # An explicit per-diagnostic severity (rules may downgrade
+            # special cases) still respects a config-level override.
+            chosen = severity_override or severity or default
+            return Diagnostic(code=self.code, rule=self.slug,
+                              severity=chosen, location=location,
+                              message=message, hint=hint)
+
+        return make
+
+    def describe(self) -> str:
+        return (f"{self.code} {self.slug} [{self.category}, "
+                f"default {self.severity.value}] — {self.doc}")
+
+
+class RuleRegistry:
+    """Ordered collection of lint rules, keyed by code and slug."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, LintRule] = {}
+        self._by_slug: Dict[str, LintRule] = {}
+
+    def register(self, rule: LintRule) -> LintRule:
+        if not _CODE_RE.match(rule.code):
+            raise LintError(
+                f"rule code {rule.code!r} does not match 'DSL<3 digits>'")
+        if not _SLUG_RE.match(rule.slug):
+            raise LintError(f"rule slug {rule.slug!r} is not kebab-case")
+        if rule.category not in CATEGORIES:
+            raise LintError(
+                f"rule {rule.code}: unknown category {rule.category!r}; "
+                f"expected one of {CATEGORIES}")
+        if not rule.doc:
+            raise LintError(f"rule {rule.code} needs a doc string")
+        if rule.code in self._rules:
+            raise LintError(f"duplicate rule code {rule.code!r}")
+        if rule.slug in self._by_slug:
+            raise LintError(f"duplicate rule slug {rule.slug!r}")
+        self._rules[rule.code] = rule
+        self._by_slug[rule.slug] = rule
+        return rule
+
+    def get(self, key: str) -> LintRule:
+        """Look up by code (``DSL001``) or slug."""
+        hit = self._rules.get(key) or self._by_slug.get(key)
+        if hit is None:
+            raise LintError(
+                f"no lint rule {key!r}; known: {sorted(self._rules)}")
+        return hit
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rules or key in self._by_slug
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[LintRule]:
+        return iter(sorted(self._rules.values(), key=lambda r: r.code))
+
+    def codes(self) -> Sequence[str]:
+        return tuple(sorted(self._rules))
+
+
+#: The registry the stock rules register into on import.
+DEFAULT_REGISTRY = RuleRegistry()
+
+
+def rule(code: str, slug: str, category: str, severity: Severity,
+         doc: str, registry: Optional[RuleRegistry] = None
+         ) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering a rule body with ``registry`` (default:
+    :data:`DEFAULT_REGISTRY`)."""
+    target = registry if registry is not None else DEFAULT_REGISTRY
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        target.register(LintRule(code=code, slug=slug, category=category,
+                                 severity=severity, doc=doc, check=fn))
+        return fn
+
+    return decorate
+
+
+@dataclass
+class LintConfig:
+    """Per-run linter policy.
+
+    ``select`` (when given) whitelists rules by code/slug; ``disable``
+    removes individual rules; ``severity_overrides`` re-grades a rule's
+    findings; ``rule_options`` passes free-form knobs to one rule (keyed
+    by code or slug) — e.g. the sampling budget of the never-fires check.
+    """
+
+    select: Optional[Sequence[str]] = None
+    disable: Sequence[str] = ()
+    severity_overrides: Mapping[str, str] = field(default_factory=dict)
+    rule_options: Mapping[str, Mapping[str, object]] = \
+        field(default_factory=dict)
+
+    def _matches(self, rule: LintRule, keys: Iterable[str]) -> bool:
+        return any(key in (rule.code, rule.slug, rule.category)
+                   for key in keys)
+
+    def is_enabled(self, rule: LintRule) -> bool:
+        if self.select is not None and \
+                not self._matches(rule, self.select):
+            return False
+        return not self._matches(rule, self.disable)
+
+    def severity_for(self, rule: LintRule) -> Optional[Severity]:
+        """The configured override severity, or None to keep defaults."""
+        from repro.core.lint.diagnostics import parse_severity
+        for key in (rule.code, rule.slug):
+            if key in self.severity_overrides:
+                return parse_severity(str(self.severity_overrides[key]))
+        return None
+
+    def options_for(self, rule: LintRule) -> Mapping[str, object]:
+        merged: Dict[str, object] = {}
+        for key in (rule.category, rule.slug, rule.code):
+            merged.update(self.rule_options.get(key, {}))
+        return merged
+
+    def validate(self, registry: RuleRegistry) -> None:
+        """Reject references to rules the registry does not know."""
+        named: List[str] = list(self.disable)
+        named += list(self.select or ())
+        named += list(self.severity_overrides)
+        named += list(self.rule_options)
+        for key in named:
+            if key in CATEGORIES or key in registry:
+                continue
+            raise LintError(
+                f"lint config references unknown rule {key!r}; known "
+                f"codes: {list(registry.codes())}")

@@ -1,0 +1,267 @@
+"""Constraint-network rules (DSL010-DSL014).
+
+The independent/dependent split of the paper's consistency constraints
+*is* the ordering of design issues (Sec 4): the dependent set may only
+be addressed after the independents.  That ordering exists only if the
+induced property graph is acyclic; and a constraint only does its job if
+its references resolve, its region is non-empty, its relation can
+actually fire inside the declared domains, and no two constraints fight
+over the same derived value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Set, Tuple
+
+from repro.core.constraints import ConsistencyConstraint
+from repro.core.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceLocation,
+)
+from repro.core.lint.engine import LintContext
+from repro.core.lint.registry import DiagnosticFactory, rule
+from repro.core.path import PropertyPath
+from repro.core.relations import (
+    EliminateOptions,
+    EstimatorInvocation,
+    Formula,
+    InconsistentOptions,
+)
+from repro.errors import PathError
+
+
+def _cc_loc(constraint: ConsistencyConstraint,
+            detail: str = "") -> SourceLocation:
+    return SourceLocation("constraint", constraint.name, detail)
+
+
+def _all_refs(constraint: ConsistencyConstraint
+              ) -> Iterator[Tuple[str, str, object]]:
+    """(role, alias, ref) triples across all three reference sets."""
+    for role, refs in (("independent", constraint.independents),
+                       ("dependent", constraint.dependents),
+                       ("short", constraint.shorts)):
+        for alias, ref in refs.items():
+            yield role, alias, ref
+
+
+@rule(code="DSL010", slug="dangling-reference", category="constraints",
+      severity=Severity.ERROR,
+      doc="A constraint's property path matches no class or resolves to "
+          "no visible property")
+def dangling_reference(ctx: LintContext, options: Mapping[str, object],
+                       make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for constraint in ctx.constraints:
+        for role, alias, ref in _all_refs(constraint):
+            if not isinstance(ref, PropertyPath):
+                continue
+            try:
+                ctx.resolve_ref(ref)
+            except PathError as exc:
+                yield make(
+                    _cc_loc(constraint, alias),
+                    f"{role} reference {alias}={ref.render()} is "
+                    f"dangling: {exc}",
+                    hint="fix the path or rename the property it "
+                         "addresses")
+
+
+def _tarjan_sccs(graph: Mapping[str, Set[str]]) -> List[List[str]]:
+    """Iterative Tarjan strongly-connected components (deterministic
+    order: nodes visited sorted)."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = itertools.count()
+
+    for start in sorted(graph):
+        if start in index_of:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = \
+            [(start, iter(sorted(graph.get(start, ()))))]
+        index_of[start] = lowlink[start] = next(counter)
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = next(counter)
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sccs
+
+
+@rule(code="DSL011", slug="constraint-cycle", category="constraints",
+      severity=Severity.ERROR,
+      doc="The independent-to-dependent property graph has a cycle — "
+          "the constraints induce no usable ordering of design issues")
+def constraint_cycle(ctx: LintContext, options: Mapping[str, object],
+                     make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    graph: Dict[str, Set[str]] = {}
+    contributors: Dict[Tuple[str, str], List[str]] = {}
+    for constraint in ctx.constraints:
+        indeps = constraint.independent_property_names()
+        deps = constraint.dependent_property_names()
+        for source in indeps:
+            graph.setdefault(source, set())
+            for target in deps:
+                graph[source].add(target)
+                graph.setdefault(target, set())
+                contributors.setdefault((source, target),
+                                        []).append(constraint.name)
+    for component in _tarjan_sccs(graph):
+        cyclic = len(component) > 1 or (
+            len(component) == 1
+            and component[0] in graph.get(component[0], ()))
+        if not cyclic:
+            continue
+        involved = sorted({name
+                           for edge, names in contributors.items()
+                           if edge[0] in component and edge[1] in component
+                           for name in names})
+        yield make(
+            SourceLocation("layer", ctx.layer.name,
+                           detail="+".join(involved)),
+            f"constraint cycle over properties "
+            f"{{{', '.join(component)}}} via constraint(s) "
+            f"{', '.join(involved)}: the dependent set can never be "
+            f"addressed after its independents",
+            hint="break the cycle by removing one dependency or "
+                 "merging the constraints")
+
+
+@rule(code="DSL012", slug="empty-applies-region", category="constraints",
+      severity=Severity.WARNING,
+      doc="No CDO satisfies all of a constraint's reference patterns — "
+          "the constraint governs nothing")
+def empty_applies_region(ctx: LintContext, options: Mapping[str, object],
+                         make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for constraint in ctx.constraints:
+        if not ctx.applicable_cdos(constraint):
+            yield make(
+                _cc_loc(constraint),
+                "applies to no CDO in the layer: no exploration can "
+                "ever be governed by this constraint",
+                hint="widen a class pattern, or check the patterns "
+                     "against the hierarchy's qualified names")
+
+
+@rule(code="DSL013", slug="conflicting-derivations", category="constraints",
+      severity=Severity.WARNING,
+      doc="Two constraints derive the same dependent property over "
+          "overlapping regions — the last evaluation silently wins")
+def conflicting_derivations(ctx: LintContext,
+                            options: Mapping[str, object],
+                            make: DiagnosticFactory
+                            ) -> Iterator[Diagnostic]:
+    derivers: Dict[str, List[ConsistencyConstraint]] = {}
+    for constraint in ctx.constraints:
+        relation = constraint.relation
+        if not isinstance(relation, (Formula, EstimatorInvocation)):
+            continue
+        ref = constraint.dependents.get(relation.target)
+        if not isinstance(ref, PropertyPath):
+            continue
+        derivers.setdefault(ref.property_name, []).append(constraint)
+    for prop_name, constraints in sorted(derivers.items()):
+        if len(constraints) < 2:
+            continue
+        for first, second in itertools.combinations(constraints, 2):
+            overlap = set(id(c) for c in ctx.applicable_cdos(first)) & \
+                set(id(c) for c in ctx.applicable_cdos(second))
+            if overlap:
+                yield make(
+                    _cc_loc(first),
+                    f"derives {prop_name!r} exactly, but so does "
+                    f"constraint {second.name!r} on an overlapping "
+                    f"region — the two derivations race",
+                    hint="narrow one constraint's patterns or merge "
+                         "the relations")
+
+
+#: Relations DSL014 can statically test-fire.
+_FIREABLE = (InconsistentOptions, EliminateOptions)
+
+
+@rule(code="DSL014", slug="never-fires", category="constraints",
+      severity=Severity.WARNING,
+      doc="An option-rejecting or option-eliminating constraint cannot "
+          "fire for any combination of values in its declared domains")
+def never_fires(ctx: LintContext, options: Mapping[str, object],
+                make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    sample_limit = int(options.get("samples", 8))  # type: ignore[arg-type]
+    max_combinations = int(
+        options.get("max_combinations", 512))  # type: ignore[arg-type]
+    for constraint in ctx.constraints:
+        relation = constraint.relation
+        if not isinstance(relation, _FIREABLE):
+            continue
+        aliases = tuple(relation.requires)
+        if not aliases:
+            continue  # nothing to enumerate over
+        refs = {**constraint.independents, **constraint.dependents,
+                **constraint.shorts}
+        pools: List[Tuple[object, ...]] = []
+        sampleable = True
+        for alias in aliases:
+            values = ctx.sampled_values(refs.get(alias),
+                                        limit=sample_limit)
+            if values is None:
+                sampleable = False
+                break
+            pools.append(values)
+        if not sampleable:
+            continue  # cannot decide statically; stay silent
+        total = 1
+        for pool in pools:
+            total *= len(pool)
+        if total > max_combinations:
+            continue
+        fired = False
+        for combination in itertools.product(*pools):
+            bindings = dict(zip(aliases, combination))
+            try:
+                result = relation.evaluate(bindings,
+                                           tools=ctx.layer.tools)
+            except Exception:
+                # The relation needs richer bindings than the sampled
+                # domains provide — indeterminate, assume it can fire.
+                fired = True
+                break
+            if not result.ok or result.eliminated:
+                fired = True
+                break
+        if not fired:
+            yield make(
+                _cc_loc(constraint),
+                f"relation never fires for any of the {total} sampled "
+                f"combination(s) of its declared domains — the "
+                f"constraint is dead weight",
+                hint="check the predicate against the domains of "
+                     f"aliases {list(aliases)}")

@@ -1,0 +1,147 @@
+"""Decomposition rules — the DI7 construct (DSL030-DSL031).
+
+A behavioral decomposition (paper Fig 11) promises that a CDO's critical
+operators "are designed by exploring other CDOs in the hierarchy".  The
+promise breaks statically in two ways: the ``source``/``restrict``
+references point at nothing, or the decompositions chain back into
+themselves — a Multiplier designed in terms of Multipliers never bottoms
+out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Set, Tuple
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceLocation,
+)
+from repro.core.lint.engine import LintContext
+from repro.core.lint.registry import DiagnosticFactory, rule
+from repro.core.lint.rules_constraints import _tarjan_sccs
+from repro.core.path import parse_path, parse_pattern
+from repro.core.properties import (
+    BehavioralDecomposition,
+    BehavioralDescription,
+)
+from repro.errors import PathError
+
+
+def _decompositions(ctx: LintContext
+                    ) -> List[Tuple[ClassOfDesignObjects,
+                                    BehavioralDecomposition]]:
+    out: List[Tuple[ClassOfDesignObjects, BehavioralDecomposition]] = []
+    for cdo in ctx.cdos:
+        for prop in cdo.own_properties:
+            if isinstance(prop, BehavioralDecomposition):
+                out.append((cdo, prop))
+    return out
+
+
+def _related(ctx: LintContext, qname: str, other_qname: str) -> bool:
+    """Same class, ancestor, or descendant — i.e. an exploration
+    positioned in one region can see or reach the other."""
+    return ctx.is_descendant_name(qname, other_qname) or \
+        ctx.is_descendant_name(other_qname, qname)
+
+
+@rule(code="DSL030", slug="dangling-decomposition", category="decomposition",
+      severity=Severity.ERROR,
+      doc="A decomposition's source path or restriction pattern resolves "
+          "to nothing — DI7 can never be planned from it")
+def dangling_decomposition(ctx: LintContext,
+                           options: Mapping[str, object],
+                           make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for owner, prop in _decompositions(ctx):
+        location = SourceLocation("property",
+                                  f"{owner.qualified_name}.{prop.name}")
+        try:
+            source = parse_path(prop.source)
+            hits = ctx.resolve_ref(source)
+        except PathError as exc:
+            yield make(
+                location,
+                f"source {prop.source!r} is dangling: {exc}",
+                hint="point the source at a declared behavioral "
+                     "description")
+            continue
+        useful = [
+            (cdo, hit_prop) for cdo, hit_prop in hits
+            if isinstance(hit_prop, BehavioralDescription)
+            and _related(ctx, cdo.qualified_name, owner.qualified_name)]
+        if not useful:
+            yield make(
+                location,
+                f"source {prop.source!r} resolves to no behavioral "
+                f"description visible from {owner.qualified_name} or its "
+                f"specializations",
+                hint="check the source pattern, or attach the "
+                     "behavioral description the decomposition expects")
+            continue
+        if not prop.restrict_pattern:
+            continue
+        try:
+            pattern = parse_pattern(prop.restrict_pattern)
+        except PathError as exc:
+            yield make(
+                location,
+                f"restriction pattern {prop.restrict_pattern!r} does not "
+                f"parse: {exc}",
+                hint="use the qualified-name pattern syntax of "
+                     "repro.core.path")
+            continue
+        if not any(pattern.matches(cdo.qualified_name)
+                   for cdo in ctx.cdos):
+            yield make(
+                location,
+                f"restriction pattern {prop.restrict_pattern!r} matches "
+                f"no CDO in the layer; the decomposition allows no "
+                f"operator class at all",
+                hint="widen the pattern or add the operator CDOs it "
+                     "expects")
+
+
+@rule(code="DSL031", slug="decomposition-cycle", category="decomposition",
+      severity=Severity.ERROR,
+      doc="Behavioral decompositions chain back into themselves — the "
+          "DI7 workflow would recurse forever")
+def decomposition_cycle(ctx: LintContext, options: Mapping[str, object],
+                        make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    entries = [(owner, prop) for owner, prop in _decompositions(ctx)
+               if prop.restrict_pattern]
+    nodes: Dict[str, Tuple[ClassOfDesignObjects,
+                           BehavioralDecomposition]] = {}
+    targets: Dict[str, List[str]] = {}
+    for owner, prop in entries:
+        key = f"{owner.qualified_name}::{prop.name}"
+        nodes[key] = (owner, prop)
+        try:
+            pattern = parse_pattern(prop.restrict_pattern)
+        except PathError:
+            continue  # DSL030's finding; nothing to chase here
+        targets[key] = [cdo.qualified_name for cdo in ctx.cdos
+                        if pattern.matches(cdo.qualified_name)]
+    graph: Dict[str, Set[str]] = {key: set() for key in nodes}
+    for key in nodes:
+        for other_key, (other_owner, _other_prop) in nodes.items():
+            if any(_related(ctx, target, other_owner.qualified_name)
+                   for target in targets.get(key, ())):
+                graph[key].add(other_key)
+    for component in _tarjan_sccs(graph):
+        cyclic = len(component) > 1 or (
+            len(component) == 1
+            and component[0] in graph.get(component[0], ()))
+        if not cyclic:
+            continue
+        first_owner, first_prop = nodes[component[0]]
+        yield make(
+            SourceLocation(
+                "property",
+                f"{first_owner.qualified_name}.{first_prop.name}"),
+            f"decomposition cycle: {' -> '.join(component)} -> "
+            f"{component[0]}; sub-explorations opened through DI7 would "
+            f"never bottom out",
+            hint="restrict each decomposition to operator classes that "
+                 "do not decompose back into the decomposing region")

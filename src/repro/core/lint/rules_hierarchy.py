@@ -1,0 +1,138 @@
+"""Hierarchy rules — structural health of the CDO forest (DSL001-DSL005).
+
+The paper's generalization/specialization hierarchy is only navigable if
+every region is reachable by qualified name, every child corresponds to
+an option of its parent's generalized design issue, and inherited
+properties stay unambiguous.  These rules batch-check what
+:meth:`ClassOfDesignObjects.validate_subtree` spot-checks, plus the
+holes the constructive API cannot close (a property added to an ancestor
+*after* a descendant declared the same name, sibling CDOs sharing a
+name through explicit ``specialize(..., name=...)`` calls).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping
+
+from repro.core.cdo import ClassOfDesignObjects
+from repro.core.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceLocation,
+)
+from repro.core.lint.engine import LintContext
+from repro.core.lint.registry import DiagnosticFactory, rule
+from repro.core.properties import DesignIssue
+from repro.core.values import EnumDomain
+
+
+def _cdo_loc(cdo: ClassOfDesignObjects, detail: str = "") -> SourceLocation:
+    return SourceLocation("cdo", cdo.qualified_name, detail)
+
+
+@rule(code="DSL001", slug="duplicate-sibling-names", category="hierarchy",
+      severity=Severity.ERROR,
+      doc="Sibling CDOs share a name, making all but the first "
+          "unreachable by qualified-name lookup")
+def duplicate_sibling_names(ctx: LintContext, options: Mapping[str, object],
+                            make: DiagnosticFactory
+                            ) -> Iterator[Diagnostic]:
+    for cdo in ctx.cdos:
+        names: Dict[str, List[object]] = {}
+        for child in cdo.children:
+            names.setdefault(child.name, []).append(child.option_of_parent)
+        for name, opts in sorted(names.items()):
+            if len(opts) > 1:
+                rendered = ", ".join(repr(o) for o in opts)
+                yield make(
+                    _cdo_loc(cdo),
+                    f"{len(opts)} children named {name!r} (for options "
+                    f"{rendered}); only the first is reachable by "
+                    f"qualified name",
+                    hint="give each specialization a distinct name= "
+                         "argument")
+
+
+@rule(code="DSL002", slug="children-without-issue", category="hierarchy",
+      severity=Severity.ERROR,
+      doc="A CDO has children but no generalized design issue, or a "
+          "child's option is not in the issue's domain")
+def children_without_issue(ctx: LintContext, options: Mapping[str, object],
+                           make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for root in ctx.layer.roots:
+        for cdo, problem in root.subtree_violations():
+            yield make(_cdo_loc(cdo), problem,
+                       hint="declare a generalized design issue before "
+                            "specializing, and specialize only its "
+                            "declared options")
+
+
+@rule(code="DSL003", slug="unspecialized-options", category="hierarchy",
+      severity=Severity.WARNING,
+      doc="Options of a generalized design issue have no child CDO — "
+          "those regions of the space cannot be explored")
+def unspecialized_options(ctx: LintContext, options: Mapping[str, object],
+                          make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for cdo in ctx.cdos:
+        issue = cdo.generalized_issue
+        if issue is None:
+            continue
+        present = {child.option_of_parent for child in cdo.children}
+        missing = [o for o in issue.options() if o not in present]
+        if missing:
+            rendered = ", ".join(repr(o) for o in missing)
+            yield make(
+                _cdo_loc(cdo, issue.name),
+                f"generalized issue {issue.name!r} has no child CDO for "
+                f"option(s) {rendered}",
+                hint="call specialize() for each option (or "
+                     "specialize_all()), or narrow the issue's domain")
+
+
+@rule(code="DSL004", slug="shadowed-property", category="hierarchy",
+      severity=Severity.ERROR,
+      doc="A CDO redeclares a property an ancestor already declares, "
+          "making inherited references ambiguous")
+def shadowed_property(ctx: LintContext, options: Mapping[str, object],
+                      make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for cdo in ctx.cdos:
+        if cdo.parent is None:
+            continue
+        for prop in cdo.own_properties:
+            owner = cdo.parent.find_property_owner(prop.name)
+            if owner is None:
+                continue
+            ancestor_prop = owner.find_property(prop.name)
+            compatible = (type(prop) is type(ancestor_prop)
+                          and prop.domain.describe()
+                          == ancestor_prop.domain.describe())
+            flavor = ("redundantly redeclares"
+                      if compatible else "incompatibly redefines")
+            yield make(
+                _cdo_loc(cdo, prop.name),
+                f"property {prop.name!r} {flavor} the one inherited from "
+                f"{owner.qualified_name}",
+                hint="remove the redeclaration or rename the property",
+                severity=Severity.WARNING if compatible
+                else Severity.ERROR)
+
+
+@rule(code="DSL005", slug="single-option-issue", category="hierarchy",
+      severity=Severity.INFO,
+      doc="A design issue offers exactly one option — it is not a "
+          "decision")
+def single_option_issue(ctx: LintContext, options: Mapping[str, object],
+                        make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for cdo in ctx.cdos:
+        for prop in cdo.own_properties:
+            if not isinstance(prop, DesignIssue):
+                continue
+            domain = prop.domain
+            if isinstance(domain, EnumDomain) and len(domain) == 1:
+                only = domain.options[0]
+                yield make(
+                    _cdo_loc(cdo, prop.name),
+                    f"design issue {prop.name!r} has a single option "
+                    f"({only!r}) — there is nothing to decide",
+                    hint="fold the forced value into the CDO's "
+                         "documentation or widen the domain")

@@ -1,0 +1,127 @@
+"""Library rules — health of the core federation (DSL020-DSL023).
+
+The design space layer "transparently indexes designs residing in
+different libraries" (Fig 1), but only cores indexed under *known* CDOs
+participate: an orphan core is invisible to every subtree query, an
+uncharacterized core cannot be placed in the evaluation space (Figs
+9/12), and an empty leaf region is a part of the space the reuse
+libraries cannot serve at all.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Iterator, List, Mapping, Set
+
+from repro.core.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceLocation,
+)
+from repro.core.lint.engine import LintContext
+from repro.core.lint.registry import DiagnosticFactory, rule
+from repro.core.library import ReuseLibrary
+
+
+@rule(code="DSL020", slug="orphan-core", category="library",
+      severity=Severity.ERROR,
+      doc="A core is indexed under a CDO name that exists in no "
+          "hierarchy of the layer — it is invisible to every query")
+def orphan_core(ctx: LintContext, options: Mapping[str, object],
+                make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    known = list(ctx.by_qname)
+    for library, core in ctx.cores:
+        if core.cdo_name in ctx.by_qname:
+            continue
+        close = difflib.get_close_matches(core.cdo_name, known, n=1)
+        hint = (f"did you mean {close[0]!r}?" if close
+                else "index the core under a qualified CDO name of the "
+                     "layer")
+        yield make(
+            SourceLocation("core", ctx.core_location_name(library, core),
+                           core.cdo_name),
+            f"indexed under unknown CDO {core.cdo_name!r}; no subtree "
+            f"query can ever reach it",
+            hint=hint)
+
+
+@rule(code="DSL021", slug="core-under-inner-node", category="library",
+      severity=Severity.WARNING,
+      doc="A core is indexed under a non-leaf CDO — its position leaves "
+          "design issues of that region undecided")
+def core_under_inner_node(ctx: LintContext, options: Mapping[str, object],
+                          make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    for library, core in ctx.cores:
+        owner = ctx.by_qname.get(core.cdo_name)
+        if owner is None or owner.is_leaf:
+            continue
+        issue = owner.generalized_issue
+        issue_name = issue.name if issue is not None else "?"
+        yield make(
+            SourceLocation("core", ctx.core_location_name(library, core),
+                           core.cdo_name),
+            f"indexed under non-leaf CDO {core.cdo_name!r}; the core "
+            f"does not say how it decides {issue_name!r}",
+            hint="index the core under the leaf matching the options "
+                 "it realizes")
+
+
+@rule(code="DSL022", slug="missing-merits", category="library",
+      severity=Severity.WARNING,
+      doc="A core lacks figures of merit that every other core of the "
+          "same region declares — it cannot be compared in the "
+          "evaluation space")
+def missing_merits(ctx: LintContext, options: Mapping[str, object],
+                   make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    library_of: Dict[int, ReuseLibrary] = \
+        {id(core): library for library, core in ctx.cores}
+    for cdo_name, cores in sorted(ctx.cores_by_cdo.items()):
+        if len(cores) < 2:
+            continue
+        keysets: List[Set[str]] = [set(core.merits) for core in cores]
+        # A key is common to every *other* core of the region exactly
+        # when n-1 cores declare it and this one does not (n declarers
+        # means this core has it too) — one counting pass keeps the
+        # rule linear in federation size.
+        group_size = len(cores)
+        declarers: Dict[str, int] = {}
+        for keys in keysets:
+            for key in keys:
+                declarers[key] = declarers.get(key, 0) + 1
+        for position, core in enumerate(cores):
+            missing = sorted(
+                key for key, count in declarers.items()
+                if count == group_size - 1 and key not in keysets[position])
+            if not missing:
+                continue
+            library = library_of.get(id(core))
+            location_name = (ctx.core_location_name(library, core)
+                             if library is not None else core.name)
+            yield make(
+                SourceLocation("core", location_name, cdo_name),
+                f"missing figure(s) of merit {missing} that every other "
+                f"core under {cdo_name!r} declares; evaluation-space "
+                f"queries over those metrics silently drop it",
+                hint="characterize the core (set_merit) or drop the "
+                     "metric from the region's convention")
+
+
+@rule(code="DSL023", slug="empty-leaf-region", category="library",
+      severity=Severity.INFO,
+      doc="A leaf CDO has no core indexed at or under it — that region "
+          "of the space has no reusable implementation yet")
+def empty_leaf_region(ctx: LintContext, options: Mapping[str, object],
+                      make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    if not ctx.cores:
+        return  # an empty federation would flag every leaf; say nothing
+    for leaf in ctx.leaves:
+        qname = leaf.qualified_name
+        if ctx.core_counts_under.get(qname, 0):
+            continue
+        yield make(
+            SourceLocation("cdo", qname),
+            "leaf region has no core indexed at or under it; "
+            "explorations reaching this class find an empty library "
+            "shelf",
+            hint="acquire or build a core for the region, or prune the "
+                 "class if it is not worth serving")

@@ -26,13 +26,16 @@ def build_crypto_layer(eol: int = 768,
                        include_arithmetic: bool = True,
                        include_constraints: bool = True,
                        word_bits: int = 32,
-                       include_exponentiators: bool = True
+                       include_exponentiators: bool = True,
+                       strict_lint: bool = False
                        ) -> DesignSpaceLayer:
     """The design space layer of the paper's Sec 5 case study.
 
     ``eol`` is the operand length the reuse libraries are characterized
     for (the sliced hardware cores' figures of merit depend on it);
     requirement values themselves are entered later, per session.
+    ``strict_lint`` additionally runs the static-analysis rules and
+    refuses to return a layer with error-severity findings.
     """
     layer = DesignSpaceLayer(
         "crypto",
@@ -56,6 +59,8 @@ def build_crypto_layer(eol: int = 768,
                                    include_exponentiators):
         layer.attach_library(library)
     layer.validate()
+    if strict_lint:
+        layer.lint(strict=True)
     return layer
 
 

@@ -61,8 +61,13 @@ def _idct_root() -> ClassOfDesignObjects:
     return root
 
 
-def build_idct_layer(block_size: int = 8) -> DesignSpaceLayer:
-    """The generalization-based layer of Fig 3/4."""
+def build_idct_layer(block_size: int = 8,
+                     strict_lint: bool = False) -> DesignSpaceLayer:
+    """The generalization-based layer of Fig 3/4.
+
+    ``strict_lint`` additionally runs the static-analysis rules and
+    refuses to return a layer with error-severity findings.
+    """
     layer = DesignSpaceLayer(
         "idct",
         "Design space layer for IDCT blocks, organised by "
@@ -115,6 +120,8 @@ def build_idct_layer(block_size: int = 8) -> DesignSpaceLayer:
     library.add_all(software_cores(block_size))
     layer.attach_library(library)
     layer.validate()
+    if strict_lint:
+        layer.lint(strict=True)
     return layer
 
 

@@ -59,6 +59,20 @@ class LibraryError(ReproError):
     core under an unknown CDO, ...)."""
 
 
+class LintError(ReproError):
+    """The static-analysis pass found error-severity diagnostics (strict
+    mode), or the linter itself was misconfigured.
+
+    When raised by strict linting, ``report`` carries the full
+    :class:`~repro.core.lint.diagnostics.LintReport` so callers can show
+    every finding, not just the first.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report
+
+
 class EstimationError(ReproError):
     """An early-estimation tool was invoked outside its utilization
     context or on an unsupported description."""

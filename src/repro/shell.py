@@ -164,6 +164,17 @@ class ExplorationShell(cmd.Cmd):
                 self._say(f"  {impact.describe()}")
         self._guard(action)
 
+    def do_lint(self, arg: str) -> None:
+        """lint [RULE ...] — static diagnostics for the session's layer
+        (optionally restricted to rule codes/slugs/categories)."""
+        from repro.core.lint import LintConfig, lint_layer
+        def action():
+            select = arg.split() or None
+            report = lint_layer(self.session.layer,
+                                config=LintConfig(select=select))
+            self._say(report.render_text())
+        self._guard(action)
+
     def do_log(self, _arg: str) -> None:
         """log — the session's action log."""
         for line in self.session.log:

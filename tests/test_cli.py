@@ -108,3 +108,50 @@ class TestExport:
         data = json.loads(out)
         assert data["name"] == "idct"
         assert data["libraries"][0]["cores"]
+
+
+class TestLint:
+    def test_crypto_lints_clean_at_default_threshold(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--layer", "crypto")
+        assert code == 0
+        assert "lint report for layer 'crypto'" in out
+        assert "error" not in out.splitlines()[0]
+
+    def test_idct_json_format(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--layer", "idct",
+                                  "--format", "json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["layer"] == "idct"
+        assert data["summary"]["error"] == 0
+
+    def test_fail_on_info_flips_exit_code(self, capsys):
+        # Both bundled layers carry info-level empty-shelf findings.
+        code, _out, _err = run_cli(capsys, "lint", "--layer", "idct",
+                                   "--fail-on", "info")
+        assert code == 1
+
+    def test_disable_silences_the_rule(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--layer", "idct",
+                                  "--fail-on", "info",
+                                  "--disable", "DSL023")
+        assert code == 0
+        assert "clean" in out
+
+    def test_select_by_category(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--layer", "crypto",
+                                  "--select", "constraints",
+                                  "--fail-on", "info")
+        assert code == 0
+        assert "clean" in out
+
+    def test_unknown_rule_is_an_error(self, capsys):
+        code, _out, err = run_cli(capsys, "lint", "--disable", "DSL999")
+        assert code == 2
+        assert "unknown rule" in err
+
+    def test_list_rules(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--list-rules")
+        assert code == 0
+        assert "DSL001" in out and "DSL031" in out
+        assert "duplicate-sibling-names" in out

@@ -1,0 +1,188 @@
+"""Linting the bundled layers end-to-end, golden-file output, and a
+property test: well-formed construction never produces error findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClassOfDesignObjects,
+    ConsistencyConstraint,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    InconsistentOptions,
+    IntRange,
+    Requirement,
+    ReuseLibrary,
+)
+from repro.core.lint import LintConfig, Severity, lint_layer
+from repro.errors import LintError
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+# ----------------------------------------------------------------------
+# the bundled layers lint clean
+# ----------------------------------------------------------------------
+class TestBundledLayers:
+    def test_crypto_has_no_errors_or_warnings(self, crypto_layer):
+        report = crypto_layer.lint()
+        assert not report.errors, report.render_text()
+        assert not report.warnings, report.render_text()
+
+    def test_crypto_info_findings_are_the_empty_shelves(self,
+                                                        crypto_layer):
+        report = crypto_layer.lint()
+        assert report.codes() == ("DSL023",)
+        names = {d.location.name for d in report.infos}
+        assert "Operator.LogicArithmetic.Logic" in names
+
+    def test_idct_has_no_errors_or_warnings(self, idct_layer):
+        report = idct_layer.lint()
+        assert not report.errors, report.render_text()
+        assert not report.warnings, report.render_text()
+
+    def test_builders_accept_strict_lint(self):
+        from repro.domains.crypto import build_crypto_layer
+        from repro.domains.idct import build_idct_layer
+        # 8 slices keep the strict build fast; any error raises.
+        layer = build_crypto_layer(eol=256, strict_lint=True)
+        assert layer.name == "crypto"
+        assert build_idct_layer(strict_lint=True).name == "idct"
+
+    def test_strict_mode_raises_with_report_attached(self):
+        layer = DesignSpaceLayer("broken", "strict-mode fixture")
+        root = ClassOfDesignObjects("W", "w")
+        root.add_property(DesignIssue(
+            "S", EnumDomain(["a", "b"]), "s", generalized=True))
+        layer.add_root(root)
+        root.specialize("a", name="Twin")
+        root.specialize("b", name="Twin")  # DSL001, an error
+        with pytest.raises(LintError) as excinfo:
+            layer.lint(strict=True)
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.by_code("DSL001")
+
+    def test_lint_select_runs_single_category(self, idct_layer):
+        report = idct_layer.lint(config=LintConfig(select=("hierarchy",)))
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# golden files — the text and JSON renderings are part of the contract
+# ----------------------------------------------------------------------
+def golden_bad_layer() -> DesignSpaceLayer:
+    """A deterministic layer exhibiting one finding per severity."""
+    layer = DesignSpaceLayer("gremlin", "golden-file fixture layer")
+    root = ClassOfDesignObjects("Widget", "all widgets")
+    root.add_property(DesignIssue(
+        "Style", EnumDomain(["hw", "sw"]), "impl style",
+        generalized=True))
+    layer.add_root(root)
+    hw = root.specialize("hw")
+    hw.add_property(DesignIssue("Tech", EnumDomain(["only"]),
+                                "one option"))  # DSL005 info
+    # DSL003 warning: 'sw' never specialized.
+    library = ReuseLibrary("shelf", "golden-file library")
+    layer.attach_library(library)
+    library.add(DesignObject("ghost", "Widget.bogus",
+                             merits={"area": 1.0}))  # DSL020 error
+    return layer
+
+
+class TestGoldenOutput:
+    def test_text_report_matches_golden(self):
+        report = lint_layer(golden_bad_layer(),
+                            config=LintConfig(
+                                select=("DSL003", "DSL005", "DSL020")))
+        with open(os.path.join(GOLDEN_DIR, "lint_report.txt")) as fh:
+            assert report.render_text() + "\n" == fh.read()
+
+    def test_json_report_matches_golden(self):
+        report = lint_layer(golden_bad_layer(),
+                            config=LintConfig(
+                                select=("DSL003", "DSL005", "DSL020")))
+        with open(os.path.join(GOLDEN_DIR, "lint_report.json")) as fh:
+            assert json.loads(report.to_json()) == json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# property test: constructively well-formed layers have no errors
+# ----------------------------------------------------------------------
+@st.composite
+def well_formed_layers(draw):
+    """Random layers built only through the public constructive API."""
+    layer = DesignSpaceLayer("random", "hypothesis layer")
+    root = ClassOfDesignObjects("Root", "root")
+    option_count = draw(st.integers(min_value=1, max_value=3))
+    options = [f"opt{i}" for i in range(option_count)]
+    root.add_property(DesignIssue(
+        "Split", EnumDomain(options), "split", generalized=True))
+    layer.add_root(root)
+    leaves = []
+    for option in options:
+        child = root.specialize(option)
+        if draw(st.booleans()):
+            child.add_property(Requirement(
+                "Width", IntRange(lo=1, hi=64), "width"))
+        if draw(st.booleans()):
+            grand_options = ["x", "y"]
+            child.add_property(DesignIssue(
+                "Sub", EnumDomain(grand_options), "sub",
+                generalized=True))
+            for grand_option in grand_options:
+                leaves.append(child.specialize(grand_option))
+        else:
+            leaves.append(child)
+    library = ReuseLibrary("lib", "random cores")
+    core_count = draw(st.integers(min_value=0, max_value=4))
+    for number in range(core_count):
+        leaf = draw(st.sampled_from(leaves))
+        library.add(DesignObject(
+            f"core{number}", leaf.qualified_name,
+            merits={"area": float(number + 1)}))
+    layer.attach_library(library)
+    if draw(st.booleans()):
+        layer.add_constraint(ConsistencyConstraint(
+            "CC-split", "split is constrained",
+            independents={"s": "Split@Root"}, dependents={},
+            relation=InconsistentOptions(
+                lambda b: b["s"] == options[0], "rejects the first",
+                requires=("s",))))
+    return layer
+
+
+class TestWellFormedProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(layer=well_formed_layers())
+    def test_constructive_layers_never_have_error_findings(self, layer):
+        report = lint_layer(layer)
+        assert not report.errors, report.render_text()
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer=well_formed_layers())
+    def test_strict_lint_accepts_constructive_layers(self, layer):
+        layer.lint(strict=True)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_layer_same_report(self, crypto_layer):
+        first = lint_layer(crypto_layer).render_text()
+        second = lint_layer(crypto_layer).render_text()
+        assert first == second
+
+    def test_severity_threshold_helper(self, crypto_layer):
+        report = crypto_layer.lint()
+        assert report.has_at_least(Severity.INFO)
+        assert not report.has_at_least(Severity.WARNING)

@@ -1,0 +1,470 @@
+"""The design-space linter: diagnostic model, registry and every rule.
+
+Each rule gets a regression test with a minimal layer exhibiting exactly
+the defect the rule exists to catch (plus, where cheap, a counterpart
+showing the clean shape stays silent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BehavioralDecomposition,
+    BehavioralDescription,
+    ClassOfDesignObjects,
+    ConsistencyConstraint,
+    ConstraintSet,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    Formula,
+    InconsistentOptions,
+    IntRange,
+    Requirement,
+    ReuseLibrary,
+)
+from repro.core.lint import (
+    DEFAULT_REGISTRY,
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    RuleRegistry,
+    Severity,
+    SourceLocation,
+    lint_layer,
+    merge_reports,
+    parse_severity,
+)
+from repro.core.lint.registry import LintRule
+from repro.errors import ConstraintError, LintError
+
+# ----------------------------------------------------------------------
+# fixture builders
+# ----------------------------------------------------------------------
+
+
+def bare_layer(name: str = "bad") -> DesignSpaceLayer:
+    """An empty layer with one two-option root ready for abuse."""
+    layer = DesignSpaceLayer(name, "lint fixture layer")
+    root = ClassOfDesignObjects("Widget", "all widgets")
+    root.add_property(DesignIssue(
+        "Style", EnumDomain(["hw", "sw"]), "impl style", generalized=True))
+    layer.add_root(root)
+    return layer
+
+
+def codes_of(layer: DesignSpaceLayer, *select: str):
+    config = LintConfig(select=list(select)) if select else None
+    return lint_layer(layer, config=config).codes()
+
+
+# ----------------------------------------------------------------------
+# diagnostic model
+# ----------------------------------------------------------------------
+class TestDiagnosticModel:
+    def test_severity_ranks_and_parse(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > \
+            Severity.INFO.rank
+        assert parse_severity("warning") is Severity.WARNING
+        with pytest.raises(ValueError):
+            parse_severity("fatal")
+
+    def test_render_includes_code_location_and_hint(self):
+        diag = Diagnostic(
+            code="DSL001", rule="duplicate-sibling-names",
+            severity=Severity.ERROR,
+            location=SourceLocation("cdo", "Widget", "Style"),
+            message="two children named 'X'", hint="rename one")
+        text = diag.render()
+        assert text.startswith("DSL001 error   [cdo Widget.Style] ")
+        assert "hint: rename one" in text
+
+    def test_report_sorts_severity_major_then_code(self):
+        loc = SourceLocation("layer", "l")
+        mk = lambda code, sev: Diagnostic(code, "r", sev, loc, "m")
+        report = LintReport("l", [mk("DSL005", Severity.INFO),
+                                  mk("DSL020", Severity.ERROR),
+                                  mk("DSL001", Severity.ERROR)])
+        assert [d.code for d in report] == ["DSL001", "DSL020", "DSL005"]
+
+    def test_counts_summary_and_thresholds(self):
+        loc = SourceLocation("layer", "l")
+        report = LintReport("l", [
+            Diagnostic("DSL001", "r", Severity.WARNING, loc, "m")])
+        assert report.counts() == {"error": 0, "warning": 1, "info": 0}
+        assert report.summary() == "lint report for layer 'l': 1 warning"
+        assert report.has_at_least(Severity.WARNING)
+        assert not report.has_at_least(Severity.ERROR)
+        assert LintReport("l").clean
+        assert "clean" in LintReport("l").summary()
+
+    def test_to_dict_and_json_round(self):
+        loc = SourceLocation("constraint", "CC1", "x")
+        report = LintReport("l", [
+            Diagnostic("DSL010", "dangling-reference", Severity.ERROR,
+                       loc, "m", hint="h")])
+        data = report.to_dict()
+        assert data["layer"] == "l"
+        assert data["diagnostics"][0]["location"]["detail"] == "x"
+        assert '"DSL010"' in report.to_json()
+
+    def test_merge_reports(self):
+        loc = SourceLocation("layer", "l")
+        one = LintReport("l", [Diagnostic("DSL001", "r",
+                                          Severity.ERROR, loc, "m")])
+        two = LintReport("l", [Diagnostic("DSL005", "r",
+                                          Severity.INFO, loc, "m")])
+        merged = merge_reports("l", [one, two])
+        assert merged.codes() == ("DSL001", "DSL005")
+
+
+# ----------------------------------------------------------------------
+# registry / config
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_default_registry_has_all_documented_rules(self):
+        codes = DEFAULT_REGISTRY.codes()
+        assert len(codes) >= 10
+        for code in ("DSL001", "DSL002", "DSL003", "DSL004", "DSL005",
+                     "DSL010", "DSL011", "DSL012", "DSL013", "DSL014",
+                     "DSL020", "DSL021", "DSL022", "DSL023",
+                     "DSL030", "DSL031"):
+            assert code in codes
+            rule = DEFAULT_REGISTRY.get(code)
+            assert rule.doc and rule.slug
+
+    def test_lookup_by_slug_and_unknown(self):
+        assert DEFAULT_REGISTRY.get("orphan-core").code == "DSL020"
+        with pytest.raises(LintError):
+            DEFAULT_REGISTRY.get("DSL999")
+
+    def test_register_rejects_duplicates_and_bad_identity(self):
+        registry = RuleRegistry()
+        ok = LintRule("DSL900", "test-rule", "hierarchy",
+                      Severity.INFO, "doc", lambda c, o, m: ())
+        registry.register(ok)
+        with pytest.raises(LintError):
+            registry.register(ok)
+        with pytest.raises(LintError):
+            registry.register(LintRule("bogus", "x", "hierarchy",
+                                       Severity.INFO, "doc",
+                                       lambda c, o, m: ()))
+        with pytest.raises(LintError):
+            registry.register(LintRule("DSL901", "Bad Slug", "hierarchy",
+                                       Severity.INFO, "doc",
+                                       lambda c, o, m: ()))
+        with pytest.raises(LintError):
+            registry.register(LintRule("DSL902", "y", "nonsense",
+                                       Severity.INFO, "doc",
+                                       lambda c, o, m: ()))
+
+    def test_config_select_disable_and_category(self):
+        rule = DEFAULT_REGISTRY.get("DSL023")
+        assert LintConfig().is_enabled(rule)
+        assert not LintConfig(disable=("DSL023",)).is_enabled(rule)
+        assert not LintConfig(disable=("library",)).is_enabled(rule)
+        assert LintConfig(select=("empty-leaf-region",)).is_enabled(rule)
+        assert not LintConfig(select=("hierarchy",)).is_enabled(rule)
+
+    def test_config_validate_rejects_unknown_rule(self):
+        with pytest.raises(LintError):
+            lint_layer(bare_layer(), config=LintConfig(select=("DSL999",)))
+
+    def test_severity_override_regrades_findings(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize("hw")  # leaves 'sw' unspecialized
+        config = LintConfig(select=("DSL003",),
+                            severity_overrides={"DSL003": "error"})
+        report = lint_layer(layer, config=config)
+        assert report.by_code("DSL003")
+        assert report.errors and not report.warnings
+
+
+# ----------------------------------------------------------------------
+# hierarchy rules
+# ----------------------------------------------------------------------
+class TestHierarchyRules:
+    def test_dsl001_duplicate_sibling_names(self):
+        layer = bare_layer()
+        root = layer.cdo("Widget")
+        root.specialize("hw", name="Same")
+        root.specialize("sw", name="Same")
+        report = lint_layer(layer, config=LintConfig(select=("DSL001",)))
+        [diag] = report.by_code("DSL001")
+        assert diag.severity is Severity.ERROR
+        assert "'Same'" in diag.message
+        assert diag.location.name == "Widget"
+
+    def test_dsl002_children_without_issue(self):
+        layer = bare_layer()
+        root = layer.cdo("Widget")
+        hw = root.specialize("hw")
+        # A linter exists for structures the constructive API cannot
+        # guarantee — e.g. layers deserialized from foreign tools.
+        # Forge a child under the leaf 'hw' without a generalized issue.
+        rogue = ClassOfDesignObjects("Rogue", "forged child", parent=hw,
+                                     option_of_parent="x")
+        hw._children["x"] = rogue
+        assert "DSL002" in codes_of(layer, "DSL002")
+
+    def test_dsl003_unspecialized_options(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize("hw")
+        [diag] = lint_layer(
+            layer, config=LintConfig(select=("DSL003",))).diagnostics
+        assert diag.code == "DSL003"
+        assert "'sw'" in diag.message
+
+    def test_dsl004_shadowed_property_incompatible_is_error(self):
+        layer = bare_layer()
+        root = layer.cdo("Widget")
+        hw = root.specialize("hw")
+        # Declare on the child first, then on the ancestor: the add-time
+        # shadowing check cannot see time-travel, the linter can.
+        hw.add_property(Requirement("Width", IntRange(lo=1, hi=8), "w"))
+        root.add_property(Requirement("Width", IntRange(lo=1, hi=256),
+                                      "w"))
+        [diag] = lint_layer(
+            layer, config=LintConfig(select=("DSL004",))).diagnostics
+        assert diag.severity is Severity.ERROR
+        assert "incompatibly redefines" in diag.message
+
+    def test_dsl004_compatible_redeclaration_is_warning(self):
+        layer = bare_layer()
+        root = layer.cdo("Widget")
+        hw = root.specialize("hw")
+        hw.add_property(Requirement("Width", IntRange(lo=1, hi=256), "w"))
+        root.add_property(Requirement("Width", IntRange(lo=1, hi=256),
+                                      "w"))
+        [diag] = lint_layer(
+            layer, config=LintConfig(select=("DSL004",))).diagnostics
+        assert diag.severity is Severity.WARNING
+        assert "redundantly redeclares" in diag.message
+
+    def test_dsl005_single_option_issue(self):
+        layer = bare_layer()
+        hw = layer.cdo("Widget").specialize("hw")
+        hw.add_property(DesignIssue("Tech", EnumDomain(["only"]),
+                                    "no choice"))
+        [diag] = lint_layer(
+            layer, config=LintConfig(select=("DSL005",))).diagnostics
+        assert diag.severity is Severity.INFO
+        assert "'only'" in diag.message
+
+
+# ----------------------------------------------------------------------
+# constraint rules
+# ----------------------------------------------------------------------
+def _never(_bindings):
+    return False
+
+
+class TestConstraintRules:
+    def test_dsl010_dangling_reference(self):
+        layer = bare_layer()
+        layer.add_constraint(ConsistencyConstraint(
+            "CCX", "dangling", independents={"x": "Nope@Widget"},
+            dependents={},
+            relation=InconsistentOptions(_never, "never")))
+        report = lint_layer(layer, config=LintConfig(select=("DSL010",)))
+        [diag] = report.by_code("DSL010")
+        assert diag.location.name == "CCX"
+        assert diag.location.detail == "x"
+        assert "dangling" in diag.message
+
+    def test_dsl011_constraint_cycle(self):
+        layer = bare_layer()
+        root = layer.cdo("Widget")
+        root.add_property(Requirement("P", IntRange(lo=0), "p"))
+        root.add_property(Requirement("Q", IntRange(lo=0), "q"))
+        layer.add_constraint(ConsistencyConstraint(
+            "CCA", "p gates q", independents={"p": "P@Widget"},
+            dependents={"q": "Q@Widget"},
+            relation=InconsistentOptions(_never, "never")))
+        layer.add_constraint(ConsistencyConstraint(
+            "CCB", "q gates p", independents={"q": "Q@Widget"},
+            dependents={"p": "P@Widget"},
+            relation=InconsistentOptions(_never, "never")))
+        report = lint_layer(layer, config=LintConfig(select=("DSL011",)))
+        [diag] = report.by_code("DSL011")
+        assert "CCA" in diag.message and "CCB" in diag.message
+        assert diag.severity is Severity.ERROR
+
+    def test_dsl011_acyclic_network_is_silent(self, crypto_layer):
+        report = lint_layer(crypto_layer,
+                            config=LintConfig(select=("DSL011",)))
+        assert report.clean
+
+    def test_dsl012_empty_applies_region(self):
+        layer = bare_layer()
+        layer.add_constraint(ConsistencyConstraint(
+            "CCY", "nowhere", independents={"x": "P@No.Such.Class"},
+            dependents={},
+            relation=InconsistentOptions(_never, "never")))
+        report = lint_layer(layer, config=LintConfig(select=("DSL012",)))
+        assert report.by_code("DSL012")
+
+    def test_dsl013_conflicting_derivations(self):
+        layer = bare_layer()
+        root = layer.cdo("Widget")
+        root.add_property(Requirement("P", IntRange(lo=0), "p"))
+        root.add_property(Requirement("Q", IntRange(lo=0), "q"))
+        for name in ("CC-first", "CC-second"):
+            layer.add_constraint(ConsistencyConstraint(
+                name, "derives q", independents={"p": "P@Widget"},
+                dependents={"q": "Q@Widget"},
+                relation=Formula("q", lambda b: 1, "q = 1")))
+        report = lint_layer(layer, config=LintConfig(select=("DSL013",)))
+        [diag] = report.by_code("DSL013")
+        assert "'Q'" in diag.message
+        assert "race" in diag.message
+
+    def test_dsl014_never_fires(self):
+        layer = bare_layer()
+        layer.add_constraint(ConsistencyConstraint(
+            "CC-dead", "can never trigger",
+            independents={"s": "Style@Widget"}, dependents={},
+            relation=InconsistentOptions(_never, "never",
+                                         requires=("s",))))
+        report = lint_layer(layer, config=LintConfig(select=("DSL014",)))
+        [diag] = report.by_code("DSL014")
+        assert "never fires" in diag.message
+
+    def test_dsl014_firable_constraint_is_silent(self):
+        layer = bare_layer()
+        layer.add_constraint(ConsistencyConstraint(
+            "CC-live", "rejects hw",
+            independents={"s": "Style@Widget"}, dependents={},
+            relation=InconsistentOptions(lambda b: b["s"] == "hw",
+                                         "no hw", requires=("s",))))
+        report = lint_layer(layer, config=LintConfig(select=("DSL014",)))
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# library rules
+# ----------------------------------------------------------------------
+class TestLibraryRules:
+    def test_dsl020_orphan_core(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize_all()
+        library = ReuseLibrary("lib", "test")
+        layer.attach_library(library)
+        # Added after attachment: the attach-time check cannot see it.
+        library.add(DesignObject("ghost", "Widget.hww",
+                                 merits={"area": 1.0}))
+        report = lint_layer(layer, config=LintConfig(select=("DSL020",)))
+        [diag] = report.by_code("DSL020")
+        assert diag.location.name == "lib/ghost"
+        assert "Widget.hw" in diag.hint  # close-match suggestion
+
+    def test_dsl021_core_under_inner_node(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize_all()
+        library = ReuseLibrary("lib", "test")
+        library.add(DesignObject("vague", "Widget",
+                                 merits={"area": 1.0}))
+        layer.attach_library(library)
+        report = lint_layer(layer, config=LintConfig(select=("DSL021",)))
+        [diag] = report.by_code("DSL021")
+        assert "Style" in diag.message  # names the undecided issue
+
+    def test_dsl022_missing_merits(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize_all()
+        library = ReuseLibrary("lib", "test")
+        library.add_all([
+            DesignObject("full", "Widget.hw",
+                         merits={"area": 1.0, "latency_ns": 2.0}),
+            DesignObject("also", "Widget.hw",
+                         merits={"area": 2.0, "latency_ns": 3.0}),
+            DesignObject("bare", "Widget.hw",
+                         merits={"latency_ns": 9.0}),
+        ])
+        layer.attach_library(library)
+        report = lint_layer(layer, config=LintConfig(select=("DSL022",)))
+        [diag] = report.by_code("DSL022")
+        assert diag.location.name == "lib/bare"
+        assert "'area'" in diag.message
+
+    def test_dsl023_empty_leaf_region(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize_all()
+        library = ReuseLibrary("lib", "test")
+        library.add(DesignObject("h1", "Widget.hw",
+                                 merits={"area": 1.0}))
+        layer.attach_library(library)
+        report = lint_layer(layer, config=LintConfig(select=("DSL023",)))
+        [diag] = report.by_code("DSL023")
+        assert diag.location.name == "Widget.sw"
+        assert diag.severity is Severity.INFO
+
+    def test_dsl023_silent_when_federation_empty(self):
+        layer = bare_layer()
+        layer.cdo("Widget").specialize_all()
+        report = lint_layer(layer, config=LintConfig(select=("DSL023",)))
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# decomposition rules
+# ----------------------------------------------------------------------
+class TestDecompositionRules:
+    def test_dsl030_dangling_source(self):
+        layer = bare_layer()
+        hw = layer.cdo("Widget").specialize("hw")
+        hw.add_property(BehavioralDecomposition(
+            "Decomp", "broken", source="Nothing@Widget.hw"))
+        report = lint_layer(layer, config=LintConfig(select=("DSL030",)))
+        [diag] = report.by_code("DSL030")
+        assert "dangling" in diag.message
+        assert diag.location.name == "Widget.hw.Decomp"
+
+    def test_dsl030_unmatched_restrict_pattern(self):
+        layer = bare_layer()
+        hw = layer.cdo("Widget").specialize("hw")
+        hw.add_property(BehavioralDescription("BD", "behavior"))
+        hw.add_property(BehavioralDecomposition(
+            "Decomp", "restricted to nothing", source="BD@Widget.hw",
+            restrict_pattern="No.Such.Region"))
+        report = lint_layer(layer, config=LintConfig(select=("DSL030",)))
+        [diag] = report.by_code("DSL030")
+        assert "matches no CDO" in diag.message
+
+    def test_dsl031_self_referential_decomposition(self):
+        layer = bare_layer()
+        hw = layer.cdo("Widget").specialize("hw")
+        hw.add_property(BehavioralDescription("BD", "behavior"))
+        hw.add_property(BehavioralDecomposition(
+            "Decomp", "recurses into its own region",
+            source="BD@Widget.hw", restrict_pattern="Widget.hw"))
+        report = lint_layer(layer, config=LintConfig(select=("DSL031",)))
+        [diag] = report.by_code("DSL031")
+        assert "cycle" in diag.message
+        assert diag.severity is Severity.ERROR
+
+    def test_dsl031_acyclic_decomposition_chain_is_silent(self,
+                                                          crypto_layer):
+        report = lint_layer(crypto_layer,
+                            config=LintConfig(select=("DSL031",)))
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# satellite: ConstraintSet duplicate rejection leaves the set intact
+# ----------------------------------------------------------------------
+class TestConstraintSetDuplicates:
+    def test_duplicate_add_rejected_and_original_kept(self):
+        original = ConsistencyConstraint(
+            "CC1", "the original", independents={}, dependents={},
+            relation=InconsistentOptions(_never, "never"))
+        impostor = ConsistencyConstraint(
+            "CC1", "the impostor", independents={}, dependents={},
+            relation=InconsistentOptions(_never, "never"))
+        constraints = ConstraintSet([original])
+        with pytest.raises(ConstraintError, match="the original"):
+            constraints.add(impostor)
+        assert constraints.get("CC1") is original
+        assert len(constraints) == 1

@@ -128,3 +128,17 @@ class TestAdviseCommand:
             "decide Style=hw\ndecide Tech=t35\ndecide Pipeline=1\n"
             "advise\nquit\n")
         assert "no addressable issues" in out
+
+
+class TestLintCommand:
+    def test_lint_reports_layer_findings(self):
+        _shell, out = drive("lint\nquit\n")
+        assert "lint report for layer 'widgets'" in out
+
+    def test_lint_with_rule_selection(self):
+        _shell, out = drive("lint hierarchy\nquit\n")
+        assert "clean" in out
+
+    def test_lint_with_unknown_rule_reports_error(self):
+        _shell, out = drive("lint DSL999\nquit\n")
+        assert "error:" in out and "unknown rule" in out
