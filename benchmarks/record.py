@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Record pruning/observability timings into a committed JSON file.
+
+``BENCH_pruning.json`` (repo root) is the durable record of two things:
+
+* the crypto case-study pruning walk (the paper's Sec 5 loop) — per-run
+  wall times on the recording machine;
+* the tracing overhead on a 50k-core synthetic pruning walk — the
+  no-op-recorder baseline vs the same walk with a
+  :class:`~repro.core.obs.recorder.TraceRecorder` attached, plus the
+  min-over-min ratio the CI overhead gate enforces (< 1.10).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pruning.json]
+                                               [--repeat 5] [--cores 50000]
+
+The measurement helpers are imported by ``test_bench_obs.py`` so the
+benchmark suite and this recorder cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:  # direct `python benchmarks/record.py` runs
+    sys.path.insert(0, _HERE)
+
+DEFAULT_OUTPUT = os.path.join(_HERE, os.pardir, "BENCH_pruning.json")
+#: The CI gate: traced walk may cost at most 10% over the no-op walk.
+OVERHEAD_BUDGET = 1.10
+
+
+def _runs(fn: Callable[[], object], repeat: int) -> List[float]:
+    out = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        out.append(time.perf_counter() - t0)
+    return out
+
+
+def _summary(runs: List[float]) -> Dict[str, object]:
+    return {
+        "unit": "seconds",
+        "runs": [round(r, 6) for r in runs],
+        "min": round(min(runs), 6),
+        "mean": round(statistics.mean(runs), 6),
+    }
+
+
+def crypto_walk_runs(repeat: int = 5) -> List[float]:
+    """Per-run times of the Sec 5 case-study pruning walk."""
+    from test_bench_pruning import pruning_trace
+
+    from repro.domains.crypto import build_crypto_layer
+    layer = build_crypto_layer(eol=768)
+    pruning_trace(layer)  # warm-up (index build)
+    return _runs(lambda: pruning_trace(layer), repeat)
+
+
+def make_pruning_walk(layer) -> Callable[[], int]:
+    """A fresh-session pruning walk whose every step really prunes."""
+    from repro.core import ExplorationSession
+
+    def walk() -> int:
+        session = ExplorationSession(layer, "Block")
+        total = 0
+        for width in (8, 16, 32, 64, 128):
+            session.set_requirement("Width", width)
+            total += len(session.candidates())
+        return total
+
+    return walk
+
+
+def overhead_measurements(num_cores: int = 50000, repeat: int = 5,
+                          layer=None) -> Dict[str, object]:
+    """Time the synthetic pruning walk with and without tracing.
+
+    Returns per-run times for the no-op-recorder baseline and the traced
+    walk (recorder cleared between runs), the per-run event count, and
+    the min-over-min overhead ratio.
+    """
+    if layer is None:
+        from test_bench_scaling import synthetic_layer
+        layer = synthetic_layer(num_cores)
+    walk = make_pruning_walk(layer)
+    layer.observe(None)
+    walk()  # warm-up (index build)
+    noop = _runs(walk, repeat)
+    recorder = layer.observe()
+    traced: List[float] = []
+    for _ in range(repeat):
+        recorder.clear()
+        t0 = time.perf_counter()
+        walk()
+        traced.append(time.perf_counter() - t0)
+    events_per_run = len(recorder.events)
+    layer.observe(None)
+    return {
+        "num_cores": num_cores,
+        "noop": noop,
+        "traced": traced,
+        "events_per_run": events_per_run,
+        "ratio": min(traced) / min(noop),
+    }
+
+
+def collect(repeat: int, num_cores: int) -> Dict[str, object]:
+    crypto = crypto_walk_runs(repeat)
+    overhead = overhead_measurements(num_cores, repeat)
+    return {
+        "generated": time.strftime("%Y-%m-%d"),
+        "command": "PYTHONPATH=src python benchmarks/record.py",
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or "unknown",
+        },
+        "benchmarks": {
+            "crypto_case_study_walk": _summary(crypto),
+            f"synthetic_{num_cores}_noop": _summary(overhead["noop"]),
+            f"synthetic_{num_cores}_traced": dict(
+                _summary(overhead["traced"]),
+                events_per_run=overhead["events_per_run"]),
+        },
+        "tracing_overhead": {
+            "ratio_min_over_min": round(overhead["ratio"], 4),
+            "budget": OVERHEAD_BUDGET,
+            "within_budget": overhead["ratio"] < OVERHEAD_BUDGET,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON record")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="runs per benchmark (min and mean recorded)")
+    parser.add_argument("--cores", type=int, default=50000,
+                        help="synthetic library size for the overhead walk")
+    args = parser.parse_args(argv)
+    record = collect(args.repeat, args.cores)
+    with open(args.output, "w", encoding="utf-8") as fp:
+        json.dump(record, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    ratio = record["tracing_overhead"]["ratio_min_over_min"]
+    print(f"wrote {os.path.normpath(args.output)} "
+          f"(tracing overhead x{ratio:.3f}, budget x{OVERHEAD_BUDGET})")
+    return 0 if record["tracing_overhead"]["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,16 @@ Exposes the library's main entry points without writing Python:
 * ``table1`` / ``fig6`` / ``fig9`` / ``fig12`` — regenerate the paper's
   artifacts on stdout;
 * ``explore`` — a scripted exploration: requirements and decisions from
-  the command line, survivors and ranges on stdout;
+  the command line, survivors and ranges on stdout (``--trace`` records
+  a replayable JSONL trace);
+* ``trace`` — summarize, render, or replay-verify a recorded trace;
+* ``stats`` — metrics from a traced scripted exploration
+  (human-readable or Prometheus text format);
 * ``query`` — direct core retrieval with property/merit filters;
 * ``export`` — serialize a bundled layer to JSON.
+
+``lint``, ``trace`` and ``stats`` share one parent parser for the
+``--json`` / ``--output PATH`` output options.
 
 The bundled layers are ``crypto`` (the Sec 5 case study) and ``idct``
 (the Sec 2 example); ``--eol`` rebuilds the crypto libraries for another
@@ -54,6 +61,23 @@ def _parse_binding(text: str) -> Tuple[str, object]:
         except ValueError:
             continue
     return name, raw
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    """Write a command's report to ``--output PATH`` or stdout."""
+    output = getattr(args, "output", None)
+    if output:
+        with open(output, "w", encoding="utf-8") as fp:
+            fp.write(text)
+            if not text.endswith("\n"):
+                fp.write("\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def _emit_json(args: argparse.Namespace, data: object) -> None:
+    _emit(args, json.dumps(data, indent=2, sort_keys=True, default=repr))
 
 
 # ----------------------------------------------------------------------
@@ -145,8 +169,9 @@ def cmd_fig12(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_explore(args: argparse.Namespace) -> int:
-    layer = _build_layer(args.layer, args.eol)
+def _run_scripted_session(layer: DesignSpaceLayer,
+                          args: argparse.Namespace) -> ExplorationSession:
+    """The shared explore/stats walk: requirements, then decisions."""
     session = ExplorationSession(
         layer, args.start,
         merit_metrics=tuple(args.metrics.split(",")))
@@ -155,8 +180,22 @@ def cmd_explore(args: argparse.Namespace) -> int:
         session.set_requirement(name, value)
     for binding in args.decide or ():
         name, value = _parse_binding(binding)
-        session.decide(name, value)
+        outcome = session.decide(name, value)
+        print(f"  {outcome.describe()}")
+    return session
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    layer = _build_layer(args.layer, args.eol)
+    if args.trace:
+        layer.observe()
+    session = _run_scripted_session(layer, args)
     print(session.report())
+    if args.trace:
+        from repro.core.obs import write_jsonl
+        events = layer.observer.events
+        write_jsonl(events, args.trace)
+        print(f"trace: {len(events)} events written to {args.trace}")
     if args.options:
         for info in session.available_options(args.options):
             status = "eliminated" if info.eliminated else \
@@ -194,7 +233,6 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.core.lint import (
         DEFAULT_REGISTRY,
         LintConfig,
-        lint_layer,
         parse_severity,
     )
     if args.list_rules:
@@ -204,14 +242,68 @@ def cmd_lint(args: argparse.Namespace) -> int:
     layer = _build_layer(args.layer, args.eol)
     config = LintConfig(select=args.select or None,
                         disable=tuple(args.disable or ()))
-    report = lint_layer(layer, config=config)
-    if args.format == "json":
-        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
-        print()
+    report = layer.lint(config=config)
+    if args.json or args.format == "json":
+        _emit_json(args, report.to_dict())
     else:
-        print(report.render_text())
+        _emit(args, report.render_text())
     threshold = parse_severity(args.fail_on)
     return 1 if report.has_at_least(threshold) else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.obs import read_jsonl, render_timeline, summarize, \
+        summarize_dict
+    from repro.core.obs.replay import session_ids
+    from repro.errors import ReplayError
+    try:
+        events = read_jsonl(args.trace_file)
+    except OSError as exc:
+        raise ReplayError(
+            f"cannot read trace file {args.trace_file}: {exc}") from exc
+    if args.replay:
+        from repro.core.obs.replay import replay_trace
+        layer = _build_layer(args.layer, args.eol)
+        report = replay_trace(layer, events, session=args.session)
+        if args.json:
+            _emit_json(args, report.to_dict())
+        else:
+            _emit(args, report.render_text())
+        return 0 if report.ok else 1
+    if args.session is not None:
+        # The summary/timeline honor --session too: keep the selected
+        # session's events plus the session-less ones (index builds,
+        # lint runs) that give the timeline its context.
+        if args.session not in session_ids(events):
+            raise ReplayError(f"no session {args.session} in trace "
+                              f"(recorded: {session_ids(events)})")
+        events = [e for e in events
+                  if e.payload.get("session", args.session) == args.session]
+    if args.timeline:
+        _emit(args, render_timeline(events))
+    elif args.json:
+        _emit_json(args, summarize_dict(events))
+    else:
+        _emit(args, summarize(events))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    layer = _build_layer(args.layer, args.eol)
+    recorder = layer.observe()
+    session = _run_scripted_session(layer, args)
+    # Exercise the query path too, so the dump covers prune/cache
+    # metrics and not just the mutation counters.
+    session.prune_report()
+    session.prune_report()
+    metrics = recorder.metrics
+    if args.json:
+        _emit_json(args, metrics.to_dict())
+    elif args.prometheus:
+        _emit(args, metrics.render_prometheus())
+    else:
+        _emit(args, metrics.render_text())
+    return 0
 
 
 def cmd_shell(args: argparse.Namespace) -> int:
@@ -247,6 +339,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="operand length the crypto libraries are "
                             "characterized for")
 
+    # Output options shared (as an argparse parent) by lint/trace/stats.
+    output_parent = argparse.ArgumentParser(add_help=False)
+    output_group = output_parent.add_argument_group("output")
+    output_group.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+    output_group.add_argument("--output", metavar="PATH",
+                              help="write the report to PATH instead of "
+                                   "stdout")
+
+    def add_session_args(p):
+        p.add_argument("--start", default="OMM",
+                       help="CDO (or alias) the session starts at")
+        p.add_argument("--require", action="append", metavar="NAME=VALUE",
+                       help="enter a requirement value (repeatable)")
+        p.add_argument("--decide", action="append", metavar="ISSUE=OPTION",
+                       help="decide a design issue (repeatable, in order)")
+        p.add_argument("--metrics", default="area,latency_ns,delay_us",
+                       help="comma-separated merit metrics to report")
+
     p = sub.add_parser("describe", help="self-documentation of a layer")
     add_layer_args(p)
     p.add_argument("--markdown", action="store_true",
@@ -270,18 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explore", help="scripted exploration session")
     add_layer_args(p)
-    p.add_argument("--start", default="OMM",
-                   help="CDO (or alias) the session starts at")
-    p.add_argument("--require", action="append", metavar="NAME=VALUE",
-                   help="enter a requirement value (repeatable)")
-    p.add_argument("--decide", action="append", metavar="ISSUE=OPTION",
-                   help="decide a design issue (repeatable, in order)")
+    add_session_args(p)
     p.add_argument("--options", metavar="ISSUE",
                    help="annotate the options of an issue")
     p.add_argument("--list", action="store_true",
                    help="list surviving cores")
-    p.add_argument("--metrics", default="area,latency_ns,delay_us",
-                   help="comma-separated merit metrics to report")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record the session as a replayable JSONL trace")
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser("query", help="direct core retrieval")
@@ -295,10 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int)
     p.set_defaults(fn=cmd_query)
 
-    p = sub.add_parser("lint", help="static analysis of a layer")
+    p = sub.add_parser("lint", help="static analysis of a layer",
+                       parents=[output_parent])
     add_layer_args(p)
     p.add_argument("--format", default="text", choices=("text", "json"),
-                   help="report format")
+                   help="report format (legacy spelling of --json)")
     p.add_argument("--fail-on", default="error",
                    choices=("error", "warning", "info"),
                    help="exit non-zero when findings at or above this "
@@ -312,6 +419,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("trace", help="summarize, render or replay a "
+                                     "recorded exploration trace",
+                       parents=[output_parent])
+    add_layer_args(p)
+    p.add_argument("trace_file", metavar="FILE",
+                   help="JSONL trace recorded by 'explore --trace' or "
+                        "the shell's 'trace save'")
+    p.add_argument("--timeline", action="store_true",
+                   help="render the nested event timeline instead of "
+                        "the summary")
+    p.add_argument("--replay", action="store_true",
+                   help="re-apply the trace against the bundled layer "
+                        "and verify surviving-core digests (exit 1 on "
+                        "divergence)")
+    p.add_argument("--session", type=int, default=None,
+                   help="session id to replay when the trace holds "
+                        "several")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("stats", help="metrics from a traced scripted "
+                                     "exploration",
+                       parents=[output_parent])
+    add_layer_args(p)
+    add_session_args(p)
+    p.add_argument("--prometheus", action="store_true",
+                   help="Prometheus text exposition format instead of "
+                        "the human-readable table")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("export", help="serialize a layer to JSON")
     add_layer_args(p)

@@ -104,7 +104,13 @@ from repro.core.serialize import (
     layer_from_dict,
     layer_to_dict,
 )
-from repro.core.session import ExplorationSession, OptionInfo
+from repro.core.obs import (
+    MetricsRegistry,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+)
+from repro.core.session import DecisionOutcome, ExplorationSession, OptionInfo
 from repro.core.values import (
     AnyDomain,
     BoolDomain,
@@ -136,7 +142,8 @@ __all__ = [
     "EvaluationPoint", "EvaluationSpace", "dominates",
     "Cluster", "agglomerate", "explain_clusters", "suggest_cluster_count",
     "suggest_generalization",
-    "ExplorationSession", "OptionInfo",
+    "DecisionOutcome", "ExplorationSession", "OptionInfo",
+    "MetricsRegistry", "NullRecorder", "TraceEvent", "TraceRecorder",
     "render_hierarchy", "render_markdown", "render_scatter",
     "render_table",
     "DEFAULT_SYMBOL_CLASSES", "DecompositionPlan", "OperatorTask",

@@ -23,9 +23,14 @@ from repro.core.cdo import QNAME_SEP, ClassOfDesignObjects
 from repro.core.constraints import ConsistencyConstraint, ConstraintSet
 from repro.core.designobject import DesignObject
 from repro.core.library import LibraryFederation, ReuseLibrary
+from repro.core.obs import events as _ev
+from repro.core.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.core.path import PropertyPath, SelectorRegistry, parse_path
 from repro.core.properties import Property
 from repro.errors import HierarchyError, LibraryError, PathError
+
+#: Sentinel distinguishing ``layer.observe()`` from ``layer.observe(None)``.
+_UNSET = object()
 
 
 class DesignSpaceLayer:
@@ -44,6 +49,9 @@ class DesignSpaceLayer:
         self.libraries = LibraryFederation()
         self.selectors = SelectorRegistry()
         self._tools: Dict[str, Callable] = {}
+        #: Trace recorder every instrumented hot path reports to; the
+        #: default is the shared no-op (see :meth:`observe`).
+        self.observer = NULL_RECORDER
         self._epoch = 0
         self._epoch_signature: object = None
         self._cdo_cache: Dict[str, ClassOfDesignObjects] = {}
@@ -71,6 +79,38 @@ class DesignSpaceLayer:
             self._epoch_signature = signature
             self._epoch += 1
         return self._epoch
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def observe(self, recorder: object = _UNSET):
+        """Install, disable, or fetch the layer's trace recorder.
+
+        * ``layer.observe()`` — ensure tracing is on and return the
+          active :class:`~repro.core.obs.recorder.TraceRecorder`
+          (creating one on first call);
+        * ``layer.observe(my_recorder)`` — install a specific recorder
+          (tests inject deterministic clocks this way);
+        * ``layer.observe(None)`` — switch tracing off (reinstalls the
+          shared no-op recorder).
+
+        The recorder is propagated to the library federation and every
+        attached library so index rebuilds are traced too; sessions pick
+        it up lazily on their next instrumented operation, announcing
+        themselves with a ``session_open`` event that carries any state
+        accumulated before tracing was switched on.
+        """
+        if recorder is _UNSET:
+            if not self.observer.enabled:
+                return self.observe(TraceRecorder())
+            return self.observer
+        if recorder is None:
+            recorder = NULL_RECORDER
+        self.observer = recorder
+        self.libraries.observer = recorder
+        for library in self.libraries.libraries:
+            library.observer = recorder
+        return recorder
 
     def _hierarchy_caches(self) -> Dict[str, ClassOfDesignObjects]:
         epoch = self.epoch
@@ -178,6 +218,7 @@ class DesignSpaceLayer:
         """Attach a reuse library; every core must index under a known CDO."""
         for core in library:
             self._check_core(core)
+        library.observer = self.observer
         return self.libraries.attach(library)
 
     def _check_core(self, core: DesignObject) -> None:
@@ -233,7 +274,9 @@ class DesignSpaceLayer:
             raise LintError(
                 f"layer.lint() expects a LintConfig, got "
                 f"{type(config).__name__}")
-        report = lint_layer(self, config=config)
+        with self.observer.span(_ev.LINT_RUN, layer=self.name) as span:
+            report = lint_layer(self, config=config)
+            span.note(diagnostics=len(report), errors=len(report.errors))
         if strict and report.errors:
             raise LintError(
                 f"layer {self.name!r} failed strict lint: "

@@ -21,6 +21,8 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.cdo import QNAME_SEP
 from repro.core.designobject import DesignObject
+from repro.core.obs import events as _ev
+from repro.core.obs.recorder import NULL_RECORDER
 from repro.errors import LibraryError
 
 
@@ -42,6 +44,9 @@ class ReuseLibrary:
         self._epoch = 0
         self._index = None
         self._index_epoch = -1
+        #: Trace recorder index rebuilds report to; installed by
+        #: :meth:`repro.core.layer.DesignSpaceLayer.observe`.
+        self.observer = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # epoch / index machinery
@@ -60,8 +65,11 @@ class ReuseLibrary:
         lazily when the epoch has moved."""
         from repro.core.index import CoreIndex
         if self._index is None or self._index_epoch != self._epoch:
-            self._index = CoreIndex(self._cores.values())
-            self._index_epoch = self._epoch
+            with self.observer.span(_ev.INDEX_REBUILD,
+                                    owner=f"library:{self.name}") as span:
+                self._index = CoreIndex(self._cores.values())
+                self._index_epoch = self._epoch
+                span.note(cores=len(self._cores), epoch=self._epoch)
         return self._index
 
     # ------------------------------------------------------------------
@@ -147,6 +155,9 @@ class LibraryFederation:
         self._index_epoch = -1
         self._bare_names: Optional[Dict[str, List[ReuseLibrary]]] = None
         self._bare_names_epoch = -1
+        #: Trace recorder index rebuilds report to; installed by
+        #: :meth:`repro.core.layer.DesignSpaceLayer.observe`.
+        self.observer = NULL_RECORDER
         for library in libraries:
             self.attach(library)
 
@@ -171,8 +182,11 @@ class LibraryFederation:
         from repro.core.index import CoreIndex
         epoch = self.epoch
         if self._index is None or self._index_epoch != epoch:
-            self._index = CoreIndex(self)
-            self._index_epoch = epoch
+            with self.observer.span(_ev.INDEX_REBUILD,
+                                    owner="federation") as span:
+                self._index = CoreIndex(self)
+                self._index_epoch = epoch
+                span.note(cores=len(self), epoch=epoch)
         return self._index
 
     # ------------------------------------------------------------------

@@ -1,0 +1,236 @@
+"""A small metrics registry: counters, gauges, and histograms.
+
+The registry is the *aggregated* view of the trace: where the event
+stream answers "what happened, in what order", the metrics answer "how
+often and how long".  :class:`~repro.core.obs.recorder.TraceRecorder`
+feeds it automatically from the events it records; instrumented code can
+also update instruments directly.
+
+Instruments are identified by a metric name plus a frozen label set
+(Prometheus-style), and the whole registry renders either as a
+Prometheus text-format dump (:meth:`MetricsRegistry.render_prometheus`)
+or as a human-readable table (:meth:`MetricsRegistry.render_text`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Log-spaced latency buckets (seconds); +Inf is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None
+                   ) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with min/max/sum/count summaries."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """(le-label, cumulative count) pairs, Prometheus semantics."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((f"{bound:g}", running))
+        running += self.bucket_counts[-1]
+        out.append(("+Inf", running))
+        return out
+
+
+class MetricsRegistry:
+    """Name+labels -> instrument, with Prometheus/text/dict exports."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+            if help:
+                self._help.setdefault(name, help)
+        return instrument
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+            if help:
+                self._help.setdefault(name, help)
+        return instrument
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: object) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+            if help:
+                self._help.setdefault(name, help)
+        return instrument
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Nested plain-data view: section -> rendered-name -> value(s)."""
+        counters = {f"{name}{_render_labels(key)}": inst.value
+                    for (name, key), inst in sorted(self._counters.items())}
+        gauges = {f"{name}{_render_labels(key)}": inst.value
+                  for (name, key), inst in sorted(self._gauges.items())}
+        histograms = {}
+        for (name, key), inst in sorted(self._histograms.items()):
+            histograms[f"{name}{_render_labels(key)}"] = {
+                "count": inst.count,
+                "sum": inst.total,
+                "min": inst.min,
+                "max": inst.max,
+                "mean": inst.mean,
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (one dump, no timestamps)."""
+        lines: List[str] = []
+
+        def header(name: str, kind: str) -> None:
+            doc = self._help.get(name)
+            if doc:
+                lines.append(f"# HELP {name} {doc}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        seen: set = set()
+        for (name, key), inst in sorted(self._counters.items()):
+            if name not in seen:
+                seen.add(name)
+                header(name, "counter")
+            lines.append(f"{name}{_render_labels(key)} {inst.value:g}")
+        seen.clear()
+        for (name, key), inst in sorted(self._gauges.items()):
+            if name not in seen:
+                seen.add(name)
+                header(name, "gauge")
+            lines.append(f"{name}{_render_labels(key)} {inst.value:g}")
+        seen.clear()
+        for (name, key), inst in sorted(self._histograms.items()):
+            if name not in seen:
+                seen.add(name)
+                header(name, "histogram")
+            for le, cumulative in inst.cumulative():
+                labels = _render_labels(key, ("le", le))
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            lines.append(f"{name}_sum{_render_labels(key)} {inst.total:g}")
+            lines.append(f"{name}_count{_render_labels(key)} {inst.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_text(self) -> str:
+        """Human-readable summary table."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("counters:")
+            for (name, key), inst in sorted(self._counters.items()):
+                lines.append(f"  {name}{_render_labels(key)}  {inst.value:g}")
+        if self._gauges:
+            lines.append("gauges:")
+            for (name, key), inst in sorted(self._gauges.items()):
+                lines.append(f"  {name}{_render_labels(key)}  {inst.value:g}")
+        if self._histograms:
+            lines.append("histograms:")
+            for (name, key), inst in sorted(self._histograms.items()):
+                if inst.count:
+                    summary = (f"count={inst.count} mean={inst.mean * 1e3:.3f}ms "
+                               f"min={(inst.min or 0) * 1e3:.3f}ms "
+                               f"max={(inst.max or 0) * 1e3:.3f}ms "
+                               f"total={inst.total * 1e3:.3f}ms")
+                else:
+                    summary = "count=0"
+                lines.append(f"  {name}{_render_labels(key)}  {summary}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,289 @@
+"""Recorders: the sink instrumented code talks to.
+
+Two implementations share one duck-typed surface:
+
+* :data:`NULL_RECORDER` (a :class:`NullRecorder`) — the default on every
+  layer.  Every method is a constant-time no-op, so instrumented hot
+  paths pay only an attribute load and a call; the 50k-core pruning
+  benchmark measures the residue at well under the 3% budget.
+* :class:`TraceRecorder` — appends :class:`~repro.core.obs.events.TraceEvent`
+  records to an in-memory list, tracks span nesting, and feeds a
+  :class:`~repro.core.obs.metrics.MetricsRegistry` as events arrive.
+
+Instrumented code MUST guard any payload computation that is not free
+behind ``recorder.enabled`` — the recorder cannot refuse work the caller
+already did.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core.obs import events as ev
+from repro.core.obs.events import TraceEvent
+from repro.core.obs.metrics import MetricsRegistry
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by :class:`NullRecorder`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def note(self, **payload: Any) -> None:
+        """Attach payload to the span (no-op here)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled recorder: observes nothing, costs (almost) nothing."""
+
+    enabled = False
+    #: Empty, immutable event view (mirrors ``TraceRecorder.events``).
+    events: tuple = ()
+
+    def emit(self, kind: str, **payload: Any) -> None:
+        return None
+
+    def span(self, kind: str, **payload: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def wrap_tools(self, tools: Mapping[str, Callable]
+                   ) -> Mapping[str, Callable]:
+        """Estimation tools pass through untouched when disabled."""
+        return tools
+
+    def next_session(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullRecorder>"
+
+
+#: The shared disabled recorder every layer starts with.
+NULL_RECORDER = NullRecorder()
+
+
+class Span:
+    """A timed region of the trace; a context manager.
+
+    Entering pushes the span on the recorder's nesting stack (events
+    emitted inside become its children); exiting emits one
+    :class:`TraceEvent` carrying the measured ``duration_s``.  Use
+    :meth:`note` inside the ``with`` block to attach result payload —
+    after exit the event is frozen.
+    """
+
+    __slots__ = ("_recorder", "kind", "payload", "span_id", "_at",
+                 "_start", "_parent")
+
+    def __init__(self, recorder: "TraceRecorder", kind: str,
+                 payload: Dict[str, Any]):
+        self._recorder = recorder
+        self.kind = kind
+        self.payload = payload
+        self.span_id = recorder._next_span_id()
+        self._at = 0.0
+        self._start = 0.0
+        self._parent: Optional[int] = None
+
+    def __enter__(self) -> "Span":
+        recorder = self._recorder
+        self._at = recorder._wall()
+        self._start = recorder._clock()
+        self._parent = recorder._current_span()
+        recorder._push_span(self.span_id)
+        return self
+
+    def note(self, **payload: Any) -> None:
+        """Merge payload into the span's event before it closes."""
+        self.payload.update(payload)
+
+    def __exit__(self, *exc: object) -> bool:
+        self._recorder._finish_span(self)
+        return False
+
+
+class TraceRecorder:
+    """Append-only event stream + derived metrics.
+
+    The recorder is deliberately not thread-safe: a layer and its
+    sessions are single-designer objects, and keeping ``emit`` to a list
+    append is what makes the traced overhead budget hold.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 wall: Callable[[], float] = time.time):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events: List[TraceEvent] = []
+        self._clock = clock
+        self._wall = wall
+        self._t0 = clock()
+        self._seq = 0
+        self._span_ids = 0
+        self._sessions = 0
+        self._span_stack: List[int] = []
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _next_span_id(self) -> int:
+        self._span_ids += 1
+        return self._span_ids
+
+    def _current_span(self) -> Optional[int]:
+        return self._span_stack[-1] if self._span_stack else None
+
+    def _push_span(self, span_id: int) -> None:
+        self._span_stack.append(span_id)
+
+    def next_session(self) -> int:
+        """A fresh session id for a session announcing itself."""
+        self._sessions += 1
+        return self._sessions
+
+    def clear(self) -> None:
+        """Drop recorded events and start a fresh metrics registry."""
+        self.events.clear()
+        self.metrics = MetricsRegistry()
+        self._span_stack.clear()
+        self._t0 = self._clock()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **payload: Any) -> TraceEvent:
+        """Record one instantaneous event."""
+        event = TraceEvent(
+            seq=self._seq,
+            kind=kind,
+            at=self._wall(),
+            elapsed_s=self._clock() - self._t0,
+            payload=payload,
+            parent=self._current_span(),
+        )
+        self._seq += 1
+        self.events.append(event)
+        self._update_metrics(event)
+        return event
+
+    def span(self, kind: str, **payload: Any) -> Span:
+        """Open a timed span; the event is recorded when it closes."""
+        return Span(self, kind, payload)
+
+    def _finish_span(self, span: Span) -> None:
+        end = self._clock()
+        if self._span_stack and self._span_stack[-1] == span.span_id:
+            self._span_stack.pop()
+        else:  # pragma: no cover - defensive against misuse
+            try:
+                self._span_stack.remove(span.span_id)
+            except ValueError:
+                pass
+        event = TraceEvent(
+            seq=self._seq,
+            kind=span.kind,
+            at=span._at,
+            elapsed_s=span._start - self._t0,
+            payload=span.payload,
+            duration_s=end - span._start,
+            span=span.span_id,
+            parent=span._parent,
+        )
+        self._seq += 1
+        self.events.append(event)
+        self._update_metrics(event)
+
+    def wrap_tools(self, tools: Mapping[str, Callable]
+                   ) -> Dict[str, Callable]:
+        """Wrap estimation tools so each invocation records a span."""
+        return {name: self._traced_tool(name, fn)
+                for name, fn in tools.items()}
+
+    def _traced_tool(self, name: str, fn: Callable) -> Callable:
+        def invoke(bindings: Mapping[str, Any]) -> Any:
+            with self.span(ev.ESTIMATE_INVOKED, tool=name) as span:
+                value = fn(bindings)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    span.note(value=float(value))
+            return value
+        return invoke
+
+    # ------------------------------------------------------------------
+    # metrics derivation
+    # ------------------------------------------------------------------
+    def _update_metrics(self, event: TraceEvent) -> None:
+        m = self.metrics
+        kind = event.kind
+        payload = event.payload
+        m.counter("dsl_events_total", "trace events by kind",
+                  kind=kind).inc()
+        if kind == ev.PRUNE:
+            if event.duration_s is not None:
+                m.histogram("dsl_prune_seconds",
+                            "wall time of actual pruning passes"
+                            ).observe(event.duration_s)
+            survivors = payload.get("survivors")
+            if survivors is not None:
+                m.gauge("dsl_surviving_cores",
+                        "surviving-core count after the last prune"
+                        ).set(survivors)
+        elif kind in (ev.CACHE_HIT, ev.CACHE_MISS):
+            result = "hit" if kind == ev.CACHE_HIT else "miss"
+            m.counter("dsl_prune_cache_total",
+                      "session prune-memo lookups", result=result).inc()
+        elif kind == ev.CONSTRAINT_FIRED:
+            m.counter("dsl_constraint_fired_total",
+                      "consistency-constraint evaluations",
+                      constraint=str(payload.get("constraint", "?"))).inc()
+            if event.duration_s is not None:
+                m.histogram("dsl_constraint_eval_seconds",
+                            "wall time of CC relation evaluations"
+                            ).observe(event.duration_s)
+        elif kind == ev.ESTIMATE_INVOKED:
+            m.counter("dsl_estimate_invocations_total",
+                      "early estimation tool runs",
+                      tool=str(payload.get("tool", "?"))).inc()
+            if event.duration_s is not None:
+                m.histogram("dsl_estimate_seconds",
+                            "wall time of estimation tool runs"
+                            ).observe(event.duration_s)
+        elif kind == ev.INDEX_REBUILD:
+            m.counter("dsl_index_rebuilds_total",
+                      "core index (re)builds",
+                      owner=str(payload.get("owner", "?"))).inc()
+            if event.duration_s is not None:
+                m.histogram("dsl_index_build_seconds",
+                            "wall time of core index builds"
+                            ).observe(event.duration_s)
+            cores = payload.get("cores")
+            if cores is not None:
+                m.gauge("dsl_indexed_cores",
+                        "cores in the most recently built index").set(cores)
+        elif kind in (ev.REQUIRE, ev.DECIDE):
+            stale = payload.get("stale")
+            if stale is not None:
+                m.histogram("dsl_reassessment_fanout",
+                            "dependents marked stale per designer action",
+                            buckets=(0, 1, 2, 4, 8, 16, 32)
+                            ).observe(len(stale))
+        elif kind == ev.LINT_RUN:
+            if event.duration_s is not None:
+                m.histogram("dsl_lint_seconds",
+                            "wall time of lint runs"
+                            ).observe(event.duration_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRecorder {len(self.events)} events>"

@@ -11,10 +11,22 @@ the benchmarks.
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.designobject import DesignObject
 from repro.core.properties import Requirement
+
+
+def names_digest(names: Sequence[str]) -> str:
+    """Order-sensitive fingerprint of a core-name sequence.
+
+    Used by the observability layer to record (and later verify, on
+    replay) *which* cores survived a pruning pass without embedding the
+    whole name list in every trace event.
+    """
+    joined = "\x00".join(names)
+    return hashlib.sha1(joined.encode("utf-8")).hexdigest()[:16]
 
 
 class MissingPolicy(enum.Enum):
@@ -47,6 +59,7 @@ class PruneReport:
         self._eliminated = eliminated if eliminated is not None else (
             None if eliminated_factory is not None else {})
         self._eliminated_factory = eliminated_factory
+        self._digest: Optional[str] = None
 
     @property
     def eliminated(self) -> Dict[str, str]:
@@ -58,6 +71,15 @@ class PruneReport:
     @property
     def survivor_names(self) -> List[str]:
         return [core.name for core in self.survivors]
+
+    def digest(self) -> str:
+        """Fingerprint of the surviving-core names (order-sensitive).
+
+        Memoized: the survivor list never changes after construction,
+        and the trace path asks repeatedly (prune span, cache hits)."""
+        if self._digest is None:
+            self._digest = names_digest(self.survivor_names)
+        return self._digest
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lazy = "" if self._eliminated is not None else " (reasons pending)"

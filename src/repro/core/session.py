@@ -31,7 +31,9 @@ from repro.core.constraints import (
     SessionBinding,
 )
 from repro.core.designobject import DesignObject
+from repro.core.index import CoreIndex
 from repro.core.layer import DesignSpaceLayer
+from repro.core.obs import events as _ev
 from repro.core.path import PropertyPath
 from repro.core.properties import (
     BehavioralDescription,
@@ -39,13 +41,26 @@ from repro.core.properties import (
     Property,
     Requirement,
 )
-from repro.core.pruning import MissingPolicy, PruneReport, merit_ranges
+from repro.core.pruning import (
+    MissingPolicy,
+    PruneReport,
+    _match_decision,
+    merit_ranges,
+)
 from repro.errors import (
     ConstraintError,
     ConstraintViolation,
     PropertyError,
     SessionError,
 )
+
+
+#: Traced pruning payloads are *bounded*: above this survivor count the
+#: per-core digest and merit ranges are omitted from ``prune`` /
+#: ``cache_hit`` events (computing them would scale with the library and
+#: blow the tracing overhead budget).  The survivor count itself is free,
+#: always recorded, and always verified on replay.
+TRACE_SET_LIMIT = 4096
 
 
 @dataclass
@@ -57,6 +72,99 @@ class OptionInfo:
     elimination_reason: str
     candidate_count: int
     ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+class DecisionOutcome:
+    """What one committed decision did to the design space.
+
+    Returned by :meth:`ExplorationSession.decide`.  The pruning effect
+    (how many cores the decision eliminated, and which) is computed
+    *lazily* from an immutable :class:`~repro.core.index.CoreIndex`
+    snapshot captured at commit time, so the first read and every later
+    read see byte-identical numbers even if the layer or the session
+    moved on in between.
+    """
+
+    def __init__(self, issue: str, option: object, generalized: bool,
+                 cdo_before: str, cdo_after: str,
+                 stale: Tuple[str, ...],
+                 index: CoreIndex, policy: MissingPolicy,
+                 filters_before: Tuple[Dict[str, object], tuple],
+                 filters_after: Tuple[Dict[str, object], tuple]):
+        #: The design issue the decision addressed.
+        self.issue = issue
+        self.option = option
+        self.generalized = generalized
+        self.cdo_before = cdo_before
+        #: Session position after the decision (descended when generalized).
+        self.cdo = cdo_after
+        #: Previously-addressed dependents marked stale by this decision.
+        self.stale = stale
+        self._index = index
+        self._policy = policy
+        self._filters_before = filters_before
+        self._filters_after = filters_after
+        self._ids_memo: Optional[Tuple[frozenset, frozenset]] = None
+
+    def _ids(self) -> Tuple[frozenset, frozenset]:
+        if self._ids_memo is None:
+            index = self._index
+            decisions, requirements = self._filters_before
+            before = frozenset(index.prune_ids(
+                index.subtree_ids(self.cdo_before), decisions,
+                requirements, self._policy))
+            decisions, requirements = self._filters_after
+            after = frozenset(index.prune_ids(
+                index.subtree_ids(self.cdo), decisions,
+                requirements, self._policy))
+            self._ids_memo = (before, after)
+        return self._ids_memo
+
+    @property
+    def survivors_before(self) -> int:
+        """Candidate-core count just before the decision."""
+        return len(self._ids()[0])
+
+    @property
+    def survivors_after(self) -> int:
+        """Candidate-core count with the decision in force."""
+        return len(self._ids()[1])
+
+    @property
+    def eliminated_count(self) -> int:
+        """How many cores this decision (alone) pruned away."""
+        before, after = self._ids()
+        return len(before - after)
+
+    @property
+    def eliminated(self) -> Dict[str, str]:
+        """Core name -> reason, for the cores this decision eliminated.
+
+        Reasons always name the triggering design issue, and — being
+        derived from the commit-time snapshot — are identical no matter
+        when or how often they are read.
+        """
+        before, after = self._ids()
+        out: Dict[str, str] = {}
+        for i in sorted(before - after):
+            core = self._index.cores[i]
+            reason = None
+            if not self.generalized:
+                reason = _match_decision(core, self.issue, self.option,
+                                         self._policy)
+            if reason is None:
+                reason = (f"outside {self.cdo} (issue {self.issue!r} "
+                          f"selected option {self.option!r})")
+            out[core.name] = reason
+        return out
+
+    def describe(self) -> str:
+        return (f"decision {self.issue} = {self.option!r}: "
+                f"{self.survivors_before} -> {self.survivors_after} "
+                f"candidates ({self.eliminated_count} eliminated)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DecisionOutcome {self.describe()}>"
 
 
 @dataclass
@@ -99,6 +207,9 @@ class ExplorationSession:
         #: Number of actual (non-memoized) prune computations; exposed
         #: for tests and benchmarks asserting query-plan economy.
         self._prune_calls = 0
+        #: Recorder this session last announced itself to (see ``_obs``).
+        self._obs_recorder: object = None
+        self._obs_session = 0
         self._refresh_constraints()
 
     # ------------------------------------------------------------------
@@ -135,6 +246,44 @@ class ExplorationSession:
         ctx.update(self._requirements)
         ctx.update(self._decisions)
         return ctx
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def _obs(self):
+        """The layer's recorder; announces this session on first traced use.
+
+        The ``session_open`` payload carries the session's *current*
+        position, metrics and accumulated requirement/decision state
+        (in insertion order), so a trace switched on mid-session is
+        still replayable: :func:`repro.core.obs.replay.replay_trace`
+        primes that state before re-applying the recorded events.
+        """
+        obs = self.layer.observer
+        if obs.enabled and obs is not self._obs_recorder:
+            self._obs_recorder = obs
+            self._obs_session = obs.next_session()
+            obs.emit(_ev.SESSION_OPEN, session=self._obs_session,
+                     layer=self.layer.name,
+                     cdo=self._cdo.qualified_name,
+                     metrics=list(self.merit_metrics),
+                     missing_policy=self.missing_policy.value,
+                     requirements=dict(self._requirements),
+                     decisions=dict(self._decisions))
+        return obs
+
+    @property
+    def trace(self) -> Tuple:
+        """Trace events visible to this session — its own, plus
+        session-less infrastructure events (index rebuilds, lint runs).
+        Empty when tracing is off."""
+        obs = self.layer.observer
+        if not obs.enabled or obs is not self._obs_recorder:
+            return ()
+        sid = self._obs_session
+        return tuple(e for e in obs.events
+                     if e.payload.get("session", sid) == sid)
 
     # ------------------------------------------------------------------
     # constraint machinery
@@ -220,16 +369,30 @@ class ExplorationSession:
         :class:`ConstraintViolation` for rejected combinations when
         ``enforce``.
         """
+        obs = self._obs
+        tools = self.layer.tools
+        if obs.enabled:
+            # One wrap per refresh: every estimator run inside a CC
+            # relation below records an ``estimate_invoked`` span nested
+            # under its constraint's span.
+            tools = obs.wrap_tools(tools)
         derived: Dict[str, object] = {}
         eliminated: Dict[str, List[Tuple[object, str]]] = {}
         for constraint in self._applicable_constraints():
             bindings = self._bindings_for(constraint, overrides)
             if bindings is None:
                 continue
-            try:
-                result = constraint.relation.evaluate(bindings, self.layer.tools)
-            except ConstraintError:
-                # The relation needs aliases this CC does not bind yet.
+            with obs.span(_ev.CONSTRAINT_FIRED, session=self._obs_session,
+                          constraint=constraint.name) as span:
+                try:
+                    result = constraint.relation.evaluate(bindings, tools)
+                except ConstraintError:
+                    # The relation needs aliases this CC does not bind yet.
+                    result = None
+                    span.note(outcome="unbound")
+                else:
+                    span.note(ok=result.ok)
+            if result is None:
                 continue
             if not result.ok and enforce:
                 raise ConstraintViolation(constraint.name,
@@ -283,9 +446,13 @@ class ExplorationSession:
 
     def undo(self) -> None:
         """Revert the last mutating operation."""
+        obs = self._obs
         if not self._history:
             raise SessionError("nothing to undo")
         self._restore(self._history.pop())
+        if obs.enabled:
+            obs.emit(_ev.UNDO, session=self._obs_session,
+                     cdo=self._cdo.qualified_name)
 
     def _restore(self, state: "_State") -> None:
         self._cdo = self.layer.cdo(state.cdo_name)
@@ -313,8 +480,11 @@ class ExplorationSession:
         explore another, and compare (the paper's trade-off exploration
         is exactly this loop).
         """
+        obs = self._obs
         if not tag:
             raise SessionError("checkpoint tag must be non-empty")
+        if obs.enabled:
+            obs.emit(_ev.CHECKPOINT, session=self._obs_session, tag=tag)
         self._checkpoints[tag] = _State(
             cdo_name=self._cdo.qualified_name,
             requirements=dict(self._requirements),
@@ -327,18 +497,23 @@ class ExplorationSession:
     def restore(self, tag: str) -> None:
         """Return to a named checkpoint (linear undo history is kept,
         with the restore itself undoable)."""
+        obs = self._obs
         if tag not in self._checkpoints:
             raise SessionError(
                 f"no checkpoint {tag!r}; saved: {sorted(self._checkpoints)}")
         self._checkpoint()
         self._restore(self._checkpoints[tag])
         self._log.append(f"restored checkpoint {tag!r}")
+        if obs.enabled:
+            obs.emit(_ev.RESTORE, session=self._obs_session, tag=tag,
+                     cdo=self._cdo.qualified_name)
 
     def checkpoints(self) -> List[str]:
         return sorted(self._checkpoints)
 
     def set_requirement(self, name: str, value: object) -> None:
         """Enter a requirement value from the system specification."""
+        obs = self._obs
         prop = self._cdo.find_property(name)
         if not isinstance(prop, Requirement):
             raise SessionError(
@@ -356,13 +531,24 @@ class ExplorationSession:
                 self._requirements[name] = previous
             self._history.pop()
             raise
-        self._mark_dependents_stale(name)
+        stale = self._mark_dependents_stale(name)
         self._stale.discard(name)
         self._invalidate_queries()
         self._log.append(f"requirement {name} = {value!r}")
+        if obs.enabled:
+            obs.emit(_ev.REQUIRE, session=self._obs_session,
+                     name=name, value=value, stale=sorted(stale))
 
-    def decide(self, name: str, option: object) -> None:
-        """Commit a design decision; descends when the issue is generalized."""
+    def decide(self, name: str, option: object) -> DecisionOutcome:
+        """Commit a design decision; descends when the issue is generalized.
+
+        Returns a :class:`DecisionOutcome` summarizing the pruning effect
+        (candidate counts before/after, eliminated cores with reasons
+        naming this issue).  The outcome is computed lazily from a
+        commit-time index snapshot, so reading it never perturbs — and is
+        never perturbed by — the session's own memoized queries.
+        """
+        obs = self._obs
         prop = self._cdo.find_property(name)
         if not isinstance(prop, DesignIssue):
             raise SessionError(
@@ -391,10 +577,14 @@ class ExplorationSession:
                     f"option {option!r} of {name!r} was eliminated: {reason}")
         # Tentative evaluation before committing.
         self._refresh_constraints(overrides={name: option})
+        snapshot_index = self.layer.libraries.index()
+        cdo_before = self._cdo.qualified_name
+        filters_before = (self._filter_decisions(),
+                          tuple(self._requirement_pairs()))
         self._checkpoint()
         self._decisions[name] = option
         self._refresh_constraints()
-        self._mark_dependents_stale(name)
+        stale = self._mark_dependents_stale(name)
         self._stale.discard(name)
         self._invalidate_queries()
         self._log.append(f"decision {name} = {option!r}")
@@ -422,6 +612,20 @@ class ExplorationSession:
                     f"inside {position}")
             # else: the option is the one this position already implies;
             # record it without moving.
+        outcome = DecisionOutcome(
+            issue=name, option=option, generalized=prop.generalized,
+            cdo_before=cdo_before, cdo_after=self._cdo.qualified_name,
+            stale=tuple(sorted(stale)),
+            index=snapshot_index, policy=self.missing_policy,
+            filters_before=filters_before,
+            filters_after=(self._filter_decisions(),
+                           tuple(self._requirement_pairs())))
+        if obs.enabled:
+            obs.emit(_ev.DECIDE, session=self._obs_session,
+                     issue=name, option=option,
+                     generalized=prop.generalized,
+                     cdo=self._cdo.qualified_name, stale=sorted(stale))
+        return outcome
 
     def retract(self, name: str) -> None:
         """Withdraw a decision or requirement value.
@@ -430,6 +634,7 @@ class ExplorationSession:
         specialization it selected and drops every decision and
         requirement that only exists below that point.
         """
+        obs = self._obs
         if name not in self._decisions and name not in self._requirements:
             raise SessionError(f"{name!r} has not been addressed")
         self._checkpoint()
@@ -452,6 +657,9 @@ class ExplorationSession:
         self._mark_dependents_stale(name)
         self._invalidate_queries()
         self._refresh_constraints(enforce=False)
+        if obs.enabled:
+            obs.emit(_ev.RETRACT, session=self._obs_session, name=name,
+                     cdo=self._cdo.qualified_name)
 
     def _drop_below(self, cdo: ClassOfDesignObjects) -> Set[str]:
         """Remove bindings of properties not visible from ``cdo``."""
@@ -482,19 +690,27 @@ class ExplorationSession:
         else:
             raise SessionError(f"{name!r} has not been addressed yet")
 
-    def _mark_dependents_stale(self, name: str) -> None:
+    def _mark_dependents_stale(self, name: str) -> Set[str]:
+        """Mark dependents of ``name`` stale; returns the marked set
+        (the per-action re-assessment fan-out the trace records)."""
+        marked: Set[str] = set()
         for constraint in self._applicable_constraints():
             if name in constraint.independent_property_names():
                 for dep in constraint.dependent_property_names():
                     if dep in self._decisions or dep in self._requirements:
                         self._stale.add(dep)
+                        marked.add(dep)
+        return marked
 
     def acknowledge(self, name: str) -> None:
         """Designer confirms a stale dependent is still valid."""
+        obs = self._obs
         if name not in self._stale:
             raise SessionError(f"{name!r} is not stale")
         self._stale.discard(name)
         self._log.append(f"re-assessed {name}")
+        if obs.enabled:
+            obs.emit(_ev.ACKNOWLEDGE, session=self._obs_session, name=name)
 
     # ------------------------------------------------------------------
     # queries: candidates, options, ranges
@@ -546,6 +762,7 @@ class ExplorationSession:
         and any mutation of the layer or its libraries moves the epoch,
         so no caller ever observes a stale report.
         """
+        obs = self._obs
         decisions = self._filter_decisions()
         if extra:
             decisions.update(extra)
@@ -554,11 +771,34 @@ class ExplorationSession:
         if key is not None:
             hit = self._prune_cache.get(key)
             if hit is not None:
+                if obs.enabled:
+                    payload = dict(session=self._obs_session,
+                                   survivors=len(hit.survivors),
+                                   extra=bool(extra))
+                    if len(hit.survivors) <= TRACE_SET_LIMIT:
+                        payload["digest"] = hit.digest()
+                    obs.emit(_ev.CACHE_HIT, **payload)
                 return hit
         self._prune_calls += 1
-        report = self.layer.libraries.index().prune(
-            self._cdo.qualified_name, decisions, requirements,
-            self.missing_policy)
+        if obs.enabled and key is not None:
+            obs.emit(_ev.CACHE_MISS, session=self._obs_session)
+        with obs.span(_ev.PRUNE, session=self._obs_session) as span:
+            index = self.layer.libraries.index()
+            report = index.prune(
+                self._cdo.qualified_name, decisions, requirements,
+                self.missing_policy)
+            if obs.enabled:
+                span.note(
+                    cdo=self._cdo.qualified_name,
+                    survivors=len(report.survivors),
+                    epoch=self.layer.epoch,
+                    extra=bool(extra))
+                if len(report.survivors) <= TRACE_SET_LIMIT:
+                    ranges = index.merit_ranges_for(
+                        report.survivor_ids, self.merit_metrics)
+                    span.note(
+                        digest=report.digest(),
+                        ranges={m: list(b) for m, b in ranges.items()})
         if key is not None:
             self._prune_cache[key] = report
         return report

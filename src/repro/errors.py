@@ -59,6 +59,15 @@ class LibraryError(ReproError):
     core under an unknown CDO, ...)."""
 
 
+class ObservabilityError(ReproError):
+    """A trace file is malformed or an observability operation failed."""
+
+
+class ReplayError(ObservabilityError):
+    """A recorded trace cannot be replayed against the given layer
+    (no session_open event, unknown event kinds, ...)."""
+
+
 class LintError(ReproError):
     """The static-analysis pass found error-severity diagnostics (strict
     mode), or the linter itself was misconfigured.

@@ -180,6 +180,49 @@ class ExplorationShell(cmd.Cmd):
         for line in self.session.log:
             self._say(f"  - {line}")
 
+    def do_trace(self, arg: str) -> None:
+        """trace on|off|status|save PATH — control exploration tracing.
+
+        'on' starts recording structured events for every subsequent
+        action; 'save PATH' writes them as a replayable JSONL file
+        (verify later with 'repro trace PATH --replay')."""
+        from repro.core.obs import summarize, write_jsonl
+        layer = self.session.layer
+
+        def action():
+            word, _, rest = arg.strip().partition(" ")
+            if word in ("", "status"):
+                if layer.observer.enabled:
+                    self._say(summarize(layer.observer.events))
+                else:
+                    self._say("tracing is off ('trace on' to start)")
+            elif word == "on":
+                layer.observe()
+                self._say("tracing on")
+            elif word == "off":
+                layer.observe(None)
+                self._say("tracing off")
+            elif word == "save":
+                path = rest.strip()
+                if not path:
+                    raise ReproError("usage: trace save PATH")
+                if not layer.observer.enabled:
+                    raise ReproError("tracing is off; nothing to save")
+                count = write_jsonl(layer.observer.events, path)
+                self._say(f"{count} events written to {path}")
+            else:
+                raise ReproError(
+                    f"unknown trace subcommand {word!r}; "
+                    f"expected on, off, status or save PATH")
+        self._guard(action)
+
+    def do_stats(self, _arg: str) -> None:
+        """stats — metrics collected while tracing was on."""
+        if not self.session.layer.observer.enabled:
+            self._say("tracing is off ('trace on' to start collecting)")
+            return
+        self._say(self.session.layer.observer.metrics.render_text())
+
     def do_quit(self, _arg: str) -> bool:
         """quit — leave the shell."""
         return True

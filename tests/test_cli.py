@@ -155,3 +155,166 @@ class TestLint:
         assert code == 0
         assert "DSL001" in out and "DSL031" in out
         assert "duplicate-sibling-names" in out
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """One recorded crypto exploration shared by the trace tests."""
+    path = tmp_path_factory.mktemp("traces") / "walk.jsonl"
+    code = main(["explore",
+                 "--require", "EffectiveOperandLength=768",
+                 "--require", "ModuloIsOdd=Guaranteed",
+                 "--decide", "ImplementationStyle=Hardware",
+                 "--decide", "Algorithm=Montgomery",
+                 "--trace", str(path)])
+    assert code == 0
+    return path
+
+
+class TestTraceRecording:
+    def test_explore_trace_reports_the_write(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        code, out, _err = run_cli(
+            capsys, "explore",
+            "--require", "EffectiveOperandLength=768",
+            "--trace", str(path))
+        assert code == 0
+        assert f"events written to {path}" in out
+        assert path.exists()
+
+    def test_decisions_echo_their_outcome(self, capsys, trace_file):
+        code, out, _err = run_cli(
+            capsys, "explore",
+            "--require", "EffectiveOperandLength=768",
+            "--decide", "ImplementationStyle=Hardware")
+        assert code == 0
+        assert "decision ImplementationStyle = 'Hardware':" in out
+        assert "eliminated)" in out
+
+
+class TestTraceCommand:
+    def test_summarize(self, capsys, trace_file):
+        code, out, _err = run_cli(capsys, "trace", str(trace_file))
+        assert code == 0
+        assert "trace:" in out and "session(s)" in out
+        assert "decide" in out
+
+    def test_summarize_json(self, capsys, trace_file):
+        code, out, _err = run_cli(capsys, "trace", str(trace_file),
+                                  "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["sessions"] == 1
+        assert data["by_kind"]["decide"] == 2
+
+    def test_timeline(self, capsys, trace_file):
+        code, out, _err = run_cli(capsys, "trace", str(trace_file),
+                                  "--timeline")
+        assert code == 0
+        assert "session_open" in out
+        assert "ms]" in out
+
+    def test_output_flag_writes_file(self, capsys, trace_file, tmp_path):
+        target = tmp_path / "summary.txt"
+        code, out, _err = run_cli(capsys, "trace", str(trace_file),
+                                  "--output", str(target))
+        assert code == 0
+        assert f"wrote {target}" in out
+        assert "trace:" in target.read_text()
+
+    def test_replay_verifies(self, capsys, trace_file):
+        code, out, _err = run_cli(capsys, "trace", str(trace_file),
+                                  "--replay")
+        assert code == 0
+        assert "replay OK" in out
+        assert "pruning checkpoints verified" in out
+
+    def test_replay_json(self, capsys, trace_file):
+        code, out, _err = run_cli(capsys, "trace", str(trace_file),
+                                  "--replay", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["ok"] is True
+        assert data["final_survivors"]
+
+    def test_replay_unknown_session(self, capsys, trace_file):
+        code, _out, err = run_cli(capsys, "trace", str(trace_file),
+                                  "--replay", "--session", "9")
+        assert code == 2
+        assert "no session 9" in err
+
+    def test_replay_against_wrong_layer(self, capsys, trace_file):
+        code, _out, err = run_cli(capsys, "trace", str(trace_file),
+                                  "--replay", "--layer", "idct")
+        assert code == 2
+        assert "cannot open session" in err
+
+    def test_unreadable_trace(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code, _out, err = run_cli(capsys, "trace", str(bad))
+        assert code == 2
+        assert "line 1" in err
+
+    def test_missing_trace_file(self, capsys, tmp_path):
+        code, _out, err = run_cli(capsys, "trace",
+                                  str(tmp_path / "never-written.jsonl"))
+        assert code == 2
+        assert "cannot read trace file" in err
+
+    def test_summarize_unknown_session(self, capsys, trace_file):
+        code, _out, err = run_cli(capsys, "trace", str(trace_file),
+                                  "--session", "9")
+        assert code == 2
+        assert "no session 9" in err
+
+    def test_summarize_known_session(self, capsys, trace_file):
+        code, out, _err = run_cli(capsys, "trace", str(trace_file),
+                                  "--session", "1")
+        assert code == 0
+        assert "trace:" in out
+
+
+class TestStatsCommand:
+    ARGS = ("stats",
+            "--require", "EffectiveOperandLength=768",
+            "--require", "ModuloIsOdd=Guaranteed",
+            "--decide", "ImplementationStyle=Hardware")
+
+    def test_text(self, capsys):
+        code, out, _err = run_cli(capsys, *self.ARGS)
+        assert code == 0
+        assert "counters:" in out
+        assert "dsl_events_total" in out
+        assert "dsl_prune_cache_total" in out
+
+    def test_prometheus(self, capsys):
+        code, out, _err = run_cli(capsys, *self.ARGS, "--prometheus")
+        assert code == 0
+        assert "# TYPE dsl_events_total counter" in out
+        assert 'dsl_events_total{kind="session_open"} 1' in out
+        assert "dsl_prune_seconds_bucket" in out
+
+    def test_json(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "stats",
+            "--require", "EffectiveOperandLength=768", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert 'dsl_events_total{kind="require"}' in data["counters"]
+
+
+class TestLintOutputParent:
+    def test_json_flag_matches_legacy_format(self, capsys):
+        code, out, _err = run_cli(capsys, "lint", "--layer", "idct",
+                                  "--json")
+        assert code == 0
+        assert json.loads(out)["layer"] == "idct"
+
+    def test_output_flag(self, capsys, tmp_path):
+        target = tmp_path / "lint.json"
+        code, out, _err = run_cli(capsys, "lint", "--layer", "idct",
+                                  "--json", "--output", str(target))
+        assert code == 0
+        assert f"wrote {target}" in out
+        assert json.loads(target.read_text())["layer"] == "idct"

@@ -1,0 +1,101 @@
+"""DecisionOutcome: decide() reports its pruning effect consistently.
+
+Regression tests for the first-call/cached-call inconsistency: the
+outcome of a decision (eliminated-core count, triggering issue in the
+reasons) must read identically no matter when it is inspected, because
+it is derived from an immutable commit-time index snapshot — not from
+the session's live (memoized) pruning state.
+"""
+
+from repro.core.session import DecisionOutcome, ExplorationSession
+
+from conftest import build_widget_layer
+
+
+def test_decide_returns_outcome_with_counts():
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    outcome = session.decide("Style", "hw")
+    assert isinstance(outcome, DecisionOutcome)
+    assert (outcome.issue, outcome.option) == ("Style", "hw")
+    assert outcome.generalized is True
+    assert (outcome.cdo_before, outcome.cdo) == ("Widget", "Widget.hw")
+    assert outcome.survivors_before == 5
+    assert outcome.survivors_after == 3  # h1, h2, h3
+    assert outcome.eliminated_count == 2  # s1, s2
+
+
+def test_eliminated_reasons_name_the_issue():
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    session.decide("Style", "hw")
+    outcome = session.decide("Tech", "t35")
+    assert outcome.generalized is False
+    assert set(outcome.eliminated) == {"h3"}
+    assert "Tech" in outcome.eliminated["h3"]
+    assert "t35" in outcome.eliminated["h3"]
+
+
+def test_generalized_outcome_reasons_point_outside_subtree():
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    outcome = session.decide("Style", "sw")
+    assert set(outcome.eliminated) == {"h1", "h2", "h3"}
+    for reason in outcome.eliminated.values():
+        assert "outside Widget.sw" in reason
+        assert "'Style'" in reason
+
+
+def test_outcome_identical_between_first_and_cached_reads():
+    """The original bug: the first read (fresh prune) and later reads
+    (memoized prune) disagreed on the eliminated count.  The outcome now
+    snapshots the index, so every read is byte-identical."""
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    session.set_requirement("Width", 64)
+    outcome = session.decide("Style", "hw")
+    first = (outcome.survivors_before, outcome.survivors_after,
+             outcome.eliminated_count, outcome.eliminated,
+             outcome.describe())
+    # populate the session's prune memo between the reads
+    session.prune_report()
+    session.prune_report()
+    second = (outcome.survivors_before, outcome.survivors_after,
+              outcome.eliminated_count, outcome.eliminated,
+              outcome.describe())
+    assert first == second
+
+
+def test_outcome_immune_to_later_session_mutations():
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    outcome = session.decide("Style", "hw")
+    before = outcome.describe()
+    session.decide("Tech", "t35")
+    session.set_requirement("MaxDelay", 8)
+    session.undo()
+    assert outcome.describe() == before
+    assert outcome.eliminated_count == 2
+
+
+def test_outcome_immune_to_later_library_mutations():
+    from repro.core import DesignObject
+    layer = build_widget_layer()
+    session = ExplorationSession(layer, "Widget")
+    outcome = session.decide("Style", "hw")
+    layer.libraries.libraries[0].add(DesignObject(
+        "h9", "Widget.hw", {"Tech": "t35", "Pipeline": 4, "Width": 16},
+        {"area": 10.0, "latency_ns": 1.0, "MaxDelay": 1.0}))
+    # the live session sees the new core; the outcome snapshot does not
+    assert len(session.candidates()) == 4
+    assert outcome.survivors_after == 3
+
+
+def test_describe_reads_as_a_sentence():
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    outcome = session.decide("Style", "hw")
+    assert outcome.describe() == \
+        "decision Style = 'hw': 5 -> 3 candidates (2 eliminated)"
+
+
+def test_outcome_records_reassessment_fanout():
+    """stale carries the dependents marked for re-assessment (none in
+    the constraint-free widget layer)."""
+    session = ExplorationSession(build_widget_layer(), "Widget")
+    outcome = session.decide("Style", "hw")
+    assert outcome.stale == ()

@@ -142,3 +142,53 @@ class TestLintCommand:
     def test_lint_with_unknown_rule_reports_error(self):
         _shell, out = drive("lint DSL999\nquit\n")
         assert "error:" in out and "unknown rule" in out
+
+
+class TestTraceCommand:
+    def test_status_off_by_default(self):
+        _shell, out = drive("trace\nquit\n")
+        assert "tracing is off" in out
+
+    def test_on_records_and_summarizes(self):
+        shell, out = drive(
+            "trace on\nrequire Width=64\ndecide Style=hw\ntrace\nquit\n")
+        assert "tracing on" in out
+        assert "trace:" in out and "events" in out
+        assert shell.session.layer.observer.enabled
+
+    def test_off_stops_recording(self):
+        shell, out = drive("trace on\ntrace off\ntrace\nquit\n")
+        assert "tracing off" in out
+        assert "tracing is off" in out
+        assert not shell.session.layer.observer.enabled
+
+    def test_save_round_trips(self, tmp_path):
+        from repro.core.obs import read_jsonl
+        path = tmp_path / "shell.jsonl"
+        _shell, out = drive(
+            f"trace on\ndecide Style=hw\ntrace save {path}\nquit\n")
+        assert f"events written to {path}" in out
+        events = read_jsonl(path)
+        assert any(e.kind == "decide" for e in events)
+
+    def test_save_requires_a_path_and_tracing(self, tmp_path):
+        _shell, out = drive("trace save\nquit\n")
+        assert "usage: trace save PATH" in out
+        _shell, out = drive(f"trace save {tmp_path / 'x.jsonl'}\nquit\n")
+        assert "tracing is off; nothing to save" in out
+
+    def test_unknown_subcommand(self):
+        _shell, out = drive("trace sideways\nquit\n")
+        assert "error:" in out and "sideways" in out
+
+
+class TestStatsCommand:
+    def test_off_by_default(self):
+        _shell, out = drive("stats\nquit\n")
+        assert "tracing is off" in out
+
+    def test_renders_collected_metrics(self):
+        _shell, out = drive(
+            "trace on\ndecide Style=hw\ncandidates\nstats\nquit\n")
+        assert "counters:" in out
+        assert "dsl_events_total" in out
