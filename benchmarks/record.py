@@ -115,9 +115,61 @@ def overhead_measurements(num_cores: int = 50000, repeat: int = 5,
     }
 
 
+def explore_measurements(num_cores: int = 50000, repeat: int = 3,
+                         jobs: int = 4) -> Dict[str, object]:
+    """Time automated exploration on the synthetic exploration layer.
+
+    Records branch counts for exhaustive / branch-and-bound / beam, the
+    serial vs ``jobs``-worker process-backed wall times, and the
+    frontier digests — which must agree between every configuration.
+    The speedup is reported against the CPUs actually available; on a
+    single-CPU machine it documents overhead, not a win.
+    """
+    from test_bench_explore import available_cpus, exploration_problem
+
+    from repro.core.explore import explore
+
+    problem = exploration_problem(num_cores)
+    explore(problem, strategy="exhaustive")  # warm-up (index build)
+    full = explore(problem, strategy="exhaustive")
+    bnb = explore(problem, strategy="bnb")
+    beam = explore(problem, strategy="beam", width=2)
+    serial = _runs(lambda: explore(problem, strategy="exhaustive"), repeat)
+    parallel_results = []
+
+    def run_parallel():
+        parallel_results.append(explore(
+            problem, strategy="exhaustive", jobs=jobs, backend="process"))
+
+    parallel = _runs(run_parallel, repeat)
+    digests = {full.frontier.digest(), bnb.frontier.digest()}
+    digests.update(r.frontier.digest() for r in parallel_results)
+    if len(digests) != 1:
+        raise AssertionError(
+            f"exploration digests diverged across configurations: "
+            f"{sorted(digests)}")
+    return {
+        "num_cores": num_cores,
+        "jobs": jobs,
+        "cpus": available_cpus(),
+        "branches_opened": {
+            "exhaustive": full.stats.opened,
+            "bnb": bnb.stats.opened,
+            "beam": beam.stats.opened,
+        },
+        "bnb_pruned_by_bound": bnb.stats.pruned.get("bound", 0),
+        "frontier_size": len(full.frontier),
+        "digest": full.frontier.digest(),
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": min(serial) / min(parallel),
+    }
+
+
 def collect(repeat: int, num_cores: int) -> Dict[str, object]:
     crypto = crypto_walk_runs(repeat)
     overhead = overhead_measurements(num_cores, repeat)
+    exploration = explore_measurements(num_cores, max(repeat - 2, 1))
     return {
         "generated": time.strftime("%Y-%m-%d"),
         "command": "PYTHONPATH=src python benchmarks/record.py",
@@ -137,6 +189,19 @@ def collect(repeat: int, num_cores: int) -> Dict[str, object]:
             "ratio_min_over_min": round(overhead["ratio"], 4),
             "budget": OVERHEAD_BUDGET,
             "within_budget": overhead["ratio"] < OVERHEAD_BUDGET,
+        },
+        "exploration": {
+            "num_cores": exploration["num_cores"],
+            "jobs": exploration["jobs"],
+            "cpus": exploration["cpus"],
+            "branches_opened": exploration["branches_opened"],
+            "bnb_pruned_by_bound": exploration["bnb_pruned_by_bound"],
+            "frontier_size": exploration["frontier_size"],
+            "digest": exploration["digest"],
+            "serial": _summary(exploration["serial"]),
+            f"parallel_jobs{exploration['jobs']}": _summary(
+                exploration["parallel"]),
+            "speedup_min_over_min": round(exploration["speedup"], 4),
         },
     }
 

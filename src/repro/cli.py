@@ -185,7 +185,62 @@ def _run_scripted_session(layer: DesignSpaceLayer,
     return session
 
 
+def _automated_explore(args: argparse.Namespace) -> int:
+    """``repro explore --strategy NAME``: run the exploration engine on
+    the bundled problem instead of a scripted manual walk."""
+    from dataclasses import replace
+
+    from repro.core.explore import ExplorationEngine
+
+    if args.layer == "crypto":
+        from repro.domains.crypto import crypto_exploration_problem
+        problem = crypto_exploration_problem(
+            eol=args.eol, with_estimator=args.estimate)
+    else:
+        from repro.domains.idct import idct_exploration_problem
+        problem = idct_exploration_problem()
+    problem = replace(problem, metrics=tuple(args.metrics.split(",")))
+    if args.require:
+        overrides = dict(problem.requirements)
+        for binding in args.require:
+            name, value = _parse_binding(binding)
+            overrides[name] = value
+        problem = replace(problem, requirements=tuple(overrides.items()))
+    if args.decide:
+        prefix = tuple(_parse_binding(b) for b in args.decide)
+        problem = replace(problem, decisions=problem.decisions + prefix)
+    # The engine's serial/probe path works on this layer (traced when
+    # asked); parallel workers build their own untraced layers from the
+    # problem's factory.
+    layer = _build_layer(args.layer, args.eol)
+    if args.trace:
+        layer.observe()
+    problem = replace(problem, layer=layer)
+    options = {}
+    if args.strategy in ("evolutionary", "ga"):
+        options.update(seed=args.seed, population=args.population,
+                       generations=args.generations)
+    elif args.strategy == "beam":
+        options["width"] = args.beam_width
+    engine = ExplorationEngine(problem, strategy=args.strategy,
+                               jobs=args.jobs, backend=args.backend,
+                               strategy_options=options)
+    result = engine.run()
+    if getattr(args, "json", False):
+        _emit_json(args, result.to_dict())
+    else:
+        _emit(args, result.render_text(limit=args.top))
+    if args.trace:
+        from repro.core.obs import write_jsonl
+        events = layer.observer.events
+        write_jsonl(events, args.trace)
+        print(f"trace: {len(events)} events written to {args.trace}")
+    return 0
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
+    if args.strategy:
+        return _automated_explore(args)
     layer = _build_layer(args.layer, args.eol)
     if args.trace:
         layer.observe()
@@ -379,7 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig12", help="regenerate Fig 12")
     p.set_defaults(fn=cmd_fig12)
 
-    p = sub.add_parser("explore", help="scripted exploration session")
+    p = sub.add_parser("explore",
+                       help="scripted or automated exploration",
+                       parents=[output_parent])
     add_layer_args(p)
     add_session_args(p)
     p.add_argument("--options", metavar="ISSUE",
@@ -388,6 +445,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list surviving cores")
     p.add_argument("--trace", metavar="PATH",
                    help="record the session as a replayable JSONL trace")
+    engine = p.add_argument_group(
+        "automated search (enabled by --strategy; --require adds to and "
+        "--decide prefixes the bundled problem)")
+    engine.add_argument("--strategy", default=None,
+                        choices=("exhaustive", "bnb", "branch-and-bound",
+                                 "beam", "evolutionary", "ga"),
+                        help="run the exploration engine instead of a "
+                             "scripted walk")
+    engine.add_argument("--jobs", type=int, default=1,
+                        help="parallel branch evaluators (1 = serial)")
+    engine.add_argument("--backend", default="thread",
+                        choices=("thread", "process"),
+                        help="worker pool backend for --jobs > 1")
+    engine.add_argument("--seed", type=int, default=0,
+                        help="evolutionary strategy seed (deterministic)")
+    engine.add_argument("--beam-width", type=int, default=4,
+                        help="beam strategy width")
+    engine.add_argument("--population", type=int, default=16,
+                        help="evolutionary population size")
+    engine.add_argument("--generations", type=int, default=8,
+                        help="evolutionary generations")
+    engine.add_argument("--estimate", action="store_true",
+                        help="estimate merits of empty surviving sets "
+                             "with the layer's estimation tools (crypto)")
+    engine.add_argument("--top", type=int, default=10,
+                        help="frontier rows to print")
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser("query", help="direct core retrieval")

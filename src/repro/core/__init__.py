@@ -37,6 +37,21 @@ from repro.core.designobject import (
     DesignObject,
 )
 from repro.core.evaluation import EvaluationPoint, EvaluationSpace, dominates
+from repro.core.explore import (
+    BranchAndBoundStrategy,
+    BranchEvaluator,
+    BeamStrategy,
+    EvolutionaryStrategy,
+    ExhaustiveStrategy,
+    ExplorationEngine,
+    ExplorationProblem,
+    ExplorationResult,
+    ExplorationStats,
+    Outcome,
+    ParetoFrontier,
+    SearchStrategy,
+    make_strategy,
+)
 from repro.core.index import CoreIndex, IndexedPruneReport
 from repro.core.layer import DesignSpaceLayer
 from repro.core.library import LibraryFederation, ReuseLibrary
@@ -156,4 +171,9 @@ __all__ = [
     "IssueImpact", "advise", "assess_issue",
     "Diagnostic", "LintConfig", "LintReport", "LintRule", "RuleRegistry",
     "Severity", "SourceLocation", "lint_layer",
+    "BeamStrategy", "BranchAndBoundStrategy", "BranchEvaluator",
+    "EvolutionaryStrategy", "ExhaustiveStrategy",
+    "ExplorationEngine", "ExplorationProblem", "ExplorationResult",
+    "ExplorationStats", "Outcome", "ParetoFrontier", "SearchStrategy",
+    "make_strategy",
 ]

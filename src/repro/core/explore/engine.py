@@ -1,0 +1,418 @@
+"""The exploration engine: automated search over a design space layer.
+
+The engine turns an :class:`~repro.core.explore.problem.ExplorationProblem`
+into a driven :class:`~repro.core.session.ExplorationSession` walk.  A
+:class:`SearchContext` mediates between strategy and session — opening
+branches, deciding/undoing, collecting terminal outcomes into a
+:class:`~repro.core.explore.outcome.ParetoFrontier`, and emitting obs
+trace events (``explore_start``, ``branch_open``, ``branch_pruned``,
+``frontier_update``) along the way.
+
+With ``jobs > 1`` the engine fans the root issue's branches out to a
+:class:`~repro.core.explore.parallel.BranchEvaluator` worker pool; each
+worker searches its branch on its own session and the results are merged
+in dispatch order, so the frontier is deterministic and independent of
+worker scheduling.  The evolutionary strategy parallelizes as islands
+instead: ``jobs`` independent populations seeded ``seed .. seed+jobs-1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.explore.outcome import (
+    ESTIMATED,
+    Outcome,
+    ParetoFrontier,
+)
+from repro.core.explore.problem import ExplorationProblem
+from repro.core.explore.strategies import (
+    EvolutionaryStrategy,
+    SearchStrategy,
+    make_strategy,
+)
+from repro.core.layer import DesignSpaceLayer
+from repro.core.obs import events as _ev
+from repro.core.properties import DesignIssue
+from repro.core.pruning import merit_bounds
+from repro.core.session import ExplorationSession, OptionInfo
+from repro.errors import (
+    ConstraintViolation,
+    ExplorationError,
+    PropertyError,
+    SessionError,
+)
+
+#: Checkpoint tag marking the context's root position (problem prefix
+#: applied, nothing decided by the strategy yet).
+ROOT_TAG = "__explore_root__"
+
+
+@dataclass
+class ExplorationStats:
+    """Work accounting for one search (mergeable across workers)."""
+
+    #: Branches considered (one per issue option looked at).
+    opened: int = 0
+    #: Branches cut without descending, by reason
+    #: (``eliminated`` / ``empty`` / ``constraint`` / ``bound`` / ``beam``).
+    pruned: Dict[str, int] = field(default_factory=dict)
+    #: Successful decide() descents.
+    expanded: int = 0
+    #: Terminal positions reached.
+    terminals: int = 0
+    #: Outcomes offered to the frontier (before dominance filtering).
+    outcomes: int = 0
+    #: Estimator / genome evaluations.
+    evaluations: int = 0
+
+    @property
+    def pruned_total(self) -> int:
+        return sum(self.pruned.values())
+
+    def prune(self, reason: str) -> None:
+        self.pruned[reason] = self.pruned.get(reason, 0) + 1
+
+    def merge(self, other: "ExplorationStats") -> None:
+        self.opened += other.opened
+        for reason, count in other.pruned.items():
+            self.pruned[reason] = self.pruned.get(reason, 0) + count
+        self.expanded += other.expanded
+        self.terminals += other.terminals
+        self.outcomes += other.outcomes
+        self.evaluations += other.evaluations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "opened": self.opened,
+            "pruned": dict(sorted(self.pruned.items())),
+            "expanded": self.expanded,
+            "terminals": self.terminals,
+            "outcomes": self.outcomes,
+            "evaluations": self.evaluations,
+        }
+
+    def describe(self) -> str:
+        pruned = ", ".join(f"{reason}={count}" for reason, count
+                           in sorted(self.pruned.items())) or "none"
+        return (f"opened={self.opened} expanded={self.expanded} "
+                f"pruned[{pruned}] terminals={self.terminals} "
+                f"outcomes={self.outcomes} evaluations={self.evaluations}")
+
+
+class SearchContext:
+    """What a strategy sees: one session plus frontier, stats and trace.
+
+    The context checkpoints its root position; :meth:`goto` restores it
+    and replays a decision path, so restart-style strategies (beam,
+    evolutionary) and recursive ones (exhaustive, branch-and-bound)
+    share the same facade.
+    """
+
+    def __init__(self, problem: ExplorationProblem,
+                 session: ExplorationSession,
+                 frontier: Optional[ParetoFrontier] = None,
+                 stats: Optional[ExplorationStats] = None):
+        self.problem = problem
+        self.session = session
+        self.metrics: Tuple[str, ...] = tuple(problem.metrics)
+        self.frontier = frontier if frontier is not None \
+            else ParetoFrontier(self.metrics)
+        self.stats = stats if stats is not None else ExplorationStats()
+        session.checkpoint(ROOT_TAG)
+
+    @property
+    def _obs(self):
+        return self.session.layer.observer
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    def next_issue(self, depth: int = 0) -> Optional[DesignIssue]:
+        """The issue to address next, or None at a terminal position.
+
+        Honors ``problem.issues`` (ordered subset) when given, otherwise
+        takes the first addressable issue; ``problem.max_depth`` bounds
+        the path length.
+        """
+        problem = self.problem
+        if problem.max_depth is not None and depth >= problem.max_depth:
+            return None
+        addressable = self.session.addressable_issues()
+        if problem.issues:
+            decided = self.session.decisions
+            by_name = {issue.name: issue for issue in addressable}
+            for name in problem.issues:
+                if name in decided:
+                    continue
+                if name in by_name:
+                    return by_name[name]
+            return None
+        return addressable[0] if addressable else None
+
+    def options(self, issue: DesignIssue) -> List[OptionInfo]:
+        return self.session.available_options(
+            issue.name, limit=self.problem.option_limit)
+
+    def bound(self, info: OptionInfo) -> Tuple[float, ...]:
+        """Optimistic per-metric bound vector of one option's region."""
+        return merit_bounds(info.ranges, self.metrics)
+
+    def decide(self, issue: DesignIssue, option: object) -> bool:
+        """Commit one decision; False when constraints reject it (the
+        session is left unchanged in that case)."""
+        name = issue.name if isinstance(issue, DesignIssue) else str(issue)
+        try:
+            self.session.decide(name, option)
+        except (ConstraintViolation, SessionError):
+            return False
+        self.stats.expanded += 1
+        return True
+
+    def undo(self) -> None:
+        self.session.undo()
+
+    def goto(self, path: Sequence[Tuple[str, object]]) -> bool:
+        """Return to the root checkpoint and replay a decision path."""
+        self.session.restore(ROOT_TAG)
+        for name, option in path:
+            try:
+                self.session.decide(name, option)
+            except (ConstraintViolation, SessionError):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # accounting / tracing
+    # ------------------------------------------------------------------
+    def branch_open(self, issue: DesignIssue, info: OptionInfo) -> None:
+        self.stats.opened += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(_ev.BRANCH_OPEN, issue=issue.name,
+                     option=info.option, candidates=info.candidate_count)
+
+    def branch_pruned(self, issue: DesignIssue, info: OptionInfo,
+                      reason: str) -> None:
+        self.stats.prune(reason)
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(_ev.BRANCH_PRUNED, issue=issue.name,
+                     option=info.option, reason=reason)
+
+    def prune_path(self, path: Sequence[Tuple[str, object]],
+                   reason: str) -> None:
+        """Record the cut of an already-opened branch (beam overflow)."""
+        self.stats.prune(reason)
+        obs = self._obs
+        if obs.enabled:
+            name, option = path[-1]
+            obs.emit(_ev.BRANCH_PRUNED, issue=name, option=option,
+                     reason=reason)
+
+    # ------------------------------------------------------------------
+    # terminals
+    # ------------------------------------------------------------------
+    def terminal(self) -> List[Outcome]:
+        """Collect the current position's outcomes into the frontier.
+
+        One outcome per surviving core; when the surviving set is empty
+        and the problem has an estimator, one estimated outcome (the
+        paper's conceptual-design fallback).  Returns the outcomes that
+        joined the frontier.
+        """
+        session = self.session
+        self.stats.terminals += 1
+        decisions = tuple(sorted(session.decisions.items(),
+                                 key=lambda item: item[0]))
+        cdo = session.current_cdo.qualified_name
+        added: List[Outcome] = []
+        report = session.prune_report()
+        if report.survivors:
+            for core in report.survivors:
+                merits = tuple((m, float(core.merit(m)))
+                               for m in self.metrics if core.has_merit(m))
+                outcome = Outcome(decisions, cdo, core.name, merits)
+                self.stats.outcomes += 1
+                if self.frontier.add(outcome):
+                    added.append(outcome)
+        elif self.problem.estimator is not None:
+            self.stats.evaluations += 1
+            estimates = dict(self.problem.estimator(session))
+            merits = tuple((m, float(estimates[m]))
+                           for m in self.metrics if m in estimates)
+            outcome = Outcome(decisions, cdo, ESTIMATED, merits,
+                              estimated=True)
+            self.stats.outcomes += 1
+            if self.frontier.add(outcome):
+                added.append(outcome)
+        obs = self._obs
+        if added and obs.enabled:
+            obs.emit(_ev.FRONTIER_UPDATE, size=len(self.frontier),
+                     added=len(added))
+        return added
+
+
+@dataclass
+class ExplorationResult:
+    """What one engine run produced."""
+
+    strategy: str
+    frontier: ParetoFrontier
+    stats: ExplorationStats
+    jobs: int = 1
+    backend: str = "thread"
+    elapsed_s: float = 0.0
+
+    def to_dict(self, include_timing: bool = False) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "strategy": self.strategy,
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "stats": self.stats.to_dict(),
+            "frontier": self.frontier.to_dict(),
+            "digest": self.frontier.digest(),
+        }
+        if include_timing:
+            out["elapsed_s"] = self.elapsed_s
+        return out
+
+    def render_text(self, limit: int = 10) -> str:
+        """Deterministic report (no wall-clock times)."""
+        lines = [f"Exploration [{self.strategy}] "
+                 f"jobs={self.jobs} ({self.backend})",
+                 f"  {self.stats.describe()}",
+                 "  " + self.frontier.render_text(limit).replace(
+                     "\n", "\n  ")]
+        ranking = self.frontier.weighted_ranking()
+        if ranking:
+            score, best = ranking[0]
+            if score != float("inf"):
+                lines.append(f"  best (weighted): {best.describe()} "
+                             f"[score {score:g}]")
+            else:
+                lines.append(f"  best (weighted): {best.describe()}")
+        return "\n".join(lines)
+
+
+class ExplorationEngine:
+    """Drives one problem with one strategy, optionally in parallel."""
+
+    def __init__(self, problem: ExplorationProblem,
+                 strategy: str = "exhaustive", jobs: int = 1,
+                 backend: str = "thread",
+                 strategy_options: Optional[Mapping[str, object]] = None):
+        if jobs < 1:
+            raise ExplorationError(f"jobs must be >= 1, got {jobs}")
+        self.problem = problem
+        self.strategy_name = strategy
+        self.strategy_options: Dict[str, object] = dict(strategy_options or {})
+        # Validate eagerly: a typo'd strategy or option should fail at
+        # construction, not inside a worker.
+        self._strategy: SearchStrategy = make_strategy(
+            strategy, **self.strategy_options)
+        self.jobs = jobs
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExplorationResult:
+        layer = self.problem.resolve_layer()
+        obs = layer.observer
+        if obs.enabled:
+            obs.emit(_ev.EXPLORE_START, strategy=self.strategy_name,
+                     start=self.problem.start,
+                     metrics=list(self.problem.metrics),
+                     jobs=self.jobs)
+        started = time.perf_counter()
+        if self.jobs > 1:
+            frontier, stats = self._run_parallel(layer)
+        else:
+            frontier, stats = self._run_serial(layer)
+        elapsed = time.perf_counter() - started
+        return ExplorationResult(
+            strategy=self._strategy.describe(), frontier=frontier,
+            stats=stats, jobs=self.jobs, backend=self.backend,
+            elapsed_s=elapsed)
+
+    def _run_serial(self, layer: DesignSpaceLayer
+                    ) -> Tuple[ParetoFrontier, ExplorationStats]:
+        frontier = ParetoFrontier(self.problem.metrics)
+        stats = ExplorationStats()
+        try:
+            session = self.problem.open_session(layer)
+        except (ConstraintViolation, PropertyError, SessionError) as exc:
+            raise ExplorationError(
+                f"problem prefix is infeasible: {exc}") from exc
+        ctx = SearchContext(self.problem, session, frontier, stats)
+        self._strategy.search(ctx)
+        return frontier, stats
+
+    # ------------------------------------------------------------------
+    # parallel orchestration
+    # ------------------------------------------------------------------
+    def _run_parallel(self, layer: DesignSpaceLayer
+                      ) -> Tuple[ParetoFrontier, ExplorationStats]:
+        from repro.core.explore.parallel import BranchEvaluator, BranchTask
+
+        evaluator = BranchEvaluator(jobs=self.jobs, backend=self.backend)
+        frontier = ParetoFrontier(self.problem.metrics)
+        stats = ExplorationStats()
+        obs = layer.observer
+        tasks: List[BranchTask] = []
+
+        if isinstance(self._strategy, EvolutionaryStrategy):
+            # Island model: independent populations, derived seeds.
+            base_seed = int(self.strategy_options.get("seed", 0))
+            for island in range(self.jobs):
+                options = dict(self.strategy_options)
+                options["seed"] = base_seed + island
+                tasks.append(BranchTask(
+                    problem=self.problem, strategy=self.strategy_name,
+                    options=options, label=f"island-{island}"))
+        else:
+            # Root fan-out: one task per viable option of the first issue.
+            try:
+                session = self.problem.open_session(layer)
+            except (ConstraintViolation, PropertyError, SessionError) as exc:
+                raise ExplorationError(
+                    f"problem prefix is infeasible: {exc}") from exc
+            probe = SearchContext(self.problem, session, frontier, stats)
+            issue = probe.next_issue(0)
+            if issue is None:
+                probe.terminal()
+                return frontier, stats
+            for info in probe.options(issue):
+                probe.branch_open(issue, info)
+                if info.eliminated:
+                    probe.branch_pruned(issue, info, "eliminated")
+                    continue
+                if info.candidate_count == 0 \
+                        and self.problem.estimator is None:
+                    probe.branch_pruned(issue, info, "empty")
+                    continue
+                branch = self.problem.with_prefix((issue.name, info.option))
+                tasks.append(BranchTask(
+                    problem=branch, strategy=self.strategy_name,
+                    options=dict(self.strategy_options),
+                    label=f"{issue.name}={info.option!r}"))
+
+        for result in evaluator.map(tasks):
+            stats.merge(result.stats)
+            added = sum(1 for outcome in result.outcomes
+                        if frontier.add(outcome))
+            if added and obs.enabled:
+                obs.emit(_ev.FRONTIER_UPDATE, size=len(frontier),
+                         added=added, branch=result.label)
+        return frontier, stats
+
+
+def explore(problem: ExplorationProblem, strategy: str = "exhaustive",
+            jobs: int = 1, backend: str = "thread",
+            **strategy_options: object) -> ExplorationResult:
+    """One-call convenience wrapper around :class:`ExplorationEngine`."""
+    engine = ExplorationEngine(problem, strategy=strategy, jobs=jobs,
+                               backend=backend,
+                               strategy_options=strategy_options)
+    return engine.run()

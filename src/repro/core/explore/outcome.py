@@ -1,0 +1,222 @@
+"""Terminal outcomes and the Pareto frontier of an exploration run.
+
+An automated search walks the decision tree; every terminal position
+yields :class:`Outcome` records — one per surviving core, or one
+estimated outcome when the surviving set is empty and the problem
+carries an estimator (the paper's conceptual-design path).  The
+:class:`ParetoFrontier` collects them and keeps only the non-dominated
+set, plus weighted-sum and lexicographic rankings for multi-criteria
+comparison (DAVOS-style MCDM).
+
+All metrics are treated as minimized, matching
+:mod:`repro.core.evaluation`; outcomes missing a metric sit at ``inf``
+on that axis, so a fully characterized outcome can dominate them but
+they are never silently dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.evaluation import dominates
+
+#: Core name used for outcomes produced by an estimator instead of a
+#: surviving reusable core.
+ESTIMATED = "(estimated)"
+
+
+def _render_value(value: object) -> str:
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One terminal point of the search: a decision path and its merits.
+
+    ``decisions`` is the full (name, option) assignment sorted by issue
+    name — the canonical form, independent of the order a strategy
+    happened to address the issues in.  ``merits`` carries only the
+    problem's metrics the core documents.
+    """
+
+    decisions: Tuple[Tuple[str, object], ...]
+    cdo: str
+    core: str
+    merits: Tuple[Tuple[str, float], ...]
+    estimated: bool = False
+
+    @property
+    def path_key(self) -> str:
+        """Canonical rendering of the decision assignment."""
+        return ", ".join(f"{name}={_render_value(option)}"
+                         for name, option in self.decisions)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Dedup key: the same core reached via the same assignment is
+        one outcome no matter how many times a strategy revisits it."""
+        return (self.path_key, self.core)
+
+    def merit_map(self) -> Dict[str, float]:
+        return dict(self.merits)
+
+    def coords(self, metrics: Sequence[str]) -> Tuple[float, ...]:
+        """Coordinates in the (minimized) evaluation space; metrics this
+        outcome does not document sit at ``inf`` (worst)."""
+        merits = dict(self.merits)
+        return tuple(merits.get(m, math.inf) for m in metrics)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decisions": [[name, option] for name, option in self.decisions],
+            "cdo": self.cdo,
+            "core": self.core,
+            "merits": {name: value for name, value in self.merits},
+            "estimated": self.estimated,
+        }
+
+    def describe(self) -> str:
+        merits = " ".join(f"{name}={value:g}" for name, value in self.merits)
+        tag = " [estimated]" if self.estimated else ""
+        return f"{self.core}{tag}: {merits or 'no merits'} <- {self.path_key}"
+
+
+def weighted_sum(coords: Sequence[float],
+                 weights: Optional[Sequence[float]] = None) -> float:
+    """Scalarize a coordinate vector; ``inf`` coordinates stay ``inf``."""
+    total = 0.0
+    for i, value in enumerate(coords):
+        weight = weights[i] if weights is not None else 1.0
+        if math.isinf(value):
+            return math.inf
+        total += weight * value
+    return total
+
+
+class ParetoFrontier:
+    """The non-dominated set of outcomes over fixed metrics.
+
+    Ties are kept: an outcome is rejected only when an existing member
+    *strictly* dominates it (better somewhere, no worse anywhere), and
+    members are evicted only when the newcomer strictly dominates them.
+    That matches :meth:`EvaluationSpace.pareto_frontier` and is what
+    makes branch-and-bound provably return the same frontier as
+    exhaustive enumeration.
+    """
+
+    def __init__(self, metrics: Sequence[str]):
+        if not metrics:
+            raise ValueError("a frontier needs at least one metric")
+        self.metrics: Tuple[str, ...] = tuple(metrics)
+        self._members: Dict[Tuple[str, str], Tuple[Tuple[float, ...], Outcome]] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, outcome: Outcome) -> bool:
+        return outcome.key in self._members
+
+    def add(self, outcome: Outcome) -> bool:
+        """Offer an outcome; True when it joined the frontier.
+
+        Duplicates (same decision assignment and core) are ignored;
+        dominated newcomers are rejected; members the newcomer strictly
+        dominates are evicted.
+        """
+        key = outcome.key
+        if key in self._members:
+            return False
+        coords = outcome.coords(self.metrics)
+        for existing_coords, _ in self._members.values():
+            if dominates(existing_coords, coords):
+                return False
+        evict = [k for k, (existing_coords, _) in self._members.items()
+                 if dominates(coords, existing_coords)]
+        for k in evict:
+            del self._members[k]
+        self._members[key] = (coords, outcome)
+        return True
+
+    def dominates_bound(self, bound: Sequence[float]) -> bool:
+        """True when some member strictly dominates an *optimistic* bound
+        vector — every terminal outcome under the bounded region is then
+        strictly dominated too, so the region can be pruned without
+        losing any frontier member (ties included)."""
+        bound = tuple(bound)
+        return any(dominates(coords, bound)
+                   for coords, _ in self._members.values())
+
+    def outcomes(self) -> List[Outcome]:
+        """Members in a canonical, insertion-order-independent order:
+        sorted by coordinates, then core name, then decision path."""
+        return [outcome for _, outcome in sorted(
+            self._members.values(),
+            key=lambda pair: (pair[0], pair[1].core, pair[1].path_key))]
+
+    # ------------------------------------------------------------------
+    # rankings
+    # ------------------------------------------------------------------
+    def weighted_ranking(self, weights: Optional[Mapping[str, float]] = None
+                         ) -> List[Tuple[float, Outcome]]:
+        """Members scored by a weighted sum (ascending; all minimized).
+
+        ``weights`` maps metric name to weight; missing metrics weigh 1.
+        """
+        vector = tuple((weights or {}).get(m, 1.0) for m in self.metrics)
+        scored = [(weighted_sum(coords, vector), coords, outcome)
+                  for coords, outcome in self._members.values()]
+        scored.sort(key=lambda item: (item[0], item[1], item[2].core,
+                                      item[2].path_key))
+        return [(score, outcome) for score, _, outcome in scored]
+
+    def lexicographic_ranking(self, order: Optional[Sequence[str]] = None
+                              ) -> List[Outcome]:
+        """Members ordered by one metric, ties broken by the next.
+
+        ``order`` lists metric names by priority (default: the
+        frontier's metric order).  Unknown metrics raise ``KeyError``.
+        """
+        priorities = tuple(order) if order is not None else self.metrics
+        for metric in priorities:
+            if metric not in self.metrics:
+                raise KeyError(f"unknown metric {metric!r}; frontier tracks "
+                               f"{list(self.metrics)}")
+        def sort_key(pair: Tuple[Tuple[float, ...], Outcome]):
+            merits = pair[1].merit_map()
+            return (tuple(merits.get(m, math.inf) for m in priorities),
+                    pair[1].core, pair[1].path_key)
+        return [outcome for _, outcome in
+                sorted(self._members.values(), key=sort_key)]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metrics": list(self.metrics),
+            "outcomes": [o.to_dict() for o in self.outcomes()],
+        }
+
+    def digest(self) -> str:
+        """Order-independent fingerprint of the frontier: identical
+        digests mean byte-identical frontiers (used by the determinism
+        tests and the parallel-merge benchmark)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=repr)
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def render_text(self, limit: int = 10) -> str:
+        lines = [f"Pareto frontier over ({', '.join(self.metrics)}): "
+                 f"{len(self)} non-dominated outcome(s)"]
+        members = self.outcomes()
+        for outcome in members[:limit]:
+            lines.append(f"  {outcome.describe()}")
+        if len(members) > limit:
+            lines.append(f"  ... {len(members) - limit} more")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ParetoFrontier {len(self)} over {self.metrics}>"

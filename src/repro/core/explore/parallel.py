@@ -1,0 +1,182 @@
+"""Parallel branch evaluation for the exploration engine.
+
+A :class:`BranchEvaluator` runs :class:`BranchTask` items through a
+``concurrent.futures`` pool — thread- or process-backed — and returns
+:class:`BranchResult` records **in task order** (``executor.map``), so
+the engine's merge is deterministic no matter how workers were
+scheduled.
+
+Each worker evaluates one branch on its own session opened from the
+task's problem (the problem's decision prefix selects the branch).
+Workers never share a trace recorder — :class:`TraceRecorder` is
+deliberately not thread-safe — so a branch runs untraced, on either a
+layer built from the problem's ``layer_factory`` (cached per process,
+and inherited copy-on-write under the ``fork`` start method when the
+factory closes over a prebuilt module-global layer) or, for the thread
+backend, the problem's own layer when its observer is disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.explore.engine import ExplorationStats, SearchContext
+from repro.core.explore.outcome import Outcome, ParetoFrontier
+from repro.core.explore.problem import ExplorationProblem
+from repro.core.explore.strategies import make_strategy
+from repro.core.layer import DesignSpaceLayer
+from repro.errors import ConstraintViolation, ExplorationError, SessionError
+
+BACKENDS = ("thread", "process")
+
+
+@dataclass
+class BranchTask:
+    """One unit of parallel work: search a problem with a strategy."""
+
+    problem: ExplorationProblem
+    strategy: str
+    options: Dict[str, object] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass
+class BranchResult:
+    """What one worker brought back (picklable: plain data only)."""
+
+    label: str
+    outcomes: List[Outcome] = field(default_factory=list)
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    error: Optional[str] = None
+
+
+def _factory_key(factory: Callable[[], DesignSpaceLayer]
+                 ) -> Optional[Tuple[object, ...]]:
+    """Hashable identity of a layer factory, for the per-process cache.
+
+    ``functools.partial`` objects hash by instance, which differs in
+    every worker dispatch; key them structurally instead.  Unkeyable
+    factories (unhashable args) return None — the worker then rebuilds
+    per task, which is correct, just slower.
+    """
+    try:
+        if isinstance(factory, functools.partial):
+            return ("partial", factory.func.__module__,
+                    factory.func.__qualname__, factory.args,
+                    tuple(sorted(factory.keywords.items())))
+        return ("callable", factory.__module__, factory.__qualname__)
+    except (AttributeError, TypeError):
+        return None
+
+
+#: Per-process cache of factory-built layers: a worker process serves
+#: many tasks and must not rebuild a 50k-core layer for each.
+_LAYER_CACHE: Dict[Tuple[object, ...], DesignSpaceLayer] = {}
+
+
+def _worker_layer(problem: ExplorationProblem) -> DesignSpaceLayer:
+    """Resolve the layer a worker should search.
+
+    Prefers the problem's own layer when it carries one with tracing
+    off (thread backend sharing an untraced layer); otherwise builds
+    from the factory through the per-process cache.  A traced layer
+    without a factory is refused: the recorder is not thread-safe.
+    """
+    if problem.layer is not None and not problem.layer.observer.enabled:
+        return problem.layer
+    factory = problem.layer_factory
+    if factory is None:
+        if problem.layer is not None:
+            raise ExplorationError(
+                "parallel exploration over a traced layer needs a "
+                "layer_factory (workers cannot share a TraceRecorder); "
+                "disable tracing or provide one")
+        raise ExplorationError(
+            "worker has neither a layer nor a layer_factory")
+    key = _factory_key(factory)
+    if key is None:
+        return factory()
+    layer = _LAYER_CACHE.get(key)
+    if layer is None:
+        layer = factory()
+        _LAYER_CACHE[key] = layer
+    return layer
+
+
+def evaluate_branch(task: BranchTask) -> BranchResult:
+    """Search one branch; module-level so the process backend can
+    pickle it by reference."""
+    try:
+        layer = _worker_layer(task.problem)
+        problem = replace(task.problem, layer=layer, _built=None)
+        strategy = make_strategy(task.strategy, **task.options)
+        stats = ExplorationStats()
+        try:
+            session = problem.open_session(layer)
+        except (ConstraintViolation, SessionError):
+            # The branch prefix itself is infeasible: a pruned branch,
+            # not an error.
+            stats.prune("constraint")
+            return BranchResult(label=task.label, stats=stats)
+        ctx = SearchContext(problem, session,
+                            ParetoFrontier(problem.metrics), stats)
+        strategy.search(ctx)
+        return BranchResult(label=task.label,
+                            outcomes=ctx.frontier.outcomes(), stats=stats)
+    except ExplorationError:
+        raise
+    except Exception as exc:  # pragma: no cover - worker diagnostics
+        return BranchResult(label=task.label,
+                            error=f"{type(exc).__name__}: {exc}")
+
+
+class BranchEvaluator:
+    """A sized worker pool mapping tasks to results, order-preserving."""
+
+    def __init__(self, jobs: int = 1, backend: str = "thread"):
+        if backend not in BACKENDS:
+            raise ExplorationError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+        if jobs < 1:
+            raise ExplorationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.backend = backend
+
+    def map(self, tasks: Sequence[BranchTask]) -> List[BranchResult]:
+        """Evaluate every task; results come back in task order.
+
+        A worker returning an error result raises here — a crashed
+        branch must not be silently dropped from the frontier.
+        """
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            results = [evaluate_branch(task) for task in tasks]
+        else:
+            if self.backend == "process":
+                self._check_picklable(tasks)
+                pool_cls = ProcessPoolExecutor
+            else:
+                pool_cls = ThreadPoolExecutor
+            workers = min(self.jobs, len(tasks))
+            with pool_cls(max_workers=workers) as pool:
+                results = list(pool.map(evaluate_branch, tasks))
+        for result in results:
+            if result.error is not None:
+                raise ExplorationError(
+                    f"branch {result.label!r} failed: {result.error}")
+        return results
+
+    @staticmethod
+    def _check_picklable(tasks: Sequence[BranchTask]) -> None:
+        for task in tasks:
+            if task.problem.layer_factory is None:
+                raise ExplorationError(
+                    "the process backend needs a picklable layer_factory "
+                    "on the problem (a live DesignSpaceLayer cannot cross "
+                    "process boundaries)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BranchEvaluator jobs={self.jobs} backend={self.backend}>"

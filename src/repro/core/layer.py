@@ -283,6 +283,34 @@ class DesignSpaceLayer:
                 f"{report.summary()}", report=report)
         return report
 
+    def explore(self, start: str, strategy: str = "exhaustive",
+                metrics: Sequence[str] = ("area", "latency_ns"),
+                requirements: object = (), decisions: object = (),
+                issues: Optional[Sequence[str]] = None, jobs: int = 1,
+                backend: str = "thread", estimator: Optional[Callable] = None,
+                **strategy_options: object):
+        """Run an automated search over this layer; returns an
+        :class:`~repro.core.explore.engine.ExplorationResult`.
+
+        Convenience wrapper: builds an
+        :class:`~repro.core.explore.problem.ExplorationProblem` bound to
+        this layer and hands it to the
+        :class:`~repro.core.explore.engine.ExplorationEngine`.  See
+        ``docs/exploration.md`` for the strategy catalogue; note the
+        process backend needs a problem with a picklable
+        ``layer_factory``, so it is not reachable through this shortcut.
+        """
+        from repro.core.explore import ExplorationEngine, ExplorationProblem
+        problem = ExplorationProblem(
+            start=start, metrics=tuple(metrics),
+            requirements=requirements, decisions=decisions,
+            issues=tuple(issues) if issues is not None else None,
+            layer=self, estimator=estimator)
+        engine = ExplorationEngine(problem, strategy=strategy, jobs=jobs,
+                                   backend=backend,
+                                   strategy_options=strategy_options)
+        return engine.run()
+
     def validate(self) -> None:
         """Structural sanity of the whole layer.
 

@@ -51,11 +51,20 @@ ESTIMATE_INVOKED = "estimate_invoked"
 INDEX_REBUILD = "index_rebuild"
 #: The static-analysis rules ran over a layer (span).
 LINT_RUN = "lint_run"
+#: An automated exploration run started (payload: strategy, start, metrics).
+EXPLORE_START = "explore_start"
+#: The engine opened one decision branch for evaluation.
+BRANCH_OPEN = "branch_open"
+#: The engine discarded a branch without descending (payload: reason).
+BRANCH_PRUNED = "branch_pruned"
+#: The Pareto frontier absorbed a new non-dominated outcome.
+FRONTIER_UPDATE = "frontier_update"
 
 EVENT_KINDS = frozenset({
     SESSION_OPEN, REQUIRE, DECIDE, RETRACT, UNDO, CHECKPOINT, RESTORE,
     ACKNOWLEDGE, CONSTRAINT_FIRED, PRUNE, CACHE_HIT, CACHE_MISS,
     ESTIMATE_INVOKED, INDEX_REBUILD, LINT_RUN,
+    EXPLORE_START, BRANCH_OPEN, BRANCH_PRUNED, FRONTIER_UPDATE,
 })
 
 #: Kinds that mutate session state; a replay re-applies exactly these,

@@ -284,6 +284,25 @@ class TraceRecorder:
                 m.histogram("dsl_lint_seconds",
                             "wall time of lint runs"
                             ).observe(event.duration_s)
+        elif kind == ev.EXPLORE_START:
+            m.counter("dsl_explorations_total",
+                      "automated exploration runs",
+                      strategy=str(payload.get("strategy", "?"))).inc()
+        elif kind == ev.BRANCH_OPEN:
+            m.counter("dsl_explore_branches_total",
+                      "decision branches considered by exploration",
+                      result="opened").inc()
+        elif kind == ev.BRANCH_PRUNED:
+            m.counter("dsl_explore_branches_total",
+                      "decision branches considered by exploration",
+                      result="pruned",
+                      reason=str(payload.get("reason", "?"))).inc()
+        elif kind == ev.FRONTIER_UPDATE:
+            size = payload.get("size")
+            if size is not None:
+                m.gauge("dsl_frontier_size",
+                        "non-dominated outcomes on the Pareto frontier"
+                        ).set(size)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TraceRecorder {len(self.events)} events>"

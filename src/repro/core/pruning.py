@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import math
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.designobject import DesignObject
@@ -174,6 +175,26 @@ def merit_ranges(cores: Sequence[DesignObject], metrics: Sequence[str]
         if values:
             ranges[metric] = (min(values), max(values))
     return ranges
+
+
+def merit_bounds(ranges: Mapping[str, Tuple[float, float]],
+                 metrics: Sequence[str]) -> Tuple[float, ...]:
+    """Optimistic per-metric lower bounds of a design-space region.
+
+    Given the min/max merit ranges of the cores surviving inside a
+    region (as reported by :func:`merit_ranges` or the indexed
+    ``merit_ranges_for``), returns the vector of minima in ``metrics``
+    order — the best value any core in the region could still achieve.
+    Metrics no surviving core documents are unbounded below only in
+    theory; for dominance bounding we treat them as ``inf`` (worst),
+    matching the frontier's missing-merit coordinates, so a region is
+    never pruned for a metric nothing in it documents.
+
+    Because every further decision only shrinks the surviving set, these
+    minima are valid optimistic bounds for branch-and-bound: no terminal
+    outcome under the region can beat them.
+    """
+    return tuple(ranges[m][0] if m in ranges else math.inf for m in metrics)
 
 
 def option_support(cores: Sequence[DesignObject], issue_name: str

@@ -511,6 +511,26 @@ class ExplorationSession:
     def checkpoints(self) -> List[str]:
         return sorted(self._checkpoints)
 
+    def fork(self) -> "ExplorationSession":
+        """An independent session at the same position and state.
+
+        The clone shares the layer (and therefore its core indexes and
+        epoch-keyed caches) but carries its own copies of requirements,
+        decisions and staleness, with fresh undo history and no named
+        checkpoints — the exploration engine evaluates each branch on
+        such a fork so sibling branches can never perturb one another.
+        """
+        clone = ExplorationSession(
+            self.layer, self._cdo,
+            merit_metrics=self.merit_metrics,
+            missing_policy=self.missing_policy)
+        clone._requirements = dict(self._requirements)
+        clone._decisions = dict(self._decisions)
+        clone._stale = set(self._stale)
+        clone._log = list(self._log)
+        clone._refresh_constraints(enforce=False)
+        return clone
+
     def set_requirement(self, name: str, value: object) -> None:
         """Enter a requirement value from the system specification."""
         obs = self._obs

@@ -24,6 +24,12 @@ from repro.domains.crypto.cores import (
     software_core,
     software_cores,
 )
+from repro.domains.crypto.explore import (
+    CASE_STUDY_ISSUES,
+    case_study_requirements,
+    conceptual_estimator,
+    crypto_exploration_problem,
+)
 from repro.domains.crypto.hierarchy import build_operator_hierarchy
 from repro.domains.crypto.layer import build_crypto_layer, case_study_session
 
@@ -37,4 +43,6 @@ __all__ = [
     "build_operator_hierarchy",
     "build_crypto_layer", "case_study_session",
     "add_power_view", "build_power_hierarchy", "classify_power",
+    "CASE_STUDY_ISSUES", "case_study_requirements",
+    "conceptual_estimator", "crypto_exploration_problem",
 ]

@@ -18,6 +18,7 @@ from repro.domains.idct.cores import (
     software_idct_core,
     synthesize_idct_core,
 )
+from repro.domains.idct.explore import idct_exploration_problem
 from repro.domains.idct.layer import build_abstraction_layer, build_idct_layer
 from repro.domains.idct.quantized import (
     AccuracyReport,
@@ -34,6 +35,7 @@ __all__ = [
     "FIG2_RECIPES", "IdctHardwareRecipe", "fig2_cores", "software_cores",
     "software_idct_core", "synthesize_idct_core",
     "build_abstraction_layer", "build_idct_layer",
+    "idct_exploration_problem",
     "AccuracyReport", "accuracy_sweep", "fixed_idct_1d_direct",
     "fixed_idct_1d_lee", "measure_accuracy", "meets_precision",
 ]

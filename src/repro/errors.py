@@ -82,6 +82,11 @@ class LintError(ReproError):
         self.report = report
 
 
+class ExplorationError(ReproError):
+    """An automated exploration run was misconfigured (unknown strategy,
+    missing layer factory for process-backed parallelism, ...)."""
+
+
 class EstimationError(ReproError):
     """An early-estimation tool was invoked outside its utilization
     context or on an unsupported description."""

@@ -175,6 +175,44 @@ class ExplorationShell(cmd.Cmd):
             self._say(report.render_text())
         self._guard(action)
 
+    def do_explore(self, arg: str) -> None:
+        """explore [STRATEGY] [key=value ...] — automated search from the
+        current position (requirements and decisions carried over).
+
+        STRATEGY is exhaustive, bnb (default), beam or evolutionary;
+        key=value pairs become strategy options (width=2, seed=7,
+        population=16, ...) with 'jobs' controlling parallelism."""
+        from repro.core.explore import ExplorationEngine, ExplorationProblem
+        from repro.core.properties import DesignIssue
+
+        def action():
+            strategy = "bnb"
+            options = {}
+            for word in arg.split():
+                if "=" in word:
+                    name, value = _binding(word)
+                    options[name] = value
+                else:
+                    strategy = word
+            session = self.session
+            decisions = []
+            for name, option in session.decisions.items():
+                prop = session.current_cdo.find_property(name)
+                if isinstance(prop, DesignIssue) and prop.generalized:
+                    continue  # implied by the current position
+                decisions.append((name, option))
+            problem = ExplorationProblem(
+                start=session.current_cdo.qualified_name,
+                metrics=session.merit_metrics,
+                requirements=tuple(session.requirement_values.items()),
+                decisions=tuple(decisions),
+                layer=session.layer)
+            jobs = int(options.pop("jobs", 1))  # type: ignore[call-overload]
+            engine = ExplorationEngine(problem, strategy=strategy,
+                                       jobs=jobs, strategy_options=options)
+            self._say(engine.run().render_text())
+        self._guard(action)
+
     def do_log(self, _arg: str) -> None:
         """log — the session's action log."""
         for line in self.session.log:

@@ -318,3 +318,50 @@ class TestLintOutputParent:
         assert code == 0
         assert f"wrote {target}" in out
         assert json.loads(target.read_text())["layer"] == "idct"
+
+
+class TestAutomatedExplore:
+    def test_bnb_text(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "explore", "--layer", "idct", "--strategy", "bnb",
+            "--metrics", "area,latency_ns", "--top", "3")
+        assert code == 0
+        assert "Exploration [bnb]" in out
+        assert "Pareto frontier over (area, latency_ns)" in out
+
+    def test_json_payload(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "explore", "--layer", "idct",
+            "--strategy", "exhaustive", "--metrics", "area,latency_ns",
+            "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["strategy"] == "exhaustive"
+        assert payload["frontier"]["outcomes"]
+        assert len(payload["digest"]) == 16
+
+    def test_bnb_matches_exhaustive_digest(self, capsys):
+        runs = {}
+        for strategy in ("exhaustive", "bnb"):
+            _code, out, _err = run_cli(
+                capsys, "explore", "--layer", "idct",
+                "--strategy", strategy,
+                "--metrics", "area,latency_ns", "--json")
+            runs[strategy] = json.loads(out)
+        assert runs["bnb"]["digest"] == runs["exhaustive"]["digest"]
+        assert runs["bnb"]["stats"]["opened"] < \
+            runs["exhaustive"]["stats"]["opened"]
+
+    def test_decide_prefix_and_trace(self, capsys, tmp_path):
+        trace = tmp_path / "explore.jsonl"
+        code, out, _err = run_cli(
+            capsys, "explore", "--layer", "idct", "--strategy", "bnb",
+            "--metrics", "area,latency_ns",
+            "--decide", "ImplementationStyle=Hardware",
+            "--trace", str(trace))
+        assert code == 0
+        assert trace.exists()
+        kinds = {json.loads(line)["kind"]
+                 for line in trace.read_text().splitlines()}
+        assert "explore_start" in kinds
+        assert "branch_open" in kinds

@@ -20,6 +20,7 @@ CASES = [
     ("crypto_coprocessor.py", "signature verified"),
     ("idct_exploration.py", "purity 1.00"),
     ("conceptual_design.py", "functional check passed"),
+    ("automated_exploration.py", "identical frontier (digest"),
     ("power_aware_exploration.py", "Pareto frontier"),
     ("decomposition_walkthrough.py", "Written back"),
 ]

@@ -1,0 +1,194 @@
+"""Outcomes, Pareto dominance edge cases, rankings, and bounds."""
+
+import math
+
+import pytest
+
+from repro.core.explore import (
+    ESTIMATED,
+    Outcome,
+    ParetoFrontier,
+    weighted_sum,
+)
+from repro.core.pruning import merit_bounds
+
+
+def out(core, merits, decisions=(("Style", "hw"),), cdo="Widget.hw",
+        estimated=False):
+    return Outcome(decisions=tuple(decisions), cdo=cdo, core=core,
+                   merits=tuple(merits.items()), estimated=estimated)
+
+
+METRICS = ("area", "latency_ns")
+
+
+class TestOutcome:
+    def test_path_key_is_canonical(self):
+        o = out("c1", {"area": 1.0},
+                decisions=(("A", 1), ("B", "x")))
+        assert o.path_key == "A=1, B='x'"
+        assert o.key == ("A=1, B='x'", "c1")
+
+    def test_coords_missing_metric_is_inf(self):
+        o = out("c1", {"area": 5.0})
+        assert o.coords(METRICS) == (5.0, math.inf)
+
+    def test_to_dict_round_trip_fields(self):
+        o = out("c1", {"area": 5.0}, estimated=True)
+        d = o.to_dict()
+        assert d["core"] == "c1"
+        assert d["estimated"] is True
+        assert d["merits"] == {"area": 5.0}
+
+    def test_describe_marks_estimated(self):
+        o = out(ESTIMATED, {"area": 5.0}, estimated=True)
+        assert "[estimated]" in o.describe()
+
+
+class TestWeightedSum:
+    def test_plain(self):
+        assert weighted_sum((2.0, 3.0)) == 5.0
+        assert weighted_sum((2.0, 3.0), (10.0, 1.0)) == 23.0
+
+    def test_inf_coordinate_stays_inf(self):
+        assert weighted_sum((2.0, math.inf)) == math.inf
+
+
+class TestFrontierDominance:
+    def test_needs_metrics(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(())
+
+    def test_dominated_newcomer_rejected(self):
+        f = ParetoFrontier(METRICS)
+        assert f.add(out("good", {"area": 1.0, "latency_ns": 1.0}))
+        assert not f.add(out("bad", {"area": 2.0, "latency_ns": 2.0}))
+        assert len(f) == 1
+
+    def test_dominating_newcomer_evicts(self):
+        f = ParetoFrontier(METRICS)
+        f.add(out("bad", {"area": 2.0, "latency_ns": 2.0}))
+        assert f.add(out("good", {"area": 1.0, "latency_ns": 1.0}))
+        assert [o.core for o in f.outcomes()] == ["good"]
+
+    def test_ties_are_kept(self):
+        f = ParetoFrontier(METRICS)
+        assert f.add(out("a", {"area": 1.0, "latency_ns": 1.0}))
+        assert f.add(out("b", {"area": 1.0, "latency_ns": 1.0}))
+        assert len(f) == 2
+
+    def test_incomparable_coexist(self):
+        f = ParetoFrontier(METRICS)
+        assert f.add(out("fast", {"area": 9.0, "latency_ns": 1.0}))
+        assert f.add(out("small", {"area": 1.0, "latency_ns": 9.0}))
+        assert len(f) == 2
+
+    def test_duplicate_key_ignored(self):
+        f = ParetoFrontier(METRICS)
+        o = out("a", {"area": 1.0, "latency_ns": 1.0})
+        assert f.add(o)
+        assert not f.add(o)
+        assert len(f) == 1
+
+    def test_missing_merit_dominated_by_complete(self):
+        f = ParetoFrontier(METRICS)
+        f.add(out("complete", {"area": 1.0, "latency_ns": 1.0}))
+        assert not f.add(out("partial", {"area": 1.0}))
+
+    def test_missing_merit_survives_when_incomparable(self):
+        # inf on one axis but strictly better on another: kept.
+        f = ParetoFrontier(METRICS)
+        f.add(out("complete", {"area": 2.0, "latency_ns": 1.0}))
+        assert f.add(out("partial", {"area": 1.0}))
+        assert len(f) == 2
+
+    def test_estimated_outcomes_compete_normally(self):
+        f = ParetoFrontier(METRICS)
+        f.add(out(ESTIMATED, {"area": 1.0, "latency_ns": 1.0},
+                  estimated=True))
+        assert not f.add(out("real", {"area": 2.0, "latency_ns": 2.0}))
+
+
+class TestFrontierOrderIndependence:
+    def outcomes(self):
+        return [out("a", {"area": 1.0, "latency_ns": 9.0}),
+                out("b", {"area": 9.0, "latency_ns": 1.0}),
+                out("c", {"area": 5.0, "latency_ns": 5.0}),
+                out("d", {"area": 6.0, "latency_ns": 6.0})]
+
+    def test_outcomes_and_digest_insertion_order_independent(self):
+        forward, backward = ParetoFrontier(METRICS), ParetoFrontier(METRICS)
+        items = self.outcomes()
+        for o in items:
+            forward.add(o)
+        for o in reversed(items):
+            backward.add(o)
+        assert forward.outcomes() == backward.outcomes()
+        assert forward.digest() == backward.digest()
+
+    def test_digest_differs_on_different_frontiers(self):
+        f, g = ParetoFrontier(METRICS), ParetoFrontier(METRICS)
+        f.add(out("a", {"area": 1.0, "latency_ns": 1.0}))
+        g.add(out("b", {"area": 2.0, "latency_ns": 2.0}))
+        assert f.digest() != g.digest()
+
+
+class TestBounds:
+    def test_merit_bounds_takes_minima_and_inf_for_missing(self):
+        ranges = {"area": (10.0, 50.0)}
+        assert merit_bounds(ranges, METRICS) == (10.0, math.inf)
+
+    def test_dominates_bound_is_strict(self):
+        f = ParetoFrontier(METRICS)
+        f.add(out("m", {"area": 1.0, "latency_ns": 1.0}))
+        # Equal bound is a potential tie — must NOT be prunable.
+        assert not f.dominates_bound((1.0, 1.0))
+        assert f.dominates_bound((1.0, 2.0))
+        assert f.dominates_bound((math.inf, math.inf))
+        assert not f.dominates_bound((0.5, 2.0))
+
+    def test_empty_frontier_prunes_nothing(self):
+        assert not ParetoFrontier(METRICS).dominates_bound((0.0, 0.0))
+
+
+class TestRankings:
+    def populated(self):
+        f = ParetoFrontier(METRICS)
+        f.add(out("fast", {"area": 9.0, "latency_ns": 1.0}))
+        f.add(out("small", {"area": 1.0, "latency_ns": 9.0}))
+        f.add(out("partial", {"area": 0.5}))
+        return f
+
+    def test_weighted_default(self):
+        ranking = self.populated().weighted_ranking()
+        # fast and small tie at 10; the coordinate tiebreak puts small
+        # (area 1) first, and partial's missing metric scores inf.
+        assert [o.core for _, o in ranking] == ["small", "fast", "partial"]
+        assert ranking[0][0] == 10.0
+        assert ranking[-1][0] == math.inf
+
+    def test_weighted_with_weights(self):
+        ranking = self.populated().weighted_ranking({"area": 100.0})
+        assert ranking[0][1].core == "small"
+
+    def test_lexicographic(self):
+        f = self.populated()
+        by_area = f.lexicographic_ranking(["area"])
+        assert [o.core for o in by_area] == ["partial", "small", "fast"]
+        by_latency = f.lexicographic_ranking(["latency_ns", "area"])
+        assert [o.core for o in by_latency] == ["fast", "small", "partial"]
+
+    def test_lexicographic_unknown_metric(self):
+        with pytest.raises(KeyError):
+            self.populated().lexicographic_ranking(["power"])
+
+
+class TestReporting:
+    def test_render_text_truncates(self):
+        f = ParetoFrontier(("area",))
+        for i in range(5):
+            f.add(out(f"c{i}", {"area": 1.0},
+                      decisions=(("X", i),)))
+        text = f.render_text(limit=2)
+        assert "5 non-dominated" in text
+        assert "... 3 more" in text

@@ -1,0 +1,150 @@
+"""Strategy equivalence and determinism.
+
+The load-bearing property: branch-and-bound prunes with *optimistic*
+merit bounds and a *strict*-dominance test, so on any hierarchy it must
+return byte-for-byte the same Pareto frontier as exhaustive
+enumeration.  Hypothesis generates small random layers to probe it.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClassOfDesignObjects,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    ExplorationProblem,
+    ReuseLibrary,
+)
+from repro.core.explore import (
+    STRATEGIES,
+    BeamStrategy,
+    BranchAndBoundStrategy,
+    EvolutionaryStrategy,
+    ExhaustiveStrategy,
+    explore,
+    make_strategy,
+)
+
+from conftest import build_widget_layer
+
+METRICS = ("area", "latency_ns")
+
+
+def random_layer(seed: int) -> DesignSpaceLayer:
+    """A small random generalization hierarchy with a random library."""
+    rng = random.Random(seed)
+    layer = DesignSpaceLayer(f"rand-{seed}", "hypothesis layer")
+    root = ClassOfDesignObjects("R", "root")
+    families = [f"f{i}" for i in range(rng.randint(2, 3))]
+    root.add_property(DesignIssue(
+        "G", EnumDomain(families), "family", generalized=True))
+    layer.add_root(root)
+    issue_options = {}
+    for family in families:
+        child = root.specialize(family)
+        for i in range(rng.randint(1, 2)):
+            name = f"I{i}"
+            options = list(range(rng.randint(2, 3)))
+            issue_options.setdefault(family, {})[name] = options
+            child.add_property(DesignIssue(
+                name, EnumDomain(options), f"issue {name}"))
+    library = ReuseLibrary("rand-lib", "random cores")
+    core_id = 0
+    for family, issues in issue_options.items():
+        for _ in range(rng.randint(2, 5)):
+            decisions = {name: rng.choice(options)
+                         for name, options in issues.items()}
+            merits = {"area": float(rng.randint(1, 40))}
+            if rng.random() < 0.8:  # some cores omit a metric
+                merits["latency_ns"] = float(rng.randint(1, 40))
+            library.add(DesignObject(
+                f"c{core_id}", f"R.{family}", decisions, merits))
+            core_id += 1
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def run(layer, strategy, start="R", **options):
+    problem = ExplorationProblem(start=start, metrics=METRICS, layer=layer)
+    return explore(problem, strategy=strategy, **options)
+
+
+class TestExhaustiveVsBnb:
+    @given(st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_frontiers_on_random_hierarchies(self, seed):
+        layer = random_layer(seed)
+        full = run(layer, "exhaustive")
+        bnb = run(layer, "bnb")
+        assert bnb.frontier.digest() == full.frontier.digest()
+        assert bnb.frontier.outcomes() == full.frontier.outcomes()
+        assert bnb.stats.opened <= full.stats.opened
+
+    @given(st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=10, deadline=None)
+    def test_terminal_accounting_consistent(self, seed):
+        layer = random_layer(seed)
+        full = run(layer, "exhaustive")
+        assert full.stats.terminals <= full.stats.expanded + 1
+        assert full.stats.outcomes >= len(full.frontier)
+
+
+class TestBeam:
+    def test_wide_beam_equals_exhaustive(self):
+        layer = build_widget_layer()
+        assert run(layer, "beam", start="Widget", width=64).frontier.digest() == \
+            run(layer, "exhaustive", start="Widget").frontier.digest()
+
+    def test_narrow_beam_is_a_subset_search(self):
+        layer = build_widget_layer()
+        narrow = run(layer, "beam", start="Widget", width=1)
+        full = run(layer, "exhaustive", start="Widget")
+        assert len(narrow.frontier) <= len(full.frontier)
+        assert narrow.stats.pruned.get("beam", 0) > 0
+        # Every beam outcome is a genuine terminal of the space.
+        keys = {o.key for o in narrow.frontier.outcomes()}
+        assert keys  # beam width 1 still reaches terminals
+
+
+class TestEvolutionary:
+    def test_same_seed_is_byte_identical(self):
+        layer = build_widget_layer()
+        first = run(layer, "evolutionary", start="Widget", seed=7,
+                    population=8, generations=4)
+        second = run(layer, "evolutionary", start="Widget", seed=7,
+                     population=8, generations=4)
+        assert first.frontier.digest() == second.frontier.digest()
+        assert first.render_text() == second.render_text()
+        assert first.stats.evaluations == second.stats.evaluations
+
+    def test_finds_real_terminals(self):
+        layer = build_widget_layer()
+        result = run(layer, "ga", start="Widget", seed=3, population=8,
+                     generations=4)
+        full = run(layer, "exhaustive", start="Widget")
+        full_keys = {o.key for o in full.frontier.outcomes()}
+        for outcome in result.frontier.outcomes():
+            # GA frontier members are real library cores, and any that
+            # are non-dominated globally must appear in the full set.
+            assert outcome.core in {"h1", "h2", "h3", "s1", "s2"}
+            if outcome.key in full_keys:
+                assert outcome in full.frontier
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("exhaustive", "bnb", "branch-and-bound", "beam",
+                     "evolutionary", "ga"):
+            assert name in STRATEGIES
+
+    def test_make_strategy_aliases(self):
+        assert isinstance(make_strategy("branch-and-bound"),
+                          BranchAndBoundStrategy)
+        assert isinstance(make_strategy("ga"), EvolutionaryStrategy)
+        assert isinstance(make_strategy("beam", width=2), BeamStrategy)
+        assert isinstance(make_strategy("exhaustive"), ExhaustiveStrategy)

@@ -192,3 +192,28 @@ class TestStatsCommand:
             "trace on\ndecide Style=hw\ncandidates\nstats\nquit\n")
         assert "counters:" in out
         assert "dsl_events_total" in out
+
+
+class TestExploreCommand:
+    def test_explore_from_current_position(self):
+        shell, out = drive("decide Style=hw\nexplore exhaustive\nquit\n")
+        assert "Exploration [exhaustive]" in out
+        assert "h1" in out and "h2" in out
+        # The search ran on checkpoints; the interactive position and
+        # its decisions are untouched.
+        assert shell.session.decisions == {"Style": "hw"}
+
+    def test_explore_defaults_to_bnb_with_options(self):
+        _shell, out = drive("explore\nquit\n")
+        assert "Exploration [bnb]" in out
+        _shell, out = drive("explore beam width=1\nquit\n")
+        assert "Exploration [beam" in out
+
+    def test_requirements_carry_over(self):
+        _shell, out = drive(
+            "require MaxDelay=100\nexplore exhaustive\nquit\n")
+        assert "s1" not in out  # software cores pruned by the requirement
+
+    def test_unknown_strategy_reports_error(self):
+        _shell, out = drive("explore annealing\nquit\n")
+        assert "error:" in out and "annealing" in out
