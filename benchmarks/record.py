@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Record pruning/observability timings into a committed JSON file.
 
-``BENCH_pruning.json`` (repo root) is the durable record of two things:
+``BENCH_pruning.json`` (repo root) is the durable record of:
 
 * the crypto case-study pruning walk (the paper's Sec 5 loop) — per-run
   wall times on the recording machine;
 * the tracing overhead on a 50k-core synthetic pruning walk — the
   no-op-recorder baseline vs the same walk with a
   :class:`~repro.core.obs.recorder.TraceRecorder` attached, plus the
-  min-over-min ratio the CI overhead gate enforces (< 1.10).
+  min-over-min ratio the CI overhead gate enforces (< 1.10);
+* the semantic verifier on a 5k-core synthetic layer — a cold analysis
+  vs a warm epoch-cached re-verify (gate: warm < 5% of cold).
 
 Usage::
 
@@ -37,6 +39,9 @@ if _HERE not in sys.path:  # direct `python benchmarks/record.py` runs
 DEFAULT_OUTPUT = os.path.join(_HERE, os.pardir, "BENCH_pruning.json")
 #: The CI gate: traced walk may cost at most 10% over the no-op walk.
 OVERHEAD_BUDGET = 1.10
+#: The CI gate: a warm (epoch-cached) re-verify of an unchanged layer
+#: must cost under 5% of a cold analysis.
+VERIFY_WARM_BUDGET = 0.05
 
 
 def _runs(fn: Callable[[], object], repeat: int) -> List[float]:
@@ -166,10 +171,44 @@ def explore_measurements(num_cores: int = 50000, repeat: int = 3,
     }
 
 
+def verify_measurements(num_cores: int = 5000, repeat: int = 5
+                        ) -> Dict[str, object]:
+    """Time the semantic verifier on a synthetic layer.
+
+    Cold analyses drop the epoch cache between runs; warm runs re-verify
+    the unchanged layer and must be served from the cache — the
+    ``warm_over_cold`` ratio is the CI gate (< :data:`VERIFY_WARM_BUDGET`).
+    """
+    from test_bench_scaling import synthetic_layer
+
+    from repro.core.verify import analyze_layer
+    from repro.core.verify.engine import _CACHE
+
+    layer = synthetic_layer(num_cores)
+    analyze_layer(layer)  # warm-up (index build)
+
+    def cold() -> object:
+        _CACHE.pop(layer, None)
+        return analyze_layer(layer)
+
+    cold_runs = _runs(cold, repeat)
+    analysis = analyze_layer(layer)
+    warm_runs = _runs(lambda: analyze_layer(layer), repeat)
+    return {
+        "num_cores": num_cores,
+        "cold": cold_runs,
+        "warm": warm_runs,
+        "proofs": len(analysis.proofs),
+        "regions": len(analysis.regions),
+        "ratio": min(warm_runs) / min(cold_runs),
+    }
+
+
 def collect(repeat: int, num_cores: int) -> Dict[str, object]:
     crypto = crypto_walk_runs(repeat)
     overhead = overhead_measurements(num_cores, repeat)
     exploration = explore_measurements(num_cores, max(repeat - 2, 1))
+    verify = verify_measurements(min(num_cores, 5000), repeat)
     return {
         "generated": time.strftime("%Y-%m-%d"),
         "command": "PYTHONPATH=src python benchmarks/record.py",
@@ -202,6 +241,16 @@ def collect(repeat: int, num_cores: int) -> Dict[str, object]:
             f"parallel_jobs{exploration['jobs']}": _summary(
                 exploration["parallel"]),
             "speedup_min_over_min": round(exploration["speedup"], 4),
+        },
+        "verify": {
+            "num_cores": verify["num_cores"],
+            "proofs": verify["proofs"],
+            "regions": verify["regions"],
+            "cold": _summary(verify["cold"]),
+            "warm_epoch_cache": _summary(verify["warm"]),
+            "warm_over_cold": round(verify["ratio"], 6),
+            "budget": VERIFY_WARM_BUDGET,
+            "within_budget": verify["ratio"] < VERIFY_WARM_BUDGET,
         },
     }
 

@@ -14,8 +14,12 @@ Exposes the library's main entry points without writing Python:
 * ``query`` — direct core retrieval with property/merit filters;
 * ``export`` — serialize a bundled layer to JSON.
 
-``lint``, ``trace`` and ``stats`` share one parent parser for the
-``--json`` / ``--output PATH`` output options.
+* ``lint`` — structural static analysis (``DSL0xx`` diagnostics);
+* ``verify`` — semantic verification: dead-branch proofs, unsat cores
+  and constraint strata (``DSL1xx`` diagnostics).
+
+``lint``, ``verify``, ``trace`` and ``stats`` share one parent parser
+for the ``--json`` / ``--output PATH`` output options.
 
 The bundled layers are ``crypto`` (the Sec 5 case study) and ``idct``
 (the Sec 2 example); ``--eol`` rebuilds the crypto libraries for another
@@ -306,6 +310,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_at_least(threshold) else 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.lint import parse_severity
+    layer = _build_layer(args.layer, args.eol)
+    requirements = tuple(_parse_binding(b) for b in args.require or ())
+    report = layer.verify(requirements=requirements, start=args.start)
+    if args.json or args.format == "json":
+        _emit_json(args, report.to_dict())
+    else:
+        _emit(args, report.render_text())
+        for core in report.analysis.unsat_cores:
+            print(f"fix-it: region {core.region}:")
+            for hint in core.hints:
+                print(f"  - {hint}")
+    threshold = parse_severity(args.fail_on)
+    return 1 if report.has_at_least(threshold) else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.obs import read_jsonl, render_timeline, summarize, \
         summarize_dict
@@ -502,6 +523,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("verify",
+                       help="semantic verification of a layer "
+                            "(dead branches, unsat cores, strata)",
+                       parents=[output_parent])
+    add_layer_args(p)
+    p.add_argument("--start", default=None, metavar="CDO",
+                   help="restrict the analysis to this CDO's subtree "
+                        "(default: the whole layer)")
+    p.add_argument("--require", action="append", metavar="NAME=VALUE",
+                   help="requirement value to verify against "
+                        "(repeatable)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (legacy spelling of --json)")
+    p.add_argument("--fail-on", default="error",
+                   choices=("error", "warning", "info"),
+                   help="exit non-zero when findings at or above this "
+                        "severity exist")
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("trace", help="summarize, render or replay a "
                                      "recorded exploration trace",

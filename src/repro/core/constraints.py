@@ -23,7 +23,7 @@ with a function of the exploration session.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.core.cdo import ClassOfDesignObjects
 from repro.core.path import PropertyPath, parse_path
@@ -201,8 +201,15 @@ class ConstraintSet:
         except KeyError:
             raise ConstraintError(f"no constraint named {name!r}") from None
 
-    def __iter__(self):
-        return iter(self._constraints.values())
+    def __iter__(self) -> Iterator[ConsistencyConstraint]:
+        """Iterate in a stable order (sorted by constraint name).
+
+        Insertion order would track layer-construction order, which is
+        fine for a single build but makes verifier fixpoints and lint
+        output depend on how a layer happened to be assembled; sorting
+        by the unique name keeps every downstream report deterministic.
+        """
+        return iter(sorted(self._constraints.values(), key=lambda c: c.name))
 
     def __len__(self) -> int:
         return len(self._constraints)
@@ -213,8 +220,7 @@ class ConstraintSet:
     def applicable(self, cdo: ClassOfDesignObjects,
                    aliases: Optional[Mapping[str, str]] = None
                    ) -> List[ConsistencyConstraint]:
-        return [c for c in self._constraints.values()
-                if c.applies_to(cdo, aliases)]
+        return [c for c in self if c.applies_to(cdo, aliases)]
 
     def gating(self, property_name: str, cdo: ClassOfDesignObjects,
                aliases: Optional[Mapping[str, str]] = None

@@ -57,7 +57,8 @@ class ExplorationStats:
     #: Branches considered (one per issue option looked at).
     opened: int = 0
     #: Branches cut without descending, by reason
-    #: (``eliminated`` / ``empty`` / ``constraint`` / ``bound`` / ``beam``).
+    #: (``eliminated`` / ``empty`` / ``constraint`` / ``bound`` /
+    #: ``beam`` / ``proved-dead``).
     pruned: Dict[str, int] = field(default_factory=dict)
     #: Successful decide() descents.
     expanded: int = 0
@@ -159,6 +160,22 @@ class SearchContext:
     def bound(self, info: OptionInfo) -> Tuple[float, ...]:
         """Optimistic per-metric bound vector of one option's region."""
         return merit_bounds(info.ranges, self.metrics)
+
+    def masked(self, issue: DesignIssue, info: OptionInfo) -> bool:
+        """True when the problem's verifier dead mask proves this option
+        cannot contribute an outcome at the current position.
+
+        The mask (:meth:`VerifyAnalysis.prune_mask`) holds
+        ``(cdo, issue, repr(option))`` triples whose subtree was proved
+        outcome-free by abstract interpretation; skipping them cannot
+        change the frontier.  With an estimator configured the proofs no
+        longer cover estimated outcomes, so the mask is ignored.
+        """
+        mask = self.problem.dead_mask
+        if not mask or self.problem.estimator is not None:
+            return False
+        return (self.session.current_cdo.qualified_name, issue.name,
+                repr(info.option)) in mask
 
     def decide(self, issue: DesignIssue, option: object) -> bool:
         """Commit one decision; False when constraints reject it (the
@@ -385,6 +402,9 @@ class ExplorationEngine:
                 return frontier, stats
             for info in probe.options(issue):
                 probe.branch_open(issue, info)
+                if probe.masked(issue, info):
+                    probe.branch_pruned(issue, info, "proved-dead")
+                    continue
                 if info.eliminated:
                     probe.branch_pruned(issue, info, "eliminated")
                     continue

@@ -54,6 +54,12 @@ class ExplorationProblem:
     layer: Optional[DesignSpaceLayer] = None
     layer_factory: Optional[Callable[[], DesignSpaceLayer]] = None
     estimator: Optional[Estimator] = None
+    #: Verifier pre-pruning mask: ``(cdo_qualified_name, issue, repr(option))``
+    #: triples proved dead by :meth:`DesignSpaceLayer.verify` (see
+    #: :meth:`~repro.core.verify.engine.VerifyAnalysis.prune_mask`).
+    #: Strategies skip masked options without opening a branch; because
+    #: the proofs are sound, the frontier is unchanged.
+    dead_mask: Optional[frozenset] = None
     _built: Optional[DesignSpaceLayer] = field(
         default=None, repr=False, compare=False)
 
@@ -63,6 +69,8 @@ class ExplorationProblem:
         self.decisions = _pairs(self.decisions)
         if self.issues is not None:
             self.issues = tuple(self.issues)
+        if self.dead_mask is not None:
+            self.dead_mask = frozenset(self.dead_mask)
 
     # ------------------------------------------------------------------
     def resolve_layer(self) -> DesignSpaceLayer:

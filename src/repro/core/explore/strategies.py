@@ -89,6 +89,10 @@ class ExhaustiveStrategy(SearchStrategy):
     def _screen(self, ctx: "SearchContext", issue: object,
                 info: "OptionInfo") -> Optional[str]:
         """Reason to cut the branch before deciding, or None."""
+        if ctx.masked(issue, info):
+            # Statically proved dead by the verifier; cut before any
+            # runtime screening.
+            return "proved-dead"
         if info.eliminated:
             return "eliminated"
         if info.candidate_count == 0 and ctx.problem.estimator is None:
@@ -161,6 +165,9 @@ class BeamStrategy(SearchStrategy):
                     continue
                 for info in ctx.options(issue):
                     ctx.branch_open(issue, info)
+                    if ctx.masked(issue, info):
+                        ctx.branch_pruned(issue, info, "proved-dead")
+                        continue
                     if info.eliminated:
                         ctx.branch_pruned(issue, info, "eliminated")
                         continue

@@ -283,6 +283,53 @@ class DesignSpaceLayer:
                 f"{report.summary()}", report=report)
         return report
 
+    def verify(self, requirements: Sequence[Tuple[str, object]] = (),
+               start: Optional[str] = None, config: object = None,
+               strict: bool = False):
+        """Run the semantic verifier over this layer.
+
+        Abstract interpretation over the consistency constraints: per-CDO
+        feasible-region over-approximation, dead-branch proofs
+        (``DSL100``/``DSL101``), minimal unsat cores for infeasible
+        requirement sets (``DSL103``) and a constraint stratification
+        report (``DSL102``).  Returns a
+        :class:`~repro.core.verify.report.VerifyReport`; with
+        ``strict=True`` error-severity findings raise
+        :class:`~repro.errors.LintError`.  Repeated runs against an
+        unchanged layer are served from an epoch-keyed cache.
+        """
+        from repro.core.lint import LintConfig
+        from repro.core.verify import verify_layer
+        from repro.errors import LintError
+        if config is not None and not isinstance(config, LintConfig):
+            raise LintError(
+                f"layer.verify() expects a LintConfig, got "
+                f"{type(config).__name__}")
+        with self.observer.span(_ev.VERIFY_RUN, layer=self.name) as span:
+            report = verify_layer(self, requirements=requirements,
+                                  start=start, config=config)
+            analysis = report.analysis
+            span.note(diagnostics=len(report.lint),
+                      proofs=len(analysis.proofs),
+                      unsat_cores=len(analysis.unsat_cores))
+            if self.observer.enabled:
+                for proof in analysis.proofs:
+                    self.observer.emit(
+                        _ev.DEAD_BRANCH_PROVED, cdo=proof.cdo,
+                        issue=proof.issue, option=repr(proof.option),
+                        proof_kind=proof.kind, constraint=proof.constraint)
+                for core in analysis.unsat_cores:
+                    self.observer.emit(
+                        _ev.UNSAT_CORE_FOUND, region=core.region,
+                        requirements=[f"{n}={v!r}"
+                                      for n, v in core.requirements],
+                        constraints=list(core.constraints))
+        if strict and report.lint.errors:
+            raise LintError(
+                f"layer {self.name!r} failed strict verify: "
+                f"{report.summary()}", report=report.lint)
+        return report
+
     def explore(self, start: str, strategy: str = "exhaustive",
                 metrics: Sequence[str] = ("area", "latency_ns"),
                 requirements: object = (), decisions: object = (),

@@ -41,6 +41,7 @@ from repro.core.lint import rules_constraints  # noqa: E402,F401
 from repro.core.lint import rules_decomposition  # noqa: E402,F401
 from repro.core.lint import rules_hierarchy  # noqa: E402,F401
 from repro.core.lint import rules_library  # noqa: E402,F401
+from repro.core.lint import rules_verify  # noqa: E402,F401
 
 from repro.errors import LintError  # noqa: E402
 

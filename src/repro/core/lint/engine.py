@@ -134,6 +134,7 @@ def _loaded_registry(registry: Optional[RuleRegistry]) -> RuleRegistry:
     from repro.core.lint import rules_decomposition  # noqa: F401
     from repro.core.lint import rules_hierarchy  # noqa: F401
     from repro.core.lint import rules_library  # noqa: F401
+    from repro.core.lint import rules_verify  # noqa: F401
     return DEFAULT_REGISTRY
 
 

@@ -40,8 +40,10 @@ from repro.errors import LintError
 _CODE_RE = re.compile(r"^DSL\d{3}$")
 _SLUG_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
 
-#: Rule categories, matching the three core artifacts plus DI7.
-CATEGORIES = ("hierarchy", "constraints", "library", "decomposition")
+#: Rule categories, matching the three core artifacts plus DI7 and the
+#: semantic verifier (whose DSL1xx rules are surfaced through the linter).
+CATEGORIES = ("hierarchy", "constraints", "library", "decomposition",
+              "verify")
 
 #: ``make(location, message, hint="", severity=None)`` -> Diagnostic.
 DiagnosticFactory = Callable[..., Diagnostic]

@@ -1,0 +1,146 @@
+"""DSL1xx — semantic verifier findings surfaced through the linter.
+
+These rules are thin adapters around
+:func:`repro.core.verify.engine.analyze_layer`: the verifier does the
+abstract interpretation, the rules render its proofs as diagnostics so
+the full lint toolchain (severity policy, ``--fail-on``, JSON output,
+golden files) applies unchanged.
+
+Unlike the structural DSL0xx rules they are **opt-in**: they yield
+nothing unless the ``verify`` category's rule options carry
+``enabled=True`` (plus the requirement set and optional start CDO of the
+verification run).  :func:`repro.core.verify.verify_layer` injects those
+options; a plain ``lint_layer()``/``repro lint`` run is byte-identical
+to before the verifier existed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.core.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.core.lint.engine import LintContext
+from repro.core.lint.registry import DiagnosticFactory, rule
+
+if False:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.verify.engine import VerifyAnalysis
+
+
+def _analysis(ctx: LintContext, options: Mapping[str, object]
+              ) -> Optional["VerifyAnalysis"]:
+    """The (epoch-cached) verifier run these rules render, or ``None``
+    when the run is not opted in."""
+    if not options.get("enabled"):
+        return None
+    from repro.core.verify.engine import analyze_layer
+    requirements: Sequence[Tuple[str, object]] = \
+        tuple(options.get("requirements", ()) or ())  # type: ignore[arg-type]
+    start = options.get("start")
+    return analyze_layer(ctx.layer, requirements=requirements,
+                         start=start if isinstance(start, str) else None)
+
+
+@rule(code="DSL100", slug="dead-branch-proved", category="verify",
+      severity=Severity.INFO,
+      doc="A design-issue option is proved dead: every reachable session "
+          "state violates a consistency constraint when it is chosen (or "
+          "an elimination relation always removes it). Exploration may "
+          "skip the branch without changing the frontier.")
+def dead_branch_proved(ctx: LintContext, options: Mapping[str, object],
+                       make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    analysis = _analysis(ctx, options)
+    if analysis is None:
+        return
+    for proof in analysis.proofs:
+        if proof.kind == "empty-region":
+            continue  # rendered by DSL101
+        yield make(
+            SourceLocation("cdo", proof.cdo, proof.issue),
+            f"option {proof.issue}={proof.option!r} is proved dead "
+            f"({proof.kind}): {proof.explanation}",
+            hint=f"drop the option or revisit constraint "
+                 f"{proof.constraint or '<none>'}")
+
+
+@rule(code="DSL101", slug="empty-feasible-region", category="verify",
+      severity=Severity.INFO,
+      doc="The feasible region under an option (or a whole CDO) is "
+          "empty: no reusable core satisfies the given requirements, or "
+          "constraint propagation emptied a property's abstract value.")
+def empty_feasible_region(ctx: LintContext, options: Mapping[str, object],
+                          make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    analysis = _analysis(ctx, options)
+    if analysis is None:
+        return
+    for proof in analysis.proofs:
+        if proof.kind != "empty-region":
+            continue
+        yield make(
+            SourceLocation("cdo", proof.cdo, proof.issue),
+            f"option {proof.issue}={proof.option!r} has an empty region: "
+            f"{proof.explanation}",
+            hint="register cores under the option or relax the "
+                 "requirements")
+    for qname in sorted(analysis.regions):
+        region = analysis.regions[qname]
+        if not region.empty:
+            continue
+        drained = sorted(n for n, v in region.properties.items()
+                         if getattr(v, "is_empty", False))
+        yield make(
+            SourceLocation("cdo", qname),
+            f"feasible region is empty: no value survives constraint "
+            f"propagation for {', '.join(drained) or 'some property'}",
+            hint="the requirement set conflicts with the constraints "
+                 "applicable here; see the unsat core")
+
+
+@rule(code="DSL102", slug="widening-unstable-stratum", category="verify",
+      severity=Severity.WARNING,
+      doc="A constraint stratum depends on an estimator-derived property "
+          "that feeds further constraints: the verifier must widen there, "
+          "so nothing downstream of the stratum can be statically "
+          "narrowed or proved.")
+def widening_unstable_stratum(ctx: LintContext,
+                              options: Mapping[str, object],
+                              make: DiagnosticFactory
+                              ) -> Iterator[Diagnostic]:
+    analysis = _analysis(ctx, options)
+    if analysis is None:
+        return
+    for stratum in analysis.strata:
+        if not stratum.unstable:
+            continue
+        props = ", ".join(stratum.unstable_properties)
+        yield make(
+            SourceLocation("layer", analysis.layer_name,
+                           f"stratum-{stratum.index}"),
+            f"stratum {stratum.index} is widening-unstable: "
+            f"estimator-derived {props} feeds "
+            f"{stratum.fan_out} downstream constraint edge(s)",
+            hint="constraints reading an estimated value can only be "
+                 "checked dynamically; keep them last in the ordering")
+
+
+@rule(code="DSL103", slug="infeasible-requirements", category="verify",
+      severity=Severity.ERROR,
+      doc="The given requirement set is infeasible at a region: no core "
+          "survives or a constraint is guaranteed to fail before any "
+          "decision. The minimal unsat core lists exactly the conflicting "
+          "requirements and constraints.")
+def infeasible_requirements(ctx: LintContext,
+                            options: Mapping[str, object],
+                            make: DiagnosticFactory) -> Iterator[Diagnostic]:
+    analysis = _analysis(ctx, options)
+    if analysis is None:
+        return
+    for core in analysis.unsat_cores:
+        reqs = ", ".join(f"{n}={v!r}" for n, v in core.requirements)
+        cons = ", ".join(core.constraints)
+        parts = [p for p in (reqs and f"requirements [{reqs}]",
+                             cons and f"constraints [{cons}]") if p]
+        yield make(
+            SourceLocation("cdo", core.region),
+            f"requirement set is infeasible here; minimal unsat core: "
+            f"{'; '.join(parts) or 'the region itself (no cores)'}",
+            hint=" | ".join(core.hints))

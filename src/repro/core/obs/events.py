@@ -59,12 +59,21 @@ BRANCH_OPEN = "branch_open"
 BRANCH_PRUNED = "branch_pruned"
 #: The Pareto frontier absorbed a new non-dominated outcome.
 FRONTIER_UPDATE = "frontier_update"
+#: The semantic verifier ran over a layer (span).
+VERIFY_RUN = "verify_run"
+#: The verifier proved a design-issue option dead (payload: cdo, issue,
+#: option, proof_kind, constraint).
+DEAD_BRANCH_PROVED = "dead_branch_proved"
+#: The verifier extracted a minimal unsat core for an infeasible
+#: requirement set (payload: region, requirements, constraints).
+UNSAT_CORE_FOUND = "unsat_core_found"
 
 EVENT_KINDS = frozenset({
     SESSION_OPEN, REQUIRE, DECIDE, RETRACT, UNDO, CHECKPOINT, RESTORE,
     ACKNOWLEDGE, CONSTRAINT_FIRED, PRUNE, CACHE_HIT, CACHE_MISS,
     ESTIMATE_INVOKED, INDEX_REBUILD, LINT_RUN,
     EXPLORE_START, BRANCH_OPEN, BRANCH_PRUNED, FRONTIER_UPDATE,
+    VERIFY_RUN, DEAD_BRANCH_PROVED, UNSAT_CORE_FOUND,
 })
 
 #: Kinds that mutate session state; a replay re-applies exactly these,

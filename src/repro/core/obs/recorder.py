@@ -303,6 +303,18 @@ class TraceRecorder:
                 m.gauge("dsl_frontier_size",
                         "non-dominated outcomes on the Pareto frontier"
                         ).set(size)
+        elif kind == ev.VERIFY_RUN:
+            if event.duration_s is not None:
+                m.histogram("dsl_verify_seconds",
+                            "wall time of semantic verifier runs"
+                            ).observe(event.duration_s)
+        elif kind == ev.DEAD_BRANCH_PROVED:
+            m.counter("dsl_dead_branches_total",
+                      "dead-branch proofs by proof kind",
+                      kind=str(payload.get("proof_kind", "?"))).inc()
+        elif kind == ev.UNSAT_CORE_FOUND:
+            m.counter("dsl_unsat_cores_total",
+                      "minimal unsat cores extracted").inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TraceRecorder {len(self.events)} events>"

@@ -1,0 +1,274 @@
+"""Abstract value domains for the design-space verifier.
+
+The verifier reasons about property values without enumerating cores or
+opening sessions.  Its abstract values form a small lattice:
+
+* :data:`TOP` — no information (``⊤``); any concrete value is possible.
+* :class:`Interval` — a closed numeric range, possibly unbounded on
+  either side (``±inf``).  Used for quantitative properties
+  (:class:`~repro.core.values.IntRange`, ``RealRange``) where *exact
+  narrowing* is possible through arithmetic relations.
+* :class:`FiniteSet` — an explicit, ordered set of concrete values.
+  Used for qualitative properties (:class:`~repro.core.values.EnumDomain`)
+  and for resolved parametric domains (powers of two, divisors).
+
+``meet`` refines (intersection of concretizations), ``join`` merges
+(union, over-approximated).  Unresolvable domains — predicates, ``Any``,
+parametric domains whose bound is still symbolic — abstract to
+:data:`TOP`; that is the verifier's *widening* point: no claim is ever
+made about them, so every proof built on the lattice stays sound.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.core import values as _values
+from repro.errors import DomainError
+
+#: Product/enumeration caps: above these the verifier widens instead of
+#: enumerating.  Small on purpose — the analysis must stay near-free.
+MAX_FINITE = 64
+
+
+class _Top:
+    """Singleton 'no information' element."""
+
+    _instance: Optional["_Top"] = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+    def describe(self) -> str:
+        return "any"
+
+
+TOP = _Top()
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed numeric interval; ``lo > hi`` encodes the empty region."""
+
+    lo: float
+    hi: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    def contains(self, value: object) -> bool:
+        return _is_number(value) and self.lo <= float(value) <= self.hi  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "empty"
+
+        def side(v: float) -> str:
+            if v == float("-inf"):
+                return "-inf"
+            if v == float("inf"):
+                return "+inf"
+            if float(v).is_integer():
+                return str(int(v))
+            return repr(v)
+
+        return f"[{side(self.lo)}, {side(self.hi)}]"
+
+
+@dataclass(frozen=True)
+class FiniteSet:
+    """An explicit set of concrete values, deduplicated and repr-sorted."""
+
+    values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        seen = []
+        for v in self.values:
+            if not any(v == s and type(v) is type(s) for s in seen):
+                seen.append(v)
+        seen.sort(key=repr)
+        object.__setattr__(self, "values", tuple(seen))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.values
+
+    def contains(self, value: object) -> bool:
+        return any(value == v for v in self.values)
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "empty"
+        return "{" + ", ".join(repr(v) for v in self.values) + "}"
+
+
+AbstractValue = Union[_Top, Interval, FiniteSet]
+
+
+def is_empty(value: AbstractValue) -> bool:
+    """Whether the abstract value denotes the empty set of concretes."""
+    if isinstance(value, (Interval, FiniteSet)):
+        return value.is_empty
+    return False
+
+
+def describe(value: AbstractValue) -> str:
+    return value.describe()
+
+
+def meet(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Greatest lower bound: over-approximates the intersection."""
+    if isinstance(a, _Top):
+        return b
+    if isinstance(b, _Top):
+        return a
+    if isinstance(a, Interval) and isinstance(b, Interval):
+        return Interval(max(a.lo, b.lo), min(a.hi, b.hi))
+    if isinstance(a, FiniteSet) and isinstance(b, FiniteSet):
+        return FiniteSet(tuple(v for v in a.values if b.contains(v)))
+    # Mixed: keep the finite-set members that fall inside the interval
+    # (non-numeric members cannot be in a numeric interval).
+    fset = a if isinstance(a, FiniteSet) else b
+    ival = a if isinstance(a, Interval) else b
+    assert isinstance(fset, FiniteSet) and isinstance(ival, Interval)
+    return FiniteSet(tuple(v for v in fset.values if ival.contains(v)))
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: over-approximates the union."""
+    if isinstance(a, _Top) or isinstance(b, _Top):
+        return TOP
+    if isinstance(a, Interval) and isinstance(b, Interval):
+        if a.is_empty:
+            return b
+        if b.is_empty:
+            return a
+        return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+    if isinstance(a, FiniteSet) and isinstance(b, FiniteSet):
+        return FiniteSet(a.values + b.values)
+    fset = a if isinstance(a, FiniteSet) else b
+    ival = a if isinstance(a, Interval) else b
+    assert isinstance(fset, FiniteSet) and isinstance(ival, Interval)
+    if fset.is_empty:
+        return ival
+    if not all(_is_number(v) for v in fset.values):
+        return TOP
+    nums = [float(v) for v in fset.values]  # type: ignore[arg-type]
+    if ival.is_empty:
+        return Interval(min(nums), max(nums))
+    return Interval(min(ival.lo, min(nums)), max(ival.hi, max(nums)))
+
+
+# ----------------------------------------------------------------------
+# Abstraction of the concrete value domains (repro.core.values)
+# ----------------------------------------------------------------------
+
+def _powers(domain: "_values.PowerOfTwoDomain",
+            bound: Optional[int]) -> Optional[Tuple[int, ...]]:
+    if bound is None:
+        return None
+    out = []
+    v = domain.min_value
+    while v <= bound:
+        out.append(v)
+        if len(out) > MAX_FINITE:
+            return None
+        v *= 2
+    return tuple(out)
+
+
+def _divisors(bound: Optional[int]) -> Optional[Tuple[int, ...]]:
+    if bound is None or bound <= 0:
+        return None
+    out = [d for d in range(1, bound + 1) if bound % d == 0]
+    if len(out) > MAX_FINITE:
+        return None
+    return tuple(out)
+
+
+def abstract_of(domain: "_values.Domain",
+                context: Optional[Mapping[str, object]] = None) -> AbstractValue:
+    """Sound abstraction of a concrete domain.
+
+    ``context`` supplies property values (given requirements, pinned
+    generalized options) used to resolve parametric bounds.  Anything
+    the lattice cannot represent exactly widens to :data:`TOP`.
+    """
+    if isinstance(domain, _values.EnumDomain):
+        return FiniteSet(tuple(domain.options))
+    if isinstance(domain, _values.IntRange):
+        lo = float("-inf") if domain.lo is None else float(domain.lo)
+        hi = float("inf") if domain.hi is None else float(domain.hi)
+        return Interval(lo, hi)
+    if isinstance(domain, _values.RealRange):
+        lo = float("-inf") if domain.lo is None else float(domain.lo)
+        hi = float("inf") if domain.hi is None else float(domain.hi)
+        return Interval(lo, hi)
+    if isinstance(domain, _values.PowerOfTwoDomain):
+        try:
+            bound = domain._resolved_max(context)
+        except DomainError:
+            return TOP
+        powers = _powers(domain, bound)
+        if powers is not None:
+            return FiniteSet(powers)
+        return Interval(float(domain.min_value), float("inf"))
+    if isinstance(domain, _values.DivisorDomain):
+        try:
+            bound = domain._resolved(context)
+        except DomainError:
+            return TOP
+        divisors = _divisors(bound)
+        if divisors is not None:
+            return FiniteSet(divisors)
+        if bound is not None:
+            return Interval(1.0, float(bound))
+        return Interval(1.0, float("inf"))
+    # PredicateDomain samples are examples, not an enumeration; AnyDomain
+    # and unknown domain classes carry no static structure.  Widen.
+    return TOP
+
+
+def finite_values(domain: "_values.Domain",
+                  context: Optional[Mapping[str, object]] = None
+                  ) -> Optional[Tuple[object, ...]]:
+    """The *complete* concrete enumeration of a domain, or ``None``.
+
+    Unlike :meth:`Domain.sample` this never truncates: a returned tuple
+    provably contains every value the domain admits under ``context``,
+    which is what makes universally-quantified proofs over it sound.
+    """
+    if isinstance(domain, _values.EnumDomain):
+        return tuple(domain.options)
+    if isinstance(domain, _values.IntRange):
+        if not domain.is_finite():
+            return None
+        assert domain.lo is not None and domain.hi is not None
+        if domain.hi - domain.lo + 1 > MAX_FINITE:
+            return None
+        return tuple(range(domain.lo, domain.hi + 1))
+    if isinstance(domain, _values.PowerOfTwoDomain):
+        try:
+            bound = domain._resolved_max(context)
+        except DomainError:
+            return None
+        return _powers(domain, bound)
+    if isinstance(domain, _values.DivisorDomain):
+        try:
+            bound = domain._resolved(context)
+        except DomainError:
+            return None
+        return _divisors(bound)
+    return None

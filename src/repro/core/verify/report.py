@@ -1,0 +1,92 @@
+"""Rendering for verifier runs: analysis + diagnostics in one report."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.lint.diagnostics import LintReport, Severity
+from repro.core.verify.domains import describe
+from repro.core.verify.engine import VerifyAnalysis
+
+
+class VerifyReport:
+    """One verifier run: the raw :class:`VerifyAnalysis` plus the DSL1xx
+    diagnostics rendered from it through the lint pipeline."""
+
+    def __init__(self, analysis: VerifyAnalysis, lint: LintReport):
+        self.analysis = analysis
+        self.lint = lint
+
+    @property
+    def layer_name(self) -> str:
+        return self.analysis.layer_name
+
+    @property
+    def diagnostics(self) -> LintReport:
+        return self.lint
+
+    def clean(self) -> bool:
+        return self.lint.clean
+
+    def has_at_least(self, threshold: Severity) -> bool:
+        return self.lint.has_at_least(threshold)
+
+    def summary(self) -> str:
+        mask = len(self.analysis.prune_mask())
+        return (f"{self.lint.summary()}; {len(self.analysis.proofs)} "
+                f"dead-branch proof(s) ({mask} maskable), "
+                f"{len(self.analysis.unsat_cores)} unsat core(s), "
+                f"{len(self.analysis.strata)} stratum/strata")
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        a = self.analysis
+        lines: List[str] = [f"verify report for layer {a.layer_name!r} "
+                            f"(epoch {a.epoch})"]
+        if a.start:
+            lines.append(f"  start: {a.start}")
+        if a.requirements:
+            lines.append("  requirements: " + ", ".join(
+                f"{n}={v!r}" for n, v in a.requirements))
+        lines.append("")
+        lines.append(self.lint.render_text())
+        narrowing = [(q, r) for q, r in sorted(a.regions.items())
+                     if r.narrowed or r.merit_intervals or r.empty]
+        if narrowing:
+            lines.append("")
+            lines.append("feasible regions:")
+            for qname, region in narrowing:
+                tag = " EMPTY" if region.empty else ""
+                lines.append(f"  {qname}: {region.core_count} core(s){tag}")
+                for name in region.narrowed:
+                    lines.append(f"    {name} in "
+                                 f"{describe(region.properties[name])}")
+                for metric, iv in sorted(region.merit_intervals.items()):
+                    lines.append(f"    merit {metric} in {iv.describe()}")
+                if region.widened:
+                    lines.append("    widened: "
+                                 + ", ".join(region.widened))
+        if a.strata:
+            lines.append("")
+            lines.append("constraint strata (independent -> dependent):")
+            for stratum in a.strata:
+                flag = "  [widening-unstable]" if stratum.unstable else ""
+                lines.append(f"  {stratum.index}: "
+                             f"{', '.join(stratum.properties)} "
+                             f"(fan-out {stratum.fan_out}){flag}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "analysis": self.analysis.to_dict(),
+            "diagnostics": self.lint.to_dict(),
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VerifyReport {self.layer_name} {self.summary()}>"

@@ -175,6 +175,22 @@ class ExplorationShell(cmd.Cmd):
             self._say(report.render_text())
         self._guard(action)
 
+    def do_verify(self, _arg: str) -> None:
+        """verify — semantic verification from the current position:
+        dead-branch proofs, unsat cores for the entered requirements,
+        and the constraint stratification report."""
+        def action():
+            session = self.session
+            report = session.layer.verify(
+                requirements=tuple(session.requirement_values.items()),
+                start=session.current_cdo.qualified_name)
+            self._say(report.render_text())
+            for core in report.analysis.unsat_cores:
+                self._say(f"fix-it: region {core.region}:")
+                for hint in core.hints:
+                    self._say(f"  - {hint}")
+        self._guard(action)
+
     def do_explore(self, arg: str) -> None:
         """explore [STRATEGY] [key=value ...] — automated search from the
         current position (requirements and decisions carried over).

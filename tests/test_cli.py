@@ -157,6 +157,58 @@ class TestLint:
         assert "duplicate-sibling-names" in out
 
 
+class TestVerify:
+    OMM_H = "Operator.Modular.Multiplier.Hardware"
+
+    def test_crypto_verifies_clean_at_default_threshold(self, capsys):
+        code, out, _err = run_cli(capsys, "verify", "--layer", "crypto")
+        assert code == 0
+        assert "verify report for layer 'crypto'" in out
+        assert "constraint strata" in out
+
+    def test_fail_on_info_flips_exit_code(self, capsys):
+        # The verifier proves dead branches on both bundled layers, so
+        # info-level DSL100/DSL101 findings always exist.
+        code, out, _err = run_cli(capsys, "verify", "--layer", "crypto",
+                                  "--fail-on", "info")
+        assert code == 1
+        assert "DSL100" in out
+
+    def test_infeasible_requirements_fail_with_fixit_hints(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "verify", "--layer", "crypto",
+            "--require", "ModuloIsOdd=notGuaranteed",
+            "--start", self.OMM_H)
+        assert code == 1
+        assert "DSL103" in out
+        assert f"fix-it: region {self.OMM_H}:" in out
+        assert "relax or drop requirement ModuloIsOdd" in out
+        assert "constraint CC1" in out
+
+    def test_idct_json_format(self, capsys):
+        code, out, _err = run_cli(capsys, "verify", "--layer", "idct",
+                                  "--format", "json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["analysis"]["layer"] == "idct"
+        assert len(data["analysis"]["dead_branches"]) == 11
+        assert data["diagnostics"]["summary"]["error"] == 0
+
+    def test_output_flag_writes_json_file(self, capsys, tmp_path):
+        target = tmp_path / "verify.json"
+        code, out, _err = run_cli(capsys, "verify", "--layer", "idct",
+                                  "--json", "--output", str(target))
+        assert code == 0
+        assert f"wrote {target}" in out
+        assert json.loads(target.read_text())["analysis"]["layer"] == "idct"
+
+    def test_bad_require_binding_is_an_error(self, capsys):
+        code, _out, err = run_cli(capsys, "verify", "--layer", "crypto",
+                                  "--require", "oops")
+        assert code == 2
+        assert "expected Name=value" in err
+
+
 @pytest.fixture(scope="module")
 def trace_file(tmp_path_factory):
     """One recorded crypto exploration shared by the trace tests."""

@@ -126,6 +126,16 @@ class TestConstraintSet:
         with pytest.raises(ConstraintError):
             ConstraintSet().get("nope")
 
+    def test_iteration_is_sorted_by_name(self):
+        # Stable, insertion-order-independent iteration: verifier and
+        # linter output depend on it being deterministic.
+        shuffled = ConstraintSet([make_cc(name="CC-z"), make_cc(name="CC-a"),
+                                  make_cc(name="CC-m")])
+        ordered = ConstraintSet([make_cc(name="CC-a"), make_cc(name="CC-m"),
+                                 make_cc(name="CC-z")])
+        assert [c.name for c in shuffled] == ["CC-a", "CC-m", "CC-z"]
+        assert [c.name for c in shuffled] == [c.name for c in ordered]
+
     def test_applicable_filter(self):
         root, hw, sw = make_tree()
         cs = ConstraintSet([make_cc()])

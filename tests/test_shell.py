@@ -144,6 +144,24 @@ class TestLintCommand:
         assert "error:" in out and "unknown rule" in out
 
 
+class TestVerifyCommand:
+    def test_verify_reports_from_the_root(self):
+        _shell, out = drive("verify\nquit\n")
+        assert "verify report for layer 'widgets'" in out
+
+    def test_verify_is_scoped_to_the_current_position(self):
+        _shell, out = drive(
+            "require Width=64\ndecide Style=hw\nverify\nquit\n")
+        assert "start: Widget.hw" in out
+        assert "requirements: Width=64" in out
+        # The sw subtree's findings are out of scope below Widget.hw.
+        assert "Widget.sw" not in out.split("verify report")[1]
+
+    def test_verify_renders_empty_region_findings(self):
+        _shell, out = drive("require Width=64\nverify\nquit\n")
+        assert "DSL101" in out
+
+
 class TestTraceCommand:
     def test_status_off_by_default(self):
         _shell, out = drive("trace\nquit\n")

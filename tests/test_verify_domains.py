@@ -1,0 +1,147 @@
+"""The verifier's abstract value lattice and domain abstraction."""
+
+import pytest
+
+from repro.core.values import (
+    AnyDomain,
+    DivisorDomain,
+    EnumDomain,
+    IntRange,
+    PowerOfTwoDomain,
+    PredicateDomain,
+    RealRange,
+)
+from repro.core.verify.domains import (
+    MAX_FINITE,
+    TOP,
+    FiniteSet,
+    Interval,
+    abstract_of,
+    describe,
+    finite_values,
+    is_empty,
+    join,
+    meet,
+)
+
+INF = float("inf")
+
+
+class TestLatticeElements:
+    def test_top_is_a_singleton(self):
+        assert type(TOP)() is TOP
+        assert describe(TOP) == "any"
+        assert not is_empty(TOP)
+
+    def test_interval_membership_and_emptiness(self):
+        iv = Interval(2.0, 8.0)
+        assert iv.contains(2) and iv.contains(8) and iv.contains(3.5)
+        assert not iv.contains(9)
+        assert not iv.contains("8")          # non-numeric never a member
+        assert not iv.contains(True)         # bools are not numbers here
+        assert not iv.is_empty
+        assert Interval(3.0, 1.0).is_empty
+        assert describe(Interval(3.0, 1.0)) == "empty"
+        assert describe(Interval(2.0, 8.0)) == "[2, 8]"
+        assert describe(Interval(-INF, 8.0)) == "[-inf, 8]"
+
+    def test_finite_set_dedups_and_sorts(self):
+        fs = FiniteSet((3, 1, 3, 2, 1))
+        assert fs.values == (1, 2, 3)
+        assert fs.contains(2) and not fs.contains(4)
+        assert describe(fs) == "{1, 2, 3}"
+        assert FiniteSet(()).is_empty
+        assert describe(FiniteSet(())) == "empty"
+
+    def test_finite_set_dedup_is_type_exact(self):
+        # 1 == 1.0 but the set keeps both: collapsing them would change
+        # which concrete values a constraint sees.
+        fs = FiniteSet((1, 1.0))
+        assert len(fs.values) == 2
+
+
+class TestMeet:
+    def test_top_is_the_identity(self):
+        iv = Interval(0.0, 4.0)
+        assert meet(TOP, iv) == iv
+        assert meet(iv, TOP) == iv
+        assert meet(TOP, TOP) is TOP
+
+    def test_intervals_intersect(self):
+        assert meet(Interval(0.0, 4.0), Interval(2.0, 9.0)) == Interval(2.0, 4.0)
+        assert is_empty(meet(Interval(0.0, 1.0), Interval(2.0, 3.0)))
+
+    def test_finite_sets_intersect(self):
+        out = meet(FiniteSet((1, 2, 3)), FiniteSet((2, 3, 4)))
+        assert out == FiniteSet((2, 3))
+
+    def test_mixed_keeps_members_inside_the_interval(self):
+        out = meet(FiniteSet((1, 5, "x")), Interval(2.0, 9.0))
+        assert out == FiniteSet((5,))
+        assert meet(Interval(2.0, 9.0), FiniteSet((1, 5))) == FiniteSet((5,))
+
+
+class TestJoin:
+    def test_top_absorbs(self):
+        assert join(TOP, Interval(0.0, 1.0)) is TOP
+        assert join(FiniteSet((1,)), TOP) is TOP
+
+    def test_intervals_hull(self):
+        assert join(Interval(0.0, 2.0), Interval(5.0, 9.0)) == Interval(0.0, 9.0)
+        assert join(Interval(3.0, 1.0), Interval(5.0, 9.0)) == Interval(5.0, 9.0)
+
+    def test_finite_sets_union(self):
+        assert join(FiniteSet((1, 2)), FiniteSet((2, 3))) == FiniteSet((1, 2, 3))
+
+    def test_mixed_numeric_hulls(self):
+        assert join(FiniteSet((1, 12)), Interval(3.0, 9.0)) == Interval(1.0, 12.0)
+        assert join(FiniteSet(()), Interval(3.0, 9.0)) == Interval(3.0, 9.0)
+
+    def test_mixed_non_numeric_widens(self):
+        assert join(FiniteSet(("a",)), Interval(0.0, 1.0)) is TOP
+
+
+class TestAbstractOf:
+    def test_enum_is_finite(self):
+        assert abstract_of(EnumDomain(["a", "b"])) == FiniteSet(("a", "b"))
+
+    def test_ranges_are_intervals(self):
+        assert abstract_of(IntRange(1, 10)) == Interval(1.0, 10.0)
+        assert abstract_of(IntRange(1)) == Interval(1.0, INF)
+        assert abstract_of(RealRange(0.5, 2.5)) == Interval(0.5, 2.5)
+
+    def test_power_of_two_resolves_through_context(self):
+        domain = PowerOfTwoDomain(max_value="EOL")
+        assert abstract_of(domain, {"EOL": 16}) == FiniteSet((2, 4, 8, 16))
+        # Unbound symbolic cap: sound but imprecise.
+        assert abstract_of(domain, {}) == Interval(2.0, INF)
+
+    def test_divisors_resolve_through_context(self):
+        domain = DivisorDomain("EOL")
+        assert abstract_of(domain, {"EOL": 12}) == FiniteSet((1, 2, 3, 4, 6, 12))
+        assert abstract_of(domain, {}) == Interval(1.0, INF)
+
+    def test_unstructured_domains_widen_to_top(self):
+        assert abstract_of(PredicateDomain(lambda v, c: True, "p")) is TOP
+        assert abstract_of(AnyDomain()) is TOP
+
+
+class TestFiniteValues:
+    def test_enum_and_small_int_range_enumerate_completely(self):
+        assert finite_values(EnumDomain([2, 4])) == (2, 4)
+        assert finite_values(IntRange(3, 6)) == (3, 4, 5, 6)
+
+    def test_large_or_unbounded_ranges_refuse(self):
+        assert finite_values(IntRange(1)) is None
+        assert finite_values(IntRange(0, MAX_FINITE + 1)) is None
+
+    def test_parametric_domains_enumerate_under_context(self):
+        assert finite_values(PowerOfTwoDomain(max_value="EOL"),
+                             {"EOL": 8}) == (2, 4, 8)
+        assert finite_values(PowerOfTwoDomain(max_value="EOL"), {}) is None
+        assert finite_values(DivisorDomain("N"), {"N": 6}) == (1, 2, 3, 6)
+        assert finite_values(DivisorDomain("N"), {}) is None
+
+    def test_unstructured_domains_refuse(self):
+        assert finite_values(AnyDomain()) is None
+        assert finite_values(PredicateDomain(lambda v, c: True, "p")) is None

@@ -1,0 +1,214 @@
+"""Soundness of the semantic verifier, property-tested.
+
+The load-bearing claims of `repro.core.verify` (ISSUE acceptance):
+
+1. **No false dead branches** — every :class:`DeadBranchProof` is
+   validated against the live session machinery: attempting the proved
+   decision either raises, or an exhaustive descent below it reaches no
+   terminal with surviving cores.
+2. **Masking never changes the frontier** — handing
+   ``VerifyAnalysis.prune_mask()`` to the exploration engine as
+   ``ExplorationProblem(dead_mask=...)`` yields a byte-identical
+   frontier digest for both exhaustive and branch-and-bound search.
+
+Hypothesis generates small random layers carrying an
+:class:`InconsistentOptions` constraint gated on a given requirement —
+the same shape as the crypto layer's CC1 (odd modulo vs Montgomery) —
+so both `rejected-decision` and `empty-region` proofs occur.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClassOfDesignObjects,
+    DesignIssue,
+    DesignObject,
+    DesignSpaceLayer,
+    EnumDomain,
+    ExplorationProblem,
+    ExplorationSession,
+    ReuseLibrary,
+    Requirement,
+)
+from repro.core.constraints import ConsistencyConstraint
+from repro.core.explore import explore
+from repro.core.relations import InconsistentOptions
+from repro.core.verify import analyze_layer
+from repro.domains.crypto import build_crypto_layer
+from repro.errors import ConstraintViolation, SessionError
+
+METRICS = ("area", "latency_ns")
+MODES = (0, 1, 2)
+CAPS = ("lo", "hi")
+
+
+def constrained_layer(seed: int) -> DesignSpaceLayer:
+    """A random hierarchy whose constraint forbids (Cap, Mode) pairs.
+
+    With ``Cap`` entered as a requirement the verifier's guaranteed
+    pools are complete, so forbidden modes become `rejected-decision`
+    proofs; modes no random core happens to implement become
+    `empty-region` proofs.
+    """
+    rng = random.Random(seed)
+    layer = DesignSpaceLayer(f"vrand-{seed}", "hypothesis layer")
+    root = ClassOfDesignObjects("R", "root")
+    root.add_property(Requirement(
+        "Cap", EnumDomain(list(CAPS)), "capability class"))
+    families = [f"f{i}" for i in range(rng.randint(2, 3))]
+    root.add_property(DesignIssue(
+        "G", EnumDomain(families), "family", generalized=True))
+    layer.add_root(root)
+    for family in families:
+        child = root.specialize(family)
+        child.add_property(DesignIssue(
+            "Mode", EnumDomain(list(MODES)), "mode"))
+    forbidden = frozenset((c, m) for c in CAPS for m in MODES
+                          if rng.random() < 0.3)
+    layer.add_constraint(ConsistencyConstraint(
+        name="CC-cap", doc="capability class forbids some modes",
+        independents={"c": "Cap@R"},
+        dependents={"m": "Mode@R.*"},
+        relation=InconsistentOptions(
+            lambda b, forbidden=forbidden: (b["c"], b["m"]) in forbidden,
+            "mode unavailable in this capability class",
+            requires=("c", "m"))))
+    library = ReuseLibrary("vrand-lib", "random cores")
+    cid = 0
+    for family in families:
+        for _ in range(rng.randint(2, 4)):
+            library.add(DesignObject(
+                f"c{cid}", f"R.{family}", {"Mode": rng.choice(MODES)},
+                {"area": float(rng.randint(1, 40)),
+                 "latency_ns": float(rng.randint(1, 40))}))
+            cid += 1
+    layer.attach_library(library)
+    layer.validate()
+    return layer
+
+
+def any_surviving_terminal(session: ExplorationSession) -> bool:
+    """Exhaustively descend: does any terminal below keep survivors?"""
+    issues = session.addressable_issues()
+    if not issues:
+        return bool(session.candidates())
+    issue = issues[0]
+    for info in session.available_options(issue.name):
+        try:
+            session.decide(issue.name, info.option)
+        except (ConstraintViolation, SessionError):
+            continue
+        try:
+            if any_surviving_terminal(session):
+                return True
+        finally:
+            session.undo()
+    return False
+
+
+def assert_proof_is_dead(layer, proof, requirements):
+    """The live-session oracle for one proof: deciding the proved
+    option must raise, or leave no reachable terminal with survivors."""
+    session = ExplorationSession(layer, proof.cdo)
+    for name, value in requirements:
+        session.set_requirement(name, value)
+    try:
+        session.decide(proof.issue, proof.option)
+    except (ConstraintViolation, SessionError):
+        return  # dynamically rejected, exactly as proved
+    assert not any_surviving_terminal(session), (
+        f"false dead branch: {proof}")
+
+
+class TestProofsAreSound:
+    @given(st.integers(min_value=0, max_value=9999),
+           st.sampled_from(CAPS))
+    @settings(max_examples=25, deadline=None)
+    def test_no_proof_is_a_false_dead_branch(self, seed, cap):
+        layer = constrained_layer(seed)
+        requirements = (("Cap", cap),)
+        analysis = analyze_layer(layer, requirements=requirements)
+        for proof in analysis.proofs:
+            assert_proof_is_dead(layer, proof, requirements)
+
+    @given(st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=15, deadline=None)
+    def test_no_requirement_proofs_are_sound_too(self, seed):
+        layer = constrained_layer(seed)
+        for proof in analyze_layer(layer).proofs:
+            assert_proof_is_dead(layer, proof, ())
+
+
+class TestMaskedFrontierIdentity:
+    @given(st.integers(min_value=0, max_value=9999),
+           st.sampled_from(CAPS))
+    @settings(max_examples=25, deadline=None)
+    def test_masked_digest_byte_identical(self, seed, cap):
+        layer = constrained_layer(seed)
+        requirements = (("Cap", cap),)
+        mask = analyze_layer(layer, requirements=requirements).prune_mask()
+        for strategy in ("exhaustive", "bnb"):
+            base = dict(start="R", metrics=METRICS, layer=layer,
+                        requirements=requirements)
+            full = explore(ExplorationProblem(**base), strategy=strategy)
+            masked = explore(ExplorationProblem(**base, dead_mask=mask),
+                             strategy=strategy)
+            assert masked.frontier.digest() == full.frontier.digest()
+            assert masked.frontier.outcomes() == full.frontier.outcomes()
+
+    def test_mask_actually_fires(self):
+        # A fixture seed where both proof kinds occur and the masked
+        # search provably skips branches without losing any outcome.
+        layer = constrained_layer(7)
+        requirements = (("Cap", "lo"),)
+        analysis = analyze_layer(layer, requirements=requirements)
+        kinds = {p.kind for p in analysis.proofs}
+        assert "rejected-decision" in kinds
+        assert "empty-region" in kinds
+        mask = analysis.prune_mask()
+        base = dict(start="R", metrics=METRICS, layer=layer,
+                    requirements=requirements)
+        full = explore(ExplorationProblem(**base), strategy="exhaustive")
+        masked = explore(ExplorationProblem(**base, dead_mask=mask),
+                         strategy="exhaustive")
+        assert masked.stats.pruned.get("proved-dead", 0) > 0
+        assert masked.frontier.digest() == full.frontier.digest()
+        assert len(masked.frontier) > 0
+
+    def test_estimator_disables_the_mask(self):
+        # Estimated outcomes are not covered by the proofs, so a
+        # problem with an estimator must ignore the mask entirely.
+        layer = constrained_layer(7)
+        requirements = (("Cap", "lo"),)
+        mask = analyze_layer(layer, requirements=requirements).prune_mask()
+        assert mask
+
+        def estimator(session):
+            return {"area": 1.0, "latency_ns": 1.0}
+
+        base = dict(start="R", metrics=METRICS, layer=layer,
+                    requirements=requirements, estimator=estimator)
+        full = explore(ExplorationProblem(**base), strategy="exhaustive")
+        masked = explore(ExplorationProblem(**base, dead_mask=mask),
+                         strategy="exhaustive")
+        assert masked.stats.pruned.get("proved-dead", 0) == 0
+        assert masked.frontier.digest() == full.frontier.digest()
+
+
+class TestCryptoLayerMask:
+    def test_masked_bnb_matches_exhaustive_on_the_case_study(self):
+        layer = build_crypto_layer()
+        requirements = (("EffectiveOperandLength", 768),)
+        mask = analyze_layer(layer, requirements=requirements).prune_mask()
+        assert mask
+        base = dict(start="Operator.Modular.Multiplier",
+                    metrics=METRICS, layer=layer,
+                    requirements=requirements)
+        full = explore(ExplorationProblem(**base), strategy="exhaustive")
+        for strategy in ("exhaustive", "bnb"):
+            masked = explore(ExplorationProblem(**base, dead_mask=mask),
+                             strategy=strategy)
+            assert masked.frontier.digest() == full.frontier.digest()
+            assert masked.stats.pruned.get("proved-dead", 0) > 0
