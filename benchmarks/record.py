@@ -9,6 +9,9 @@
   no-op-recorder baseline vs the same walk with a
   :class:`~repro.core.obs.recorder.TraceRecorder` attached, plus the
   min-over-min ratio the CI overhead gate enforces (< 1.10);
+* exploration parallelism on the 50k synthetic layer — serial vs a warm
+  snapshot-hydrated worker pool, plus the jobs 1/2/4 ``parallel_scaling``
+  sweep (chunked vs per-task dispatch, snapshot capture/hydrate cost);
 * the semantic verifier on a 5k-core synthetic layer — a cold analysis
   vs a warm epoch-cached re-verify (gate: warm < 5% of cold).
 
@@ -132,7 +135,7 @@ def explore_measurements(num_cores: int = 50000, repeat: int = 3,
     """
     from test_bench_explore import available_cpus, exploration_problem
 
-    from repro.core.explore import explore
+    from repro.core.explore import WorkerPool, explore
 
     problem = exploration_problem(num_cores)
     explore(problem, strategy="exhaustive")  # warm-up (index build)
@@ -141,12 +144,18 @@ def explore_measurements(num_cores: int = 50000, repeat: int = 3,
     beam = explore(problem, strategy="beam", width=2)
     serial = _runs(lambda: explore(problem, strategy="exhaustive"), repeat)
     parallel_results = []
+    pool = None
 
     def run_parallel():
         parallel_results.append(explore(
-            problem, strategy="exhaustive", jobs=jobs, backend="process"))
+            problem, strategy="exhaustive", pool=pool))
 
-    parallel = _runs(run_parallel, repeat)
+    with WorkerPool(jobs=jobs, backend="process",
+                    snapshot=problem.snapshot) as pool:
+        pool.warm()
+        run_parallel()  # warm workers (snapshot hydration)
+        parallel_results.clear()
+        parallel = _runs(run_parallel, repeat)
     digests = {full.frontier.digest(), bnb.frontier.digest()}
     digests.update(r.frontier.digest() for r in parallel_results)
     if len(digests) != 1:
@@ -168,6 +177,68 @@ def explore_measurements(num_cores: int = 50000, repeat: int = 3,
         "serial": serial,
         "parallel": parallel,
         "speedup": min(serial) / min(parallel),
+    }
+
+
+def parallel_scaling_measurements(num_cores: int = 50000, repeat: int = 2,
+                                  ) -> Dict[str, object]:
+    """Scaling sweep of the snapshot-hydrated worker pool.
+
+    Measures snapshot capture/hydrate cost once, then explores at
+    ``jobs`` 1/2/4 on warm persistent pools — chunked (default sizing)
+    and per-task (``chunk_size=1``, the old one-branch-per-submit
+    shape) at the widest point.  Every sweep's frontier digest must
+    match; speedups are min-over-min against the jobs=1 run.
+    """
+    from test_bench_explore import (
+        available_cpus,
+        bench_layer,
+        exploration_problem,
+    )
+
+    from repro.core.explore import WorkerPool, explore
+
+    layer = bench_layer(num_cores)
+    t0 = time.perf_counter()
+    snapshot = layer.snapshot()
+    capture_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    snapshot.hydrate()
+    hydrate_s = time.perf_counter() - t0
+
+    problem = exploration_problem(num_cores)
+    explore(problem, strategy="exhaustive")  # warm-up (index build)
+    sweeps: List[Dict[str, object]] = []
+    base_min: Optional[float] = None
+    for jobs, chunk_size, dispatch in ((1, None, "serial"),
+                                       (2, None, "chunked"),
+                                       (4, None, "chunked"),
+                                       (4, 1, "per-task")):
+        with WorkerPool(jobs=jobs, backend="process", snapshot=snapshot,
+                        chunk_size=chunk_size) as pool:
+            if jobs > 1:
+                pool.warm()
+                explore(problem, pool=pool)  # warm workers (hydration)
+            results: List[object] = []
+            runs = _runs(lambda: results.append(
+                explore(problem, pool=pool)), repeat)
+        if base_min is None:
+            base_min = min(runs)
+        sweeps.append({
+            "jobs": jobs,
+            "dispatch": dispatch,
+            "runs": [round(r, 6) for r in runs],
+            "min": round(min(runs), 6),
+            "speedup": round(base_min / min(runs), 4),
+            "digest": results[-1].frontier.digest(),
+        })
+    return {
+        "num_cores": num_cores,
+        "cpus": available_cpus(),
+        "snapshot_bytes": snapshot.size_bytes,
+        "capture_s": round(capture_s, 6),
+        "hydrate_s": round(hydrate_s, 6),
+        "sweeps": sweeps,
     }
 
 
@@ -208,6 +279,8 @@ def collect(repeat: int, num_cores: int) -> Dict[str, object]:
     crypto = crypto_walk_runs(repeat)
     overhead = overhead_measurements(num_cores, repeat)
     exploration = explore_measurements(num_cores, max(repeat - 2, 1))
+    scaling = parallel_scaling_measurements(
+        num_cores, max(repeat - 3, 2))
     verify = verify_measurements(min(num_cores, 5000), repeat)
     return {
         "generated": time.strftime("%Y-%m-%d"),
@@ -242,6 +315,7 @@ def collect(repeat: int, num_cores: int) -> Dict[str, object]:
                 exploration["parallel"]),
             "speedup_min_over_min": round(exploration["speedup"], 4),
         },
+        "parallel_scaling": scaling,
         "verify": {
             "num_cores": verify["num_cores"],
             "proofs": verify["proofs"],

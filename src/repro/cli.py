@@ -226,14 +226,21 @@ def _automated_explore(args: argparse.Namespace) -> int:
                        generations=args.generations)
     elif args.strategy == "beam":
         options["width"] = args.beam_width
-    engine = ExplorationEngine(problem, strategy=args.strategy,
-                               jobs=args.jobs, backend=args.backend,
-                               strategy_options=options)
-    result = engine.run()
+    with ExplorationEngine(problem, strategy=args.strategy,
+                           jobs=args.jobs, backend=args.backend,
+                           strategy_options=options,
+                           chunk_size=getattr(args, "chunk_size", None),
+                           keep_pool=getattr(args, "keep_pool", False)
+                           ) as engine:
+        result = engine.run()
     if getattr(args, "json", False):
         _emit_json(args, result.to_dict())
     else:
         _emit(args, result.render_text(limit=args.top))
+    if (result.pool or {}).get("rebuilds"):
+        print("note: workers rebuilt the layer per task; attach a "
+              "LayerSnapshot (problem.snapshot) or a cacheable "
+              "layer_factory for one-time hydration", file=sys.stderr)
     if args.trace:
         from repro.core.obs import write_jsonl
         events = layer.observer.events
@@ -477,8 +484,19 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--jobs", type=int, default=1,
                         help="parallel branch evaluators (1 = serial)")
     engine.add_argument("--backend", default="thread",
-                        choices=("thread", "process"),
-                        help="worker pool backend for --jobs > 1")
+                        choices=("thread", "process", "async"),
+                        help="worker pool backend for --jobs > 1 "
+                             "(async overlaps estimator-bound branches "
+                             "on one event loop)")
+    engine.add_argument("--chunk-size", type=int, default=None,
+                        metavar="N",
+                        help="branches per dispatched chunk (default: "
+                             "tasks // (jobs * 4); idle workers steal "
+                             "pending chunks)")
+    engine.add_argument("--keep-pool", action="store_true",
+                        help="keep the worker pool (and its hydrated "
+                             "layers) warm until the command exits "
+                             "instead of closing it after the dispatch")
     engine.add_argument("--seed", type=int, default=0,
                         help="evolutionary strategy seed (deterministic)")
     engine.add_argument("--beam-width", type=int, default=4,

@@ -49,7 +49,9 @@ from repro.core.explore import (
     ExplorationStats,
     Outcome,
     ParetoFrontier,
+    PoolStats,
     SearchStrategy,
+    WorkerPool,
     make_strategy,
 )
 from repro.core.index import CoreIndex, IndexedPruneReport
@@ -115,9 +117,11 @@ from repro.core.reporting import (
     render_table,
 )
 from repro.core.serialize import (
+    LayerSnapshot,
     SerializationError,
     layer_from_dict,
     layer_to_dict,
+    register_hydrator,
 )
 from repro.core.obs import (
     MetricsRegistry,
@@ -166,7 +170,8 @@ __all__ = [
     "CoreQuery", "QueryError",
     "LayerDiff", "MeritDelta", "diff_layers",
     "attach_alternative_hierarchy", "reindex", "reindexed_core",
-    "SerializationError", "layer_from_dict", "layer_to_dict",
+    "LayerSnapshot", "SerializationError", "layer_from_dict",
+    "layer_to_dict", "register_hydrator",
     "SensitivityReport", "SweepPoint", "sweep_requirement",
     "IssueImpact", "advise", "assess_issue",
     "Diagnostic", "LintConfig", "LintReport", "LintRule", "RuleRegistry",
@@ -174,6 +179,6 @@ __all__ = [
     "BeamStrategy", "BranchAndBoundStrategy", "BranchEvaluator",
     "EvolutionaryStrategy", "ExhaustiveStrategy",
     "ExplorationEngine", "ExplorationProblem", "ExplorationResult",
-    "ExplorationStats", "Outcome", "ParetoFrontier", "SearchStrategy",
-    "make_strategy",
+    "ExplorationStats", "Outcome", "ParetoFrontier", "PoolStats",
+    "SearchStrategy", "WorkerPool", "make_strategy",
 ]

@@ -6,9 +6,10 @@ loop and drives those decisions automatically: pluggable search
 strategies (exhaustive, branch-and-bound, beam, evolutionary) walk
 :class:`~repro.core.session.ExplorationSession` objects, terminal
 outcomes accumulate on a :class:`ParetoFrontier`, and independent
-branches can be evaluated in parallel by a :class:`BranchEvaluator`
-worker pool.  See ``docs/exploration.md`` for the strategy catalogue
-and the parallelism model.
+branches can be evaluated in parallel by a persistent, snapshot-hydrated
+:class:`WorkerPool` with chunked work stealing.  See
+``docs/exploration.md`` for the strategy catalogue and the parallelism
+model.
 """
 
 from repro.core.explore.engine import (
@@ -25,10 +26,16 @@ from repro.core.explore.outcome import (
     weighted_sum,
 )
 from repro.core.explore.parallel import (
+    BACKENDS,
     BranchEvaluator,
     BranchResult,
     BranchTask,
+    DispatchStats,
+    PoolStats,
+    WorkerPool,
+    chunk_count,
     evaluate_branch,
+    evaluate_chunk,
 )
 from repro.core.explore.problem import ExplorationProblem
 from repro.core.explore.strategies import (
@@ -42,12 +49,14 @@ from repro.core.explore.strategies import (
 )
 
 __all__ = [
+    "BACKENDS",
     "ESTIMATED",
     "BeamStrategy",
     "BranchAndBoundStrategy",
     "BranchEvaluator",
     "BranchResult",
     "BranchTask",
+    "DispatchStats",
     "EvolutionaryStrategy",
     "ExhaustiveStrategy",
     "ExplorationEngine",
@@ -56,10 +65,14 @@ __all__ = [
     "ExplorationStats",
     "Outcome",
     "ParetoFrontier",
+    "PoolStats",
     "STRATEGIES",
     "SearchContext",
     "SearchStrategy",
+    "WorkerPool",
+    "chunk_count",
     "evaluate_branch",
+    "evaluate_chunk",
     "explore",
     "make_strategy",
     "weighted_sum",

@@ -9,18 +9,30 @@ trace events (``explore_start``, ``branch_open``, ``branch_pruned``,
 ``frontier_update``) along the way.
 
 With ``jobs > 1`` the engine fans the root issue's branches out to a
-:class:`~repro.core.explore.parallel.BranchEvaluator` worker pool; each
-worker searches its branch on its own session and the results are merged
-in dispatch order, so the frontier is deterministic and independent of
-worker scheduling.  The evolutionary strategy parallelizes as islands
-instead: ``jobs`` independent populations seeded ``seed .. seed+jobs-1``.
+:class:`~repro.core.explore.parallel.WorkerPool`; each worker searches
+its branch on its own session and the results are merged in dispatch
+order, so the frontier is deterministic and independent of worker
+scheduling.  Strategies whose ``parallel_mode`` is ``"islands"`` (the
+evolutionary one) parallelize as ``jobs`` independent populations seeded
+``seed .. seed+jobs-1`` instead.  Pass a pre-built pool — or set
+``keep_pool=True`` — to reuse warmed workers and their hydrated layers
+across ``run()`` calls; otherwise the engine spins up an ephemeral pool
+per run and closes it afterwards.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.explore.outcome import (
     ESTIMATED,
@@ -29,7 +41,6 @@ from repro.core.explore.outcome import (
 )
 from repro.core.explore.problem import ExplorationProblem
 from repro.core.explore.strategies import (
-    EvolutionaryStrategy,
     SearchStrategy,
     make_strategy,
 )
@@ -44,6 +55,9 @@ from repro.errors import (
     PropertyError,
     SessionError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.explore.parallel import WorkerPool
 
 #: Checkpoint tag marking the context's root position (problem prefix
 #: applied, nothing decided by the strategy yet).
@@ -282,6 +296,9 @@ class ExplorationResult:
     jobs: int = 1
     backend: str = "thread"
     elapsed_s: float = 0.0
+    #: Parallel dispatch accounting (chunks, steals, hydrations, worker
+    #: utilization) from the pool's last dispatch; None on serial runs.
+    pool: Optional[Dict[str, object]] = None
 
     def to_dict(self, include_timing: bool = False) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -292,12 +309,18 @@ class ExplorationResult:
             "frontier": self.frontier.to_dict(),
             "digest": self.frontier.digest(),
         }
+        if self.pool is not None:
+            out["pool"] = dict(self.pool)
         if include_timing:
             out["elapsed_s"] = self.elapsed_s
         return out
 
     def render_text(self, limit: int = 10) -> str:
-        """Deterministic report (no wall-clock times)."""
+        """Report; deterministic (no wall-clock times) for serial runs.
+
+        Parallel runs append a pool footer whose steal / hydration
+        figures depend on worker scheduling.
+        """
         lines = [f"Exploration [{self.strategy}] "
                  f"jobs={self.jobs} ({self.backend})",
                  f"  {self.stats.describe()}",
@@ -311,18 +334,60 @@ class ExplorationResult:
                              f"[score {score:g}]")
             else:
                 lines.append(f"  best (weighted): {best.describe()}")
+        if self.pool is not None:
+            p = self.pool
+
+            def num(key: str) -> float:
+                value = p.get(key, 0)
+                return float(value) if isinstance(value, (int, float)) \
+                    else 0.0
+
+            bits = [f"pool: workers={p.get('workers', self.jobs)}",
+                    f"chunks={p.get('chunks', 0)}"
+                    f"(x{p.get('chunk_size', 0)})",
+                    f"steals={p.get('steals', 0)}",
+                    f"hydrates={p.get('hydrates', 0)}"
+                    f" ({p.get('hydrate_ms', 0)} ms)"]
+            if num("utilization"):
+                bits.append(f"utilization={num('utilization'):.0%}")
+            lines.append("  " + " ".join(bits))
+            rebuilds = int(num("rebuilds"))
+            if rebuilds:
+                lines.append(
+                    f"  warning: {rebuilds} per-task layer rebuild(s) — "
+                    "the layer_factory is not cacheable; attach a "
+                    "LayerSnapshot to the problem")
         return "\n".join(lines)
 
 
 class ExplorationEngine:
-    """Drives one problem with one strategy, optionally in parallel."""
+    """Drives one problem with one strategy, optionally in parallel.
+
+    ``pool`` lends the engine a caller-owned
+    :class:`~repro.core.explore.parallel.WorkerPool` (never closed by
+    the engine); ``keep_pool=True`` makes the engine build its own on
+    the first parallel run and keep it warm until :meth:`close` (the
+    engine is a context manager for exactly this).  Without either, each
+    parallel ``run()`` uses an ephemeral pool.
+    """
 
     def __init__(self, problem: ExplorationProblem,
                  strategy: str = "exhaustive", jobs: int = 1,
                  backend: str = "thread",
-                 strategy_options: Optional[Mapping[str, object]] = None):
+                 strategy_options: Optional[Mapping[str, object]] = None,
+                 chunk_size: Optional[int] = None,
+                 pool: Optional["WorkerPool"] = None,
+                 keep_pool: bool = False):
+        from repro.core.explore.parallel import BACKENDS
+
         if jobs < 1:
             raise ExplorationError(f"jobs must be >= 1, got {jobs}")
+        if backend not in BACKENDS:
+            raise ExplorationError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ExplorationError(
+                f"chunk size must be >= 1, got {chunk_size}")
         self.problem = problem
         self.strategy_name = strategy
         self.strategy_options: Dict[str, object] = dict(strategy_options or {})
@@ -330,8 +395,47 @@ class ExplorationEngine:
         # construction, not inside a worker.
         self._strategy: SearchStrategy = make_strategy(
             strategy, **self.strategy_options)
+        if pool is not None:
+            # A lent pool defines the parallelism shape; adopting its
+            # jobs/backend keeps the result record honest.
+            jobs, backend = pool.jobs, pool.backend
         self.jobs = jobs
         self.backend = backend
+        self.chunk_size = chunk_size
+        self.keep_pool = keep_pool
+        self._lent_pool = pool
+        self._own_pool: Optional["WorkerPool"] = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine-owned kept pool (lent pools stay open)."""
+        if self._own_pool is not None:
+            self._own_pool.close()
+            self._own_pool = None
+
+    def __enter__(self) -> "ExplorationEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _acquire_pool(self) -> Tuple["WorkerPool", bool]:
+        """The pool to dispatch on, plus whether to close it after."""
+        from repro.core.explore.parallel import WorkerPool
+
+        if self._lent_pool is not None:
+            return self._lent_pool, False
+        if self._own_pool is not None:
+            return self._own_pool, False
+        pool = WorkerPool(jobs=self.jobs, backend=self.backend,
+                          snapshot=self.problem.snapshot,
+                          chunk_size=self.chunk_size)
+        if self.keep_pool:
+            self._own_pool = pool
+            return pool, False
+        return pool, True
 
     # ------------------------------------------------------------------
     def run(self) -> ExplorationResult:
@@ -343,15 +447,16 @@ class ExplorationEngine:
                      metrics=list(self.problem.metrics),
                      jobs=self.jobs)
         started = time.perf_counter()
+        pool_stats: Optional[Dict[str, object]] = None
         if self.jobs > 1:
-            frontier, stats = self._run_parallel(layer)
+            frontier, stats, pool_stats = self._run_parallel(layer)
         else:
             frontier, stats = self._run_serial(layer)
         elapsed = time.perf_counter() - started
         return ExplorationResult(
             strategy=self._strategy.describe(), frontier=frontier,
             stats=stats, jobs=self.jobs, backend=self.backend,
-            elapsed_s=elapsed)
+            elapsed_s=elapsed, pool=pool_stats)
 
     def _run_serial(self, layer: DesignSpaceLayer
                     ) -> Tuple[ParetoFrontier, ExplorationStats]:
@@ -370,16 +475,16 @@ class ExplorationEngine:
     # parallel orchestration
     # ------------------------------------------------------------------
     def _run_parallel(self, layer: DesignSpaceLayer
-                      ) -> Tuple[ParetoFrontier, ExplorationStats]:
-        from repro.core.explore.parallel import BranchEvaluator, BranchTask
+                      ) -> Tuple[ParetoFrontier, ExplorationStats,
+                                 Dict[str, object]]:
+        from repro.core.explore.parallel import BranchTask
 
-        evaluator = BranchEvaluator(jobs=self.jobs, backend=self.backend)
         frontier = ParetoFrontier(self.problem.metrics)
         stats = ExplorationStats()
         obs = layer.observer
         tasks: List[BranchTask] = []
 
-        if isinstance(self._strategy, EvolutionaryStrategy):
+        if self._strategy.parallel_mode == "islands":
             # Island model: independent populations, derived seeds.
             base_seed = int(self.strategy_options.get("seed", 0))
             for island in range(self.jobs):
@@ -399,7 +504,7 @@ class ExplorationEngine:
             issue = probe.next_issue(0)
             if issue is None:
                 probe.terminal()
-                return frontier, stats
+                return frontier, stats, {}
             for info in probe.options(issue):
                 probe.branch_open(issue, info)
                 if probe.masked(issue, info):
@@ -418,21 +523,55 @@ class ExplorationEngine:
                     options=dict(self.strategy_options),
                     label=f"{issue.name}={info.option!r}"))
 
-        for result in evaluator.map(tasks):
+        pool, ephemeral = self._acquire_pool()
+        try:
+            results = pool.map(tasks)
+        finally:
+            if ephemeral:
+                pool.close()
+        for result in results:
             stats.merge(result.stats)
             added = sum(1 for outcome in result.outcomes
                         if frontier.add(outcome))
             if added and obs.enabled:
                 obs.emit(_ev.FRONTIER_UPDATE, size=len(frontier),
                          added=added, branch=result.label)
-        return frontier, stats
+        dispatch = pool.last_dispatch
+        if obs.enabled:
+            if dispatch.hydrates:
+                obs.emit(_ev.WORKER_HYDRATE, count=dispatch.hydrates,
+                         seconds=dispatch.hydrate_s,
+                         source="snapshot" if self.problem.snapshot
+                         is not None else "factory")
+            if dispatch.rebuilds:
+                obs.emit(_ev.WORKER_REBUILD, count=dispatch.rebuilds)
+            if dispatch.chunks:
+                obs.emit(_ev.CHUNK_DISPATCH, tasks=dispatch.tasks,
+                         chunks=dispatch.chunks,
+                         chunk_size=dispatch.chunk_size,
+                         workers=pool.jobs, backend=pool.backend,
+                         utilization=round(dispatch.utilization, 4))
+            if dispatch.steals:
+                obs.emit(_ev.CHUNK_STEAL, count=dispatch.steals)
+        pool_stats: Dict[str, object] = {
+            "workers": pool.jobs, "backend": pool.backend}
+        pool_stats.update(dispatch.to_dict())
+        return frontier, stats, pool_stats
 
 
 def explore(problem: ExplorationProblem, strategy: str = "exhaustive",
             jobs: int = 1, backend: str = "thread",
+            chunk_size: Optional[int] = None,
+            pool: Optional["WorkerPool"] = None,
             **strategy_options: object) -> ExplorationResult:
-    """One-call convenience wrapper around :class:`ExplorationEngine`."""
+    """One-call convenience wrapper around :class:`ExplorationEngine`.
+
+    Pass ``pool`` to dispatch on a caller-owned persistent
+    :class:`~repro.core.explore.parallel.WorkerPool` (its jobs/backend
+    take precedence); otherwise an ephemeral pool lives for this call.
+    """
     engine = ExplorationEngine(problem, strategy=strategy, jobs=jobs,
                                backend=backend,
-                               strategy_options=strategy_options)
+                               strategy_options=strategy_options,
+                               chunk_size=chunk_size, pool=pool)
     return engine.run()

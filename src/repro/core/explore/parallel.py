@@ -1,25 +1,58 @@
 """Parallel branch evaluation for the exploration engine.
 
-A :class:`BranchEvaluator` runs :class:`BranchTask` items through a
-``concurrent.futures`` pool — thread- or process-backed — and returns
-:class:`BranchResult` records **in task order** (``executor.map``), so
-the engine's merge is deterministic no matter how workers were
-scheduled.
+The unit of distribution is a :class:`BranchTask` — one problem/strategy
+pair, usually one branch of the root issue's fan-out.  A
+:class:`WorkerPool` runs tasks through a persistent ``concurrent.futures``
+executor and returns :class:`BranchResult` records **in task order**, so
+the engine's merge is deterministic no matter how workers were scheduled.
 
-Each worker evaluates one branch on its own session opened from the
-task's problem (the problem's decision prefix selects the branch).
+Three things make the pool fast where the naive one-branch-per-submit,
+one-pool-per-call evaluator was not:
+
+* **Snapshot hydration** — process workers hydrate their layer **once**,
+  at pool startup, from a compact :class:`~repro.core.serialize.LayerSnapshot`
+  shipped through the pool initializer, instead of re-running
+  ``layer_factory`` per dispatch.  Hydrated layers live in a small
+  per-process LRU (:data:`LAYER_CACHE_SIZE`) keyed by snapshot digest or
+  factory identity, so repeated explorations and multiple problems reuse
+  them without leaking.
+* **Persistence** — the pool (and its warmed workers) outlives
+  individual ``explore()`` calls: create it once, pass it to the engine
+  (or use ``keep_pool=True``), and close it explicitly or via the
+  context-manager protocol.
+* **Chunked work stealing** — tasks are batched into chunks of
+  ``len(tasks) / (jobs * CHUNK_OVERSUBSCRIBE)`` and submitted
+  individually; idle workers pull the next pending chunk from the
+  executor's shared queue (stealing work from slower peers) instead of
+  being handed a fixed ``executor.map`` slice.  Results are re-sorted by
+  task index before merging, so frontier digests stay byte-identical to
+  serial runs.
+
+A fourth backend, ``async``, drives every branch as an awaitable over a
+shared thread executor inside one event loop — useful for
+estimator-bound problems whose estimation tools block on I/O or external
+processes, where the overlap is real even under the GIL.
+
 Workers never share a trace recorder — :class:`TraceRecorder` is
 deliberately not thread-safe — so a branch runs untraced, on either a
-layer built from the problem's ``layer_factory`` (cached per process,
-and inherited copy-on-write under the ``fork`` start method when the
-factory closes over a prebuilt module-global layer) or, for the thread
-backend, the problem's own layer when its observer is disabled.
+hydrated/factory-built layer or, for the thread backend, the problem's
+own layer when its observer is disabled.
 """
 
 from __future__ import annotations
 
+import asyncio
 import functools
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,9 +61,21 @@ from repro.core.explore.outcome import Outcome, ParetoFrontier
 from repro.core.explore.problem import ExplorationProblem
 from repro.core.explore.strategies import make_strategy
 from repro.core.layer import DesignSpaceLayer
+from repro.core.serialize import LayerSnapshot
 from repro.errors import ConstraintViolation, ExplorationError, SessionError
 
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "async")
+
+#: Per-process worker layer cache capacity.  Small on purpose: a worker
+#: serves one or two problems at a time, and a 50k-core layer is tens of
+#: megabytes — unbounded growth across distinct factories/snapshots was
+#: a leak.
+LAYER_CACHE_SIZE = 4
+
+#: Oversubscription factor K for chunk sizing: tasks are batched into
+#: roughly ``jobs * K`` chunks, so the fastest worker can steal up to
+#: K-1 extra chunks from a slow peer before the dispatch drains.
+CHUNK_OVERSUBSCRIBE = 4
 
 
 @dataclass
@@ -51,6 +96,15 @@ class BranchResult:
     outcomes: List[Outcome] = field(default_factory=list)
     stats: ExplorationStats = field(default_factory=ExplorationStats)
     error: Optional[str] = None
+    #: Seconds this task spent building/hydrating a worker layer
+    #: (0.0 on a cache hit).
+    hydrate_s: float = 0.0
+    #: The task hydrated/built a fresh layer into the worker cache.
+    hydrated: bool = False
+    #: The task rebuilt the layer *without* caching it — the unkeyable
+    #: factory fallback the pool surfaces as a warning (see
+    #: ``dsl_worker_layer_rebuilds_total``).
+    rebuilt: bool = False
 
 
 def _factory_key(factory: Callable[[], DesignSpaceLayer]
@@ -59,58 +113,143 @@ def _factory_key(factory: Callable[[], DesignSpaceLayer]
 
     ``functools.partial`` objects hash by instance, which differs in
     every worker dispatch; key them structurally instead.  Unkeyable
-    factories (unhashable args) return None — the worker then rebuilds
-    per task, which is correct, just slower.
+    factories (unhashable args, callables without a qualified name)
+    return None — the worker then rebuilds per task, which is correct,
+    just slow; the pool counts those rebuilds and the engine emits a
+    ``worker_layer_rebuild`` warning event so the regression is visible
+    rather than silent.
     """
     try:
         if isinstance(factory, functools.partial):
-            return ("partial", factory.func.__module__,
-                    factory.func.__qualname__, factory.args,
-                    tuple(sorted(factory.keywords.items())))
-        return ("callable", factory.__module__, factory.__qualname__)
+            key: Tuple[object, ...] = (
+                "partial", factory.func.__module__,
+                factory.func.__qualname__, factory.args,
+                tuple(sorted(factory.keywords.items())))
+        else:
+            key = ("callable", factory.__module__, factory.__qualname__)
+        hash(key)  # unhashable args poison the cache lookup
+        return key
     except (AttributeError, TypeError):
         return None
 
 
-#: Per-process cache of factory-built layers: a worker process serves
-#: many tasks and must not rebuild a 50k-core layer for each.
-_LAYER_CACHE: Dict[Tuple[object, ...], DesignSpaceLayer] = {}
+class _LayerCache:
+    """A tiny per-process LRU of worker layers.
+
+    Keys are snapshot digests (``("snapshot", digest)``) or structural
+    factory identities (:func:`_factory_key`).  Bounded so a worker that
+    serves many distinct problems does not accumulate every layer it
+    ever built (each can be tens of MB).
+    """
+
+    def __init__(self, capacity: int = LAYER_CACHE_SIZE):
+        if capacity < 1:
+            raise ValueError("layer cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[object, ...], DesignSpaceLayer]" \
+            = OrderedDict()
+
+    def get(self, key: Tuple[object, ...]) -> Optional[DesignSpaceLayer]:
+        layer = self._entries.get(key)
+        if layer is not None:
+            self._entries.move_to_end(key)
+        return layer
+
+    def put(self, key: Tuple[object, ...], layer: DesignSpaceLayer) -> None:
+        self._entries[key] = layer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
-def _worker_layer(problem: ExplorationProblem) -> DesignSpaceLayer:
+#: Per-process cache of worker layers: a worker process serves many
+#: tasks and must not rebuild a 50k-core layer for each.
+_LAYER_CACHE = _LayerCache()
+
+#: Hydration timings recorded by the pool initializer, drained into the
+#: first chunk result each worker returns (the parent cannot observe
+#: initializer work directly).
+_INIT_HYDRATIONS: List[float] = []
+
+
+def _snapshot_key(snapshot: LayerSnapshot) -> Tuple[object, ...]:
+    return ("snapshot", snapshot.digest)
+
+
+def _hydrate_snapshot(snapshot: LayerSnapshot) -> Tuple[DesignSpaceLayer,
+                                                        float, bool]:
+    """Resolve a snapshot through the cache; returns (layer, secs, fresh)."""
+    key = _snapshot_key(snapshot)
+    layer = _LAYER_CACHE.get(key)
+    if layer is not None:
+        return layer, 0.0, False
+    t0 = time.perf_counter()
+    layer = snapshot.hydrate()
+    elapsed = time.perf_counter() - t0
+    _LAYER_CACHE.put(key, layer)
+    return layer, elapsed, True
+
+
+def _pool_initializer(snapshot: Optional[LayerSnapshot]) -> None:
+    """Runs once per worker process: hydrate the pool's snapshot so no
+    task ever pays the layer build."""
+    if snapshot is not None:
+        _, elapsed, fresh = _hydrate_snapshot(snapshot)
+        if fresh:
+            _INIT_HYDRATIONS.append(elapsed)
+
+
+def _worker_layer(problem: ExplorationProblem
+                  ) -> Tuple[DesignSpaceLayer, float, bool, bool]:
     """Resolve the layer a worker should search.
 
-    Prefers the problem's own layer when it carries one with tracing
-    off (thread backend sharing an untraced layer); otherwise builds
-    from the factory through the per-process cache.  A traced layer
-    without a factory is refused: the recorder is not thread-safe.
+    Returns ``(layer, hydrate_s, hydrated, rebuilt)``.  Preference
+    order: the problem's own untraced layer (thread backend sharing);
+    the problem's snapshot through the per-process cache; the factory
+    through the cache; the factory per task when it cannot be keyed.
+    A traced layer without a factory or snapshot is refused: the
+    recorder is not thread-safe.
     """
     if problem.layer is not None and not problem.layer.observer.enabled:
-        return problem.layer
+        return problem.layer, 0.0, False, False
+    if problem.snapshot is not None:
+        layer, elapsed, fresh = _hydrate_snapshot(problem.snapshot)
+        return layer, elapsed, fresh, False
     factory = problem.layer_factory
     if factory is None:
         if problem.layer is not None:
             raise ExplorationError(
                 "parallel exploration over a traced layer needs a "
-                "layer_factory (workers cannot share a TraceRecorder); "
-                "disable tracing or provide one")
+                "layer_factory or snapshot (workers cannot share a "
+                "TraceRecorder); disable tracing or provide one")
         raise ExplorationError(
-            "worker has neither a layer nor a layer_factory")
+            "worker has neither a layer, a snapshot, nor a layer_factory")
     key = _factory_key(factory)
     if key is None:
-        return factory()
+        t0 = time.perf_counter()
+        layer = factory()
+        return layer, time.perf_counter() - t0, False, True
     layer = _LAYER_CACHE.get(key)
     if layer is None:
+        t0 = time.perf_counter()
         layer = factory()
-        _LAYER_CACHE[key] = layer
-    return layer
+        elapsed = time.perf_counter() - t0
+        _LAYER_CACHE.put(key, layer)
+        return layer, elapsed, True, False
+    return layer, 0.0, False, False
 
 
 def evaluate_branch(task: BranchTask) -> BranchResult:
     """Search one branch; module-level so the process backend can
     pickle it by reference."""
     try:
-        layer = _worker_layer(task.problem)
+        layer, hydrate_s, hydrated, rebuilt = _worker_layer(task.problem)
         problem = replace(task.problem, layer=layer, _built=None)
         strategy = make_strategy(task.strategy, **task.options)
         stats = ExplorationStats()
@@ -120,12 +259,16 @@ def evaluate_branch(task: BranchTask) -> BranchResult:
             # The branch prefix itself is infeasible: a pruned branch,
             # not an error.
             stats.prune("constraint")
-            return BranchResult(label=task.label, stats=stats)
+            return BranchResult(label=task.label, stats=stats,
+                                hydrate_s=hydrate_s, hydrated=hydrated,
+                                rebuilt=rebuilt)
         ctx = SearchContext(problem, session,
                             ParetoFrontier(problem.metrics), stats)
         strategy.search(ctx)
         return BranchResult(label=task.label,
-                            outcomes=ctx.frontier.outcomes(), stats=stats)
+                            outcomes=ctx.frontier.outcomes(), stats=stats,
+                            hydrate_s=hydrate_s, hydrated=hydrated,
+                            rebuilt=rebuilt)
     except ExplorationError:
         raise
     except Exception as exc:  # pragma: no cover - worker diagnostics
@@ -133,50 +276,342 @@ def evaluate_branch(task: BranchTask) -> BranchResult:
                             error=f"{type(exc).__name__}: {exc}")
 
 
-class BranchEvaluator:
-    """A sized worker pool mapping tasks to results, order-preserving."""
+@dataclass
+class _ChunkResult:
+    """One chunk's worth of results, plus worker accounting."""
 
-    def __init__(self, jobs: int = 1, backend: str = "thread"):
+    results: List[Tuple[int, BranchResult]]
+    worker: str
+    elapsed_s: float = 0.0
+    #: Initializer hydrations this worker had not yet reported.
+    init_hydrates: int = 0
+    init_hydrate_s: float = 0.0
+
+
+def evaluate_chunk(chunk: Sequence[Tuple[int, BranchTask]]) -> _ChunkResult:
+    """Evaluate one chunk of indexed tasks sequentially in this worker."""
+    t0 = time.perf_counter()
+    results = [(index, evaluate_branch(task)) for index, task in chunk]
+    init_hydrates, init_hydrate_s = 0, 0.0
+    if _INIT_HYDRATIONS:
+        init_hydrates = len(_INIT_HYDRATIONS)
+        init_hydrate_s = sum(_INIT_HYDRATIONS)
+        del _INIT_HYDRATIONS[:]
+    return _ChunkResult(
+        results=results,
+        worker=f"{os.getpid()}:{threading.get_ident()}",
+        elapsed_s=time.perf_counter() - t0,
+        init_hydrates=init_hydrates,
+        init_hydrate_s=init_hydrate_s)
+
+
+@dataclass
+class DispatchStats:
+    """Accounting for one ``map()`` dispatch (and, summed, a pool life)."""
+
+    tasks: int = 0
+    chunks: int = 0
+    chunk_size: int = 0
+    steals: int = 0
+    hydrates: int = 0
+    hydrate_s: float = 0.0
+    rebuilds: int = 0
+    #: Busy worker-seconds over (workers * dispatch wall time); 0 when
+    #: not measured (serial/async dispatches).
+    utilization: float = 0.0
+
+    def absorb(self, other: "DispatchStats") -> None:
+        self.tasks += other.tasks
+        self.chunks += other.chunks
+        self.chunk_size = other.chunk_size or self.chunk_size
+        self.steals += other.steals
+        self.hydrates += other.hydrates
+        self.hydrate_s += other.hydrate_s
+        self.rebuilds += other.rebuilds
+        self.utilization = other.utilization or self.utilization
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tasks": self.tasks,
+            "chunks": self.chunks,
+            "chunk_size": self.chunk_size,
+            "steals": self.steals,
+            "hydrates": self.hydrates,
+            "hydrate_ms": round(self.hydrate_s * 1e3, 3),
+            "rebuilds": self.rebuilds,
+            "utilization": round(self.utilization, 4),
+        }
+
+
+@dataclass
+class PoolStats(DispatchStats):
+    """Lifetime accounting of a :class:`WorkerPool`."""
+
+    workers: int = 0
+    backend: str = "thread"
+    dispatches: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "workers": self.workers,
+            "backend": self.backend,
+            "dispatches": self.dispatches,
+        }
+        out.update(DispatchStats.to_dict(self))
+        return out
+
+
+def chunk_count(tasks: int, jobs: int, chunk_size: Optional[int] = None
+                ) -> Tuple[int, int]:
+    """(chunk size, number of chunks) for a dispatch.
+
+    The default sizes chunks at ``tasks // (jobs * K)`` (at least 1), so
+    a dispatch yields about ``jobs * K`` chunks: enough slack for idle
+    workers to steal from slow peers, coarse enough that per-chunk
+    submit/pickle overhead stays negligible.
+    """
+    if tasks <= 0:
+        return 0, 0
+    size = chunk_size if chunk_size is not None \
+        else max(1, tasks // (max(1, jobs) * CHUNK_OVERSUBSCRIBE))
+    if size < 1:
+        raise ExplorationError(f"chunk size must be >= 1, got {size}")
+    return size, -(-tasks // size)
+
+
+class WorkerPool:
+    """A persistent, snapshot-hydrated branch-evaluation pool.
+
+    Unlike a per-call ``with ProcessPoolExecutor(...)`` block, a
+    ``WorkerPool`` keeps its workers — and the layers they hydrated —
+    alive across ``explore()`` calls, strategies, and problems.  Process
+    workers hydrate the pool's snapshot exactly once, in the pool
+    initializer, so no task ever pays the layer build.  Close the pool
+    explicitly (:meth:`close`) or use it as a context manager::
+
+        with WorkerPool(jobs=4, backend="process", snapshot=snap) as pool:
+            explore(problem, jobs=4, backend="process", pool=pool)
+            explore(problem, strategy="bnb", jobs=4, pool=pool)
+
+    ``map()`` is order-preserving and deterministic: chunks complete in
+    arbitrary order, results are re-sorted by task index.
+    """
+
+    def __init__(self, jobs: int = 1, backend: str = "thread",
+                 snapshot: Optional[LayerSnapshot] = None,
+                 chunk_size: Optional[int] = None):
         if backend not in BACKENDS:
             raise ExplorationError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}")
         if jobs < 1:
             raise ExplorationError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ExplorationError(
+                f"chunk size must be >= 1, got {chunk_size}")
         self.jobs = jobs
         self.backend = backend
+        self.snapshot = snapshot
+        self.chunk_size = chunk_size
+        self.stats = PoolStats(workers=jobs, backend=backend)
+        self.last_dispatch = DispatchStats()
+        self._executor: Optional[Executor] = None
+        self._closed = False
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def started(self) -> bool:
+        """True once worker processes/threads exist (first dispatch or
+        :meth:`warm`)."""
+        return self._executor is not None
+
+    def warm(self) -> "WorkerPool":
+        """Start the workers (and snapshot hydration) now instead of on
+        the first dispatch — useful to keep hydration out of timed runs."""
+        self._ensure_executor()
+        return self
+
+    def _ensure_executor(self) -> Executor:
+        if self._closed:
+            raise ExplorationError("worker pool is closed")
+        if self._executor is None:
+            if self.backend == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_pool_initializer,
+                    initargs=(self.snapshot,))
+            else:
+                # thread and async backends share a thread executor.
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="dsl-worker")
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent.  Further dispatches raise."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
     def map(self, tasks: Sequence[BranchTask]) -> List[BranchResult]:
         """Evaluate every task; results come back in task order.
 
         A worker returning an error result raises here — a crashed
         branch must not be silently dropped from the frontier.
         """
+        if self._closed:
+            raise ExplorationError("worker pool is closed")
         tasks = list(tasks)
+        dispatch = DispatchStats(tasks=len(tasks))
+        started = time.perf_counter()
         if self.jobs == 1 or len(tasks) <= 1:
             results = [evaluate_branch(task) for task in tasks]
+            self._absorb_results(dispatch, results)
+        elif self.backend == "async":
+            self._check_shippable(tasks)
+            results = self._map_async(tasks)
+            self._absorb_results(dispatch, results)
         else:
-            if self.backend == "process":
-                self._check_picklable(tasks)
-                pool_cls = ProcessPoolExecutor
-            else:
-                pool_cls = ThreadPoolExecutor
-            workers = min(self.jobs, len(tasks))
-            with pool_cls(max_workers=workers) as pool:
-                results = list(pool.map(evaluate_branch, tasks))
+            self._check_shippable(tasks)
+            results = self._map_chunked(tasks, dispatch, started)
+        self.last_dispatch = dispatch
+        self.stats.dispatches += 1
+        self.stats.absorb(dispatch)
         for result in results:
             if result.error is not None:
                 raise ExplorationError(
                     f"branch {result.label!r} failed: {result.error}")
         return results
 
+    def _map_chunked(self, tasks: List[BranchTask],
+                     dispatch: DispatchStats,
+                     started: float) -> List[BranchResult]:
+        size, n_chunks = chunk_count(len(tasks), self.jobs, self.chunk_size)
+        indexed = list(enumerate(tasks))
+        chunks = [indexed[i:i + size] for i in range(0, len(indexed), size)]
+        executor = self._ensure_executor()
+        # One future per chunk: the executor's shared queue IS the
+        # work-stealing deque — a worker that drains its chunk pulls the
+        # next pending one, however slow its peers are.
+        futures = [executor.submit(evaluate_chunk, chunk)
+                   for chunk in chunks]
+        out: List[Optional[BranchResult]] = [None] * len(tasks)
+        per_worker: Dict[str, int] = {}
+        busy_s = 0.0
+        for future in as_completed(futures):
+            chunk_result = future.result()
+            per_worker[chunk_result.worker] = \
+                per_worker.get(chunk_result.worker, 0) + 1
+            busy_s += chunk_result.elapsed_s
+            dispatch.hydrates += chunk_result.init_hydrates
+            dispatch.hydrate_s += chunk_result.init_hydrate_s
+            for index, result in chunk_result.results:
+                out[index] = result
+        elapsed = time.perf_counter() - started
+        results = [result for result in out if result is not None]
+        # Deterministic merge: `out` is indexed by task position, so the
+        # arbitrary completion order above cannot reorder outcomes.
+        self._absorb_results(dispatch, results)
+        dispatch.chunks = len(chunks)
+        dispatch.chunk_size = size
+        # A worker's first chunk is its fair share; every further chunk
+        # it completed was stolen from the shared queue.
+        dispatch.steals = sum(n - 1 for n in per_worker.values() if n > 1)
+        if elapsed > 0 and self.jobs > 0:
+            dispatch.utilization = min(
+                1.0, busy_s / (elapsed * self.jobs))
+        return results
+
+    def _map_async(self, tasks: List[BranchTask]) -> List[BranchResult]:
+        """Asyncio dispatch for estimator-bound problems.
+
+        Every branch evaluation becomes an awaitable over the pool's
+        thread executor; blocking estimation-tool calls (I/O, external
+        processes) overlap while the event loop coordinates.  Task
+        granularity stays at one branch — chunking would serialize the
+        overlap this backend exists for.
+        """
+        executor = self._ensure_executor()
+
+        async def drive() -> List[BranchResult]:
+            loop = asyncio.get_running_loop()
+            futures = [loop.run_in_executor(executor, evaluate_branch, task)
+                       for task in tasks]
+            return list(await asyncio.gather(*futures))
+
+        return asyncio.run(drive())
+
     @staticmethod
-    def _check_picklable(tasks: Sequence[BranchTask]) -> None:
+    def _absorb_results(dispatch: DispatchStats,
+                        results: Sequence[BranchResult]) -> None:
+        for result in results:
+            dispatch.hydrate_s += result.hydrate_s
+            if result.hydrated:
+                dispatch.hydrates += 1
+            if result.rebuilt:
+                dispatch.rebuilds += 1
+
+    def _check_shippable(self, tasks: Sequence[BranchTask]) -> None:
+        if self.backend != "process":
+            return
         for task in tasks:
-            if task.problem.layer_factory is None:
+            if task.problem.layer_factory is None \
+                    and task.problem.snapshot is None:
                 raise ExplorationError(
                     "the process backend needs a picklable layer_factory "
-                    "on the problem (a live DesignSpaceLayer cannot cross "
-                    "process boundaries)")
+                    "or a LayerSnapshot on the problem (a live "
+                    "DesignSpaceLayer cannot cross process boundaries)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "warm" if self.started else "cold")
+        return (f"<WorkerPool jobs={self.jobs} backend={self.backend} "
+                f"{state} dispatches={self.stats.dispatches}>")
+
+
+class BranchEvaluator:
+    """Compatibility facade: an ephemeral pool per ``map()`` call.
+
+    Prefer a :class:`WorkerPool` (persistent workers, snapshot
+    hydration) — this class keeps the original one-shot surface for
+    callers that evaluate a single batch and exposes the same stats.
+    """
+
+    def __init__(self, jobs: int = 1, backend: str = "thread",
+                 snapshot: Optional[LayerSnapshot] = None,
+                 chunk_size: Optional[int] = None):
+        # Validate eagerly through the pool's constructor.
+        pool = WorkerPool(jobs=jobs, backend=backend, snapshot=snapshot,
+                          chunk_size=chunk_size)
+        pool.close()
+        self.jobs = jobs
+        self.backend = backend
+        self.snapshot = snapshot
+        self.chunk_size = chunk_size
+        self.last_dispatch = DispatchStats()
+
+    def map(self, tasks: Sequence[BranchTask]) -> List[BranchResult]:
+        with WorkerPool(jobs=self.jobs, backend=self.backend,
+                        snapshot=self.snapshot,
+                        chunk_size=self.chunk_size) as pool:
+            results = pool.map(tasks)
+            self.last_dispatch = pool.last_dispatch
+            return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BranchEvaluator jobs={self.jobs} backend={self.backend}>"

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.layer import DesignSpaceLayer
 from repro.core.pruning import MissingPolicy
+from repro.core.serialize import LayerSnapshot
 from repro.core.session import ExplorationSession
 from repro.errors import ExplorationError
 
@@ -53,6 +54,10 @@ class ExplorationProblem:
     missing_policy: MissingPolicy = MissingPolicy.EXCLUDE
     layer: Optional[DesignSpaceLayer] = None
     layer_factory: Optional[Callable[[], DesignSpaceLayer]] = None
+    #: Compact serialized layer capture (:meth:`DesignSpaceLayer.snapshot`)
+    #: process workers hydrate **once** per pool instead of re-running
+    #: ``layer_factory``; cheap to pickle (bytes + names).
+    snapshot: Optional[LayerSnapshot] = None
     estimator: Optional[Estimator] = None
     #: Verifier pre-pruning mask: ``(cdo_qualified_name, issue, repr(option))``
     #: triples proved dead by :meth:`DesignSpaceLayer.verify` (see
@@ -78,11 +83,16 @@ class ExplorationProblem:
         product (built once and cached on this problem)."""
         if self.layer is not None:
             return self.layer
-        if self.layer_factory is None:
-            raise ExplorationError(
-                "exploration problem needs a layer or a layer_factory")
-        if self._built is None:
+        if self._built is not None:
+            return self._built
+        if self.layer_factory is not None:
             self._built = self.layer_factory()
+        elif self.snapshot is not None:
+            self._built = self.snapshot.hydrate()
+        else:
+            raise ExplorationError(
+                "exploration problem needs a layer, a layer_factory, "
+                "or a snapshot")
         return self._built
 
     def open_session(self, layer: Optional[DesignSpaceLayer] = None
@@ -116,9 +126,10 @@ class ExplorationProblem:
     # ------------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
         state = dict(self.__dict__)
-        if self.layer_factory is not None:
+        if self.layer_factory is not None or self.snapshot is not None:
             # Workers rebuild (or inherit, under fork) the layer from the
-            # factory; a live layer full of closures does not pickle.
+            # factory or hydrate it from the snapshot; a live layer full
+            # of closures does not pickle.
             state["layer"] = None
             state["_built"] = None
         return state

@@ -334,7 +334,8 @@ class DesignSpaceLayer:
                 metrics: Sequence[str] = ("area", "latency_ns"),
                 requirements: object = (), decisions: object = (),
                 issues: Optional[Sequence[str]] = None, jobs: int = 1,
-                backend: str = "thread", estimator: Optional[Callable] = None,
+                backend: str = "thread", chunk_size: Optional[int] = None,
+                estimator: Optional[Callable] = None,
                 **strategy_options: object):
         """Run an automated search over this layer; returns an
         :class:`~repro.core.explore.engine.ExplorationResult`.
@@ -355,8 +356,25 @@ class DesignSpaceLayer:
             layer=self, estimator=estimator)
         engine = ExplorationEngine(problem, strategy=strategy, jobs=jobs,
                                    backend=backend,
-                                   strategy_options=strategy_options)
+                                   strategy_options=strategy_options,
+                                   chunk_size=chunk_size)
         return engine.run()
+
+    def snapshot(self, hydrators: Sequence[str] = (),
+                 lenient: bool = False):
+        """Capture a compact, picklable snapshot of this layer.
+
+        Returns a :class:`~repro.core.serialize.LayerSnapshot` —
+        the representation serialized once, plus the *names* of
+        registered hydrators (:func:`~repro.core.serialize.register_hydrator`)
+        that re-attach consistency-constraint relations and estimation
+        tools on the hydrating side.  Worker pools ship this to each
+        process once instead of re-running a ``layer_factory`` per task
+        (see ``docs/exploration.md``).
+        """
+        from repro.core.serialize import LayerSnapshot
+        return LayerSnapshot.capture(self, hydrators=hydrators,
+                                     lenient=lenient)
 
     def validate(self) -> None:
         """Structural sanity of the whole layer.

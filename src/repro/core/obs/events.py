@@ -59,6 +59,17 @@ BRANCH_OPEN = "branch_open"
 BRANCH_PRUNED = "branch_pruned"
 #: The Pareto frontier absorbed a new non-dominated outcome.
 FRONTIER_UPDATE = "frontier_update"
+#: Worker(s) hydrated / built a layer for parallel evaluation (payload:
+#: count, seconds, source = ``snapshot`` | ``factory``).
+WORKER_HYDRATE = "worker_hydrate"
+#: Workers rebuilt the layer per task because the layer factory could
+#: not be cached (payload: count) — a performance warning.
+WORKER_REBUILD = "worker_layer_rebuild"
+#: One chunked parallel dispatch completed (payload: tasks, chunks,
+#: chunk_size, workers, backend, utilization).
+CHUNK_DISPATCH = "chunk_dispatch"
+#: Idle workers stole pending chunks from slower peers (payload: count).
+CHUNK_STEAL = "chunk_steal"
 #: The semantic verifier ran over a layer (span).
 VERIFY_RUN = "verify_run"
 #: The verifier proved a design-issue option dead (payload: cdo, issue,
@@ -73,6 +84,7 @@ EVENT_KINDS = frozenset({
     ACKNOWLEDGE, CONSTRAINT_FIRED, PRUNE, CACHE_HIT, CACHE_MISS,
     ESTIMATE_INVOKED, INDEX_REBUILD, LINT_RUN,
     EXPLORE_START, BRANCH_OPEN, BRANCH_PRUNED, FRONTIER_UPDATE,
+    WORKER_HYDRATE, WORKER_REBUILD, CHUNK_DISPATCH, CHUNK_STEAL,
     VERIFY_RUN, DEAD_BRANCH_PROVED, UNSAT_CORE_FOUND,
 })
 

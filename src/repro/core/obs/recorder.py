@@ -297,6 +297,38 @@ class TraceRecorder:
                       "decision branches considered by exploration",
                       result="pruned",
                       reason=str(payload.get("reason", "?"))).inc()
+        elif kind == ev.WORKER_HYDRATE:
+            m.counter("dsl_worker_hydrates_total",
+                      "worker layer hydrations / builds",
+                      source=str(payload.get("source", "?"))
+                      ).inc(int(payload.get("count", 1)))
+            seconds = payload.get("seconds")
+            if seconds is not None:
+                m.histogram("dsl_worker_hydrate_seconds",
+                            "wall time workers spent hydrating layers"
+                            ).observe(float(seconds))
+        elif kind == ev.WORKER_REBUILD:
+            m.counter("dsl_worker_layer_rebuilds_total",
+                      "per-task worker layer rebuilds (uncacheable factory)"
+                      ).inc(int(payload.get("count", 1)))
+        elif kind == ev.CHUNK_DISPATCH:
+            m.counter("dsl_explore_chunks_total",
+                      "chunks dispatched to parallel workers"
+                      ).inc(int(payload.get("chunks", 1)))
+            workers = payload.get("workers")
+            if workers is not None:
+                m.gauge("dsl_pool_workers",
+                        "workers in the last parallel dispatch"
+                        ).set(workers)
+            utilization = payload.get("utilization")
+            if utilization is not None:
+                m.gauge("dsl_pool_utilization",
+                        "busy worker-seconds over wall x workers of the "
+                        "last dispatch").set(utilization)
+        elif kind == ev.CHUNK_STEAL:
+            m.counter("dsl_explore_steals_total",
+                      "chunks stolen by idle workers"
+                      ).inc(int(payload.get("count", 1)))
         elif kind == ev.FRONTIER_UPDATE:
             size = payload.get("size")
             if size is not None:

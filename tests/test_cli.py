@@ -404,6 +404,38 @@ class TestAutomatedExplore:
         assert runs["bnb"]["stats"]["opened"] < \
             runs["exhaustive"]["stats"]["opened"]
 
+    def test_parallel_flags_report_pool_stats(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "explore", "--layer", "idct",
+            "--strategy", "exhaustive", "--metrics", "area,latency_ns",
+            "--jobs", "2", "--chunk-size", "1", "--keep-pool", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        pool = payload["pool"]
+        assert pool["workers"] == 2
+        assert pool["chunk_size"] == 1
+        assert pool["chunks"] >= 1
+        assert "steals" in pool and "hydrate_ms" in pool
+
+    def test_parallel_digest_matches_serial(self, capsys):
+        digests = {}
+        for argv in (("--jobs", "1"),
+                     ("--jobs", "2", "--backend", "async"),
+                     ("--jobs", "2", "--chunk-size", "1")):
+            _code, out, _err = run_cli(
+                capsys, "explore", "--layer", "idct",
+                "--strategy", "exhaustive",
+                "--metrics", "area,latency_ns", "--json", *argv)
+            digests[argv] = json.loads(out)["digest"]
+        assert len(set(digests.values())) == 1
+
+    def test_pool_footer_in_text_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "explore", "--layer", "idct", "--strategy", "bnb",
+            "--metrics", "area,latency_ns", "--jobs", "2")
+        assert code == 0
+        assert "pool: workers=2" in out
+
     def test_decide_prefix_and_trace(self, capsys, tmp_path):
         trace = tmp_path / "explore.jsonl"
         code, out, _err = run_cli(

@@ -1,0 +1,236 @@
+"""WorkerPool lifecycle, chunked work stealing, and the layer cache.
+
+What must hold regardless of scheduling: ``map()`` returns results in
+task order, chunked and unchunked dispatches produce identical frontier
+digests, the per-process layer cache stays bounded, and closing the
+pool is final.  Stats (steals, hydrations, utilization) are checked for
+plausibility, not exact values — they legitimately vary with worker
+timing.
+"""
+
+import functools
+
+import pytest
+
+from repro.core import ExplorationProblem
+from repro.core.explore import (
+    BranchTask,
+    ExplorationEngine,
+    WorkerPool,
+    chunk_count,
+    explore,
+)
+from repro.core.explore.parallel import (
+    _LAYER_CACHE,
+    _LayerCache,
+    evaluate_branch,
+)
+from repro.errors import ExplorationError
+
+from conftest import build_widget_layer
+
+METRICS = ("area", "latency_ns")
+
+
+def widget_problem(**overrides):
+    kwargs = dict(start="Widget", metrics=METRICS,
+                  layer_factory=build_widget_layer)
+    kwargs.update(overrides)
+    return ExplorationProblem(**kwargs)
+
+
+def widget_tasks(n, **overrides):
+    """n copies of the full widget search (digest-equal by task)."""
+    return [BranchTask(problem=widget_problem(**overrides),
+                       strategy="exhaustive", label=f"t{i}")
+            for i in range(n)]
+
+
+def result_digests(results):
+    return [tuple(sorted(o.key for o in r.outcomes)) for r in results]
+
+
+class TestLifecycle:
+    def test_pool_persists_across_dispatches(self):
+        with WorkerPool(jobs=2, backend="thread") as pool:
+            pool.map(widget_tasks(4))
+            first = pool._executor
+            pool.map(widget_tasks(4))
+            assert pool._executor is first
+            assert pool.stats.dispatches == 2
+            assert pool.stats.tasks == 8
+
+    def test_close_is_final_and_idempotent(self):
+        pool = WorkerPool(jobs=2, backend="thread")
+        pool.warm()
+        assert pool.started and not pool.closed
+        pool.close()
+        pool.close()
+        assert pool.closed
+        with pytest.raises(ExplorationError, match="closed"):
+            pool.map(widget_tasks(2))
+
+    def test_context_manager_closes(self):
+        with WorkerPool(jobs=2, backend="thread") as pool:
+            pool.map(widget_tasks(2))
+        assert pool.closed
+
+    def test_constructor_validates(self):
+        with pytest.raises(ExplorationError, match="backend"):
+            WorkerPool(jobs=2, backend="mpi")
+        with pytest.raises(ExplorationError, match="jobs"):
+            WorkerPool(jobs=0)
+        with pytest.raises(ExplorationError, match="chunk"):
+            WorkerPool(jobs=2, chunk_size=0)
+
+    def test_snapshot_pool_serves_snapshot_problems(self):
+        snap = build_widget_layer().snapshot()
+        problem = widget_problem(layer_factory=None, snapshot=snap)
+        with WorkerPool(jobs=2, backend="process", snapshot=snap) as pool:
+            a = explore(problem, pool=pool)
+            b = explore(problem, strategy="bnb", pool=pool)
+        assert a.frontier.digest() == b.frontier.digest()
+        assert pool.stats.dispatches == 2
+
+    def test_engine_does_not_close_lent_pool(self):
+        with WorkerPool(jobs=2, backend="thread") as pool:
+            problem = widget_problem()
+            with ExplorationEngine(problem, jobs=4, pool=pool) as engine:
+                # The lent pool defines the parallelism shape.
+                assert engine.jobs == 2
+                engine.run()
+            assert not pool.closed
+
+    def test_keep_pool_reuses_engine_owned_pool(self):
+        problem = widget_problem()
+        with ExplorationEngine(problem, jobs=2, keep_pool=True) as engine:
+            engine.run()
+            kept = engine._own_pool
+            assert kept is not None and not kept.closed
+            engine.run()
+            assert engine._own_pool is kept
+            assert kept.stats.dispatches == 2
+        assert kept.closed
+
+
+class TestChunking:
+    def test_chunk_count_default_oversubscribes(self):
+        size, chunks = chunk_count(64, jobs=4)
+        assert size == 4 and chunks == 16
+        assert chunk_count(3, jobs=4) == (1, 3)
+        assert chunk_count(0, jobs=4) == (0, 0)
+        assert chunk_count(10, jobs=2, chunk_size=4) == (4, 3)
+
+    def test_chunked_matches_unchunked_in_task_order(self):
+        tasks = []
+        for style in ("hw", "sw"):
+            tasks.extend(widget_tasks(3, decisions=(("Style", style),)))
+        with WorkerPool(jobs=1) as serial_pool:
+            expect = result_digests(serial_pool.map(tasks))
+        for chunk_size in (1, 2, len(tasks)):
+            with WorkerPool(jobs=3, backend="thread",
+                            chunk_size=chunk_size) as pool:
+                results = pool.map(tasks)
+            assert result_digests(results) == expect
+            assert [r.label for r in results] == [t.label for t in tasks]
+
+    def test_dispatch_stats_are_plausible(self):
+        tasks = widget_tasks(8)
+        with WorkerPool(jobs=2, backend="thread", chunk_size=1) as pool:
+            pool.map(tasks)
+            d = pool.last_dispatch
+        assert d.tasks == 8 and d.chunks == 8 and d.chunk_size == 1
+        # Each participating worker's first chunk is fair share, the
+        # rest are steals: with w of the 2 workers active the total is
+        # chunks - w, so it lands in [chunks - jobs, chunks - 1].
+        assert d.chunks - 2 <= d.steals <= d.chunks - 1
+        assert 0.0 <= d.utilization <= 1.0
+        assert d.to_dict()["chunks"] == 8
+
+    def test_explore_chunk_size_keeps_digest(self, widget_layer):
+        problem = widget_problem(layer=widget_layer, layer_factory=None)
+        serial = explore(problem)
+        chunked = explore(problem, jobs=2, chunk_size=1)
+        assert chunked.frontier.digest() == serial.frontier.digest()
+        assert chunked.pool is not None
+        assert chunked.pool["chunk_size"] == 1
+
+    def test_async_backend_keeps_digest(self, widget_layer):
+        problem = widget_problem(layer=widget_layer, layer_factory=None)
+        serial = explore(problem)
+        asynced = explore(problem, jobs=2, backend="async")
+        assert asynced.frontier.digest() == serial.frontier.digest()
+
+
+class TestLayerCache:
+    def test_lru_stays_bounded_across_distinct_factories(self):
+        cache = _LayerCache(capacity=2)
+        for i in range(5):
+            cache.put(("factory", i), object())
+        assert len(cache) == 2
+        assert cache.get(("factory", 0)) is None  # evicted, not leaked
+        assert cache.get(("factory", 4)) is not None
+
+    def test_lru_get_refreshes_recency(self):
+        cache = _LayerCache(capacity=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        assert cache.get(("a",)) == "A"
+        cache.put(("c",), "C")  # evicts b, the least recently used
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A"
+
+    def test_worker_cache_capacity_is_small(self):
+        # The real per-process cache must stay bounded: distinct
+        # problems cannot accumulate one multi-MB layer each.
+        assert _LAYER_CACHE.capacity <= 8
+
+    def test_unkeyable_factory_rebuilds_are_counted(self):
+        # A partial over a dict argument has no hashable identity; the
+        # worker must rebuild per task and say so.
+        factory = functools.partial(_layer_with_config,
+                                    config={"mutable": True})
+        problem = widget_problem(layer_factory=factory)
+        result = evaluate_branch(BranchTask(problem=problem,
+                                            strategy="exhaustive"))
+        assert result.error is None
+        assert result.rebuilt and not result.hydrated
+        assert result.hydrate_s > 0.0
+
+    def test_rebuilds_surface_in_result_and_render(self):
+        factory = functools.partial(_layer_with_config,
+                                    config={"mutable": True})
+        problem = widget_problem(layer_factory=factory)
+        result = explore(problem, jobs=2)
+        assert result.pool["rebuilds"] >= 1
+        assert "rebuild" in result.render_text()
+
+    def test_keyed_factory_hydrates_once_per_worker(self):
+        snap = build_widget_layer().snapshot()
+        problem = widget_problem(layer_factory=None, snapshot=snap)
+        with WorkerPool(jobs=1) as pool:
+            pool.map(widget_tasks(1, layer_factory=None, snapshot=snap))
+            first = pool.stats.hydrates
+            pool.map(widget_tasks(1, layer_factory=None, snapshot=snap))
+            assert pool.stats.hydrates == first  # cache hit, no rework
+
+
+def _layer_with_config(config):
+    return build_widget_layer()
+
+
+class TestObsEvents:
+    def test_parallel_dispatch_emits_pool_events(self, widget_layer):
+        widget_layer.observe()
+        try:
+            problem = ExplorationProblem(
+                start="Widget", metrics=METRICS, layer=widget_layer,
+                layer_factory=build_widget_layer)
+            explore(problem, jobs=2, chunk_size=1)
+            kinds = {e.kind for e in widget_layer.observer.events}
+            assert "chunk_dispatch" in kinds
+            rendered = widget_layer.observer.metrics.render_prometheus()
+            assert "dsl_explore_chunks_total" in rendered
+            assert "dsl_pool_workers" in rendered
+        finally:
+            widget_layer.observe(None)

@@ -1,0 +1,177 @@
+"""LayerSnapshot: compact layer captures for worker hydration.
+
+The load-bearing property: a layer hydrated from a snapshot is
+exploration-equivalent to the live layer — every strategy produces a
+byte-identical Pareto frontier on it.  Hypothesis probes the property
+over randomized hierarchies; the rest of the file pins the hydrator
+registry contract and digest behavior.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExplorationProblem, LayerSnapshot, register_hydrator
+from repro.core.explore import explore
+from repro.core.serialize import (
+    SerializationError,
+    hydrator_names,
+    resolve_hydrator,
+    unregister_hydrator,
+)
+from repro.errors import ExplorationError
+
+from conftest import build_widget_layer
+from test_explore_strategies import METRICS, random_layer
+
+
+def frontier_digest(layer, strategy, **options):
+    problem = ExplorationProblem(start="R", metrics=METRICS, layer=layer)
+    return explore(problem, strategy=strategy, **options).frontier.digest()
+
+
+class TestHydrationEquivalence:
+    @given(st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=25, deadline=None)
+    def test_hydrated_frontiers_match_live_across_strategies(self, seed):
+        live = random_layer(seed)
+        hydrated = live.snapshot().hydrate()
+        for strategy, options in (("exhaustive", {}), ("bnb", {}),
+                                  ("beam", {"width": 2}),
+                                  ("evolutionary",
+                                   {"seed": seed, "population": 6,
+                                    "generations": 3})):
+            assert frontier_digest(hydrated, strategy, **options) == \
+                frontier_digest(live, strategy, **options)
+
+    @given(st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=10, deadline=None)
+    def test_snapshot_round_trips_through_pickle(self, seed):
+        snap = random_layer(seed).snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.digest == snap.digest
+        assert frontier_digest(clone.hydrate(), "exhaustive") == \
+            frontier_digest(snap.hydrate(), "exhaustive")
+
+    def test_widget_layer_equivalence(self):
+        live = build_widget_layer()
+        hydrated = live.snapshot().hydrate()
+        problem = ExplorationProblem(start="Widget", layer=live)
+        expect = explore(problem).frontier.digest()
+        problem = ExplorationProblem(start="Widget", layer=hydrated)
+        assert explore(problem).frontier.digest() == expect
+
+
+class TestSnapshotObject:
+    def test_digest_is_stable_and_content_addressed(self):
+        layer = build_widget_layer()
+        a, b = layer.snapshot(), layer.snapshot()
+        assert a.digest == b.digest
+        assert a.digest != random_layer(3).snapshot().digest
+        assert len(a.digest) == 16
+
+    def test_size_is_compact(self):
+        snap = build_widget_layer().snapshot()
+        assert 0 < snap.size_bytes == len(snap.payload)
+
+    def test_unknown_hydrator_rejected_at_capture(self):
+        layer = build_widget_layer()
+        with pytest.raises(SerializationError, match="no-such-hydrator"):
+            layer.snapshot(hydrators=("no-such-hydrator",))
+
+    def test_hydrators_run_in_order_on_hydrate(self):
+        calls = []
+        register_hydrator("t-first", lambda layer: calls.append("first"))
+        register_hydrator("t-second", lambda layer: calls.append("second"))
+        try:
+            snap = build_widget_layer().snapshot(
+                hydrators=("t-first", "t-second"))
+            snap.hydrate()
+            assert calls == ["first", "second"]
+        finally:
+            unregister_hydrator("t-first")
+            unregister_hydrator("t-second")
+
+
+class TestHydratorRegistry:
+    def test_register_resolve_unregister(self):
+        def attach(layer):
+            pass
+
+        register_hydrator("t-attach", attach)
+        try:
+            assert resolve_hydrator("t-attach") is attach
+            assert "t-attach" in hydrator_names()
+        finally:
+            unregister_hydrator("t-attach")
+        assert "t-attach" not in hydrator_names()
+
+    def test_decorator_form(self):
+        @register_hydrator("t-deco")
+        def attach(layer):
+            pass
+
+        try:
+            assert resolve_hydrator("t-deco") is attach
+        finally:
+            unregister_hydrator("t-deco")
+
+    def test_conflicting_registration_rejected(self):
+        register_hydrator("t-conflict", lambda layer: None)
+        try:
+            with pytest.raises(SerializationError, match="already"):
+                register_hydrator("t-conflict", lambda layer: 1)
+        finally:
+            unregister_hydrator("t-conflict")
+
+    def test_reregistering_same_function_is_idempotent(self):
+        def attach(layer):
+            pass
+
+        register_hydrator("t-idem", attach)
+        try:
+            register_hydrator("t-idem", attach)
+        finally:
+            unregister_hydrator("t-idem")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SerializationError,
+                           match="unknown layer hydrator"):
+            resolve_hydrator("never-registered")
+
+    def test_qualified_name_imports_module_first(self):
+        # Spawn-safe form: the module prefix is imported, which is what
+        # registers the base name in a fresh interpreter.
+        name = "tests_hydrator_fixture:fixture-hydrator"
+        fn = resolve_hydrator(name)
+        assert fn.__name__ == "fixture_hydrator"
+
+    def test_qualified_name_with_missing_module(self):
+        with pytest.raises(SerializationError, match="no_such_module"):
+            resolve_hydrator("no_such_module:whatever")
+
+
+class TestProblemSnapshotField:
+    def test_resolve_layer_hydrates_from_snapshot(self):
+        snap = build_widget_layer().snapshot()
+        problem = ExplorationProblem(start="Widget", snapshot=snap)
+        layer = problem.resolve_layer()
+        assert layer is problem.resolve_layer()  # cached
+        assert explore(problem).frontier.outcomes()
+
+    def test_problem_without_any_layer_source_raises(self):
+        problem = ExplorationProblem(start="Widget")
+        with pytest.raises(ExplorationError, match="snapshot"):
+            problem.resolve_layer()
+
+    def test_pickled_problem_ships_snapshot_not_layer(self):
+        live = build_widget_layer()
+        problem = ExplorationProblem(start="Widget", layer=live,
+                                     snapshot=live.snapshot())
+        clone = pickle.loads(pickle.dumps(problem))
+        assert clone.layer is None
+        assert clone.snapshot.digest == problem.snapshot.digest
+        assert explore(clone).frontier.digest() == \
+            explore(ExplorationProblem(start="Widget",
+                                       layer=live)).frontier.digest()

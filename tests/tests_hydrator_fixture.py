@@ -1,0 +1,13 @@
+"""Importable hydrator module for qualified-name resolution tests.
+
+``resolve_hydrator("tests_hydrator_fixture:fixture-hydrator")`` imports
+this module — which registers the hydrator as a side effect — exactly
+the way a spawn-started worker process picks up project hydrators.
+"""
+
+from repro.core.serialize import register_hydrator
+
+
+@register_hydrator("fixture-hydrator")
+def fixture_hydrator(layer):
+    layer.description = f"{layer.description} [hydrated]"
