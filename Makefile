@@ -3,7 +3,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-show examples docs smoke all
+.PHONY: install test test-sanitized analyze bench bench-show examples \
+	docs smoke all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -11,6 +12,15 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The whole suite again with the runtime mutation sanitizer armed:
+# sealed hydrated layers turn any in-worker mutation into a hard error.
+test-sanitized:
+	DSL_SANITIZE=1 $(PYTHON) -m pytest tests/
+
+# Concurrency/invariant analysis of the repo's own source (the CI gate).
+analyze:
+	$(PYTHON) -m repro analyze --fail-on warning
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

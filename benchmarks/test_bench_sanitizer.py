@@ -1,0 +1,47 @@
+"""E-SAN — runtime mutation sanitizer overhead on the 50k-core walk.
+
+The sanitizer (``DSL_SANITIZE=1``) must be cheap enough to leave on in
+test/CI runs: the 50k-core pruning walk with the sanitizer active and
+the layer sealed may cost at most 25% over the plain walk
+(best-of-N over best-of-N).  Same helpers as ``benchmarks/record.py``,
+which commits the numbers to ``BENCH_pruning.json``.
+"""
+
+import pytest
+
+from record import SANITIZER_BUDGET, sanitizer_overhead_measurements
+from test_bench_scaling import synthetic_layer
+
+from conftest import emit
+
+from repro.analysis import sanitizer
+from repro.errors import SanitizerError
+
+
+@pytest.fixture(scope="module")
+def layer_50k():
+    return synthetic_layer(50000)
+
+
+def test_bench_sanitizer_overhead_within_budget(layer_50k):
+    data = sanitizer_overhead_measurements(repeat=5, layer=layer_50k)
+    emit("Sanitizer overhead — 50k-core pruning walk",
+         f"plain     best: {min(data['plain']) * 1e3:8.2f} ms\n"
+         f"sanitized best: {min(data['sanitized']) * 1e3:8.2f} ms\n"
+         f"ratio: x{data['ratio']:.3f}  (budget x{SANITIZER_BUDGET})")
+    assert data["ratio"] < SANITIZER_BUDGET, (
+        f"sanitizer overhead x{data['ratio']:.3f} exceeds the "
+        f"x{SANITIZER_BUDGET} budget")
+
+
+def test_sealed_bench_layer_still_rejects_writes(layer_50k):
+    """The measured configuration is the guarding one: the very layer
+    the benchmark seals must reject a mutation."""
+    with sanitizer.sanitized():
+        sanitizer.seal(layer_50k)
+        try:
+            with pytest.raises(SanitizerError):
+                layer_50k.add_alias("illegal", next(
+                    iter(layer_50k.all_cdos())).qualified_name)
+        finally:
+            sanitizer.unseal(layer_50k)

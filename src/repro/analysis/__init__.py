@@ -1,0 +1,58 @@
+"""Static concurrency/invariant analysis over the repo's own source.
+
+Three passes — shared-state race detection (DSA001/DSA002), epoch-bump
+verification (DSA010–DSA012) and snapshot immutability (DSA020/DSA021)
+— plus a suppression audit (DSA003/DSA004), driven by the reified
+concurrency contract in :mod:`repro.analysis.contract`.  The runtime
+half lives in :mod:`repro.analysis.sanitizer` (``DSL_SANITIZE=1``).
+
+This ``__init__`` is deliberately lazy (PEP 562): ``repro.core``
+modules import :mod:`repro.analysis.sanitizer` for their mutation
+hooks, and eagerly importing the analyzer here would close an import
+cycle through :mod:`repro.core.lint`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, List
+
+_EXPORTS = {
+    # model
+    "Finding": "repro.analysis.model",
+    "AnalysisReport": "repro.analysis.model",
+    "merge_findings": "repro.analysis.model",
+    # registry
+    "AnalysisRule": "repro.analysis.registry",
+    "AnalysisRegistry": "repro.analysis.registry",
+    "AnalysisConfig": "repro.analysis.registry",
+    "DEFAULT_REGISTRY": "repro.analysis.registry",
+    "CATEGORIES": "repro.analysis.registry",
+    # contract
+    "ConcurrencyContract": "repro.analysis.contract",
+    "EpochContract": "repro.analysis.contract",
+    "DEFAULT_CONTRACT": "repro.analysis.contract",
+    # engine
+    "analyze_paths": "repro.analysis.engine",
+    "analyze_package": "repro.analysis.engine",
+    # inventory (for tests / tooling built on the model)
+    "ProjectModel": "repro.analysis.inventory",
+    "build_model": "repro.analysis.inventory",
+    "collect_files": "repro.analysis.inventory",
+}
+
+__all__ = sorted(_EXPORTS) + ["sanitizer"]
+
+
+def __getattr__(name: str) -> Any:
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

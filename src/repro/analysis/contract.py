@@ -1,0 +1,163 @@
+"""The repo's own concurrency contract, reified as data.
+
+The parallel/serving path (PR 6's ``WorkerPool``s, the planned service
+layer) shares state across threads and processes under three rules:
+
+1. **Shared classes are internally synchronized.**  Every class listed in
+   :attr:`ConcurrencyContract.shared_classes` may be reached from more
+   than one worker at once, so *every* attribute write in its methods
+   must sit under a recognized lock — except the *owned mutators*, which
+   callers may only invoke while they exclusively own the object (the
+   build phase, before a layer is published/snapshot).
+
+2. **Epoch-guarded stores always move their epoch.**  The epoch
+   contracts pair each mutable store with the invalidation that keeps
+   the index/verify/prune caches honest: either an explicit bump
+   (``_bump()`` / ``_touch()`` / ``self._epoch += 1``) or — for *derived*
+   epochs computed from store lengths — an insert-only discipline
+   (membership guard that raises on duplicates, so a write always
+   changes ``len``).
+
+3. **Hydrated layers are frozen.**  Worker-side code may read a layer
+   obtained from a snapshot/cache (``_hydrate_snapshot``,
+   ``LayerSnapshot.hydrate``, ``_worker_layer``, ``_LAYER_CACHE.get``)
+   but never call a representation mutator or install a recorder on it.
+
+The static passes (:mod:`~repro.analysis.races`,
+:mod:`~repro.analysis.epochs`, :mod:`~repro.analysis.snapshots`) check
+these rules over the AST; the runtime sanitizer
+(:mod:`~repro.analysis.sanitizer`) enforces rule 3 dynamically under
+``DSL_SANITIZE=1``.  Tests construct custom contracts to analyze
+synthetic fixture modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class EpochContract:
+    """Pairs one class's mutable stores with its epoch invalidation.
+
+    ``derived`` epochs are computed from store sizes/versions (the layer
+    signature), so instead of a bump call the contract demands an
+    insert-only guard on subscript writes.
+    """
+
+    class_name: str
+    stores: Tuple[str, ...]
+    bump_methods: Tuple[str, ...] = ()
+    epoch_attrs: Tuple[str, ...] = ()
+    derived: bool = False
+
+
+@dataclass(frozen=True)
+class ConcurrencyContract:
+    """Everything the analyzer needs to know about sharing rules."""
+
+    #: Classes whose instances may be visible to several workers at once.
+    shared_classes: FrozenSet[str] = frozenset()
+
+    #: Per shared class: methods the ownership contract exempts from the
+    #: lock requirement (only the single owner may call them; the
+    #: sanitizer backstops this at runtime).
+    owned_mutators: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+
+    #: Classes that are never shared at all, with the reason (documented
+    #: so the analyzer's silence on them is auditable).
+    single_owner: Mapping[str, str] = field(default_factory=dict)
+
+    #: Store-to-epoch pairings checked by the epoch verifier.
+    epoch_contracts: Tuple[EpochContract, ...] = ()
+
+    #: Module-level functions whose return value is a hydrated layer
+    #: shared across tasks.
+    hydration_functions: FrozenSet[str] = frozenset()
+
+    #: Method names whose return value is a hydrated layer (``hydrate``).
+    hydration_methods: FrozenSet[str] = frozenset()
+
+    #: ``GLOBAL.method`` call chains whose return value is a hydrated
+    #: layer (``_LAYER_CACHE.get``).
+    hydration_chains: FrozenSet[str] = frozenset()
+
+    #: Representation mutators that must never run on a hydrated layer.
+    layer_mutators: FrozenSet[str] = frozenset()
+
+    #: Extra concurrency entry points (``module:qualname``) beyond the
+    #: auto-detected executor submissions/initializers/Thread targets.
+    extra_entry_points: FrozenSet[str] = frozenset()
+
+
+#: The live contract for this repository.
+DEFAULT_CONTRACT = ConcurrencyContract(
+    shared_classes=frozenset({
+        "DesignSpaceLayer",
+        "LibraryFederation",
+        "ReuseLibrary",
+        "DesignObject",
+        "ConstraintSet",
+        "CoreIndex",
+        "MetricsRegistry",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "_LayerCache",
+        "_HydrationLog",
+    }),
+    owned_mutators={
+        "DesignSpaceLayer": frozenset({
+            "add_root", "add_alias", "add_constraint", "register_tool",
+            "attach_library", "observe",
+        }),
+        "LibraryFederation": frozenset({"attach", "detach", "observe"}),
+        "ReuseLibrary": frozenset({"add", "add_all", "remove", "observe",
+                                   "_bump"}),
+        "DesignObject": frozenset({"set_property", "set_merit", "set_view",
+                                   "_touch"}),
+        "ConstraintSet": frozenset({"add"}),
+    },
+    single_owner={
+        "TraceRecorder": (
+            "a recorder belongs to exactly one layer/session; replay and "
+            "export happen after the owning session closes, and installing "
+            "one on a shared layer is itself a finding (DSA021)"),
+        "ExplorationSession": (
+            "each worker builds its own session over the shared layer; "
+            "sessions are never handed across threads"),
+    },
+    epoch_contracts=(
+        EpochContract("DesignObject",
+                      stores=("_properties", "_merits", "_views"),
+                      bump_methods=("_touch",)),
+        EpochContract("ReuseLibrary",
+                      stores=("_cores",),
+                      bump_methods=("_bump",),
+                      epoch_attrs=("_epoch",)),
+        EpochContract("LibraryFederation",
+                      stores=("_libraries",),
+                      epoch_attrs=("_epoch",)),
+        EpochContract("DesignSpaceLayer",
+                      stores=("_roots", "_aliases", "_tools"),
+                      epoch_attrs=("_epoch",),
+                      derived=True),
+        EpochContract("ConstraintSet",
+                      stores=("_constraints",),
+                      derived=True),
+    ),
+    hydration_functions=frozenset({"_hydrate_snapshot", "_worker_layer"}),
+    hydration_methods=frozenset({"hydrate"}),
+    hydration_chains=frozenset({"_LAYER_CACHE.get"}),
+    layer_mutators=frozenset({
+        "add_root", "add_alias", "add_constraint", "register_tool",
+        "attach_library", "attach", "detach", "add", "add_all", "remove",
+        "set_property", "set_merit", "set_view",
+    }),
+    extra_entry_points=frozenset({
+        "repro.core.explore.parallel:evaluate_branch",
+        "repro.core.explore.parallel:evaluate_chunk",
+        "repro.core.explore.parallel:_pool_initializer",
+    }),
+)

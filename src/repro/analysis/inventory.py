@@ -1,0 +1,568 @@
+"""AST inventory over the repo's own source.
+
+Parses every analyzed file once and extracts, per function, the facts
+the three analyzer passes consume:
+
+* write sites against module-level mutable globals and ``self``
+  attributes (assignments, subscript stores, augmented assignments,
+  deletions, and calls to known in-place container mutators);
+* which lines sit inside a recognized lock's ``with`` block (module
+  locks assigned ``threading.Lock()``/``RLock()``, or ``self`` lock
+  attributes assigned in ``__init__`` / named ``*lock``);
+* call sites for the call graph (plain names, ``self.method``, and
+  attribute calls resolved to every project class defining the method —
+  a deliberate over-approximation, safe for a checker);
+* concurrency entry points auto-detected from ``executor.submit(f)``,
+  ``loop.run_in_executor(ex, f)``, ``initializer=`` on executor/pool
+  constructors and ``target=`` on ``Thread`` calls;
+* locals assigned from calls (so the snapshot checker can track which
+  locals hold hydrated layers) and method calls on those locals.
+
+Everything is line-based and lexical: the model never imports the code
+it analyzes.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.contract import ConcurrencyContract
+from repro.errors import AnalysisError
+
+#: Container methods that mutate their receiver in place.
+MUTATING_CALLS = frozenset({
+    "append", "extend", "insert", "remove", "discard", "pop", "popitem",
+    "clear", "update", "setdefault", "add", "move_to_end", "sort",
+    "reverse", "appendleft", "popleft",
+})
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return False
+
+
+def _is_mutable_initializer(node: ast.AST) -> bool:
+    """Module-level values we treat as shared mutable containers."""
+    return isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp, ast.Call))
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One write against a tracked target."""
+
+    lineno: int
+    target: str           #: global name or ``self`` attribute name
+    kind: str             #: assign | subscript | augassign | delete | call
+    detail: str = ""      #: mutator method name for ``call`` writes
+    value_is_local_name: bool = False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call, classified for graph resolution."""
+
+    kind: str             #: name | self | attr
+    name: str             #: function or method name
+    lineno: int
+    base: Optional[str] = None   #: receiver name for ``attr`` calls
+
+
+@dataclass(frozen=True)
+class LocalCallAssign:
+    """``local = f(...)`` / ``first, _ = f(...)`` — call-derived local."""
+
+    lineno: int
+    local: str
+    kind: str             #: name | attr | chain
+    callee: str           #: ``f`` / ``hydrate`` / ``_LAYER_CACHE.get``
+
+
+@dataclass
+class FunctionInfo:
+    """All analyzer-relevant facts about one function/method."""
+
+    module: str
+    name: str
+    qualname: str                     #: ``module:Class.method`` form
+    class_name: Optional[str]
+    lineno: int
+    global_writes: List[WriteSite] = field(default_factory=list)
+    self_writes: List[WriteSite] = field(default_factory=list)
+    guarded_lines: Set[int] = field(default_factory=set)
+    calls: List[CallSite] = field(default_factory=list)
+    self_calls: Set[str] = field(default_factory=set)
+    self_augassigns: Set[str] = field(default_factory=set)
+    raises: bool = False
+    membership_tests: Set[str] = field(default_factory=set)
+    get_guard_attrs: Set[str] = field(default_factory=set)
+    local_call_assigns: List[LocalCallAssign] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    module: str
+    name: str
+    lineno: int
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    self_locks: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    name: str                         #: dotted module name
+    path: str                         #: path relative to the root
+    source: str
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+    module_locks: Set[str] = field(default_factory=set)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    entry_exprs: List[Tuple[str, Optional[str], int]] = \
+        field(default_factory=list)  #: (name, base-or-None, lineno)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Single walk over one function body collecting every fact."""
+
+    def __init__(self, info: FunctionInfo, mutable_globals: Set[str],
+                 module_locks: Set[str], self_locks: Set[str]) -> None:
+        self.info = info
+        self.mutable_globals = mutable_globals
+        self.module_locks = module_locks
+        self.self_locks = self_locks
+        self.declared_globals: Set[str] = set()
+        self._lock_depth = 0
+
+    # -- helpers -------------------------------------------------------
+    def _is_lock_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.module_locks
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr in self.self_locks or attr.endswith("lock")
+        return False
+
+    def _record_write(self, lineno: int, base: ast.AST, kind: str,
+                      detail: str = "",
+                      value_is_local_name: bool = False) -> None:
+        attr = _self_attr(base)
+        if attr is not None:
+            site = WriteSite(lineno, attr, kind, detail, value_is_local_name)
+            if self._lock_depth:
+                self.info.guarded_lines.add(lineno)
+            self.info.self_writes.append(site)
+            return
+        if isinstance(base, ast.Name) and (
+                base.id in self.mutable_globals
+                or base.id in self.declared_globals):
+            site = WriteSite(lineno, base.id, kind, detail,
+                             value_is_local_name)
+            if self._lock_depth:
+                self.info.guarded_lines.add(lineno)
+            self.info.global_writes.append(site)
+
+    def _target_write(self, target: ast.AST, stmt: ast.stmt,
+                      value: Optional[ast.AST]) -> None:
+        value_is_local = isinstance(value, ast.Name)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target_write(element, stmt, None)
+            return
+        if isinstance(target, ast.Subscript):
+            self._record_write(stmt.lineno, target.value, "subscript",
+                               value_is_local_name=value_is_local)
+            return
+        if isinstance(target, ast.Attribute):
+            attr = _self_attr(target)
+            if attr is not None:
+                site = WriteSite(stmt.lineno, attr, "assign",
+                                 value_is_local_name=value_is_local)
+                if self._lock_depth:
+                    self.info.guarded_lines.add(stmt.lineno)
+                self.info.self_writes.append(site)
+            elif isinstance(target.value, ast.Name) and \
+                    target.value.id in self.mutable_globals:
+                self._record_write(stmt.lineno, target.value, "assign")
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_globals:
+                site = WriteSite(stmt.lineno, target.id, "assign",
+                                 value_is_local_name=value_is_local)
+                if self._lock_depth:
+                    self.info.guarded_lines.add(stmt.lineno)
+                self.info.global_writes.append(site)
+
+    # -- statements ----------------------------------------------------
+    def visit_Global(self, node: ast.Global) -> None:
+        self.declared_globals.update(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._target_write(target, node, node.value)
+        self._record_local_call_assign(node.targets, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._target_write(node.target, node, node.value)
+            self._record_local_call_assign([node.target], node.value,
+                                           node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        attr = _self_attr(target)
+        if attr is not None:
+            self.info.self_augassigns.add(attr)
+            site = WriteSite(node.lineno, attr, "augassign")
+            if self._lock_depth:
+                self.info.guarded_lines.add(node.lineno)
+            self.info.self_writes.append(site)
+        elif isinstance(target, ast.Subscript):
+            self._record_write(node.lineno, target.value, "augassign")
+        elif isinstance(target, ast.Name) and (
+                target.id in self.declared_globals):
+            site = WriteSite(node.lineno, target.id, "augassign")
+            if self._lock_depth:
+                self.info.guarded_lines.add(node.lineno)
+            self.info.global_writes.append(site)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                self._record_write(node.lineno, target.value, "delete")
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self.info.raises = True
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+            for comparator in node.comparators:
+                attr = _self_attr(comparator)
+                if attr is not None:
+                    self.info.membership_tests.add(attr)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(self._is_lock_expr(item.context_expr)
+                     for item in node.items)
+        if locked:
+            self._lock_depth += 1
+            for child in node.body:
+                for sub in ast.walk(child):
+                    lineno = getattr(sub, "lineno", None)
+                    if lineno is not None:
+                        self.info.guarded_lines.add(lineno)
+        self.generic_visit(node)
+        if locked:
+            self._lock_depth -= 1
+
+    # -- calls ---------------------------------------------------------
+    def _record_local_call_assign(self, targets: Sequence[ast.AST],
+                                  value: ast.AST, lineno: int) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        local: Optional[str] = None
+        for target in targets:
+            if isinstance(target, ast.Name):
+                local = target.id
+                break
+            if isinstance(target, (ast.Tuple, ast.List)) and target.elts \
+                    and isinstance(target.elts[0], ast.Name):
+                local = target.elts[0].id
+                break
+        if local is None:
+            return
+        func = value.func
+        if isinstance(func, ast.Name):
+            self.info.local_call_assigns.append(
+                LocalCallAssign(lineno, local, "name", func.id))
+        elif isinstance(func, ast.Attribute):
+            self.info.local_call_assigns.append(
+                LocalCallAssign(lineno, local, "attr", func.attr))
+            if isinstance(func.value, ast.Name):
+                self.info.local_call_assigns.append(LocalCallAssign(
+                    lineno, local, "chain",
+                    f"{func.value.id}.{func.attr}"))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self.info.calls.append(CallSite("name", func.id, node.lineno))
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            base_attr = _self_attr(base)
+            if isinstance(base, ast.Name) and base.id == "self":
+                self.info.self_calls.add(func.attr)
+                self.info.calls.append(
+                    CallSite("self", func.attr, node.lineno))
+            else:
+                receiver = base.id if isinstance(base, ast.Name) else None
+                self.info.calls.append(
+                    CallSite("attr", func.attr, node.lineno, base=receiver))
+                if func.attr in MUTATING_CALLS:
+                    self._record_write(node.lineno, base, "call",
+                                       detail=func.attr)
+                if func.attr == "get" and base_attr is not None:
+                    self.info.get_guard_attrs.add(base_attr)
+        self.generic_visit(node)
+
+    # nested defs share the enclosing function's fact sheet (closures
+    # still run on the worker), but are not separate graph nodes
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.generic_visit(node)
+
+
+def _entry_targets(call: ast.Call) -> List[ast.AST]:
+    """Expressions this call schedules for concurrent execution."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        fname = func.attr
+    elif isinstance(func, ast.Name):
+        fname = func.id
+    else:
+        fname = ""
+    out: List[ast.AST] = []
+    if fname == "submit" and call.args:
+        out.append(call.args[0])
+    if fname == "run_in_executor" and len(call.args) >= 2:
+        out.append(call.args[1])
+    for keyword in call.keywords:
+        if keyword.arg == "initializer" and (
+                "Executor" in fname or "Pool" in fname):
+            out.append(keyword.value)
+        if keyword.arg == "target" and "Thread" in fname:
+            out.append(keyword.value)
+    return out
+
+
+def _scan_module(name: str, path: str, source: str) -> ModuleInfo:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # pragma: no cover - analyzed code parses
+        raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+    info = ModuleInfo(name=name, path=path, source=source)
+
+    # module-level globals and locks
+    for stmt in tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if _is_lock_factory(value):
+                info.module_locks.add(target.id)
+            elif _is_mutable_initializer(value):
+                info.mutable_globals[target.id] = stmt.lineno
+
+    # class inventory: methods + self locks
+    def scan_function(node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                      class_info: Optional[ClassInfo]) -> FunctionInfo:
+        class_name = class_info.name if class_info else None
+        qual = f"{name}:{class_name}.{node.name}" if class_name \
+            else f"{name}:{node.name}"
+        fn = FunctionInfo(module=name, name=node.name, qualname=qual,
+                          class_name=class_name, lineno=node.lineno)
+        self_locks = class_info.self_locks if class_info else set()
+        scanner = _FunctionScanner(fn, set(info.mutable_globals),
+                                   info.module_locks, self_locks)
+        for child in node.body:
+            scanner.visit(child)
+        return fn
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            cls = ClassInfo(module=name, name=stmt.name, lineno=stmt.lineno)
+            # first pass: find the lock attributes so every method's
+            # guard recognition sees them
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)) and \
+                        member.name == "__init__":
+                    for sub in ast.walk(member):
+                        if isinstance(sub, ast.Assign) and \
+                                _is_lock_factory(sub.value):
+                            for target in sub.targets:
+                                attr = _self_attr(target)
+                                if attr is not None:
+                                    cls.self_locks.add(attr)
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    fn = scan_function(member, cls)
+                    cls.methods[member.name] = fn
+                    info.functions[fn.qualname] = fn
+            info.classes[stmt.name] = cls
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = scan_function(stmt, None)
+            info.functions[fn.qualname] = fn
+
+    # entry points: every call anywhere in the module
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for target in _entry_targets(node):
+                if isinstance(target, ast.Name):
+                    info.entry_exprs.append((target.id, None, node.lineno))
+                elif isinstance(target, ast.Attribute):
+                    base = target.value
+                    receiver = base.id if isinstance(base, ast.Name) else None
+                    info.entry_exprs.append(
+                        (target.attr, receiver, node.lineno))
+    return info
+
+
+@dataclass
+class ProjectModel:
+    """The parsed project plus its resolved call graph."""
+
+    root: str
+    modules: Dict[str, ModuleInfo]
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    methods_by_name: Dict[str, List[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for module in self.modules.values():
+            self.functions.update(module.functions)
+            for cls in module.classes.values():
+                for mname, fn in cls.methods.items():
+                    self.methods_by_name.setdefault(mname, []).append(
+                        fn.qualname)
+
+    # -- resolution ----------------------------------------------------
+    def _resolve_name(self, module: ModuleInfo, name: str) -> List[str]:
+        """A plain-name call: same-module function or class __init__."""
+        out: List[str] = []
+        qual = f"{module.name}:{name}"
+        if qual in self.functions:
+            out.append(qual)
+        cls = module.classes.get(name)
+        if cls is not None and "__init__" in cls.methods:
+            out.append(cls.methods["__init__"].qualname)
+        if not out:
+            # cross-module: any project module defining the function;
+            # over-approximate rather than model the import table
+            for other in self.modules.values():
+                qual = f"{other.name}:{name}"
+                if qual in self.functions:
+                    out.append(qual)
+                cls = other.classes.get(name)
+                if cls is not None and "__init__" in cls.methods:
+                    out.append(cls.methods["__init__"].qualname)
+        return out
+
+    def _resolve_call(self, fn: FunctionInfo, call: CallSite) -> List[str]:
+        module = self.modules[fn.module]
+        if call.kind == "name":
+            return self._resolve_name(module, call.name)
+        if call.kind == "self" and fn.class_name is not None:
+            cls = module.classes.get(fn.class_name)
+            if cls is not None and call.name in cls.methods:
+                return [cls.methods[call.name].qualname]
+        # attribute call (or unresolved self call): every project class
+        # defining the method — the safe over-approximation
+        return list(self.methods_by_name.get(call.name, ()))
+
+    def entry_points(self, contract: ConcurrencyContract) -> Set[str]:
+        seeds: Set[str] = set()
+        for module in self.modules.values():
+            for name, base, _lineno in module.entry_exprs:
+                if base == "self" or base is None:
+                    seeds.update(self._resolve_name(module, name))
+                if base is not None:
+                    seeds.update(self.methods_by_name.get(name, ()))
+        for qual in contract.extra_entry_points:
+            if qual in self.functions:
+                seeds.add(qual)
+        return seeds
+
+    def reachable(self, contract: ConcurrencyContract) -> Set[str]:
+        """Functions reachable from any concurrency entry point."""
+        seen: Set[str] = set()
+        work = sorted(self.entry_points(contract))
+        while work:
+            qual = work.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            fn = self.functions.get(qual)
+            if fn is None:
+                continue
+            for call in fn.calls:
+                for target in self._resolve_call(fn, call):
+                    if target not in seen:
+                        work.append(target)
+        return seen
+
+
+def _module_name(relpath: str) -> str:
+    stem = relpath[:-3] if relpath.endswith(".py") else relpath
+    dotted = stem.replace(os.sep, ".").replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(os.path.abspath(path))
+            continue
+        if not os.path.isdir(path):
+            raise AnalysisError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    out.append(os.path.abspath(
+                        os.path.join(dirpath, filename)))
+    return sorted(set(out))
+
+
+def build_model(files: Sequence[str], root: str) -> ProjectModel:
+    """Parse ``files`` (absolute paths) into a :class:`ProjectModel`."""
+    root = os.path.abspath(root)
+    modules: Dict[str, ModuleInfo] = {}
+    for path in files:
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        info = _scan_module(_module_name(rel), rel, source)
+        modules[info.name] = info
+    return ProjectModel(root=root, modules=modules)

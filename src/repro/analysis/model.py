@@ -1,0 +1,172 @@
+"""The concurrency analyzer's finding model.
+
+A :class:`Finding` is one result of the static pass over the *repo's own
+source*: a stable ``DSA0xx`` code, a severity (reusing the design-space
+linter's :class:`~repro.core.lint.diagnostics.Severity` scale), a file
+location, the symbol at fault (``module:Class.method``), a message and a
+fix-it hint.  Findings are plain values; the three analyzers produce
+them, :func:`repro.analysis.engine.analyze_paths` collects them into an
+:class:`AnalysisReport`, and the CLI renders the report as text or JSON.
+
+Unlike lint diagnostics — which describe a *design space layer* — these
+findings describe *code*, so they carry path/line locations and an
+explicit suppression state: a finding matched by an in-source
+``# dsa: allow[DSA0xx] -- justification`` comment stays in the report
+(auditable) but no longer counts toward the ``--fail-on`` gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.lint.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding against a source file."""
+
+    code: str            #: Stable ``DSA0xx`` identifier.
+    rule: str            #: Kebab-case rule slug (``unguarded-shared-write``).
+    severity: Severity
+    path: str            #: Path relative to the analysis root.
+    line: int            #: 1-based line of the offending statement.
+    symbol: str          #: ``module:Class.method`` or ``module:function``.
+    message: str
+    hint: str = ""       #: Optional fix-it suggestion.
+    suppressed: bool = False
+    justification: str = ""
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        """Path-major, stable order — analyzer output must be
+        deterministic for the CI gate and golden tests."""
+        return (self.path, self.line, self.code, self.message)
+
+    def suppress(self, justification: str) -> "Finding":
+        return replace(self, suppressed=True, justification=justification)
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        line = (f"{self.path}:{self.line}: {self.code} "
+                f"{self.severity.value}{mark} [{self.symbol}] {self.message}")
+        if self.suppressed and self.justification:
+            line += f"\n    justification: {self.justification}"
+        if self.hint and not self.suppressed:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.justification:
+            out["justification"] = self.justification
+        return out
+
+
+@dataclass
+class AnalysisReport:
+    """The collected findings of one analysis pass over a source tree."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    def __post_init__(self) -> None:
+        self.findings = sorted(self.findings, key=Finding.sort_key)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count toward the gate (not suppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def codes(self) -> Sequence[str]:
+        return tuple(sorted({f.code for f in self.findings}))
+
+    @property
+    def clean(self) -> bool:
+        """No unsuppressed findings at all."""
+        return not self.active
+
+    def counts(self) -> Dict[str, int]:
+        out = {severity.value: 0 for severity in Severity}
+        for finding in self.active:
+            out[finding.severity.value] += 1
+        return out
+
+    def has_at_least(self, threshold: Severity) -> bool:
+        """Whether any *unsuppressed* finding is at or above ``threshold``
+        — the ``--fail-on`` gate deliberately ignores suppressed findings
+        (their justification comments are the audit trail)."""
+        return any(f.severity.rank >= threshold.rank for f in self.active)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        base = f"analysis of {self.root} ({self.files} files)"
+        if self.clean:
+            suffix = "clean"
+        else:
+            counts = self.counts()
+            parts = [f"{counts[s.value]} {s.value}"
+                     f"{'s' if counts[s.value] != 1 else ''}"
+                     for s in Severity if counts[s.value]]
+            suffix = ", ".join(parts)
+        if self.suppressed:
+            suffix += f" ({len(self.suppressed)} suppressed)"
+        return f"{base}: {suffix}"
+
+    def render_text(self) -> str:
+        lines = [self.summary()]
+        lines.extend(f.render() for f in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "files": self.files,
+            "summary": self.counts(),
+            "clean": self.clean,
+            "suppressed": len(self.suppressed),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def merge_findings(root: str, files: int,
+                   groups: Iterable[Iterable[Finding]]) -> AnalysisReport:
+    """Combine several analyzers' findings into one report."""
+    findings: List[Finding] = []
+    for group in groups:
+        findings.extend(group)
+    return AnalysisReport(root=root, findings=findings, files=files)

@@ -1,0 +1,104 @@
+"""Shared-state race detector (DSA001/DSA002).
+
+Two flags, both lexical:
+
+* **Reachable global writes** — a function reachable from a concurrency
+  entry point writes a module-level mutable (subscript store, in-place
+  mutator call, augmented assignment, rebinding under ``global``)
+  outside a recognized lock's ``with`` block.
+
+* **Shared-class internal writes** — a method of a contract-shared
+  class writes a ``self`` attribute outside a lock.  This applies to
+  *every* method regardless of reachability: the class-level contract is
+  that a shared class is internally synchronized, so even a path no
+  worker currently takes must be safe.  Owned mutators and ``__init__``
+  (object under construction) are exempt.
+
+The one deliberate soft spot: a method whose only unguarded writes are
+idempotent cache publishes — subscript stores of a locally built value
+into a ``self`` dict — gets the warning-grade DSA002 instead, because
+the store is atomic under the GIL and the worst interleaving
+double-computes the value.  Such sites must either take the lock or
+carry a justified suppression.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.contract import ConcurrencyContract
+from repro.analysis.inventory import FunctionInfo, ProjectModel, WriteSite
+from repro.analysis.model import Finding
+from repro.analysis.registry import (UNGUARDED_SHARED_WRITE,
+                                     UNLOCKED_CACHE_PUBLISH)
+
+
+def _describe(write: WriteSite) -> str:
+    if write.kind == "call":
+        return f"in-place '{write.detail}' on {write.target!r}"
+    verbs = {"assign": "assignment to", "subscript": "subscript store into",
+             "augassign": "augmented assignment to",
+             "delete": "deletion from"}
+    return f"{verbs.get(write.kind, write.kind)} {write.target!r}"
+
+
+def _unguarded(fn: FunctionInfo, writes: List[WriteSite]) -> List[WriteSite]:
+    return [w for w in writes if w.lineno not in fn.guarded_lines]
+
+
+def find_races(model: ProjectModel,
+               contract: ConcurrencyContract) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # Flag A: module-global writes on worker-reachable paths
+    reachable = model.reachable(contract)
+    for qualname in sorted(reachable):
+        fn = model.functions.get(qualname)
+        if fn is None:
+            continue
+        module = model.modules[fn.module]
+        for write in _unguarded(fn, fn.global_writes):
+            findings.append(UNGUARDED_SHARED_WRITE.make(
+                module.path, write.lineno, fn.qualname,
+                f"{_describe(write)}: module-level mutable written on a "
+                f"worker-reachable path without a lock",
+                hint="guard the write with a module lock's 'with' block "
+                     "or move the state into an internally synchronized "
+                     "shared class"))
+
+    # Flag B: shared classes must be internally synchronized
+    for class_name in sorted(contract.shared_classes):
+        owned = contract.owned_mutators.get(class_name, frozenset())
+        for module in model.modules.values():
+            cls = module.classes.get(class_name)
+            if cls is None:
+                continue
+            for method_name in sorted(cls.methods):
+                if method_name == "__init__" or method_name in owned:
+                    continue
+                fn = cls.methods[method_name]
+                unguarded = _unguarded(fn, fn.self_writes)
+                if not unguarded:
+                    continue
+                cache_publish = all(
+                    w.kind == "subscript" and w.value_is_local_name
+                    for w in unguarded)
+                for write in unguarded:
+                    if cache_publish:
+                        findings.append(UNLOCKED_CACHE_PUBLISH.make(
+                            module.path, write.lineno, fn.qualname,
+                            f"{_describe(write)}: idempotent cache publish "
+                            f"in shared class {class_name} runs without "
+                            f"the instance lock",
+                            hint="take the lock, or suppress with "
+                                 "'# dsa: allow[DSA002] -- <why benign>'"))
+                    else:
+                        findings.append(UNGUARDED_SHARED_WRITE.make(
+                            module.path, write.lineno, fn.qualname,
+                            f"{_describe(write)}: shared class "
+                            f"{class_name} mutates itself outside a lock "
+                            f"and outside the owned-mutator set",
+                            hint="wrap the write in 'with self._lock:' or "
+                                 "declare the method an owned mutator in "
+                                 "the concurrency contract"))
+    return findings

@@ -317,6 +317,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.has_at_least(threshold) else 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEFAULT_REGISTRY as ANALYSIS_REGISTRY,
+        AnalysisConfig,
+        analyze_package,
+        analyze_paths,
+    )
+    from repro.core.lint import parse_severity
+    if args.list_rules:
+        for analysis_rule in ANALYSIS_REGISTRY:
+            print(analysis_rule.describe())
+        return 0
+    config = AnalysisConfig(select=args.select or None,
+                            disable=tuple(args.disable or ()))
+    if args.path:
+        report = analyze_paths(args.path, config=config)
+    else:
+        report = analyze_package(args.package, config=config)
+    if args.json or args.format == "json":
+        _emit_json(args, report.to_dict())
+    else:
+        _emit(args, report.render_text())
+    threshold = parse_severity(args.fail_on)
+    return 1 if report.has_at_least(threshold) else 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.lint import parse_severity
     layer = _build_layer(args.layer, args.eol)
@@ -541,6 +567,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("analyze",
+                       help="concurrency/invariant analysis of the "
+                            "repo's own source (DSA rules)",
+                       parents=[output_parent])
+    p.add_argument("path", nargs="*",
+                   help="files or directories to analyze (default: the "
+                        "installed repro package)")
+    p.add_argument("--package", default="repro",
+                   help="importable package to analyze when no paths "
+                        "are given (default: repro)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (legacy spelling of --json)")
+    p.add_argument("--fail-on", default="error",
+                   choices=("error", "warning", "info"),
+                   help="exit non-zero when unsuppressed findings at or "
+                        "above this severity exist")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="run only these rules (code, slug or category; "
+                        "repeatable)")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="skip these rules (code, slug or category; "
+                        "repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the DSA rule catalogue and exit")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("verify",
                        help="semantic verification of a layer "

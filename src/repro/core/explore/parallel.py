@@ -56,6 +56,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.core.explore.engine import ExplorationStats, SearchContext
 from repro.core.explore.outcome import Outcome, ParetoFrontier
 from repro.core.explore.problem import ExplorationProblem
@@ -148,34 +149,68 @@ class _LayerCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[object, ...], DesignSpaceLayer]" \
             = OrderedDict()
+        # The thread backend shares this cache across workers; the LRU
+        # bookkeeping (get's move_to_end, put's eviction loop) is a
+        # multi-step read-modify-write that corrupts the OrderedDict or
+        # raises KeyError when interleaved, so all three ops take the
+        # lock.
+        self._lock = threading.Lock()
 
     def get(self, key: Tuple[object, ...]) -> Optional[DesignSpaceLayer]:
-        layer = self._entries.get(key)
-        if layer is not None:
-            self._entries.move_to_end(key)
-        return layer
+        with self._lock:
+            layer = self._entries.get(key)
+            if layer is not None:
+                self._entries.move_to_end(key)
+            return layer
 
     def put(self, key: Tuple[object, ...], layer: DesignSpaceLayer) -> None:
-        self._entries[key] = layer
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = layer
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class _HydrationLog:
+    """Initializer hydration timings, drained by the first chunk each
+    worker returns (the parent cannot observe initializer work).
+
+    The old module-level list was appended and drained with a bare
+    ``len``/``sum``/``del`` sequence — under the thread backend two
+    workers draining at once could double-count or drop timings.  The
+    log owns a lock so :meth:`drain` is a single atomic take-all.
+    """
+
+    def __init__(self) -> None:
+        self._timings: List[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, elapsed: float) -> None:
+        with self._lock:
+            self._timings.append(elapsed)
+
+    def drain(self) -> Tuple[int, float]:
+        """Atomically take (count, total seconds) and reset."""
+        with self._lock:
+            count = len(self._timings)
+            total = sum(self._timings)
+            del self._timings[:]
+            return count, total
 
 
 #: Per-process cache of worker layers: a worker process serves many
 #: tasks and must not rebuild a 50k-core layer for each.
 _LAYER_CACHE = _LayerCache()
 
-#: Hydration timings recorded by the pool initializer, drained into the
-#: first chunk result each worker returns (the parent cannot observe
-#: initializer work directly).
-_INIT_HYDRATIONS: List[float] = []
+#: Hydration timings recorded by the pool initializer.
+_INIT_HYDRATIONS = _HydrationLog()
 
 
 def _snapshot_key(snapshot: LayerSnapshot) -> Tuple[object, ...]:
@@ -192,6 +227,10 @@ def _hydrate_snapshot(snapshot: LayerSnapshot) -> Tuple[DesignSpaceLayer,
     t0 = time.perf_counter()
     layer = snapshot.hydrate()
     elapsed = time.perf_counter() - t0
+    # Cached layers are shared by every task this worker runs (and, on
+    # the thread backend, by all workers): seal before publishing so the
+    # sanitizer turns any in-worker mutation into a hard error.
+    _sanitizer.seal(layer)
     _LAYER_CACHE.put(key, layer)
     return layer, elapsed, True
 
@@ -202,7 +241,7 @@ def _pool_initializer(snapshot: Optional[LayerSnapshot]) -> None:
     if snapshot is not None:
         _, elapsed, fresh = _hydrate_snapshot(snapshot)
         if fresh:
-            _INIT_HYDRATIONS.append(elapsed)
+            _INIT_HYDRATIONS.record(elapsed)
 
 
 def _worker_layer(problem: ExplorationProblem
@@ -240,6 +279,9 @@ def _worker_layer(problem: ExplorationProblem
         t0 = time.perf_counter()
         layer = factory()
         elapsed = time.perf_counter() - t0
+        # Same sharing contract as the snapshot path: once cached, the
+        # factory-built layer belongs to every task, so it is sealed.
+        _sanitizer.seal(layer)
         _LAYER_CACHE.put(key, layer)
         return layer, elapsed, True, False
     return layer, 0.0, False, False
@@ -292,11 +334,7 @@ def evaluate_chunk(chunk: Sequence[Tuple[int, BranchTask]]) -> _ChunkResult:
     """Evaluate one chunk of indexed tasks sequentially in this worker."""
     t0 = time.perf_counter()
     results = [(index, evaluate_branch(task)) for index, task in chunk]
-    init_hydrates, init_hydrate_s = 0, 0.0
-    if _INIT_HYDRATIONS:
-        init_hydrates = len(_INIT_HYDRATIONS)
-        init_hydrate_s = sum(_INIT_HYDRATIONS)
-        del _INIT_HYDRATIONS[:]
+    init_hydrates, init_hydrate_s = _INIT_HYDRATIONS.drain()
     return _ChunkResult(
         results=results,
         worker=f"{os.getpid()}:{threading.get_ident()}",

@@ -138,6 +138,10 @@ class CoreIndex:
             pairs = sorted((self.cores[i].merit(key), i)
                            for i in self._with_merit.get(key, _EMPTY))
             cached = ([v for v, _ in pairs], [i for _, i in pairs])
+            # dsa: allow[DSA002] -- idempotent publish: an index is frozen
+            # after __init__, so racing readers build identical arrays and
+            # the dict store is atomic under the GIL; worst case is one
+            # redundant sort, never a wrong answer
             self._merit_sorted[key] = cached
         return cached
 

@@ -17,8 +17,10 @@ The layer is purely a *representation* — exploration state lives in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.core.cdo import QNAME_SEP, ClassOfDesignObjects
 from repro.core.constraints import ConsistencyConstraint, ConstraintSet
 from repro.core.designobject import DesignObject
@@ -57,6 +59,12 @@ class DesignSpaceLayer:
         self._cdo_cache: Dict[str, ClassOfDesignObjects] = {}
         self._cdo_cache_epoch = -1
         self._all_cdos_cache: Optional[List[ClassOfDesignObjects]] = None
+        #: Guards the derived-epoch recomputation and the hierarchy
+        #: caches.  The signature compare-then-bump in :attr:`epoch` is
+        #: a classic lost-update window: a reader that publishes the new
+        #: signature before the increment lands lets a concurrent reader
+        #: key fresh state under the old epoch — stale forever after.
+        self._cache_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # epoch machinery
@@ -70,15 +78,17 @@ class DesignSpaceLayer:
         session memoization) key on this value, so they expire lazily and
         no mutation site ever has to flush them explicitly.
         """
-        signature = (self.libraries.epoch,
-                     len(self._aliases),
-                     len(self.constraints),
-                     len(self._tools),
-                     tuple(root._version for root in self._roots.values()))
-        if signature != self._epoch_signature:
-            self._epoch_signature = signature
-            self._epoch += 1
-        return self._epoch
+        with self._cache_lock:
+            signature = (self.libraries.epoch,
+                         len(self._aliases),
+                         len(self.constraints),
+                         len(self._tools),
+                         tuple(root._version
+                               for root in self._roots.values()))
+            if signature != self._epoch_signature:
+                self._epoch_signature = signature
+                self._epoch += 1
+            return self._epoch
 
     # ------------------------------------------------------------------
     # observability
@@ -100,6 +110,7 @@ class DesignSpaceLayer:
         themselves with a ``session_open`` event that carries any state
         accumulated before tracing was switched on.
         """
+        _sanitizer.check_write(self, "DesignSpaceLayer.observe")
         if recorder is _UNSET:
             if not self.observer.enabled:
                 return self.observe(TraceRecorder())
@@ -113,17 +124,19 @@ class DesignSpaceLayer:
         return recorder
 
     def _hierarchy_caches(self) -> Dict[str, ClassOfDesignObjects]:
-        epoch = self.epoch
-        if epoch != self._cdo_cache_epoch:
-            self._cdo_cache = {}
-            self._all_cdos_cache = None
-            self._cdo_cache_epoch = epoch
-        return self._cdo_cache
+        with self._cache_lock:
+            epoch = self.epoch
+            if epoch != self._cdo_cache_epoch:
+                self._cdo_cache = {}
+                self._all_cdos_cache = None
+                self._cdo_cache_epoch = epoch
+            return self._cdo_cache
 
     # ------------------------------------------------------------------
     # hierarchy management
     # ------------------------------------------------------------------
     def add_root(self, cdo: ClassOfDesignObjects) -> ClassOfDesignObjects:
+        _sanitizer.check_write(self, "DesignSpaceLayer.add_root")
         if cdo.parent is not None:
             raise HierarchyError(
                 f"{cdo.qualified_name} is not a root (it has a parent)")
@@ -137,13 +150,14 @@ class DesignSpaceLayer:
         return tuple(self._roots.values())
 
     def all_cdos(self) -> List[ClassOfDesignObjects]:
-        self._hierarchy_caches()
-        if self._all_cdos_cache is None:
-            out: List[ClassOfDesignObjects] = []
-            for root in self._roots.values():
-                out.extend(root.walk())
-            self._all_cdos_cache = out
-        return list(self._all_cdos_cache)
+        with self._cache_lock:
+            self._hierarchy_caches()
+            if self._all_cdos_cache is None:
+                out: List[ClassOfDesignObjects] = []
+                for root in self._roots.values():
+                    out.extend(root.walk())
+                self._all_cdos_cache = out
+            return list(self._all_cdos_cache)
 
     def cdo(self, qualified_name: str) -> ClassOfDesignObjects:
         """Look up a CDO by qualified name or registered alias
@@ -183,6 +197,7 @@ class DesignSpaceLayer:
     # ------------------------------------------------------------------
     def add_alias(self, alias: str, qualified_name: str) -> None:
         """Register an abbreviation (``OMM`` -> ``Operator.Modular.Multiplier``)."""
+        _sanitizer.check_write(self, "DesignSpaceLayer.add_alias")
         if alias in self._aliases:
             raise HierarchyError(f"duplicate alias {alias!r}")
         # Fail fast if the target does not exist.
@@ -203,6 +218,7 @@ class DesignSpaceLayer:
     def register_tool(self, name: str, tool: Callable) -> None:
         """Register an early estimation tool, addressable from
         :class:`~repro.core.relations.EstimatorInvocation` relations."""
+        _sanitizer.check_write(self, "DesignSpaceLayer.register_tool")
         if name in self._tools:
             raise HierarchyError(f"estimation tool {name!r} already registered")
         self._tools[name] = tool
@@ -216,6 +232,7 @@ class DesignSpaceLayer:
     # ------------------------------------------------------------------
     def attach_library(self, library: ReuseLibrary) -> ReuseLibrary:
         """Attach a reuse library; every core must index under a known CDO."""
+        _sanitizer.check_write(self, "DesignSpaceLayer.attach_library")
         for core in library:
             self._check_core(core)
         library.observer = self.observer

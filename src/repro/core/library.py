@@ -17,8 +17,10 @@ on callers remembering to flush anything.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.core.cdo import QNAME_SEP
 from repro.core.designobject import DesignObject
 from repro.core.obs import events as _ev
@@ -44,6 +46,9 @@ class ReuseLibrary:
         self._epoch = 0
         self._index = None
         self._index_epoch = -1
+        #: Guards the lazy index rebuild: concurrent readers must agree
+        #: on one index object instead of each building their own.
+        self._lock = threading.RLock()
         #: Trace recorder index rebuilds report to; installed by
         #: :meth:`repro.core.layer.DesignSpaceLayer.observe`.
         self.observer = NULL_RECORDER
@@ -64,19 +69,21 @@ class ReuseLibrary:
         """The library's :class:`~repro.core.index.CoreIndex`, rebuilt
         lazily when the epoch has moved."""
         from repro.core.index import CoreIndex
-        if self._index is None or self._index_epoch != self._epoch:
-            with self.observer.span(_ev.INDEX_REBUILD,
-                                    owner=f"library:{self.name}") as span:
-                self._index = CoreIndex(self._cores.values())
-                self._index_epoch = self._epoch
-                span.note(cores=len(self._cores), epoch=self._epoch)
-        return self._index
+        with self._lock:
+            if self._index is None or self._index_epoch != self._epoch:
+                with self.observer.span(_ev.INDEX_REBUILD,
+                                        owner=f"library:{self.name}") as span:
+                    self._index = CoreIndex(self._cores.values())
+                    self._index_epoch = self._epoch
+                    span.note(cores=len(self._cores), epoch=self._epoch)
+            return self._index
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add(self, core: DesignObject) -> DesignObject:
         """Register a core; names are unique within a library."""
+        _sanitizer.check_write(self, "ReuseLibrary.add")
         if core.name in self._cores:
             raise LibraryError(
                 f"library {self.name!r}: duplicate core name {core.name!r}")
@@ -92,6 +99,7 @@ class ReuseLibrary:
             self.add(core)
 
     def remove(self, name: str) -> DesignObject:
+        _sanitizer.check_write(self, "ReuseLibrary.remove")
         try:
             core = self._cores.pop(name)
         except KeyError:
@@ -155,6 +163,12 @@ class LibraryFederation:
         self._index_epoch = -1
         self._bare_names: Optional[Dict[str, List[ReuseLibrary]]] = None
         self._bare_names_epoch = -1
+        #: Guards the epoch recomputation and both lazy caches.  Without
+        #: it, two readers can interleave the check-then-bump in
+        #: :attr:`epoch` so the fresh ``_library_epochs`` snapshot
+        #: publishes under a stale ``_epoch`` — and every epoch-keyed
+        #: cache above then serves stale results forever.
+        self._lock = threading.RLock()
         #: Trace recorder index rebuilds report to; installed by
         #: :meth:`repro.core.layer.DesignSpaceLayer.observe`.
         self.observer = NULL_RECORDER
@@ -168,31 +182,34 @@ class LibraryFederation:
     def epoch(self) -> int:
         """Monotonic generation counter covering attach/detach and every
         mutation inside any attached library."""
-        for name, library in self._libraries.items():
-            if self._library_epochs.get(name) != library.epoch:
-                self._library_epochs = {
-                    n: lib.epoch for n, lib in self._libraries.items()}
-                self._epoch += 1
-                break
-        return self._epoch
+        with self._lock:
+            for name, library in self._libraries.items():
+                if self._library_epochs.get(name) != library.epoch:
+                    self._library_epochs = {
+                        n: lib.epoch for n, lib in self._libraries.items()}
+                    self._epoch += 1
+                    break
+            return self._epoch
 
     def index(self):
         """The federation-wide :class:`~repro.core.index.CoreIndex`,
         rebuilt lazily when the epoch has moved."""
         from repro.core.index import CoreIndex
-        epoch = self.epoch
-        if self._index is None or self._index_epoch != epoch:
-            with self.observer.span(_ev.INDEX_REBUILD,
-                                    owner="federation") as span:
-                self._index = CoreIndex(self)
-                self._index_epoch = epoch
-                span.note(cores=len(self), epoch=epoch)
-        return self._index
+        with self._lock:
+            epoch = self.epoch
+            if self._index is None or self._index_epoch != epoch:
+                with self.observer.span(_ev.INDEX_REBUILD,
+                                        owner="federation") as span:
+                    self._index = CoreIndex(self)
+                    self._index_epoch = epoch
+                    span.note(cores=len(self), epoch=epoch)
+            return self._index
 
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
     def attach(self, library: ReuseLibrary) -> ReuseLibrary:
+        _sanitizer.check_write(self, "LibraryFederation.attach")
         if library.name in self._libraries:
             raise LibraryError(f"library {library.name!r} already attached")
         self._libraries[library.name] = library
@@ -201,6 +218,7 @@ class LibraryFederation:
         return library
 
     def detach(self, name: str) -> ReuseLibrary:
+        _sanitizer.check_write(self, "LibraryFederation.detach")
         try:
             library = self._libraries.pop(name)
         except KeyError:
@@ -251,15 +269,16 @@ class LibraryFederation:
 
     def _bare_name_map(self) -> Dict[str, List[ReuseLibrary]]:
         """bare core name -> owning libraries, epoch-cached."""
-        epoch = self.epoch
-        if self._bare_names is None or self._bare_names_epoch != epoch:
-            mapping: Dict[str, List[ReuseLibrary]] = {}
-            for library in self._libraries.values():
-                for core_name in library._cores:
-                    mapping.setdefault(core_name, []).append(library)
-            self._bare_names = mapping
-            self._bare_names_epoch = epoch
-        return self._bare_names
+        with self._lock:
+            epoch = self.epoch
+            if self._bare_names is None or self._bare_names_epoch != epoch:
+                mapping: Dict[str, List[ReuseLibrary]] = {}
+                for library in self._libraries.values():
+                    for core_name in library._cores:
+                        mapping.setdefault(core_name, []).append(library)
+                self._bare_names = mapping
+                self._bare_names_epoch = epoch
+            return self._bare_names
 
     def select(self, predicate: Callable[[DesignObject], bool]
                ) -> List[DesignObject]:

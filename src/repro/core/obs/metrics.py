@@ -14,6 +14,7 @@ or as a human-readable table (:meth:`MetricsRegistry.render_text`).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -39,41 +40,57 @@ def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("value",)
+    ``+=`` on a float is not atomic under CPython (load/add/store can
+    interleave and drop increments), so every update takes the
+    per-instrument lock.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
-    """Cumulative-bucket histogram with min/max/sum/count summaries."""
+    """Cumulative-bucket histogram with min/max/sum/count summaries.
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    ``observe`` updates six fields; the lock keeps them mutually
+    consistent when several worker threads record latencies at once.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max",
+                 "_lock")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.bounds: Tuple[float, ...] = tuple(bounds)
@@ -82,18 +99,20 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -119,37 +138,44 @@ class MetricsRegistry:
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
         self._help: Dict[str, str] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # instrument accessors (get-or-create)
     # ------------------------------------------------------------------
+    # The lock makes get-or-create atomic: two threads racing to create
+    # the same instrument would otherwise each build one and record into
+    # different objects, losing whichever landed in the dict first.
     def counter(self, name: str, help: str = "", **labels: object) -> Counter:
         key = (name, _label_key(labels))
-        instrument = self._counters.get(key)
-        if instrument is None:
-            instrument = self._counters[key] = Counter()
-            if help:
-                self._help.setdefault(name, help)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+                if help:
+                    self._help.setdefault(name, help)
         return instrument
 
     def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
         key = (name, _label_key(labels))
-        instrument = self._gauges.get(key)
-        if instrument is None:
-            instrument = self._gauges[key] = Gauge()
-            if help:
-                self._help.setdefault(name, help)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+                if help:
+                    self._help.setdefault(name, help)
         return instrument
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = DEFAULT_BUCKETS,
                   **labels: object) -> Histogram:
         key = (name, _label_key(labels))
-        instrument = self._histograms.get(key)
-        if instrument is None:
-            instrument = self._histograms[key] = Histogram(buckets)
-            if help:
-                self._help.setdefault(name, help)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(buckets)
+                if help:
+                    self._help.setdefault(name, help)
         return instrument
 
     def __len__(self) -> int:
@@ -159,14 +185,25 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # exports
     # ------------------------------------------------------------------
+    # Exports snapshot the instrument tables under the registry lock so
+    # a concurrent get-or-create cannot resize a dict mid-iteration.
+    def _snapshot(self) -> Tuple[List[Tuple[Tuple[str, LabelKey], Counter]],
+                                 List[Tuple[Tuple[str, LabelKey], Gauge]],
+                                 List[Tuple[Tuple[str, LabelKey], Histogram]]]:
+        with self._lock:
+            return (sorted(self._counters.items()),
+                    sorted(self._gauges.items()),
+                    sorted(self._histograms.items()))
+
     def to_dict(self) -> Dict[str, Dict[str, object]]:
         """Nested plain-data view: section -> rendered-name -> value(s)."""
+        counter_items, gauge_items, histogram_items = self._snapshot()
         counters = {f"{name}{_render_labels(key)}": inst.value
-                    for (name, key), inst in sorted(self._counters.items())}
+                    for (name, key), inst in counter_items}
         gauges = {f"{name}{_render_labels(key)}": inst.value
-                  for (name, key), inst in sorted(self._gauges.items())}
+                  for (name, key), inst in gauge_items}
         histograms = {}
-        for (name, key), inst in sorted(self._histograms.items()):
+        for (name, key), inst in histogram_items:
             histograms[f"{name}{_render_labels(key)}"] = {
                 "count": inst.count,
                 "sum": inst.total,
@@ -187,20 +224,21 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {doc}")
             lines.append(f"# TYPE {name} {kind}")
 
+        counter_items, gauge_items, histogram_items = self._snapshot()
         seen: set = set()
-        for (name, key), inst in sorted(self._counters.items()):
+        for (name, key), inst in counter_items:
             if name not in seen:
                 seen.add(name)
                 header(name, "counter")
             lines.append(f"{name}{_render_labels(key)} {inst.value:g}")
         seen.clear()
-        for (name, key), inst in sorted(self._gauges.items()):
+        for (name, key), inst in gauge_items:
             if name not in seen:
                 seen.add(name)
                 header(name, "gauge")
             lines.append(f"{name}{_render_labels(key)} {inst.value:g}")
         seen.clear()
-        for (name, key), inst in sorted(self._histograms.items()):
+        for (name, key), inst in histogram_items:
             if name not in seen:
                 seen.add(name)
                 header(name, "histogram")
@@ -214,17 +252,18 @@ class MetricsRegistry:
     def render_text(self) -> str:
         """Human-readable summary table."""
         lines: List[str] = []
-        if self._counters:
+        counter_items, gauge_items, histogram_items = self._snapshot()
+        if counter_items:
             lines.append("counters:")
-            for (name, key), inst in sorted(self._counters.items()):
+            for (name, key), inst in counter_items:
                 lines.append(f"  {name}{_render_labels(key)}  {inst.value:g}")
-        if self._gauges:
+        if gauge_items:
             lines.append("gauges:")
-            for (name, key), inst in sorted(self._gauges.items()):
+            for (name, key), inst in gauge_items:
                 lines.append(f"  {name}{_render_labels(key)}  {inst.value:g}")
-        if self._histograms:
+        if histogram_items:
             lines.append("histograms:")
-            for (name, key), inst in sorted(self._histograms.items()):
+            for (name, key), inst in histogram_items:
                 if inst.count:
                     summary = (f"count={inst.count} mean={inst.mean * 1e3:.3f}ms "
                                f"min={(inst.min or 0) * 1e3:.3f}ms "

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import pickle
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
@@ -293,6 +294,12 @@ Hydrator = Callable[[DesignSpaceLayer], None]
 
 _HYDRATORS: Dict[str, Hydrator] = {}
 
+#: Registration normally happens at import time, but a worker resolving
+#: a ``pkg.module:name`` hydrator triggers imports (and therefore
+#: registrations) concurrently with other threads' lookups, so the
+#: registry is lock-guarded.
+_HYDRATOR_LOCK = threading.Lock()
+
 
 def register_hydrator(name: str, fn: Optional[Hydrator] = None
                       ) -> Callable[[Hydrator], Hydrator]:
@@ -306,11 +313,12 @@ def register_hydrator(name: str, fn: Optional[Hydrator] = None
     under a taken name raises.
     """
     def install(fn: Hydrator) -> Hydrator:
-        existing = _HYDRATORS.get(name)
-        if existing is not None and existing is not fn:
-            raise SerializationError(
-                f"hydrator {name!r} already registered")
-        _HYDRATORS[name] = fn
+        with _HYDRATOR_LOCK:
+            existing = _HYDRATORS.get(name)
+            if existing is not None and existing is not fn:
+                raise SerializationError(
+                    f"hydrator {name!r} already registered")
+            _HYDRATORS[name] = fn
         return fn
     if fn is not None:
         install(fn)
@@ -320,11 +328,13 @@ def register_hydrator(name: str, fn: Optional[Hydrator] = None
 
 def unregister_hydrator(name: str) -> None:
     """Remove a registered hydrator (primarily for tests)."""
-    _HYDRATORS.pop(name, None)
+    with _HYDRATOR_LOCK:
+        _HYDRATORS.pop(name, None)
 
 
 def hydrator_names() -> Tuple[str, ...]:
-    return tuple(sorted(_HYDRATORS))
+    with _HYDRATOR_LOCK:
+        return tuple(sorted(_HYDRATORS))
 
 
 def resolve_hydrator(name: str) -> Hydrator:

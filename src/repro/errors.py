@@ -82,6 +82,17 @@ class LintError(ReproError):
         self.report = report
 
 
+class AnalysisError(ReproError):
+    """The concurrency/invariant analyzer over the repo's own source was
+    misconfigured (unknown rule, unreadable path, bad suppression)."""
+
+
+class SanitizerError(ReproError):
+    """The runtime mutation sanitizer (``DSL_SANITIZE=1``) caught a
+    mutation of a sealed, hydrated layer — worker-side code tried to
+    change representation state that is shared across tasks."""
+
+
 class ExplorationError(ReproError):
     """An automated exploration run was misconfigured (unknown strategy,
     missing layer factory for process-backed parallelism, ...)."""

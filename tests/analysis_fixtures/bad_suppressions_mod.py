@@ -1,0 +1,30 @@
+"""Bad-suppression fixture: allows that are themselves findings."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+LOG = []
+_LOCK = threading.Lock()
+
+
+def append_worker(item):
+    # dsa: allow[DSA001]
+    LOG.append(item)              # suppressed, but DSA003: no justification
+
+
+def quiet_worker(item):
+    # dsa: allow[DSA001] -- nothing here actually races
+    with _LOCK:
+        LOG.append(item)          # guarded: the allow is stale -> DSA004
+
+
+def typo_worker(item):
+    # dsa: allow[DSA999] -- suppressing a rule that does not exist
+    LOG.append(item)              # DSA001 stays active; DSA999 -> DSA004
+
+
+def run_all():
+    with ThreadPoolExecutor() as pool:
+        pool.submit(append_worker, 1)
+        pool.submit(quiet_worker, 2)
+        pool.submit(typo_worker, 3)

@@ -1,0 +1,29 @@
+"""Suppression fixture: racy constructs, every one carrying a justified
+allow — active findings must be zero, suppressed findings preserved."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+EVENTS = []
+_LOCK = threading.Lock()
+
+
+class SharedBox:
+    def __init__(self):
+        self._items = {}
+        self._lock = threading.Lock()
+
+    def publish(self, key):
+        value = len(key)
+        # dsa: allow[DSA002] -- fixture: store is idempotent and
+        # GIL-atomic; the double-compute is the accepted worst case
+        self._items[key] = value
+
+
+def append_worker(item):
+    EVENTS.append(item)  # dsa: allow[DSA001] -- fixture: append-only log, order irrelevant
+
+
+def run_all():
+    with ThreadPoolExecutor() as pool:
+        pool.submit(append_worker, 1)

@@ -1,0 +1,61 @@
+"""The analyzer's raison d'être: this repo analyzes clean.
+
+CI gates ``repro analyze --fail-on warning`` at zero unsuppressed
+findings; this test is the same gate as a unit test, so a regression —
+a new unguarded write, a store without its epoch bump, a worker mutating
+a hydrated layer — fails the suite locally before it reaches CI.
+"""
+
+from repro.analysis import DEFAULT_CONTRACT, analyze_package
+from repro.core.lint.diagnostics import Severity
+
+
+def test_repo_source_is_clean_at_the_ci_gate():
+    report = analyze_package("repro")
+    offending = "\n".join(f.render() for f in report.active)
+    assert not report.has_at_least(Severity.WARNING), \
+        f"repo analysis regressed:\n{offending}"
+    assert report.clean, f"unsuppressed findings:\n{offending}"
+
+
+def test_every_suppression_in_the_repo_is_justified():
+    report = analyze_package("repro")
+    for finding in report.suppressed:
+        assert finding.justification, \
+            f"unjustified suppression at {finding.path}:{finding.line}"
+
+
+def test_analysis_covers_the_whole_package():
+    report = analyze_package("repro")
+    # The package is >100 modules; a collapse in file discovery would
+    # make the clean gate vacuous.
+    assert report.files > 100
+
+
+def test_default_contract_matches_live_code():
+    """Contract entries must reference real classes/functions — a rename
+    would otherwise quietly turn a pass into a no-op."""
+    from repro.core.constraints import ConstraintSet
+    from repro.core.designobject import DesignObject
+    from repro.core.explore import parallel
+    from repro.core.layer import DesignSpaceLayer
+    from repro.core.library import LibraryFederation, ReuseLibrary
+
+    live = {
+        "DesignSpaceLayer": DesignSpaceLayer,
+        "LibraryFederation": LibraryFederation,
+        "ReuseLibrary": ReuseLibrary,
+        "DesignObject": DesignObject,
+        "ConstraintSet": ConstraintSet,
+    }
+    for ec in DEFAULT_CONTRACT.epoch_contracts:
+        cls = live.get(ec.class_name)
+        assert cls is not None, f"unknown epoch class {ec.class_name}"
+        for bump in ec.bump_methods:
+            assert hasattr(cls, bump), f"{ec.class_name}.{bump} missing"
+    for name in DEFAULT_CONTRACT.hydration_functions:
+        assert hasattr(parallel, name), f"hydration fn {name} missing"
+    for entry in DEFAULT_CONTRACT.extra_entry_points:
+        module_name, qualname = entry.split(":")
+        assert module_name == "repro.core.explore.parallel"
+        assert hasattr(parallel, qualname), f"entry point {entry} missing"

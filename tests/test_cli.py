@@ -449,3 +449,43 @@ class TestAutomatedExplore:
                  for line in trace.read_text().splitlines()}
         assert "explore_start" in kinds
         assert "branch_open" in kinds
+
+
+class TestAnalyze:
+    def test_repo_package_is_clean(self, capsys):
+        code, out, _err = run_cli(capsys, "analyze", "--fail-on", "warning")
+        assert code == 0
+        assert "clean" in out.splitlines()[0]
+
+    def test_json_format(self, capsys):
+        code, out, _err = run_cli(capsys, "analyze", "--format", "json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["clean"] is True
+        assert data["files"] > 100
+
+    def test_list_rules_catalogues_every_code(self, capsys):
+        code, out, _err = run_cli(capsys, "analyze", "--list-rules")
+        assert code == 0
+        for expected in ("DSA001", "DSA002", "DSA003", "DSA004", "DSA010",
+                         "DSA011", "DSA012", "DSA020", "DSA021"):
+            assert expected in out
+
+    def test_explicit_racy_path_fails_the_gate(self, capsys):
+        import os
+        fixture = os.path.join(os.path.dirname(__file__),
+                               "analysis_fixtures", "racy_mod.py")
+        code, out, _err = run_cli(capsys, "analyze", fixture,
+                                  "--fail-on", "error")
+        assert code == 1
+        assert "DSA001" in out
+
+    def test_disable_silences_the_rule(self, capsys):
+        import os
+        fixture = os.path.join(os.path.dirname(__file__),
+                               "analysis_fixtures", "racy_mod.py")
+        code, out, _err = run_cli(capsys, "analyze", fixture,
+                                  "--disable", "DSA001",
+                                  "--fail-on", "error")
+        assert code == 0
+        assert "DSA001" not in out

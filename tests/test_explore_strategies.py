@@ -6,19 +6,9 @@ return byte-for-byte the same Pareto frontier as exhaustive
 enumeration.  Hypothesis generates small random layers to probe it.
 """
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
-from repro.core import (
-    ClassOfDesignObjects,
-    DesignIssue,
-    DesignObject,
-    DesignSpaceLayer,
-    EnumDomain,
-    ExplorationProblem,
-    ReuseLibrary,
-)
+from repro.core import ExplorationProblem
 from repro.core.explore import (
     STRATEGIES,
     BeamStrategy,
@@ -30,43 +20,9 @@ from repro.core.explore import (
 )
 
 from conftest import build_widget_layer
+from repro.testing import random_hierarchy_layer as random_layer
 
 METRICS = ("area", "latency_ns")
-
-
-def random_layer(seed: int) -> DesignSpaceLayer:
-    """A small random generalization hierarchy with a random library."""
-    rng = random.Random(seed)
-    layer = DesignSpaceLayer(f"rand-{seed}", "hypothesis layer")
-    root = ClassOfDesignObjects("R", "root")
-    families = [f"f{i}" for i in range(rng.randint(2, 3))]
-    root.add_property(DesignIssue(
-        "G", EnumDomain(families), "family", generalized=True))
-    layer.add_root(root)
-    issue_options = {}
-    for family in families:
-        child = root.specialize(family)
-        for i in range(rng.randint(1, 2)):
-            name = f"I{i}"
-            options = list(range(rng.randint(2, 3)))
-            issue_options.setdefault(family, {})[name] = options
-            child.add_property(DesignIssue(
-                name, EnumDomain(options), f"issue {name}"))
-    library = ReuseLibrary("rand-lib", "random cores")
-    core_id = 0
-    for family, issues in issue_options.items():
-        for _ in range(rng.randint(2, 5)):
-            decisions = {name: rng.choice(options)
-                         for name, options in issues.items()}
-            merits = {"area": float(rng.randint(1, 40))}
-            if rng.random() < 0.8:  # some cores omit a metric
-                merits["latency_ns"] = float(rng.randint(1, 40))
-            library.add(DesignObject(
-                f"c{core_id}", f"R.{family}", decisions, merits))
-            core_id += 1
-    layer.attach_library(library)
-    layer.validate()
-    return layer
 
 
 def run(layer, strategy, start="R", **options):

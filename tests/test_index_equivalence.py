@@ -6,75 +6,20 @@ elimination reasons and the figure-of-merit ranges must be identical to
 the naive linear-scan filter in :mod:`repro.core.pruning`.
 """
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    ClassOfDesignObjects,
     CoreIndex,
-    DesignIssue,
     DesignObject,
     DesignSpaceLayer,
-    EnumDomain,
     ExplorationSession,
-    IntRange,
     MissingPolicy,
-    Requirement,
-    RequirementSense,
-    ReuseLibrary,
 )
 from repro.core.library import _is_same_or_descendant
 from repro.core.pruning import merit_ranges, prune
-
-FAMILIES = ["f0", "f1", "f2"]
-VARIANTS = ["v0", "v1", "v2", "v3"]
-TECHS = ["t35", "t70"]
-
-
-def random_layer(seed: int, num_cores: int) -> DesignSpaceLayer:
-    """A randomized layer: some cores under-documented, some merits
-    missing, several libraries."""
-    rng = random.Random(seed)
-    layer = DesignSpaceLayer("rand", f"randomized layer (seed {seed})")
-    root = ClassOfDesignObjects("Block", "random block family")
-    root.add_property(Requirement(
-        "Width", IntRange(1), "width", sense=RequirementSense.AT_LEAST_SUPPORT))
-    root.add_property(Requirement(
-        "MaxArea", IntRange(0), "area bound", sense=RequirementSense.MAX))
-    root.add_property(DesignIssue(
-        "Family", EnumDomain(FAMILIES), "family split", generalized=True))
-    layer.add_root(root)
-    for family in FAMILIES:
-        child = root.specialize(family)
-        child.add_property(DesignIssue(
-            "Variant", EnumDomain(VARIANTS), "variant"))
-        child.add_property(DesignIssue(
-            "Tech", EnumDomain(TECHS), "technology"))
-    libraries = [ReuseLibrary(f"lib{i}", "random cores") for i in range(3)]
-    for i in range(num_cores):
-        properties = {}
-        merits = {}
-        if rng.random() < 0.9:
-            properties["Variant"] = rng.choice(VARIANTS)
-        if rng.random() < 0.8:
-            properties["Tech"] = rng.choice(TECHS)
-        if rng.random() < 0.7:
-            properties["Width"] = rng.choice([8, 16, 32, 64])
-        if rng.random() < 0.9:
-            merits["area"] = float(rng.randrange(10, 500))
-        if rng.random() < 0.8:
-            merits["latency_ns"] = float(rng.randrange(1, 100))
-        if rng.random() < 0.3:
-            merits["MaxArea"] = float(rng.randrange(10, 500))
-        rng.choice(libraries).add(DesignObject(
-            f"core{i}", f"Block.{rng.choice(FAMILIES)}", properties, merits))
-    for library in libraries:
-        if len(library):
-            layer.attach_library(library)
-    layer.validate()
-    return layer
+from repro.testing import random_core_population_layer as random_layer
+from repro.testing.stress import FAMILIES, TECHS, VARIANTS
 
 
 def naive_cores_under(layer: DesignSpaceLayer, cdo_name: str):
@@ -149,7 +94,7 @@ def test_session_queries_equivalent_to_naive(seed, num_cores, family, width):
     assert session.fom_ranges() == merit_ranges(expected.survivors,
                                                 ("area", "latency_ns"))
     infos = session.available_options("Variant")
-    assert [info.option for info in infos] == VARIANTS
+    assert [info.option for info in infos] == list(VARIANTS)
     for info in infos:
         per_option = naive_report(extra={"Variant": info.option})
         assert info.candidate_count == len(per_option.survivors)
