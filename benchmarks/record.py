@@ -14,6 +14,9 @@
 * exploration parallelism on the 50k synthetic layer — serial vs a warm
   snapshot-hydrated worker pool, plus the jobs 1/2/4 ``parallel_scaling``
   sweep (chunked vs per-task dispatch, snapshot capture/hydrate cost);
+* distributed tracing on the same parallel walk — untraced vs traced
+  (worker span buffers + deterministic merge) on a warm jobs=4 pool,
+  gated < 1.10x min-over-min like the serial tracing budget;
 * the semantic verifier on a 5k-core synthetic layer — a cold analysis
   vs a warm epoch-cached re-verify (gate: warm < 5% of cold).
 
@@ -281,6 +284,57 @@ def parallel_scaling_measurements(num_cores: int = 50000, repeat: int = 2,
     }
 
 
+def parallel_tracing_measurements(num_cores: int = 50000, repeat: int = 3,
+                                  jobs: int = 4) -> Dict[str, object]:
+    """Distributed-tracing overhead on the parallel 50k-core walk.
+
+    Times the ``jobs``-worker exploration untraced vs traced (workers
+    fill span buffers, the engine merges them deterministically), on
+    the same warm snapshot-hydrated pool; the min-over-min ratio is the
+    CI gate (< :data:`OVERHEAD_BUDGET`).  Also records the merged
+    trace's event count, worker-span count, per-branch sampling rate,
+    and the canonical digest — which must match across backends, job
+    counts, and chunk sizes (``test_bench_trace_parallel.py`` pins
+    that).
+    """
+    from test_bench_explore import available_cpus, exploration_problem
+
+    from repro.core.explore import WorkerPool, explore
+    from repro.core.obs import WORKER_TASK, canonical_trace_digest
+
+    problem = exploration_problem(num_cores)
+    layer = problem.resolve_layer()
+    layer.observe(None)
+    explore(problem, strategy="exhaustive")  # warm-up (index build)
+    with WorkerPool(jobs=jobs, backend="process",
+                    snapshot=problem.snapshot) as pool:
+        pool.warm()
+        explore(problem, pool=pool)  # warm workers (snapshot hydration)
+        untraced = _runs(lambda: explore(problem, pool=pool), repeat)
+        recorder = layer.observe()
+        traced: List[float] = []
+        for _ in range(repeat):
+            recorder.clear()
+            t0 = time.perf_counter()
+            explore(problem, pool=pool)
+            traced.append(time.perf_counter() - t0)
+        events = list(recorder.events)
+        sample_rate = recorder.metrics.gauge("dsl_trace_sample_rate").value
+        layer.observe(None)
+    return {
+        "num_cores": num_cores,
+        "jobs": jobs,
+        "cpus": available_cpus(),
+        "untraced": untraced,
+        "traced": traced,
+        "events_per_run": len(events),
+        "worker_spans": sum(1 for e in events if e.kind == WORKER_TASK),
+        "sample_rate": sample_rate,
+        "canonical_digest": canonical_trace_digest(events),
+        "ratio": min(traced) / min(untraced),
+    }
+
+
 def verify_measurements(num_cores: int = 5000, repeat: int = 5
                         ) -> Dict[str, object]:
     """Time the semantic verifier on a synthetic layer.
@@ -321,6 +375,7 @@ def collect(repeat: int, num_cores: int) -> Dict[str, object]:
     exploration = explore_measurements(num_cores, max(repeat - 2, 1))
     scaling = parallel_scaling_measurements(
         num_cores, max(repeat - 3, 2))
+    tracing = parallel_tracing_measurements(num_cores, max(repeat - 2, 2))
     verify = verify_measurements(min(num_cores, 5000), repeat)
     return {
         "generated": time.strftime("%Y-%m-%d"),
@@ -364,6 +419,20 @@ def collect(repeat: int, num_cores: int) -> Dict[str, object]:
             "speedup_min_over_min": round(exploration["speedup"], 4),
         },
         "parallel_scaling": scaling,
+        "parallel_tracing": {
+            "num_cores": tracing["num_cores"],
+            "jobs": tracing["jobs"],
+            "cpus": tracing["cpus"],
+            "untraced": _summary(tracing["untraced"]),
+            "traced": dict(_summary(tracing["traced"]),
+                           events_per_run=tracing["events_per_run"],
+                           worker_spans=tracing["worker_spans"]),
+            "sample_rate": tracing["sample_rate"],
+            "canonical_digest": tracing["canonical_digest"],
+            "ratio_min_over_min": round(tracing["ratio"], 4),
+            "budget": OVERHEAD_BUDGET,
+            "within_budget": tracing["ratio"] < OVERHEAD_BUDGET,
+        },
         "verify": {
             "num_cores": verify["num_cores"],
             "proofs": verify["proofs"],

@@ -106,6 +106,11 @@ DEFAULT_CONTRACT = ConcurrencyContract(
         "Histogram",
         "_LayerCache",
         "_HydrationLog",
+        # Thread-safe since the distributed-tracing work: thread/async
+        # workers emit into the shared recorder natively, and the engine
+        # absorbs worker buffers into it from the dispatch thread.
+        "TraceRecorder",
+        "_InitTraceLog",
     }),
     owned_mutators={
         "DesignSpaceLayer": frozenset({
@@ -120,10 +125,10 @@ DEFAULT_CONTRACT = ConcurrencyContract(
         "ConstraintSet": frozenset({"add"}),
     },
     single_owner={
-        "TraceRecorder": (
-            "a recorder belongs to exactly one layer/session; replay and "
-            "export happen after the owning session closes, and installing "
-            "one on a shared layer is itself a finding (DSA021)"),
+        "WorkerTraceBuffer": (
+            "a buffer captures exactly one sampled branch task inside one "
+            "worker; it crosses the pool boundary as plain data and is "
+            "absorbed by the engine, never shared live"),
         "ExplorationSession": (
             "each worker builds its own session over the shared layer; "
             "sessions are never handed across threads"),

@@ -214,8 +214,9 @@ def _automated_explore(args: argparse.Namespace) -> int:
         prefix = tuple(_parse_binding(b) for b in args.decide)
         problem = replace(problem, decisions=problem.decisions + prefix)
     # The engine's serial/probe path works on this layer (traced when
-    # asked); parallel workers build their own untraced layers from the
-    # problem's factory.
+    # asked); parallel workers hydrate their own layers from the
+    # problem's factory/snapshot and ship span buffers back for the
+    # engine's deterministic trace merge.
     layer = _build_layer(args.layer, args.eol)
     if args.trace:
         layer.observe()
@@ -230,7 +231,9 @@ def _automated_explore(args: argparse.Namespace) -> int:
                            jobs=args.jobs, backend=args.backend,
                            strategy_options=options,
                            chunk_size=getattr(args, "chunk_size", None),
-                           keep_pool=getattr(args, "keep_pool", False)
+                           keep_pool=getattr(args, "keep_pool", False),
+                           trace_sample_rate=getattr(args, "trace_sample",
+                                                     None)
                            ) as engine:
         result = engine.run()
     if getattr(args, "json", False):
@@ -397,6 +400,25 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.obs import profile_events, read_jsonl
+    from repro.errors import ReplayError
+    try:
+        events = read_jsonl(args.trace_file)
+    except OSError as exc:
+        raise ReplayError(
+            f"cannot read trace file {args.trace_file}: {exc}") from exc
+    profile = profile_events(events)
+    if args.json:
+        _emit_json(args, profile.to_dict(top=args.top))
+    elif args.flame:
+        _emit(args, profile.render_flame(max_depth=args.max_depth))
+    else:
+        _emit(args, profile.render_table(top=args.top) + "\n\n"
+              + profile.render_flame(max_depth=args.max_depth))
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     layer = _build_layer(args.layer, args.eol)
     recorder = layer.observe()
@@ -536,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "with the layer's estimation tools (crypto)")
     engine.add_argument("--top", type=int, default=10,
                         help="frontier rows to print")
+    engine.add_argument("--trace-sample", type=float, default=None,
+                        metavar="RATE",
+                        help="per-branch trace sampling rate in [0, 1] "
+                             "for parallel dispatches (default: adaptive "
+                             "— full below 16 branches, decaying after)")
     p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser("query", help="direct core retrieval")
@@ -631,6 +658,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="session id to replay when the trace holds "
                         "several")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("profile", help="span profile of a recorded "
+                                       "trace: hot sites and flame tree",
+                       parents=[output_parent])
+    p.add_argument("trace_file", metavar="FILE",
+                   help="JSONL trace recorded by 'explore --trace' or "
+                        "the shell's 'trace save'")
+    p.add_argument("--top", type=int, default=20,
+                   help="site rows in the table (and in --json output)")
+    p.add_argument("--flame", action="store_true",
+                   help="render only the flame tree")
+    p.add_argument("--max-depth", type=int, default=None, metavar="N",
+                   help="truncate the flame tree below N levels")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("stats", help="metrics from a traced scripted "
                                      "exploration",

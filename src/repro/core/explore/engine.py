@@ -23,7 +23,7 @@ per run and closes it afterwards.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -46,6 +46,8 @@ from repro.core.explore.strategies import (
 )
 from repro.core.layer import DesignSpaceLayer
 from repro.core.obs import events as _ev
+from repro.core.obs.context import TraceContext
+from repro.core.obs.events import TraceEvent
 from repro.core.properties import DesignIssue
 from repro.core.pruning import merit_bounds
 from repro.core.session import ExplorationSession, OptionInfo
@@ -129,17 +131,25 @@ class SearchContext:
     def __init__(self, problem: ExplorationProblem,
                  session: ExplorationSession,
                  frontier: Optional[ParetoFrontier] = None,
-                 stats: Optional[ExplorationStats] = None):
+                 stats: Optional[ExplorationStats] = None,
+                 recorder: Optional[object] = None):
         self.problem = problem
         self.session = session
         self.metrics: Tuple[str, ...] = tuple(problem.metrics)
         self.frontier = frontier if frontier is not None \
             else ParetoFrontier(self.metrics)
         self.stats = stats if stats is not None else ExplorationStats()
+        #: Recorder override for strategy events.  Pool workers pass a
+        #: :class:`~repro.core.obs.context.WorkerTraceBuffer` here: the
+        #: worker's hydrated layer is untraced (and shared/sealed), but
+        #: the branch's own search events still need somewhere to go.
+        self._recorder = recorder
         session.checkpoint(ROOT_TAG)
 
     @property
     def _obs(self):
+        if self._recorder is not None:
+            return self._recorder
         return self.session.layer.observer
 
     # ------------------------------------------------------------------
@@ -218,12 +228,24 @@ class SearchContext:
     # ------------------------------------------------------------------
     # accounting / tracing
     # ------------------------------------------------------------------
-    def branch_open(self, issue: DesignIssue, info: OptionInfo) -> None:
+    def branch_open(self, issue: DesignIssue, info: OptionInfo,
+                    anchor: bool = False) -> Optional[TraceEvent]:
+        """Record one opened branch.
+
+        ``anchor=True`` (parallel fan-out only) emits the event through
+        :meth:`TraceRecorder.emit_anchor
+        <repro.core.obs.recorder.TraceRecorder.emit_anchor>` so it owns
+        a span id the engine can reparent the branch's absorbed worker
+        trace under.  Returns the emitted event when tracing is on.
+        """
         self.stats.opened += 1
         obs = self._obs
         if obs.enabled:
-            obs.emit(_ev.BRANCH_OPEN, issue=issue.name,
-                     option=info.option, candidates=info.candidate_count)
+            emit = obs.emit_anchor if anchor else obs.emit
+            return emit(_ev.BRANCH_OPEN, issue=issue.name,
+                        option=info.option,
+                        candidates=info.candidate_count)
+        return None
 
     def branch_pruned(self, issue: DesignIssue, info: OptionInfo,
                       reason: str) -> None:
@@ -377,7 +399,8 @@ class ExplorationEngine:
                  strategy_options: Optional[Mapping[str, object]] = None,
                  chunk_size: Optional[int] = None,
                  pool: Optional["WorkerPool"] = None,
-                 keep_pool: bool = False):
+                 keep_pool: bool = False,
+                 trace_sample_rate: Optional[float] = None):
         from repro.core.explore.parallel import BACKENDS
 
         if jobs < 1:
@@ -388,6 +411,11 @@ class ExplorationEngine:
         if chunk_size is not None and chunk_size < 1:
             raise ExplorationError(
                 f"chunk size must be >= 1, got {chunk_size}")
+        if trace_sample_rate is not None \
+                and not 0.0 <= trace_sample_rate <= 1.0:
+            raise ExplorationError(
+                "trace_sample_rate must be in [0, 1], got "
+                f"{trace_sample_rate}")
         self.problem = problem
         self.strategy_name = strategy
         self.strategy_options: Dict[str, object] = dict(strategy_options or {})
@@ -403,6 +431,10 @@ class ExplorationEngine:
         self.backend = backend
         self.chunk_size = chunk_size
         self.keep_pool = keep_pool
+        #: Per-branch trace sampling rate for parallel runs; None means
+        #: the adaptive default (full tracing up to 16 tasks, decaying
+        #: beyond — see :func:`repro.core.obs.context.adaptive_sample_rate`).
+        self.trace_sample_rate = trace_sample_rate
         self._lent_pool = pool
         self._own_pool: Optional["WorkerPool"] = None
 
@@ -421,8 +453,13 @@ class ExplorationEngine:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _acquire_pool(self) -> Tuple["WorkerPool", bool]:
-        """The pool to dispatch on, plus whether to close it after."""
+    def _acquire_pool(self, trace: Optional[TraceContext] = None
+                      ) -> Tuple["WorkerPool", bool]:
+        """The pool to dispatch on, plus whether to close it after.
+
+        ``trace`` reaches the process-pool initializer of pools this
+        call creates; lent / already-started pools keep their own.
+        """
         from repro.core.explore.parallel import WorkerPool
 
         if self._lent_pool is not None:
@@ -431,7 +468,7 @@ class ExplorationEngine:
             return self._own_pool, False
         pool = WorkerPool(jobs=self.jobs, backend=self.backend,
                           snapshot=self.problem.snapshot,
-                          chunk_size=self.chunk_size)
+                          chunk_size=self.chunk_size, trace=trace)
         if self.keep_pool:
             self._own_pool = pool
             return pool, False
@@ -483,6 +520,9 @@ class ExplorationEngine:
         stats = ExplorationStats()
         obs = layer.observer
         tasks: List[BranchTask] = []
+        #: Per-task ``branch_open`` anchor events (parallel to ``tasks``);
+        #: absorbed worker spans reparent under them.
+        anchors: List[Optional[TraceEvent]] = []
 
         if self._strategy.parallel_mode == "islands":
             # Island model: independent populations, derived seeds.
@@ -493,6 +533,7 @@ class ExplorationEngine:
                 tasks.append(BranchTask(
                     problem=self.problem, strategy=self.strategy_name,
                     options=options, label=f"island-{island}"))
+                anchors.append(None)
         else:
             # Root fan-out: one task per viable option of the first issue.
             try:
@@ -501,12 +542,16 @@ class ExplorationEngine:
                 raise ExplorationError(
                     f"problem prefix is infeasible: {exc}") from exc
             probe = SearchContext(self.problem, session, frontier, stats)
+            if obs.enabled:
+                # One explicit pruning checkpoint at the fan-out root, so
+                # replaying the merged trace has survivors to verify.
+                session.prune_report()
             issue = probe.next_issue(0)
             if issue is None:
                 probe.terminal()
                 return frontier, stats, {}
             for info in probe.options(issue):
-                probe.branch_open(issue, info)
+                opened = probe.branch_open(issue, info, anchor=obs.enabled)
                 if probe.masked(issue, info):
                     probe.branch_pruned(issue, info, "proved-dead")
                     continue
@@ -522,15 +567,51 @@ class ExplorationEngine:
                     problem=branch, strategy=self.strategy_name,
                     options=dict(self.strategy_options),
                     label=f"{issue.name}={info.option!r}"))
+                anchors.append(opened)
 
-        pool, ephemeral = self._acquire_pool()
+        trace_base: Optional[TraceContext] = None
+        if obs.enabled and tasks:
+            trace_base = self.problem.trace
+            if trace_base is None:
+                trace_base = TraceContext.derive(
+                    self.problem.start, self.problem.metrics,
+                    self.problem.requirements, self.problem.decisions,
+                    self.strategy_name,
+                    sample_rate=self.trace_sample_rate, tasks=len(tasks))
+            elif self.trace_sample_rate is not None:
+                trace_base = replace(trace_base,
+                                     sample_rate=self.trace_sample_rate)
+            metrics = getattr(obs, "metrics", None)
+            if metrics is not None:
+                metrics.gauge(
+                    "dsl_trace_sample_rate",
+                    "per-branch sampling rate of the last traced "
+                    "parallel dispatch").set(trace_base.sample_rate)
+            for index, task in enumerate(tasks):
+                anchor = anchors[index]
+                task.problem = replace(
+                    task.problem,
+                    trace=trace_base.for_task(
+                        index,
+                        anchor.span if anchor is not None else None))
+
+        pool, ephemeral = self._acquire_pool(trace_base)
         try:
             results = pool.map(tasks)
         finally:
             if ephemeral:
                 pool.close()
-        for result in results:
+        absorb = getattr(obs, "absorb", None)
+        for index, result in enumerate(results):
             stats.merge(result.stats)
+            if absorb is not None \
+                    and (result.trace or result.trace_dropped):
+                anchor = anchors[index] if index < len(anchors) else None
+                absorb(result.trace,
+                       parent=anchor.span if anchor is not None else None,
+                       offset_s=(anchor.elapsed_s
+                                 if anchor is not None else 0.0),
+                       dropped=result.trace_dropped)
             added = sum(1 for outcome in result.outcomes
                         if frontier.add(outcome))
             if added and obs.enabled:
@@ -563,15 +644,19 @@ def explore(problem: ExplorationProblem, strategy: str = "exhaustive",
             jobs: int = 1, backend: str = "thread",
             chunk_size: Optional[int] = None,
             pool: Optional["WorkerPool"] = None,
+            trace_sample_rate: Optional[float] = None,
             **strategy_options: object) -> ExplorationResult:
     """One-call convenience wrapper around :class:`ExplorationEngine`.
 
     Pass ``pool`` to dispatch on a caller-owned persistent
     :class:`~repro.core.explore.parallel.WorkerPool` (its jobs/backend
     take precedence); otherwise an ephemeral pool lives for this call.
+    ``trace_sample_rate`` overrides the adaptive per-branch sampling
+    rate of traced parallel runs (see ``docs/observability.md``).
     """
     engine = ExplorationEngine(problem, strategy=strategy, jobs=jobs,
                                backend=backend,
                                strategy_options=strategy_options,
-                               chunk_size=chunk_size, pool=pool)
+                               chunk_size=chunk_size, pool=pool,
+                               trace_sample_rate=trace_sample_rate)
     return engine.run()

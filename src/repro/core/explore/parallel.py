@@ -33,10 +33,18 @@ shared thread executor inside one event loop — useful for
 estimator-bound problems whose estimation tools block on I/O or external
 processes, where the overlap is real even under the GIL.
 
-Workers never share a trace recorder — :class:`TraceRecorder` is
-deliberately not thread-safe — so a branch runs untraced, on either a
-hydrated/factory-built layer or, for the thread backend, the problem's
-own layer when its observer is disabled.
+Tracing crosses the pool boundary without sharing a recorder: when the
+problem carries a sampled :class:`~repro.core.obs.context.TraceContext`,
+each branch evaluation fills a bounded, plain-data
+:class:`~repro.core.obs.context.WorkerTraceBuffer` (a ``worker_task``
+span wrapping hydration and strategy events) that travels back inside
+:class:`BranchResult` for the engine to merge deterministically.
+Workers still prefer an *untraced* layer (hydrated or factory-built) so
+the shared-nothing fast path stays allocation-free, but the thread and
+async backends may share the problem's own traced layer directly —
+:class:`~repro.core.obs.recorder.TraceRecorder` is thread-safe — at the
+cost of nondeterministic interleaving of session events in the parent
+trace.
 """
 
 from __future__ import annotations
@@ -62,6 +70,8 @@ from repro.core.explore.outcome import Outcome, ParetoFrontier
 from repro.core.explore.problem import ExplorationProblem
 from repro.core.explore.strategies import make_strategy
 from repro.core.layer import DesignSpaceLayer
+from repro.core.obs import events as ev
+from repro.core.obs.context import TraceContext, WorkerTraceBuffer
 from repro.core.serialize import LayerSnapshot
 from repro.errors import ConstraintViolation, ExplorationError, SessionError
 
@@ -106,6 +116,12 @@ class BranchResult:
     #: factory fallback the pool surfaces as a warning (see
     #: ``dsl_worker_layer_rebuilds_total``).
     rebuilt: bool = False
+    #: Drained :class:`~repro.core.obs.context.WorkerTraceBuffer`
+    #: records (plain dicts) when the branch was sampled for tracing.
+    trace: List[Dict[str, object]] = field(default_factory=list)
+    #: Events the buffer dropped once full (see
+    #: ``dsl_trace_events_dropped_total``).
+    trace_dropped: int = 0
 
 
 def _factory_key(factory: Callable[[], DesignSpaceLayer]
@@ -205,12 +221,42 @@ class _HydrationLog:
             return count, total
 
 
+class _InitTraceLog:
+    """Plain-data trace records written by the pool initializer and
+    drained by the first *sampled* task each worker runs.
+
+    The initializer has no buffer to write into (it runs before any
+    task exists) and the parent cannot observe it, so startup hydration
+    spans park here until a traced branch carries them home.  Shared by
+    every worker thread under the thread backend, hence the lock.
+    """
+
+    def __init__(self) -> None:
+        self._rows: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def record(self, row: Dict[str, object]) -> None:
+        with self._lock:
+            self._rows.append(row)
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Atomically take every parked record."""
+        with self._lock:
+            rows = list(self._rows)
+            del self._rows[:]
+            return rows
+
+
 #: Per-process cache of worker layers: a worker process serves many
 #: tasks and must not rebuild a 50k-core layer for each.
 _LAYER_CACHE = _LayerCache()
 
 #: Hydration timings recorded by the pool initializer.
 _INIT_HYDRATIONS = _HydrationLog()
+
+#: Initializer hydration *trace records*, parked for the next sampled
+#: branch buffer (tracing counterpart of :data:`_INIT_HYDRATIONS`).
+_INIT_TRACE = _InitTraceLog()
 
 
 def _snapshot_key(snapshot: LayerSnapshot) -> Tuple[object, ...]:
@@ -235,13 +281,27 @@ def _hydrate_snapshot(snapshot: LayerSnapshot) -> Tuple[DesignSpaceLayer,
     return layer, elapsed, True
 
 
-def _pool_initializer(snapshot: Optional[LayerSnapshot]) -> None:
+def _pool_initializer(snapshot: Optional[LayerSnapshot],
+                      trace: Optional[TraceContext] = None) -> None:
     """Runs once per worker process: hydrate the pool's snapshot so no
-    task ever pays the layer build."""
+    task ever pays the layer build.
+
+    When the pool was started under a sampled :class:`TraceContext`,
+    the hydration is also parked as a trace record in
+    :data:`_INIT_TRACE` so the merged trace attributes process startup
+    cost to the run that caused it.
+    """
     if snapshot is not None:
         _, elapsed, fresh = _hydrate_snapshot(snapshot)
         if fresh:
             _INIT_HYDRATIONS.record(elapsed)
+            if trace is not None and trace.sampled:
+                _INIT_TRACE.record({
+                    "kind": ev.WORKER_HYDRATE,
+                    "duration_s": elapsed,
+                    "payload": {"source": "snapshot", "init": True,
+                                "worker": str(os.getpid())},
+                })
 
 
 def _worker_layer(problem: ExplorationProblem
@@ -251,9 +311,11 @@ def _worker_layer(problem: ExplorationProblem
     Returns ``(layer, hydrate_s, hydrated, rebuilt)``.  Preference
     order: the problem's own untraced layer (thread backend sharing);
     the problem's snapshot through the per-process cache; the factory
-    through the cache; the factory per task when it cannot be keyed.
-    A traced layer without a factory or snapshot is refused: the
-    recorder is not thread-safe.
+    through the cache; the factory per task when it cannot be keyed;
+    finally the problem's own *traced* layer — the recorder is
+    thread-safe, so thread/async workers may emit into it directly,
+    though session events then interleave nondeterministically (prefer
+    a snapshot when trace byte-stability matters).
     """
     if problem.layer is not None and not problem.layer.observer.enabled:
         return problem.layer, 0.0, False, False
@@ -263,10 +325,7 @@ def _worker_layer(problem: ExplorationProblem
     factory = problem.layer_factory
     if factory is None:
         if problem.layer is not None:
-            raise ExplorationError(
-                "parallel exploration over a traced layer needs a "
-                "layer_factory or snapshot (workers cannot share a "
-                "TraceRecorder); disable tracing or provide one")
+            return problem.layer, 0.0, False, False
         raise ExplorationError(
             "worker has neither a layer, a snapshot, nor a layer_factory")
     key = _factory_key(factory)
@@ -287,30 +346,68 @@ def _worker_layer(problem: ExplorationProblem
     return layer, 0.0, False, False
 
 
-def evaluate_branch(task: BranchTask) -> BranchResult:
-    """Search one branch; module-level so the process backend can
-    pickle it by reference."""
+def _search_branch(task: BranchTask,
+                   buffer: Optional[WorkerTraceBuffer]) -> BranchResult:
+    """The branch search proper; strategy events route to ``buffer``."""
+    layer, hydrate_s, hydrated, rebuilt = _worker_layer(task.problem)
+    if buffer is not None and (hydrated or rebuilt):
+        buffer.emit_timed(
+            ev.WORKER_REBUILD if rebuilt else ev.WORKER_HYDRATE,
+            hydrate_s,
+            source="snapshot" if task.problem.snapshot is not None
+            else "factory",
+            worker=f"{os.getpid()}:{threading.get_ident()}")
+    problem = replace(task.problem, layer=layer, _built=None)
+    strategy = make_strategy(task.strategy, **task.options)
+    stats = ExplorationStats()
     try:
-        layer, hydrate_s, hydrated, rebuilt = _worker_layer(task.problem)
-        problem = replace(task.problem, layer=layer, _built=None)
-        strategy = make_strategy(task.strategy, **task.options)
-        stats = ExplorationStats()
-        try:
-            session = problem.open_session(layer)
-        except (ConstraintViolation, SessionError):
-            # The branch prefix itself is infeasible: a pruned branch,
-            # not an error.
-            stats.prune("constraint")
-            return BranchResult(label=task.label, stats=stats,
-                                hydrate_s=hydrate_s, hydrated=hydrated,
-                                rebuilt=rebuilt)
-        ctx = SearchContext(problem, session,
-                            ParetoFrontier(problem.metrics), stats)
-        strategy.search(ctx)
-        return BranchResult(label=task.label,
-                            outcomes=ctx.frontier.outcomes(), stats=stats,
+        session = problem.open_session(layer)
+    except (ConstraintViolation, SessionError):
+        # The branch prefix itself is infeasible: a pruned branch,
+        # not an error.
+        stats.prune("constraint")
+        if buffer is not None:
+            buffer.emit(ev.BRANCH_PRUNED, reason="constraint",
+                        branch=task.label)
+        return BranchResult(label=task.label, stats=stats,
                             hydrate_s=hydrate_s, hydrated=hydrated,
                             rebuilt=rebuilt)
+    ctx = SearchContext(problem, session,
+                        ParetoFrontier(problem.metrics), stats,
+                        recorder=buffer)
+    strategy.search(ctx)
+    return BranchResult(label=task.label,
+                        outcomes=ctx.frontier.outcomes(), stats=stats,
+                        hydrate_s=hydrate_s, hydrated=hydrated,
+                        rebuilt=rebuilt)
+
+
+def evaluate_branch(task: BranchTask) -> BranchResult:
+    """Search one branch; module-level so the process backend can
+    pickle it by reference.
+
+    When the problem carries a sampled
+    :class:`~repro.core.obs.context.TraceContext`, the whole evaluation
+    runs inside a ``worker_task`` span in a fresh
+    :class:`~repro.core.obs.context.WorkerTraceBuffer`; the drained
+    plain-data records travel back on ``BranchResult.trace`` for the
+    engine's deterministic merge.
+    """
+    try:
+        trace = task.problem.trace
+        if trace is None or not trace.sampled:
+            return _search_branch(task, None)
+        buffer = WorkerTraceBuffer(trace)
+        with buffer.span(ev.WORKER_TASK, branch=task.label,
+                         task=trace.task_index,
+                         worker=f"{os.getpid()}:{threading.get_ident()}"
+                         ) as span:
+            buffer.absorb_init(_INIT_TRACE.drain())
+            result = _search_branch(task, buffer)
+            span.note(outcomes=len(result.outcomes),
+                      events=len(buffer.records), dropped=buffer.dropped)
+        result.trace, result.trace_dropped = buffer.drain()
+        return result
     except ExplorationError:
         raise
     except Exception as exc:  # pragma: no cover - worker diagnostics
@@ -437,7 +534,8 @@ class WorkerPool:
 
     def __init__(self, jobs: int = 1, backend: str = "thread",
                  snapshot: Optional[LayerSnapshot] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 trace: Optional[TraceContext] = None):
         if backend not in BACKENDS:
             raise ExplorationError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}")
@@ -450,6 +548,9 @@ class WorkerPool:
         self.backend = backend
         self.snapshot = snapshot
         self.chunk_size = chunk_size
+        #: Base trace context shipped to the process-pool initializer so
+        #: startup hydration lands in the merged trace.
+        self.trace = trace
         self.stats = PoolStats(workers=jobs, backend=backend)
         self.last_dispatch = DispatchStats()
         self._executor: Optional[Executor] = None
@@ -482,7 +583,7 @@ class WorkerPool:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.jobs,
                     initializer=_pool_initializer,
-                    initargs=(self.snapshot,))
+                    initargs=(self.snapshot, self.trace))
             else:
                 # thread and async backends share a thread executor.
                 self._executor = ThreadPoolExecutor(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.layer import DesignSpaceLayer
+from repro.core.obs.context import TraceContext
 from repro.core.pruning import MissingPolicy
 from repro.core.serialize import LayerSnapshot
 from repro.core.session import ExplorationSession
@@ -65,6 +66,14 @@ class ExplorationProblem:
     #: Strategies skip masked options without opening a branch; because
     #: the proofs are sound, the frontier is unchanged.
     dead_mask: Optional[frozenset] = None
+    #: Distributed-tracing identity (picklable) the engine threads into
+    #: every branch task and the pool initializer; workers whose
+    #: deterministic sampling decision fires fill a
+    #: :class:`~repro.core.obs.context.WorkerTraceBuffer` that the
+    #: engine merges back into the parent trace.  Normally
+    #: engine-assigned; set it explicitly to pin the trace id or the
+    #: sampling rate.
+    trace: Optional[TraceContext] = None
     _built: Optional[DesignSpaceLayer] = field(
         default=None, repr=False, compare=False)
 

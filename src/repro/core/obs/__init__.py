@@ -3,7 +3,9 @@
 ``repro.core.obs`` is the instrumentation subsystem: a structured trace
 of exploration events (:mod:`~repro.core.obs.events`), a metrics
 registry (:mod:`~repro.core.obs.metrics`), the recorders hot paths talk
-to (:mod:`~repro.core.obs.recorder`), exporters
+to (:mod:`~repro.core.obs.recorder`), distributed-tracing plumbing for
+parallel exploration (:mod:`~repro.core.obs.context`), a span profiler
+(:mod:`~repro.core.obs.profile`), exporters
 (:mod:`~repro.core.obs.export`) and trace replay
 (:mod:`~repro.core.obs.replay`).
 
@@ -14,6 +16,14 @@ recorder).  Import it as ``from repro.core.obs import replay`` — by the
 time user code does that, the core modules are fully initialised.
 """
 
+from repro.core.obs.context import (
+    TraceContext,
+    WorkerTraceBuffer,
+    adaptive_sample_rate,
+    canonical_trace_bytes,
+    canonical_trace_digest,
+    canonical_trace_events,
+)
 from repro.core.obs.events import (
     ACKNOWLEDGE,
     CACHE_HIT,
@@ -32,6 +42,7 @@ from repro.core.obs.events import (
     RETRACT,
     SESSION_OPEN,
     UNDO,
+    WORKER_TASK,
     TraceEvent,
 )
 from repro.core.obs.export import (
@@ -48,6 +59,11 @@ from repro.core.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.core.obs.profile import (
+    SiteStats,
+    SpanProfile,
+    profile_events,
 )
 from repro.core.obs.recorder import (
     NULL_RECORDER,
@@ -76,15 +92,25 @@ __all__ = [
     "RETRACT",
     "SESSION_OPEN",
     "UNDO",
+    "WORKER_TASK",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
+    "SiteStats",
     "Span",
+    "SpanProfile",
+    "TraceContext",
     "TraceEvent",
     "TraceRecorder",
+    "WorkerTraceBuffer",
+    "adaptive_sample_rate",
+    "canonical_trace_bytes",
+    "canonical_trace_digest",
+    "canonical_trace_events",
     "dumps_jsonl",
+    "profile_events",
     "read_jsonl",
     "render_timeline",
     "summarize",

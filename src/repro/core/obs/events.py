@@ -70,6 +70,11 @@ WORKER_REBUILD = "worker_layer_rebuild"
 CHUNK_DISPATCH = "chunk_dispatch"
 #: Idle workers stole pending chunks from slower peers (payload: count).
 CHUNK_STEAL = "chunk_steal"
+#: One sampled branch evaluation inside a pool worker (span; payload:
+#: branch label, task index, worker id, buffered event / drop counts).
+#: Emitted into a :class:`~repro.core.obs.context.WorkerTraceBuffer`
+#: and merged into the parent trace under its ``branch_open`` anchor.
+WORKER_TASK = "worker_task"
 #: The semantic verifier ran over a layer (span).
 VERIFY_RUN = "verify_run"
 #: The verifier proved a design-issue option dead (payload: cdo, issue,
@@ -85,7 +90,7 @@ EVENT_KINDS = frozenset({
     ESTIMATE_INVOKED, INDEX_REBUILD, LINT_RUN,
     EXPLORE_START, BRANCH_OPEN, BRANCH_PRUNED, FRONTIER_UPDATE,
     WORKER_HYDRATE, WORKER_REBUILD, CHUNK_DISPATCH, CHUNK_STEAL,
-    VERIFY_RUN, DEAD_BRANCH_PROVED, UNSAT_CORE_FOUND,
+    WORKER_TASK, VERIFY_RUN, DEAD_BRANCH_PROVED, UNSAT_CORE_FOUND,
 })
 
 #: Kinds that mutate session state; a replay re-applies exactly these,

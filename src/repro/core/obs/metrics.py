@@ -28,6 +28,19 @@ def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Text exposition format: label values escape backslash, the double
+    # quote that delimits them, and line feeds (in that order, so the
+    # escaping backslashes are not themselves re-escaped).
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n")
+
+
+def _escape_help(doc: str) -> str:
+    # HELP text is unquoted: only backslash and line feed are escaped.
+    return doc.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None
                    ) -> str:
     pairs = list(key)
@@ -35,7 +48,7 @@ def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None
         pairs.append(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -221,7 +234,7 @@ class MetricsRegistry:
         def header(name: str, kind: str) -> None:
             doc = self._help.get(name)
             if doc:
-                lines.append(f"# HELP {name} {doc}")
+                lines.append(f"# HELP {name} {_escape_help(doc)}")
             lines.append(f"# TYPE {name} {kind}")
 
         counter_items, gauge_items, histogram_items = self._snapshot()

@@ -270,6 +270,26 @@ class ExplorationShell(cmd.Cmd):
                     f"expected on, off, status or save PATH")
         self._guard(action)
 
+    def do_profile(self, arg: str) -> None:
+        """profile [TOP] — span profile of the current trace.
+
+        Aggregates the events recorded since 'trace on' into hot sites
+        (self/cumulative time) and an indented flame tree; TOP bounds
+        the table (default 10)."""
+        from repro.core.obs import profile_events
+        layer = self.session.layer
+
+        def action():
+            if not layer.observer.enabled:
+                raise ReproError(
+                    "tracing is off ('trace on' to start collecting)")
+            word = arg.strip()
+            top = int(word) if word else 10
+            profile = profile_events(layer.observer.events)
+            self._say(profile.render_table(top=top))
+            self._say(profile.render_flame())
+        self._guard(action)
+
     def do_stats(self, _arg: str) -> None:
         """stats — metrics collected while tracing was on."""
         if not self.session.layer.observer.enabled:

@@ -170,6 +170,60 @@ class TestEpochUnderThreads:
         assert len(seen[0]) == 6
 
 
+class TestTraceRecorderUnderThreads:
+    def test_concurrent_emits_keep_seq_dense(self):
+        layer = build_widget_layer()
+        recorder = layer.observe()
+        threads, per_thread = 8, 400
+
+        run_threads(threads,
+                    lambda i: [recorder.emit("decide", thread=i, step=n)
+                               for n in range(per_thread)])
+        seqs = sorted(e.seq for e in recorder.events)
+        assert len(seqs) == threads * per_thread
+        # No lost or duplicated sequence numbers under contention.
+        assert seqs == list(range(len(seqs)))
+        counter = recorder.metrics.counter("dsl_events_total",
+                                           kind="decide")
+        assert counter.value == threads * per_thread
+
+    def test_span_parentage_stays_per_thread(self):
+        layer = build_widget_layer()
+        recorder = layer.observe()
+        threads, per_thread = 8, 100
+
+        def body(i):
+            for n in range(per_thread):
+                with recorder.span("prune", thread=i) as span:
+                    inner = recorder.emit("cache_hit", thread=i, step=n)
+                    # The child must nest under THIS thread's open span,
+                    # never under a sibling thread's.
+                    assert inner.parent == span.span_id
+                    assert inner.payload["thread"] == i
+
+        run_threads(threads, body)
+        spans = [e for e in recorder.events if e.kind == "prune"]
+        assert len(spans) == threads * per_thread
+        assert len({e.span for e in spans}) == len(spans)
+        for child in (e for e in recorder.events if e.kind == "cache_hit"):
+            parent = next(s for s in spans if s.span == child.parent)
+            assert parent.payload["thread"] == child.payload["thread"]
+
+    def test_next_session_ids_stay_unique(self):
+        layer = build_widget_layer()
+        recorder = layer.observe()
+        ids = []
+        lock = threading.Lock()
+
+        def body(i):
+            mine = [recorder.next_session() for _ in range(300)]
+            with lock:
+                ids.extend(mine)
+
+        run_threads(8, body)
+        assert len(ids) == len(set(ids)) == 8 * 300
+
+
 class TestHydrationLogUnderThreads:
     def test_concurrent_drains_conserve_timings(self):
         log = _HydrationLog()

@@ -110,12 +110,18 @@ class TestPolicy:
         with pytest.raises(ExplorationError):
             evaluator.map(tasks)
 
-    def test_traced_layer_without_factory_refused(self):
+    def test_traced_layer_without_factory_shares_layer(self):
+        # The recorder is thread-safe: with neither a factory nor a
+        # snapshot, thread workers now share the traced layer natively
+        # instead of refusing, and the frontier is unchanged.
         layer = build_widget_layer()
         layer.observe()
         problem = widget_problem(layer=layer, layer_factory=None)
-        with pytest.raises(ExplorationError):
-            explore(problem, strategy="exhaustive", jobs=2)
+        result = explore(problem, strategy="exhaustive", jobs=2)
+        untraced = explore(widget_problem(layer=build_widget_layer(),
+                                          layer_factory=None),
+                           strategy="exhaustive")
+        assert result.frontier.digest() == untraced.frontier.digest()
 
     def test_traced_layer_with_factory_runs(self):
         layer = build_widget_layer()

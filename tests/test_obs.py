@@ -2,6 +2,7 @@
 
 import io
 import json
+import os
 
 import pytest
 
@@ -176,6 +177,38 @@ class TestMetrics:
         assert "# HELP dsl_cores cores" in text
         assert 'dsl_seconds_bucket{le="+Inf"} 1' in text
         assert "dsl_seconds_count 1" in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("dsl_n", "c", kind='say "hi"\\now\n').inc(1)
+        text = registry.render_prometheus()
+        assert 'dsl_n{kind="say \\"hi\\"\\\\now\\n"} 1' in text
+
+    def test_prometheus_escapes_help_text(self):
+        registry = MetricsRegistry()
+        registry.gauge("dsl_g", "line one\nline \\ two").set(0)
+        text = registry.render_prometheus()
+        assert "# HELP dsl_g line one\\nline \\\\ two" in text
+        # The dump stays one-line-per-record despite the embedded \n.
+        assert all(line for line in text.strip().split("\n"))
+
+    def test_prometheus_exposition_matches_golden(self):
+        # Exposition-format conformance pinned as a golden file: HELP
+        # text escapes backslash/line-feed, label values additionally
+        # escape the delimiting double quote.
+        registry = MetricsRegistry()
+        registry.counter(
+            "dsl_escapes_total",
+            'tricky help: backslash \\ and\nnewline', kind='quo"te').inc(2)
+        registry.counter("dsl_escapes_total", "", kind="back\\slash").inc(1)
+        registry.gauge("dsl_escape_gauge", "plain help",
+                       path='C:\\trace\n"log"').set(1.5)
+        registry.histogram("dsl_escape_seconds", "multi\nline \\ help",
+                           buckets=(0.1,), branch='G="f0"').observe(0.05)
+        golden = os.path.join(os.path.dirname(__file__), "golden",
+                              "prometheus_escapes.txt")
+        with open(golden) as fh:
+            assert registry.render_prometheus() == fh.read()
 
     def test_text_and_dict_renderings(self):
         registry = MetricsRegistry()

@@ -1,0 +1,175 @@
+"""The span profiler: self/cumulative aggregation, flame-tree merging,
+and the CLI/shell surfaces."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.obs import profile_events
+from repro.shell import run_shell
+
+from conftest import build_widget_layer
+import io
+
+
+def rows(*specs):
+    """Build plain trace rows: (seq, kind, payload, duration, span,
+    parent)."""
+    out = []
+    for seq, kind, payload, duration, span, parent in specs:
+        row = {"seq": seq, "kind": kind, "elapsed_s": seq * 0.001}
+        if payload:
+            row["payload"] = payload
+        if duration is not None:
+            row["duration_s"] = duration
+        if span is not None:
+            row["span"] = span
+        if parent is not None:
+            row["parent"] = parent
+        out.append(row)
+    return out
+
+
+SAMPLE = rows(
+    (0, "branch_open", {"issue": "I"}, None, 1, None),
+    (1, "worker_task", {"branch": "G"}, 0.5, 2, 1),
+    (2, "prune", {"survivors": 3}, 0.2, 3, 2),
+    (3, "prune", {"survivors": 2}, 0.1, 4, 2),
+    (4, "worker_task", {"branch": "G"}, 0.3, 5, 1),
+    (5, "cache_hit", {}, None, None, 5),
+)
+
+
+class TestAggregation:
+    def test_self_time_subtracts_direct_children(self):
+        profile = profile_events(SAMPLE)
+        task = profile.site("worker_task[G]")
+        assert task.count == 2
+        assert task.cum_s == pytest.approx(0.8)
+        # First task: 0.5 - (0.2 + 0.1); second: 0.3 with an untimed
+        # child contributing nothing.
+        assert task.self_s == pytest.approx(0.5)
+        prune = profile.site("prune")
+        assert prune.cum_s == prune.self_s == pytest.approx(0.3)
+
+    def test_summary_counts(self):
+        profile = profile_events(SAMPLE)
+        assert profile.events == 6
+        assert profile.spans == 4
+        # Roots: the branch_open anchor (untimed) — everything nests
+        # under it, so total time is the anchor's 0.
+        assert profile.total_s == 0.0
+
+    def test_sites_ordered_by_self_time(self):
+        profile = profile_events(SAMPLE)
+        assert [s.site for s in profile.sites[:2]] == \
+            ["worker_task[G]", "prune"]
+
+    def test_events_accepted_as_traceevents(self):
+        from repro.core.obs import TraceRecorder
+
+        recorder = TraceRecorder()
+        with recorder.span("prune", survivors=1):
+            recorder.emit("cache_hit")
+        profile = profile_events(recorder.events)
+        assert profile.site("prune").count == 1
+        assert profile.site("cache_hit").count == 1
+
+    def test_unknown_parent_becomes_root(self):
+        profile = profile_events(rows(
+            (0, "prune", {}, 0.4, None, 999),
+        ))
+        assert profile.total_s == 0.4
+
+
+class TestRenderings:
+    def test_table_lists_top_sites(self):
+        text = profile_events(SAMPLE).render_table(top=2)
+        assert text.splitlines()[0] == \
+            "span profile: 6 events, 4 spans, 0.000 ms total"
+        assert "worker_task[G]" in text
+        assert "more site(s)" in text
+
+    def test_flame_tree_merges_siblings_and_nests(self):
+        text = profile_events(SAMPLE).render_flame()
+        lines = text.splitlines()
+        assert lines[0] == "branch_open[I]"
+        assert lines[1].startswith("  worker_task[G]")
+        assert "x2" in lines[1]
+        assert lines[2].startswith("    prune")
+
+    def test_flame_max_depth(self):
+        text = profile_events(SAMPLE).render_flame(max_depth=1)
+        assert text == "branch_open[I]"
+
+    def test_empty_trace(self):
+        profile = profile_events([])
+        assert profile.render_flame() == "(empty trace)"
+        assert profile.to_dict() == {"events": 0, "spans": 0,
+                                     "total_ms": 0.0, "sites": [],
+                                     "flame": []}
+
+    def test_to_dict_round_trips_as_json(self):
+        payload = profile_events(SAMPLE).to_dict(top=1)
+        clone = json.loads(json.dumps(payload))
+        assert clone["events"] == 6
+        assert len(clone["sites"]) == 1
+        node = clone["flame"][0]
+        assert node["site"] == "branch_open[I]"
+        assert node["children"][0]["count"] == 2
+
+
+class TestCliProfile:
+    def run_explore_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["explore", "--layer", "idct", "--strategy",
+                     "exhaustive", "--trace", str(trace)]) == 0
+        return trace
+
+    def test_profile_renders_table_and_flame(self, tmp_path, capsys):
+        trace = self.run_explore_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span profile:" in out
+        assert "explore_start" in out
+
+    def test_profile_json(self, tmp_path, capsys):
+        trace = self.run_explore_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["profile", str(trace), "--json", "--top", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] > 0
+        assert len(payload["sites"]) <= 3
+
+    def test_profile_flame_only(self, tmp_path, capsys):
+        trace = self.run_explore_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["profile", str(trace), "--flame",
+                     "--max-depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span profile:" not in out
+        assert "explore_start" in out
+
+    def test_profile_missing_file_errors(self, capsys):
+        assert main(["profile", "/no/such/trace.jsonl"]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+
+class TestShellProfile:
+    def run_lines(self, *lines):
+        layer = build_widget_layer()
+        stdin = io.StringIO("\n".join(lines + ("quit",)) + "\n")
+        stdout = io.StringIO()
+        run_shell(layer, "Widget", stdin=stdin, stdout=stdout)
+        return stdout.getvalue()
+
+    def test_profile_requires_tracing(self):
+        out = self.run_lines("profile")
+        assert "tracing is off" in out
+
+    def test_profile_renders_current_trace(self):
+        out = self.run_lines("trace on", "decide Style=hw", "profile 5")
+        assert "span profile:" in out
+        assert "decide" in out

@@ -1,0 +1,235 @@
+"""Distributed-tracing plumbing: TraceContext, WorkerTraceBuffer,
+canonical projection, and the recorder's deterministic absorb."""
+
+import pickle
+
+import pytest
+
+from repro.core.obs import (
+    TraceContext,
+    TraceRecorder,
+    WorkerTraceBuffer,
+    adaptive_sample_rate,
+    canonical_trace_bytes,
+    canonical_trace_digest,
+    canonical_trace_events,
+)
+from repro.core.obs.context import (
+    DEFAULT_BUFFER_LIMIT,
+    FULL_TRACE_TASKS,
+    MIN_SAMPLE_RATE,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.001
+        return self.now
+
+
+def make_buffer(limit=DEFAULT_BUFFER_LIMIT):
+    context = TraceContext(trace_id="t" * 16, buffer_limit=limit,
+                           task_index=0)
+    return WorkerTraceBuffer(context, clock=FakeClock(), wall=lambda: 1.0)
+
+
+class TestTraceContext:
+    def test_derive_is_content_addressed(self):
+        a = TraceContext.derive("R", ("area",), "exhaustive")
+        b = TraceContext.derive("R", ("area",), "exhaustive")
+        c = TraceContext.derive("S", ("area",), "exhaustive")
+        assert a.trace_id == b.trace_id
+        assert a.trace_id != c.trace_id
+        assert len(a.trace_id) == 16
+
+    def test_derive_clamps_rate_and_defaults_adaptive(self):
+        assert TraceContext.derive("x", sample_rate=2.5).sample_rate == 1.0
+        assert TraceContext.derive("x", sample_rate=-1).sample_rate == 0.0
+        assert TraceContext.derive("x", tasks=64).sample_rate == \
+            adaptive_sample_rate(64)
+
+    def test_adaptive_rate_schedule(self):
+        assert adaptive_sample_rate(0) == 1.0
+        assert adaptive_sample_rate(FULL_TRACE_TASKS) == 1.0
+        assert adaptive_sample_rate(FULL_TRACE_TASKS * 2) == 0.5
+        assert adaptive_sample_rate(10 ** 9) == MIN_SAMPLE_RATE
+
+    def test_sampling_is_deterministic_and_rate_shaped(self):
+        base = TraceContext.derive("seed", sample_rate=0.5)
+        decisions = [base.for_task(i).sampled for i in range(400)]
+        assert decisions == [base.for_task(i).sampled for i in range(400)]
+        hits = sum(decisions)
+        assert 100 < hits < 300  # ~200 expected; deterministic, not exact
+
+    def test_rate_edges(self):
+        off = TraceContext.derive("seed", sample_rate=0.0)
+        full = TraceContext.derive("seed", sample_rate=1.0)
+        assert not any(off.for_task(i).sampled for i in range(50))
+        assert all(full.for_task(i).sampled for i in range(50))
+        # The base (initializer) context follows the rate being nonzero.
+        assert full.sampled and not off.sampled
+
+    def test_pickles(self):
+        context = TraceContext.derive("seed", tasks=100).for_task(
+            3, parent_span=7)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone == context
+        assert clone.sampled == context.sampled
+
+
+class TestWorkerTraceBuffer:
+    def test_emit_and_span_nesting(self):
+        buffer = make_buffer()
+        with buffer.span("worker_task", branch="G") as span:
+            inner = buffer.emit("branch_open", issue="I")
+            span.note(outcomes=2)
+        rows, dropped = buffer.drain()
+        assert dropped == 0
+        assert [r["kind"] for r in rows] == ["branch_open", "worker_task"]
+        task = rows[1]
+        assert inner["parent"] == task["span"]
+        assert task["payload"] == {"branch": "G", "outcomes": 2}
+        assert task["duration_s"] > 0
+        assert [r["seq"] for r in rows] == [0, 1]
+
+    def test_bounded_with_drop_count(self):
+        buffer = make_buffer(limit=3)
+        for i in range(10):
+            buffer.emit("decide", step=i)
+        rows, dropped = buffer.drain()
+        assert len(rows) == 3
+        assert dropped == 7
+        assert [r["payload"]["step"] for r in rows] == [0, 1, 2]
+
+    def test_emit_timed_and_absorb_init(self):
+        buffer = make_buffer()
+        buffer.absorb_init([{"kind": "worker_hydrate", "duration_s": 0.25,
+                             "payload": {"source": "snapshot"}}])
+        rows, _ = buffer.drain()
+        assert rows[0]["kind"] == "worker_hydrate"
+        assert rows[0]["duration_s"] == 0.25
+        assert rows[0]["payload"] == {"source": "snapshot"}
+        assert rows[0]["span"] == 1
+
+    def test_rows_pickle_as_plain_data(self):
+        buffer = make_buffer()
+        with buffer.span("worker_task"):
+            buffer.emit("prune", survivors=4)
+        rows, _ = buffer.drain()
+        assert pickle.loads(pickle.dumps(rows)) == rows
+
+
+class TestRecorderAbsorb:
+    def make_recorder(self):
+        return TraceRecorder(clock=FakeClock(), wall=lambda: 2.0)
+
+    def worker_rows(self):
+        buffer = make_buffer()
+        with buffer.span("worker_task", branch="G"):
+            buffer.emit_timed("worker_hydrate", 0.1, source="snapshot")
+            buffer.emit("branch_open", issue="I")
+        rows, dropped = buffer.drain()
+        return rows, dropped
+
+    def test_reparents_and_renumbers(self):
+        recorder = self.make_recorder()
+        anchor = recorder.emit_anchor("branch_open", issue="Root")
+        rows, dropped = self.worker_rows()
+        merged = recorder.absorb(rows, parent=anchor.span, offset_s=1.5,
+                                 dropped=dropped)
+        assert [e.kind for e in merged] == \
+            ["worker_hydrate", "branch_open", "worker_task"]
+        task = merged[-1]
+        assert task.parent == anchor.span
+        assert merged[0].parent == task.span
+        assert merged[1].parent == task.span
+        # Sequence continues the recorder's own numbering densely.
+        assert [e.seq for e in recorder.events] == [0, 1, 2, 3]
+        # Worker-local elapsed offsets shift by the anchor offset.
+        assert all(e.elapsed_s >= 1.5 for e in merged)
+
+    def test_absorb_updates_worker_metrics(self):
+        recorder = self.make_recorder()
+        rows, _ = self.worker_rows()
+        recorder.absorb(rows, dropped=5)
+        metrics = recorder.metrics
+        total = sum(
+            metrics.counter("dsl_worker_events_total", kind=kind).value
+            for kind in ("worker_task", "worker_hydrate", "branch_open"))
+        assert total == 3
+        assert metrics.counter(
+            "dsl_trace_events_dropped_total").value == 5
+
+    def test_absorb_order_is_deterministic(self):
+        rows, _ = self.worker_rows()
+        shuffled = list(reversed(rows))
+        a, b = self.make_recorder(), self.make_recorder()
+        a.absorb(rows)
+        b.absorb(shuffled)
+        assert [(e.seq, e.kind, e.span, e.parent) for e in a.events] == \
+            [(e.seq, e.kind, e.span, e.parent) for e in b.events]
+
+
+class TestCanonicalProjection:
+    def test_strips_volatile_kinds_keys_and_timing(self):
+        recorder = TraceRecorder(clock=FakeClock(), wall=lambda: 2.0)
+        recorder.emit("worker_hydrate", source="snapshot")
+        recorder.emit("chunk_dispatch", chunks=2)
+        recorder.emit("prune", survivors=3, seconds=0.5, worker="w1")
+        rows = canonical_trace_events(recorder.events)
+        assert [r["kind"] for r in rows] == ["prune"]
+        assert rows[0]["payload"] == {"survivors": 3}
+        assert "at" not in rows[0] and "elapsed_s" not in rows[0]
+
+    def test_span_ids_normalize_to_first_appearance(self):
+        def trace(base):
+            recorder = TraceRecorder(clock=FakeClock(), wall=lambda: 2.0)
+            recorder._span_ids = base  # simulate prior span traffic
+            with recorder.span("prune"):
+                recorder.emit("cache_hit")
+            return recorder.events
+
+        assert canonical_trace_bytes(trace(0)) == \
+            canonical_trace_bytes(trace(40))
+
+    def test_timed_marker_replaces_duration(self):
+        recorder = TraceRecorder(clock=FakeClock(), wall=lambda: 2.0)
+        with recorder.span("prune"):
+            pass
+        row = canonical_trace_events(recorder.events)[0]
+        assert row["timed"] is True
+        assert "duration_s" not in row
+
+    def test_digest_is_short_hex(self):
+        digest = canonical_trace_digest([])
+        assert len(digest) == 16
+        int(digest, 16)
+
+    def test_dropped_rows_do_not_change_digest_inputs(self):
+        buffer = make_buffer(limit=2)
+        buffer.emit("prune", survivors=1)
+        buffer.emit("prune", survivors=2)
+        buffer.emit("prune", survivors=3)
+        rows, dropped = buffer.drain()
+        assert dropped == 1
+        assert len(canonical_trace_events(rows)) == 2
+
+
+class TestRecorderDuckType:
+    def test_buffer_quacks_like_a_recorder(self):
+        buffer = make_buffer()
+        assert buffer.enabled
+        assert buffer.next_session() == 0
+        tools = {"area": lambda session: {}}
+        assert buffer.wrap_tools(tools) == tools
+
+    def test_emit_anchor_has_span_but_no_duration(self):
+        recorder = TraceRecorder(clock=FakeClock(), wall=lambda: 2.0)
+        anchor = recorder.emit_anchor("branch_open", issue="I")
+        assert anchor.span is not None
+        assert anchor.duration_s is None
+        with pytest.raises(AttributeError):
+            anchor.span = 99  # frozen event
