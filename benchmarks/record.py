@@ -20,13 +20,23 @@
 * the semantic verifier on a 5k-core synthetic layer — a cold analysis
   vs a warm epoch-cached re-verify (gate: warm < 5% of cold).
 
+``BENCH_serving.json`` (repo root) is the durable record of the service
+layer's load benchmark — 64 concurrent HTTP sessions against the
+50k-core synthetic layer: request p50/p95/p99, prune-batching counters,
+and the digest oracle (served bytes vs direct in-process library calls).
+The digest gate applies on any machine; the p95 latency budget only
+when the recording machine has >= 4 CPUs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py [--output BENCH_pruning.json]
                                                [--repeat 5] [--cores 50000]
+    PYTHONPATH=src python benchmarks/record.py --serving-only \\
+                                               [--serving-output BENCH_serving.json]
 
-The measurement helpers are imported by ``test_bench_obs.py`` so the
-benchmark suite and this recorder cannot drift apart.
+The measurement helpers are imported by ``test_bench_obs.py`` and
+``test_bench_serving.py`` so the benchmark suite and this recorder
+cannot drift apart.
 """
 
 from __future__ import annotations
@@ -45,6 +55,11 @@ if _HERE not in sys.path:  # direct `python benchmarks/record.py` runs
     sys.path.insert(0, _HERE)
 
 DEFAULT_OUTPUT = os.path.join(_HERE, os.pardir, "BENCH_pruning.json")
+DEFAULT_SERVING_OUTPUT = os.path.join(_HERE, os.pardir,
+                                      "BENCH_serving.json")
+#: The CI gate: p95 served-request latency over 64 concurrent sessions
+#: on the 50k-core layer (enforced only on machines with >= 4 CPUs).
+SERVING_P95_BUDGET = 0.5
 #: The CI gate: traced walk may cost at most 10% over the no-op walk.
 OVERHEAD_BUDGET = 1.10
 #: The CI gate: a warm (epoch-cached) re-verify of an unchanged layer
@@ -368,6 +383,88 @@ def verify_measurements(num_cores: int = 5000, repeat: int = 5
     }
 
 
+def serving_measurements(num_cores: int = 50000, sessions: int = 64
+                         ) -> Dict[str, object]:
+    """Drive the HTTP service-layer load benchmark once.
+
+    A real :class:`~repro.serve.DesignSpaceServer` on an ephemeral port
+    serves ``sessions`` concurrent client walks over the ``num_cores``
+    synthetic layer; returns request percentiles, batching counters and
+    the two oracles (per-session digests + stateless served bytes).
+    """
+    from test_bench_serving import (
+        run_serving_load,
+        start_server,
+        stateless_oracle_checks,
+        stop_server,
+        synthetic_layer,
+    )
+
+    layer = synthetic_layer(num_cores)
+    service, server, thread = start_server(layer)
+    try:
+        diverged = stateless_oracle_checks(server.url, layer)
+        load = run_serving_load(server.url, layer, sessions=sessions)
+        leads = service.metrics.counter(
+            "dsl_prune_batch_leads_total").value
+        hits = service.metrics.counter(
+            "dsl_prune_batch_hits_total").value
+        coalesced = service.metrics.counter(
+            "dsl_prune_batch_coalesced_total").value
+    finally:
+        stop_server(service, server, thread)
+    return {
+        "num_cores": num_cores,
+        "sessions": sessions,
+        "requests": load["requests"],
+        "p50": load["p50"],
+        "p95": load["p95"],
+        "p99": load["p99"],
+        "digest_ok": load["digest_ok"] and not diverged,
+        "stateless_diverged": diverged,
+        "batch_leads": leads,
+        "batch_hits": hits,
+        "batch_coalesced": coalesced,
+    }
+
+
+def collect_serving(num_cores: int, sessions: int) -> Dict[str, object]:
+    from test_bench_explore import available_cpus
+
+    serving = serving_measurements(num_cores, sessions)
+    cpus = available_cpus()
+    return {
+        "generated": time.strftime("%Y-%m-%d"),
+        "command": ("PYTHONPATH=src python benchmarks/record.py "
+                    "--serving-only"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or "unknown",
+            "cpus": cpus,
+        },
+        "serving": {
+            "num_cores": serving["num_cores"],
+            "sessions": serving["sessions"],
+            "requests": serving["requests"],
+            "latency_seconds": {
+                "p50": round(serving["p50"], 6),
+                "p95": round(serving["p95"], 6),
+                "p99": round(serving["p99"], 6),
+            },
+            "prune_batching": {
+                "leads": serving["batch_leads"],
+                "hits": serving["batch_hits"],
+                "coalesced": serving["batch_coalesced"],
+            },
+            "digest_ok": serving["digest_ok"],
+            "p95_budget": SERVING_P95_BUDGET,
+            "budget_enforced": cpus >= 4,
+            "within_budget": serving["p95"] < SERVING_P95_BUDGET,
+        },
+    }
+
+
 def collect(repeat: int, num_cores: int) -> Dict[str, object]:
     crypto = crypto_walk_runs(repeat)
     overhead = overhead_measurements(num_cores, repeat)
@@ -454,7 +551,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="runs per benchmark (min and mean recorded)")
     parser.add_argument("--cores", type=int, default=50000,
                         help="synthetic library size for the overhead walk")
+    parser.add_argument("--serving-only", action="store_true",
+                        help="record only the service-layer load "
+                             "benchmark into --serving-output")
+    parser.add_argument("--serving-output", default=DEFAULT_SERVING_OUTPUT,
+                        help="where to write the serving JSON record")
+    parser.add_argument("--sessions", type=int, default=64,
+                        help="concurrent sessions for the serving load")
     args = parser.parse_args(argv)
+    if args.serving_only:
+        record = collect_serving(args.cores, args.sessions)
+        with open(args.serving_output, "w", encoding="utf-8") as fp:
+            json.dump(record, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        serving = record["serving"]
+        p95 = serving["latency_seconds"]["p95"]
+        print(f"wrote {os.path.normpath(args.serving_output)} "
+              f"({serving['sessions']} sessions, p95 {p95:.3f}s, "
+              f"digest {'ok' if serving['digest_ok'] else 'DIVERGED'})")
+        if not serving["digest_ok"]:
+            return 1
+        if serving["budget_enforced"] and not serving["within_budget"]:
+            return 1
+        return 0
     record = collect(args.repeat, args.cores)
     with open(args.output, "w", encoding="utf-8") as fp:
         json.dump(record, fp, indent=2, sort_keys=True)

@@ -1,0 +1,252 @@
+"""E-SV — the service layer: concurrent sessions over HTTP on 50k cores.
+
+The service layer's pitch is that thousands of stepwise sessions can
+share one immutable snapshot of a production-sized layer: per-session
+state is copy-on-write, prune evaluations coalesce across sessions at
+the same state, and every served byte is digest-identical to a direct
+in-process library call.  This benchmark drives a real
+:class:`~repro.serve.DesignSpaceServer` (ThreadingHTTPServer, ephemeral
+port) with 64 concurrent client sessions against the 50k-core synthetic
+layer and gates on:
+
+* digest equality, always — each session's served prune digest equals a
+  private in-process :class:`ExplorationSession` replay, and the
+  stateless query/lint/verify/explore verbs byte-match direct library
+  calls through ``canonical_json``;
+* request latency, only when the machine really has >= 4 CPUs —
+  a 1-CPU container serializes 64 handler threads and can only
+  demonstrate correctness, not latency.
+
+``record.py --serving-only`` reuses these helpers to commit honest
+p50/p95/p99 numbers to ``BENCH_serving.json``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import CoreQuery, ExplorationSession
+from repro.core.explore import ExplorationProblem, explore
+from repro.core.pruning import names_digest
+from repro.core.serialize import core_to_dict
+from repro.serve import (
+    DesignSpaceServer,
+    DesignSpaceService,
+    ServiceClient,
+    canonical_json,
+)
+
+from conftest import emit
+from test_bench_explore import available_cpus
+from test_bench_scaling import synthetic_layer
+
+SESSIONS = 64
+NUM_CORES = 50000
+#: p95 request latency budget (seconds) — enforced only on >= 4 CPUs.
+LATENCY_BUDGET_P95 = 0.5
+
+_LAYERS = {}
+
+
+def serving_layer(num_cores=NUM_CORES):
+    if num_cores not in _LAYERS:
+        _LAYERS[num_cores] = synthetic_layer(num_cores)
+    return _LAYERS[num_cores]
+
+
+def start_server(layer):
+    """A real server on an ephemeral port; returns (service, server, thread)."""
+    service = DesignSpaceService(layers={"scale": layer},
+                                 default_layer="scale")
+    server = DesignSpaceServer(("127.0.0.1", 0), service, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return service, server, thread
+
+
+def stop_server(service, server, thread):
+    server.shutdown_gracefully().join(30.0)
+    server.server_close()
+    service.close()
+    thread.join(30.0)
+
+
+def percentile(latencies, q):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def session_walk(i):
+    """The i-th session's walk: 8 distinct states repeated 8 ways, so
+    the prune batcher has cross-session sharing to exploit."""
+    family = f"f{i % 8}"
+    return family, f"v{i % 4}"
+
+
+def direct_walk_digest(layer, family, variant):
+    session = ExplorationSession(layer, "Block")
+    session.set_requirement("Width", 16)
+    session.decide("Family", family)
+    session.decide("Variant", variant)
+    return session.prune_report().digest()
+
+
+def run_serving_load(url, layer, sessions=SESSIONS):
+    """Drive ``sessions`` concurrent client walks; return latencies and
+    the digest-oracle outcome."""
+    oracle = {}
+    for i in range(8):
+        family, variant = session_walk(i)
+        oracle[(family, variant)] = direct_walk_digest(layer, family,
+                                                       variant)
+
+    per_thread = [[] for _ in range(sessions)]
+    failures = []
+    barrier = threading.Barrier(sessions)
+
+    def timed(client, latencies, verb, params):
+        t0 = time.perf_counter()
+        status, body = client.request(verb, params)
+        latencies.append(time.perf_counter() - t0)
+        if status != 200:
+            raise AssertionError(f"{verb} -> {status}: {body!r}")
+        return json.loads(body)
+
+    def body(i):
+        family, variant = session_walk(i)
+        client = ServiceClient(url)
+        latencies = per_thread[i]
+        barrier.wait()
+        try:
+            opened = timed(client, latencies, "session/open",
+                           {"start": "Block"})
+            token = opened["token"]
+            timed(client, latencies, "session/require",
+                  {"token": token, "name": "Width", "value": 16})
+            timed(client, latencies, "session/decide",
+                  {"token": token, "issue": "Family", "option": family})
+            timed(client, latencies, "session/decide",
+                  {"token": token, "issue": "Variant", "option": variant})
+            report = timed(client, latencies, "session/report",
+                           {"token": token})
+            timed(client, latencies, "session/close", {"token": token})
+            if report["digest"] != oracle[(family, variant)]:
+                failures.append((i, "digest", report["digest"]))
+        except BaseException as exc:  # noqa: BLE001
+            failures.append((i, "error", repr(exc)))
+
+    threads = [threading.Thread(target=body, args=(i,))
+               for i in range(sessions)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    latencies = [lat for chunk in per_thread for lat in chunk]
+    return {
+        "sessions": sessions,
+        "requests": len(latencies),
+        "latencies": latencies,
+        "failures": failures,
+        "digest_ok": not failures,
+        "p50": percentile(latencies, 0.50),
+        "p95": percentile(latencies, 0.95),
+        "p99": percentile(latencies, 0.99),
+    }
+
+
+def stateless_oracle_checks(url, layer):
+    """Served bytes for query/lint/verify/explore vs direct library
+    calls; returns the list of verbs that diverged (empty == pass)."""
+    client = ServiceClient(url)
+    diverged = []
+
+    cores = (CoreQuery(layer).under("Block.f3").order_by("area")
+             .limit(50).all())
+    direct_query = {
+        "layer": layer.name,
+        "count": len(cores),
+        "digest": names_digest([c.name for c in cores]),
+        "cores": [core_to_dict(c) for c in cores],
+    }
+    status, body = client.request("query", {
+        "under": "Block.f3", "order_by": "area", "limit": 50})
+    if status != 200 or body != canonical_json(direct_query):
+        diverged.append("query")
+
+    status, body = client.request("lint", {})
+    if status != 200 or body != canonical_json(
+            {"layer": layer.name, "report": layer.lint().to_dict()}):
+        diverged.append("lint")
+
+    status, body = client.request("verify", {"require": {"Width": 16}})
+    if status != 200 or body != canonical_json(
+            {"layer": layer.name,
+             "report": layer.verify(
+                 requirements=(("Width", 16),)).to_dict()}):
+        diverged.append("verify")
+
+    problem = ExplorationProblem(
+        start="Block", metrics=("area", "latency_ns"),
+        requirements=(("Width", 16),), layer=layer)
+    direct_explore = explore(problem, strategy="exhaustive").to_dict()
+    direct_explore.pop("pool", None)
+    status, body = client.request("explore", {
+        "start": "Block", "strategy": "exhaustive",
+        "require": {"Width": 16}})
+    if status != 200 or body != canonical_json(
+            {"layer": layer.name, "result": direct_explore}):
+        diverged.append("explore")
+
+    return diverged
+
+
+@pytest.fixture(scope="module")
+def stack():
+    layer = serving_layer()
+    service, server, thread = start_server(layer)
+    try:
+        yield layer, service, server
+    finally:
+        stop_server(service, server, thread)
+
+
+def test_bench_served_bytes_match_direct_calls_50k(stack):
+    layer, _, server = stack
+    diverged = stateless_oracle_checks(server.url, layer)
+    emit("Serving — stateless digest oracle (50k cores)",
+         f"verbs checked: query, lint, verify, explore; "
+         f"diverged: {diverged or 'none'}")
+    assert diverged == []
+
+
+def test_bench_serving_load_64_sessions_50k(stack):
+    layer, service, server = stack
+    result = run_serving_load(server.url, layer, sessions=SESSIONS)
+    leads = service.metrics.counter("dsl_prune_batch_leads_total").value
+    hits = service.metrics.counter("dsl_prune_batch_hits_total").value
+    coalesced = service.metrics.counter(
+        "dsl_prune_batch_coalesced_total").value
+    emit(
+        f"Serving — {SESSIONS} concurrent sessions over HTTP (50k cores)",
+        f"requests: {result['requests']}, "
+        f"p50: {result['p50'] * 1e3:.1f} ms, "
+        f"p95: {result['p95'] * 1e3:.1f} ms, "
+        f"p99: {result['p99'] * 1e3:.1f} ms\n"
+        f"prune batching — leads: {leads:.0f}, hits: {hits:.0f}, "
+        f"coalesced: {coalesced:.0f}\n"
+        f"digest oracle: "
+        f"{'ok' if result['digest_ok'] else result['failures'][:3]}")
+    # Correctness gates hold on any machine.
+    assert result["digest_ok"], result["failures"][:5]
+    assert result["requests"] == SESSIONS * 6
+    assert len(service.sessions) == 0
+    # Cross-session sharing must actually happen: 64 walks visit only
+    # 8 distinct decided states (plus the shared open/require states).
+    assert leads + coalesced < result["requests"] / 2
+    # The latency budget is meaningful only with real parallelism.
+    if available_cpus() >= 4:
+        assert result["p95"] < LATENCY_BUDGET_P95, (
+            f"p95 {result['p95']:.3f}s over budget {LATENCY_BUDGET_P95}s")

@@ -111,6 +111,14 @@ DEFAULT_CONTRACT = ConcurrencyContract(
         # absorbs worker buffers into it from the dispatch thread.
         "TraceRecorder",
         "_InitTraceLog",
+        # The service layer (repro.serve): every handler thread of the
+        # ThreadingHTTPServer may reach these.
+        "SnapshotManager",
+        "SessionManager",
+        "ServedSession",
+        "PruneBatcher",
+        "DesignSpaceService",
+        "DesignSpaceServer",
     }),
     owned_mutators={
         "DesignSpaceLayer": frozenset({
@@ -131,7 +139,15 @@ DEFAULT_CONTRACT = ConcurrencyContract(
             "absorbed by the engine, never shared live"),
         "ExplorationSession": (
             "each worker builds its own session over the shared layer; "
-            "sessions are never handed across threads"),
+            "sessions are never handed live across threads — the server "
+            "wraps each one in a ServedSession whose lock serializes "
+            "handler threads, so the session still sees one thread at a "
+            "time"),
+        "_Flight": (
+            "single-flight publication cell: the leader writes "
+            "result/error strictly before event.set() and followers "
+            "read strictly after event.wait(); the Event is the "
+            "synchronization"),
     },
     epoch_contracts=(
         EpochContract("DesignObject",
@@ -164,5 +180,9 @@ DEFAULT_CONTRACT = ConcurrencyContract(
         "repro.core.explore.parallel:evaluate_branch",
         "repro.core.explore.parallel:evaluate_chunk",
         "repro.core.explore.parallel:_pool_initializer",
+        # Every HTTP handler thread enters the service through these.
+        "repro.serve.http:ServiceRequestHandler.do_GET",
+        "repro.serve.http:ServiceRequestHandler.do_POST",
+        "repro.serve.app:DesignSpaceService.handle",
     }),
 )

@@ -14,6 +14,10 @@ Exposes the library's main entry points without writing Python:
 * ``query`` — direct core retrieval with property/merit filters;
 * ``export`` — serialize a bundled layer to JSON.
 
+* ``serve`` — long-lived HTTP/JSON server: the same verbs plus
+  token-keyed concurrent sessions and a ``/metrics`` endpoint
+  (see ``docs/serving.md``);
+
 * ``lint`` — structural static analysis (``DSL0xx`` diagnostics);
 * ``verify`` — semantic verification: dead-branch proofs, unsat cores
   and constraint strata (``DSL1xx`` diagnostics).
@@ -445,6 +449,21 @@ def cmd_shell(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import DesignSpaceService, serve
+    service = DesignSpaceService(eol=args.eol, jobs=args.jobs,
+                                 default_layer=args.layer,
+                                 session_ttl=args.session_ttl)
+
+    def ready(server) -> None:
+        print(f"serving design-space layers "
+              f"({', '.join(sorted(service.verbs))}) on {server.url} "
+              f"- scrape {server.url}/metrics", file=sys.stderr)
+
+    return serve(service, host=args.host, port=args.port,
+                 json_logs=args.json_logs, ready=ready)
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     layer = _build_layer(args.layer, args.eol)
     json.dump(layer_to_dict(layer), sys.stdout, indent=None if args.compact
@@ -687,6 +706,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_layer_args(p)
     p.add_argument("--compact", action="store_true")
     p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("serve",
+                       help="long-lived HTTP/JSON server multiplexing "
+                            "concurrent exploration sessions")
+    add_layer_args(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads of the shared explore pool "
+                        "(1 = serial explores)")
+    p.add_argument("--json-logs", action="store_true",
+                   help="structured JSON access logs on stderr")
+    p.add_argument("--session-ttl", type=float, default=900.0,
+                   metavar="SECONDS",
+                   help="idle lifetime before a session is evicted")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("shell", help="interactive exploration shell")
     add_layer_args(p)

@@ -1,0 +1,120 @@
+"""A thin stdlib client for the service, used by tests and benchmarks.
+
+One :class:`ServiceClient` per thread (urllib openers are not shared);
+:meth:`request` returns the raw status + body bytes so the digest
+oracle can compare served bytes against direct library calls without
+a decode/re-encode round trip, and :meth:`call` adds the JSON +
+raise-on-error convenience everything else wants.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """An error response from the server, with its payload attached."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        detail = payload
+        if isinstance(payload, dict):
+            detail = payload.get("error", payload)
+        super().__init__(f"server returned {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """JSON verbs against one server; also a session-verb convenience."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # raw byte-level surface (the digest oracle uses this)
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> Tuple[int, bytes]:
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        return self._send(request)
+
+    def request(self, verb: str, params: Optional[Dict[str, object]] = None
+                ) -> Tuple[int, bytes]:
+        body = json.dumps(params or {}).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}/api/{verb}", data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        return self._send(request)
+
+    def _send(self, request: urllib.request.Request) -> Tuple[int, bytes]:
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            # Error responses are still JSON payloads, not exceptions:
+            # the caller decides whether a 4xx is fatal.
+            with error:
+                return error.code, error.read()
+
+    # ------------------------------------------------------------------
+    # decoded convenience surface
+    # ------------------------------------------------------------------
+    def call(self, verb: str, **params: object) -> Dict[str, object]:
+        status, body = self.request(verb, params)
+        payload = json.loads(body) if body else {}
+        if status >= 400:
+            raise ServiceClientError(status, payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        status, body = self.get("/metrics")
+        if status != 200:
+            raise ServiceClientError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")
+
+    def open_session(self, start: str, layer: Optional[str] = None,
+                     **params: object) -> "SessionHandle":
+        if layer is not None:
+            params["layer"] = layer
+        payload = self.call("session/open", start=start, **params)
+        return SessionHandle(self, str(payload["token"]), payload)
+
+
+class SessionHandle:
+    """Token plumbing for one served session."""
+
+    def __init__(self, client: ServiceClient, token: str,
+                 opened: Dict[str, object]) -> None:
+        self.client = client
+        self.token = token
+        self.opened = opened
+
+    def call(self, verb: str, **params: object) -> Dict[str, object]:
+        return self.client.call(verb, token=self.token, **params)
+
+    def decide(self, issue: str, option: object) -> Dict[str, object]:
+        return self.call("session/decide", issue=issue, option=option)
+
+    def require(self, name: str, value: object) -> Dict[str, object]:
+        return self.call("session/require", name=name, value=value)
+
+    def undo(self) -> Dict[str, object]:
+        return self.call("session/undo")
+
+    def goto(self, tag: str) -> Dict[str, object]:
+        return self.call("session/goto", tag=tag)
+
+    def checkpoint(self, tag: str) -> Dict[str, object]:
+        return self.call("session/checkpoint", tag=tag)
+
+    def report(self) -> Dict[str, object]:
+        return self.call("session/report")
+
+    def close(self) -> Dict[str, object]:
+        return self.call("session/close")

@@ -1,0 +1,23 @@
+"""Service-layer errors: a message plus an HTTP status and error code.
+
+Handlers raise :class:`ServiceError` for anything the client did wrong
+(bad verb, unknown token, malformed params); the transport maps it to a
+JSON error payload with the carried status.  Library errors
+(:class:`~repro.errors.ReproError` subclasses) bubbling out of handlers
+are translated to 400s by the dispatcher, so domain code stays
+transport-ignorant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A request the service refuses, with its HTTP mapping."""
+
+    def __init__(self, message: str, status: int = 400,
+                 code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code

@@ -55,7 +55,11 @@ def test_default_contract_matches_live_code():
             assert hasattr(cls, bump), f"{ec.class_name}.{bump} missing"
     for name in DEFAULT_CONTRACT.hydration_functions:
         assert hasattr(parallel, name), f"hydration fn {name} missing"
+    import importlib
+
     for entry in DEFAULT_CONTRACT.extra_entry_points:
         module_name, qualname = entry.split(":")
-        assert module_name == "repro.core.explore.parallel"
-        assert hasattr(parallel, qualname), f"entry point {entry} missing"
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            assert hasattr(target, part), f"entry point {entry} missing"
+            target = getattr(target, part)

@@ -1,0 +1,149 @@
+"""PruneBatcher: single-flight coalescing and the parked-result LRU."""
+
+import threading
+
+import pytest
+
+from repro.core.obs.metrics import MetricsRegistry
+from repro.serve import PruneBatcher
+
+
+class TestSingleFlight:
+    def test_identical_concurrent_requests_compute_once(self):
+        batcher = PruneBatcher()
+        calls = []
+        release = threading.Event()
+        started = threading.Event()
+
+        def compute():
+            calls.append(1)
+            started.set()
+            release.wait(5.0)
+            return {"value": 42}
+
+        results = []
+
+        def leader():
+            results.append(batcher.evaluate("key", compute))
+
+        def follower():
+            started.wait(5.0)
+            results.append(batcher.evaluate(
+                "key", lambda: pytest.fail("follower must not compute")))
+
+        threads = [threading.Thread(target=leader)] + \
+            [threading.Thread(target=follower) for _ in range(4)]
+        threads[0].start()
+        started.wait(5.0)
+        for t in threads[1:]:
+            t.start()
+        # Give followers a moment to park on the flight, then release.
+        release.set()
+        for t in threads:
+            t.join(5.0)
+        assert len(calls) == 1
+        assert results == [{"value": 42}] * 5
+
+    def test_followers_share_the_exact_result_object(self):
+        batcher = PruneBatcher()
+        first = batcher.evaluate("k", lambda: {"n": 1})
+        second = batcher.evaluate("k", lambda: {"n": 2})
+        assert second is first
+
+    def test_distinct_keys_do_not_coalesce(self):
+        batcher = PruneBatcher()
+        assert batcher.evaluate(("epoch", 1), lambda: "a") == "a"
+        assert batcher.evaluate(("epoch", 2), lambda: "b") == "b"
+        assert len(batcher) == 2
+
+    def test_epoch_in_the_key_separates_generations(self):
+        batcher = PruneBatcher()
+        old = batcher.evaluate((1, "cdo", ()), lambda: "old")
+        new = batcher.evaluate((2, "cdo", ()), lambda: "new")
+        assert (old, new) == ("old", "new")
+
+    def test_unhashable_keys_skip_batching(self):
+        batcher = PruneBatcher()
+        assert batcher.evaluate(["not", "hashable"], lambda: 7) == 7
+        assert len(batcher) == 0
+
+
+class TestFailures:
+    def test_leader_errors_propagate_and_are_not_cached(self):
+        batcher = PruneBatcher()
+        with pytest.raises(ValueError):
+            batcher.evaluate("k", self._boom)
+        # The failed flight must not poison the key.
+        assert batcher.evaluate("k", lambda: "recovered") == "recovered"
+
+    @staticmethod
+    def _boom():
+        raise ValueError("boom")
+
+    def test_follower_receives_the_leader_error(self):
+        batcher = PruneBatcher()
+        started = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def compute():
+            started.set()
+            release.wait(5.0)
+            raise ValueError("boom")
+
+        def leader():
+            try:
+                batcher.evaluate("k", compute)
+            except ValueError as exc:
+                outcomes.append(("leader", str(exc)))
+
+        def follower():
+            started.wait(5.0)
+            try:
+                batcher.evaluate("k", lambda: "never")
+            except ValueError as exc:
+                outcomes.append(("follower", str(exc)))
+
+        threads = [threading.Thread(target=leader),
+                   threading.Thread(target=follower)]
+        threads[0].start()
+        started.wait(5.0)
+        threads[1].start()
+        release.set()
+        for t in threads:
+            t.join(5.0)
+        assert sorted(outcomes) == [("follower", "boom"), ("leader", "boom")]
+
+
+class TestLruAndMetrics:
+    def test_capacity_bounds_the_parked_results(self):
+        batcher = PruneBatcher(capacity=3)
+        for i in range(10):
+            batcher.evaluate(i, lambda i=i: i)
+        assert len(batcher) == 3
+        assert batcher.evaluate(9, lambda: "recompute") == 9  # still parked
+
+    def test_hits_refresh_lru_recency(self):
+        batcher = PruneBatcher(capacity=2)
+        batcher.evaluate("a", lambda: 1)
+        batcher.evaluate("b", lambda: 2)
+        batcher.evaluate("a", lambda: None)  # refresh "a"
+        batcher.evaluate("c", lambda: 3)     # evicts "b", not "a"
+        assert batcher.evaluate("a", lambda: "recompute") == 1
+        assert batcher.evaluate("b", lambda: "recompute") == "recompute"
+
+    def test_invalidate_empties_the_cache(self):
+        batcher = PruneBatcher()
+        batcher.evaluate("a", lambda: 1)
+        batcher.evaluate("b", lambda: 2)
+        assert batcher.invalidate() == 2
+        assert len(batcher) == 0
+
+    def test_counters_record_leads_and_hits(self):
+        registry = MetricsRegistry()
+        batcher = PruneBatcher(metrics=registry)
+        batcher.evaluate("a", lambda: 1)
+        batcher.evaluate("a", lambda: 1)
+        batcher.evaluate("b", lambda: 2)
+        assert registry.counter("dsl_prune_batch_leads_total").value == 2.0
+        assert registry.counter("dsl_prune_batch_hits_total").value == 1.0

@@ -1,0 +1,239 @@
+"""The HTTP shell: routing, exposition format, drain-on-shutdown, CLI."""
+
+import json
+import re
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.serve import (
+    DesignSpaceServer,
+    DesignSpaceService,
+    ServiceClient,
+    ServiceClientError,
+    serve,
+)
+
+from conftest import build_widget_layer
+
+# One Prometheus text-exposition line: comment/HELP/TYPE, or a sample
+# ``name{labels} value`` where the value parses as a float/+Inf.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" (?:[-+]?(?:[0-9.eE+-]+)|\+Inf|NaN)$")
+HEADER_RE = re.compile(
+    r"^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))$")
+
+
+def assert_valid_exposition(text: str) -> None:
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        assert SAMPLE_RE.match(line) or HEADER_RE.match(line), line
+
+
+@pytest.fixture()
+def stack():
+    service = DesignSpaceService(layers={"widgets": build_widget_layer()})
+    server = DesignSpaceServer(("127.0.0.1", 0), service, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, server, ServiceClient(server.url)
+    finally:
+        server.shutdown_gracefully().join(10.0)
+        server.server_close()
+        service.close()
+        thread.join(10.0)
+
+
+class TestRouting:
+    def test_healthz_reports_ok(self, stack):
+        _, _, client = stack
+        status, body = client.get("/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_api_verbs_round_trip(self, stack):
+        _, _, client = stack
+        payload = client.call("query", layer="widgets", under="Widget.hw")
+        assert payload["count"] == 3
+
+    def test_session_walk_over_http(self, stack):
+        _, _, client = stack
+        handle = client.open_session("Widget", layer="widgets")
+        handle.require("Width", 64)
+        report = handle.decide("Style", "hw")["report"]
+        assert report["survivors"] == 2
+        handle.undo()
+        handle.goto("origin")
+        assert handle.report()["survivors"] == 5
+        assert handle.close()["closed"] is True
+
+    def test_served_bytes_equal_in_process_bytes(self, stack):
+        service, _, client = stack
+        status, body = client.request("query", {"layer": "widgets",
+                                                "order_by": "area"})
+        _, expected = service.handle_json(
+            "query", json.dumps({"layer": "widgets",
+                                 "order_by": "area"}).encode())
+        assert status == 200
+        assert body == expected
+
+    def test_error_payloads_surface_status_and_code(self, stack):
+        _, _, client = stack
+        status, body = client.request("no-such-verb", {})
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "unknown-verb"
+        with pytest.raises(ServiceClientError):
+            client.call("no-such-verb")
+
+    def test_unknown_paths_are_404(self, stack):
+        _, _, client = stack
+        assert client.get("/nope")[0] == 404
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_and_carries_the_server_metrics(self, stack):
+        _, _, client = stack
+        handle = client.open_session("Widget", layer="widgets")
+        handle.report()
+        client.call("query", layer="widgets")
+        text = client.metrics_text()
+        assert_valid_exposition(text)
+        assert "# TYPE dsl_request_seconds histogram" in text
+        assert "# TYPE dsl_sessions_active gauge" in text
+        assert 'dsl_requests_total{route="query",status="200"}' in text
+        assert re.search(
+            r'dsl_request_seconds_bucket\{route="query",le="\+Inf"\} [1-9]',
+            text)
+        assert "dsl_sessions_active 1" in text
+
+    def test_histogram_buckets_are_cumulative(self, stack):
+        _, _, client = stack
+        client.call("query", layer="widgets")
+        text = client.metrics_text()
+        counts = [int(m.group(1)) for m in re.finditer(
+            r'dsl_request_seconds_bucket\{route="query",le="[^"]+"\} (\d+)',
+            text)]
+        assert counts == sorted(counts)
+        assert counts, "query histogram missing"
+
+
+class SlowService(DesignSpaceService):
+    """Adds a deliberately slow verb so drain tests have a request to
+    catch in flight."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.slow_started = threading.Event()
+        self._routes["slow"] = self._handle_slow
+
+    def _handle_slow(self, params):
+        self.slow_started.set()
+        time.sleep(float(params.get("seconds", 0.4)))
+        return {"slept": True}
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_in_flight_requests(self):
+        service = SlowService(layers={"widgets": build_widget_layer()})
+        server = DesignSpaceServer(("127.0.0.1", 0), service, quiet=True)
+        server_thread = threading.Thread(target=server.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        client = ServiceClient(server.url)
+        results = []
+
+        def slow_call():
+            results.append(client.call("slow", seconds=0.4))
+
+        request_thread = threading.Thread(target=slow_call)
+        request_thread.start()
+        assert service.slow_started.wait(5.0)
+        # Stop accepting while the slow request is mid-handler; the
+        # drain (server_close joins non-daemon handler threads) must let
+        # it finish.
+        server.shutdown_gracefully().join(10.0)
+        server.server_close()
+        service.close()
+        request_thread.join(10.0)
+        server_thread.join(10.0)
+        assert results == [{"slept": True}]
+
+    def test_serve_helper_runs_ready_and_closes_the_service(self):
+        service = DesignSpaceService(layers={"widgets":
+                                             build_widget_layer()})
+        ready_box = {}
+
+        def ready(server):
+            ready_box["server"] = server
+
+        def run():
+            serve(service, host="127.0.0.1", port=0,
+                  install_signal_handlers=False, ready=ready)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while "server" not in ready_box and time.monotonic() < deadline:
+            time.sleep(0.01)
+        server = ready_box["server"]
+        client = ServiceClient(server.url)
+        assert client.call("query", layer="widgets")["count"] == 5
+        server.shutdown_gracefully()
+        thread.join(10.0)
+        assert not thread.is_alive()
+        # serve()'s finally closed the service: new work is refused.
+        status, _ = service.handle("query", {"layer": "widgets"})
+        assert status == 503
+
+
+class TestCli:
+    def test_serve_parser_defaults_and_flags(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--jobs", "3",
+                                  "--json-logs", "--session-ttl", "60"])
+        assert args.fn is cli.cmd_serve
+        assert (args.host, args.port, args.jobs) == ("127.0.0.1", 0, 3)
+        assert args.json_logs is True
+        assert args.session_ttl == 60.0
+        assert args.layer == "crypto"  # shared layer-args parent
+
+    def test_cmd_serve_wires_args_into_the_server(self, monkeypatch):
+        captured = {}
+
+        def fake_serve(service, host, port, json_logs, ready):
+            captured.update(service=service, host=host, port=port,
+                            json_logs=json_logs)
+            return 0
+
+        import repro.serve as serve_module
+        monkeypatch.setattr(serve_module, "serve", fake_serve)
+        rc = cli.main(["serve", "--host", "0.0.0.0", "--port", "0",
+                       "--jobs", "2", "--json-logs", "--layer", "idct"])
+        assert rc == 0
+        assert captured["host"] == "0.0.0.0"
+        assert captured["json_logs"] is True
+        service = captured["service"]
+        assert service.jobs == 2
+        assert service.default_layer == "idct"
+        service.close()
+
+    def test_json_logs_are_structured(self, capsys):
+        service = DesignSpaceService(layers={"widgets":
+                                             build_widget_layer()})
+        server = DesignSpaceServer(("127.0.0.1", 0), service,
+                                   json_logs=True)
+        try:
+            server.log("127.0.0.1", "GET /healthz 200")
+            record = json.loads(capsys.readouterr().err.strip())
+            assert record["client"] == "127.0.0.1"
+            assert "GET /healthz" in record["message"]
+        finally:
+            server.server_close()
+            service.close()

@@ -1,0 +1,121 @@
+"""SnapshotManager: one epoch bump invalidates every derived cache.
+
+The regression the manager exists for: before it, the index cache and
+the verify cache invalidated independently (each watching the layer
+epoch on its own).  The manager is the single source of truth — these
+tests pin that one library mutation moves index, verify report and
+layer snapshot together through exactly one generation bump.
+"""
+
+import pytest
+
+from repro.core import DesignObject
+from repro.core.obs.metrics import MetricsRegistry
+from repro.serve import SnapshotManager
+
+from conftest import build_widget_layer
+
+
+@pytest.fixture()
+def layer():
+    return build_widget_layer()
+
+
+@pytest.fixture()
+def manager(layer):
+    return SnapshotManager(layer)
+
+
+class TestCaching:
+    def test_index_is_cached_between_accesses(self, manager):
+        assert manager.index() is manager.index()
+
+    def test_verify_report_is_cached_between_accesses(self, manager):
+        first = manager.verify(requirements=(("Width", 64),))
+        assert manager.verify(requirements=(("Width", 64),)) is first
+
+    def test_verify_cache_is_keyed_by_requirements_and_start(self, manager):
+        base = manager.verify()
+        assert manager.verify(requirements=(("Width", 64),)) is not base
+        assert manager.verify(start="Widget.hw") is not base
+
+    def test_requirement_order_does_not_split_the_cache(self, manager):
+        a = manager.verify(requirements=(("Width", 64), ("MaxDelay", 50)))
+        b = manager.verify(requirements=(("MaxDelay", 50), ("Width", 64)))
+        assert a is b
+
+    def test_layer_snapshot_is_cached_between_accesses(self, manager):
+        assert manager.layer_snapshot() is manager.layer_snapshot()
+
+    def test_snapshot_hydrates_an_equivalent_layer(self, layer, manager):
+        hydrated = manager.layer_snapshot().hydrate()
+        assert hydrated.name == layer.name
+        assert len(hydrated.libraries) == len(layer.libraries)
+
+    def test_repeated_access_does_not_bump_generation(self, manager):
+        manager.index()
+        manager.verify()
+        generation = manager.generation
+        manager.index()
+        manager.verify()
+        manager.layer_snapshot()
+        assert manager.generation == generation
+
+
+class TestUnifiedInvalidation:
+    def test_one_mutation_invalidates_both_caches_in_one_bump(self, layer,
+                                                              manager):
+        """The satellite regression: index + verify caches move through
+        a single epoch bump when the library mutates once."""
+        index_before = manager.index()
+        verify_before = manager.verify(requirements=(("Width", 64),))
+        snapshot_before = manager.layer_snapshot()
+        generation = manager.generation
+
+        layer.libraries.library("lib-a").add(DesignObject(
+            "h4", "Widget.hw", {"Tech": "t35", "Pipeline": 4, "Width": 128},
+            {"area": 90.0, "latency_ns": 3.0, "MaxDelay": 3.0}))
+
+        assert manager.index() is not index_before
+        assert manager.verify(
+            requirements=(("Width", 64),)) is not verify_before
+        assert manager.layer_snapshot() is not snapshot_before
+        # All three refreshed through exactly one generation bump.
+        assert manager.generation == generation + 1
+
+    def test_fresh_index_sees_the_mutation(self, layer, manager):
+        before = len(manager.index().subtree_ids("Widget"))
+        layer.libraries.library("lib-a").add(DesignObject(
+            "h5", "Widget.hw", {"Tech": "t70", "Pipeline": 2, "Width": 16},
+            {"area": 10.0, "latency_ns": 50.0, "MaxDelay": 50.0}))
+        assert len(manager.index().subtree_ids("Widget")) == before + 1
+
+    def test_checkout_reports_the_current_epoch(self, layer, manager):
+        first = manager.checkout()
+        assert manager.checkout() == first
+        layer.libraries.library("lib-a").add(DesignObject(
+            "h6", "Widget.hw", {"Tech": "t35", "Pipeline": 1, "Width": 8},
+            {"area": 5.0, "latency_ns": 80.0, "MaxDelay": 80.0}))
+        assert manager.checkout() != first
+
+    def test_invalidation_metric_counts_bumps(self, layer):
+        registry = MetricsRegistry()
+        manager = SnapshotManager(layer, metrics=registry)
+        manager.index()
+        layer.libraries.library("lib-a").add(DesignObject(
+            "h7", "Widget.hw", {"Tech": "t35", "Pipeline": 1, "Width": 8},
+            {"area": 5.0, "latency_ns": 80.0, "MaxDelay": 80.0}))
+        manager.index()
+        counter = registry.counter("dsl_snapshot_invalidations_total",
+                                   layer=layer.name)
+        assert counter.value == 2.0  # initial checkout + the mutation
+
+    def test_verify_hit_metric_counts_cache_hits(self, layer):
+        registry = MetricsRegistry()
+        manager = SnapshotManager(layer, metrics=registry)
+        manager.verify()
+        manager.verify()
+        manager.verify()
+        counter = registry.counter("dsl_verify_cache_hits_total",
+                                   layer=layer.name)
+        assert counter.value == 2.0
