@@ -18,9 +18,13 @@ test:
 test-sanitized:
 	DSL_SANITIZE=1 $(PYTHON) -m pytest tests/
 
-# Concurrency/invariant analysis of the repo's own source (the CI gate).
+# Concurrency/invariant analysis of the repo's own source (the CI gate),
+# plus the serving stack's cycle-free lock-order assertion.
 analyze:
 	$(PYTHON) -m repro analyze --fail-on warning
+	$(PYTHON) -m repro analyze --lock-graph \
+		src/repro/serve src/repro/core/obs \
+		src/repro/core/explore/parallel.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,9 +1,11 @@
 """Static concurrency/invariant analysis over the repo's own source.
 
-Three passes — shared-state race detection (DSA001/DSA002), epoch-bump
-verification (DSA010–DSA012) and snapshot immutability (DSA020/DSA021)
-— plus a suppression audit (DSA003/DSA004), driven by the reified
-concurrency contract in :mod:`repro.analysis.contract`.  The runtime
+Five passes — shared-state race detection (DSA001/DSA002), epoch-bump
+verification (DSA010–DSA012), snapshot immutability (DSA020/DSA021),
+deadlock detection over the lock-acquisition graph (DSA030–DSA032) and
+digest-path determinism (DSA040–DSA043) — plus a suppression audit
+(DSA003/DSA004), driven by the reified concurrency contract in
+:mod:`repro.analysis.contract`.  The runtime
 half lives in :mod:`repro.analysis.sanitizer` (``DSL_SANITIZE=1``).
 
 This ``__init__`` is deliberately lazy (PEP 562): ``repro.core``
@@ -35,6 +37,17 @@ _EXPORTS = {
     # engine
     "analyze_paths": "repro.analysis.engine",
     "analyze_package": "repro.analysis.engine",
+    "lock_graph_paths": "repro.analysis.engine",
+    "lock_graph_package": "repro.analysis.engine",
+    # deadlock pass (the lock graph is a public artifact: CI asserts
+    # over it and the CLI renders it)
+    "LockGraph": "repro.analysis.deadlock",
+    "LockNode": "repro.analysis.deadlock",
+    "LockEdge": "repro.analysis.deadlock",
+    "build_lock_graph": "repro.analysis.deadlock",
+    "find_deadlocks": "repro.analysis.deadlock",
+    # determinism pass
+    "check_determinism": "repro.analysis.determinism",
     # inventory (for tests / tooling built on the model)
     "ProjectModel": "repro.analysis.inventory",
     "build_model": "repro.analysis.inventory",

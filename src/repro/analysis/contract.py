@@ -90,6 +90,36 @@ class ConcurrencyContract:
     #: auto-detected executor submissions/initializers/Thread targets.
     extra_entry_points: FrozenSet[str] = frozenset()
 
+    # -- lock registry (deadlock pass, DSA03x) -------------------------
+
+    #: Canonical lock-acquisition order, outermost first.  Lock ids are
+    #: the inventory's canonical form: ``Class.attr`` for instance locks
+    #: and ``module:NAME`` for module-level locks.  The deadlock pass
+    #: reports any graph edge that runs *against* this order (DSA030)
+    #: even when no full cycle exists yet — a one-sided inversion is a
+    #: deadlock waiting for its second half to be written.
+    lock_order: Tuple[str, ...] = ()
+
+    #: Lock ids asserted re-entrant beyond what their factory proves
+    #: (an RLock passed into ``Condition(lock)``, a wrapper class).
+    reentrant_locks: FrozenSet[str] = frozenset()
+
+    #: ``module:qualname`` -> justification for functions allowed to
+    #: block while holding a lock (DSA032).  Every entry is audited
+    #: against live code by the self-check suite.
+    blocking_allowed: Mapping[str, str] = field(default_factory=dict)
+
+    # -- determinism registry (determinism pass, DSA04x) ---------------
+
+    #: ``module:qualname`` entry points whose transitive call graph must
+    #: be free of nondeterminism: digest/canonical-byte producers.
+    digest_entry_points: FrozenSet[str] = frozenset()
+
+    #: ``module:qualname`` -> reason: functions the determinism walk
+    #: does not descend into (their output provably never reaches the
+    #: digest bytes, e.g. metrics side-channels).
+    determinism_boundaries: Mapping[str, str] = field(default_factory=dict)
+
 
 #: The live contract for this repository.
 DEFAULT_CONTRACT = ConcurrencyContract(
@@ -184,5 +214,55 @@ DEFAULT_CONTRACT = ConcurrencyContract(
         "repro.serve.http:ServiceRequestHandler.do_GET",
         "repro.serve.http:ServiceRequestHandler.do_POST",
         "repro.serve.app:DesignSpaceService.handle",
+    }),
+    # The canonical acquisition order, outermost first: service wrapper
+    # locks before session state, session state before the caches it
+    # refreshes, domain-layer locks before the observability leaves.
+    # Every edge the deadlock pass derives must run forward through this
+    # list; an edge running backward is an inversion even before the
+    # matching reverse edge exists.
+    lock_order=(
+        "DesignSpaceService._lock",
+        "SessionManager._lock",
+        "ServedSession._lock",
+        "SnapshotManager._lock",
+        "PruneBatcher._lock",
+        "DesignSpaceLayer._cache_lock",
+        "LibraryFederation._lock",
+        "ReuseLibrary._lock",
+        "repro.core.serialize:_HYDRATOR_LOCK",
+        "_LayerCache._lock",
+        "_HydrationLog._lock",
+        "_InitTraceLog._lock",
+        "TraceRecorder._lock",
+        "MetricsRegistry._lock",
+        "Counter._lock",
+        "Gauge._lock",
+        "Histogram._lock",
+        "repro.analysis.sanitizer:_STATE_LOCK",
+    ),
+    digest_entry_points=frozenset({
+        # the merged-trace canonical byte stream (PR 8's oracle)
+        "repro.core.obs.context:canonical_trace_bytes",
+        "repro.core.obs.context:canonical_trace_digest",
+        # frontier/prune digests compared across backends and sessions
+        "repro.core.explore.outcome:ParetoFrontier.digest",
+        "repro.core.pruning:PruneReport.digest",
+        # worker snapshot capture: identical layers must capture
+        # identical bytes, or pool hydration diverges per worker
+        "repro.core.serialize:LayerSnapshot.capture",
+        # the serving stack's canonical byte serialization, plus the
+        # payload builders behind it: DesignSpaceService.handle
+        # dispatches through a bound-method table the static call graph
+        # cannot follow, so the route handlers that assemble
+        # digest-compared payloads are declared entry points themselves
+        "repro.serve.app:canonical_json",
+        "repro.serve.app:DesignSpaceService.handle_json",
+        "repro.serve.app:DesignSpaceService._handle_query",
+        "repro.serve.app:DesignSpaceService._handle_verify",
+        "repro.serve.app:DesignSpaceService._handle_explore",
+        "repro.serve.app:DesignSpaceService._handle_session_open",
+        "repro.serve.app:DesignSpaceService._state_payload",
+        "repro.serve.app:DesignSpaceService._report_payload",
     }),
 )

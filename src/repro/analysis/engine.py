@@ -26,6 +26,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.contract import DEFAULT_CONTRACT, ConcurrencyContract
+from repro.analysis.deadlock import LockGraph, build_lock_graph, find_deadlocks
+from repro.analysis.determinism import check_determinism
 from repro.analysis.epochs import check_epochs
 from repro.analysis.inventory import (ModuleInfo, ProjectModel, build_model,
                                       collect_files)
@@ -146,12 +148,27 @@ def _apply_suppressions(model: ProjectModel, findings: List[Finding],
     return out
 
 
+def _resolve_root(paths: Sequence[str], files: Sequence[str],
+                  root: Optional[str]) -> str:
+    """Default analysis root: the sole directory argument, or the
+    common parent of the given files."""
+    if root is not None:
+        return root
+    dirs = [os.path.abspath(p) for p in paths if os.path.isdir(p)]
+    if len(dirs) == 1:
+        return dirs[0]
+    root = os.path.commonpath(files) if files else os.getcwd()
+    if os.path.isfile(root):
+        root = os.path.dirname(root)
+    return root
+
+
 def analyze_paths(paths: Sequence[str], root: Optional[str] = None,
                   config: Optional[AnalysisConfig] = None,
                   contract: Optional[ConcurrencyContract] = None,
                   registry: Optional[AnalysisRegistry] = None
                   ) -> AnalysisReport:
-    """Run all three passes over ``paths`` and return the report.
+    """Run all five passes over ``paths`` and return the report.
 
     ``root`` anchors the module names and the relative paths in
     findings; it defaults to the sole directory argument, or the common
@@ -163,19 +180,14 @@ def analyze_paths(paths: Sequence[str], root: Optional[str] = None,
     config.validate(registry)
 
     files = collect_files(paths)
-    if root is None:
-        dirs = [os.path.abspath(p) for p in paths if os.path.isdir(p)]
-        if len(dirs) == 1:
-            root = dirs[0]
-        else:
-            root = os.path.commonpath(files) if files else os.getcwd()
-            if os.path.isfile(root):
-                root = os.path.dirname(root)
+    root = _resolve_root(paths, files, root)
     model = build_model(files, root)
 
     raw = (find_races(model, contract)
            + check_epochs(model, contract)
-           + check_snapshots(model, contract))
+           + check_snapshots(model, contract)
+           + find_deadlocks(model, contract)
+           + check_determinism(model, contract))
 
     findings: List[Finding] = []
     for finding in raw:
@@ -191,18 +203,44 @@ def analyze_paths(paths: Sequence[str], root: Optional[str] = None,
     return merge_findings(os.path.abspath(root), len(files), [findings])
 
 
+def lock_graph_paths(paths: Sequence[str], root: Optional[str] = None,
+                     contract: Optional[ConcurrencyContract] = None
+                     ) -> LockGraph:
+    """Build the lock-acquisition graph for ``paths`` (the artifact the
+    CI cycle-free assertion gates on; see ``repro analyze --lock-graph``)."""
+    contract = contract if contract is not None else DEFAULT_CONTRACT
+    files = collect_files(paths)
+    root = _resolve_root(paths, files, root)
+    model = build_model(files, root)
+    return build_lock_graph(model, contract)
+
+
+def lock_graph_package(package: str = "repro",
+                       contract: Optional[ConcurrencyContract] = None
+                       ) -> LockGraph:
+    """Lock-acquisition graph for an importable package's source tree."""
+    package_dir = _package_dir(package)
+    return lock_graph_paths([package_dir],
+                            root=os.path.dirname(package_dir),
+                            contract=contract)
+
+
+def _package_dir(package: str) -> str:
+    module = importlib.import_module(package)
+    package_file = getattr(module, "__file__", None)
+    if package_file is None:
+        from repro.errors import AnalysisError
+        raise AnalysisError(f"package {package!r} has no source file")
+    return os.path.dirname(os.path.abspath(package_file))
+
+
 def analyze_package(package: str = "repro",
                     config: Optional[AnalysisConfig] = None,
                     contract: Optional[ConcurrencyContract] = None,
                     registry: Optional[AnalysisRegistry] = None
                     ) -> AnalysisReport:
     """Analyze an importable package's source tree (default: this repo)."""
-    module = importlib.import_module(package)
-    package_file = getattr(module, "__file__", None)
-    if package_file is None:
-        from repro.errors import AnalysisError
-        raise AnalysisError(f"package {package!r} has no source file")
-    package_dir = os.path.dirname(os.path.abspath(package_file))
+    package_dir = _package_dir(package)
     return analyze_paths([package_dir], root=os.path.dirname(package_dir),
                          config=config, contract=contract,
                          registry=registry)

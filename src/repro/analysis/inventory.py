@@ -27,7 +27,8 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Dict, FrozenSet, List, Optional, Sequence, Set, Tuple,
+                    Union)
 
 from repro.analysis.contract import ConcurrencyContract
 from repro.errors import AnalysisError
@@ -39,7 +40,20 @@ MUTATING_CALLS = frozenset({
     "reverse", "appendleft", "popleft",
 })
 
-_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+#: Synchronization-primitive factories and the lock *kind* each yields.
+#: ``Condition()`` wraps an RLock by default, so it is re-entrant;
+#: semaphores count acquisitions, so a second acquire by the holder
+#: deadlocks exactly like a plain ``Lock``.
+_LOCK_FACTORIES = {
+    "Lock": "Lock",
+    "RLock": "RLock",
+    "Condition": "Condition",
+    "Semaphore": "Semaphore",
+    "BoundedSemaphore": "BoundedSemaphore",
+}
+
+#: Lock kinds a single thread may acquire twice without deadlocking.
+REENTRANT_KINDS = frozenset({"RLock", "Condition"})
 
 
 def _self_attr(node: ast.AST) -> Optional[str]:
@@ -50,15 +64,32 @@ def _self_attr(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _is_lock_factory(node: ast.AST) -> bool:
+def _lock_factory_kind(node: ast.AST) -> Optional[str]:
+    """``threading.Lock()`` / ``Condition()`` / ... -> lock kind."""
     if not isinstance(node, ast.Call):
-        return False
+        return None
     func = node.func
     if isinstance(func, ast.Name):
-        return func.id in _LOCK_FACTORIES
+        return _LOCK_FACTORIES.get(func.id)
     if isinstance(func, ast.Attribute):
-        return func.attr in _LOCK_FACTORIES
-    return False
+        return _LOCK_FACTORIES.get(func.attr)
+    return None
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    return _lock_factory_kind(node) is not None
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Class name out of a plain annotation: ``X``, ``"X"``, ``mod.X``.
+    Generics/unions resolve to None — better untyped than wrong."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip("'\"")
+    return None
 
 
 def _is_mutable_initializer(node: ast.AST) -> bool:
@@ -98,6 +129,35 @@ class LocalCallAssign:
     callee: str           #: ``f`` / ``hydrate`` / ``_LAYER_CACHE.get``
 
 
+@dataclass(frozen=True)
+class LockDecl:
+    """One declared synchronization primitive (module- or class-level)."""
+
+    name: str             #: global name or ``self`` attribute name
+    kind: str             #: Lock | RLock | Condition | Semaphore |
+                          #: BoundedSemaphore | unknown (``*lock``-named)
+    lineno: int
+
+
+@dataclass(frozen=True)
+class LockScope:
+    """One ``with <lock>:`` critical section inside a function."""
+
+    lock: str             #: canonical id — ``module:NAME`` / ``Class.attr``
+    kind: str             #: lock kind (see :class:`LockDecl`)
+    lineno: int           #: line of the ``with`` statement
+    lines: FrozenSet[int] = frozenset()   #: lines covered by the body
+
+
+@dataclass(frozen=True)
+class SetIterSite:
+    """An order-sensitive iteration over a set-typed expression."""
+
+    lineno: int
+    desc: str             #: what is iterated (for the finding message)
+    how: str              #: list | tuple | join | comprehension
+
+
 @dataclass
 class FunctionInfo:
     """All analyzer-relevant facts about one function/method."""
@@ -117,6 +177,13 @@ class FunctionInfo:
     membership_tests: Set[str] = field(default_factory=set)
     get_guard_attrs: Set[str] = field(default_factory=set)
     local_call_assigns: List[LocalCallAssign] = field(default_factory=list)
+    lock_scopes: List[LockScope] = field(default_factory=list)
+    set_iterations: List[SetIterSite] = field(default_factory=list)
+    #: parameter name -> annotated class name (plain ``Name`` /
+    #: string-literal annotations only).
+    param_types: Dict[str, str] = field(default_factory=dict)
+    #: return annotation class name, same restriction.
+    returns: Optional[str] = None
 
 
 @dataclass
@@ -125,7 +192,14 @@ class ClassInfo:
     name: str
     lineno: int
     methods: Dict[str, FunctionInfo] = field(default_factory=dict)
-    self_locks: Set[str] = field(default_factory=set)
+    #: ``self`` lock attribute -> declaration (``in`` works like the
+    #: old set; values carry the lock kind for the deadlock pass).
+    self_locks: Dict[str, LockDecl] = field(default_factory=dict)
+    #: ``self`` attribute -> project class name, from ``self.x = Cls(...)``
+    #: or ``self.x = param`` with an annotated ``__init__`` parameter.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: ``self`` attributes assigned a set display / ``set()`` in __init__.
+    set_attrs: Set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -134,7 +208,10 @@ class ModuleInfo:
     path: str                         #: path relative to the root
     source: str
     mutable_globals: Dict[str, int] = field(default_factory=dict)
-    module_locks: Set[str] = field(default_factory=set)
+    #: module lock name -> declaration (``in`` works like the old set).
+    module_locks: Dict[str, LockDecl] = field(default_factory=dict)
+    #: module global -> class name, from ``NAME = ClassName(...)``.
+    global_types: Dict[str, str] = field(default_factory=dict)
     functions: Dict[str, FunctionInfo] = field(default_factory=dict)
     classes: Dict[str, ClassInfo] = field(default_factory=dict)
     entry_exprs: List[Tuple[str, Optional[str], int]] = \
@@ -149,22 +226,43 @@ class _FunctionScanner(ast.NodeVisitor):
     """Single walk over one function body collecting every fact."""
 
     def __init__(self, info: FunctionInfo, mutable_globals: Set[str],
-                 module_locks: Set[str], self_locks: Set[str]) -> None:
+                 module_locks: Dict[str, LockDecl],
+                 self_locks: Dict[str, LockDecl],
+                 set_attrs: Optional[Set[str]] = None) -> None:
         self.info = info
         self.mutable_globals = mutable_globals
         self.module_locks = module_locks
         self.self_locks = self_locks
+        self.set_attrs = set_attrs if set_attrs is not None else set()
         self.declared_globals: Set[str] = set()
         self._lock_depth = 0
+        self._set_locals: Set[str] = set()
+        self._sorted_args: Set[int] = set()
 
     # -- helpers -------------------------------------------------------
     def _is_lock_expr(self, node: ast.AST) -> bool:
-        if isinstance(node, ast.Name):
-            return node.id in self.module_locks
+        return self._lock_identity(node) is not None
+
+    def _lock_identity(self, node: ast.AST) -> Optional[Tuple[str, str]]:
+        """Canonical (lock id, kind) for a recognized lock expression."""
+        if isinstance(node, ast.Name) and node.id in self.module_locks:
+            decl = self.module_locks[node.id]
+            return f"{self.info.module}:{node.id}", decl.kind
         attr = _self_attr(node)
-        if attr is not None:
-            return attr in self.self_locks or attr.endswith("lock")
-        return False
+        if attr is not None and self.info.class_name is not None:
+            if attr in self.self_locks:
+                return (f"{self.info.class_name}.{attr}",
+                        self.self_locks[attr].kind)
+            if attr.endswith("lock"):
+                # heuristically named guard: recognized as a critical
+                # section, but its kind (and identity) is unproven
+                return f"{self.info.class_name}.{attr}", "unknown"
+        elif attr is not None:
+            if attr in self.self_locks:
+                return (f"?.{attr}", self.self_locks[attr].kind)
+            if attr.endswith("lock"):
+                return f"?.{attr}", "unknown"
+        return None
 
     def _record_write(self, lineno: int, base: ast.AST, kind: str,
                       detail: str = "",
@@ -216,6 +314,44 @@ class _FunctionScanner(ast.NodeVisitor):
                     self.info.guarded_lines.add(stmt.lineno)
                 self.info.global_writes.append(site)
 
+    # -- determinism facts ---------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        """Lexically set-typed: displays, comprehensions, ``set()`` /
+        ``frozenset()`` calls, locals assigned from those, and ``self``
+        attributes initialized as sets in ``__init__``."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name) and node.id in self._set_locals:
+            return True
+        attr = _self_attr(node)
+        return attr is not None and attr in self.set_attrs
+
+    def _describe_expr(self, node: ast.AST) -> str:
+        text = ast.unparse(node)
+        return text if len(text) <= 48 else text[:45] + "..."
+
+    def _note_set_iter(self, node: ast.AST, how: str, lineno: int) -> None:
+        self.info.set_iterations.append(SetIterSite(
+            lineno=lineno, desc=self._describe_expr(node), how=how))
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        generators = getattr(node, "generators", [])
+        if id(node) not in self._sorted_args:
+            for gen in generators:
+                if self._is_set_expr(gen.iter):
+                    self._note_set_iter(gen.iter, "comprehension",
+                                        node.lineno)
+        self.generic_visit(node)
+
+    # a SetComp over a set yields another set — still order-free — so
+    # only order-preserving comprehensions are recorded
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
     # -- statements ----------------------------------------------------
     def visit_Global(self, node: ast.Global) -> None:
         self.declared_globals.update(node.names)
@@ -223,6 +359,9 @@ class _FunctionScanner(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._target_write(target, node, node.value)
+            if isinstance(target, ast.Name) and \
+                    self._is_set_expr(node.value):
+                self._set_locals.add(target.id)
         self._record_local_call_assign(node.targets, node.value, node.lineno)
         self.generic_visit(node)
 
@@ -271,15 +410,23 @@ class _FunctionScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_With(self, node: ast.With) -> None:
-        locked = any(self._is_lock_expr(item.context_expr)
-                     for item in node.items)
+        identities = [identity for item in node.items
+                      for identity in [self._lock_identity(item.context_expr)]
+                      if identity is not None]
+        locked = bool(identities)
         if locked:
             self._lock_depth += 1
+            body_lines: Set[int] = set()
             for child in node.body:
                 for sub in ast.walk(child):
                     lineno = getattr(sub, "lineno", None)
                     if lineno is not None:
-                        self.info.guarded_lines.add(lineno)
+                        body_lines.add(lineno)
+            self.info.guarded_lines.update(body_lines)
+            for lock_id, kind in identities:
+                self.info.lock_scopes.append(LockScope(
+                    lock=lock_id, kind=kind, lineno=node.lineno,
+                    lines=frozenset(body_lines)))
         self.generic_visit(node)
         if locked:
             self._lock_depth -= 1
@@ -316,6 +463,12 @@ class _FunctionScanner(ast.NodeVisitor):
         func = node.func
         if isinstance(func, ast.Name):
             self.info.calls.append(CallSite("name", func.id, node.lineno))
+            if func.id == "sorted":
+                for arg in node.args:
+                    self._sorted_args.add(id(arg))
+            elif func.id in ("list", "tuple") and len(node.args) == 1 and \
+                    self._is_set_expr(node.args[0]):
+                self._note_set_iter(node.args[0], func.id, node.lineno)
         elif isinstance(func, ast.Attribute):
             base = func.value
             base_attr = _self_attr(base)
@@ -324,7 +477,12 @@ class _FunctionScanner(ast.NodeVisitor):
                 self.info.calls.append(
                     CallSite("self", func.attr, node.lineno))
             else:
-                receiver = base.id if isinstance(base, ast.Name) else None
+                if isinstance(base, ast.Name):
+                    receiver: Optional[str] = base.id
+                elif base_attr is not None:
+                    receiver = f"self.{base_attr}"
+                else:
+                    receiver = None
                 self.info.calls.append(
                     CallSite("attr", func.attr, node.lineno, base=receiver))
                 if func.attr in MUTATING_CALLS:
@@ -332,6 +490,9 @@ class _FunctionScanner(ast.NodeVisitor):
                                        detail=func.attr)
                 if func.attr == "get" and base_attr is not None:
                     self.info.get_guard_attrs.add(base_attr)
+                if func.attr == "join" and len(node.args) == 1 and \
+                        self._is_set_expr(node.args[0]):
+                    self._note_set_iter(node.args[0], "join", node.lineno)
         self.generic_visit(node)
 
     # nested defs share the enclosing function's fact sheet (closures
@@ -381,10 +542,15 @@ def _scan_module(name: str, path: str, source: str) -> ModuleInfo:
         for target in targets:
             if not isinstance(target, ast.Name) or value is None:
                 continue
-            if _is_lock_factory(value):
-                info.module_locks.add(target.id)
+            kind = _lock_factory_kind(value)
+            if kind is not None:
+                info.module_locks[target.id] = LockDecl(
+                    name=target.id, kind=kind, lineno=stmt.lineno)
             elif _is_mutable_initializer(value):
                 info.mutable_globals[target.id] = stmt.lineno
+                if isinstance(value, ast.Call) and \
+                        isinstance(value.func, ast.Name):
+                    info.global_types[target.id] = value.func.id
 
     # class inventory: methods + self locks
     def scan_function(node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
@@ -394,9 +560,17 @@ def _scan_module(name: str, path: str, source: str) -> ModuleInfo:
             else f"{name}:{node.name}"
         fn = FunctionInfo(module=name, name=node.name, qualname=qual,
                           class_name=class_name, lineno=node.lineno)
-        self_locks = class_info.self_locks if class_info else set()
+        for arg in (list(node.args.posonlyargs) + list(node.args.args)
+                    + list(node.args.kwonlyargs)):
+            annotated = _annotation_name(arg.annotation)
+            if annotated is not None:
+                fn.param_types[arg.arg] = annotated
+        fn.returns = _annotation_name(node.returns)
+        self_locks = class_info.self_locks if class_info else {}
+        set_attrs = class_info.set_attrs if class_info else set()
         scanner = _FunctionScanner(fn, set(info.mutable_globals),
-                                   info.module_locks, self_locks)
+                                   info.module_locks, self_locks,
+                                   set_attrs=set_attrs)
         for child in node.body:
             scanner.visit(child)
         return fn
@@ -405,18 +579,45 @@ def _scan_module(name: str, path: str, source: str) -> ModuleInfo:
         if isinstance(stmt, ast.ClassDef):
             cls = ClassInfo(module=name, name=stmt.name, lineno=stmt.lineno)
             # first pass: find the lock attributes so every method's
-            # guard recognition sees them
+            # guard recognition sees them; alongside, record attribute
+            # types (``self.x = ClassName(...)`` / annotated parameter
+            # pass-through) and set-typed attributes for the
+            # deadlock/determinism passes
             for member in stmt.body:
                 if isinstance(member, (ast.FunctionDef,
                                        ast.AsyncFunctionDef)) and \
                         member.name == "__init__":
+                    param_types: Dict[str, str] = {}
+                    for arg in (list(member.args.posonlyargs)
+                                + list(member.args.args)
+                                + list(member.args.kwonlyargs)):
+                        annotated = _annotation_name(arg.annotation)
+                        if annotated is not None:
+                            param_types[arg.arg] = annotated
                     for sub in ast.walk(member):
-                        if isinstance(sub, ast.Assign) and \
-                                _is_lock_factory(sub.value):
-                            for target in sub.targets:
-                                attr = _self_attr(target)
-                                if attr is not None:
-                                    cls.self_locks.add(attr)
+                        if not isinstance(sub, ast.Assign):
+                            continue
+                        value = sub.value
+                        kind = _lock_factory_kind(value)
+                        for target in sub.targets:
+                            attr = _self_attr(target)
+                            if attr is None:
+                                continue
+                            if kind is not None:
+                                cls.self_locks[attr] = LockDecl(
+                                    name=attr, kind=kind, lineno=sub.lineno)
+                            elif isinstance(value, ast.Call) and \
+                                    isinstance(value.func, ast.Name):
+                                cls.attr_types[attr] = value.func.id
+                            elif isinstance(value, ast.Name) and \
+                                    value.id in param_types:
+                                cls.attr_types[attr] = param_types[value.id]
+                            if isinstance(value, (ast.Set, ast.SetComp)) \
+                                    or (isinstance(value, ast.Call)
+                                        and isinstance(value.func, ast.Name)
+                                        and value.func.id in
+                                        ("set", "frozenset")):
+                                cls.set_attrs.add(attr)
             for member in stmt.body:
                 if isinstance(member, (ast.FunctionDef,
                                        ast.AsyncFunctionDef)):
@@ -450,11 +651,13 @@ class ProjectModel:
     modules: Dict[str, ModuleInfo]
     functions: Dict[str, FunctionInfo] = field(default_factory=dict)
     methods_by_name: Dict[str, List[str]] = field(default_factory=dict)
+    classes_by_name: Dict[str, ClassInfo] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for module in self.modules.values():
             self.functions.update(module.functions)
             for cls in module.classes.values():
+                self.classes_by_name.setdefault(cls.name, cls)
                 for mname, fn in cls.methods.items():
                     self.methods_by_name.setdefault(mname, []).append(
                         fn.qualname)
@@ -492,6 +695,78 @@ class ProjectModel:
         # attribute call (or unresolved self call): every project class
         # defining the method — the safe over-approximation
         return list(self.methods_by_name.get(call.name, ()))
+
+    def _receiver_class(self, fn: FunctionInfo,
+                        call: CallSite) -> Optional[ClassInfo]:
+        """The project class a typed attribute call's receiver holds."""
+        if call.base is None:
+            return None
+        module = self.modules[fn.module]
+        if call.base.startswith("self."):
+            if fn.class_name is None:
+                return None
+            cls = module.classes.get(fn.class_name)
+            if cls is None:
+                return None
+            target = cls.attr_types.get(call.base[len("self."):])
+            return self.classes_by_name.get(target) if target else None
+        # an annotated parameter of this function
+        annotated = fn.param_types.get(call.base)
+        if annotated is not None:
+            return self.classes_by_name.get(annotated)
+        # a module global holding a constructed instance
+        ctor = module.global_types.get(call.base)
+        if ctor is not None and ctor in self.classes_by_name:
+            return self.classes_by_name[ctor]
+        # a local assigned from a constructor / annotated-return call
+        for assign in fn.local_call_assigns:
+            if assign.local != call.base:
+                continue
+            if assign.kind == "name":
+                if assign.callee in self.classes_by_name:
+                    return self.classes_by_name[assign.callee]
+                for qual in self._resolve_name(module, assign.callee):
+                    target = self.functions.get(qual)
+                    if target is not None and target.returns is not None:
+                        hit = self.classes_by_name.get(target.returns)
+                        if hit is not None:
+                            return hit
+            elif assign.kind == "chain" and \
+                    assign.callee.startswith("self.") and \
+                    fn.class_name is not None:
+                cls = module.classes.get(fn.class_name)
+                method = cls.methods.get(assign.callee[len("self."):]) \
+                    if cls is not None else None
+                if method is not None and method.returns is not None:
+                    return self.classes_by_name.get(method.returns)
+        return None
+
+    def resolve_call_typed(self, fn: FunctionInfo,
+                           call: CallSite) -> List[str]:
+        """Precise call resolution for the deadlock/determinism passes.
+
+        Unlike :meth:`_resolve_call` — which over-approximates attribute
+        calls to every project class defining the method — this resolves
+        only calls whose receiver is known: plain names, ``self``
+        methods, and attribute calls on receivers whose class the
+        inventory typed (``self.x = Cls(...)``, annotated ``__init__``
+        parameter pass-through, module globals, constructor locals).
+        Unknown receivers resolve to nothing; a lock-order graph built
+        from invented edges would drown real inversions in noise.
+        """
+        module = self.modules[fn.module]
+        if call.kind == "name":
+            return self._resolve_name(module, call.name)
+        if call.kind == "self" and fn.class_name is not None:
+            cls = module.classes.get(fn.class_name)
+            if cls is not None and call.name in cls.methods:
+                return [cls.methods[call.name].qualname]
+            return []
+        if call.kind == "attr":
+            cls = self._receiver_class(fn, call)
+            if cls is not None and call.name in cls.methods:
+                return [cls.methods[call.name].qualname]
+        return []
 
     def entry_points(self, contract: ConcurrencyContract) -> Set[str]:
         seeds: Set[str] = set()

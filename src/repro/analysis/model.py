@@ -144,9 +144,17 @@ class AnalysisReport:
             suffix += f" ({len(self.suppressed)} suppressed)"
         return f"{base}: {suffix}"
 
+    def _ordered(self) -> List[Finding]:
+        """Findings in the canonical (path, line, code, message) order.
+
+        ``__post_init__`` sorts once, but callers may append to
+        ``findings`` afterwards; re-sorting at render/serialize time
+        keeps text and JSON output byte-deterministic regardless."""
+        return sorted(self.findings, key=Finding.sort_key)
+
     def render_text(self) -> str:
         lines = [self.summary()]
-        lines.extend(f.render() for f in self.findings)
+        lines.extend(f.render() for f in self._ordered())
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -156,7 +164,7 @@ class AnalysisReport:
             "summary": self.counts(),
             "clean": self.clean,
             "suppressed": len(self.suppressed),
-            "findings": [f.to_dict() for f in self.findings],
+            "findings": [f.to_dict() for f in self._ordered()],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

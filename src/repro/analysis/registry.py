@@ -26,7 +26,8 @@ _CODE_RE = re.compile(r"^DSA\d{3}$")
 _SLUG_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
 
 #: Rule categories: one per analyzer pass, plus the suppression checks.
-CATEGORIES = ("races", "epochs", "snapshots", "suppressions")
+CATEGORIES = ("races", "epochs", "snapshots", "deadlock", "determinism",
+              "suppressions")
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,50 @@ RECORDER_INSTALLED_IN_WORKER = _stock(
     "worker-reachable code installs a trace recorder on a hydrated "
     "layer; TraceRecorder is single-owner by contract and must never "
     "be shared across workers")
+
+LOCK_ORDER_INVERSION = _stock(
+    "DSA030", "lock-order-inversion", "deadlock", Severity.ERROR,
+    "the lock-acquisition graph contains a cycle (ABBA deadlock), or "
+    "an acquisition runs against the contract's declared canonical "
+    "lock order — two threads taking the locks in opposite order "
+    "block each other forever")
+
+NONREENTRANT_REACQUISITION = _stock(
+    "DSA031", "nonreentrant-reacquisition", "deadlock", Severity.ERROR,
+    "a non-reentrant threading.Lock (or semaphore) is acquired again "
+    "by the thread already holding it — lexically nested or through a "
+    "same-instance call chain — so the thread deadlocks against itself")
+
+BLOCKING_CALL_UNDER_LOCK = _stock(
+    "DSA032", "blocking-call-under-lock", "deadlock", Severity.ERROR,
+    "a blocking call (event/future wait, sleep, socket or file I/O, "
+    "subprocess) runs inside a critical section, stalling every other "
+    "acquirer for the duration of the wait")
+
+TIME_IN_DIGEST_PATH = _stock(
+    "DSA040", "time-in-digest-path", "determinism", Severity.ERROR,
+    "a wall-clock read (time.*, perf_counter, datetime.now) is "
+    "reachable from a digest entry point, so canonical bytes differ "
+    "between two runs of the same computation")
+
+ENTROPY_IN_DIGEST_PATH = _stock(
+    "DSA041", "entropy-in-digest-path", "determinism", Severity.ERROR,
+    "an entropy source (unseeded random, os.urandom, secrets, uuid4) "
+    "is reachable from a digest entry point, so the digest changes on "
+    "every call")
+
+IDENTITY_IN_DIGEST_PATH = _stock(
+    "DSA042", "identity-in-digest-path", "determinism", Severity.ERROR,
+    "an object-identity builtin (id(), hash()) is reachable from a "
+    "digest entry point; identities vary per process under allocation "
+    "order and hash randomization")
+
+UNORDERED_ITERATION_IN_DIGEST = _stock(
+    "DSA043", "unordered-iteration-in-digest", "determinism",
+    Severity.ERROR,
+    "a set is iterated into an order-preserving consumer (list/tuple/"
+    "join/comprehension) without sorted() on a digest path; iteration "
+    "order varies with insertion history and the per-process hash seed")
 
 
 @dataclass

@@ -336,6 +336,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for analysis_rule in ANALYSIS_REGISTRY:
             print(analysis_rule.describe())
         return 0
+    if args.lock_graph:
+        from repro.analysis import lock_graph_package, lock_graph_paths
+        if args.path:
+            graph = lock_graph_paths(args.path)
+        else:
+            graph = lock_graph_package(args.package)
+        if args.json or args.format == "json":
+            _emit_json(args, graph.to_dict())
+        else:
+            _emit(args, graph.render_text())
+        return 0 if graph.acyclic else 1
     config = AnalysisConfig(select=args.select or None,
                             disable=tuple(args.disable or ()))
     if args.path:
@@ -638,6 +649,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "repeatable)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the DSA rule catalogue and exit")
+    p.add_argument("--lock-graph", action="store_true",
+                   help="emit the lock-acquisition graph instead of "
+                        "findings; exits non-zero when the graph has a "
+                        "cycle (an ABBA deadlock)")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("verify",

@@ -483,12 +483,14 @@ class ExplorationEngine:
                      start=self.problem.start,
                      metrics=list(self.problem.metrics),
                      jobs=self.jobs)
+        # dsa: allow[DSA040] -- elapsed_s telemetry only; never digested
         started = time.perf_counter()
         pool_stats: Optional[Dict[str, object]] = None
         if self.jobs > 1:
             frontier, stats, pool_stats = self._run_parallel(layer)
         else:
             frontier, stats = self._run_serial(layer)
+        # dsa: allow[DSA040] -- elapsed_s is telemetry; digests exclude it
         elapsed = time.perf_counter() - started
         return ExplorationResult(
             strategy=self._strategy.describe(), frontier=frontier,

@@ -136,6 +136,7 @@ class SnapshotManager:
             given = tuple(sorted(dict(requirements).items(),
                                  key=lambda kv: kv[0]))
             key: Optional[VerifyKey] = (given, start)
+            # dsa: allow[DSA042] -- hashability probe; the value is discarded
             hash(key)
         except TypeError:
             key = None

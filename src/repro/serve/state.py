@@ -138,6 +138,7 @@ class SessionManager:
         """Create, register and return a new served session."""
         now = self._clock()
         session = factory()
+        # dsa: allow[DSA041] -- tokens are addresses, unpredictable by design
         token = secrets.token_hex(16)
         served = ServedSession(token, session, layer_name, start, now)
         with self._lock:

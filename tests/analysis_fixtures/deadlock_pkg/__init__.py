@@ -1,0 +1,9 @@
+"""Known-deadlocky fixture package for the DSA03x pass.
+
+Two modules acquire two module-level locks in opposite orders across a
+cross-module call (the classic ABBA inversion), re-acquire a
+non-reentrant lock lexically and through the call graph, and block
+inside critical sections.  The analyzer reads this package lexically;
+nothing here is ever imported at runtime (the circular import between
+``mod_a`` and ``mod_b`` is deliberate and inert).
+"""

@@ -1,0 +1,44 @@
+"""Module A: holds LOCK_A and calls across into module B under it."""
+
+import threading
+import time
+
+from .mod_b import grab_b_leaf
+
+LOCK_A = threading.Lock()
+
+
+def a_then_b():
+    """The forward half of the ABBA pair: A held while B is acquired."""
+    with LOCK_A:
+        grab_b_leaf()
+
+
+def grab_a_leaf():
+    with LOCK_A:
+        return "a"
+
+
+def reenter_via_call():
+    """DSA031: the module singleton re-acquired through the call graph."""
+    with LOCK_A:
+        grab_a_leaf()
+
+
+def reenter_nested():
+    """DSA031: lexical re-entry of a non-reentrant lock."""
+    with LOCK_A:
+        with LOCK_A:
+            return "stuck"
+
+
+def wait_under_lock(flight):
+    """DSA032: an event wait inside the critical section."""
+    with LOCK_A:
+        flight.wait()
+
+
+def sleep_under_lock():
+    """DSA032: a sleep inside the critical section."""
+    with LOCK_A:
+        time.sleep(0.1)

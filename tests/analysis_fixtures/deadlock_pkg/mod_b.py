@@ -1,0 +1,35 @@
+"""Module B: holds LOCK_B and calls back into module A under it."""
+
+import threading
+import time
+
+from .mod_a import grab_a_leaf
+
+LOCK_B = threading.Lock()
+LOCK_C = threading.Lock()
+
+
+def b_then_a():
+    """The reversed half of the ABBA pair: B held while A is acquired."""
+    with LOCK_B:
+        grab_a_leaf()
+
+
+def grab_b_leaf():
+    with LOCK_B:
+        return "b"
+
+
+def b_then_c():
+    """One-directional nesting: an inversion only when the contract
+    declares C before B."""
+    with LOCK_B:
+        with LOCK_C:
+            return "bc"
+
+
+def sleep_quietly():
+    """A justified blocking call: the suppression audit trail."""
+    with LOCK_B:
+        # dsa: allow[DSA032] -- fixture: a justified wait kept as audit trail
+        time.sleep(0.01)

@@ -1,0 +1,60 @@
+"""Determinism fixtures: every DSA04x source behind one digest entry.
+
+``digest_state`` is declared a digest entry point by the test contract;
+each helper exercises one nondeterminism family, plus the three
+exemptions the pass promises: ``sorted(...)`` launders set order,
+contract boundaries stop the walk, and unreachable code stays silent.
+"""
+
+import os
+import random
+import secrets
+import time
+
+
+def digest_state(layer):
+    stamp = read_clock()
+    salt = draw_entropy()
+    marker = identity_key(layer)
+    names = serialize_tags()
+    record_latency()
+    return (stamp, salt, marker, names)
+
+
+def read_clock():
+    return time.time()                      # DSA040
+
+
+def draw_entropy():
+    spread = random.random()                # DSA041
+    seed = os.urandom(4)                    # DSA041
+    token = secrets.token_hex(4)            # DSA041
+    return (spread, seed, token)
+
+
+def identity_key(obj):
+    slot = id(obj)                          # DSA042
+    probe = hash(obj)                       # DSA042
+    return (slot, probe)
+
+
+def serialize_tags():
+    tags = {"b", "a", "c"}
+    ordered = sorted(tags)                  # exempt: sorted()
+    raw = list(tags)                        # DSA043
+    joined = ",".join(tags)                 # DSA043
+    doubled = [t * 2 for t in tags]         # DSA043
+    total = 0
+    for tag in tags:                        # bare loop: order-free, silent
+        total += len(tag)
+    return (ordered, raw, joined, doubled, total)
+
+
+def record_latency():
+    # declared a determinism boundary: the walk must not flag this
+    return time.perf_counter()
+
+
+def offline_helper():
+    # unreachable from the digest entry: must stay silent
+    return time.time()

@@ -1,0 +1,61 @@
+"""One lock scope per ``threading`` synchronization primitive.
+
+Exercises the lock-scope recognizer across every factory the inventory
+understands — Lock, RLock, Condition, Semaphore, BoundedSemaphore —
+plus the re-entrancy and own-lock-wait rules built on the recognized
+kind.
+"""
+
+import threading
+
+GATE = threading.Semaphore(4)
+
+
+class Primitives:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rlock = threading.RLock()
+        self._cond = threading.Condition()
+        self._sem = threading.Semaphore(2)
+        self._bounded = threading.BoundedSemaphore(1)
+
+    def use_lock(self):
+        with self._lock:
+            return 1
+
+    def use_rlock_nested(self):
+        # re-entrant by construction: no DSA031
+        with self._rlock:
+            with self._rlock:
+                return 2
+
+    def wait_ready(self):
+        # Condition.wait on the scope's own lock releases it: no DSA032
+        with self._cond:
+            self._cond.wait()
+            return 3
+
+    def wait_foreign(self, flight):
+        # a wait on some *other* object under the condition: DSA032
+        with self._cond:
+            flight.wait()
+
+    def use_semaphore(self):
+        with self._sem:
+            return 4
+
+    def reenter_bounded(self):
+        # BoundedSemaphore(1) re-acquired by its holder: DSA031
+        with self._bounded:
+            with self._bounded:
+                return 5
+
+    def reenter_through_self_call(self):
+        # DSA031 along the same-instance self-call channel
+        with self._lock:
+            return self.use_lock()
+
+
+def use_module_semaphore():
+    with GATE:
+        return 6

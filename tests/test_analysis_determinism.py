@@ -1,0 +1,98 @@
+"""Determinism-pass suite (DSA040–DSA043) over ``nondet_mod.py``.
+
+The fixture contract declares one digest entry point and one boundary;
+the tests pin every nondeterminism family, the ``sorted(...)``
+laundering exemption, the boundary stop, and silence on unreachable
+code and on contracts with no entry points at all.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import ConcurrencyContract, analyze_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "analysis_fixtures")
+NONDET = os.path.join(FIXTURES, "nondet_mod.py")
+
+NONDET_CONTRACT = ConcurrencyContract(
+    digest_entry_points=frozenset({"nondet_mod:digest_state"}),
+    determinism_boundaries={
+        "nondet_mod:record_latency":
+            "latency lands in metrics, never in the digest bytes"},
+)
+
+
+def analyze_nondet(contract=NONDET_CONTRACT):
+    return analyze_paths([NONDET], root=FIXTURES, contract=contract)
+
+
+class TestDigestPath:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_nondet()
+
+    def test_every_family_fires(self, report):
+        assert set(report.codes()) == {"DSA040", "DSA041", "DSA042",
+                                       "DSA043"}
+
+    def test_wall_clock(self, report):
+        found = report.by_code("DSA040")
+        assert [f.symbol for f in found] == ["nondet_mod:read_clock"]
+        assert "time.time()" in found[0].message
+
+    def test_entropy_sources(self, report):
+        found = report.by_code("DSA041")
+        assert [f.symbol for f in found] == ["nondet_mod:draw_entropy"] * 3
+        sources = " ".join(f.message for f in found)
+        for name in ("random.random", "os.urandom", "secrets.token_hex"):
+            assert name in sources
+
+    def test_identity_builtins(self, report):
+        found = report.by_code("DSA042")
+        assert [f.symbol for f in found] == ["nondet_mod:identity_key"] * 2
+        sources = " ".join(f.message for f in found)
+        assert "id(...)" in sources and "hash(...)" in sources
+
+    def test_unordered_set_consumers(self, report):
+        found = report.by_code("DSA043")
+        assert [f.symbol for f in found] == \
+            ["nondet_mod:serialize_tags"] * 3
+        hows = " ".join(f.message for f in found)
+        for how in ("list", "join", "comprehension"):
+            assert how in hows
+
+    def test_sorted_and_bare_loops_are_exempt(self, report):
+        # exactly three DSA043 findings: sorted(tags) and the bare
+        # for-loop over the same set stay silent
+        assert len(report.by_code("DSA043")) == 3
+
+    def test_boundary_stops_the_walk(self, report):
+        assert not any(f.symbol == "nondet_mod:record_latency"
+                       for f in report.findings)
+        assert not any("perf_counter" in f.message for f in report.findings)
+
+    def test_unreachable_code_stays_silent(self, report):
+        assert not any(f.symbol == "nondet_mod:offline_helper"
+                       for f in report.findings)
+
+    def test_findings_carry_the_originating_entry_point(self, report):
+        for finding in report.findings:
+            assert "nondet_mod:digest_state" in finding.message
+
+
+class TestNoEntryPoints:
+    def test_without_declared_entries_the_pass_is_silent(self):
+        report = analyze_nondet(contract=ConcurrencyContract())
+        assert not any(f.code.startswith("DSA04") for f in report.findings)
+
+
+class TestGoldenOutput:
+    def test_text_report_matches_golden(self):
+        report = analyze_nondet()
+        text = report.render_text().replace(report.root,
+                                            "<fixture-root>") + "\n"
+        golden = os.path.join(os.path.dirname(__file__), "golden",
+                              "determinism_report.txt")
+        with open(golden) as fh:
+            assert text == fh.read()

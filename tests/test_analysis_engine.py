@@ -178,3 +178,41 @@ class TestReportSurface:
     def test_clean_summary_reads_clean(self):
         report = analyze_fixture("clean_mod.py")
         assert "clean" in report.summary()
+
+
+class TestDeterministicOrder:
+    """Satellite: finding order is pinned to (path, line, code) so the
+    CI gate and the golden files are byte-stable across runs."""
+
+    def _finding(self, path, line, code):
+        from repro.analysis.model import Finding
+        return Finding(code=code, rule="unguarded-shared-write",
+                       severity=Severity.ERROR, path=path, line=line,
+                       symbol="m:f", message=f"{path}:{line}:{code}")
+
+    def test_constructor_sorts_shuffled_findings(self):
+        from repro.analysis.model import AnalysisReport
+        shuffled = [self._finding("b.py", 9, "DSA001"),
+                    self._finding("a.py", 5, "DSA010"),
+                    self._finding("a.py", 5, "DSA001"),
+                    self._finding("a.py", 2, "DSA020")]
+        report = AnalysisReport(root="/r", findings=shuffled, files=2)
+        assert [f.sort_key()[:3] for f in report.findings] == \
+            [("a.py", 2, "DSA020"), ("a.py", 5, "DSA001"),
+             ("a.py", 5, "DSA010"), ("b.py", 9, "DSA001")]
+
+    def test_render_and_json_resort_post_init_appends(self):
+        from repro.analysis.model import AnalysisReport
+        report = AnalysisReport(root="/r", files=1,
+                                findings=[self._finding("z.py", 7, "DSA001")])
+        report.findings.append(self._finding("a.py", 1, "DSA001"))
+        text = report.render_text()
+        assert text.index("a.py:1") < text.index("z.py:7")
+        dumped = report.to_dict()["findings"]
+        assert [(f["path"], f["line"]) for f in dumped] == \
+            [("a.py", 1), ("z.py", 7)]
+
+    def test_two_analysis_runs_serialize_identically(self):
+        first = analyze_fixture("racy_mod.py")
+        second = analyze_fixture("racy_mod.py")
+        assert first.to_json() == second.to_json()

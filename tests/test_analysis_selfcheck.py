@@ -63,3 +63,73 @@ def test_default_contract_matches_live_code():
         for part in qualname.split("."):
             assert hasattr(target, part), f"entry point {entry} missing"
             target = getattr(target, part)
+
+
+def _resolve_qualname(entry):
+    import importlib
+
+    module_name, qualname = entry.split(":")
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        assert hasattr(target, part), f"{entry} names nothing live"
+        target = getattr(target, part)
+    return target
+
+
+def test_digest_entry_points_reference_live_code():
+    """A renamed digest producer must fail loudly, not silently shrink
+    the determinism pass's coverage."""
+    for entry in DEFAULT_CONTRACT.digest_entry_points:
+        _resolve_qualname(entry)
+    for entry in DEFAULT_CONTRACT.determinism_boundaries:
+        _resolve_qualname(entry)
+    for entry in DEFAULT_CONTRACT.blocking_allowed:
+        _resolve_qualname(entry)
+
+
+def test_lock_order_names_real_locks():
+    """Every declared lock id must exist as a graph node, and the canon
+    must not name a lock twice."""
+    from repro.analysis import lock_graph_package
+
+    graph = lock_graph_package("repro")
+    known = {node.lock for node in graph.nodes}
+    assert len(set(DEFAULT_CONTRACT.lock_order)) == \
+        len(DEFAULT_CONTRACT.lock_order)
+    for lock in DEFAULT_CONTRACT.lock_order:
+        assert lock in known, f"lock_order names unknown lock {lock}"
+
+
+def test_serving_stack_lock_graph_is_cycle_free():
+    """The CI assertion (``repro analyze --lock-graph``) as a unit test:
+    the serving stack plus the observability and parallel-exploration
+    leaves must order their locks acyclically."""
+    import os
+
+    from repro.analysis import lock_graph_paths
+    from repro.serve import app
+
+    serve_dir = os.path.dirname(os.path.abspath(app.__file__))
+    src = os.path.dirname(os.path.dirname(serve_dir))
+    graph = lock_graph_paths(
+        [serve_dir,
+         os.path.join(src, "repro", "core", "obs"),
+         os.path.join(src, "repro", "core", "explore", "parallel.py")],
+        root=src)
+    assert graph.nodes, "lock discovery collapsed"
+    assert graph.acyclic, graph.render_text()
+    # every cross-lock edge must also run forward through the canon
+    order = {lock: i for i, lock in enumerate(DEFAULT_CONTRACT.lock_order)}
+    for edge in graph.edges:
+        if edge.src == edge.dst:
+            continue
+        src_idx, dst_idx = order.get(edge.src), order.get(edge.dst)
+        if src_idx is not None and dst_idx is not None:
+            assert src_idx < dst_idx, edge.describe()
+
+
+def test_whole_repo_lock_graph_is_cycle_free():
+    from repro.analysis import lock_graph_package
+
+    graph = lock_graph_package("repro")
+    assert graph.acyclic, graph.render_text()

@@ -468,8 +468,51 @@ class TestAnalyze:
         code, out, _err = run_cli(capsys, "analyze", "--list-rules")
         assert code == 0
         for expected in ("DSA001", "DSA002", "DSA003", "DSA004", "DSA010",
-                         "DSA011", "DSA012", "DSA020", "DSA021"):
+                         "DSA011", "DSA012", "DSA020", "DSA021", "DSA030",
+                         "DSA031", "DSA032", "DSA040", "DSA041", "DSA042",
+                         "DSA043"):
             assert expected in out
+
+    def test_lock_graph_for_the_repo_is_cycle_free(self, capsys):
+        code, out, _err = run_cli(capsys, "analyze", "--lock-graph")
+        assert code == 0
+        first = out.splitlines()[0]
+        assert first.startswith("lock-order graph:")
+        assert "acyclic" in first
+
+    def test_lock_graph_json_round_trips(self, capsys):
+        code, out, _err = run_cli(capsys, "analyze", "--lock-graph",
+                                  "--format", "json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["acyclic"] is True
+        assert data["cycles"] == []
+        assert any(lock["lock"] == "SnapshotManager._lock"
+                   for lock in data["locks"])
+
+    def test_lock_graph_exits_nonzero_on_fixture_cycle(self, capsys):
+        import os
+        pkg = os.path.join(os.path.dirname(__file__),
+                           "analysis_fixtures", "deadlock_pkg")
+        code, out, _err = run_cli(capsys, "analyze", "--lock-graph", pkg)
+        assert code == 1
+        assert "CYCLE:" in out
+
+    def test_json_output_file_matches_golden(self, capsys, tmp_path):
+        import os
+        pkg = os.path.join(os.path.dirname(__file__),
+                           "analysis_fixtures", "deadlock_pkg")
+        target = tmp_path / "analyze.json"
+        code, out, _err = run_cli(capsys, "analyze", pkg,
+                                  "--json", "--output", str(target))
+        assert code == 1  # the fixture package has unsuppressed errors
+        assert f"wrote {target}" in out
+        data = json.loads(target.read_text())
+        data["root"] = "<fixture-root>"
+        golden = os.path.join(os.path.dirname(__file__), "golden",
+                              "analyze_report.json")
+        with open(golden) as fh:
+            assert data == json.load(fh)
 
     def test_explicit_racy_path_fails_the_gate(self, capsys):
         import os
